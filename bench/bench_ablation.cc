@@ -1,0 +1,128 @@
+// Ablation studies for the design choices called out in Section 5
+// (Discussion) and DESIGN.md:
+//   1. Tiling alone (COO vs TILE-COO) on power-law vs non-power-law input —
+//      the paper: "On power-law matrices, tile-coo performs consistently
+//      better than COO. On non-power-law matrices ... the benefit is very
+//      marginal."
+//   2. Composite storage on top of tiling (TILE-COO vs TILE-COMPOSITE) on
+//      both input classes — "tile-composite performs better than tile-coo
+//      on both power-law and non-power-law matrices."
+//   3. The 256-byte anti-partition-camping pad, on a matrix engineered so
+//      every workload is a multiple of 512 floats.
+//   4. Bitonic vs contiguous-block vs round-robin row partitioning balance.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "util/check.h"
+#include "core/tile_composite.h"
+#include "multigpu/comm_analysis.h"
+#include "gen/power_law.h"
+#include "multigpu/partition.h"
+#include "util/random.h"
+
+namespace tilespmv::bench {
+namespace {
+
+double Gflops(const std::string& name, const CsrMatrix& a,
+              const gpusim::DeviceSpec& spec) {
+  auto k = CreateKernel(name, spec);
+  TILESPMV_CHECK_OK(k->Setup(a));
+  return k->timing().gflops();
+}
+
+int Run(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  gpusim::DeviceSpec spec;
+  const int32_t n = opts.quick ? 1 << 16 : 1 << 18;
+  const int64_t nnz = opts.quick ? 1000000 : 4000000;
+
+  CsrMatrix power_law = GenerateRmat(n, nnz, RmatOptions{.seed = 30});
+  // A Figure-7-class uniform matrix: Circuit-sized, ~5 entries per row and
+  // column, so there is little x reuse for a tile to capture — the regime
+  // where the paper observes only marginal tiling benefit.
+  Pcg32 rng(31);
+  std::vector<Triplet> t;
+  const int32_t un = n / 2;
+  for (int64_t i = 0; i < 5LL * un; ++i) {
+    t.push_back(Triplet{static_cast<int32_t>(rng.NextBounded(un)),
+                        static_cast<int32_t>(rng.NextBounded(un)),
+                        1.0f});
+  }
+  CsrMatrix uniform = CsrMatrix::FromTriplets(un, un, std::move(t));
+
+  std::printf("=== Ablation 1+2: tiling and composite storage ===\n");
+  std::printf("%-12s %10s %10s %14s | %12s %12s\n", "matrix", "coo",
+              "tile-coo", "tile-composite", "tiling gain", "comp gain");
+  for (auto& [label, m] :
+       std::vector<std::pair<const char*, const CsrMatrix*>>{
+           {"power-law", &power_law}, {"uniform", &uniform}}) {
+    double coo = Gflops("coo", *m, spec);
+    double tcoo = Gflops("tile-coo", *m, spec);
+    double tcomp = Gflops("tile-composite", *m, spec);
+    std::printf("%-12s %10.2f %10.2f %14.2f | %11.1f%% %11.1f%%\n", label,
+                coo, tcoo, tcomp, 100 * (tcoo / coo - 1),
+                100 * (tcomp / tcoo - 1));
+  }
+
+  std::printf("\n=== Ablation 3: partition-camping pad ===\n");
+  // 512-long rows pack into exactly-512-float workloads: the pathological
+  // alignment the pad exists for.
+  std::vector<Triplet> rows512;
+  const int32_t m512 = 16384;
+  Pcg32 rng2(32);
+  for (int32_t r = 0; r < m512; ++r) {
+    for (int32_t j = 0; j < 512; ++j) {
+      rows512.push_back(Triplet{
+          r, static_cast<int32_t>((r * 512 + j * 7919) % (64 * 1024)), 1.0f});
+    }
+  }
+  CsrMatrix aligned = CsrMatrix::FromTriplets(m512, 64 * 1024,
+                                              std::move(rows512));
+  for (bool pad : {false, true}) {
+    TileCompositeOptions topts;
+    topts.camping_padding = pad;
+    topts.forced_workload = 512;
+    TileCompositeKernel k(spec, topts);
+    TILESPMV_CHECK_OK(k.Setup(aligned));
+    std::printf("camping pad %-3s: %8.2f GFLOPS  worst camping factor %.2f\n",
+                pad ? "on" : "off", k.timing().gflops(),
+                k.timing().worst_camping_factor);
+  }
+
+  std::printf("\n=== Ablation 4: row-partitioning schemes (8 nodes) ===\n");
+  std::printf("%-12s %14s %14s\n", "scheme", "nnz imbalance", "row imbalance");
+  for (auto [label, scheme] :
+       std::vector<std::pair<const char*, PartitionScheme>>{
+           {"bitonic", PartitionScheme::kBitonic},
+           {"block-rows", PartitionScheme::kBlockRows},
+           {"round-robin", PartitionScheme::kRoundRobin}}) {
+    RowPartition p = PartitionRows(power_law, 8, scheme);
+    PartitionBalance b = AnalyzeBalance(power_law, p);
+    std::printf("%-12s %14.3f %14.3f\n", label, b.nnz_imbalance,
+                b.row_imbalance);
+  }
+  std::printf("\n=== Ablation 5: distribution layouts (Section 3.2) ===\n");
+  std::printf("%-12s %16s %16s %10s\n", "layout", "sent/node", "recv/node",
+              "reduce?");
+  const int64_t big_n = 41291594;  // it-2004's node count.
+  for (DistributionLayout layout :
+       {DistributionLayout::kByRows, DistributionLayout::kByGrid,
+        DistributionLayout::kByColumns}) {
+    CommCost c = AnalyzeCommunication(big_n, 9, layout);
+    std::printf("%-12s %16lld %16lld %10s\n", LayoutName(layout),
+                static_cast<long long>(c.elements_sent_per_node),
+                static_cast<long long>(c.elements_received_per_node),
+                c.needs_reduction ? "yes" : "no");
+  }
+  std::printf(
+      "\npaper: tiling helps a lot on power-law, marginally on uniform; "
+      "composite helps on both; the pad removes camping; bitonic balances "
+      "rows AND nnz simultaneously; rows beat grids beat columns on "
+      "communication and avoid the post-gather reduction.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilespmv::bench
+
+int main(int argc, char** argv) { return tilespmv::bench::Run(argc, argv); }

@@ -1,0 +1,119 @@
+#ifndef TILESPMV_BENCH_BENCH_COMMON_H_
+#define TILESPMV_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "kernels/spmv.h"
+#include "sparse/matrix_stats.h"
+#include "util/timer.h"
+
+namespace tilespmv::bench {
+
+/// Command-line options shared by the paper-reproduction benches.
+struct BenchOptions {
+  /// Dataset scale relative to the paper's sizes; <= 0 uses each dataset's
+  /// default (1/8 for Table 2 power-law graphs, 1/128 for Table 3 crawls).
+  double scale = 0.0;
+  bool quick = false;  ///< Shrink further for smoke runs.
+};
+
+inline BenchOptions ParseArgs(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      opts.scale = std::atof(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      opts.quick = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--scale=<fraction-of-paper-size>] [--quick]\n",
+                  argv[0]);
+      std::exit(0);
+    }
+  }
+  return opts;
+}
+
+inline double EffectiveScale(const BenchOptions& opts,
+                             const DatasetSpec& spec) {
+  double s = opts.scale > 0 ? opts.scale : spec.default_scale;
+  if (opts.quick) s *= 0.25;
+  return s;
+}
+
+/// Generates a dataset and prints its vitals (Table 2 / Table 3 style).
+inline CsrMatrix LoadDataset(const std::string& name,
+                             const BenchOptions& opts) {
+  Result<DatasetSpec> spec = FindDataset(name);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
+    std::exit(1);
+  }
+  double s = EffectiveScale(opts, spec.value());
+  WallTimer timer;
+  Result<CsrMatrix> m = MakeDataset(name, s);
+  if (!m.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 m.status().ToString().c_str());
+    std::exit(1);
+  }
+  MatrixStats stats = ComputeStats(m.value());
+  std::printf("# %-12s scale=%-7.4g %s  (generated in %.1fs)\n", name.c_str(),
+              s, stats.ToString().c_str(), timer.Seconds());
+  std::fflush(stdout);
+  return m.take();
+}
+
+/// Sets up `kernel_name` on `a`; returns the timing, or nullopt-style
+/// failure with the reason stored in *why.
+inline bool SetupKernel(const std::string& kernel_name, const CsrMatrix& a,
+                        const gpusim::DeviceSpec& spec, KernelTiming* timing,
+                        std::string* why) {
+  std::unique_ptr<SpMVKernel> k = CreateKernel(kernel_name, spec);
+  if (k == nullptr) {
+    *why = "unknown kernel";
+    return false;
+  }
+  Status st = k->Setup(a);
+  if (!st.ok()) {
+    *why = st.ToString();
+    return false;
+  }
+  *timing = k->timing();
+  return true;
+}
+
+/// Prints a header row: "dataset" followed by kernel names.
+inline void PrintHeader(const char* label,
+                        const std::vector<std::string>& kernels) {
+  std::printf("%-14s", label);
+  for (const std::string& k : kernels) std::printf(" %14s", k.c_str());
+  std::printf("\n");
+}
+
+/// Prints one metric cell or "--" for inapplicable kernels.
+inline void PrintCell(double value, bool ok) {
+  if (ok) {
+    std::printf(" %14.2f", value);
+  } else {
+    std::printf(" %14s", "--");
+  }
+}
+
+/// Like PrintCell with three decimals (used for small second counts).
+inline void PrintCell3(double value, bool ok) {
+  if (ok) {
+    std::printf(" %14.3f", value);
+  } else {
+    std::printf(" %14s", "--");
+  }
+}
+
+}  // namespace tilespmv::bench
+
+#endif  // TILESPMV_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,59 @@
+// Device generality sweep: the paper's approach is "non-parametric and
+// self-tunable" — the tile width comes from the measured texture-cache
+// size and the workload sizes from the performance model, so nothing is
+// hard-coded to the Tesla C1060. This bench runs the kernel zoo on the
+// Tesla and on a Fermi-generation C2050 preset (more bandwidth, bigger
+// cache, fewer/wider SMs) and checks that the self-tuning carries over:
+// tile width triples with the cache, rankings are preserved, absolute
+// numbers rise with the hardware.
+#include <memory>
+
+#include "bench_common.h"
+#include "core/tile_composite.h"
+#include "core/tiling.h"
+#include "util/check.h"
+
+namespace tilespmv::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  const std::vector<std::string> kernels = {"coo", "hyb", "tile-coo",
+                                            "tile-composite"};
+
+  std::printf("=== Device sweep: Tesla C1060 vs Fermi C2050 ===\n");
+  for (auto [label, spec] :
+       std::vector<std::pair<const char*, gpusim::DeviceSpec>>{
+           {"tesla-c1060", gpusim::DeviceSpec::TeslaC1060()},
+           {"fermi-c2050", gpusim::DeviceSpec::FermiC2050()}}) {
+    std::printf("\n%s: %d SMs, %.0f GB/s, %lld KB cache -> tile width %d\n",
+                label, spec.num_sms, spec.mem_bandwidth_gbps,
+                static_cast<long long>(spec.texture_cache_bytes >> 10),
+                TilingOptionsForDevice(spec).tile_width);
+    PrintHeader("dataset", kernels);
+    for (const char* ds : {"flickr", "wikipedia", "youtube"}) {
+      Result<CsrMatrix> a =
+          MakeDataset(ds, opts.quick ? 0.03 : 0.0625);
+      TILESPMV_CHECK(a.ok());
+      std::printf("%-14s", ds);
+      for (const std::string& name : kernels) {
+        auto kernel = CreateKernel(name, spec);
+        bool ok = kernel->Setup(a.value()).ok();
+        PrintCell(ok ? kernel->timing().gflops() : 0, ok);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nexpected: the same ranking on both devices, higher absolute GFLOPS "
+      "on the Fermi, and a tile width that tracks the cache (64K -> 192K "
+      "columns) with no code changes — the \"adaptive algorithm designs in "
+      "next generation hybrid architectures\" the paper closes with.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilespmv::bench
+
+int main(int argc, char** argv) { return tilespmv::bench::Run(argc, argv); }

@@ -1,0 +1,71 @@
+// Reproduces Figure 3: PageRank speed (GFLOPS) and effective bandwidth
+// (GB/s) on the four graph datasets for the COO / HYB / TILE-COO /
+// TILE-Composite kernels. These are per-iteration rates, so no functional
+// convergence run is needed.
+//
+// Expected shape (paper): the tile kernels roughly double COO/HYB on
+// Flickr / LiveJournal / Wikipedia and are marginally better on Youtube.
+#include "bench_common.h"
+#include "graph/pagerank.h"
+#include "sparse/convert.h"
+
+namespace tilespmv::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  gpusim::DeviceSpec spec;
+  const std::vector<std::string> kernels = {"coo", "hyb", "tile-coo",
+                                            "tile-composite"};
+  const std::vector<std::string> graphs = {"flickr", "livejournal",
+                                           "wikipedia", "youtube"};
+
+  std::printf("=== Figure 3: PageRank per-iteration performance ===\n");
+  struct Row {
+    std::string graph;
+    std::vector<double> gflops, gbps;
+    std::vector<bool> ok;
+  };
+  std::vector<Row> rows;
+  for (const std::string& g : graphs) {
+    CsrMatrix a = LoadDataset(g, opts);
+    // PageRank multiplies by W^T each iteration (Equation 6).
+    CsrMatrix wt = Transpose(RowNormalize(a));
+    Row row;
+    row.graph = g;
+    for (const std::string& name : kernels) {
+      auto kernel = CreateKernel(name, spec);
+      Status st = kernel->Setup(wt);
+      bool ok = st.ok();
+      double aux = ElementwiseSeconds(2 * a.rows, a.rows, spec) +
+                   ReductionSeconds(a.rows, spec);
+      double per_iter = kernel->timing().seconds + aux;
+      uint64_t flops = kernel->timing().flops + 3ULL * a.rows;
+      uint64_t bytes = kernel->timing().useful_bytes + 16ULL * a.rows;
+      row.gflops.push_back(ok ? flops / per_iter * 1e-9 : 0);
+      row.gbps.push_back(ok ? bytes / per_iter * 1e-9 : 0);
+      row.ok.push_back(ok);
+    }
+    rows.push_back(std::move(row));
+  }
+  std::printf("\n--- Figure 3(a): PageRank GFLOPS ---\n");
+  PrintHeader("graph", kernels);
+  for (const Row& r : rows) {
+    std::printf("%-14s", r.graph.c_str());
+    for (size_t i = 0; i < kernels.size(); ++i) PrintCell(r.gflops[i], r.ok[i]);
+    std::printf("\n");
+  }
+  std::printf("\n--- Figure 3(b): PageRank bandwidth (GB/s) ---\n");
+  PrintHeader("graph", kernels);
+  for (const Row& r : rows) {
+    std::printf("%-14s", r.graph.c_str());
+    for (size_t i = 0; i < kernels.size(); ++i) PrintCell(r.gbps[i], r.ok[i]);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilespmv::bench
+
+int main(int argc, char** argv) { return tilespmv::bench::Run(argc, argv); }

@@ -1,0 +1,130 @@
+// Reproduces Figure 4: multi-GPU PageRank scalability on the four Table 3
+// web graphs (1 to 10 GPUs), comparing the TILE-Composite local kernel
+// (solid lines in the paper) with NVIDIA's HYB (dotted lines).
+//
+// The graphs are scaled stand-ins (default 1/128 of the paper's edge
+// counts). To keep every capacity/time ratio of the paper's testbed intact,
+// the modeled hardware is scaled by the same factor: device memory (so the
+// biggest graphs only become feasible at higher GPU counts — the reason the
+// paper's sk-2005 and uk-union curves start at 3 and 6 GPUs), texture cache
+// (so per-node x vectors stay cache-starved exactly as 41M-node vectors
+// are on a 256 KB cache; the self-tuning tile width adapts automatically),
+// kernel-launch overhead and interconnect latency (fixed costs that would
+// otherwise dwarf the scaled-down compute).
+//
+// Bitonic row partitioning balances nodes to within a few percent, so the
+// per-iteration compute time is measured on node 0's slice and the
+// allgather communication comes from the cluster model. Expected shape:
+// near-linear scaling while compute dominates, flattening once the
+// broadcast of y takes over; TILE-Composite ~1.55x HYB throughout; ~60-80%
+// parallel efficiency at the paper's quoted points.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "graph/power_method.h"
+#include "multigpu/cluster.h"
+#include "multigpu/partition.h"
+#include "sparse/convert.h"
+
+namespace tilespmv::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  const std::vector<std::string> kernels = {"tile-composite", "hyb"};
+  const std::vector<std::string> graphs = {"it-2004", "web-2001", "sk-2005",
+                                           "uk-union"};
+  const int max_gpus = 10;
+
+  std::printf("=== Figure 4: multi-GPU PageRank on web graphs ===\n");
+  for (const std::string& g : graphs) {
+    Result<DatasetSpec> ds = FindDataset(g);
+    double scale = EffectiveScale(opts, ds.value());
+    CsrMatrix a = LoadDataset(g, opts);
+    CsrMatrix wt = Transpose(RowNormalize(a));
+
+    ClusterSpec cluster;
+    // Dimensionless matching (see DESIGN.md): the scaled stand-ins keep
+    // their x vectors cache-friendlier than 41M-node vectors ever are, so
+    // the modeled kernels run ~kappa x faster than the paper's in-cluster
+    // rates (~2.3 GFLOPS/GPU). The communication-to-computation ratio that
+    // shapes Figure 4 is preserved by speeding the fabric up by the same
+    // kappa; latency (a fixed cost) scales with the data instead.
+    constexpr double kKappa = 6.4;
+    cluster.interconnect_gbps = 2.0 * kKappa;  // IB-DDR-era MPI x kappa.
+    cluster.gpu.pcie_bandwidth_gbps *= kKappa;
+    cluster.interconnect_latency_us *= scale;
+    // Memory gate scaled with the data; x2.5 because this implementation
+    // stores ~10 B/edge where the paper's fits ~4.
+    cluster.gpu.global_mem_bytes = static_cast<int64_t>(
+        cluster.gpu.global_mem_bytes * scale * 2.5);
+
+    std::printf("\n%-10s %6s", g.c_str(), "#GPUs");
+    for (int p = 1; p <= max_gpus; ++p) std::printf(" %8d", p);
+    std::printf("\n");
+    for (const std::string& name : kernels) {
+      std::printf("%-10s %6s", "", name == "tile-composite" ? "TComp" : "HYB");
+      double first_feasible_perf = 0;
+      int first_feasible_p = 0;
+      double last_perf = 0;
+      int last_p = 0;
+      for (int p = 1; p <= max_gpus; ++p) {
+        RowPartition part = PartitionRows(wt, p, PartitionScheme::kBitonic);
+        // Bitonic partitions are nnz-balanced to ~1%, but the serpentine
+        // deal puts the most extreme rows on the first and last nodes:
+        // simulate both and take the slower (the iteration barrier).
+        double compute = 0;
+        bool ok = true;
+        for (int node : {0, p - 1}) {
+          CsrMatrix local = ExtractRows(wt, part.owner_rows[node]);
+          auto kernel = CreateKernel(name, cluster.gpu);
+          Status st = kernel->Setup(local);
+          if (!st.ok()) {
+            ok = false;
+            break;
+          }
+          compute = std::max(compute, kernel->timing().seconds);
+          if (p == 1) break;
+        }
+        if (!ok) {
+          std::printf(" %8s", "n/a");
+          continue;
+        }
+        double comm = AllGatherSeconds(wt.rows, p, cluster) +
+                      ElementwiseSeconds(2 * wt.rows / p, wt.rows / p,
+                                         cluster.gpu);
+        // Allgather partially overlapped with tile computation (as in
+        // RunDistributedPageRank).
+        double per_iter =
+            std::max(compute, comm) + 0.5 * std::min(compute, comm);
+        double gflops = 2.0 * a.nnz() / per_iter * 1e-9;
+        std::printf(" %8.2f", gflops);
+        if (first_feasible_p == 0) {
+          first_feasible_p = p;
+          first_feasible_perf = gflops;
+        }
+        last_perf = gflops;
+        last_p = p;
+      }
+      double efficiency =
+          first_feasible_p > 0
+              ? last_perf /
+                    (first_feasible_perf * last_p / first_feasible_p)
+              : 0;
+      std::printf("   eff(%d->%d GPUs)=%.0f%%\n", first_feasible_p, last_p,
+                  100 * efficiency);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\npaper: ~23 GFLOPS at 10 GPUs with 70%% parallel efficiency on "
+      "sk-2005; ~80%% efficiency at 4 GPUs and ~60%% at 6 on it-2004 / "
+      "web-2001; TILE-Composite ~1.55x HYB on all datasets; curves flatten "
+      "as communication dominates.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilespmv::bench
+
+int main(int argc, char** argv) { return tilespmv::bench::Run(argc, argv); }

@@ -1,0 +1,88 @@
+// Reproduces Figure 8: per-iteration speed (GFLOPS) and bandwidth (GB/s) of
+// HITS (a, b) and Random Walk with Restart (c, d) on the four graph
+// datasets, for the COO / HYB / TILE-COO / TILE-Composite kernels. Rates are
+// structure-only, so no convergence runs are needed.
+//
+// Expected shape (paper): like PageRank — tile kernels lead clearly on the
+// three large graphs, modestly on Youtube (more so for HITS, whose combined
+// matrix is bigger and sparser).
+#include "bench_common.h"
+#include "graph/power_method.h"
+#include "sparse/convert.h"
+
+namespace tilespmv::bench {
+namespace {
+
+struct AppRates {
+  double gflops = 0;
+  double gbps = 0;
+  bool ok = false;
+};
+
+AppRates RatesFor(const CsrMatrix& m, int64_t vec_n, int reductions,
+                  int elementwise, const std::string& kernel_name,
+                  const gpusim::DeviceSpec& spec) {
+  AppRates r;
+  auto kernel = CreateKernel(kernel_name, spec);
+  if (!kernel->Setup(m).ok()) return r;
+  double aux = reductions * ReductionSeconds(vec_n, spec) +
+               elementwise * ElementwiseSeconds(2 * vec_n, vec_n, spec);
+  double per_iter = kernel->timing().seconds + aux;
+  uint64_t flops = kernel->timing().flops + 3ULL * vec_n;
+  uint64_t bytes = kernel->timing().useful_bytes + 16ULL * vec_n;
+  r.gflops = flops / per_iter * 1e-9;
+  r.gbps = bytes / per_iter * 1e-9;
+  r.ok = true;
+  return r;
+}
+
+int Run(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  gpusim::DeviceSpec spec;
+  const std::vector<std::string> kernels = {"coo", "hyb", "tile-coo",
+                                            "tile-composite"};
+  const std::vector<std::string> graphs = {"flickr", "livejournal",
+                                           "wikipedia", "youtube"};
+
+  struct Row {
+    std::string graph;
+    std::vector<AppRates> hits, rwr;
+  };
+  std::vector<Row> rows;
+  for (const std::string& g : graphs) {
+    CsrMatrix a = LoadDataset(g, opts);
+    CsrMatrix hits_m = BuildHitsMatrix(a);
+    CsrMatrix rwr_m = ColNormalize(Symmetrize(a));
+    Row row;
+    row.graph = g;
+    for (const std::string& name : kernels) {
+      // HITS: one SpMV + three reductions + two scales per iteration.
+      row.hits.push_back(RatesFor(hits_m, 2 * a.rows, 3, 2, name, spec));
+      // RWR: one SpMV + one axpy + one convergence reduction.
+      row.rwr.push_back(RatesFor(rwr_m, a.rows, 1, 1, name, spec));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  auto print_panel = [&](const char* title, bool hits, bool gflops) {
+    std::printf("\n--- %s ---\n", title);
+    PrintHeader("graph", kernels);
+    for (const Row& r : rows) {
+      std::printf("%-14s", r.graph.c_str());
+      const std::vector<AppRates>& v = hits ? r.hits : r.rwr;
+      for (const AppRates& a : v) PrintCell(gflops ? a.gflops : a.gbps, a.ok);
+      std::printf("\n");
+    }
+  };
+  std::printf("=== Figure 8: HITS and RWR per-iteration performance ===\n");
+  print_panel("Figure 8(a): HITS GFLOPS", true, true);
+  print_panel("Figure 8(b): HITS bandwidth (GB/s)", true, false);
+  print_panel("Figure 8(c): RWR GFLOPS", false, true);
+  print_panel("Figure 8(d): RWR bandwidth (GB/s)", false, false);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilespmv::bench
+
+int main(int argc, char** argv) { return tilespmv::bench::Run(argc, argv); }

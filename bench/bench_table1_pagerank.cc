@@ -1,0 +1,61 @@
+// Reproduces Table 1: total PageRank running time (seconds) on the four
+// graph datasets for the CPU baseline and the COO / HYB / TILE-COO /
+// TILE-Composite kernels, iterating Equation 6 until convergence.
+//
+// Expected shape (paper): tile-coo and tile-composite ~2x faster than COO
+// and HYB on Flickr / LiveJournal / Wikipedia, roughly even on Youtube; all
+// GPU kernels 18x-32x faster than the CPU implementation.
+#include "bench_common.h"
+#include "graph/pagerank.h"
+
+namespace tilespmv::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  gpusim::DeviceSpec spec;
+  const std::vector<std::string> kernels = {"cpu-csr", "coo", "hyb",
+                                            "tile-coo", "tile-composite"};
+  const std::vector<std::string> graphs = {"flickr", "livejournal",
+                                           "wikipedia", "youtube"};
+
+  std::printf("=== Table 1: PageRank total running time (seconds) ===\n");
+  PrintHeader("graph", kernels);
+  std::printf("%-14s %14s\n", "", "(iterations)");
+  for (const std::string& g : graphs) {
+    CsrMatrix a = LoadDataset(g, opts);
+    std::printf("%-14s", g.c_str());
+    int iterations = 0;
+    double cpu_time = 0, best_gpu = 1e30;
+    for (const std::string& name : kernels) {
+      auto kernel = CreateKernel(name, spec);
+      PageRankOptions popts;
+      popts.max_iterations = 200;
+      Result<IterativeResult> r = RunPageRank(a, kernel.get(), popts);
+      if (!r.ok()) {
+        PrintCell3(0, false);
+        continue;
+      }
+      PrintCell3(r.value().gpu_seconds, true);
+      iterations = r.value().iterations;
+      if (name == "cpu-csr") {
+        cpu_time = r.value().gpu_seconds;
+      } else {
+        best_gpu = std::min(best_gpu, r.value().gpu_seconds);
+      }
+    }
+    std::printf("   iters=%d  cpu/best-gpu=%.1fx\n", iterations,
+                cpu_time / best_gpu);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\npaper Table 1 (seconds): flickr 23.99/1.67/1.60/0.90/0.83, "
+      "livejournal 82.23/6.19/5.57/3.75/3.44, wikipedia "
+      "52.12/2.99/2.83/1.76/1.63, youtube 11.81/0.72/0.66/0.68/0.65\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilespmv::bench
+
+int main(int argc, char** argv) { return tilespmv::bench::Run(argc, argv); }

@@ -1,0 +1,85 @@
+// Reproduces Table 5: average Random Walk with Restart running time
+// (seconds) over random query nodes on the four graph datasets (treated as
+// undirected, restart probability c = 0.9).
+//
+// The paper averages 25 random queries; every query costs the same per
+// iteration (the matrix is fixed), so we run a handful of real queries per
+// kernel and average, printing the query count used.
+//
+// Expected shape (paper): TILE-COO / TILE-Composite 1.5x-2.0x as fast as
+// COO/HYB on Flickr / LiveJournal / Wikipedia; all about even on Youtube;
+// 13x-37x over the CPU.
+#include "bench_common.h"
+#include "graph/rwr.h"
+#include "util/random.h"
+
+namespace tilespmv::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  gpusim::DeviceSpec spec;
+  const std::vector<std::string> kernels = {"cpu-csr", "coo", "hyb",
+                                            "tile-coo", "tile-composite"};
+  const std::vector<std::string> graphs = {"flickr", "livejournal",
+                                           "wikipedia", "youtube"};
+  const int num_queries = opts.quick ? 2 : 5;
+
+  std::printf(
+      "=== Table 5: RWR average running time (seconds) over %d random "
+      "queries ===\n",
+      num_queries);
+  PrintHeader("graph", kernels);
+  for (const std::string& g : graphs) {
+    CsrMatrix a = LoadDataset(g, opts);
+    Pcg32 rng(2025);
+    std::vector<int32_t> queries;
+    for (int q = 0; q < num_queries; ++q) {
+      queries.push_back(static_cast<int32_t>(rng.NextBounded(a.rows)));
+    }
+    std::printf("%-14s", g.c_str());
+    double cpu_time = 0, best_gpu = 1e30;
+    for (const std::string& name : kernels) {
+      auto kernel = CreateKernel(name, spec);
+      RwrEngine engine(kernel.get());
+      RwrOptions ropts;
+      ropts.max_iterations = 150;
+      Status st = engine.Init(a, ropts);
+      if (!st.ok()) {
+        PrintCell3(0, false);
+        continue;
+      }
+      double total = 0;
+      bool ok = true;
+      for (int32_t q : queries) {
+        Result<RwrResult> r = engine.Query(q);
+        if (!r.ok()) {
+          ok = false;
+          break;
+        }
+        total += r.value().stats.gpu_seconds;
+      }
+      double avg = total / num_queries;
+      PrintCell3(avg, ok);
+      if (ok) {
+        if (name == "cpu-csr") {
+          cpu_time = avg;
+        } else {
+          best_gpu = std::min(best_gpu, avg);
+        }
+      }
+    }
+    std::printf("   cpu/best-gpu=%.1fx\n", cpu_time / best_gpu);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\npaper Table 5 (seconds): flickr 8.25/0.59/0.56/0.33/0.29, "
+      "livejournal 36.99/2.85/2.60/1.73/1.52, wikipedia "
+      "23.23/1.46/1.35/0.71/0.62, youtube 2.32/0.14/0.13/0.14/0.13\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilespmv::bench
+
+int main(int argc, char** argv) { return tilespmv::bench::Run(argc, argv); }

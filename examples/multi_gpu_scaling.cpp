@@ -1,0 +1,59 @@
+// Multi-GPU PageRank scaling demo (Section 3.2): distributes a graph too
+// big for one (scaled) device over 1..8 modeled GPUs with bitonic row
+// partitioning, runs the full distributed power method functionally, and
+// reports throughput, efficiency, and the compute/communication split.
+//
+//   $ ./multi_gpu_scaling
+#include <cstdio>
+
+#include "gen/power_law.h"
+#include "multigpu/distributed_pagerank.h"
+
+using namespace tilespmv;
+
+int main() {
+  CsrMatrix graph = GenerateRmat(300000, 4000000, RmatOptions{.seed = 21});
+  std::printf("graph: %d nodes, %lld edges\n", graph.rows,
+              static_cast<long long>(graph.nnz()));
+
+  ClusterSpec cluster;
+  // Shrink the modeled per-GPU memory so the graph does not fit on a single
+  // device — the situation Section 3.2 exists for.
+  cluster.gpu.global_mem_bytes = 96 << 20;
+
+  DistributedPageRankOptions options;
+  options.kernel_name = "tile-composite";
+  options.pagerank.max_iterations = 30;
+
+  std::printf("\n%5s %10s %12s %12s %12s %10s\n", "GPUs", "GFLOPS",
+              "compute(ms)", "comm(ms)", "iter(ms)", "balance");
+  double base_perf = 0;
+  int base_gpus = 0;
+  for (int gpus = 1; gpus <= 8; ++gpus) {
+    Result<DistributedRunResult> r =
+        RunDistributedPageRank(graph, gpus, options, cluster);
+    if (!r.ok()) {
+      std::printf("%5d %10s   (%s)\n", gpus, "n/a",
+                  r.status().message().substr(0, 60).c_str());
+      continue;
+    }
+    const DistributedRunResult& res = r.value();
+    std::printf("%5d %10.2f %12.3f %12.3f %12.3f %9.3f", gpus, res.gflops(),
+                res.compute_seconds_per_iteration * 1e3,
+                res.comm_seconds_per_iteration * 1e3,
+                res.seconds_per_iteration * 1e3, res.balance.nnz_imbalance);
+    if (base_gpus == 0) {
+      base_gpus = gpus;
+      base_perf = res.gflops();
+      std::printf("   (first feasible)\n");
+    } else {
+      double eff = res.gflops() / (base_perf * gpus / base_gpus);
+      std::printf("   efficiency %.0f%%\n", 100 * eff);
+    }
+  }
+  std::printf(
+      "\nAs in Figure 4: throughput climbs while the per-node slice shrinks, "
+      "then the y-vector allgather starts to dominate and the curve "
+      "flattens.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "core/autotune.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace tilespmv {
+
+std::vector<int64_t> SortedOccupiedRowLengths(const CsrMatrix& tile) {
+  std::vector<int64_t> lens;
+  lens.reserve(tile.rows);
+  for (int32_t r = 0; r < tile.rows; ++r) {
+    int64_t len = tile.RowLength(r);
+    if (len > 0) lens.push_back(len);
+  }
+  std::sort(lens.begin(), lens.end(), std::greater<int64_t>());
+  return lens;
+}
+
+TileAutotune ChooseWorkloadSize(const std::vector<int64_t>& sorted_lens,
+                                bool cached, const PerfModel& model) {
+  TileAutotune result;
+  if (sorted_lens.empty()) return result;
+  int64_t nnz = 0;
+  for (int64_t len : sorted_lens) nnz += len;
+
+  const int64_t wl_low = sorted_lens.front();
+  const int64_t wl_up =
+      std::max(wl_low, nnz / model.spec().MaxActiveWarps());
+  // The search steps by the first row's length (Algorithm 2 line 11); cap
+  // the candidate count so degenerate tiles (one-element first row, huge
+  // nnz) stay tractable.
+  constexpr int kMaxCandidates = 512;
+  int64_t num_steps = (wl_up - wl_low) / wl_low + 1;
+  int64_t stride = wl_low * std::max<int64_t>(1, num_steps / kMaxCandidates);
+
+  double best_time = std::numeric_limits<double>::infinity();
+  for (int64_t wl = wl_low; wl <= wl_up; wl += stride) {
+    double t = model.PredictTileSeconds(sorted_lens, wl, cached);
+    ++result.candidates_tried;
+    if (t < best_time) {
+      best_time = t;
+      result.workload_size = wl;
+    }
+  }
+  result.predicted_seconds = best_time;
+  return result;
+}
+
+AutotunePlan AutotuneTileComposite(const CsrMatrix& sorted,
+                                   const TilingOptions& options,
+                                   const PerfModel& model) {
+  AutotunePlan plan;
+  TilingOptions opts = options;
+  if (opts.num_tiles < 0) {
+    std::vector<int64_t> col_lengths = sorted.ColLengths();
+    opts.num_tiles = HeuristicNumTiles(col_lengths, opts.tile_width);
+  }
+  plan.num_tiles = opts.num_tiles;
+  TiledMatrix tiled = BuildTiling(sorted, opts);
+  for (const TileSlice& slice : tiled.dense_tiles) {
+    std::vector<int64_t> lens = SortedOccupiedRowLengths(slice.local);
+    plan.tiles.push_back(ChooseWorkloadSize(lens, /*cached=*/true, model));
+    plan.predicted_seconds += plan.tiles.back().predicted_seconds;
+  }
+  std::vector<int64_t> sparse_lens =
+      SortedOccupiedRowLengths(tiled.sparse_part);
+  plan.sparse = ChooseWorkloadSize(sparse_lens, /*cached=*/false, model);
+  plan.predicted_seconds += plan.sparse.predicted_seconds;
+  return plan;
+}
+
+}  // namespace tilespmv

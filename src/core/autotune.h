@@ -1,0 +1,51 @@
+#ifndef TILESPMV_CORE_AUTOTUNE_H_
+#define TILESPMV_CORE_AUTOTUNE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/perf_model.h"
+#include "core/tiling.h"
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// Result of Algorithm 2 for one tile.
+struct TileAutotune {
+  int64_t workload_size = 0;
+  double predicted_seconds = 0.0;
+  int candidates_tried = 0;
+};
+
+/// Algorithm 2: searches workload sizes between the tile's longest row
+/// (lower bound — the first row cannot be split) and nnz / MAX_ACT_WARP
+/// (upper bound — enough warps to fill the device), stepping by the first
+/// row's length, and returns the size the performance model predicts
+/// fastest. `sorted_lens` are the tile's occupied row lengths,
+/// non-increasing.
+TileAutotune ChooseWorkloadSize(const std::vector<int64_t>& sorted_lens,
+                                bool cached, const PerfModel& model);
+
+/// A full tuning plan for the tile-composite kernel on one matrix.
+struct AutotunePlan {
+  int num_tiles = 0;
+  std::vector<TileAutotune> tiles;  ///< Per dense tile.
+  TileAutotune sparse;              ///< The sparse remainder as one tile.
+  double predicted_seconds = 0.0;   ///< Model's total per-multiply estimate.
+};
+
+/// Algorithms 1 + 2 end to end: pick the tile count by the single-element-
+/// column heuristic, then tune each tile's workload size with the
+/// performance model. `sorted` must have its columns sorted by decreasing
+/// length.
+AutotunePlan AutotuneTileComposite(const CsrMatrix& sorted,
+                                   const TilingOptions& options,
+                                   const PerfModel& model);
+
+/// Non-increasing lengths of the occupied rows of `tile` (helper shared by
+/// the tuner and the kernel).
+std::vector<int64_t> SortedOccupiedRowLengths(const CsrMatrix& tile);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_CORE_AUTOTUNE_H_

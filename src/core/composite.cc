@@ -1,0 +1,124 @@
+#include "core/composite.h"
+
+#include <algorithm>
+
+#include "kernels/gpu_common.h"
+#include "util/check.h"
+
+namespace tilespmv {
+namespace {
+
+int32_t RoundUp(int32_t v, int32_t multiple) {
+  return (v + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace
+
+Workload MakeWorkload(int32_t first_pos, int32_t w, int32_t h,
+                      const gpusim::DeviceSpec& spec) {
+  TILESPMV_CHECK(w >= 1 && h >= 1);
+  Workload wl;
+  wl.first_pos = first_pos;
+  wl.w = w;
+  wl.h = h;
+  wl.row_major = w >= h;
+  const int32_t ws = spec.warp_size;
+  wl.padded_w = wl.row_major ? RoundUp(w, ws) : w;
+  wl.padded_h = wl.row_major ? h : RoundUp(h, ws);
+  return wl;
+}
+
+WorkloadCost CostOfWorkload(const Workload& wl,
+                            const gpusim::DeviceSpec& spec) {
+  WorkloadCost cost;
+  uint64_t instrs = gpu::InstrCosts::kWarpSetup;
+  if (wl.row_major) {
+    // CSR-vector execution: the warp sweeps each padded row in 32-wide
+    // strides, then reduces — with no same-row checks, every operand in the
+    // rectangle belongs to a known row.
+    uint64_t strides = static_cast<uint64_t>(wl.padded_w) / spec.warp_size;
+    instrs += static_cast<uint64_t>(wl.h) *
+              (strides * gpu::InstrCosts::kSpmvInner +
+               5 * gpu::InstrCosts::kReduceStep + gpu::InstrCosts::kRowEpilogue);
+  } else {
+    // ELL execution: one thread per row, all rows the same padded width, so
+    // the warp iterates the columns in hardware lockstep.
+    uint64_t row_chunks = static_cast<uint64_t>(wl.padded_h) / spec.warp_size;
+    instrs += row_chunks * (static_cast<uint64_t>(wl.w) *
+                                gpu::InstrCosts::kSpmvInner +
+                            gpu::InstrCosts::kRowEpilogue);
+  }
+  cost.issue_cycles = instrs * static_cast<uint64_t>(spec.cycles_per_warp_instr);
+  // col + val streams over the padded rectangle, fully coalesced.
+  cost.matrix_bytes = static_cast<uint64_t>(wl.PaddedFloats()) * 8;
+  return cost;
+}
+
+std::vector<Workload> PackWorkloads(const std::vector<int64_t>& sorted_lens,
+                                    int64_t workload_size,
+                                    const gpusim::DeviceSpec& spec,
+                                    bool camping_padding) {
+  TILESPMV_DCHECK(std::is_sorted(sorted_lens.begin(), sorted_lens.end(),
+                                 [](int64_t a, int64_t b) { return a > b; }));
+  std::vector<Workload> workloads;
+  const int32_t n = static_cast<int32_t>(sorted_lens.size());
+  int64_t offset = 0;
+  int32_t i = 0;
+  while (i < n) {
+    TILESPMV_CHECK(sorted_lens[i] >= 1);
+    int32_t w = static_cast<int32_t>(sorted_lens[i]);
+    int64_t packed = sorted_lens[i];
+    int32_t h = 1;
+    while (i + h < n && packed + sorted_lens[i + h] <= workload_size) {
+      packed += sorted_lens[i + h];
+      ++h;
+    }
+    Workload wl = MakeWorkload(i, w, h, spec);
+    wl.storage_offset = offset;
+    offset += wl.PaddedFloats();
+    // Partition-camping elimination: if this rectangle is a multiple of 512
+    // floats (2048 B — exactly the partition interleave period), pad 256 B
+    // so the next workload starts in a different partition.
+    if (camping_padding && wl.PaddedFloats() % 512 == 0) {
+      offset += 64;
+    }
+    workloads.push_back(wl);
+    i += h;
+  }
+  return workloads;
+}
+
+CompositeTile BuildComposite(const CsrMatrix& tile, int64_t workload_size,
+                             const gpusim::DeviceSpec& spec,
+                             bool camping_padding) {
+  TILESPMV_CHECK(workload_size >= 1);
+  CompositeTile ct;
+  ct.workload_size = workload_size;
+  ct.nnz = tile.nnz();
+
+  // Rank rows by length (counting sort; zero rows are dropped — they carry
+  // no work and would only dilute the packing).
+  Permutation all_rows = SortRowsByLengthDesc(tile);
+  for (int32_t pos : all_rows) {
+    if (tile.RowLength(pos) > 0) ct.row_order.push_back(pos);
+  }
+  ct.row_len.reserve(ct.row_order.size());
+  ct.row_start.reserve(ct.row_order.size());
+  for (int32_t r : ct.row_order) {
+    ct.row_start.push_back(static_cast<int64_t>(ct.cols.size()));
+    ct.row_len.push_back(tile.RowLength(r));
+    for (int64_t k = tile.row_ptr[r]; k < tile.row_ptr[r + 1]; ++k) {
+      ct.cols.push_back(tile.col_idx[k]);
+      ct.vals.push_back(tile.values[k]);
+    }
+  }
+  ct.workloads =
+      PackWorkloads(ct.row_len, workload_size, spec, camping_padding);
+  if (!ct.workloads.empty()) {
+    const Workload& last = ct.workloads.back();
+    ct.total_padded_floats = last.storage_offset + last.PaddedFloats();
+  }
+  return ct;
+}
+
+}  // namespace tilespmv

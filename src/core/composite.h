@@ -1,0 +1,87 @@
+#ifndef TILESPMV_CORE_COMPOSITE_H_
+#define TILESPMV_CORE_COMPOSITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device_spec.h"
+#include "sparse/csr.h"
+#include "sparse/permute.h"
+
+namespace tilespmv {
+
+/// One rectangular workload of the composite storage scheme (Solution 3):
+/// `h` consecutive rows (in tile row-length order), each padded to the width
+/// `w` of its longest (first) row. Row-major rectangles (w >= h) run
+/// CSR-vector style; column-major ones (w < h) run ELL style. One workload
+/// is executed by exactly one warp.
+struct Workload {
+  int32_t first_pos = 0;  ///< First row position in the tile's sorted order.
+  int32_t h = 0;          ///< Rows packed into the rectangle.
+  int32_t w = 0;          ///< Width = length of the first (longest) row.
+  bool row_major = false; ///< w >= h: stored row-major, CSR-vector execution.
+  int32_t padded_w = 0;   ///< w rounded up to warp size if row-major.
+  int32_t padded_h = 0;   ///< h rounded up to warp size if column-major.
+  int64_t storage_offset = 0;  ///< Float offset of this rectangle's storage.
+
+  int64_t PaddedFloats() const {
+    return static_cast<int64_t>(padded_w) * padded_h;
+  }
+};
+
+/// Issue cycles and matrix-stream traffic of one workload warp (x gathers
+/// and y writes are accounted separately because they depend on the data).
+/// This same recipe backs both the kernel simulation and the offline
+/// benchmark table of the performance model — as in the paper, where the
+/// lookup table is built by running the real kernel on synthetic workloads.
+struct WorkloadCost {
+  uint64_t issue_cycles = 0;
+  uint64_t matrix_bytes = 0;
+};
+WorkloadCost CostOfWorkload(const Workload& wl,
+                            const gpusim::DeviceSpec& spec);
+
+/// Pads a (w, h) rectangle per the storage rule: row-major if w >= h, then
+/// w (or h) rounded up to a warp-size multiple.
+Workload MakeWorkload(int32_t first_pos, int32_t w, int32_t h,
+                      const gpusim::DeviceSpec& spec);
+
+/// A tile in composite storage: rows reordered by decreasing in-tile length
+/// and packed into workloads of ~`workload_size` non-zeros.
+struct CompositeTile {
+  Permutation row_order;          ///< position -> row id in the tile matrix.
+  std::vector<int64_t> row_len;   ///< length per position (non-increasing).
+  std::vector<int64_t> row_start; ///< offset into cols/vals per position.
+  std::vector<int32_t> cols;      ///< concatenated column indices.
+  std::vector<float> vals;        ///< concatenated values.
+  std::vector<Workload> workloads;
+  int64_t workload_size = 0;
+  int64_t total_padded_floats = 0;  ///< Storage incl. padding + camping pad.
+  int64_t nnz = 0;
+
+  /// Rows with at least one non-zero (rows past this are not stored).
+  int32_t occupied_rows() const {
+    return static_cast<int32_t>(row_order.size());
+  }
+};
+
+/// Greedy workload packing (Section 3.1, Figure 1(d)): walk rows from
+/// longest to shortest, pack rows into the current workload until adding the
+/// next row would exceed `workload_size`. With `camping_padding`, a 256-byte
+/// pad is appended after any workload whose padded size is a multiple of 512
+/// floats, so consecutive workloads never start in the same memory partition
+/// ("Elimination of Partition Camping").
+CompositeTile BuildComposite(const CsrMatrix& tile, int64_t workload_size,
+                             const gpusim::DeviceSpec& spec,
+                             bool camping_padding);
+
+/// The workload shapes the greedy packer would produce for a row-length
+/// ranking, without materializing storage (used by exhaustive searches).
+std::vector<Workload> PackWorkloads(const std::vector<int64_t>& sorted_lens,
+                                    int64_t workload_size,
+                                    const gpusim::DeviceSpec& spec,
+                                    bool camping_padding);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_CORE_COMPOSITE_H_

@@ -1,0 +1,79 @@
+#include "core/dynamic.h"
+
+#include "util/check.h"
+
+namespace tilespmv {
+namespace {
+
+// Modeled cost of one COO pass over `delta_nnz` scattered entries: stream
+// the three arrays, gather x uncached, scatter-accumulate y.
+double DeltaPassSeconds(int64_t delta_nnz, const gpusim::DeviceSpec& spec) {
+  if (delta_nnz == 0) return 0.0;
+  double bytes = static_cast<double>(delta_nnz) *
+                 (12.0 + spec.min_transaction_bytes +  // arrays + x miss.
+                  2.0 * spec.min_transaction_bytes);   // y read-modify-write.
+  return spec.kernel_launch_overhead_us * 1e-6 +
+         bytes / spec.BandwidthBytesPerSec();
+}
+
+}  // namespace
+
+Status DynamicTileComposite::Init(const CsrMatrix& a) {
+  TILESPMV_RETURN_IF_ERROR(a.Validate());
+  base_ = a;
+  delta_.clear();
+  kernel_ = CreateKernel(options_.base_kernel, spec_);
+  if (kernel_ == nullptr) {
+    return Status::InvalidArgument("unknown kernel: " + options_.base_kernel);
+  }
+  return kernel_->Setup(base_);
+}
+
+Status DynamicTileComposite::AddEdge(int32_t row, int32_t col, float weight) {
+  if (kernel_ == nullptr) return Status::Internal("Init not called");
+  if (row < 0 || row >= base_.rows || col < 0 || col >= base_.cols) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(row)) << 32) |
+                 static_cast<uint32_t>(col);
+  delta_[key] += weight;
+  if (NeedsRebuild()) return Rebuild();
+  return Status::OK();
+}
+
+void DynamicTileComposite::Multiply(const std::vector<float>& x,
+                                    std::vector<float>* y) const {
+  TILESPMV_CHECK(kernel_ != nullptr);
+  MultiplyOriginal(*kernel_, x, y);
+  for (const auto& [key, w] : delta_) {
+    int32_t row = static_cast<int32_t>(key >> 32);
+    int32_t col = static_cast<int32_t>(key & 0xffffffffu);
+    (*y)[row] += w * x[col];
+  }
+}
+
+double DynamicTileComposite::seconds_per_multiply() const {
+  TILESPMV_CHECK(kernel_ != nullptr);
+  return kernel_->timing().seconds +
+         DeltaPassSeconds(delta_nnz(), spec_);
+}
+
+Status DynamicTileComposite::Rebuild() {
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(base_.nnz()) + delta_.size());
+  for (int32_t r = 0; r < base_.rows; ++r) {
+    for (int64_t k = base_.row_ptr[r]; k < base_.row_ptr[r + 1]; ++k) {
+      triplets.push_back(Triplet{r, base_.col_idx[k], base_.values[k]});
+    }
+  }
+  for (const auto& [key, w] : delta_) {
+    triplets.push_back(Triplet{static_cast<int32_t>(key >> 32),
+                               static_cast<int32_t>(key & 0xffffffffu), w});
+  }
+  base_ = CsrMatrix::FromTriplets(base_.rows, base_.cols, std::move(triplets));
+  delta_.clear();
+  ++rebuilds_;
+  return kernel_->Setup(base_);
+}
+
+}  // namespace tilespmv

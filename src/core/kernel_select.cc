@@ -1,0 +1,58 @@
+#include "core/kernel_select.h"
+
+#include <algorithm>
+
+#include "core/autotune.h"
+#include "sparse/permute.h"
+
+namespace tilespmv {
+
+std::vector<KernelPrediction> PredictKernelChoices(const CsrMatrix& a,
+                                                   const PerfModel& model) {
+  const gpusim::DeviceSpec& spec = model.spec();
+  std::vector<KernelPrediction> out;
+
+  // Whether a single binding of the whole x vector enjoys the texture cache.
+  bool whole_x_cached =
+      static_cast<int64_t>(a.cols) * 4 <= spec.texture_cache_bytes;
+
+  std::vector<int64_t> lens = SortedOccupiedRowLengths(a);
+  if (lens.empty()) {
+    out.push_back({"tile-composite", 0.0});
+    return out;
+  }
+
+  // CSR-vector == tile-composite with one un-tiled tile where every
+  // workload is a single row-major row (workload size 1 forces h = 1).
+  out.push_back({"csr-vector",
+                 model.PredictTileSeconds(lens, 1, whole_x_cached)});
+
+  // ELL == one column-major rectangle per 32 rows, every row padded to the
+  // longest row. Skip when the padding cannot fit device memory.
+  int64_t max_len = lens.front();
+  int64_t padded_bytes = static_cast<int64_t>(a.rows) * max_len * 8;
+  if (padded_bytes <= spec.global_mem_bytes) {
+    std::vector<int64_t> uniform(lens.size(), max_len);
+    out.push_back(
+        {"ell", model.PredictTileSeconds(uniform, 32 * max_len,
+                                         whole_x_cached)});
+  }
+
+  // The tuned tile-composite plan itself.
+  Permutation perm = SortColumnsByLengthDesc(a);
+  CsrMatrix sorted = ApplyColumnPermutation(a, perm);
+  AutotunePlan plan = AutotuneTileComposite(sorted, TilingOptions{}, model);
+  out.push_back({"tile-composite", plan.predicted_seconds});
+
+  std::sort(out.begin(), out.end(),
+            [](const KernelPrediction& x, const KernelPrediction& y) {
+              return x.predicted_seconds < y.predicted_seconds;
+            });
+  return out;
+}
+
+std::string SelectKernel(const CsrMatrix& a, const PerfModel& model) {
+  return PredictKernelChoices(a, model).front().kernel;
+}
+
+}  // namespace tilespmv

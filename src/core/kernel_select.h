@@ -1,0 +1,40 @@
+#ifndef TILESPMV_CORE_KERNEL_SELECT_H_
+#define TILESPMV_CORE_KERNEL_SELECT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/perf_model.h"
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// Prediction for one candidate kernel.
+struct KernelPrediction {
+  std::string kernel;
+  double predicted_seconds = 0.0;
+};
+
+/// Section 5's generalization of the performance model: "the CSR,
+/// CSR-vector and ELL kernels from NVIDIA can be modeled as special cases of
+/// our tile-composite kernel ... The best predicted kernel can be chosen to
+/// perform real computation of the data."
+///
+/// - csr-vector ~ a single un-tiled tile whose every workload is one
+///   row-major row rectangle (warp per row);
+/// - ell        ~ a single un-tiled tile with one column-major rectangle of
+///   width max-row-length (thread per row, full padding);
+/// - tile-composite ~ the tuned plan (Algorithms 1 + 2).
+///
+/// Returns predictions sorted fastest-first. The ELL candidate is skipped
+/// when its padding would not fit device memory (it could never run).
+std::vector<KernelPrediction> PredictKernelChoices(const CsrMatrix& a,
+                                                   const PerfModel& model);
+
+/// The fastest-predicted kernel name for `a` ("tile-composite",
+/// "csr-vector" or "ell"). Use with CreateKernel to run it.
+std::string SelectKernel(const CsrMatrix& a, const PerfModel& model);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_CORE_KERNEL_SELECT_H_

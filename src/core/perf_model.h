@@ -1,0 +1,59 @@
+#ifndef TILESPMV_CORE_PERF_MODEL_H_
+#define TILESPMV_CORE_PERF_MODEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/composite.h"
+#include "gpusim/device_spec.h"
+
+namespace tilespmv {
+
+/// The paper's performance model (Section 3.3, Equations 1-5, Algorithm 3).
+///
+/// Offline component: a lookup table from workload shape (w, h) to the
+/// machine throughput sustained when the device is filled with identical
+/// (w, h) rectangles — built once per device by "benchmarking" synthetic
+/// workloads (here: through the same cost recipes the kernel simulation
+/// uses, exactly as the paper benchmarks its real kernel). Two tables exist:
+/// one with x served by the texture cache (dense tiles) and one with every x
+/// gather missing (the sparse remainder, modeled "without using the texture
+/// cache").
+///
+/// Online component: Algorithm 3 — partition a tile's row-length ranking
+/// into workloads, bucket the warps into full-occupancy iterations
+/// (Equation 1), and sum Size(i) / avg-performance(i) over iterations
+/// (Equations 2-5).
+class PerfModel {
+ public:
+  explicit PerfModel(const gpusim::DeviceSpec& spec) : spec_(spec) {}
+
+  /// Pre-populates the lookup table for all realizable shapes with
+  /// w * h <= max_workload_size and w or h a warp-size multiple (the paper
+  /// uses 32768). Returns the number of table entries.
+  size_t BuildTable(int64_t max_workload_size = 32768);
+
+  /// Machine-wide throughput (padded matrix entries per second) at full
+  /// occupancy of identical (w, h) workloads. Memoized; shapes outside the
+  /// prebuilt table are computed on demand.
+  double Performance(int32_t w, int32_t h, bool cached) const;
+
+  /// Algorithm 3: predicted seconds to process one tile whose occupied rows
+  /// have the given non-increasing lengths, partitioned at `workload_size`.
+  double PredictTileSeconds(const std::vector<int64_t>& sorted_lens,
+                            int64_t workload_size, bool cached) const;
+
+  size_t table_size() const { return table_.size(); }
+  const gpusim::DeviceSpec& spec() const { return spec_; }
+
+ private:
+  double ComputeThroughput(int32_t w, int32_t h, bool cached) const;
+
+  gpusim::DeviceSpec spec_;
+  mutable std::unordered_map<uint64_t, double> table_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_CORE_PERF_MODEL_H_

@@ -1,0 +1,73 @@
+#include "core/preprocess.h"
+
+#include <limits>
+#include <memory>
+
+#include "core/autotune.h"
+#include "core/composite.h"
+#include "core/tiling.h"
+#include "kernels/spmv.h"
+#include "sparse/permute.h"
+#include "util/timer.h"
+
+namespace tilespmv {
+
+Result<PreprocessReport> MeasurePreprocessing(
+    const CsrMatrix& a, const gpusim::DeviceSpec& spec,
+    const std::string& baseline_kernel) {
+  TILESPMV_RETURN_IF_ERROR(a.Validate());
+  PreprocessReport report;
+
+  WallTimer timer;
+  Permutation perm = SortColumnsByLengthDesc(a);
+  report.sort_columns_seconds = timer.Seconds();
+
+  timer.Reset();
+  CsrMatrix sorted = a.rows == a.cols
+                         ? ApplySymmetricPermutation(a, perm)
+                         : ApplyColumnPermutation(a, perm);
+  report.relabel_seconds = timer.Seconds();
+
+  timer.Reset();
+  TiledMatrix tiled = BuildTiling(sorted, TilingOptionsForDevice(spec));
+  report.tiling_seconds = timer.Seconds();
+
+  timer.Reset();
+  PerfModel model(spec);
+  for (const TileSlice& slice : tiled.dense_tiles) {
+    std::vector<int64_t> lens = SortedOccupiedRowLengths(slice.local);
+    if (lens.empty()) continue;
+    TileAutotune tuned = ChooseWorkloadSize(lens, /*cached=*/true, model);
+    BuildComposite(slice.local, tuned.workload_size, spec, true);
+  }
+  std::vector<int64_t> sparse_lens =
+      SortedOccupiedRowLengths(tiled.sparse_part);
+  if (!sparse_lens.empty()) {
+    TileAutotune tuned = ChooseWorkloadSize(sparse_lens, /*cached=*/false,
+                                            model);
+    BuildComposite(tiled.sparse_part, tuned.workload_size, spec, true);
+  }
+  report.composite_seconds = timer.Seconds();
+  report.total_seconds = report.sort_columns_seconds +
+                         report.relabel_seconds + report.tiling_seconds +
+                         report.composite_seconds;
+
+  // Per-iteration gain on the modeled device.
+  std::unique_ptr<SpMVKernel> baseline = CreateKernel(baseline_kernel, spec);
+  if (baseline == nullptr) {
+    return Status::InvalidArgument("unknown kernel: " + baseline_kernel);
+  }
+  TILESPMV_RETURN_IF_ERROR(baseline->Setup(a));
+  std::unique_ptr<SpMVKernel> tile = CreateKernel("tile-composite", spec);
+  TILESPMV_RETURN_IF_ERROR(tile->Setup(a));
+  report.baseline_iteration_seconds = baseline->timing().seconds;
+  report.tile_iteration_seconds = tile->timing().seconds;
+  double gain =
+      report.baseline_iteration_seconds - report.tile_iteration_seconds;
+  report.breakeven_iterations =
+      gain > 0 ? report.total_seconds / gain
+               : std::numeric_limits<double>::infinity();
+  return report;
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,44 @@
+#ifndef TILESPMV_CORE_PREPROCESS_H_
+#define TILESPMV_CORE_PREPROCESS_H_
+
+#include <string>
+
+#include "gpusim/device_spec.h"
+#include "sparse/csr.h"
+#include "util/status.h"
+
+namespace tilespmv {
+
+/// Cost accounting for the one-time preprocessing of Section 3.1's
+/// "Sorting Cost" paragraph: "we only need to perform the sorting once as a
+/// data preprocessing step. In applications such as the power method where
+/// the SpMV kernel is called iteratively until the result converges, the
+/// cost of sorting can be amortized."
+///
+/// Host-side stage times are real wall-clock measurements on this machine;
+/// the per-iteration gain compares the modeled tile-composite kernel
+/// against a baseline kernel, yielding the break-even iteration count.
+struct PreprocessReport {
+  double sort_columns_seconds = 0.0;  ///< Counting sort of column lengths.
+  double relabel_seconds = 0.0;       ///< Symmetric permutation of A.
+  double tiling_seconds = 0.0;        ///< Column slicing into tiles.
+  double composite_seconds = 0.0;     ///< Row ranking + workload packing
+                                      ///< (auto-tuned) for every tile.
+  double total_seconds = 0.0;
+
+  double baseline_iteration_seconds = 0.0;  ///< Modeled, e.g. HYB.
+  double tile_iteration_seconds = 0.0;      ///< Modeled tile-composite.
+  /// Iterations after which preprocessing has paid for itself in modeled
+  /// device time; infinity if the tile kernel is not faster.
+  double breakeven_iterations = 0.0;
+};
+
+/// Measures the preprocessing pipeline on `a` and the per-iteration gain
+/// over `baseline_kernel`.
+Result<PreprocessReport> MeasurePreprocessing(
+    const CsrMatrix& a, const gpusim::DeviceSpec& spec,
+    const std::string& baseline_kernel = "hyb");
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_CORE_PREPROCESS_H_

@@ -1,0 +1,132 @@
+#include "core/tile_composite.h"
+
+#include <algorithm>
+
+#include "kernels/gpu_common.h"
+
+namespace tilespmv {
+
+Status TileCompositeKernel::Setup(const CsrMatrix& a) {
+  TILESPMV_RETURN_IF_ERROR(a.Validate());
+  rows_ = a.rows;
+  cols_ = a.cols;
+  tiles_.clear();
+  workload_sizes_.clear();
+  predicted_seconds_ = 0.0;
+
+  Permutation perm = SortColumnsByLengthDesc(a);
+  CsrMatrix sorted;
+  if (a.rows == a.cols) {
+    sorted = ApplySymmetricPermutation(a, perm);
+    row_perm_ = perm;
+    col_perm_ = perm;
+  } else {
+    sorted = ApplyColumnPermutation(a, perm);
+    row_perm_.clear();
+    col_perm_ = perm;
+  }
+  TiledMatrix tiled = BuildTiling(sorted, options_.tiling);
+  num_dense_tiles_ = static_cast<int>(tiled.dense_tiles.size());
+
+  // Pick each tile's workload size (Algorithm 2) and build the composite
+  // storage. The sparse remainder becomes one final, uncached tile.
+  auto build_tile = [&](const CsrMatrix& tile_csr, int32_t col_begin,
+                        bool cached) -> Status {
+    std::vector<int64_t> lens = SortedOccupiedRowLengths(tile_csr);
+    if (lens.empty()) return Status::OK();
+    int64_t wl = options_.forced_workload;
+    if (wl <= 0) {
+      TileAutotune tuned = ChooseWorkloadSize(lens, cached, model_);
+      wl = tuned.workload_size;
+      predicted_seconds_ += tuned.predicted_seconds;
+    } else {
+      wl = std::max(wl, lens.front());  // The longest row cannot be split.
+      predicted_seconds_ += model_.PredictTileSeconds(lens, wl, cached);
+    }
+    BuiltTile bt;
+    bt.col_begin = col_begin;
+    bt.cached = cached;
+    bt.ct = BuildComposite(tile_csr, wl, spec_, options_.camping_padding);
+    workload_sizes_.push_back(wl);
+    tiles_.push_back(std::move(bt));
+    return Status::OK();
+  };
+  for (const TileSlice& slice : tiled.dense_tiles) {
+    TILESPMV_RETURN_IF_ERROR(
+        build_tile(slice.local, slice.col_begin, /*cached=*/true));
+  }
+  TILESPMV_RETURN_IF_ERROR(
+      build_tile(tiled.sparse_part, /*col_begin=*/0, /*cached=*/false));
+
+  // ---- Simulate one multiply. ----
+  gpu::SimContext ctx(spec_);
+  Result<gpu::DeviceArray> x_arr = ctx.Alloc(static_cast<int64_t>(a.cols) * 4);
+  Result<gpu::DeviceArray> y_arr = ctx.Alloc(static_cast<int64_t>(a.rows) * 4);
+  for (const auto* r : {&x_arr, &y_arr}) {
+    if (!r->ok()) return r->status();
+  }
+  timing_ = KernelTiming{};
+  timing_.flops = 2 * static_cast<uint64_t>(a.nnz());
+
+  bool first = true;
+  for (const BuiltTile& bt : tiles_) {
+    const CompositeTile& ct = bt.ct;
+    Result<gpu::DeviceArray> col_arr = ctx.Alloc(ct.total_padded_floats * 4);
+    Result<gpu::DeviceArray> val_arr = ctx.Alloc(ct.total_padded_floats * 4);
+    for (const auto* r : {&col_arr, &val_arr}) {
+      if (!r->ok()) return r->status();
+    }
+    const uint64_t x_base =
+        x_arr.value().addr + 4 * static_cast<uint64_t>(bt.col_begin);
+    ctx.FlushTexture();  // The texture binding moves to this tile's segment.
+
+    ctx.BeginLaunch();
+    for (const Workload& wl : ct.workloads) {
+      WorkloadCost cost = CostOfWorkload(wl, spec_);
+      gpusim::WarpWork warp;
+      warp.issue_cycles = cost.issue_cycles;
+      warp.global_bytes = cost.matrix_bytes;
+      warp.start_address =
+          val_arr.value().addr + 4 * static_cast<uint64_t>(wl.storage_offset);
+      // x gathers for the real entries of the rectangle; padded slots re-use
+      // the workload's first column (always resident after first touch).
+      for (int32_t p = wl.first_pos; p < wl.first_pos + wl.h; ++p) {
+        int64_t start = ct.row_start[p];
+        for (int64_t k = 0; k < ct.row_len[p]; ++k) {
+          ctx.TexFetch(x_base, ct.cols[start + k], &warp);
+        }
+      }
+      if (ct.row_len[wl.first_pos] > 0) {
+        ctx.TexFetch(x_base, ct.cols[ct.row_start[wl.first_pos]], &warp);
+      }
+      // Scattered partial-y updates (accumulating after the first tile).
+      warp.scattered_bytes +=
+          ctx.ScatterBytes(static_cast<uint64_t>(wl.h)) * (first ? 1 : 2);
+      ctx.AddWarp(warp);
+    }
+    timing_.useful_bytes += static_cast<uint64_t>(ct.total_padded_floats) * 8 +
+                            static_cast<uint64_t>(ct.nnz) * 4 +
+                            static_cast<uint64_t>(ct.occupied_rows()) * 4;
+    first = false;
+  }
+  ctx.Finalize(&timing_);
+  return Status::OK();
+}
+
+void TileCompositeKernel::Multiply(const std::vector<float>& x,
+                                   std::vector<float>* y) const {
+  y->assign(rows_, 0.0f);
+  for (const BuiltTile& bt : tiles_) {
+    const CompositeTile& ct = bt.ct;
+    for (size_t p = 0; p < ct.row_order.size(); ++p) {
+      float sum = 0.0f;
+      int64_t start = ct.row_start[p];
+      for (int64_t k = 0; k < ct.row_len[p]; ++k) {
+        sum += ct.vals[start + k] * x[bt.col_begin + ct.cols[start + k]];
+      }
+      (*y)[ct.row_order[p]] += sum;
+    }
+  }
+}
+
+}  // namespace tilespmv

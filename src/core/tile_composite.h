@@ -1,0 +1,78 @@
+#ifndef TILESPMV_CORE_TILE_COMPOSITE_H_
+#define TILESPMV_CORE_TILE_COMPOSITE_H_
+
+#include <vector>
+
+#include "core/autotune.h"
+#include "core/composite.h"
+#include "core/tiling.h"
+#include "kernels/spmv.h"
+
+namespace tilespmv {
+
+/// Configuration of the tile-composite kernel.
+struct TileCompositeOptions {
+  TilingOptions tiling;
+  /// Workload size for every tile; 0 runs Algorithm 2's auto-tuner per tile.
+  int64_t forced_workload = 0;
+  /// The 256-byte anti-partition-camping pad (ablation switch).
+  bool camping_padding = true;
+};
+
+/// TILE-COMPOSITE — the paper's primary contribution. Columns reordered and
+/// partially tiled (Solutions 1-2); each tile's rows ranked by length and
+/// packed into balanced rectangular workloads stored row-major (CSR-vector
+/// execution) or column-major (ELL execution) by shape (Solution 3); the
+/// sparse remainder is transformed as one more composite tile. Workload
+/// sizes come from the performance-model-driven auto-tuner unless forced.
+class TileCompositeKernel : public SpMVKernel {
+ public:
+  TileCompositeKernel(const gpusim::DeviceSpec& spec,
+                      const TileCompositeOptions& options)
+      : SpMVKernel(spec), options_(options), model_(spec) {}
+  /// Spec-only construction adapts the tile width to the device's cache.
+  explicit TileCompositeKernel(const gpusim::DeviceSpec& spec)
+      : TileCompositeKernel(spec,
+                            TileCompositeOptions{
+                                .tiling = TilingOptionsForDevice(spec)}) {}
+
+  std::string_view name() const override { return "tile-composite"; }
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+  const Permutation& row_permutation() const override { return row_perm_; }
+  const Permutation& col_permutation() const override { return col_perm_; }
+
+  int num_tiles() const { return num_dense_tiles_; }
+  /// Workload size used for each dense tile, then the sparse tile.
+  const std::vector<int64_t>& workload_sizes() const {
+    return workload_sizes_;
+  }
+  /// The performance model's prediction for one multiply (Figure 5(c)'s
+  /// yellow bars; timing().seconds is the "measured" blue bar).
+  double predicted_seconds() const { return predicted_seconds_; }
+  /// The model used for tuning (shared so benches can query it).
+  const PerfModel& perf_model() const { return model_; }
+
+ private:
+  /// One tile in composite storage plus its x-segment base column.
+  struct BuiltTile {
+    int32_t col_begin = 0;
+    bool cached = true;  ///< Dense tile (x segment fits texture cache).
+    CompositeTile ct;
+  };
+
+  TileCompositeOptions options_;
+  PerfModel model_;
+  Permutation row_perm_;
+  Permutation col_perm_;
+  std::vector<BuiltTile> tiles_;
+  std::vector<int64_t> workload_sizes_;
+  int num_dense_tiles_ = 0;
+  double predicted_seconds_ = 0.0;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_CORE_TILE_COMPOSITE_H_

@@ -1,0 +1,90 @@
+#include "core/tiling.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tilespmv {
+
+TilingOptions TilingOptionsForDevice(const gpusim::DeviceSpec& spec) {
+  TilingOptions options;
+  options.tile_width =
+      static_cast<int32_t>(std::max<int64_t>(32, spec.texture_cache_bytes / 4));
+  return options;
+}
+
+int64_t TiledMatrix::dense_nnz() const {
+  int64_t n = 0;
+  for (const TileSlice& t : dense_tiles) n += t.local.nnz();
+  return n;
+}
+
+int HeuristicNumTiles(const std::vector<int64_t>& sorted_col_lengths,
+                      int32_t tile_width) {
+  TILESPMV_CHECK(tile_width > 0);
+  const int64_t cols = static_cast<int64_t>(sorted_col_lengths.size());
+  int num_tiles = 0;
+  for (int64_t start = 0; start < cols; start += tile_width) {
+    if (sorted_col_lengths[start] <= 1) break;
+    ++num_tiles;
+  }
+  return num_tiles;
+}
+
+CsrMatrix SliceColumns(const CsrMatrix& a, int32_t c0, int32_t c1,
+                       bool localize) {
+  TILESPMV_CHECK(0 <= c0 && c0 <= c1 && c1 <= a.cols);
+  CsrMatrix m;
+  m.rows = a.rows;
+  m.cols = localize ? c1 - c0 : a.cols;
+  m.row_ptr.assign(static_cast<size_t>(a.rows) + 1, 0);
+  for (int32_t r = 0; r < a.rows; ++r) {
+    // Columns are sorted within each row: binary search the slice.
+    const int32_t* begin = a.col_idx.data() + a.row_ptr[r];
+    const int32_t* end = a.col_idx.data() + a.row_ptr[r + 1];
+    const int32_t* lo = std::lower_bound(begin, end, c0);
+    const int32_t* hi = std::lower_bound(lo, end, c1);
+    for (const int32_t* p = lo; p != hi; ++p) {
+      m.col_idx.push_back(localize ? *p - c0 : *p);
+      m.values.push_back(a.values[a.row_ptr[r] + (p - begin)]);
+    }
+    m.row_ptr[r + 1] = static_cast<int64_t>(m.col_idx.size());
+  }
+  return m;
+}
+
+TiledMatrix BuildTiling(const CsrMatrix& a, const TilingOptions& options) {
+  std::vector<int64_t> col_lengths = a.ColLengths();
+  // Precondition: columns sorted by decreasing length.
+  TILESPMV_DCHECK(
+      std::is_sorted(col_lengths.begin(), col_lengths.end(),
+                     [](int64_t x, int64_t y) { return x > y; }));
+
+  int max_tiles = static_cast<int>(
+      (static_cast<int64_t>(a.cols) + options.tile_width - 1) /
+      options.tile_width);
+  int num_tiles = options.num_tiles >= 0
+                      ? std::min(options.num_tiles, max_tiles)
+                      : HeuristicNumTiles(col_lengths, options.tile_width);
+
+  TiledMatrix tiled;
+  tiled.rows = a.rows;
+  tiled.cols = a.cols;
+  for (int t = 0; t < num_tiles; ++t) {
+    TileSlice slice;
+    slice.col_begin = t * options.tile_width;
+    slice.col_end =
+        std::min<int64_t>(a.cols, static_cast<int64_t>(slice.col_begin) +
+                                      options.tile_width);
+    slice.local =
+        SliceColumns(a, slice.col_begin, slice.col_end, /*localize=*/true);
+    tiled.dense_tiles.push_back(std::move(slice));
+  }
+  tiled.dense_col_end = static_cast<int32_t>(std::min<int64_t>(
+      a.cols, static_cast<int64_t>(num_tiles) * options.tile_width));
+  tiled.sparse_part =
+      SliceColumns(a, tiled.dense_col_end, a.cols, /*localize=*/false);
+  return tiled;
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,70 @@
+#ifndef TILESPMV_CORE_TILING_H_
+#define TILESPMV_CORE_TILING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device_spec.h"
+#include "sparse/csr.h"
+#include "sparse/permute.h"
+
+namespace tilespmv {
+
+/// Tiling configuration (Solutions 1 + 2).
+struct TilingOptions {
+  /// Columns per tile. 64K columns x 4 B = 256 KB = the texture cache, the
+  /// width the paper's probe benchmark located (Section 3.1).
+  int32_t tile_width = 64 * 1024;
+  /// Number of dense tiles; -1 applies Algorithm 1's heuristic (stop when a
+  /// tile's first column has <= 1 non-zero).
+  int num_tiles = -1;
+};
+
+/// One fixed-width column tile of the reordered matrix, stored as CSR with
+/// tile-local column indices (0 .. width).
+struct TileSlice {
+  int32_t col_begin = 0;  ///< First column (reordered space), inclusive.
+  int32_t col_end = 0;    ///< Last column, exclusive.
+  CsrMatrix local;        ///< cols == col_end - col_begin.
+};
+
+/// The reordered-and-partitioned matrix: columns sorted by decreasing
+/// length, a dense prefix cut into fixed-width tiles, and the sparse
+/// remainder kept whole (its column indices stay in reordered-global space).
+struct TiledMatrix {
+  int32_t rows = 0;
+  int32_t cols = 0;
+  std::vector<TileSlice> dense_tiles;
+  CsrMatrix sparse_part;  ///< cols == cols; only columns >= boundary occupied.
+  int32_t dense_col_end = 0;  ///< Boundary column between dense and sparse.
+
+  int64_t dense_nnz() const;
+  int64_t nnz() const { return dense_nnz() + sparse_part.nnz(); }
+};
+
+/// Tiling options adapted to a device: the tile width is exactly the number
+/// of x floats the device's texture cache holds (64K on the C1060 — the
+/// probe result of Section 3.1; 192K on a Fermi C2050). This is what the
+/// spec-only kernel constructors use, keeping the approach self-tuning
+/// across architectures.
+TilingOptions TilingOptionsForDevice(const gpusim::DeviceSpec& spec);
+
+/// Algorithm 1's tile-count heuristic: with columns sorted by decreasing
+/// length, count tiles while the tile's first column still has more than one
+/// non-zero (a single-element first column means no x reuse anywhere in the
+/// tile).
+int HeuristicNumTiles(const std::vector<int64_t>& sorted_col_lengths,
+                      int32_t tile_width);
+
+/// Splits `a` (whose columns MUST already be sorted by decreasing length —
+/// see SortColumnsByLengthDesc) into dense tiles plus the sparse remainder.
+TiledMatrix BuildTiling(const CsrMatrix& a, const TilingOptions& options);
+
+/// Extracts columns [c0, c1) of `a` as CSR; when `localize` is true the
+/// result's column indices are shifted by -c0 and cols = c1 - c0.
+CsrMatrix SliceColumns(const CsrMatrix& a, int32_t c0, int32_t c1,
+                       bool localize);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_CORE_TILING_H_

@@ -1,0 +1,44 @@
+#ifndef TILESPMV_GEN_DATASETS_H_
+#define TILESPMV_GEN_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.h"
+#include "util/status.h"
+
+namespace tilespmv {
+
+/// A named dataset replicating one row of the paper's Table 2 (single-GPU
+/// matrices) or Table 3 (web graphs). `paper_rows` / `paper_nnz` record the
+/// original sizes; generation scales both by `scale`.
+struct DatasetSpec {
+  std::string name;
+  int64_t paper_rows = 0;
+  int64_t paper_cols = 0;
+  int64_t paper_nnz = 0;
+  bool power_law = false;
+  /// Default scale this dataset is generated at (1.0 = paper size).
+  double default_scale = 1.0;
+};
+
+/// Table 2 power-law graphs: webbase, flickr, livejournal, wikipedia,
+/// youtube.
+const std::vector<DatasetSpec>& PowerLawDatasets();
+
+/// Table 2 unstructured matrices: dense, circuit, fem_harbor, lp, protein.
+const std::vector<DatasetSpec>& UnstructuredDatasets();
+
+/// Table 3 web graphs: it-2004, sk-2005, uk-union, web-2001.
+const std::vector<DatasetSpec>& WebGraphDatasets();
+
+/// Looks up a spec by name across all registries.
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Generates the named dataset at `scale` times the paper's size (scale <= 0
+/// uses the spec's default scale). Deterministic for a given (name, scale).
+Result<CsrMatrix> MakeDataset(const std::string& name, double scale = 0.0);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_GEN_DATASETS_H_

@@ -1,0 +1,117 @@
+#include "gen/graph_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace tilespmv {
+
+CsrMatrix GenerateBarabasiAlbert(int32_t n, int32_t edges_per_node,
+                                 uint64_t seed) {
+  TILESPMV_CHECK(n >= 2 && edges_per_node >= 1);
+  Pcg32 rng(seed);
+  // Repeated-endpoint list: sampling a uniform element of `endpoints` is
+  // exactly degree-proportional sampling.
+  std::vector<int32_t> endpoints;
+  endpoints.reserve(2LL * n * edges_per_node);
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(n) * edges_per_node);
+  // Seed clique of edges_per_node + 1 nodes.
+  int32_t seed_nodes = std::min(n, edges_per_node + 1);
+  for (int32_t i = 0; i < seed_nodes; ++i) {
+    for (int32_t j = i + 1; j < seed_nodes; ++j) {
+      triplets.push_back(Triplet{i, j, 1.0f});
+      triplets.push_back(Triplet{j, i, 1.0f});
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  for (int32_t v = seed_nodes; v < n; ++v) {
+    for (int32_t e = 0; e < edges_per_node; ++e) {
+      int32_t u = endpoints[rng.NextBounded(
+          static_cast<uint32_t>(endpoints.size()))];
+      triplets.push_back(Triplet{v, u, 1.0f});
+      triplets.push_back(Triplet{u, v, 1.0f});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(n, n, std::move(triplets));
+  for (float& v : m.values) v = 1.0f;  // Merge multi-edges to weight 1.
+  return m;
+}
+
+CsrMatrix GenerateConfigurationModel(int32_t n, double alpha,
+                                     int32_t max_degree, uint64_t seed) {
+  TILESPMV_CHECK(n >= 2 && alpha > 1.0 && max_degree >= 1);
+  Pcg32 rng(seed);
+  // Draw degrees from P(k) ~ k^-alpha on [1, max_degree] by inverse CDF.
+  std::vector<int32_t> stubs;
+  for (int32_t v = 0; v < n; ++v) {
+    double u = rng.NextDouble();
+    double k = std::pow(1.0 - u * (1.0 - std::pow(max_degree, 1.0 - alpha)),
+                        1.0 / (1.0 - alpha));
+    int32_t deg = std::max<int32_t>(
+        1, std::min<int32_t>(max_degree, static_cast<int32_t>(k)));
+    for (int32_t s = 0; s < deg; ++s) stubs.push_back(v);
+  }
+  // Fisher-Yates shuffle, then pair adjacent stubs.
+  for (size_t i = stubs.size(); i > 1; --i) {
+    size_t j = rng.NextBounded(static_cast<uint32_t>(i));
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+  std::vector<Triplet> triplets;
+  triplets.reserve(stubs.size());
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] == stubs[i + 1]) continue;  // Drop self-loops.
+    triplets.push_back(Triplet{stubs[i], stubs[i + 1], 1.0f});
+    triplets.push_back(Triplet{stubs[i + 1], stubs[i], 1.0f});
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(n, n, std::move(triplets));
+  for (float& v : m.values) v = 1.0f;
+  return m;
+}
+
+CsrMatrix GenerateWattsStrogatz(int32_t n, int32_t k, double beta,
+                                uint64_t seed) {
+  TILESPMV_CHECK(n >= 4 && k >= 2 && k < n);
+  Pcg32 rng(seed);
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(n) * k);
+  for (int32_t v = 0; v < n; ++v) {
+    for (int32_t j = 1; j <= k / 2; ++j) {
+      int32_t target = (v + j) % n;
+      if (rng.NextDouble() < beta) {
+        // Rewire to a uniform random non-self target.
+        do {
+          target = static_cast<int32_t>(rng.NextBounded(n));
+        } while (target == v);
+      }
+      triplets.push_back(Triplet{v, target, 1.0f});
+      triplets.push_back(Triplet{target, v, 1.0f});
+    }
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(n, n, std::move(triplets));
+  for (float& v : m.values) v = 1.0f;
+  return m;
+}
+
+CsrMatrix GenerateKronecker(int levels) {
+  TILESPMV_CHECK(levels >= 1 && levels <= 14);  // O(4^levels) scan.
+  const int32_t n = 1 << levels;
+  std::vector<Triplet> triplets;
+  // With initiator {{1,1},{1,0}} only the (1,1) cell is zero, so an entry
+  // (r, c) of the Kronecker power exists iff no bit position has both
+  // r-bit and c-bit set: r & c == 0. Node 0 connects to everyone (the hub);
+  // degrees follow a binomial-of-zero-bits law — heavily skewed.
+  for (int32_t r = 0; r < n; ++r) {
+    for (int32_t c = 0; c < n; ++c) {
+      if ((r & c) == 0) triplets.push_back(Triplet{r, c, 1.0f});
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+}  // namespace tilespmv

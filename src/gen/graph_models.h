@@ -1,0 +1,44 @@
+#ifndef TILESPMV_GEN_GRAPH_MODELS_H_
+#define TILESPMV_GEN_GRAPH_MODELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// Alternative random-graph families beyond R-MAT. The paper's claims rest
+/// on the power-law property, not on one generator — these models let tests
+/// and benches confirm that the tile-composite advantage is
+/// generator-invariant (holds for preferential attachment and configuration
+/// models) and disappears where it should (small-world graphs have no
+/// degree skew).
+
+/// Barabási–Albert preferential attachment: each new node attaches
+/// `edges_per_node` edges to existing nodes with probability proportional
+/// to their current degree. Degree distribution ~ k^-3.
+CsrMatrix GenerateBarabasiAlbert(int32_t n, int32_t edges_per_node,
+                                 uint64_t seed);
+
+/// Configuration model with a discrete power-law degree sequence of
+/// exponent `alpha` (degrees in [1, max_degree], stubs paired uniformly;
+/// self-loops and multi-edges merged).
+CsrMatrix GenerateConfigurationModel(int32_t n, double alpha,
+                                     int32_t max_degree, uint64_t seed);
+
+/// Watts–Strogatz small-world graph: ring lattice of degree `k` with
+/// rewiring probability `beta`. Near-uniform degrees — the anti-power-law
+/// control case.
+CsrMatrix GenerateWattsStrogatz(int32_t n, int32_t k, double beta,
+                                uint64_t seed);
+
+/// Deterministic Kronecker power of a seed pattern: the k-th Kronecker
+/// power of the 2x2 initiator {{1,1},{1,0}} (n = 2^k nodes). Deterministic,
+/// strongly self-similar, power-law-ish — a reproducible worst case for
+/// locality.
+CsrMatrix GenerateKronecker(int levels);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_GEN_GRAPH_MODELS_H_

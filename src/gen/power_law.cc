@@ -1,0 +1,67 @@
+#include "gen/power_law.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace tilespmv {
+namespace {
+
+int BitsFor(int64_t n) {
+  int bits = 0;
+  while ((1LL << bits) < n) ++bits;
+  return bits;
+}
+
+/// Samples one index in [0, n) by descending the R-MAT quadrant tree along
+/// one dimension. `p_high` is the probability of taking the low half
+/// (a + b for rows, a + c for columns).
+int32_t SampleIndex(int64_t n, int bits, double p_low, double noise,
+                    Pcg32* rng) {
+  for (;;) {
+    int64_t idx = 0;
+    for (int level = 0; level < bits; ++level) {
+      // Perturb the probability per level so degrees aren't exactly
+      // self-similar.
+      double p = p_low;
+      if (noise > 0) {
+        p += noise * (rng->NextDouble() - 0.5) * p_low;
+      }
+      idx <<= 1;
+      if (rng->NextDouble() >= p) idx |= 1;
+    }
+    if (idx < n) return static_cast<int32_t>(idx);
+    // Rejection for non-power-of-two n; the retry rate is < 50%.
+  }
+}
+
+}  // namespace
+
+CsrMatrix GenerateRmatRect(int32_t rows, int32_t cols, int64_t target_nnz,
+                           const RmatOptions& options) {
+  TILESPMV_CHECK(rows >= 1 && cols >= 1 && target_nnz >= 0);
+  Pcg32 rng(options.seed);
+  const int row_bits = BitsFor(rows);
+  const int col_bits = BitsFor(cols);
+  const double p_row_low = options.a + options.b;  // P(top half).
+  const double p_col_low = options.a + options.c;  // P(left half).
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(target_nnz));
+  for (int64_t e = 0; e < target_nnz; ++e) {
+    int32_t r = SampleIndex(rows, row_bits, p_row_low, options.noise, &rng);
+    int32_t c = SampleIndex(cols, col_bits, p_col_low, options.noise, &rng);
+    triplets.push_back(Triplet{r, c, 1.0f});
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
+  // Adjacency semantics: duplicate edges collapse to weight 1.
+  for (float& v : m.values) v = 1.0f;
+  return m;
+}
+
+CsrMatrix GenerateRmat(int32_t n, int64_t target_nnz,
+                       const RmatOptions& options) {
+  return GenerateRmatRect(n, n, target_nnz, options);
+}
+
+}  // namespace tilespmv

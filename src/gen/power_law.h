@@ -1,0 +1,39 @@
+#ifndef TILESPMV_GEN_POWER_LAW_H_
+#define TILESPMV_GEN_POWER_LAW_H_
+
+#include <cstdint>
+
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// R-MAT (recursive matrix) generator parameters. The default quadrant
+/// probabilities (0.57, 0.19, 0.19, 0.05) produce graphs whose in- and
+/// out-degree distributions follow a power law, standing in for the paper's
+/// Flickr / LiveJournal / Wikipedia / Youtube / web crawls.
+struct RmatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  /// Per-level probability perturbation; keeps the generated matrix from
+  /// being exactly self-similar (mirrors real-graph noise).
+  double noise = 0.1;
+  uint64_t seed = 42;
+};
+
+/// Generates an n x n directed graph adjacency matrix with ~target_nnz edges
+/// (duplicates are merged, so the exact count can land slightly below).
+/// Values are 1.0f. Works for any n >= 1 (non-power-of-two sizes use
+/// rejection).
+CsrMatrix GenerateRmat(int32_t n, int64_t target_nnz,
+                       const RmatOptions& options);
+
+/// Generates a bipartite-ish power-law matrix with `rows` x `cols`
+/// (rectangular R-MAT); used for scaled stand-ins where rows != cols.
+CsrMatrix GenerateRmatRect(int32_t rows, int32_t cols, int64_t target_nnz,
+                           const RmatOptions& options);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_GEN_POWER_LAW_H_

@@ -1,0 +1,124 @@
+#include "gen/structured.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace tilespmv {
+
+CsrMatrix GenerateDense(int32_t n) {
+  CsrMatrix m;
+  m.rows = n;
+  m.cols = n;
+  m.row_ptr.resize(static_cast<size_t>(n) + 1);
+  m.col_idx.resize(static_cast<size_t>(n) * n);
+  m.values.resize(static_cast<size_t>(n) * n);
+  for (int32_t r = 0; r < n; ++r) {
+    m.row_ptr[r] = static_cast<int64_t>(r) * n;
+    for (int32_t c = 0; c < n; ++c) {
+      m.col_idx[static_cast<size_t>(r) * n + c] = c;
+      m.values[static_cast<size_t>(r) * n + c] =
+          1.0f + 0.001f * static_cast<float>((r + c) % 7);
+    }
+  }
+  m.row_ptr[n] = static_cast<int64_t>(n) * n;
+  return m;
+}
+
+CsrMatrix GenerateCircuit(int32_t n, double nnz_per_row, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(n * (nnz_per_row + 1)));
+  for (int32_t r = 0; r < n; ++r) {
+    triplets.push_back(Triplet{r, r, 4.0f});
+    // Poisson-ish number of couplings: floor plus probabilistic extra.
+    int extra = static_cast<int>(nnz_per_row - 1);
+    if (rng.NextDouble() < (nnz_per_row - 1) - extra) ++extra;
+    for (int j = 0; j < extra; ++j) {
+      int32_t c = static_cast<int32_t>(rng.NextBounded(n));
+      triplets.push_back(Triplet{r, c, -1.0f});
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+CsrMatrix GenerateFemStencil(int32_t n, int32_t nnz_per_row,
+                             int32_t bandwidth, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(n) * nnz_per_row);
+  for (int32_t r = 0; r < n; ++r) {
+    triplets.push_back(Triplet{r, r, 8.0f});
+    // Deterministic stencil neighbors plus jitter within the band, mimicking
+    // a 3D mesh row: contiguous runs near the diagonal.
+    int placed = 1;
+    int32_t run_start = std::max(0, r - bandwidth / 2);
+    while (placed < nnz_per_row) {
+      int32_t offset = static_cast<int32_t>(rng.NextBounded(bandwidth));
+      int32_t c = run_start + offset;
+      if (c >= n) c = n - 1 - offset % std::max(1, n / 2);
+      if (c < 0) c = 0;
+      triplets.push_back(Triplet{r, c, -1.0f});
+      ++placed;
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+CsrMatrix GenerateLp(int32_t rows, int32_t cols, int64_t nnz, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(nnz));
+  int64_t per_row = nnz / rows;
+  for (int32_t r = 0; r < rows; ++r) {
+    for (int64_t j = 0; j < per_row; ++j) {
+      int32_t c = static_cast<int32_t>(rng.NextBounded(cols));
+      triplets.push_back(Triplet{r, c, 1.0f + rng.NextFloat()});
+    }
+  }
+  return CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+CsrMatrix GenerateProtein(int32_t n, int32_t block_size, double fill,
+                          uint64_t seed) {
+  TILESPMV_CHECK(block_size >= 1);
+  Pcg32 rng(seed);
+  std::vector<Triplet> triplets;
+  for (int32_t base = 0; base < n; base += block_size) {
+    int32_t bs = std::min(block_size, n - base);
+    for (int32_t i = 0; i < bs; ++i) {
+      for (int32_t j = 0; j < bs; ++j) {
+        if (i == j || rng.NextDouble() < fill) {
+          triplets.push_back(Triplet{base + i, base + j, 1.0f});
+        }
+      }
+    }
+    // Sparse coupling to other blocks.
+    for (int32_t i = 0; i < bs; ++i) {
+      for (int k = 0; k < 4; ++k) {
+        int32_t c = static_cast<int32_t>(rng.NextBounded(n));
+        triplets.push_back(Triplet{base + i, c, 0.5f});
+      }
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+CsrMatrix GenerateBanded(int32_t n, int32_t half_band, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Triplet> triplets;
+  for (int32_t r = 0; r < n; ++r) {
+    for (int32_t c = std::max(0, r - half_band);
+         c <= std::min(n - 1, r + half_band); ++c) {
+      // Keep ~70% of in-band entries so the band is not fully dense.
+      if (c == r || rng.NextDouble() < 0.7) {
+        triplets.push_back(Triplet{r, c, c == r ? 4.0f : -1.0f});
+      }
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,40 @@
+#ifndef TILESPMV_GEN_STRUCTURED_H_
+#define TILESPMV_GEN_STRUCTURED_H_
+
+#include <cstdint>
+
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// Fully dense n x n matrix stored sparsely — the paper's bandwidth
+/// ceiling benchmark (2000 x 2000 in Table 2).
+CsrMatrix GenerateDense(int32_t n);
+
+/// Circuit-simulation-like matrix: unit diagonal plus a few uniformly random
+/// off-diagonals per row (~nnz_per_row). Irregular but not skewed; DIA fails
+/// on it (too many diagonals), matching Table 2's Circuit (171K, 0.96M nnz).
+CsrMatrix GenerateCircuit(int32_t n, double nnz_per_row, uint64_t seed);
+
+/// FEM-style stencil matrix: rows of near-identical length with non-zeros
+/// clustered in a band around the diagonal (FEM/Harbor: 47K, 2.4M nnz,
+/// ~51 nnz/row). CSR-vector and BSK & BDW's kernel do well here.
+CsrMatrix GenerateFemStencil(int32_t n, int32_t nnz_per_row,
+                             int32_t bandwidth, uint64_t seed);
+
+/// Linear-programming-style matrix: short and very wide (rows << cols) with
+/// long rows of uniform random columns (LP: 4.3K x 1M, 11M nnz).
+CsrMatrix GenerateLp(int32_t rows, int32_t cols, int64_t nnz, uint64_t seed);
+
+/// Protein-interaction-style matrix: dense diagonal blocks (cliques) plus
+/// sparse random coupling (Protein: 36K, 4M nnz, ~119 nnz/row).
+CsrMatrix GenerateProtein(int32_t n, int32_t block_size, double fill,
+                          uint64_t seed);
+
+/// Strictly banded matrix (every non-zero within `half_band` of the
+/// diagonal); the one family DIA succeeds on.
+CsrMatrix GenerateBanded(int32_t n, int32_t half_band, uint64_t seed);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_GEN_STRUCTURED_H_

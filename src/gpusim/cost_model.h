@@ -1,0 +1,74 @@
+#ifndef TILESPMV_GPUSIM_COST_MODEL_H_
+#define TILESPMV_GPUSIM_COST_MODEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "gpusim/device_spec.h"
+
+namespace tilespmv::gpusim {
+
+/// Sentinel for warps with no dominant streaming address (their traffic is
+/// assumed spread uniformly over memory partitions).
+inline constexpr uint64_t kNoAddress = std::numeric_limits<uint64_t>::max();
+
+/// The resource demand of one warp within a kernel launch, as recorded by a
+/// kernel's execution walk: SM issue slots consumed (divergence-serialized
+/// instructions included) and coalesced global-memory traffic.
+struct WarpWork {
+  uint64_t issue_cycles = 0;   ///< SM cycles of instruction issue.
+  /// Post-coalescing traffic of the warp's sequential streams (matrix
+  /// arrays). Attributed to the start partition for camping purposes.
+  uint64_t global_bytes = 0;
+  /// Traffic from random-address accesses (x-gather cache fills, scattered
+  /// y updates). Spread uniformly over partitions — gathers don't camp.
+  uint64_t scattered_bytes = 0;
+  /// Address where this warp's streaming accesses start. Because concurrent
+  /// warps advance in near-lockstep, the distribution of *start* partitions
+  /// determines partition camping (Section 3.1 "Elimination of Partition
+  /// Camping").
+  uint64_t start_address = kNoAddress;
+};
+
+/// One simulated kernel launch: the warps it spawns.
+struct KernelLaunch {
+  std::vector<WarpWork> warps;
+};
+
+/// Cost breakdown returned by CostModel::EstimateLaunch.
+struct LaunchEstimate {
+  double seconds = 0.0;          ///< Includes launch overhead.
+  double compute_seconds = 0.0;  ///< Sum over waves of issue-bound time.
+  double memory_seconds = 0.0;   ///< Sum over waves of bandwidth-bound time.
+  int waves = 0;                 ///< ceil(warps / max active warps).
+  double worst_camping_factor = 1.0;  ///< 1 = uniform, 8 = fully camped.
+};
+
+/// Converts per-warp work records into time on the modeled device.
+///
+/// Warps execute in waves of at most MaxActiveWarps() (Equation 1 of the
+/// paper is exactly this wave count). Within a wave, warps are dealt
+/// round-robin to SMs; a wave's compute time is the busiest SM's issue time,
+/// its memory time is the busiest partition's queue drain time, and the wave
+/// takes the max of the two (bandwidth-bound kernels hide issue latency and
+/// vice versa). Launches pay a fixed driver overhead — the reason tiling the
+/// *whole* matrix with one launch per tile fails (Observation 2).
+class CostModel {
+ public:
+  explicit CostModel(const DeviceSpec& spec) : spec_(spec) {}
+
+  LaunchEstimate EstimateLaunch(const KernelLaunch& launch) const;
+
+  /// Estimates a sequence of launches (sums times; each pays overhead).
+  LaunchEstimate EstimateLaunches(const std::vector<KernelLaunch>& launches) const;
+
+  const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace tilespmv::gpusim
+
+#endif  // TILESPMV_GPUSIM_COST_MODEL_H_

@@ -1,0 +1,21 @@
+#include "gpusim/device_spec.h"
+
+namespace tilespmv::gpusim {
+
+DeviceSpec DeviceSpec::TeslaC1060() { return DeviceSpec{}; }
+
+DeviceSpec DeviceSpec::FermiC2050() {
+  DeviceSpec spec;
+  spec.num_sms = 14;
+  spec.max_active_warps_per_sm = 48;
+  spec.core_clock_ghz = 1.15;
+  spec.mem_bandwidth_gbps = 144.0;
+  spec.num_partitions = 6;  // Six 64-bit GDDR5 channels.
+  spec.global_mem_bytes = 3LL << 30;
+  spec.texture_cache_bytes = 768 << 10;  // Unified L2 serves read-only data.
+  spec.shared_mem_bytes_per_sm = 48 << 10;
+  spec.cycles_per_warp_instr = 2;  // 32 cores per SM, dual issue.
+  return spec;
+}
+
+}  // namespace tilespmv::gpusim

@@ -1,0 +1,60 @@
+#ifndef TILESPMV_GPUSIM_DEVICE_SPEC_H_
+#define TILESPMV_GPUSIM_DEVICE_SPEC_H_
+
+#include <cstdint>
+
+namespace tilespmv::gpusim {
+
+/// Architectural parameters of the modeled GPU. Defaults describe the NVIDIA
+/// Tesla C1060 used throughout the paper (30 SMs x 8 SPs, compute capability
+/// 1.3). Every cost in the execution model derives from these numbers, so a
+/// different device can be modeled by constructing a different spec.
+struct DeviceSpec {
+  int num_sms = 30;                   ///< Streaming multiprocessors.
+  int warp_size = 32;                 ///< Threads per warp (SIMT width).
+  int half_warp = 16;                 ///< Memory requests are per half-warp.
+  int max_active_warps_per_sm = 32;   ///< Full occupancy (=> 960 device-wide).
+  double core_clock_ghz = 1.296;      ///< SP clock.
+  double mem_bandwidth_gbps = 102.0;  ///< Peak global memory bandwidth.
+  int num_partitions = 8;             ///< Global memory partitions.
+  int partition_width_bytes = 256;    ///< Width of one partition stripe.
+  int coalesce_segment_bytes = 128;   ///< Segment size for 4/8-byte words.
+  int min_transaction_bytes = 32;     ///< Smallest memory transaction.
+  int64_t global_mem_bytes = 4LL << 30;  ///< 4 GB device memory.
+  int64_t texture_cache_bytes = 256 << 10;  ///< As estimated in Section 3.1.
+  int texture_cache_line_bytes = 32;
+  int texture_cache_assoc = 8;
+  int shared_mem_bytes_per_sm = 16 << 10;
+  double kernel_launch_overhead_us = 5.0;  ///< Per kernel launch.
+  /// SM issue cycles a warp loses per texture miss (latency not hidden by
+  /// multithreading at full occupancy).
+  int tex_miss_stall_cycles = 8;
+  /// Concurrent warps needed to saturate DRAM bandwidth; waves with fewer
+  /// warps in flight achieve proportionally less (memory-level parallelism).
+  int bw_saturation_warps = 16;
+  double pcie_bandwidth_gbps = 8.0;        ///< Host <-> device bus.
+  /// Issue cost of one warp-wide instruction in SM cycles (8 SPs execute 32
+  /// threads over 4 clocks).
+  int cycles_per_warp_instr = 4;
+
+  /// Max concurrently active warps device-wide (960 on the C1060).
+  int MaxActiveWarps() const { return num_sms * max_active_warps_per_sm; }
+  double ClockHz() const { return core_clock_ghz * 1e9; }
+  double BandwidthBytesPerSec() const { return mem_bandwidth_gbps * 1e9; }
+  double PartitionBandwidthBytesPerSec() const {
+    return BandwidthBytesPerSec() / num_partitions;
+  }
+
+  /// The device the paper evaluates on (these are also the defaults).
+  static DeviceSpec TeslaC1060();
+
+  /// A Fermi-generation Tesla C2050: fewer, wider SMs, higher bandwidth, a
+  /// larger read-only cache. Used to demonstrate that the tiling width and
+  /// auto-tuner adapt to the device instead of hard-coding Tesla numbers
+  /// (the "next generation hybrid architectures" remark in Section 1).
+  static DeviceSpec FermiC2050();
+};
+
+}  // namespace tilespmv::gpusim
+
+#endif  // TILESPMV_GPUSIM_DEVICE_SPEC_H_

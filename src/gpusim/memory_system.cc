@@ -1,0 +1,84 @@
+#include "gpusim/memory_system.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tilespmv::gpusim {
+
+Result<uint64_t> DeviceAllocator::Allocate(int64_t bytes, int64_t align) {
+  TILESPMV_CHECK(bytes >= 0 && align > 0);
+  int64_t base = (next_ + align - 1) / align * align;
+  if (base + bytes > capacity_) {
+    return Status::ResourceExhausted(
+        "device memory exhausted: need " + std::to_string(base + bytes) +
+        " bytes, capacity " + std::to_string(capacity_));
+  }
+  next_ = base + bytes;
+  return static_cast<uint64_t>(base);
+}
+
+CoalesceResult CoalesceHalfWarp(const uint64_t* addrs, int n, int word_bytes,
+                                const DeviceSpec& spec) {
+  CoalesceResult r;
+  if (n <= 0) return r;
+  const uint64_t seg = static_cast<uint64_t>(spec.coalesce_segment_bytes);
+  // Half-warps have at most 16 lanes; track touched segments in a small
+  // fixed array (distinct segments <= n).
+  uint64_t seg_id[32];
+  uint64_t lo[32];
+  uint64_t hi[32];
+  int num_segs = 0;
+  for (int i = 0; i < n; ++i) {
+    uint64_t s = addrs[i] / seg;
+    uint64_t end = addrs[i] + static_cast<uint64_t>(word_bytes);
+    int j = 0;
+    for (; j < num_segs; ++j) {
+      if (seg_id[j] == s) {
+        lo[j] = std::min(lo[j], addrs[i]);
+        hi[j] = std::max(hi[j], end);
+        break;
+      }
+    }
+    if (j == num_segs) {
+      seg_id[num_segs] = s;
+      lo[num_segs] = addrs[i];
+      hi[num_segs] = end;
+      ++num_segs;
+    }
+  }
+  for (int j = 0; j < num_segs; ++j) {
+    // Shrink the transaction to the smallest aligned power-of-two block
+    // (>= min_transaction_bytes) covering the touched span, per the CC 1.2+
+    // rules.
+    uint64_t size = static_cast<uint64_t>(spec.min_transaction_bytes);
+    while (size < seg) {
+      uint64_t block_lo = lo[j] / size * size;
+      if (hi[j] <= block_lo + size) break;
+      size *= 2;
+    }
+    r.transactions += 1;
+    r.bytes += size;
+  }
+  return r;
+}
+
+CoalesceResult SequentialTraffic(uint64_t start, uint64_t bytes,
+                                 const DeviceSpec& spec) {
+  CoalesceResult r;
+  if (bytes == 0) return r;
+  const uint64_t seg = static_cast<uint64_t>(spec.coalesce_segment_bytes);
+  uint64_t first = start / seg;
+  uint64_t last = (start + bytes - 1) / seg;
+  r.transactions = last - first + 1;
+  r.bytes = r.transactions * seg;
+  return r;
+}
+
+int PartitionOf(uint64_t addr, const DeviceSpec& spec) {
+  return static_cast<int>(
+      (addr / static_cast<uint64_t>(spec.partition_width_bytes)) %
+      static_cast<uint64_t>(spec.num_partitions));
+}
+
+}  // namespace tilespmv::gpusim

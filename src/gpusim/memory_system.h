@@ -1,0 +1,58 @@
+#ifndef TILESPMV_GPUSIM_MEMORY_SYSTEM_H_
+#define TILESPMV_GPUSIM_MEMORY_SYSTEM_H_
+
+#include <cstdint>
+
+#include "gpusim/device_spec.h"
+#include "util/status.h"
+
+namespace tilespmv::gpusim {
+
+/// Bump allocator over the modeled device address space. Kernels allocate
+/// their arrays here so that every simulated access has a concrete address —
+/// that is what makes coalescing, partition camping and texture caching
+/// computable instead of assumed.
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(const DeviceSpec& spec)
+      : capacity_(spec.global_mem_bytes) {}
+
+  /// Allocates `bytes` aligned to `align` (default: one partition stripe).
+  /// Fails with RESOURCE_EXHAUSTED when device memory is exceeded — this is
+  /// how e.g. ELL on a power-law matrix reports the same failure the paper
+  /// observed.
+  Result<uint64_t> Allocate(int64_t bytes, int64_t align = 256);
+
+  int64_t allocated_bytes() const { return next_; }
+  int64_t capacity() const { return capacity_; }
+
+ private:
+  int64_t capacity_;
+  int64_t next_ = 0;
+};
+
+/// Result of coalescing one half-warp memory request.
+struct CoalesceResult {
+  uint64_t transactions = 0;  ///< Memory transactions issued.
+  uint64_t bytes = 0;         ///< Bytes moved over the bus.
+};
+
+/// Applies the compute-capability-1.3 coalescing rules to a half-warp request
+/// of `n` addresses (each accessing `word_bytes` bytes): addresses falling in
+/// the same 128-byte segment merge into one transaction, whose size shrinks
+/// to 64 or 32 bytes when the touched span allows.
+CoalesceResult CoalesceHalfWarp(const uint64_t* addrs, int n, int word_bytes,
+                                const DeviceSpec& spec);
+
+/// Traffic for a fully sequential access of `bytes` starting at `start`
+/// (rounded out to whole segments).
+CoalesceResult SequentialTraffic(uint64_t start, uint64_t bytes,
+                                 const DeviceSpec& spec);
+
+/// Global-memory partition that byte address `addr` falls in (partition
+/// stripes are `partition_width_bytes` wide and interleave round-robin).
+int PartitionOf(uint64_t addr, const DeviceSpec& spec);
+
+}  // namespace tilespmv::gpusim
+
+#endif  // TILESPMV_GPUSIM_MEMORY_SYSTEM_H_

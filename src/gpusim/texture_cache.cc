@@ -1,0 +1,64 @@
+#include "gpusim/texture_cache.h"
+
+#include "util/check.h"
+
+namespace tilespmv::gpusim {
+namespace {
+
+int Log2Floor(uint64_t v) {
+  int r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+TextureCache::TextureCache(int64_t total_bytes, int line_bytes, int assoc)
+    : line_bytes_(line_bytes), assoc_(assoc) {
+  TILESPMV_CHECK(total_bytes > 0 && line_bytes > 0 && assoc > 0);
+  TILESPMV_CHECK(IsPowerOfTwo(static_cast<uint64_t>(line_bytes)));
+  line_shift_ = Log2Floor(static_cast<uint64_t>(line_bytes));
+  num_sets_ = static_cast<uint64_t>(total_bytes) / line_bytes / assoc;
+  TILESPMV_CHECK(num_sets_ >= 1);
+  sets_pow2_ = IsPowerOfTwo(num_sets_);
+  tags_.assign(num_sets_ * assoc_, 0);
+  stamps_.assign(num_sets_ * assoc_, 0);
+}
+
+bool TextureCache::Access(uint64_t addr) {
+  uint64_t line = addr >> line_shift_;
+  uint64_t set = sets_pow2_ ? (line & (num_sets_ - 1)) : (line % num_sets_);
+  uint64_t tag = line + 1;  // 0 is reserved for "empty".
+  uint64_t* tags = &tags_[set * assoc_];
+  uint64_t* stamps = &stamps_[set * assoc_];
+  ++tick_;
+  int victim = 0;
+  uint64_t victim_stamp = stamps[0];
+  for (int w = 0; w < assoc_; ++w) {
+    if (tags[w] == tag) {
+      stamps[w] = tick_;
+      ++hits_;
+      return true;
+    }
+    if (stamps[w] < victim_stamp) {
+      victim_stamp = stamps[w];
+      victim = w;
+    }
+  }
+  tags[victim] = tag;
+  stamps[victim] = tick_;
+  ++misses_;
+  return false;
+}
+
+void TextureCache::Flush() {
+  tags_.assign(tags_.size(), 0);
+  stamps_.assign(stamps_.size(), 0);
+}
+
+}  // namespace tilespmv::gpusim

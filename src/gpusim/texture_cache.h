@@ -1,0 +1,66 @@
+#ifndef TILESPMV_GPUSIM_TEXTURE_CACHE_H_
+#define TILESPMV_GPUSIM_TEXTURE_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device_spec.h"
+
+namespace tilespmv::gpusim {
+
+/// Set-associative LRU simulation of the read-only texture cache. Kernels
+/// bind the x vector (or a tile's segment of it) to texture memory and route
+/// every x access through this cache; a miss charges a line fill against
+/// global memory bandwidth, a hit is free of memory traffic. This is the
+/// mechanism behind the paper's Solution 1: a 64K-column tile's x segment
+/// (64K * 4 B = 256 KB) exactly fits the cache, so within a tile every reuse
+/// of x hits.
+class TextureCache {
+ public:
+  /// Builds a cache of `total_bytes` capacity with `line_bytes` lines and
+  /// `assoc`-way sets. The set count need not be a power of two (Fermi-class
+  /// caches are not); line_bytes must be.
+  TextureCache(int64_t total_bytes, int line_bytes, int assoc);
+
+  /// Convenience: cache with the spec's texture parameters.
+  explicit TextureCache(const DeviceSpec& spec)
+      : TextureCache(spec.texture_cache_bytes, spec.texture_cache_line_bytes,
+                     spec.texture_cache_assoc) {}
+
+  /// Simulates one access to byte address `addr`. Returns true on hit.
+  bool Access(uint64_t addr);
+
+  /// Invalidates all lines (e.g. between kernel launches when the binding
+  /// changes; note real texture caches are not coherent across writes).
+  void Flush();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  int line_bytes() const { return line_bytes_; }
+  double HitRate() const {
+    uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+  void ResetCounters() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  int line_bytes_;
+  int line_shift_;
+  int assoc_;
+  uint64_t num_sets_;
+  bool sets_pow2_ = true;  ///< Fast set-index path when sets are 2^k.
+  // tags_[set * assoc_ + way]; 0 means empty (tag values are line+1).
+  std::vector<uint64_t> tags_;
+  // LRU stamps parallel to tags_.
+  std::vector<uint64_t> stamps_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace tilespmv::gpusim
+
+#endif  // TILESPMV_GPUSIM_TEXTURE_CACHE_H_

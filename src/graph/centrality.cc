@@ -1,0 +1,186 @@
+#include "graph/centrality.h"
+
+#include <cmath>
+
+#include "sparse/convert.h"
+#include "util/check.h"
+
+namespace tilespmv {
+
+Result<IterativeResult> RunKatz(const CsrMatrix& adjacency,
+                                SpMVKernel* kernel,
+                                const KatzOptions& options) {
+  TILESPMV_CHECK(kernel != nullptr);
+  if (adjacency.rows != adjacency.cols)
+    return Status::InvalidArgument("Katz needs a square adjacency matrix");
+  const int32_t n = adjacency.rows;
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  CsrMatrix at = Transpose(adjacency);
+  TILESPMV_RETURN_IF_ERROR(kernel->Setup(at));
+  const Permutation& row_perm = kernel->row_permutation();
+
+  float alpha = options.alpha;
+  if (alpha <= 0) {
+    // lambda_max <= sqrt(||A||_1 ||A||_inf) = sqrt(max col sum * max row
+    // sum) for non-negative A; stay safely inside 1/lambda_max.
+    double max_row = 1, max_col = 1;
+    for (int32_t r = 0; r < n; ++r) {
+      double row_sum = 0;
+      for (int64_t k = adjacency.row_ptr[r]; k < adjacency.row_ptr[r + 1];
+           ++k) {
+        row_sum += std::fabs(adjacency.values[k]);
+      }
+      max_row = std::max(max_row, row_sum);
+    }
+    std::vector<double> col_sum(n, 0.0);
+    for (int64_t k = 0; k < adjacency.nnz(); ++k) {
+      col_sum[adjacency.col_idx[k]] += std::fabs(adjacency.values[k]);
+    }
+    for (double s : col_sum) max_col = std::max(max_col, s);
+    alpha = static_cast<float>(0.85 / std::sqrt(max_row * max_col));
+  }
+  const float beta = options.beta;
+  std::vector<float> x(n, beta);
+  std::vector<float> y;
+
+  const double aux_seconds =
+      ElementwiseSeconds(2 * n, n, kernel->spec()) +
+      ReductionSeconds(n, kernel->spec());
+  IterativeResult out;
+  out.seconds_per_iteration = kernel->timing().seconds + aux_seconds;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    kernel->Multiply(x, &y);
+    double delta = 0.0;
+    for (int32_t i = 0; i < n; ++i) {
+      float next = alpha * y[i] + beta;
+      delta += std::fabs(static_cast<double>(next) - x[i]);
+      x[i] = next;
+    }
+    ++out.iterations;
+    out.delta_history.push_back(delta);
+    if (!std::isfinite(delta) || delta > 1e30) {
+      return Status::InvalidArgument(
+          "Katz iteration diverged: alpha exceeds 1/lambda_max");
+    }
+    if (delta < options.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.gpu_seconds = out.seconds_per_iteration * out.iterations;
+  out.flops = static_cast<uint64_t>(out.iterations) *
+              (kernel->timing().flops + 2ULL * n);
+  out.useful_bytes = static_cast<uint64_t>(out.iterations) *
+                     (kernel->timing().useful_bytes + 12ULL * n);
+  if (!row_perm.empty()) {
+    UnpermuteVector(row_perm, x, &out.result);
+  } else {
+    out.result = std::move(x);
+  }
+  return out;
+}
+
+std::vector<double> KatzReference(const CsrMatrix& adjacency, double alpha,
+                                  double beta, int iterations) {
+  const int32_t n = adjacency.rows;
+  CsrMatrix at = Transpose(adjacency);
+  std::vector<double> x(n, beta), y(n);
+  for (int it = 0; it < iterations; ++it) {
+    for (int32_t r = 0; r < n; ++r) {
+      double sum = 0.0;
+      for (int64_t k = at.row_ptr[r]; k < at.row_ptr[r + 1]; ++k) {
+        sum += static_cast<double>(at.values[k]) * x[at.col_idx[k]];
+      }
+      y[r] = alpha * sum + beta;
+    }
+    x.swap(y);
+  }
+  return x;
+}
+
+Result<SalsaScores> RunSalsa(const CsrMatrix& adjacency, SpMVKernel* kernel,
+                             const SalsaOptions& options) {
+  TILESPMV_CHECK(kernel != nullptr);
+  if (adjacency.rows != adjacency.cols)
+    return Status::InvalidArgument("SALSA needs a square adjacency matrix");
+  const int32_t n = adjacency.rows;
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  // SALSA's combined matrix: [[0, Wr^T], [Wc, 0]] where Wr is the
+  // row-normalized and Wc the column-normalized adjacency matrix; the
+  // authority chain is the alternating product. Same 2n x 2n structure as
+  // Equation 8 with the stochastic normalizations baked in.
+  CsrMatrix wr = RowNormalize(adjacency);
+  CsrMatrix wc = ColNormalize(adjacency);
+  CsrMatrix t = Transpose(wr);
+  std::vector<Triplet> triplets;
+  triplets.reserve(2 * static_cast<size_t>(adjacency.nnz()));
+  for (int32_t r = 0; r < n; ++r) {
+    for (int64_t k = t.row_ptr[r]; k < t.row_ptr[r + 1]; ++k) {
+      triplets.push_back(Triplet{r, t.col_idx[k] + n, t.values[k]});
+    }
+    for (int64_t k = wc.row_ptr[r]; k < wc.row_ptr[r + 1]; ++k) {
+      triplets.push_back(Triplet{r + n, wc.col_idx[k], wc.values[k]});
+    }
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(2 * n, 2 * n, std::move(triplets));
+  TILESPMV_RETURN_IF_ERROR(kernel->Setup(m));
+  const Permutation& row_perm = kernel->row_permutation();
+
+  const int32_t n2 = 2 * n;
+  std::vector<char> is_authority(n2);
+  for (int32_t i = 0; i < n2; ++i) {
+    int32_t orig = row_perm.empty() ? i : row_perm[i];
+    is_authority[i] = orig < n ? 1 : 0;
+  }
+  std::vector<float> v(n2, 1.0f / static_cast<float>(n));
+  std::vector<float> y;
+
+  const gpusim::DeviceSpec& spec = kernel->spec();
+  const double aux_seconds = 3 * ReductionSeconds(n2, spec) +
+                             2 * ElementwiseSeconds(n2, n2, spec);
+  SalsaScores out;
+  out.stats.seconds_per_iteration = kernel->timing().seconds + aux_seconds;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    kernel->Multiply(v, &y);
+    double sum_a = 0.0, sum_h = 0.0;
+    for (int32_t i = 0; i < n2; ++i) {
+      (is_authority[i] ? sum_a : sum_h) += std::fabs(y[i]);
+    }
+    float inv_a = sum_a > 0 ? static_cast<float>(1.0 / sum_a) : 0.0f;
+    float inv_h = sum_h > 0 ? static_cast<float>(1.0 / sum_h) : 0.0f;
+    double delta = 0.0;
+    for (int32_t i = 0; i < n2; ++i) {
+      float next = y[i] * (is_authority[i] ? inv_a : inv_h);
+      delta += std::fabs(static_cast<double>(next) - v[i]);
+      v[i] = next;
+    }
+    ++out.stats.iterations;
+    out.stats.delta_history.push_back(delta);
+    if (delta < options.tolerance) {
+      out.stats.converged = true;
+      break;
+    }
+  }
+  out.stats.gpu_seconds =
+      out.stats.seconds_per_iteration * out.stats.iterations;
+  out.stats.flops = static_cast<uint64_t>(out.stats.iterations) *
+                    (kernel->timing().flops + 6ULL * n2);
+  out.stats.useful_bytes = static_cast<uint64_t>(out.stats.iterations) *
+                           (kernel->timing().useful_bytes + 28ULL * n2);
+
+  std::vector<float> combined;
+  if (!row_perm.empty()) {
+    UnpermuteVector(row_perm, v, &combined);
+  } else {
+    combined = std::move(v);
+  }
+  out.authority.assign(combined.begin(), combined.begin() + n);
+  out.hub.assign(combined.begin() + n, combined.end());
+  return out;
+}
+
+}  // namespace tilespmv

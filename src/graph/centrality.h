@@ -1,0 +1,54 @@
+#ifndef TILESPMV_GRAPH_CENTRALITY_H_
+#define TILESPMV_GRAPH_CENTRALITY_H_
+
+#include "graph/power_method.h"
+#include "sparse/csr.h"
+#include "util/status.h"
+
+namespace tilespmv {
+
+/// Additional power-method centralities in the same family as Appendix F's
+/// algorithms — every one is an iterated SpMV, so the paper's kernel
+/// optimizations apply unchanged.
+
+/// Katz centrality parameters: x <- alpha * A^T x + beta * 1, converging
+/// when alpha is below 1 / lambda_max. alpha <= 0 picks a safe value
+/// automatically from the spectral bound lambda_max <= sqrt(||A||_1 *
+/// ||A||_inf) (0.85 of the bound's reciprocal).
+struct KatzOptions {
+  float alpha = 0.0f;  ///< <= 0: auto.
+  float beta = 1.0f;
+  int max_iterations = 200;
+  float tolerance = 1e-5f;
+};
+
+/// Runs Katz centrality with `kernel` on the adjacency matrix.
+Result<IterativeResult> RunKatz(const CsrMatrix& adjacency,
+                                SpMVKernel* kernel,
+                                const KatzOptions& options);
+
+/// Double-precision host reference.
+std::vector<double> KatzReference(const CsrMatrix& adjacency, double alpha,
+                                  double beta, int iterations);
+
+/// SALSA (Lempel & Moran): the stochastic cousin of HITS — authority and
+/// hub chains on the row/column-normalized bipartite support. One combined
+/// 2n x 2n SpMV per iteration, exactly like the paper's HITS formulation.
+struct SalsaOptions {
+  int max_iterations = 200;
+  float tolerance = 1e-5f;
+};
+
+struct SalsaScores {
+  std::vector<float> authority;
+  std::vector<float> hub;
+  IterativeResult stats;
+};
+
+/// Runs SALSA with `kernel` on the adjacency matrix.
+Result<SalsaScores> RunSalsa(const CsrMatrix& adjacency, SpMVKernel* kernel,
+                             const SalsaOptions& options);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_GRAPH_CENTRALITY_H_

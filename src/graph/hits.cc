@@ -1,0 +1,116 @@
+#include "graph/hits.h"
+
+#include <cmath>
+
+#include "sparse/convert.h"
+#include "util/check.h"
+
+namespace tilespmv {
+
+Result<HitsScores> RunHits(const CsrMatrix& adjacency, SpMVKernel* kernel,
+                           const HitsOptions& options) {
+  TILESPMV_CHECK(kernel != nullptr);
+  if (adjacency.rows != adjacency.cols)
+    return Status::InvalidArgument("HITS needs a square adjacency matrix");
+  const int32_t n = adjacency.rows;
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  CsrMatrix m = BuildHitsMatrix(adjacency);
+  TILESPMV_RETURN_IF_ERROR(kernel->Setup(m));
+  const Permutation& row_perm = kernel->row_permutation();
+
+  // In internal (possibly relabeled) space, remember which positions belong
+  // to the authority half [0, n) so the two halves normalize separately.
+  const int32_t n2 = 2 * n;
+  std::vector<char> is_authority(n2);
+  for (int32_t i = 0; i < n2; ++i) {
+    int32_t orig = row_perm.empty() ? i : row_perm[i];
+    is_authority[i] = orig < n ? 1 : 0;
+  }
+
+  std::vector<float> v(n2, 1.0f / static_cast<float>(n));
+  std::vector<float> y;
+
+  const gpusim::DeviceSpec& spec = kernel->spec();
+  const double aux_seconds = 3 * ReductionSeconds(n2, spec) +
+                             2 * ElementwiseSeconds(n2, n2, spec);
+  HitsScores out;
+  out.stats.seconds_per_iteration = kernel->timing().seconds + aux_seconds;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    kernel->Multiply(v, &y);
+    double sum_a = 0.0, sum_h = 0.0;
+    for (int32_t i = 0; i < n2; ++i) {
+      (is_authority[i] ? sum_a : sum_h) += std::fabs(y[i]);
+    }
+    float inv_a = sum_a > 0 ? static_cast<float>(1.0 / sum_a) : 0.0f;
+    float inv_h = sum_h > 0 ? static_cast<float>(1.0 / sum_h) : 0.0f;
+    double delta = 0.0;
+    for (int32_t i = 0; i < n2; ++i) {
+      float next = y[i] * (is_authority[i] ? inv_a : inv_h);
+      delta += std::fabs(static_cast<double>(next) - v[i]);
+      v[i] = next;
+    }
+    ++out.stats.iterations;
+    out.stats.delta_history.push_back(delta);
+    if (delta < options.tolerance) {
+      out.stats.converged = true;
+      break;
+    }
+  }
+  out.stats.gpu_seconds =
+      out.stats.seconds_per_iteration * out.stats.iterations;
+  out.stats.flops = static_cast<uint64_t>(out.stats.iterations) *
+                    (kernel->timing().flops + 6ULL * n2);
+  out.stats.useful_bytes = static_cast<uint64_t>(out.stats.iterations) *
+                           (kernel->timing().useful_bytes + 28ULL * n2);
+
+  std::vector<float> combined;
+  if (!row_perm.empty()) {
+    UnpermuteVector(row_perm, v, &combined);
+  } else {
+    combined = std::move(v);
+  }
+  out.authority.assign(combined.begin(), combined.begin() + n);
+  out.hub.assign(combined.begin() + n, combined.end());
+  return out;
+}
+
+void HitsReference(const CsrMatrix& adjacency, int iterations,
+                   std::vector<double>* authority, std::vector<double>* hub) {
+  const int32_t n = adjacency.rows;
+  CsrMatrix at = Transpose(adjacency);
+  std::vector<double> a(n, 1.0 / n), h(n, 1.0 / n);
+  std::vector<double> a2(n), h2(n);
+  for (int it = 0; it < iterations; ++it) {
+    // a' = A^T h ; h' = A a.
+    for (int32_t r = 0; r < n; ++r) {
+      double sum = 0.0;
+      for (int64_t k = at.row_ptr[r]; k < at.row_ptr[r + 1]; ++k) {
+        sum += static_cast<double>(at.values[k]) * h[at.col_idx[k]];
+      }
+      a2[r] = sum;
+    }
+    for (int32_t r = 0; r < n; ++r) {
+      double sum = 0.0;
+      for (int64_t k = adjacency.row_ptr[r]; k < adjacency.row_ptr[r + 1];
+           ++k) {
+        sum += static_cast<double>(adjacency.values[k]) * a[adjacency.col_idx[k]];
+      }
+      h2[r] = sum;
+    }
+    double sum_a = 0.0, sum_h = 0.0;
+    for (int32_t i = 0; i < n; ++i) {
+      sum_a += std::fabs(a2[i]);
+      sum_h += std::fabs(h2[i]);
+    }
+    for (int32_t i = 0; i < n; ++i) {
+      a[i] = sum_a > 0 ? a2[i] / sum_a : 0.0;
+      h[i] = sum_h > 0 ? h2[i] / sum_h : 0.0;
+    }
+  }
+  *authority = std::move(a);
+  *hub = std::move(h);
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,37 @@
+#ifndef TILESPMV_GRAPH_HITS_H_
+#define TILESPMV_GRAPH_HITS_H_
+
+#include "graph/power_method.h"
+#include "sparse/csr.h"
+#include "util/status.h"
+
+namespace tilespmv {
+
+/// HITS parameters (Appendix F, Equations 7-8).
+struct HitsOptions {
+  int max_iterations = 100;
+  float tolerance = 1e-5f;
+};
+
+/// Converged authority and hub scores (original index space, each summing
+/// to 1).
+struct HitsScores {
+  std::vector<float> authority;
+  std::vector<float> hub;
+  IterativeResult stats;  ///< stats.result is left empty; scores live here.
+};
+
+/// Runs HITS by the power method on the combined 2n x 2n matrix
+/// [[0, A^T], [A, 0]] (Equation 8). Each iteration costs one SpMV, three
+/// reductions (two normalizations + convergence) and two vector scalings,
+/// exactly the kernel inventory in Appendix F.
+Result<HitsScores> RunHits(const CsrMatrix& adjacency, SpMVKernel* kernel,
+                           const HitsOptions& options);
+
+/// Double-precision host reference.
+void HitsReference(const CsrMatrix& adjacency, int iterations,
+                   std::vector<double>* authority, std::vector<double>* hub);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_GRAPH_HITS_H_

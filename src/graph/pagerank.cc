@@ -1,0 +1,98 @@
+#include "graph/pagerank.h"
+
+#include <cmath>
+
+#include "sparse/convert.h"
+#include "util/check.h"
+
+namespace tilespmv {
+
+Result<IterativeResult> RunPageRank(const CsrMatrix& adjacency,
+                                    SpMVKernel* kernel,
+                                    const PageRankOptions& options) {
+  TILESPMV_CHECK(kernel != nullptr);
+  if (adjacency.rows != adjacency.cols)
+    return Status::InvalidArgument("PageRank needs a square adjacency matrix");
+  const int32_t n = adjacency.rows;
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  // Equation 6 multiplies by W^T, W the row-normalized adjacency matrix.
+  CsrMatrix wt = Transpose(RowNormalize(adjacency));
+  TILESPMV_RETURN_IF_ERROR(kernel->Setup(wt));
+  // For relabeling kernels the whole loop runs in internal space; a uniform
+  // p0 is permutation-invariant, and the result is unpermuted at the end.
+  const Permutation& row_perm = kernel->row_permutation();
+  TILESPMV_CHECK(row_perm.size() == kernel->col_permutation().size());
+
+  const float c = options.damping;
+  // Restart vector in internal index space. The uniform default is
+  // permutation-invariant; a personalization vector must be relabeled.
+  std::vector<float> p0(n, 1.0f / static_cast<float>(n));
+  if (options.personalization != nullptr) {
+    if (options.personalization->size() != static_cast<size_t>(n)) {
+      return Status::InvalidArgument(
+          "personalization vector size != node count");
+    }
+    if (row_perm.empty()) {
+      p0 = *options.personalization;
+    } else {
+      PermuteVector(row_perm, *options.personalization, &p0);
+    }
+  }
+  std::vector<float> p = p0;
+  std::vector<float> y;
+
+  const double aux_seconds =
+      ElementwiseSeconds(2 * n, n, kernel->spec()) +  // axpy with p0.
+      ReductionSeconds(n, kernel->spec());            // convergence check.
+  IterativeResult out;
+  out.seconds_per_iteration = kernel->timing().seconds + aux_seconds;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    kernel->Multiply(p, &y);
+    double delta = 0.0;
+    for (int32_t i = 0; i < n; ++i) {
+      float next = c * y[i] + (1.0f - c) * p0[i];
+      delta += std::fabs(static_cast<double>(next) - p[i]);
+      p[i] = next;
+    }
+    ++out.iterations;
+    out.delta_history.push_back(delta);
+    if (delta < options.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.gpu_seconds = out.seconds_per_iteration * out.iterations;
+  out.flops = static_cast<uint64_t>(out.iterations) *
+              (kernel->timing().flops + 3ULL * n);
+  out.useful_bytes = static_cast<uint64_t>(out.iterations) *
+                     (kernel->timing().useful_bytes + 16ULL * n);
+  if (!row_perm.empty()) {
+    UnpermuteVector(row_perm, p, &out.result);
+  } else {
+    out.result = std::move(p);
+  }
+  return out;
+}
+
+std::vector<double> PageRankReference(const CsrMatrix& adjacency,
+                                      double damping, int iterations) {
+  const int32_t n = adjacency.rows;
+  CsrMatrix wt = Transpose(RowNormalize(adjacency));
+  std::vector<double> p(n, 1.0 / n);
+  std::vector<double> y(n);
+  for (int it = 0; it < iterations; ++it) {
+    for (int32_t r = 0; r < n; ++r) {
+      double sum = 0.0;
+      for (int64_t k = wt.row_ptr[r]; k < wt.row_ptr[r + 1]; ++k) {
+        sum += static_cast<double>(wt.values[k]) * p[wt.col_idx[k]];
+      }
+      y[r] = damping * sum + (1.0 - damping) / n;
+    }
+    p.swap(y);
+  }
+  return p;
+}
+
+}  // namespace tilespmv

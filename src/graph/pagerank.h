@@ -1,0 +1,35 @@
+#ifndef TILESPMV_GRAPH_PAGERANK_H_
+#define TILESPMV_GRAPH_PAGERANK_H_
+
+#include "graph/power_method.h"
+#include "sparse/csr.h"
+#include "util/status.h"
+
+namespace tilespmv {
+
+/// PageRank parameters (Appendix F, Equation 6).
+struct PageRankOptions {
+  float damping = 0.85f;      ///< c in the paper.
+  int max_iterations = 100;
+  float tolerance = 1e-5f;    ///< L1 change per iteration to declare converged.
+  /// Optional personalization (topic-sensitive) vector replacing the uniform
+  /// p0 of Equation 6; must have one entry per node and sum to ~1. Not owned;
+  /// must outlive the call. nullptr = classic uniform restart.
+  const std::vector<float>* personalization = nullptr;
+};
+
+/// Runs PageRank on the directed adjacency matrix `adjacency` using `kernel`
+/// for the W^T * p products: p <- c W^T p + (1-c) p0 until convergence.
+/// The kernel is Setup() on W^T inside; modeled time counts the SpMV plus
+/// the axpy and convergence-reduction kernels of each iteration.
+Result<IterativeResult> RunPageRank(const CsrMatrix& adjacency,
+                                    SpMVKernel* kernel,
+                                    const PageRankOptions& options);
+
+/// Double-precision host reference for correctness checks.
+std::vector<double> PageRankReference(const CsrMatrix& adjacency,
+                                      double damping, int iterations);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_GRAPH_PAGERANK_H_

@@ -1,0 +1,23 @@
+#include "graph/power_method.h"
+
+namespace tilespmv {
+
+double StreamKernelSeconds(uint64_t bytes, const gpusim::DeviceSpec& spec) {
+  return spec.kernel_launch_overhead_us * 1e-6 +
+         static_cast<double>(bytes) / spec.BandwidthBytesPerSec();
+}
+
+double ReductionSeconds(int64_t n, const gpusim::DeviceSpec& spec) {
+  // First pass reads n floats and writes one partial per block; the small
+  // follow-up passes are dominated by launch overhead, folded into one extra
+  // launch cost.
+  return StreamKernelSeconds(static_cast<uint64_t>(n) * 4, spec) +
+         spec.kernel_launch_overhead_us * 1e-6;
+}
+
+double ElementwiseSeconds(int64_t reads, int64_t writes,
+                          const gpusim::DeviceSpec& spec) {
+  return StreamKernelSeconds(static_cast<uint64_t>(reads + writes) * 4, spec);
+}
+
+}  // namespace tilespmv

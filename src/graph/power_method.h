@@ -1,0 +1,56 @@
+#ifndef TILESPMV_GRAPH_POWER_METHOD_H_
+#define TILESPMV_GRAPH_POWER_METHOD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device_spec.h"
+#include "kernels/spmv.h"
+
+namespace tilespmv {
+
+/// Outcome of an iterative graph-mining run (PageRank / HITS / RWR): the
+/// converged vector (original index space), the iteration count, and the
+/// modeled device time. gflops()/gbps() are the metrics of Figures 3 and 8;
+/// `gpu_seconds` is what Tables 1/4/5 report.
+struct IterativeResult {
+  std::vector<float> result;
+  int iterations = 0;
+  bool converged = false;
+  double gpu_seconds = 0.0;
+  double seconds_per_iteration = 0.0;
+  uint64_t flops = 0;
+  uint64_t useful_bytes = 0;
+  /// L1 change of the iterate after each iteration — the convergence track
+  /// a monitoring caller would plot.
+  std::vector<double> delta_history;
+
+  double gflops() const {
+    return gpu_seconds > 0
+               ? static_cast<double>(flops) / gpu_seconds * 1e-9
+               : 0.0;
+  }
+  double gbps() const {
+    return gpu_seconds > 0
+               ? static_cast<double>(useful_bytes) / gpu_seconds * 1e-9
+               : 0.0;
+  }
+};
+
+/// Cost model for the auxiliary element-wise kernels the power method needs
+/// around each SpMV (vector axpy/scale, parallel reductions for
+/// normalization and convergence checks). These are perfectly coalesced
+/// streaming kernels: bandwidth-bound with one launch overhead each.
+double StreamKernelSeconds(uint64_t bytes, const gpusim::DeviceSpec& spec);
+
+/// Seconds for one parallel reduction over n floats.
+double ReductionSeconds(int64_t n, const gpusim::DeviceSpec& spec);
+
+/// Seconds for one element-wise pass reading `reads` and writing `writes`
+/// floats (axpy reads 2n writes n; scale reads n writes n).
+double ElementwiseSeconds(int64_t reads, int64_t writes,
+                          const gpusim::DeviceSpec& spec);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_GRAPH_POWER_METHOD_H_

@@ -1,0 +1,168 @@
+#include "graph/rwr.h"
+
+#include <cmath>
+
+#include "sparse/convert.h"
+#include "util/check.h"
+
+namespace tilespmv {
+
+Status RwrEngine::Init(const CsrMatrix& adjacency, const RwrOptions& options) {
+  TILESPMV_CHECK(kernel_ != nullptr);
+  if (adjacency.rows != adjacency.cols)
+    return Status::InvalidArgument("RWR needs a square adjacency matrix");
+  options_ = options;
+  n_ = adjacency.rows;
+  CsrMatrix w = ColNormalize(Symmetrize(adjacency));
+  TILESPMV_RETURN_IF_ERROR(kernel_->Setup(w));
+  const Permutation& row_perm = kernel_->row_permutation();
+  inv_row_perm_ = row_perm.empty() ? Permutation{}
+                                   : InvertPermutation(row_perm);
+  return Status::OK();
+}
+
+Result<RwrResult> RwrEngine::Query(int32_t node) const {
+  if (node < 0 || node >= n_)
+    return Status::InvalidArgument("query node out of range");
+  const int32_t internal_node =
+      inv_row_perm_.empty() ? node : inv_row_perm_[node];
+  const float c = options_.restart;
+
+  std::vector<float> r(n_, 0.0f);
+  r[internal_node] = 1.0f;
+  std::vector<float> y;
+
+  const gpusim::DeviceSpec& spec = kernel_->spec();
+  const double aux_seconds = ElementwiseSeconds(2 * n_, n_, spec) +
+                             ReductionSeconds(n_, spec);
+  RwrResult out;
+  out.stats.seconds_per_iteration = kernel_->timing().seconds + aux_seconds;
+
+  for (int it = 0; it < options_.max_iterations; ++it) {
+    kernel_->Multiply(r, &y);
+    double delta = 0.0;
+    for (int32_t i = 0; i < n_; ++i) {
+      float next = c * y[i] + (i == internal_node ? 1.0f - c : 0.0f);
+      delta += std::fabs(static_cast<double>(next) - r[i]);
+      r[i] = next;
+    }
+    ++out.stats.iterations;
+    out.stats.delta_history.push_back(delta);
+    if (delta < options_.tolerance) {
+      out.stats.converged = true;
+      break;
+    }
+  }
+  out.stats.gpu_seconds =
+      out.stats.seconds_per_iteration * out.stats.iterations;
+  out.stats.flops = static_cast<uint64_t>(out.stats.iterations) *
+                    (kernel_->timing().flops + 3ULL * n_);
+  out.stats.useful_bytes = static_cast<uint64_t>(out.stats.iterations) *
+                           (kernel_->timing().useful_bytes + 16ULL * n_);
+  const Permutation& row_perm = kernel_->row_permutation();
+  if (!row_perm.empty()) {
+    UnpermuteVector(row_perm, r, &out.scores);
+  } else {
+    out.scores = std::move(r);
+  }
+  return out;
+}
+
+double RwrEngine::BatchIterationSeconds(int batch_size) const {
+  TILESPMV_CHECK(kernel_ != nullptr);
+  const gpusim::DeviceSpec& spec = kernel_->spec();
+  const KernelTiming& t = kernel_->timing();
+  // Matrix traffic is read once per iteration regardless of batch size;
+  // every additional vector re-pays the x-gather misses (known from the
+  // kernel's cache simulation), the y updates, and its own axpy/reduction.
+  double extra_bytes =
+      static_cast<double>(t.tex_misses) * spec.texture_cache_line_bytes +
+      8.0 * n_;
+  double per_extra =
+      extra_bytes / spec.BandwidthBytesPerSec() +
+      ElementwiseSeconds(2 * n_, n_, spec) + ReductionSeconds(n_, spec);
+  return t.seconds + ElementwiseSeconds(2 * n_, n_, spec) +
+         ReductionSeconds(n_, spec) + (batch_size - 1) * per_extra;
+}
+
+Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
+    const std::vector<int32_t>& nodes) const {
+  if (nodes.empty()) return std::vector<RwrResult>{};
+  const int k = static_cast<int>(nodes.size());
+  std::vector<std::vector<float>> r(k);
+  std::vector<RwrResult> out(k);
+  for (int q = 0; q < k; ++q) {
+    if (nodes[q] < 0 || nodes[q] >= n_)
+      return Status::InvalidArgument("query node out of range");
+    int32_t internal =
+        inv_row_perm_.empty() ? nodes[q] : inv_row_perm_[nodes[q]];
+    r[q].assign(n_, 0.0f);
+    r[q][internal] = 1.0f;
+  }
+  const float c = options_.restart;
+  const double iter_seconds = BatchIterationSeconds(k);
+  std::vector<bool> done(k, false);
+  std::vector<float> y;
+  int active = k;
+  for (int it = 0; it < options_.max_iterations && active > 0; ++it) {
+    for (int q = 0; q < k; ++q) {
+      if (done[q]) continue;
+      int32_t internal =
+          inv_row_perm_.empty() ? nodes[q] : inv_row_perm_[nodes[q]];
+      kernel_->Multiply(r[q], &y);
+      double delta = 0.0;
+      for (int32_t i = 0; i < n_; ++i) {
+        float next = c * y[i] + (i == internal ? 1.0f - c : 0.0f);
+        delta += std::fabs(static_cast<double>(next) - r[q][i]);
+        r[q][i] = next;
+      }
+      ++out[q].stats.iterations;
+      out[q].stats.delta_history.push_back(delta);
+      if (delta < options_.tolerance) {
+        done[q] = true;
+        --active;
+        out[q].stats.converged = true;
+      }
+    }
+  }
+  const Permutation& row_perm = kernel_->row_permutation();
+  for (int q = 0; q < k; ++q) {
+    // Bill each query its share of the batched iterations.
+    out[q].stats.seconds_per_iteration = iter_seconds / k;
+    out[q].stats.gpu_seconds =
+        out[q].stats.seconds_per_iteration * out[q].stats.iterations;
+    out[q].stats.flops = static_cast<uint64_t>(out[q].stats.iterations) *
+                         (kernel_->timing().flops / k + 3ULL * n_);
+    out[q].stats.useful_bytes =
+        static_cast<uint64_t>(out[q].stats.iterations) *
+        (kernel_->timing().useful_bytes / k + 16ULL * n_);
+    if (!row_perm.empty()) {
+      UnpermuteVector(row_perm, r[q], &out[q].scores);
+    } else {
+      out[q].scores = std::move(r[q]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> RwrReference(const CsrMatrix& adjacency, int32_t node,
+                                 double restart, int iterations) {
+  CsrMatrix w = ColNormalize(Symmetrize(adjacency));
+  const int32_t n = w.rows;
+  std::vector<double> r(n, 0.0);
+  r[node] = 1.0;
+  std::vector<double> y(n);
+  for (int it = 0; it < iterations; ++it) {
+    for (int32_t row = 0; row < n; ++row) {
+      double sum = 0.0;
+      for (int64_t k = w.row_ptr[row]; k < w.row_ptr[row + 1]; ++k) {
+        sum += static_cast<double>(w.values[k]) * r[w.col_idx[k]];
+      }
+      y[row] = restart * sum + (row == node ? 1.0 - restart : 0.0);
+    }
+    r.swap(y);
+  }
+  return r;
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,94 @@
+#include "io/binary_cache.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+namespace tilespmv {
+namespace {
+
+constexpr uint64_t kMagic = 0x74696c65736d7631ULL;  // "tilesmv1".
+
+template <typename T>
+bool WriteRaw(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool WriteVec(std::ofstream& out, const std::vector<T>& v) {
+  uint64_t n = v.size();
+  if (!WriteRaw(out, n)) return false;
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool ReadRaw(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& in, std::vector<T>* v, uint64_t max_elems) {
+  uint64_t n = 0;
+  if (!ReadRaw(in, &n) || n > max_elems) return false;
+  v->resize(n);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status WriteBinaryMatrix(const CsrMatrix& a, const std::string& path) {
+  TILESPMV_RETURN_IF_ERROR(a.Validate());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  bool ok = WriteRaw(out, kMagic) && WriteRaw(out, a.rows) &&
+            WriteRaw(out, a.cols) && WriteVec(out, a.row_ptr) &&
+            WriteVec(out, a.col_idx) && WriteVec(out, a.values);
+  if (!ok) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<CsrMatrix> ReadBinaryMatrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint64_t magic = 0;
+  if (!ReadRaw(in, &magic) || magic != kMagic) {
+    return Status::IoError("not a tilespmv binary matrix: " + path);
+  }
+  CsrMatrix m;
+  constexpr uint64_t kMaxElems = 1ULL << 36;  // Sanity bound (~64 G entries).
+  if (!ReadRaw(in, &m.rows) || !ReadRaw(in, &m.cols) ||
+      !ReadVec(in, &m.row_ptr, kMaxElems) ||
+      !ReadVec(in, &m.col_idx, kMaxElems) ||
+      !ReadVec(in, &m.values, kMaxElems)) {
+    return Status::IoError("truncated or corrupt binary matrix: " + path);
+  }
+  Status st = m.Validate();
+  if (!st.ok()) {
+    return Status::IoError("corrupt binary matrix " + path + ": " +
+                           st.message());
+  }
+  return m;
+}
+
+Result<CsrMatrix> LoadOrBuild(const std::string& path,
+                              Result<CsrMatrix> (*make)()) {
+  Result<CsrMatrix> cached = ReadBinaryMatrix(path);
+  if (cached.ok()) return cached;
+  Result<CsrMatrix> built = make();
+  if (!built.ok()) return built;
+  // A failed cache write is not fatal — the matrix is still usable.
+  Status st = WriteBinaryMatrix(built.value(), path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "warning: could not cache matrix: %s\n",
+                 st.ToString().c_str());
+  }
+  return built;
+}
+
+}  // namespace tilespmv

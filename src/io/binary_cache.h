@@ -1,0 +1,29 @@
+#ifndef TILESPMV_IO_BINARY_CACHE_H_
+#define TILESPMV_IO_BINARY_CACHE_H_
+
+#include <string>
+
+#include "sparse/csr.h"
+#include "util/status.h"
+
+namespace tilespmv {
+
+/// Compact binary serialization of a CSR matrix (magic + dims + raw
+/// arrays). Parsing a multi-gigabyte MatrixMarket or edge-list file
+/// dominates experiment turnaround on web-scale graphs; the binary cache
+/// loads at disk speed. Format is host-endian and versioned.
+Status WriteBinaryMatrix(const CsrMatrix& a, const std::string& path);
+
+/// Loads a matrix written by WriteBinaryMatrix; validates header and
+/// structure.
+Result<CsrMatrix> ReadBinaryMatrix(const std::string& path);
+
+/// Loads `path` if it exists, otherwise builds the matrix with `make`,
+/// writes it to `path`, and returns it. The caching pattern every bench and
+/// tool uses for repeated runs on the same dataset.
+Result<CsrMatrix> LoadOrBuild(const std::string& path,
+                              Result<CsrMatrix> (*make)());
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_IO_BINARY_CACHE_H_

@@ -1,0 +1,73 @@
+#include "io/edge_list.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace tilespmv {
+
+Result<CsrMatrix> ReadEdgeList(const std::string& path,
+                               const EdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  std::unordered_map<int64_t, int32_t> remap;
+  auto map_id = [&](int64_t raw) -> int32_t {
+    if (!options.compact_ids) return static_cast<int32_t>(raw);
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<int32_t>(remap.size()));
+    return it->second;
+  };
+
+  std::vector<Triplet> triplets;
+  int64_t max_id = -1;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    int64_t u = 0, v = 0;
+    double w = options.default_weight;
+    if (!(ss >> u >> v)) {
+      return Status::IoError("malformed edge at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    ss >> w;  // Optional weight.
+    if (u < 0 || v < 0) {
+      return Status::InvalidArgument("negative node id at " + path + ":" +
+                                     std::to_string(line_no));
+    }
+    if (!options.compact_ids && (u > INT32_MAX || v > INT32_MAX)) {
+      return Status::InvalidArgument(
+          "node id exceeds int32 range; use compact_ids");
+    }
+    int32_t mu = map_id(u);
+    int32_t mv = map_id(v);
+    max_id = std::max({max_id, static_cast<int64_t>(mu),
+                       static_cast<int64_t>(mv)});
+    triplets.push_back(Triplet{mu, mv, static_cast<float>(w)});
+    if (options.symmetrize && mu != mv) {
+      triplets.push_back(Triplet{mv, mu, static_cast<float>(w)});
+    }
+  }
+  int32_t n = static_cast<int32_t>(max_id + 1);
+  return CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+Status WriteEdgeList(const CsrMatrix& a, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# " << a.rows << " nodes, " << a.nnz() << " edges\n";
+  for (int32_t r = 0; r < a.rows; ++r) {
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      out << r << " " << a.col_idx[k] << " " << a.values[k] << "\n";
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace tilespmv

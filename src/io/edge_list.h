@@ -1,0 +1,35 @@
+#ifndef TILESPMV_IO_EDGE_LIST_H_
+#define TILESPMV_IO_EDGE_LIST_H_
+
+#include <string>
+
+#include "sparse/csr.h"
+#include "util/status.h"
+
+namespace tilespmv {
+
+/// Options for reading whitespace-separated edge lists ("u v" or "u v w"
+/// per line, '#' or '%' comments) — the format SNAP and most web-graph
+/// distributions use, including the datasets the paper evaluates on
+/// (Flickr, LiveJournal, Youtube, the UbiCrawler web graphs).
+struct EdgeListOptions {
+  /// Nodes are renumbered densely in first-seen order when true; otherwise
+  /// ids are used as indices directly (the matrix is sized by the max id).
+  bool compact_ids = false;
+  /// Add the reverse of every edge (undirected graphs).
+  bool symmetrize = false;
+  /// Value assigned to edges without an explicit weight.
+  float default_weight = 1.0f;
+};
+
+/// Reads an edge list file into an adjacency matrix. Duplicate edges are
+/// merged (weights summed).
+Result<CsrMatrix> ReadEdgeList(const std::string& path,
+                               const EdgeListOptions& options = {});
+
+/// Writes `a` as "row col weight" lines.
+Status WriteEdgeList(const CsrMatrix& a, const std::string& path);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_IO_EDGE_LIST_H_

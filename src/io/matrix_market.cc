@@ -1,0 +1,81 @@
+#include "io/matrix_market.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tilespmv {
+
+Result<CsrMatrix> ReadMatrixMarket(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" || object != "matrix")
+    return Status::IoError("not a MatrixMarket matrix file: " + path);
+  if (format != "coordinate")
+    return Status::UnsupportedFormat("only coordinate format is supported");
+  bool pattern = field == "pattern";
+  bool symmetric = symmetry == "symmetric";
+  if (!pattern && field != "real" && field != "integer")
+    return Status::UnsupportedFormat("unsupported field type: " + field);
+  if (!symmetric && symmetry != "general")
+    return Status::UnsupportedFormat("unsupported symmetry: " + symmetry);
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  int64_t rows = 0, cols = 0, nnz = 0;
+  {
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> nnz))
+      return Status::IoError("bad size line in " + path);
+  }
+  if (rows < 0 || cols < 0 || rows > INT32_MAX || cols > INT32_MAX)
+    return Status::InvalidArgument("matrix dimensions out of range");
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(symmetric ? 2 * nnz : nnz));
+  for (int64_t i = 0; i < nnz; ++i) {
+    int64_t r = 0, c = 0;
+    double v = 1.0;
+    if (!(in >> r >> c)) return Status::IoError("truncated entries in " + path);
+    if (!pattern && !(in >> v))
+      return Status::IoError("truncated value in " + path);
+    if (r < 1 || r > rows || c < 1 || c > cols)
+      return Status::InvalidArgument("entry index out of range in " + path);
+    triplets.push_back(Triplet{static_cast<int32_t>(r - 1),
+                               static_cast<int32_t>(c - 1),
+                               static_cast<float>(v)});
+    if (symmetric && r != c) {
+      triplets.push_back(Triplet{static_cast<int32_t>(c - 1),
+                                 static_cast<int32_t>(r - 1),
+                                 static_cast<float>(v)});
+    }
+  }
+  return CsrMatrix::FromTriplets(static_cast<int32_t>(rows),
+                                 static_cast<int32_t>(cols),
+                                 std::move(triplets));
+}
+
+Status WriteMatrixMarket(const CsrMatrix& a, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows << " " << a.cols << " " << a.nnz() << "\n";
+  for (int32_t r = 0; r < a.rows; ++r) {
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      out << (r + 1) << " " << (a.col_idx[k] + 1) << " " << a.values[k]
+          << "\n";
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,22 @@
+#ifndef TILESPMV_IO_MATRIX_MARKET_H_
+#define TILESPMV_IO_MATRIX_MARKET_H_
+
+#include <string>
+
+#include "sparse/csr.h"
+#include "util/status.h"
+
+namespace tilespmv {
+
+/// Reads a MatrixMarket coordinate file (`%%MatrixMarket matrix coordinate
+/// real|pattern|integer general|symmetric`). Pattern entries get value 1;
+/// symmetric files are expanded. Users with the paper's real datasets (e.g.
+/// the UbiCrawler web graphs converted to .mtx) load them through this.
+Result<CsrMatrix> ReadMatrixMarket(const std::string& path);
+
+/// Writes `a` as a general real coordinate MatrixMarket file.
+Status WriteMatrixMarket(const CsrMatrix& a, const std::string& path);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_IO_MATRIX_MARKET_H_

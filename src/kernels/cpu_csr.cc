@@ -1,0 +1,50 @@
+#include "kernels/cpu_csr.h"
+
+#include <algorithm>
+
+#include "gpusim/texture_cache.h"
+
+namespace tilespmv {
+
+Status CpuCsrKernel::Setup(const CsrMatrix& a) {
+  TILESPMV_RETURN_IF_ERROR(a.Validate());
+  a_ = a;
+  rows_ = a.rows;
+  cols_ = a.cols;
+
+  // Model: the val/col streams prefetch well; the x gathers go through a
+  // simulated L2. y and row_ptr stream.
+  gpusim::TextureCache l2(cpu_.cache_bytes, cpu_.cache_line_bytes,
+                          cpu_.cache_assoc);
+  uint64_t x_misses = 0;
+  for (int32_t r = 0; r < a.rows; ++r) {
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      if (!l2.Access(4 * static_cast<uint64_t>(a.col_idx[k]))) ++x_misses;
+    }
+  }
+  uint64_t nnz = static_cast<uint64_t>(a.nnz());
+  uint64_t stream_bytes = nnz * 8 + static_cast<uint64_t>(a.rows) * 16;
+  uint64_t mem_bytes =
+      stream_bytes + x_misses * static_cast<uint64_t>(cpu_.cache_line_bytes);
+  double compute_s =
+      static_cast<double>(nnz) * cpu_.cycles_per_nnz / (cpu_.clock_ghz * 1e9);
+  double memory_s =
+      static_cast<double>(mem_bytes) / (cpu_.mem_bandwidth_gbps * 1e9);
+
+  timing_ = KernelTiming{};
+  timing_.seconds = std::max(compute_s, memory_s);
+  timing_.flops = 2 * nnz;
+  timing_.useful_bytes = nnz * 12 + static_cast<uint64_t>(a.rows) * 16;
+  timing_.global_bytes = mem_bytes;
+  timing_.tex_hits = l2.hits();
+  timing_.tex_misses = l2.misses();
+  timing_.launches = 1;
+  return Status::OK();
+}
+
+void CpuCsrKernel::Multiply(const std::vector<float>& x,
+                            std::vector<float>* y) const {
+  CsrMultiply(a_, x, y);
+}
+
+}  // namespace tilespmv

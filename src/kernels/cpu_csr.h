@@ -1,0 +1,43 @@
+#ifndef TILESPMV_KERNELS_CPU_CSR_H_
+#define TILESPMV_KERNELS_CPU_CSR_H_
+
+#include "kernels/spmv.h"
+
+namespace tilespmv {
+
+/// Parameters of the modeled CPU — defaults describe the paper's baseline
+/// host, an AMD Opteron X2 2218 (2.6 GHz, DDR2 with ~5 GB/s of sustained
+/// single-core bandwidth, 1 MB L2).
+struct CpuSpec {
+  double clock_ghz = 2.6;
+  double cycles_per_nnz = 4.0;         ///< Scalar CSR inner loop throughput.
+  double mem_bandwidth_gbps = 5.0;
+  int64_t cache_bytes = 1 << 20;
+  int cache_line_bytes = 64;
+  int cache_assoc = 16;
+};
+
+/// The CPU CSR baseline ("CPU" rows/bars in Tables 1/4/5 and Figures 2/7).
+/// Multiply() executes the real scalar loop on the host; timing() is modeled
+/// on CpuSpec with an L2 simulation of the x-vector gathers so the power-law
+/// locality penalty shows up just as it does on real hardware.
+class CpuCsrKernel : public SpMVKernel {
+ public:
+  CpuCsrKernel(const gpusim::DeviceSpec& spec, const CpuSpec& cpu)
+      : SpMVKernel(spec), cpu_(cpu) {}
+  explicit CpuCsrKernel(const gpusim::DeviceSpec& spec)
+      : CpuCsrKernel(spec, CpuSpec{}) {}
+
+  std::string_view name() const override { return "cpu-csr"; }
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+ private:
+  CpuSpec cpu_;
+  CsrMatrix a_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_CPU_CSR_H_

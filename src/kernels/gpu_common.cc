@@ -1,0 +1,51 @@
+#include "kernels/gpu_common.h"
+
+#include "util/check.h"
+
+namespace tilespmv::gpu {
+
+Result<DeviceArray> SimContext::Alloc(int64_t bytes) {
+  Result<uint64_t> addr = alloc_.Allocate(bytes);
+  if (!addr.ok()) return addr.status();
+  return DeviceArray{addr.value(), bytes};
+}
+
+void SimContext::TexFetch(uint64_t x_addr, int64_t col,
+                          gpusim::WarpWork* warp) {
+  bool hit = cache_.Access(x_addr + 4 * static_cast<uint64_t>(col));
+  if (!hit) {
+    warp->scattered_bytes += static_cast<uint64_t>(cache_.line_bytes());
+    warp->issue_cycles += static_cast<uint64_t>(spec_.tex_miss_stall_cycles);
+  }
+}
+
+void SimContext::AddWarp(const gpusim::WarpWork& warp) {
+  TILESPMV_CHECK(!launches_.empty());
+  launches_.back().warps.push_back(warp);
+}
+
+void SimContext::Finalize(KernelTiming* timing) const {
+  gpusim::CostModel model(spec_);
+  timing->launch_details.clear();
+  timing->launch_details.reserve(launches_.size());
+  for (const gpusim::KernelLaunch& l : launches_) {
+    timing->launch_details.push_back(model.EstimateLaunch(l));
+  }
+  gpusim::LaunchEstimate est = model.EstimateLaunches(launches_);
+  timing->seconds = est.seconds;
+  timing->launches = static_cast<int>(launches_.size());
+  timing->waves = est.waves;
+  timing->worst_camping_factor = est.worst_camping_factor;
+  timing->tex_hits = cache_.hits();
+  timing->tex_misses = cache_.misses();
+  timing->device_bytes = static_cast<uint64_t>(alloc_.allocated_bytes());
+  uint64_t traffic = 0;
+  for (const gpusim::KernelLaunch& l : launches_) {
+    for (const gpusim::WarpWork& w : l.warps) {
+      traffic += w.global_bytes + w.scattered_bytes;
+    }
+  }
+  timing->global_bytes = traffic;
+}
+
+}  // namespace tilespmv::gpu

@@ -1,0 +1,94 @@
+#ifndef TILESPMV_KERNELS_GPU_COMMON_H_
+#define TILESPMV_KERNELS_GPU_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/cost_model.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/memory_system.h"
+#include "gpusim/texture_cache.h"
+#include "kernels/spmv.h"
+
+namespace tilespmv::gpu {
+
+/// Instruction-count recipes shared by the kernel walks, in warp-wide
+/// instructions (1 instruction = spec.cycles_per_warp_instr SM cycles).
+/// These are the model's calibration constants; they only need to be
+/// *relatively* right for the paper's kernel rankings to emerge.
+struct InstrCosts {
+  static constexpr int kSpmvInner = 5;   ///< load col+val, fetch x, mad, loop.
+  static constexpr int kEllInner = 6;    ///< + padding sentinel check.
+  static constexpr int kCooInner = 12;   ///< 3 loads + fetch + mad + 2 shared st.
+  static constexpr int kReduceStep = 2;  ///< shuffle/shared add per step.
+  static constexpr int kCooReduceStep = 11;  ///< full segmented-scan step:
+                                             ///< shared ld/ld + flag cmp +
+                                             ///< predicated add + st + sync.
+  static constexpr int kCooDivergedStep = 2;  ///< extra per row boundary.
+  static constexpr int kRowEpilogue = 3;  ///< write y, advance row.
+  static constexpr int kWarpSetup = 10;  ///< index math at warp start.
+};
+
+/// A modeled device-resident array: base address + size.
+struct DeviceArray {
+  uint64_t addr = 0;
+  int64_t bytes = 0;
+};
+
+/// Tracks the full simulated state for one kernel's Setup walk: the device
+/// allocator, the texture cache (when the kernel binds x to texture), the
+/// launches recorded so far and the traffic counters that end up in
+/// KernelTiming.
+class SimContext {
+ public:
+  explicit SimContext(const gpusim::DeviceSpec& spec)
+      : spec_(spec), alloc_(spec), cache_(spec) {}
+
+  /// Allocates a device array (256 B aligned like cudaMalloc).
+  Result<DeviceArray> Alloc(int64_t bytes);
+
+  /// Simulates one texture fetch of x[col] for the binding based at
+  /// `x_addr`. A miss charges a cache-line fill against `warp`'s traffic and
+  /// a stall against its issue cycles (long-latency gathers are only partly
+  /// hidden by multithreading — the effect the texture cache exists to
+  /// remove, and the reason tiling pays off before the bandwidth ceiling).
+  void TexFetch(uint64_t x_addr, int64_t col, gpusim::WarpWork* warp);
+
+  /// Invalidate the texture cache (re-binding between launches).
+  void FlushTexture() { cache_.Flush(); }
+
+  /// Scatter traffic: n independent 4-byte accesses, each its own minimum
+  /// transaction (models uncoalesced y updates).
+  uint64_t ScatterBytes(uint64_t n) const {
+    return n * static_cast<uint64_t>(spec_.min_transaction_bytes);
+  }
+
+  /// Streaming traffic of `bytes` starting at `addr` (coalesced).
+  uint64_t StreamBytes(uint64_t addr, uint64_t bytes) const {
+    return gpusim::SequentialTraffic(addr, bytes, spec_).bytes;
+  }
+
+  /// Starts recording a new kernel launch.
+  void BeginLaunch() { launches_.emplace_back(); }
+
+  /// Adds a warp's work to the current launch.
+  void AddWarp(const gpusim::WarpWork& warp);
+
+  /// Finalizes: runs the cost model over all launches and fills `timing`
+  /// (flops / useful_bytes must be set by the caller).
+  void Finalize(KernelTiming* timing) const;
+
+  const gpusim::DeviceSpec& spec() const { return spec_; }
+  gpusim::TextureCache& cache() { return cache_; }
+  int64_t allocated_bytes() const { return alloc_.allocated_bytes(); }
+
+ private:
+  gpusim::DeviceSpec spec_;
+  gpusim::DeviceAllocator alloc_;
+  gpusim::TextureCache cache_;
+  std::vector<gpusim::KernelLaunch> launches_;
+};
+
+}  // namespace tilespmv::gpu
+
+#endif  // TILESPMV_KERNELS_GPU_COMMON_H_

@@ -1,0 +1,79 @@
+#include "kernels/spmv.h"
+
+#include "core/tile_composite.h"
+#include "core/tile_coo.h"
+#include "kernels/cpu_csr.h"
+#include "kernels/spmv_coo.h"
+#include "kernels/spmv_csr_scalar.h"
+#include "kernels/spmv_csr5.h"
+#include "kernels/spmv_csr_vector.h"
+#include "kernels/spmv_dia.h"
+#include "kernels/spmv_ell.h"
+#include "kernels/spmv_hyb.h"
+#include "kernels/spmv_merge_csr.h"
+#include "kernels/spmv_pkt.h"
+#include "kernels/spmv_sell.h"
+#include "util/check.h"
+
+namespace tilespmv {
+
+const Permutation SpMVKernel::kIdentityPerm = {};
+
+void MultiplyOriginal(const SpMVKernel& kernel, const std::vector<float>& x,
+                      std::vector<float>* y) {
+  const Permutation& col_perm = kernel.col_permutation();
+  const Permutation& row_perm = kernel.row_permutation();
+  if (col_perm.empty() && row_perm.empty()) {
+    kernel.Multiply(x, y);
+    return;
+  }
+  std::vector<float> x_internal;
+  const std::vector<float>* xp = &x;
+  if (!col_perm.empty()) {
+    PermuteVector(col_perm, x, &x_internal);
+    xp = &x_internal;
+  }
+  std::vector<float> y_internal;
+  kernel.Multiply(*xp, row_perm.empty() ? y : &y_internal);
+  if (!row_perm.empty()) {
+    UnpermuteVector(row_perm, y_internal, y);
+  }
+}
+
+std::unique_ptr<SpMVKernel> CreateKernel(std::string_view name,
+                                         const gpusim::DeviceSpec& spec) {
+  if (name == "cpu-csr") return std::make_unique<CpuCsrKernel>(spec);
+  if (name == "csr") return std::make_unique<CsrScalarKernel>(spec);
+  if (name == "csr-vector") return std::make_unique<CsrVectorKernel>(spec);
+  if (name == "bsk-bdw") return std::make_unique<BskBdwKernel>(spec);
+  if (name == "coo") return std::make_unique<CooKernel>(spec);
+  if (name == "ell") return std::make_unique<EllKernel>(spec);
+  if (name == "hyb") return std::make_unique<HybKernel>(spec);
+  if (name == "dia") return std::make_unique<DiaKernel>(spec);
+  if (name == "pkt") return std::make_unique<PktKernel>(spec);
+  if (name == "merge-csr") return std::make_unique<MergeCsrKernel>(spec);
+  if (name == "csr5") return std::make_unique<Csr5Kernel>(spec);
+  if (name == "sell-c-sigma") return std::make_unique<SellKernel>(spec);
+  if (name == "tile-coo") return std::make_unique<TileCooKernel>(spec);
+  if (name == "tile-composite")
+    return std::make_unique<TileCompositeKernel>(spec);
+  return nullptr;
+}
+
+const std::vector<std::string>& AllKernelNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "cpu-csr",   "csr",  "csr-vector", "bsk-bdw", "coo",
+      "ell",       "hyb",  "dia",        "pkt",     "merge-csr",
+      "csr5",      "sell-c-sigma", "tile-coo", "tile-composite"};
+  return *kNames;
+}
+
+const std::vector<std::string>& GpuKernelNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "csr",  "csr-vector", "bsk-bdw", "coo",       "ell",
+      "hyb",  "dia",        "pkt",     "merge-csr", "csr5",
+      "sell-c-sigma", "tile-coo", "tile-composite"};
+  return *kNames;
+}
+
+}  // namespace tilespmv

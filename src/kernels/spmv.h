@@ -1,0 +1,121 @@
+#ifndef TILESPMV_KERNELS_SPMV_H_
+#define TILESPMV_KERNELS_SPMV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/cost_model.h"
+#include "gpusim/device_spec.h"
+#include "sparse/csr.h"
+#include "sparse/permute.h"
+#include "util/status.h"
+
+namespace tilespmv {
+
+/// Modeled cost of one y = A*x invocation. `seconds` comes from the gpusim
+/// cost model (or the CPU model for the baseline); the GFLOPS / GB/s
+/// accessors reproduce the paper's two reporting metrics — note the
+/// bandwidth metric uses *algorithmic* bytes, so a cache-served kernel can
+/// exceed the device's physical peak exactly as Figure 7 shows for the
+/// dense matrix.
+struct KernelTiming {
+  double seconds = 0.0;
+  uint64_t flops = 0;          ///< 2 * nnz.
+  uint64_t useful_bytes = 0;   ///< Algorithmic traffic (paper's GB/s metric).
+  uint64_t global_bytes = 0;   ///< Modeled DRAM traffic after caching.
+  uint64_t tex_hits = 0;
+  uint64_t tex_misses = 0;
+  int launches = 0;
+  int waves = 0;
+  double worst_camping_factor = 1.0;
+  uint64_t device_bytes = 0;  ///< Device memory the kernel's structures use.
+  /// Per-launch cost breakdown (compute- vs memory-bound, camping, waves) —
+  /// the diagnostic surface behind spmv_cli's verbose output.
+  std::vector<gpusim::LaunchEstimate> launch_details;
+
+  double gflops() const {
+    return seconds > 0 ? static_cast<double>(flops) / seconds * 1e-9 : 0.0;
+  }
+  double gbps() const {
+    return seconds > 0 ? static_cast<double>(useful_bytes) / seconds * 1e-9
+                       : 0.0;
+  }
+  double TexHitRate() const {
+    uint64_t t = tex_hits + tex_misses;
+    return t == 0 ? 0.0 : static_cast<double>(tex_hits) / t;
+  }
+};
+
+/// An SpMV kernel: a storage format plus an execution strategy. Setup()
+/// builds the (modeled) device data structures from a host CSR matrix and
+/// walks the execution once to derive `timing()` — the cost of one multiply
+/// is a function of structure only, so iterative callers reuse it.
+///
+/// Some kernels relabel the matrix during Setup (the tile kernels sort
+/// columns/rows). Multiply() therefore operates in the kernel's *internal*
+/// index space: x must be permuted by col_permutation() and y comes out
+/// permuted by row_permutation(). For identity relabelings both return an
+/// empty vector. MultiplyOriginal() wraps the bookkeeping; iterative graph
+/// algorithms instead run entirely in internal space (valid for the square,
+/// symmetrically relabeled matrices they use) and unpermute once at the end,
+/// exactly as the paper's one-off preprocessing does.
+class SpMVKernel {
+ public:
+  explicit SpMVKernel(const gpusim::DeviceSpec& spec) : spec_(spec) {}
+  virtual ~SpMVKernel() = default;
+
+  SpMVKernel(const SpMVKernel&) = delete;
+  SpMVKernel& operator=(const SpMVKernel&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  /// Builds device structures, simulates one multiply, records timing().
+  virtual Status Setup(const CsrMatrix& a) = 0;
+
+  /// y = A * x in internal index space. Requires a successful Setup.
+  virtual void Multiply(const std::vector<float>& x,
+                        std::vector<float>* y) const = 0;
+
+  /// Modeled cost of one Multiply() call.
+  const KernelTiming& timing() const { return timing_; }
+
+  /// new -> old row relabeling applied by Setup (empty = identity).
+  virtual const Permutation& row_permutation() const { return kIdentityPerm; }
+  /// new -> old column relabeling applied by Setup (empty = identity).
+  virtual const Permutation& col_permutation() const { return kIdentityPerm; }
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+  const gpusim::DeviceSpec& spec() const { return spec_; }
+
+ protected:
+  static const Permutation kIdentityPerm;  // empty vector
+
+  gpusim::DeviceSpec spec_;
+  KernelTiming timing_;
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+};
+
+/// y = A * x with x and y in the original (pre-relabeling) index space.
+void MultiplyOriginal(const SpMVKernel& kernel, const std::vector<float>& x,
+                      std::vector<float>* y);
+
+/// Creates a kernel by name. Known names: "cpu-csr", "csr", "csr-vector",
+/// "bsk-bdw", "coo", "ell", "hyb", "dia", "pkt", "merge-csr" (retrospective
+/// Merrill-Garland baseline), "tile-coo", "tile-composite". Returns nullptr
+/// for unknown names.
+std::unique_ptr<SpMVKernel> CreateKernel(std::string_view name,
+                                         const gpusim::DeviceSpec& spec);
+
+/// All kernel names, in the order the paper's figures list them.
+const std::vector<std::string>& AllKernelNames();
+
+/// The GPU kernel names (AllKernelNames minus "cpu-csr").
+const std::vector<std::string>& GpuKernelNames();
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_SPMV_H_

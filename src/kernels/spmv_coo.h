@@ -1,0 +1,30 @@
+#ifndef TILESPMV_KERNELS_SPMV_COO_H_
+#define TILESPMV_KERNELS_SPMV_COO_H_
+
+#include "kernels/spmv.h"
+#include "sparse/coo.h"
+
+namespace tilespmv {
+
+/// NVIDIA's COO kernel: the non-zeros are one long vector split into equal
+/// intervals, one per warp — perfectly balanced regardless of row skew, which
+/// is why COO is "the most insensitive to variable row length". The price is
+/// 12 bytes of matrix traffic per non-zero and a segmented reduction whose
+/// same-row checks serialize the warp whenever a stride spans several rows
+/// (Observation 3).
+class CooKernel : public SpMVKernel {
+ public:
+  explicit CooKernel(const gpusim::DeviceSpec& spec) : SpMVKernel(spec) {}
+
+  std::string_view name() const override { return "coo"; }
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+ private:
+  CooMatrix m_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_SPMV_COO_H_

@@ -1,0 +1,47 @@
+#ifndef TILESPMV_KERNELS_SPMV_CSR5_H_
+#define TILESPMV_KERNELS_SPMV_CSR5_H_
+
+#include <vector>
+
+#include "kernels/spmv.h"
+
+namespace tilespmv {
+
+/// CSR5-style SpMV (Liu & Vinter, ICS'15) — the second *retrospective*
+/// baseline: non-zeros are cut into fixed 2D tiles of omega lanes x sigma
+/// rows-of-lanes (here 32 x 16 = 512 entries), stored column-major inside
+/// the tile with per-tile descriptors (row-start bit flags + pointers) so a
+/// warp executes a flag-driven segmented sum with no searches and no
+/// imbalance. Like merge CSR it equalizes work perfectly; like every
+/// CSR-family kernel it still gathers x uncached — the paper's tiling
+/// remains the only locality fix in the zoo.
+class Csr5Kernel : public SpMVKernel {
+ public:
+  explicit Csr5Kernel(const gpusim::DeviceSpec& spec) : SpMVKernel(spec) {}
+
+  std::string_view name() const override { return "csr5"; }
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+  /// One 512-entry tile's descriptor (exposed for tests).
+  struct TileDescriptor {
+    int64_t nnz_begin = 0;
+    int64_t nnz_end = 0;
+    int32_t row_begin = 0;   ///< Row containing the first entry.
+    int32_t row_end = 0;     ///< Row containing the last entry.
+    int32_t row_starts = 0;  ///< Number of row boundaries inside the tile.
+  };
+  const std::vector<TileDescriptor>& tiles() const { return tiles_; }
+
+  static constexpr int kOmega = 32;  ///< Lanes (warp width).
+  static constexpr int kSigma = 16;  ///< Entries per lane per tile.
+
+ private:
+  CsrMatrix a_;
+  std::vector<TileDescriptor> tiles_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_SPMV_CSR5_H_

@@ -1,0 +1,103 @@
+#include "kernels/spmv_csr_scalar.h"
+
+#include <algorithm>
+
+#include "kernels/gpu_common.h"
+
+namespace tilespmv {
+
+Status CsrScalarKernel::Setup(const CsrMatrix& a) {
+  TILESPMV_RETURN_IF_ERROR(a.Validate());
+  a_ = a;
+  rows_ = a.rows;
+  cols_ = a.cols;
+
+  gpu::SimContext ctx(spec_);
+  Result<gpu::DeviceArray> row_ptr_arr =
+      ctx.Alloc((static_cast<int64_t>(a.rows) + 1) * 4);
+  Result<gpu::DeviceArray> col_arr = ctx.Alloc(a.nnz() * 4);
+  Result<gpu::DeviceArray> val_arr = ctx.Alloc(a.nnz() * 4);
+  Result<gpu::DeviceArray> x_arr = ctx.Alloc(static_cast<int64_t>(a.cols) * 4);
+  Result<gpu::DeviceArray> y_arr = ctx.Alloc(static_cast<int64_t>(a.rows) * 4);
+  for (const auto* r : {&row_ptr_arr, &col_arr, &val_arr, &x_arr, &y_arr}) {
+    if (!r->ok()) return r->status();
+  }
+  const uint64_t val_addr = val_arr.value().addr;
+  const uint64_t x_addr = x_arr.value().addr;
+  const int ws = spec_.warp_size;
+
+  ctx.BeginLaunch();
+  for (int32_t r0 = 0; r0 < a.rows; r0 += ws) {
+    int32_t r1 = std::min(a.rows, r0 + ws);
+    gpusim::WarpWork warp;
+    warp.start_address = val_addr + 4 * static_cast<uint64_t>(a.row_ptr[r0]);
+
+    int64_t max_len = 0;
+    int64_t sum_len = 0;
+    for (int32_t r = r0; r < r1; ++r) {
+      max_len = std::max(max_len, a.RowLength(r));
+      sum_len += a.RowLength(r);
+    }
+    // The warp issues for its longest row; threads on short rows idle.
+    uint64_t instrs = gpu::InstrCosts::kWarpSetup +
+                      static_cast<uint64_t>(max_len) *
+                          gpu::InstrCosts::kSpmvInner +
+                      gpu::InstrCosts::kRowEpilogue;
+    warp.issue_cycles =
+        instrs * static_cast<uint64_t>(spec_.cycles_per_warp_instr);
+
+    // Per-thread val/col walks: lanes sit at per-row offsets, so the
+    // coalescing ratio of the first iteration (all lanes alive) carries over
+    // the walk — compute it exactly, then scale by total elements.
+    uint64_t lane_addrs[32];
+    int lanes = 0;
+    uint64_t matrix_bytes = 0;
+    for (int32_t hw = r0; hw < r1; hw += spec_.half_warp) {
+      lanes = 0;
+      for (int32_t r = hw; r < std::min(r1, hw + spec_.half_warp); ++r) {
+        if (a.RowLength(r) > 0) {
+          lane_addrs[lanes++] =
+              val_addr + 4 * static_cast<uint64_t>(a.row_ptr[r]);
+        }
+      }
+      if (lanes == 0) continue;
+      gpusim::CoalesceResult co =
+          gpusim::CoalesceHalfWarp(lane_addrs, lanes, 4, spec_);
+      double ratio = static_cast<double>(co.bytes) / lanes;
+      int64_t hw_nnz = 0;
+      for (int32_t r = hw; r < std::min(r1, hw + spec_.half_warp); ++r)
+        hw_nnz += a.RowLength(r);
+      // x2: the col walk mirrors the val walk.
+      matrix_bytes += static_cast<uint64_t>(2.0 * ratio * hw_nnz);
+    }
+    warp.scattered_bytes += matrix_bytes;
+    // row_ptr loads (two per thread, coalesced) and the y write-back.
+    warp.global_bytes += ctx.StreamBytes(
+        row_ptr_arr.value().addr + 4 * static_cast<uint64_t>(r0),
+        4 * static_cast<uint64_t>(r1 - r0 + 1));
+    warp.global_bytes +=
+        ctx.StreamBytes(y_arr.value().addr + 4 * static_cast<uint64_t>(r0),
+                        4 * static_cast<uint64_t>(r1 - r0));
+    // x gathers via texture.
+    for (int32_t r = r0; r < r1; ++r) {
+      for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+        ctx.TexFetch(x_addr, a.col_idx[k], &warp);
+      }
+    }
+    ctx.AddWarp(warp);
+  }
+
+  timing_ = KernelTiming{};
+  timing_.flops = 2 * static_cast<uint64_t>(a.nnz());
+  timing_.useful_bytes = static_cast<uint64_t>(a.nnz()) * 12 +
+                         static_cast<uint64_t>(a.rows) * 12;
+  ctx.Finalize(&timing_);
+  return Status::OK();
+}
+
+void CsrScalarKernel::Multiply(const std::vector<float>& x,
+                               std::vector<float>* y) const {
+  CsrMultiply(a_, x, y);
+}
+
+}  // namespace tilespmv

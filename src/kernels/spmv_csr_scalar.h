@@ -1,0 +1,28 @@
+#ifndef TILESPMV_KERNELS_SPMV_CSR_SCALAR_H_
+#define TILESPMV_KERNELS_SPMV_CSR_SCALAR_H_
+
+#include "kernels/spmv.h"
+
+namespace tilespmv {
+
+/// NVIDIA's CSR (scalar) kernel: one thread per row. The whole warp is held
+/// hostage by its longest row and the per-thread walks through val/col are
+/// uncoalesced — the two reasons this kernel collapses on power-law rows
+/// (Appendix B).
+class CsrScalarKernel : public SpMVKernel {
+ public:
+  explicit CsrScalarKernel(const gpusim::DeviceSpec& spec)
+      : SpMVKernel(spec) {}
+
+  std::string_view name() const override { return "csr"; }
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+ private:
+  CsrMatrix a_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_SPMV_CSR_SCALAR_H_

@@ -1,0 +1,117 @@
+#include "kernels/spmv_csr_vector.h"
+
+#include <algorithm>
+
+#include "kernels/gpu_common.h"
+
+namespace tilespmv {
+namespace {
+
+/// Shared Setup for the two warp/half-warp-per-row kernels.
+/// `lanes_per_row` is 32 for CSR-vector and 16 for BSK & BDW; `padded`
+/// selects BSK & BDW's aligned, padded row storage.
+Status SetupRowVector(const CsrMatrix& a, const gpusim::DeviceSpec& spec,
+                      int lanes_per_row, bool padded, KernelTiming* timing) {
+  gpu::SimContext ctx(spec);
+  Result<gpu::DeviceArray> row_ptr_arr =
+      ctx.Alloc((static_cast<int64_t>(a.rows) + 1) * 4);
+  // BSK & BDW pad each row to a multiple of lanes_per_row.
+  int64_t stored = 0;
+  for (int32_t r = 0; r < a.rows; ++r) {
+    int64_t len = a.RowLength(r);
+    stored += padded ? (len + lanes_per_row - 1) / lanes_per_row *
+                           lanes_per_row
+                     : len;
+  }
+  Result<gpu::DeviceArray> col_arr = ctx.Alloc(stored * 4);
+  Result<gpu::DeviceArray> val_arr = ctx.Alloc(stored * 4);
+  Result<gpu::DeviceArray> x_arr = ctx.Alloc(static_cast<int64_t>(a.cols) * 4);
+  Result<gpu::DeviceArray> y_arr = ctx.Alloc(static_cast<int64_t>(a.rows) * 4);
+  for (const auto* r : {&row_ptr_arr, &col_arr, &val_arr, &x_arr, &y_arr}) {
+    if (!r->ok()) return r->status();
+  }
+  const uint64_t val_addr = val_arr.value().addr;
+  const uint64_t x_addr = x_arr.value().addr;
+  const int rows_per_warp = spec.warp_size / lanes_per_row;
+  const int reduce_steps = lanes_per_row == 32 ? 5 : 4;
+
+  ctx.BeginLaunch();
+  int64_t stored_cursor = 0;
+  for (int32_t r0 = 0; r0 < a.rows; r0 += rows_per_warp) {
+    int32_t r1 = std::min(a.rows, r0 + rows_per_warp);
+    gpusim::WarpWork warp;
+    warp.start_address =
+        val_addr + 4 * static_cast<uint64_t>(padded ? stored_cursor
+                                                    : a.row_ptr[r0]);
+    uint64_t instrs = gpu::InstrCosts::kWarpSetup;
+    for (int32_t r = r0; r < r1; ++r) {
+      int64_t len = a.RowLength(r);
+      int64_t strides = (len + lanes_per_row - 1) / lanes_per_row;
+      // Even an empty row pays one stride of predicated lanes plus the
+      // reduction — the wasted-lane effect on short power-law rows.
+      strides = std::max<int64_t>(strides, 1);
+      instrs += static_cast<uint64_t>(strides) * gpu::InstrCosts::kSpmvInner +
+                static_cast<uint64_t>(reduce_steps) *
+                    gpu::InstrCosts::kReduceStep +
+                gpu::InstrCosts::kRowEpilogue;
+      int64_t padded_len = strides * lanes_per_row;
+      int64_t stream_len = padded ? padded_len : len;
+      uint64_t start =
+          val_addr + 4 * static_cast<uint64_t>(padded ? stored_cursor
+                                                      : a.row_ptr[r]);
+      // val and col streams.
+      warp.global_bytes +=
+          2 * ctx.StreamBytes(start, 4 * static_cast<uint64_t>(stream_len));
+      // x gathers through texture.
+      for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+        ctx.TexFetch(x_addr, a.col_idx[k], &warp);
+      }
+      // One y write by lane 0 (its own transaction).
+      warp.scattered_bytes += ctx.ScatterBytes(1);
+      if (padded) stored_cursor += padded_len;
+    }
+    warp.issue_cycles +=
+        instrs * static_cast<uint64_t>(spec.cycles_per_warp_instr);
+    ctx.AddWarp(warp);
+  }
+
+  *timing = KernelTiming{};
+  timing->flops = 2 * static_cast<uint64_t>(a.nnz());
+  timing->useful_bytes =
+      static_cast<uint64_t>(padded ? stored : a.nnz()) * 8 +
+      static_cast<uint64_t>(a.nnz()) * 4 + static_cast<uint64_t>(a.rows) * 12;
+  ctx.Finalize(timing);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CsrVectorKernel::Setup(const CsrMatrix& a) {
+  TILESPMV_RETURN_IF_ERROR(a.Validate());
+  a_ = a;
+  rows_ = a.rows;
+  cols_ = a.cols;
+  return SetupRowVector(a, spec_, /*lanes_per_row=*/32, /*padded=*/false,
+                        &timing_);
+}
+
+void CsrVectorKernel::Multiply(const std::vector<float>& x,
+                               std::vector<float>* y) const {
+  CsrMultiply(a_, x, y);
+}
+
+Status BskBdwKernel::Setup(const CsrMatrix& a) {
+  TILESPMV_RETURN_IF_ERROR(a.Validate());
+  a_ = a;
+  rows_ = a.rows;
+  cols_ = a.cols;
+  return SetupRowVector(a, spec_, /*lanes_per_row=*/16, /*padded=*/true,
+                        &timing_);
+}
+
+void BskBdwKernel::Multiply(const std::vector<float>& x,
+                            std::vector<float>* y) const {
+  CsrMultiply(a_, x, y);
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,44 @@
+#ifndef TILESPMV_KERNELS_SPMV_CSR_VECTOR_H_
+#define TILESPMV_KERNELS_SPMV_CSR_VECTOR_H_
+
+#include "kernels/spmv.h"
+
+namespace tilespmv {
+
+/// NVIDIA's CSR-vector kernel: one 32-thread warp per row, strided walk plus
+/// a 5-step binary reduction. Coalesced and check-free, but rows shorter
+/// than the warp waste most lanes — and most power-law rows are shorter than
+/// 32 (Appendix B).
+class CsrVectorKernel : public SpMVKernel {
+ public:
+  explicit CsrVectorKernel(const gpusim::DeviceSpec& spec)
+      : SpMVKernel(spec) {}
+
+  std::string_view name() const override { return "csr-vector"; }
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+ private:
+  CsrMatrix a_;
+};
+
+/// Baskaran & Bordawekar's optimized CSR kernel: half-warp per row with the
+/// row storage padded for fully coalesced accesses. Better than CSR-vector
+/// on medium rows; still wasteful below 16 non-zeros per row.
+class BskBdwKernel : public SpMVKernel {
+ public:
+  explicit BskBdwKernel(const gpusim::DeviceSpec& spec) : SpMVKernel(spec) {}
+
+  std::string_view name() const override { return "bsk-bdw"; }
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+ private:
+  CsrMatrix a_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_SPMV_CSR_VECTOR_H_

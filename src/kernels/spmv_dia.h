@@ -1,0 +1,30 @@
+#ifndef TILESPMV_KERNELS_SPMV_DIA_H_
+#define TILESPMV_KERNELS_SPMV_DIA_H_
+
+#include "kernels/spmv.h"
+#include "sparse/dia.h"
+
+namespace tilespmv {
+
+/// NVIDIA's DIA kernel: one thread per row over dense diagonal storage.
+/// Fully coalesced, x accessed contiguously — but Setup fails unless the
+/// matrix is banded, matching "the code of these two kernels cannot run on
+/// matrices of power-law graphs".
+class DiaKernel : public SpMVKernel {
+ public:
+  explicit DiaKernel(const gpusim::DeviceSpec& spec) : SpMVKernel(spec) {}
+
+  std::string_view name() const override { return "dia"; }
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+ private:
+  /// Diagonal count past which the format is declared inapplicable.
+  static constexpr int32_t kMaxDiagonals = 512;
+  DiaMatrix m_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_SPMV_DIA_H_

@@ -1,0 +1,106 @@
+#include "kernels/spmv_ell.h"
+
+#include <algorithm>
+
+#include "kernels/walks.h"
+
+namespace tilespmv {
+namespace gpu {
+
+Status SimulateEllLaunch(const EllMatrix& m, uint64_t x_addr, uint64_t y_addr,
+                         SimContext* ctx) {
+  const gpusim::DeviceSpec& spec = ctx->spec();
+  Result<DeviceArray> col_arr = ctx->Alloc(m.PaddedEntries() * 4);
+  Result<DeviceArray> val_arr = ctx->Alloc(m.PaddedEntries() * 4);
+  for (const auto* r : {&col_arr, &val_arr}) {
+    if (!r->ok()) return r->status();
+  }
+  if (m.rows == 0 || m.width == 0) return Status::OK();
+  const int ws = spec.warp_size;
+
+  ctx->BeginLaunch();
+  for (int32_t r0 = 0; r0 < m.rows; r0 += ws) {
+    int32_t r1 = std::min(m.rows, r0 + ws);
+    gpusim::WarpWork warp;
+    // Column-major storage: the warp's stream starts at its rows in slot 0.
+    warp.start_address = val_arr.value().addr + 4 * static_cast<uint64_t>(r0);
+    uint64_t instrs = gpu::InstrCosts::kWarpSetup +
+                      static_cast<uint64_t>(m.width) *
+                          gpu::InstrCosts::kEllInner;
+    warp.issue_cycles =
+        instrs * static_cast<uint64_t>(spec.cycles_per_warp_instr);
+    for (int32_t j = 0; j < m.width; ++j) {
+      // val + col for 32 consecutive rows: fully coalesced.
+      uint64_t slot_addr =
+          4 * (static_cast<uint64_t>(j) * m.rows + static_cast<uint64_t>(r0));
+      warp.global_bytes +=
+          ctx->StreamBytes(val_arr.value().addr + slot_addr,
+                           4 * static_cast<uint64_t>(r1 - r0)) +
+          ctx->StreamBytes(col_arr.value().addr + slot_addr,
+                           4 * static_cast<uint64_t>(r1 - r0));
+      // x fetches for non-padding slots.
+      for (int32_t r = r0; r < r1; ++r) {
+        int32_t c = m.col_idx[static_cast<size_t>(j) * m.rows + r];
+        if (c != EllMatrix::kEllPad) {
+          ctx->TexFetch(x_addr, c, &warp);
+        }
+      }
+    }
+    // Coalesced y writes, one float per row.
+    warp.global_bytes += ctx->StreamBytes(
+        y_addr + 4 * static_cast<uint64_t>(r0),
+        4 * static_cast<uint64_t>(r1 - r0));
+    ctx->AddWarp(warp);
+  }
+  return Status::OK();
+}
+
+uint64_t EllUsefulBytes(const EllMatrix& m) {
+  return static_cast<uint64_t>(m.PaddedEntries()) * 8 +
+         static_cast<uint64_t>(m.nnz()) * 4 +
+         static_cast<uint64_t>(m.rows) * 4;
+}
+
+}  // namespace gpu
+
+Status EllKernel::Setup(const CsrMatrix& a) {
+  TILESPMV_RETURN_IF_ERROR(a.Validate());
+  rows_ = a.rows;
+  cols_ = a.cols;
+  // Leave room for x and y next to the padded arrays.
+  int64_t budget = spec_.global_mem_bytes -
+                   4 * (static_cast<int64_t>(a.rows) + a.cols);
+  Result<EllMatrix> built = EllFromCsr(a, budget);
+  if (!built.ok()) return built.status();
+  m_ = built.take();
+
+  gpu::SimContext ctx(spec_);
+  Result<gpu::DeviceArray> x_arr = ctx.Alloc(static_cast<int64_t>(a.cols) * 4);
+  Result<gpu::DeviceArray> y_arr = ctx.Alloc(static_cast<int64_t>(a.rows) * 4);
+  for (const auto* r : {&x_arr, &y_arr}) {
+    if (!r->ok()) return r->status();
+  }
+  TILESPMV_RETURN_IF_ERROR(gpu::SimulateEllLaunch(m_, x_arr.value().addr,
+                                                  y_arr.value().addr, &ctx));
+  timing_ = KernelTiming{};
+  timing_.flops = 2 * static_cast<uint64_t>(a.nnz());
+  timing_.useful_bytes = gpu::EllUsefulBytes(m_);
+  ctx.Finalize(&timing_);
+  return Status::OK();
+}
+
+void EllKernel::Multiply(const std::vector<float>& x,
+                         std::vector<float>* y) const {
+  y->assign(rows_, 0.0f);
+  for (int32_t j = 0; j < m_.width; ++j) {
+    for (int32_t r = 0; r < m_.rows; ++r) {
+      size_t slot = static_cast<size_t>(j) * m_.rows + r;
+      int32_t c = m_.col_idx[slot];
+      if (c != EllMatrix::kEllPad) {
+        (*y)[r] += m_.values[slot] * x[c];
+      }
+    }
+  }
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,28 @@
+#ifndef TILESPMV_KERNELS_SPMV_ELL_H_
+#define TILESPMV_KERNELS_SPMV_ELL_H_
+
+#include "kernels/spmv.h"
+#include "sparse/ell.h"
+
+namespace tilespmv {
+
+/// NVIDIA's ELL kernel: one thread per row over column-major padded storage.
+/// Peak efficiency on uniformly short rows; on a power-law matrix the padded
+/// width explodes and Setup fails with RESOURCE_EXHAUSTED — the same failure
+/// mode that keeps standalone ELL out of the paper's graph-mining runs.
+class EllKernel : public SpMVKernel {
+ public:
+  explicit EllKernel(const gpusim::DeviceSpec& spec) : SpMVKernel(spec) {}
+
+  std::string_view name() const override { return "ell"; }
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+ private:
+  EllMatrix m_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_SPMV_ELL_H_

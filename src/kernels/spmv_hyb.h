@@ -1,0 +1,29 @@
+#ifndef TILESPMV_KERNELS_SPMV_HYB_H_
+#define TILESPMV_KERNELS_SPMV_HYB_H_
+
+#include "kernels/spmv.h"
+#include "sparse/hyb.h"
+
+namespace tilespmv {
+
+/// NVIDIA's HYB kernel: the typical row prefix in ELL, the long-row overflow
+/// in COO — the best library kernel on power-law matrices, and the paper's
+/// main competitor.
+class HybKernel : public SpMVKernel {
+ public:
+  explicit HybKernel(const gpusim::DeviceSpec& spec) : SpMVKernel(spec) {}
+
+  std::string_view name() const override { return "hyb"; }
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+  const HybMatrix& hyb() const { return m_; }
+
+ private:
+  HybMatrix m_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_SPMV_HYB_H_

@@ -1,0 +1,45 @@
+#ifndef TILESPMV_KERNELS_SPMV_MERGE_CSR_H_
+#define TILESPMV_KERNELS_SPMV_MERGE_CSR_H_
+
+#include <vector>
+
+#include "kernels/spmv.h"
+
+namespace tilespmv {
+
+/// Merge-based CSR SpMV (Merrill & Garland, SC'16) — a *retrospective*
+/// baseline, five years after the paper: SpMV is recast as a 2D merge of
+/// the row-end offsets with the non-zero indices, and the merge path is
+/// split into exactly equal-length diagonals, one per warp. Row skew can
+/// never imbalance it (a hub row simply spans several warps, reconciled by
+/// carry-out/carry-in fixup), at the cost of the same uncached x gathers
+/// every CSR-family kernel pays. Included to show where the paper's
+/// texture-tiling contribution stands against later scheduling work: merge
+/// CSR fixes the balance problem but not the locality problem.
+class MergeCsrKernel : public SpMVKernel {
+ public:
+  explicit MergeCsrKernel(const gpusim::DeviceSpec& spec)
+      : SpMVKernel(spec) {}
+
+  std::string_view name() const override { return "merge-csr"; }
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+  /// Merge-path segment assigned to one warp (exposed for tests).
+  struct Segment {
+    int32_t row_begin = 0;  ///< First row this warp touches.
+    int32_t row_end = 0;    ///< One past the last row it completes.
+    int64_t nnz_begin = 0;
+    int64_t nnz_end = 0;
+  };
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  CsrMatrix a_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_SPMV_MERGE_CSR_H_

@@ -1,0 +1,109 @@
+#include "kernels/spmv_pkt.h"
+
+#include <algorithm>
+
+#include "kernels/gpu_common.h"
+
+namespace tilespmv {
+
+Status PktKernel::Setup(const CsrMatrix& a) {
+  TILESPMV_RETURN_IF_ERROR(a.Validate());
+  rows_ = a.rows;
+  cols_ = a.cols;
+  const int32_t shared_floats = spec_.shared_mem_bytes_per_sm / 4;
+  Result<PktMatrix> built = PktFromCsr(a, shared_floats);
+  if (!built.ok()) return built.status();
+  m_ = built.take();
+
+  gpu::SimContext ctx(spec_);
+  Result<gpu::DeviceArray> val_arr = ctx.Alloc(a.nnz() * 4);
+  Result<gpu::DeviceArray> col_arr = ctx.Alloc(a.nnz() * 4);
+  Result<gpu::DeviceArray> x_arr = ctx.Alloc(static_cast<int64_t>(a.cols) * 4);
+  Result<gpu::DeviceArray> y_arr = ctx.Alloc(static_cast<int64_t>(a.rows) * 4);
+  for (const auto* r : {&val_arr, &col_arr, &x_arr, &y_arr}) {
+    if (!r->ok()) return r->status();
+  }
+  const int ws = spec_.warp_size;
+  const int warps_per_block = 8;  // 256 threads per block.
+
+  ctx.BeginLaunch();
+  int64_t val_cursor = 0;
+  for (const Packet& p : m_.packets) {
+    // Stage the x footprint into shared memory: the packet's distinct
+    // columns, gathered once. Footprint columns are sorted but sparse; each
+    // costs one minimum transaction unless adjacent.
+    uint64_t stage_bytes = 0;
+    {
+      int32_t prev = -1000000;
+      for (int32_t c : p.x_columns) {
+        if (prev >= 0 && (c - prev) * 4 < spec_.min_transaction_bytes) {
+          // Shares the previous transaction.
+        } else {
+          stage_bytes += static_cast<uint64_t>(spec_.min_transaction_bytes);
+        }
+        prev = c;
+      }
+    }
+    // Distribute the packet's rows round-robin over the block's warps.
+    const int32_t num_rows = static_cast<int32_t>(p.rows.size());
+    for (int w = 0; w < warps_per_block; ++w) {
+      gpusim::WarpWork warp;
+      warp.start_address =
+          val_arr.value().addr + 4 * static_cast<uint64_t>(val_cursor);
+      uint64_t instrs = gpu::InstrCosts::kWarpSetup;
+      int64_t warp_nnz = 0;
+      // Warp w owns rows w*32 + k*(warps*32) .. in chunks of 32.
+      for (int32_t chunk = w * ws; chunk < num_rows;
+           chunk += warps_per_block * ws) {
+        int64_t max_len = 0;
+        for (int32_t i = chunk; i < std::min(num_rows, chunk + ws); ++i) {
+          int64_t len = p.row_ptr[i + 1] - p.row_ptr[i];
+          max_len = std::max(max_len, len);
+          warp_nnz += len;
+        }
+        instrs += static_cast<uint64_t>(max_len) * gpu::InstrCosts::kSpmvInner +
+                  gpu::InstrCosts::kRowEpilogue;
+      }
+      warp.issue_cycles =
+          instrs * static_cast<uint64_t>(spec_.cycles_per_warp_instr);
+      // Matrix data streams (local col index + value); x comes from shared
+      // memory — no global traffic, PKT's whole point.
+      warp.global_bytes += ctx.StreamBytes(
+          warp.start_address, 8 * static_cast<uint64_t>(warp_nnz));
+      if (w == 0) {
+        warp.global_bytes += stage_bytes;
+        // y writes for the block's rows (contiguous blocks of rows).
+        warp.global_bytes += ctx.StreamBytes(
+            y_arr.value().addr + 4 * static_cast<uint64_t>(p.rows.front()),
+            4 * static_cast<uint64_t>(num_rows));
+      }
+      ctx.AddWarp(warp);
+    }
+    val_cursor += p.nnz();
+  }
+
+  timing_ = KernelTiming{};
+  timing_.flops = 2 * static_cast<uint64_t>(a.nnz());
+  uint64_t footprint = 0;
+  for (const Packet& p : m_.packets) footprint += p.x_columns.size();
+  timing_.useful_bytes = static_cast<uint64_t>(a.nnz()) * 8 + footprint * 4 +
+                         static_cast<uint64_t>(a.rows) * 4;
+  ctx.Finalize(&timing_);
+  return Status::OK();
+}
+
+void PktKernel::Multiply(const std::vector<float>& x,
+                         std::vector<float>* y) const {
+  y->assign(rows_, 0.0f);
+  for (const Packet& p : m_.packets) {
+    for (size_t i = 0; i < p.rows.size(); ++i) {
+      float sum = 0.0f;
+      for (int64_t k = p.row_ptr[i]; k < p.row_ptr[i + 1]; ++k) {
+        sum += p.values[k] * x[p.x_columns[p.local_col[k]]];
+      }
+      (*y)[p.rows[i]] += sum;
+    }
+  }
+}
+
+}  // namespace tilespmv

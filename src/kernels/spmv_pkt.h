@@ -1,0 +1,29 @@
+#ifndef TILESPMV_KERNELS_SPMV_PKT_H_
+#define TILESPMV_KERNELS_SPMV_PKT_H_
+
+#include "kernels/spmv.h"
+#include "sparse/pkt.h"
+
+namespace tilespmv {
+
+/// NVIDIA's PKT kernel: rows are clustered into packets whose x footprint
+/// fits in shared memory; a thread block stages the footprint once and
+/// computes from on-chip storage. Setup fails on power-law matrices ("the
+/// partition step within this kernel does not produce balanced enough
+/// packets and leads to kernel failure").
+class PktKernel : public SpMVKernel {
+ public:
+  explicit PktKernel(const gpusim::DeviceSpec& spec) : SpMVKernel(spec) {}
+
+  std::string_view name() const override { return "pkt"; }
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+ private:
+  PktMatrix m_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_SPMV_PKT_H_

@@ -1,0 +1,58 @@
+#ifndef TILESPMV_KERNELS_SPMV_SELL_H_
+#define TILESPMV_KERNELS_SPMV_SELL_H_
+
+#include <vector>
+
+#include "kernels/spmv.h"
+#include "sparse/permute.h"
+
+namespace tilespmv {
+
+/// SELL-C-sigma SpMV (Kreutzer et al., SIAM J. Sci. Comput. 2014) — the
+/// third *retrospective* baseline, and the one closest in spirit to the
+/// paper: rows are sorted by length inside windows of sigma rows, then cut
+/// into slices of C (= warp size) rows, each padded only to its own slice
+/// maximum. The paper's composite storage anticipated exactly this
+/// sort-then-pack idea (its column-major workloads are variable-height
+/// slices); SELL-C-sigma standardized the format three years later — but
+/// without the texture tiling, so the x gathers stay cold.
+class SellKernel : public SpMVKernel {
+ public:
+  SellKernel(const gpusim::DeviceSpec& spec, int32_t sigma)
+      : SpMVKernel(spec), sigma_(sigma) {}
+  explicit SellKernel(const gpusim::DeviceSpec& spec)
+      : SellKernel(spec, 8192) {}
+
+  std::string_view name() const override { return "sell-c-sigma"; }
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+  const Permutation& row_permutation() const override { return row_perm_; }
+  const Permutation& col_permutation() const override { return col_perm_; }
+
+  /// One slice: C consecutive (sorted) rows padded to the slice max length.
+  struct Slice {
+    int32_t row_begin = 0;  ///< In sorted row order.
+    int32_t rows = 0;
+    int32_t width = 0;      ///< Slice-local max row length.
+  };
+  const std::vector<Slice>& slices() const { return slices_; }
+
+  /// Total padded slots (the format's overhead metric; beta in the SELL
+  /// paper is nnz / padded).
+  int64_t padded_slots() const { return padded_slots_; }
+
+ private:
+  int32_t sigma_;
+  Permutation row_perm_;  // new -> old, sigma-window sorted.
+  Permutation col_perm_;  // Same as row_perm_ for square inputs (symmetric
+                          // relabeling keeps the power method in one space).
+  CsrMatrix sorted_;      // Rows permuted by row_perm_.
+  std::vector<Slice> slices_;
+  int64_t padded_slots_ = 0;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_SPMV_SELL_H_

@@ -1,0 +1,37 @@
+#ifndef TILESPMV_KERNELS_WALKS_H_
+#define TILESPMV_KERNELS_WALKS_H_
+
+#include <cstdint>
+
+#include "kernels/gpu_common.h"
+#include "sparse/coo.h"
+#include "sparse/ell.h"
+
+namespace tilespmv::gpu {
+
+/// Simulates one launch of the NVIDIA COO kernel over `m`: equal-length
+/// intervals per warp, strided walk, intra-stride segmented reduction with
+/// the same-row checks that serialize divergent warps (Observation 3), plus
+/// the small carry-combination second launch. Allocates the row/col/val
+/// arrays in `ctx` and records launches. `x_addr` is the texture binding of
+/// the x vector (or x segment); `y_addr` receives scattered row updates.
+/// `accumulate_into_y` adds a read-modify-write per touched row (used when
+/// tile partial results are combined).
+Status SimulateCooLaunch(const CooMatrix& m, uint64_t x_addr, uint64_t y_addr,
+                         bool accumulate_into_y, SimContext* ctx);
+
+/// Simulates one launch of the NVIDIA ELL kernel over `m`: one thread per
+/// row, column-major strides, padding-sentinel checks.
+Status SimulateEllLaunch(const EllMatrix& m, uint64_t x_addr, uint64_t y_addr,
+                         SimContext* ctx);
+
+/// Algorithmic bytes of a COO multiply (row+col+val+x per entry, y per row).
+uint64_t CooUsefulBytes(const CooMatrix& m);
+
+/// Algorithmic bytes of an ELL multiply (padded col+val, x per real entry,
+/// y per row).
+uint64_t EllUsefulBytes(const EllMatrix& m);
+
+}  // namespace tilespmv::gpu
+
+#endif  // TILESPMV_KERNELS_WALKS_H_

@@ -1,0 +1,21 @@
+#include "multigpu/cluster.h"
+
+namespace tilespmv {
+
+double AllGatherSeconds(int64_t total_floats, int num_nodes,
+                        const ClusterSpec& cluster) {
+  if (num_nodes <= 1) return 0.0;
+  const double bytes = static_cast<double>(total_floats) * 4.0;
+  // Ring allgather: P-1 steps, each moving the vector's 1/P share per node.
+  double wire_seconds = bytes * (num_nodes - 1) / num_nodes /
+                        (cluster.interconnect_gbps * 1e9);
+  double latency_seconds =
+      (num_nodes - 1) * cluster.interconnect_latency_us * 1e-6;
+  // GPU -> host before sending, host -> GPU after receiving. Each node moves
+  // its 1/P slice up and the whole rebuilt vector down.
+  double pcie_seconds =
+      (bytes / num_nodes + bytes) / (cluster.gpu.pcie_bandwidth_gbps * 1e9);
+  return wire_seconds + latency_seconds + pcie_seconds;
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,29 @@
+#ifndef TILESPMV_MULTIGPU_CLUSTER_H_
+#define TILESPMV_MULTIGPU_CLUSTER_H_
+
+#include <cstdint>
+
+#include "gpusim/device_spec.h"
+
+namespace tilespmv {
+
+/// The modeled MPI cluster of Section 3.2 / Appendix C: one GPU used per
+/// node, PCIe between GPU and host, an interconnect between nodes.
+struct ClusterSpec {
+  gpusim::DeviceSpec gpu = gpusim::DeviceSpec::TeslaC1060();
+  /// Effective point-to-point MPI bandwidth per node (2008-era cluster).
+  double interconnect_gbps = 1.0;
+  double interconnect_latency_us = 50.0;
+};
+
+/// Per-iteration communication time: every node broadcasts its slice of the
+/// result vector y so all nodes can rebuild their local x (ring allgather of
+/// `total_floats` floats over `num_nodes` nodes), plus the PCIe hops between
+/// each GPU and its host NIC. With row partitioning each node sends N/P
+/// elements — the communication argument for rows over columns in the paper.
+double AllGatherSeconds(int64_t total_floats, int num_nodes,
+                        const ClusterSpec& cluster);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_MULTIGPU_CLUSTER_H_

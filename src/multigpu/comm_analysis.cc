@@ -1,0 +1,58 @@
+#include "multigpu/comm_analysis.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tilespmv {
+
+CommCost AnalyzeCommunication(int64_t n, int num_nodes,
+                              DistributionLayout layout) {
+  TILESPMV_CHECK(n >= 0 && num_nodes >= 1);
+  CommCost cost;
+  const int64_t p = num_nodes;
+  switch (layout) {
+    case DistributionLayout::kByRows:
+      // Each node computes y for its N/P rows and broadcasts that slice;
+      // it receives everyone else's slices to rebuild x. No reduction.
+      cost.elements_sent_per_node = (n + p - 1) / p;
+      cost.elements_received_per_node = n - cost.elements_sent_per_node;
+      cost.needs_reduction = false;
+      break;
+    case DistributionLayout::kByColumns:
+      // Each node holds N/P columns and produces a *partial* y of length N
+      // that must be summed across all nodes: N elements out per node, and
+      // a reduction pass before anyone can form the next x.
+      cost.elements_sent_per_node = n;
+      cost.elements_received_per_node = n;
+      cost.needs_reduction = true;
+      break;
+    case DistributionLayout::kByGrid: {
+      // sqrt(P) x sqrt(P) blocks: partial y of length N/sqrt(P) reduced
+      // along each block row, then the reduced slices allgathered along
+      // block columns — better than columns, worse than rows.
+      int64_t q = std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(std::sqrt(
+                 static_cast<double>(p)))));
+      cost.elements_sent_per_node = (n + q - 1) / q;
+      cost.elements_received_per_node = (n + q - 1) / q + n / std::max<int64_t>(1, p);
+      cost.needs_reduction = true;
+      break;
+    }
+  }
+  return cost;
+}
+
+const char* LayoutName(DistributionLayout layout) {
+  switch (layout) {
+    case DistributionLayout::kByRows:
+      return "by-rows";
+    case DistributionLayout::kByColumns:
+      return "by-columns";
+    case DistributionLayout::kByGrid:
+      return "by-grid";
+  }
+  return "unknown";
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,49 @@
+#ifndef TILESPMV_MULTIGPU_COMM_ANALYSIS_H_
+#define TILESPMV_MULTIGPU_COMM_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// Matrix-distribution layouts compared in Section 3.2. The paper: "The
+/// communication cost is lower if the matrix is partitioned by rows rather
+/// than by columns. Suppose we have N rows and P processors. If the matrix
+/// is partitioned by rows, each processor only needs to send out N/P
+/// elements of vector x. But if partitioned by columns, all processors need
+/// to send out N elements. ... partitioning by rows is superior to
+/// partitioning by grids."
+enum class DistributionLayout {
+  kByRows,     ///< Node owns N/P rows; sends its N/P slice of y.
+  kByColumns,  ///< Node owns N/P columns; sends N partial sums to reduce.
+  kByGrid,     ///< sqrt(P) x sqrt(P) blocks; row + column collectives.
+};
+
+/// Per-iteration communication demands of one layout.
+struct CommCost {
+  /// Vector elements each node sends per iteration.
+  int64_t elements_sent_per_node = 0;
+  /// Vector elements each node receives per iteration.
+  int64_t elements_received_per_node = 0;
+  /// Whether remote partial sums must be reduced before y is usable (adds a
+  /// reduction pass the row layout avoids: "partitioning by rows does not
+  /// necessitate any reduction operations after vector x is gathered").
+  bool needs_reduction = false;
+
+  int64_t TotalTrafficBytes(int num_nodes) const {
+    return 4 * elements_sent_per_node * num_nodes;
+  }
+};
+
+/// Communication cost of distributing an n x n matrix over `num_nodes`
+/// nodes under `layout` (Section 3.2's accounting).
+CommCost AnalyzeCommunication(int64_t n, int num_nodes,
+                              DistributionLayout layout);
+
+const char* LayoutName(DistributionLayout layout);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_MULTIGPU_COMM_ANALYSIS_H_

@@ -1,0 +1,60 @@
+#include "multigpu/distributed_engine.h"
+
+#include <algorithm>
+
+#include "graph/power_method.h"
+#include "util/check.h"
+
+namespace tilespmv {
+
+Status DistributedSpmv::Init(const CsrMatrix& m, int num_gpus,
+                             const std::string& kernel_name,
+                             PartitionScheme scheme) {
+  TILESPMV_RETURN_IF_ERROR(m.Validate());
+  if (num_gpus < 1) return Status::InvalidArgument("num_gpus must be >= 1");
+  n_ = m.rows;
+  partition_ = PartitionRows(m, num_gpus, scheme);
+  balance_ = AnalyzeBalance(m, partition_);
+  kernels_.clear();
+  locals_.clear();
+  compute_seconds_ = 0.0;
+  flops_ = 0;
+  for (int p = 0; p < num_gpus; ++p) {
+    locals_.push_back(ExtractRows(m, partition_.owner_rows[p]));
+    std::unique_ptr<SpMVKernel> kernel =
+        CreateKernel(kernel_name, cluster_.gpu);
+    if (kernel == nullptr) {
+      return Status::InvalidArgument("unknown kernel: " + kernel_name);
+    }
+    TILESPMV_RETURN_IF_ERROR(kernel->Setup(locals_.back()));
+    compute_seconds_ = std::max(compute_seconds_, kernel->timing().seconds);
+    flops_ += kernel->timing().flops;
+    kernels_.push_back(std::move(kernel));
+  }
+  comm_seconds_ =
+      AllGatherSeconds(n_, num_gpus, cluster_) +
+      ElementwiseSeconds(2 * (n_ / num_gpus), n_ / num_gpus, cluster_.gpu);
+  return Status::OK();
+}
+
+void DistributedSpmv::Multiply(const std::vector<float>& x,
+                               std::vector<float>* y) const {
+  TILESPMV_CHECK(!kernels_.empty());
+  y->assign(n_, 0.0f);
+  std::vector<float> y_local;
+  for (size_t p = 0; p < kernels_.size(); ++p) {
+    MultiplyOriginal(*kernels_[p], x, &y_local);
+    const auto& rows = partition_.owner_rows[p];
+    for (size_t i = 0; i < rows.size(); ++i) (*y)[rows[i]] = y_local[i];
+  }
+}
+
+double DistributedSpmv::seconds_per_multiply() const {
+  // Allgather partially overlapped with tile computation (as in
+  // RunDistributedPageRank).
+  double longer = std::max(compute_seconds_, comm_seconds_);
+  double shorter = std::min(compute_seconds_, comm_seconds_);
+  return longer + 0.5 * shorter;
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,61 @@
+#ifndef TILESPMV_MULTIGPU_DISTRIBUTED_ENGINE_H_
+#define TILESPMV_MULTIGPU_DISTRIBUTED_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/spmv.h"
+#include "multigpu/cluster.h"
+#include "multigpu/partition.h"
+#include "util/status.h"
+
+namespace tilespmv {
+
+/// The generic multi-GPU SpMV of Section 3.2, reusable by every power-method
+/// algorithm: "Any SpMV kernel can be plugged into this multi-GPU
+/// framework to perform local computation." The iteration matrix is
+/// row-partitioned with bitonic dealing, each node runs its own tuned
+/// kernel on its slice, and every Multiply ends with the modeled allgather
+/// of y. The paper only distributes PageRank; HITS / RWR / Katz run through
+/// this engine unchanged because they are the same loop around a different
+/// matrix.
+class DistributedSpmv {
+ public:
+  explicit DistributedSpmv(const ClusterSpec& cluster) : cluster_(cluster) {}
+
+  /// Partitions the square iteration matrix `m` over `num_gpus` nodes and
+  /// sets up `kernel_name` on every slice. Fails with RESOURCE_EXHAUSTED if
+  /// any slice misses the modeled device memory.
+  Status Init(const CsrMatrix& m, int num_gpus,
+              const std::string& kernel_name,
+              PartitionScheme scheme = PartitionScheme::kBitonic);
+
+  /// y = M * x across the cluster, original index space.
+  void Multiply(const std::vector<float>& x, std::vector<float>* y) const;
+
+  /// Modeled wall time of one distributed multiply: slowest node's compute
+  /// partially overlapped with the y allgather.
+  double seconds_per_multiply() const;
+
+  double compute_seconds() const { return compute_seconds_; }
+  double comm_seconds() const { return comm_seconds_; }
+  int num_gpus() const { return static_cast<int>(kernels_.size()); }
+  const PartitionBalance& balance() const { return balance_; }
+  uint64_t flops_per_multiply() const { return flops_; }
+
+ private:
+  ClusterSpec cluster_;
+  RowPartition partition_;
+  PartitionBalance balance_;
+  std::vector<std::unique_ptr<SpMVKernel>> kernels_;
+  std::vector<CsrMatrix> locals_;
+  double compute_seconds_ = 0.0;
+  double comm_seconds_ = 0.0;
+  uint64_t flops_ = 0;
+  int32_t n_ = 0;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_MULTIGPU_DISTRIBUTED_ENGINE_H_

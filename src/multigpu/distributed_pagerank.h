@@ -1,0 +1,59 @@
+#ifndef TILESPMV_MULTIGPU_DISTRIBUTED_PAGERANK_H_
+#define TILESPMV_MULTIGPU_DISTRIBUTED_PAGERANK_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/pagerank.h"
+#include "multigpu/cluster.h"
+#include "multigpu/partition.h"
+#include "util/status.h"
+
+namespace tilespmv {
+
+/// Configuration of a distributed PageRank run.
+struct DistributedPageRankOptions {
+  PageRankOptions pagerank;
+  PartitionScheme scheme = PartitionScheme::kBitonic;
+  /// Local SpMV kernel per node ("any SpMV kernel can be plugged into this
+  /// multi-GPU framework").
+  std::string kernel_name = "tile-composite";
+  /// Verify functionally by actually iterating (slower); when false only the
+  /// timing model runs with a fixed iteration count.
+  bool run_functional = true;
+};
+
+/// Outcome of one (graph, #GPUs) configuration — the data behind one point
+/// of Figure 4.
+struct DistributedRunResult {
+  int num_gpus = 0;
+  int iterations = 0;
+  double seconds_per_iteration = 0.0;
+  double compute_seconds_per_iteration = 0.0;  ///< max over nodes.
+  double comm_seconds_per_iteration = 0.0;
+  double gpu_seconds = 0.0;
+  uint64_t flops_per_iteration = 0;
+  PartitionBalance balance;
+  std::vector<float> result;  ///< PageRank vector (empty if !run_functional).
+
+  double gflops() const {
+    return seconds_per_iteration > 0
+               ? static_cast<double>(flops_per_iteration) /
+                     seconds_per_iteration * 1e-9
+               : 0.0;
+  }
+};
+
+/// Runs (or models) PageRank on `adjacency` spread over `num_gpus` nodes:
+/// W^T is row-partitioned, each node runs the configured kernel on its local
+/// slice, and every iteration ends with the y allgather. Fails with
+/// RESOURCE_EXHAUSTED when a node's slice does not fit the modeled GPU
+/// memory — the reason Figure 4's sk-2005 and uk-union curves start at 3 and
+/// 6 GPUs.
+Result<DistributedRunResult> RunDistributedPageRank(
+    const CsrMatrix& adjacency, int num_gpus,
+    const DistributedPageRankOptions& options, const ClusterSpec& cluster);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_MULTIGPU_DISTRIBUTED_PAGERANK_H_

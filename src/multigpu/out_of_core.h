@@ -1,0 +1,44 @@
+#ifndef TILESPMV_MULTIGPU_OUT_OF_CORE_H_
+#define TILESPMV_MULTIGPU_OUT_OF_CORE_H_
+
+#include <string>
+
+#include "gpusim/device_spec.h"
+#include "sparse/csr.h"
+#include "util/status.h"
+
+namespace tilespmv {
+
+/// Outcome of the single-GPU out-of-core strategy Section 3.2 considers and
+/// rejects: "use a single GPU to work on chunks of the matrix in serial ...
+/// the bandwidth of the PCI-Express bus from CPU to GPU (8 GB/s) will
+/// become the performance bottleneck, because our best kernel can
+/// comfortably achieve 40 GB/s".
+struct OutOfCoreResult {
+  int num_chunks = 0;
+  double compute_seconds = 0.0;   ///< Sum of per-chunk kernel time.
+  double transfer_seconds = 0.0;  ///< Sum of per-chunk PCIe upload time.
+  /// Per-iteration time with transfers overlapped against compute (double
+  /// buffering): max of the two streams plus the pipeline fill.
+  double seconds_per_iteration = 0.0;
+  uint64_t flops = 0;
+  bool pcie_bound = false;
+
+  double gflops() const {
+    return seconds_per_iteration > 0
+               ? static_cast<double>(flops) / seconds_per_iteration * 1e-9
+               : 0.0;
+  }
+};
+
+/// Models one out-of-core SpMV iteration: the matrix is cut into contiguous
+/// row chunks that fit the device next to the x/y vectors; every iteration
+/// each chunk is re-uploaded over PCIe and multiplied with `kernel_name`.
+/// Fails if even a single row's data plus the vectors exceed device memory.
+Result<OutOfCoreResult> ModelOutOfCoreSpmv(const CsrMatrix& a,
+                                           const std::string& kernel_name,
+                                           const gpusim::DeviceSpec& spec);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_MULTIGPU_OUT_OF_CORE_H_

@@ -1,0 +1,108 @@
+#include "multigpu/partition.h"
+
+#include <algorithm>
+
+#include "sparse/permute.h"
+#include "util/check.h"
+
+namespace tilespmv {
+
+RowPartition PartitionRows(const CsrMatrix& a, int num_parts,
+                           PartitionScheme scheme) {
+  TILESPMV_CHECK(num_parts >= 1);
+  RowPartition part;
+  part.owner_rows.resize(num_parts);
+  switch (scheme) {
+    case PartitionScheme::kRoundRobin: {
+      for (int32_t r = 0; r < a.rows; ++r) {
+        part.owner_rows[r % num_parts].push_back(r);
+      }
+      break;
+    }
+    case PartitionScheme::kBlockRows: {
+      // Contiguous blocks cut at ~equal running nnz.
+      int64_t total = a.nnz();
+      int64_t target = (total + num_parts - 1) / num_parts;
+      int p = 0;
+      int64_t acc = 0;
+      for (int32_t r = 0; r < a.rows; ++r) {
+        if (acc >= target && p + 1 < num_parts) {
+          ++p;
+          acc = 0;
+        }
+        part.owner_rows[p].push_back(r);
+        acc += a.RowLength(r);
+      }
+      break;
+    }
+    case PartitionScheme::kBitonic: {
+      // Bitonic partitioning [Parthasarathy et al.]: sort rows by length,
+      // then deal P rows per round in serpentine order so the node that got
+      // the longest row in one round gets the shortest in the next. Rows and
+      // non-zeros both come out balanced.
+      Permutation by_len = SortRowsByLengthDesc(a);
+      for (size_t i = 0; i < by_len.size(); ++i) {
+        int round = static_cast<int>(i / num_parts);
+        int slot = static_cast<int>(i % num_parts);
+        int node = (round % 2 == 0) ? slot : num_parts - 1 - slot;
+        part.owner_rows[node].push_back(by_len[i]);
+      }
+      for (auto& rows : part.owner_rows) std::sort(rows.begin(), rows.end());
+      break;
+    }
+  }
+  return part;
+}
+
+PartitionBalance AnalyzeBalance(const CsrMatrix& a,
+                                const RowPartition& partition) {
+  PartitionBalance b;
+  b.min_nnz = a.nnz();
+  b.min_rows = a.rows;
+  int64_t total_nnz = 0;
+  int64_t total_rows = 0;
+  for (const auto& rows : partition.owner_rows) {
+    int64_t nnz = 0;
+    for (int32_t r : rows) nnz += a.RowLength(r);
+    b.max_nnz = std::max(b.max_nnz, nnz);
+    b.min_nnz = std::min(b.min_nnz, nnz);
+    b.max_rows = std::max<int64_t>(b.max_rows,
+                                   static_cast<int64_t>(rows.size()));
+    b.min_rows = std::min<int64_t>(b.min_rows,
+                                   static_cast<int64_t>(rows.size()));
+    total_nnz += nnz;
+    total_rows += static_cast<int64_t>(rows.size());
+  }
+  int parts = partition.num_parts();
+  if (parts > 0 && total_nnz > 0) {
+    b.nnz_imbalance = static_cast<double>(b.max_nnz) /
+                      (static_cast<double>(total_nnz) / parts);
+  }
+  if (parts > 0 && total_rows > 0) {
+    b.row_imbalance = static_cast<double>(b.max_rows) /
+                      (static_cast<double>(total_rows) / parts);
+  }
+  return b;
+}
+
+CsrMatrix ExtractRows(const CsrMatrix& a, const std::vector<int32_t>& rows) {
+  CsrMatrix m;
+  m.rows = static_cast<int32_t>(rows.size());
+  m.cols = a.cols;
+  m.row_ptr.assign(rows.size() + 1, 0);
+  int64_t nnz = 0;
+  for (int32_t r : rows) nnz += a.RowLength(r);
+  m.col_idx.reserve(nnz);
+  m.values.reserve(nnz);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    int32_t r = rows[i];
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      m.col_idx.push_back(a.col_idx[k]);
+      m.values.push_back(a.values[k]);
+    }
+    m.row_ptr[i + 1] = static_cast<int64_t>(m.col_idx.size());
+  }
+  return m;
+}
+
+}  // namespace tilespmv

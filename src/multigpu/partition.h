@@ -1,0 +1,53 @@
+#ifndef TILESPMV_MULTIGPU_PARTITION_H_
+#define TILESPMV_MULTIGPU_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// Matrix partitioning schemes for the multi-GPU kernel (Section 3.2). The
+/// paper argues rows beat columns and grids on communication volume, and
+/// uses bitonic partitioning to balance rows *and* non-zeros simultaneously.
+enum class PartitionScheme {
+  kBlockRows,  ///< Contiguous row blocks of ~equal nnz.
+  kBitonic,    ///< Sort rows by length, deal in serpentine order.
+  kRoundRobin, ///< Row i -> node i % P (baseline).
+};
+
+/// Row ownership: owner_rows[p] lists the rows assigned to node p.
+struct RowPartition {
+  std::vector<std::vector<int32_t>> owner_rows;
+
+  int num_parts() const { return static_cast<int>(owner_rows.size()); }
+};
+
+/// Balance diagnostics of a partition.
+struct PartitionBalance {
+  int64_t max_nnz = 0;
+  int64_t min_nnz = 0;
+  int64_t max_rows = 0;
+  int64_t min_rows = 0;
+  /// max_nnz / mean_nnz; 1.0 = perfect.
+  double nnz_imbalance = 1.0;
+  /// max_rows / mean_rows; row balance controls communication balance.
+  double row_imbalance = 1.0;
+};
+
+/// Partitions the rows of `a` over `num_parts` nodes.
+RowPartition PartitionRows(const CsrMatrix& a, int num_parts,
+                           PartitionScheme scheme);
+
+/// Computes balance diagnostics.
+PartitionBalance AnalyzeBalance(const CsrMatrix& a,
+                                const RowPartition& partition);
+
+/// Materializes node p's local matrix: the owned rows, compacted, over the
+/// full column span.
+CsrMatrix ExtractRows(const CsrMatrix& a, const std::vector<int32_t>& rows);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_MULTIGPU_PARTITION_H_

@@ -1,0 +1,103 @@
+#include "sparse/convert.h"
+
+#include "util/check.h"
+
+namespace tilespmv {
+
+CsrMatrix Transpose(const CsrMatrix& a) {
+  CsrMatrix t;
+  t.rows = a.cols;
+  t.cols = a.rows;
+  t.row_ptr.assign(static_cast<size_t>(a.cols) + 1, 0);
+  t.col_idx.resize(a.col_idx.size());
+  t.values.resize(a.values.size());
+  for (int32_t c : a.col_idx) ++t.row_ptr[c + 1];
+  for (int32_t c = 0; c < a.cols; ++c) t.row_ptr[c + 1] += t.row_ptr[c];
+  std::vector<int64_t> next(t.row_ptr.begin(), t.row_ptr.end() - 1);
+  for (int32_t r = 0; r < a.rows; ++r) {
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      int64_t pos = next[a.col_idx[k]]++;
+      t.col_idx[pos] = r;
+      t.values[pos] = a.values[k];
+    }
+  }
+  return t;
+}
+
+CsrMatrix RowNormalize(const CsrMatrix& a) {
+  CsrMatrix m = a;
+  for (int32_t r = 0; r < m.rows; ++r) {
+    double sum = 0.0;
+    for (int64_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k)
+      sum += m.values[k];
+    if (sum != 0.0) {
+      float inv = static_cast<float>(1.0 / sum);
+      for (int64_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k)
+        m.values[k] *= inv;
+    }
+  }
+  return m;
+}
+
+CsrMatrix ColNormalize(const CsrMatrix& a) {
+  CsrMatrix m = a;
+  std::vector<double> col_sum(a.cols, 0.0);
+  for (int64_t k = 0; k < a.nnz(); ++k) col_sum[a.col_idx[k]] += a.values[k];
+  for (int64_t k = 0; k < a.nnz(); ++k) {
+    double s = col_sum[m.col_idx[k]];
+    if (s != 0.0) m.values[k] = static_cast<float>(m.values[k] / s);
+  }
+  return m;
+}
+
+CsrMatrix Symmetrize(const CsrMatrix& a) {
+  TILESPMV_CHECK(a.rows == a.cols);
+  CsrMatrix t = Transpose(a);
+  // Structural union, values reset to 1 (undirected adjacency).
+  std::vector<Triplet> triplets;
+  triplets.reserve(2 * static_cast<size_t>(a.nnz()));
+  auto add_all = [&](const CsrMatrix& m) {
+    for (int32_t r = 0; r < m.rows; ++r) {
+      for (int64_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+        triplets.push_back(Triplet{r, m.col_idx[k], 1.0f});
+      }
+    }
+  };
+  add_all(a);
+  add_all(t);
+  CsrMatrix sym = CsrMatrix::FromTriplets(a.rows, a.cols, std::move(triplets));
+  // Duplicate (i, j) entries were summed to 2; clamp back to 1.
+  for (float& v : sym.values) v = 1.0f;
+  return sym;
+}
+
+CsrMatrix BuildHitsMatrix(const CsrMatrix& a) {
+  TILESPMV_CHECK(a.rows == a.cols);
+  const int32_t n = a.rows;
+  CsrMatrix t = Transpose(a);
+  CsrMatrix m;
+  m.rows = 2 * n;
+  m.cols = 2 * n;
+  m.row_ptr.assign(static_cast<size_t>(2 * n) + 1, 0);
+  m.col_idx.reserve(2 * static_cast<size_t>(a.nnz()));
+  m.values.reserve(2 * static_cast<size_t>(a.nnz()));
+  // Top half: rows [0, n) hold A^T shifted to columns [n, 2n).
+  for (int32_t r = 0; r < n; ++r) {
+    for (int64_t k = t.row_ptr[r]; k < t.row_ptr[r + 1]; ++k) {
+      m.col_idx.push_back(t.col_idx[k] + n);
+      m.values.push_back(t.values[k]);
+    }
+    m.row_ptr[r + 1] = static_cast<int64_t>(m.col_idx.size());
+  }
+  // Bottom half: rows [n, 2n) hold A in columns [0, n).
+  for (int32_t r = 0; r < n; ++r) {
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      m.col_idx.push_back(a.col_idx[k]);
+      m.values.push_back(a.values[k]);
+    }
+    m.row_ptr[n + r + 1] = static_cast<int64_t>(m.col_idx.size());
+  }
+  return m;
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,31 @@
+#ifndef TILESPMV_SPARSE_CONVERT_H_
+#define TILESPMV_SPARSE_CONVERT_H_
+
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// Transpose of a CSR matrix (CSC view materialized as CSR).
+CsrMatrix Transpose(const CsrMatrix& a);
+
+/// Divides each non-zero by its row sum (rows summing to 0 are left
+/// untouched). PageRank's W is the row-normalized adjacency matrix.
+CsrMatrix RowNormalize(const CsrMatrix& a);
+
+/// Divides each non-zero by its column sum. RWR's W is the column-normalized
+/// adjacency matrix.
+CsrMatrix ColNormalize(const CsrMatrix& a);
+
+/// Makes the matrix symmetric by adding A^T (duplicates summed... structural
+/// union with value max 1 for adjacency use: value becomes 1 for any edge in
+/// either direction). Used by RWR, which operates on undirected graphs.
+CsrMatrix Symmetrize(const CsrMatrix& a);
+
+/// Builds the HITS matrix [[0, A^T], [A, 0]] of size 2n x 2n.
+CsrMatrix BuildHitsMatrix(const CsrMatrix& a);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_SPARSE_CONVERT_H_

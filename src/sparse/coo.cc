@@ -1,0 +1,50 @@
+#include "sparse/coo.h"
+
+namespace tilespmv {
+
+Status CooMatrix::Validate() const {
+  if (row_idx.size() != values.size() || col_idx.size() != values.size())
+    return Status::InvalidArgument("COO array size mismatch");
+  int32_t prev_row = -1;
+  int32_t prev_col = -1;
+  for (size_t i = 0; i < values.size(); ++i) {
+    int32_t r = row_idx[i];
+    int32_t c = col_idx[i];
+    if (r < 0 || r >= rows || c < 0 || c >= cols)
+      return Status::InvalidArgument("COO index out of range");
+    if (r < prev_row || (r == prev_row && c <= prev_col))
+      return Status::InvalidArgument("COO entries not sorted by (row, col)");
+    prev_row = r;
+    prev_col = c;
+  }
+  return Status::OK();
+}
+
+CooMatrix CooFromCsr(const CsrMatrix& a) {
+  CooMatrix m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.row_idx.reserve(a.nnz());
+  m.col_idx = a.col_idx;
+  m.values = a.values;
+  for (int32_t r = 0; r < a.rows; ++r) {
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      m.row_idx.push_back(r);
+    }
+  }
+  return m;
+}
+
+CsrMatrix CsrFromCoo(const CooMatrix& a) {
+  CsrMatrix m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.row_ptr.assign(static_cast<size_t>(a.rows) + 1, 0);
+  m.col_idx = a.col_idx;
+  m.values = a.values;
+  for (int32_t r : a.row_idx) ++m.row_ptr[r + 1];
+  for (int32_t r = 0; r < a.rows; ++r) m.row_ptr[r + 1] += m.row_ptr[r];
+  return m;
+}
+
+}  // namespace tilespmv

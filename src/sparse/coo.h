@@ -1,0 +1,34 @@
+#ifndef TILESPMV_SPARSE_COO_H_
+#define TILESPMV_SPARSE_COO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// Coordinate storage: three parallel arrays (row, col, value), kept sorted
+/// by (row, col). Matches the layout NVIDIA's COO kernel consumes: the warp
+/// strides over equal-length intervals of the arrays and performs a
+/// segmented reduction keyed on the row index.
+struct CooMatrix {
+  int32_t rows = 0;
+  int32_t cols = 0;
+  std::vector<int32_t> row_idx;
+  std::vector<int32_t> col_idx;
+  std::vector<float> values;
+
+  int64_t nnz() const { return static_cast<int64_t>(values.size()); }
+  Status Validate() const;
+};
+
+/// Converts CSR to COO (keeps row-major order).
+CooMatrix CooFromCsr(const CsrMatrix& a);
+
+/// Converts COO back to CSR.
+CsrMatrix CsrFromCoo(const CooMatrix& a);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_SPARSE_COO_H_

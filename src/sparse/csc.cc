@@ -1,0 +1,84 @@
+#include "sparse/csc.h"
+
+#include "util/check.h"
+
+namespace tilespmv {
+
+Status CscMatrix::Validate() const {
+  if (rows < 0 || cols < 0)
+    return Status::InvalidArgument("negative dimensions");
+  if (col_ptr.size() != static_cast<size_t>(cols) + 1)
+    return Status::InvalidArgument("col_ptr size != cols + 1");
+  if (row_idx.size() != values.size())
+    return Status::InvalidArgument("row_idx/values size mismatch");
+  if (!col_ptr.empty() && (col_ptr.front() != 0 || col_ptr.back() != nnz()))
+    return Status::InvalidArgument("col_ptr endpoints wrong");
+  for (int32_t c = 0; c < cols; ++c) {
+    if (col_ptr[c + 1] < col_ptr[c])
+      return Status::InvalidArgument("col_ptr not monotone");
+    for (int64_t k = col_ptr[c] + 1; k < col_ptr[c + 1]; ++k) {
+      if (row_idx[k] <= row_idx[k - 1])
+        return Status::InvalidArgument("row indices not sorted in column");
+    }
+  }
+  for (int32_t r : row_idx) {
+    if (r < 0 || r >= rows)
+      return Status::InvalidArgument("row index out of range");
+  }
+  return Status::OK();
+}
+
+CscMatrix CscFromCsr(const CsrMatrix& a) {
+  CscMatrix m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.col_ptr.assign(static_cast<size_t>(a.cols) + 1, 0);
+  m.row_idx.resize(a.col_idx.size());
+  m.values.resize(a.values.size());
+  for (int32_t c : a.col_idx) ++m.col_ptr[c + 1];
+  for (int32_t c = 0; c < a.cols; ++c) m.col_ptr[c + 1] += m.col_ptr[c];
+  std::vector<int64_t> next(m.col_ptr.begin(), m.col_ptr.end() - 1);
+  for (int32_t r = 0; r < a.rows; ++r) {
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      int64_t pos = next[a.col_idx[k]]++;
+      m.row_idx[pos] = r;
+      m.values[pos] = a.values[k];
+    }
+  }
+  return m;
+}
+
+CsrMatrix CsrFromCsc(const CscMatrix& a) {
+  CsrMatrix m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.row_ptr.assign(static_cast<size_t>(a.rows) + 1, 0);
+  m.col_idx.resize(a.row_idx.size());
+  m.values.resize(a.values.size());
+  for (int32_t r : a.row_idx) ++m.row_ptr[r + 1];
+  for (int32_t r = 0; r < a.rows; ++r) m.row_ptr[r + 1] += m.row_ptr[r];
+  std::vector<int64_t> next(m.row_ptr.begin(), m.row_ptr.end() - 1);
+  for (int32_t c = 0; c < a.cols; ++c) {
+    for (int64_t k = a.col_ptr[c]; k < a.col_ptr[c + 1]; ++k) {
+      int64_t pos = next[a.row_idx[k]]++;
+      m.col_idx[pos] = c;
+      m.values[pos] = a.values[k];
+    }
+  }
+  return m;
+}
+
+void CscMultiply(const CscMatrix& a, const std::vector<float>& x,
+                 std::vector<float>* y) {
+  TILESPMV_CHECK(x.size() == static_cast<size_t>(a.cols));
+  y->assign(a.rows, 0.0f);
+  for (int32_t c = 0; c < a.cols; ++c) {
+    float xc = x[c];
+    if (xc == 0.0f) continue;
+    for (int64_t k = a.col_ptr[c]; k < a.col_ptr[c + 1]; ++k) {
+      (*y)[a.row_idx[k]] += a.values[k] * xc;
+    }
+  }
+}
+
+}  // namespace tilespmv

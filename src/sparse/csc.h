@@ -1,0 +1,41 @@
+#ifndef TILESPMV_SPARSE_CSC_H_
+#define TILESPMV_SPARSE_CSC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// Compressed Sparse Column storage: the column-major dual of CSR. Used by
+/// the column-distribution analysis (Section 3.2) and by the scatter-style
+/// SpMV kernel, whose per-column x broadcast is the access pattern column
+/// partitioning forces on every node.
+struct CscMatrix {
+  int32_t rows = 0;
+  int32_t cols = 0;
+  std::vector<int64_t> col_ptr;  ///< size cols + 1.
+  std::vector<int32_t> row_idx;  ///< size nnz, sorted within each column.
+  std::vector<float> values;     ///< size nnz.
+
+  int64_t nnz() const { return static_cast<int64_t>(row_idx.size()); }
+  int64_t ColLength(int32_t c) const { return col_ptr[c + 1] - col_ptr[c]; }
+  Status Validate() const;
+};
+
+/// Converts CSR to CSC.
+CscMatrix CscFromCsr(const CsrMatrix& a);
+
+/// Converts CSC back to CSR.
+CsrMatrix CsrFromCsc(const CscMatrix& a);
+
+/// Reference y = A * x computed column-wise (scatter order): y += x[c] *
+/// A(:, c). Bit-for-bit different summation order from CsrMultiply but the
+/// same result up to rounding.
+void CscMultiply(const CscMatrix& a, const std::vector<float>& x,
+                 std::vector<float>* y);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_SPARSE_CSC_H_

@@ -1,0 +1,91 @@
+#include "sparse/csr.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tilespmv {
+
+std::vector<int64_t> CsrMatrix::RowLengths() const {
+  std::vector<int64_t> lengths(rows);
+  for (int32_t r = 0; r < rows; ++r) lengths[r] = RowLength(r);
+  return lengths;
+}
+
+std::vector<int64_t> CsrMatrix::ColLengths() const {
+  std::vector<int64_t> lengths(cols, 0);
+  for (int32_t c : col_idx) ++lengths[c];
+  return lengths;
+}
+
+Status CsrMatrix::Validate() const {
+  if (rows < 0 || cols < 0)
+    return Status::InvalidArgument("negative dimensions");
+  if (row_ptr.size() != static_cast<size_t>(rows) + 1)
+    return Status::InvalidArgument("row_ptr size != rows + 1");
+  if (col_idx.size() != values.size())
+    return Status::InvalidArgument("col_idx/values size mismatch");
+  if (!row_ptr.empty()) {
+    if (row_ptr.front() != 0)
+      return Status::InvalidArgument("row_ptr[0] != 0");
+    if (row_ptr.back() != nnz())
+      return Status::InvalidArgument("row_ptr[rows] != nnz");
+  }
+  for (int32_t r = 0; r < rows; ++r) {
+    if (row_ptr[r + 1] < row_ptr[r])
+      return Status::InvalidArgument("row_ptr not monotone");
+  }
+  for (int32_t c : col_idx) {
+    if (c < 0 || c >= cols)
+      return Status::InvalidArgument("column index out of range");
+  }
+  return Status::OK();
+}
+
+CsrMatrix CsrMatrix::FromTriplets(int32_t rows, int32_t cols,
+                                  std::vector<Triplet> triplets) {
+  TILESPMV_CHECK(rows >= 0 && cols >= 0);
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.assign(static_cast<size_t>(rows) + 1, 0);
+  m.col_idx.reserve(triplets.size());
+  m.values.reserve(triplets.size());
+  size_t i = 0;
+  while (i < triplets.size()) {
+    const Triplet& t = triplets[i];
+    TILESPMV_CHECK(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols);
+    float sum = t.value;
+    size_t j = i + 1;
+    while (j < triplets.size() && triplets[j].row == t.row &&
+           triplets[j].col == t.col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    m.col_idx.push_back(t.col);
+    m.values.push_back(sum);
+    ++m.row_ptr[t.row + 1];
+    i = j;
+  }
+  for (int32_t r = 0; r < rows; ++r) m.row_ptr[r + 1] += m.row_ptr[r];
+  return m;
+}
+
+void CsrMultiply(const CsrMatrix& a, const std::vector<float>& x,
+                 std::vector<float>* y) {
+  TILESPMV_CHECK(x.size() == static_cast<size_t>(a.cols));
+  y->assign(a.rows, 0.0f);
+  for (int32_t r = 0; r < a.rows; ++r) {
+    float sum = 0.0f;
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      sum += a.values[k] * x[a.col_idx[k]];
+    }
+    (*y)[r] = sum;
+  }
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,54 @@
+#ifndef TILESPMV_SPARSE_CSR_H_
+#define TILESPMV_SPARSE_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tilespmv {
+
+/// One non-zero entry (row, col, value). The interchange unit between
+/// generators, I/O and format builders.
+struct Triplet {
+  int32_t row = 0;
+  int32_t col = 0;
+  float value = 0.0f;
+};
+
+/// Compressed Sparse Row storage: non-zeros of a row are contiguous;
+/// `row_ptr[r] .. row_ptr[r+1]` index into `col_idx` / `values`. This is the
+/// library's canonical host format — every other format converts from it.
+struct CsrMatrix {
+  int32_t rows = 0;
+  int32_t cols = 0;
+  std::vector<int64_t> row_ptr;  ///< size rows + 1.
+  std::vector<int32_t> col_idx;  ///< size nnz, sorted within each row.
+  std::vector<float> values;     ///< size nnz.
+
+  int64_t nnz() const { return static_cast<int64_t>(col_idx.size()); }
+  int64_t RowLength(int32_t r) const { return row_ptr[r + 1] - row_ptr[r]; }
+
+  /// Length (non-zero count) of every row.
+  std::vector<int64_t> RowLengths() const;
+  /// Length (non-zero count) of every column.
+  std::vector<int64_t> ColLengths() const;
+
+  /// Structural well-formedness check (monotone row_ptr, in-range columns,
+  /// array sizes consistent).
+  Status Validate() const;
+
+  /// Builds a CSR matrix from unordered triplets. Duplicate (row, col)
+  /// entries are summed. Triplets are consumed (sorted in place).
+  static CsrMatrix FromTriplets(int32_t rows, int32_t cols,
+                                std::vector<Triplet> triplets);
+};
+
+/// Reference y = A * x used for correctness checks and the CPU baseline
+/// kernel's inner loop.
+void CsrMultiply(const CsrMatrix& a, const std::vector<float>& x,
+                 std::vector<float>* y);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_SPARSE_CSR_H_

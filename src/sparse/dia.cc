@@ -1,0 +1,54 @@
+#include "sparse/dia.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tilespmv {
+
+Status DiaMatrix::Validate() const {
+  if (values.size() != static_cast<size_t>(PaddedEntries()))
+    return Status::InvalidArgument("DIA values size != diagonals * rows");
+  if (!std::is_sorted(offsets.begin(), offsets.end()))
+    return Status::InvalidArgument("DIA offsets not ascending");
+  return Status::OK();
+}
+
+Result<DiaMatrix> DiaFromCsr(const CsrMatrix& a, int32_t max_diagonals,
+                             int64_t max_bytes) {
+  std::map<int32_t, int32_t> offset_to_slot;
+  for (int32_t r = 0; r < a.rows; ++r) {
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      offset_to_slot.emplace(a.col_idx[k] - r, 0);
+      if (static_cast<int32_t>(offset_to_slot.size()) > max_diagonals) {
+        return Status::UnsupportedFormat(
+            "matrix has more than " + std::to_string(max_diagonals) +
+            " occupied diagonals; DIA is only applicable to banded matrices");
+      }
+    }
+  }
+  DiaMatrix m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.offsets.reserve(offset_to_slot.size());
+  int32_t slot = 0;
+  for (auto& [offset, s] : offset_to_slot) {
+    s = slot++;
+    m.offsets.push_back(offset);
+  }
+  int64_t padded = m.PaddedEntries();
+  if (padded * 4 > max_bytes) {
+    return Status::ResourceExhausted(
+        "DIA padded storage of " + std::to_string(padded * 4) +
+        " bytes exceeds limit");
+  }
+  m.values.assign(static_cast<size_t>(padded), 0.0f);
+  for (int32_t r = 0; r < a.rows; ++r) {
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      int32_t d = offset_to_slot[a.col_idx[k] - r];
+      m.values[static_cast<size_t>(d) * a.rows + r] = a.values[k];
+    }
+  }
+  return m;
+}
+
+}  // namespace tilespmv

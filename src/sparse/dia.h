@@ -1,0 +1,37 @@
+#ifndef TILESPMV_SPARSE_DIA_H_
+#define TILESPMV_SPARSE_DIA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// Diagonal storage: one dense column per occupied diagonal. Only viable for
+/// banded matrices — the builder fails on anything with many distinct
+/// diagonals, reproducing the paper's note that DIA "is only applicable to
+/// matrices in which all non-zeros fall into a band around the diagonal".
+struct DiaMatrix {
+  int32_t rows = 0;
+  int32_t cols = 0;
+  std::vector<int32_t> offsets;  ///< Diagonal offsets (col - row), ascending.
+  /// values[d * rows + r] = A(r, r + offsets[d]); 0 where out of range or no
+  /// entry.
+  std::vector<float> values;
+
+  int64_t PaddedEntries() const {
+    return static_cast<int64_t>(offsets.size()) * rows;
+  }
+  Status Validate() const;
+};
+
+/// Converts CSR to DIA. Fails with UNSUPPORTED_FORMAT when the number of
+/// occupied diagonals exceeds `max_diagonals` or the padded size exceeds
+/// `max_bytes`.
+Result<DiaMatrix> DiaFromCsr(const CsrMatrix& a, int32_t max_diagonals,
+                             int64_t max_bytes);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_SPARSE_DIA_H_

@@ -1,0 +1,72 @@
+#include "sparse/ell.h"
+
+#include <algorithm>
+
+namespace tilespmv {
+
+int64_t EllMatrix::nnz() const {
+  int64_t n = 0;
+  for (int32_t c : col_idx) {
+    if (c != kEllPad) ++n;
+  }
+  return n;
+}
+
+Status EllMatrix::Validate() const {
+  int64_t expect = PaddedEntries();
+  if (col_idx.size() != static_cast<size_t>(expect) ||
+      values.size() != static_cast<size_t>(expect))
+    return Status::InvalidArgument("ELL array size != rows * width");
+  for (int32_t c : col_idx) {
+    if (c != kEllPad && (c < 0 || c >= cols))
+      return Status::InvalidArgument("ELL column index out of range");
+  }
+  return Status::OK();
+}
+
+Result<EllMatrix> EllFromCsr(const CsrMatrix& a, int64_t max_bytes) {
+  int64_t width = 0;
+  for (int32_t r = 0; r < a.rows; ++r)
+    width = std::max(width, a.RowLength(r));
+  int64_t padded = static_cast<int64_t>(a.rows) * width;
+  // 4 B column index + 4 B value per slot.
+  if (padded * 8 > max_bytes) {
+    return Status::ResourceExhausted(
+        "ELL padding explodes: " + std::to_string(padded) + " slots (" +
+        std::to_string(padded * 8) + " bytes) for " + std::to_string(a.nnz()) +
+        " non-zeros");
+  }
+  std::vector<Triplet> overflow;
+  EllMatrix m = EllFromCsrTruncated(a, static_cast<int32_t>(width), &overflow);
+  return m;
+}
+
+EllMatrix EllFromCsrTruncated(const CsrMatrix& a, int32_t width,
+                              std::vector<Triplet>* overflow) {
+  EllMatrix m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.width = width;
+  m.col_idx.assign(static_cast<size_t>(a.rows) * width, EllMatrix::kEllPad);
+  m.values.assign(static_cast<size_t>(a.rows) * width, 0.0f);
+  for (int32_t r = 0; r < a.rows; ++r) {
+    int64_t len = a.RowLength(r);
+    int64_t in_ell = std::min<int64_t>(len, width);
+    for (int64_t j = 0; j < in_ell; ++j) {
+      int64_t k = a.row_ptr[r] + j;
+      // Column-major: slot j of row r lives at j * rows + r.
+      size_t slot = static_cast<size_t>(j) * a.rows + r;
+      m.col_idx[slot] = a.col_idx[k];
+      m.values[slot] = a.values[k];
+    }
+    if (overflow != nullptr) {
+      for (int64_t j = in_ell; j < len; ++j) {
+        int64_t k = a.row_ptr[r] + j;
+        overflow->push_back(Triplet{r, a.col_idx[k], a.values[k]});
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,45 @@
+#ifndef TILESPMV_SPARSE_ELL_H_
+#define TILESPMV_SPARSE_ELL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// ELLPACK storage: every row is padded to a common `width`; entries are laid
+/// out column-major (`col_idx[c * rows + r]`), which is what lets one thread
+/// per row read global memory fully coalesced. Padding slots carry
+/// col = kEllPad and value 0.
+struct EllMatrix {
+  static constexpr int32_t kEllPad = -1;
+
+  int32_t rows = 0;
+  int32_t cols = 0;
+  int32_t width = 0;               ///< Padded row length.
+  std::vector<int32_t> col_idx;    ///< size rows * width, column-major.
+  std::vector<float> values;       ///< size rows * width, column-major.
+
+  int64_t PaddedEntries() const {
+    return static_cast<int64_t>(rows) * width;
+  }
+  /// Real (non-padding) entries.
+  int64_t nnz() const;
+  Status Validate() const;
+};
+
+/// Converts CSR to ELL with the matrix's maximum row length as width.
+/// Fails with RESOURCE_EXHAUSTED when the padded size exceeds `max_bytes`
+/// (power-law matrices blow up here — the paper's reason ELL alone cannot be
+/// used for graph mining).
+Result<EllMatrix> EllFromCsr(const CsrMatrix& a, int64_t max_bytes);
+
+/// Converts the first min(row length, width) entries of each row to ELL;
+/// entries beyond `width` are returned as overflow triplets (used by HYB).
+EllMatrix EllFromCsrTruncated(const CsrMatrix& a, int32_t width,
+                              std::vector<Triplet>* overflow);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_SPARSE_ELL_H_

@@ -1,0 +1,39 @@
+#include "sparse/hyb.h"
+
+#include <algorithm>
+
+namespace tilespmv {
+
+int32_t HybEllWidth(const CsrMatrix& a, double occupancy_threshold) {
+  if (a.rows == 0 || a.nnz() == 0) return 0;
+  // Histogram of row lengths, then walk from K=1 upward while enough rows
+  // still reach K.
+  int64_t max_len = 0;
+  std::vector<int64_t> lengths = a.RowLengths();
+  for (int64_t len : lengths) max_len = std::max(max_len, len);
+  std::vector<int64_t> count_ge(max_len + 2, 0);
+  for (int64_t len : lengths) ++count_ge[len];
+  // Suffix-sum: count_ge[k] = number of rows with length >= k.
+  for (int64_t k = max_len - 1; k >= 0; --k) count_ge[k] += count_ge[k + 1];
+  int64_t need = std::max<int64_t>(
+      1, static_cast<int64_t>(occupancy_threshold * a.rows));
+  int32_t width = 0;
+  for (int64_t k = 1; k <= max_len; ++k) {
+    if (count_ge[k] >= need) width = static_cast<int32_t>(k);
+  }
+  // Every matrix keeps at least width 1 so the ELL part is never empty.
+  return std::max(width, 1);
+}
+
+HybMatrix HybFromCsr(const CsrMatrix& a) {
+  HybMatrix m;
+  int32_t width = HybEllWidth(a);
+  std::vector<Triplet> overflow;
+  m.ell = EllFromCsrTruncated(a, width, &overflow);
+  CsrMatrix coo_part = CsrMatrix::FromTriplets(a.rows, a.cols,
+                                               std::move(overflow));
+  m.coo = CooFromCsr(coo_part);
+  return m;
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,32 @@
+#ifndef TILESPMV_SPARSE_HYB_H_
+#define TILESPMV_SPARSE_HYB_H_
+
+#include <cstdint>
+
+#include "sparse/coo.h"
+#include "sparse/ell.h"
+
+namespace tilespmv {
+
+/// NVIDIA's hybrid format: the first `ell.width` entries of each row in ELL,
+/// the long-row overflow in COO. The ELL width is chosen by Bell & Garland's
+/// heuristic so that padding stays bounded even on skewed row lengths —
+/// which is why HYB is the strongest library kernel on power-law matrices.
+struct HybMatrix {
+  EllMatrix ell;
+  CooMatrix coo;
+
+  int64_t nnz() const { return ell.nnz() + coo.nnz(); }
+};
+
+/// Bell & Garland's width heuristic: the largest K such that at least
+/// `occupancy_threshold` (default 1/3) of rows have length >= K. Returns 0
+/// for an empty matrix.
+int32_t HybEllWidth(const CsrMatrix& a, double occupancy_threshold = 1.0 / 3);
+
+/// Builds HYB from CSR using HybEllWidth.
+HybMatrix HybFromCsr(const CsrMatrix& a);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_SPARSE_HYB_H_

@@ -1,0 +1,30 @@
+#include "sparse/matrix_stats.h"
+
+#include <cstdio>
+
+namespace tilespmv {
+
+std::string MatrixStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%dx%d nnz=%lld nnz/row=%.1f nnz/col=%.1f max_row=%lld "
+                "max_col=%lld alpha=%.2f power_law=%s",
+                rows, cols, static_cast<long long>(nnz), row_dist.mean,
+                col_dist.mean, static_cast<long long>(row_dist.max),
+                static_cast<long long>(col_dist.max), col_dist.powerlaw_alpha,
+                power_law ? "yes" : "no");
+  return buf;
+}
+
+MatrixStats ComputeStats(const CsrMatrix& a) {
+  MatrixStats s;
+  s.rows = a.rows;
+  s.cols = a.cols;
+  s.nnz = a.nnz();
+  s.row_dist = AnalyzeLengths(a.RowLengths());
+  s.col_dist = AnalyzeLengths(a.ColLengths());
+  s.power_law = LooksPowerLaw(s.row_dist) || LooksPowerLaw(s.col_dist);
+  return s;
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,29 @@
+#ifndef TILESPMV_SPARSE_MATRIX_STATS_H_
+#define TILESPMV_SPARSE_MATRIX_STATS_H_
+
+#include <string>
+
+#include "sparse/csr.h"
+#include "util/stats.h"
+
+namespace tilespmv {
+
+/// Distributional profile of a matrix — the properties the paper's
+/// optimizations key on (Observations 2 and 5).
+struct MatrixStats {
+  int32_t rows = 0;
+  int32_t cols = 0;
+  int64_t nnz = 0;
+  LengthDistribution row_dist;
+  LengthDistribution col_dist;
+  bool power_law = false;  ///< Table 2's "Power-law?" column.
+
+  std::string ToString() const;
+};
+
+/// Computes the profile of `a`.
+MatrixStats ComputeStats(const CsrMatrix& a);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_SPARSE_MATRIX_STATS_H_

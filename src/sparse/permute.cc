@@ -1,0 +1,120 @@
+#include "sparse/permute.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace tilespmv {
+namespace {
+
+/// Counting sort of indices [0, n) by key descending, stable. Runs in
+/// O(n + max_key) — linear for the power-law tails the paper describes.
+Permutation CountingSortDesc(const std::vector<int64_t>& keys) {
+  int64_t max_key = 0;
+  for (int64_t k : keys) max_key = std::max(max_key, k);
+  std::vector<int64_t> bucket_start(max_key + 2, 0);
+  // bucket for key k (descending): position max_key - k.
+  for (int64_t k : keys) ++bucket_start[max_key - k + 1];
+  for (size_t i = 1; i < bucket_start.size(); ++i)
+    bucket_start[i] += bucket_start[i - 1];
+  Permutation perm(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    perm[bucket_start[max_key - keys[i]]++] = static_cast<int32_t>(i);
+  }
+  return perm;
+}
+
+}  // namespace
+
+Permutation InvertPermutation(const Permutation& perm) {
+  Permutation inv(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i)
+    inv[perm[i]] = static_cast<int32_t>(i);
+  return inv;
+}
+
+bool IsValidPermutation(const Permutation& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (int32_t p : perm) {
+    if (p < 0 || static_cast<size_t>(p) >= perm.size() || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+Permutation SortColumnsByLengthDesc(const CsrMatrix& a) {
+  return CountingSortDesc(a.ColLengths());
+}
+
+Permutation SortRowsByLengthDesc(const CsrMatrix& a) {
+  return CountingSortDesc(a.RowLengths());
+}
+
+CsrMatrix ApplyColumnPermutation(const CsrMatrix& a, const Permutation& perm) {
+  TILESPMV_CHECK(perm.size() == static_cast<size_t>(a.cols));
+  Permutation inv = InvertPermutation(perm);
+  CsrMatrix m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.row_ptr = a.row_ptr;
+  m.col_idx.resize(a.col_idx.size());
+  m.values.resize(a.values.size());
+  std::vector<std::pair<int32_t, float>> row_buf;
+  for (int32_t r = 0; r < a.rows; ++r) {
+    row_buf.clear();
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      row_buf.emplace_back(inv[a.col_idx[k]], a.values[k]);
+    }
+    std::sort(row_buf.begin(), row_buf.end());
+    int64_t k = a.row_ptr[r];
+    for (const auto& [c, v] : row_buf) {
+      m.col_idx[k] = c;
+      m.values[k] = v;
+      ++k;
+    }
+  }
+  return m;
+}
+
+CsrMatrix ApplyRowPermutation(const CsrMatrix& a, const Permutation& perm) {
+  TILESPMV_CHECK(perm.size() == static_cast<size_t>(a.rows));
+  CsrMatrix m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.row_ptr.assign(static_cast<size_t>(a.rows) + 1, 0);
+  m.col_idx.reserve(a.col_idx.size());
+  m.values.reserve(a.values.size());
+  for (int32_t i = 0; i < a.rows; ++i) {
+    int32_t r = perm[i];
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      m.col_idx.push_back(a.col_idx[k]);
+      m.values.push_back(a.values[k]);
+    }
+    m.row_ptr[i + 1] =
+        m.row_ptr[i] + (a.row_ptr[r + 1] - a.row_ptr[r]);
+  }
+  return m;
+}
+
+CsrMatrix ApplySymmetricPermutation(const CsrMatrix& a,
+                                    const Permutation& perm) {
+  TILESPMV_CHECK(a.rows == a.cols);
+  return ApplyColumnPermutation(ApplyRowPermutation(a, perm), perm);
+}
+
+void PermuteVector(const Permutation& perm, const std::vector<float>& x,
+                   std::vector<float>* out) {
+  TILESPMV_CHECK(perm.size() == x.size());
+  out->resize(x.size());
+  for (size_t i = 0; i < perm.size(); ++i) (*out)[i] = x[perm[i]];
+}
+
+void UnpermuteVector(const Permutation& perm, const std::vector<float>& y,
+                     std::vector<float>* out) {
+  TILESPMV_CHECK(perm.size() == y.size());
+  out->resize(y.size());
+  for (size_t i = 0; i < perm.size(); ++i) (*out)[perm[i]] = y[i];
+}
+
+}  // namespace tilespmv

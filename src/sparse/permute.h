@@ -1,0 +1,53 @@
+#ifndef TILESPMV_SPARSE_PERMUTE_H_
+#define TILESPMV_SPARSE_PERMUTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// A permutation stored as new_index -> old_index. perm[i] = j means the
+/// element at old position j moves to new position i.
+using Permutation = std::vector<int32_t>;
+
+/// Returns the inverse permutation (old_index -> new_index).
+Permutation InvertPermutation(const Permutation& perm);
+
+/// True if `perm` is a bijection over [0, perm.size()).
+bool IsValidPermutation(const Permutation& perm);
+
+/// Permutation ordering columns by decreasing column length (non-zero
+/// count), ties broken by original index; stable and computed with a
+/// counting sort, which is the linear-time path the paper's "Sorting Cost"
+/// paragraph relies on.
+Permutation SortColumnsByLengthDesc(const CsrMatrix& a);
+
+/// Permutation ordering rows by decreasing row length (counting sort).
+Permutation SortRowsByLengthDesc(const CsrMatrix& a);
+
+/// Reorders columns: result(:, i) = a(:, perm[i]). Column indices inside
+/// each row are re-sorted.
+CsrMatrix ApplyColumnPermutation(const CsrMatrix& a, const Permutation& perm);
+
+/// Reorders rows: result(i, :) = a(perm[i], :).
+CsrMatrix ApplyRowPermutation(const CsrMatrix& a, const Permutation& perm);
+
+/// Symmetric relabeling for square matrices: result(i, j) =
+/// a(perm[i], perm[j]). Graph algorithms run in the relabeled space and
+/// un-permute their result vectors at the end.
+CsrMatrix ApplySymmetricPermutation(const CsrMatrix& a,
+                                    const Permutation& perm);
+
+/// Gathers x into permuted order: out[i] = x[perm[i]].
+void PermuteVector(const Permutation& perm, const std::vector<float>& x,
+                   std::vector<float>* out);
+
+/// Scatters y back to original order: out[perm[i]] = y[i].
+void UnpermuteVector(const Permutation& perm, const std::vector<float>& y,
+                     std::vector<float>* out);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_SPARSE_PERMUTE_H_

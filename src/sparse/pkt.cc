@@ -1,0 +1,77 @@
+#include "sparse/pkt.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace tilespmv {
+
+int64_t PktMatrix::nnz() const {
+  int64_t n = 0;
+  for (const Packet& p : packets) n += p.nnz();
+  return n;
+}
+
+Result<PktMatrix> PktFromCsr(const CsrMatrix& a, int32_t shared_floats,
+                             double imbalance_limit) {
+  PktMatrix m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+
+  std::unordered_map<int32_t, int32_t> col_to_local;
+  Packet current;
+  auto flush = [&]() {
+    if (!current.rows.empty()) {
+      m.packets.push_back(std::move(current));
+      current = Packet{};
+      col_to_local.clear();
+    }
+  };
+
+  for (int32_t r = 0; r < a.rows; ++r) {
+    // Distinct new columns this row would add to the packet footprint.
+    int64_t row_len = a.RowLength(r);
+    if (row_len > shared_floats) {
+      return Status::UnsupportedFormat(
+          "row " + std::to_string(r) + " touches " + std::to_string(row_len) +
+          " columns, exceeding the shared-memory packet budget of " +
+          std::to_string(shared_floats));
+    }
+    int64_t new_cols = 0;
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      if (!col_to_local.count(a.col_idx[k])) ++new_cols;
+    }
+    if (static_cast<int64_t>(current.x_columns.size()) + new_cols >
+        shared_floats) {
+      flush();
+    }
+    if (current.rows.empty()) current.row_ptr.push_back(0);
+    current.rows.push_back(r);
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      int32_t c = a.col_idx[k];
+      auto [it, inserted] = col_to_local.emplace(
+          c, static_cast<int32_t>(current.x_columns.size()));
+      if (inserted) current.x_columns.push_back(c);
+      current.local_col.push_back(it->second);
+      current.values.push_back(a.values[k]);
+    }
+    current.row_ptr.push_back(static_cast<int64_t>(current.values.size()));
+  }
+  flush();
+
+  if (m.packets.size() > 1) {
+    int64_t max_nnz = 0;
+    for (const Packet& p : m.packets) max_nnz = std::max(max_nnz, p.nnz());
+    double mean = static_cast<double>(m.nnz()) /
+                  static_cast<double>(m.packets.size());
+    if (mean > 0 && static_cast<double>(max_nnz) > imbalance_limit * mean) {
+      return Status::UnsupportedFormat(
+          "packet partitioning too imbalanced (max " +
+          std::to_string(max_nnz) + " nnz vs mean " +
+          std::to_string(static_cast<int64_t>(mean)) +
+          "); PKT kernel cannot balance this matrix");
+    }
+  }
+  return m;
+}
+
+}  // namespace tilespmv

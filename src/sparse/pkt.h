@@ -1,0 +1,48 @@
+#ifndef TILESPMV_SPARSE_PKT_H_
+#define TILESPMV_SPARSE_PKT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace tilespmv {
+
+/// One packet: a cluster of rows whose touched x entries fit in an SM's
+/// shared memory, processed by one thread block.
+struct Packet {
+  std::vector<int32_t> rows;        ///< Row ids in this packet.
+  std::vector<int32_t> x_columns;   ///< Distinct columns the packet touches.
+  /// CSR-like storage local to the packet; col entries index x_columns.
+  std::vector<int64_t> row_ptr;
+  std::vector<int32_t> local_col;
+  std::vector<float> values;
+
+  int64_t nnz() const { return static_cast<int64_t>(values.size()); }
+};
+
+/// Packet (PKT) format: rows clustered so each cluster's x footprint fits in
+/// shared memory. The paper's PKT uses Metis; this builder uses contiguous
+/// row blocks greedily grown under the footprint budget — equivalent for the
+/// structured matrices PKT succeeds on, and it fails the same way on
+/// power-law inputs (a single hub row overflows shared memory, or the
+/// packets come out too imbalanced for the kernel's static partitioning).
+struct PktMatrix {
+  int32_t rows = 0;
+  int32_t cols = 0;
+  std::vector<Packet> packets;
+
+  int64_t nnz() const;
+};
+
+/// Builds PKT. `shared_floats` is the per-packet x footprint budget (shared
+/// memory capacity in floats). Fails with UNSUPPORTED_FORMAT when a single
+/// row exceeds the budget or packet sizes are too imbalanced
+/// (max > imbalance_limit * mean), matching the paper's observed kernel
+/// failures on power-law matrices.
+Result<PktMatrix> PktFromCsr(const CsrMatrix& a, int32_t shared_floats,
+                             double imbalance_limit = 2.5);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_SPARSE_PKT_H_

@@ -1,0 +1,80 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tilespmv {
+
+std::string LogLogHistogram(const std::vector<int64_t>& lengths,
+                            int max_width) {
+  int64_t max_len = 0;
+  for (int64_t len : lengths) max_len = std::max(max_len, len);
+  if (max_len <= 0) return "(no non-zero degrees)\n";
+
+  // Bin b holds degrees in [2^b, 2^(b+1)).
+  int num_bins = 1;
+  while ((1LL << num_bins) <= max_len) ++num_bins;
+  std::vector<int64_t> counts(num_bins, 0);
+  for (int64_t len : lengths) {
+    if (len <= 0) continue;
+    int b = 0;
+    while ((1LL << (b + 1)) <= len) ++b;
+    ++counts[b];
+  }
+  int64_t max_count = *std::max_element(counts.begin(), counts.end());
+  double log_max = std::log10(static_cast<double>(std::max<int64_t>(
+      max_count, 2)));
+
+  std::string out;
+  char buf[128];
+  for (int b = 0; b < num_bins; ++b) {
+    if (counts[b] == 0) continue;
+    double frac =
+        std::log10(static_cast<double>(counts[b]) + 1.0) / (log_max + 0.302);
+    int bar = std::max(1, static_cast<int>(frac * max_width));
+    std::snprintf(buf, sizeof(buf), "%8lld-%-8lld |",
+                  static_cast<long long>(1LL << b),
+                  static_cast<long long>((1LL << (b + 1)) - 1));
+    out += buf;
+    out.append(static_cast<size_t>(bar), '#');
+    std::snprintf(buf, sizeof(buf), " %lld\n",
+                  static_cast<long long>(counts[b]));
+    out += buf;
+  }
+  out +=
+      "(log-binned degrees; log-scaled bars — a straight staircase is a "
+      "power law)\n";
+  return out;
+}
+
+std::string LogSparkline(const std::vector<double>& series) {
+  if (series.empty()) return "(empty series)";
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  double lo = 1e300, hi = 0;
+  for (double v : series) {
+    if (v > 0) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi <= 0) return "(all zero)";
+  double log_lo = std::log10(lo), log_hi = std::log10(hi);
+  double span = std::max(1e-9, log_hi - log_lo);
+
+  std::string out;
+  for (double v : series) {
+    int level = 0;
+    if (v > 0) {
+      level = static_cast<int>((std::log10(v) - log_lo) / span * 7.0);
+      level = std::clamp(level, 0, 7);
+    }
+    out += kLevels[level];
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  [%.3g .. %.3g, log scale]", lo, hi);
+  out += buf;
+  return out;
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,28 @@
+#ifndef TILESPMV_UTIL_ASCII_PLOT_H_
+#define TILESPMV_UTIL_ASCII_PLOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tilespmv {
+
+/// Terminal visualizations for the CLI and examples — enough to eyeball the
+/// two plots this project lives on: a degree distribution on log-log axes
+/// (is it a power law?) and a convergence track (is the power method
+/// contracting?).
+
+/// Renders a log-binned degree histogram with log-scaled bars. Bins double
+/// in width ([1], [2,3], [4,7], ...); bar length ~ log10(count). Returns a
+/// multi-line string ending in '\n'; empty input yields a short notice.
+std::string LogLogHistogram(const std::vector<int64_t>& lengths,
+                            int max_width = 60);
+
+/// Renders a one-line sparkline of a positive series on a log scale —
+/// geometric decay (power-method convergence) shows as a straight ramp
+/// down. Returns the sparkline plus min/max annotations.
+std::string LogSparkline(const std::vector<double>& series);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_UTIL_ASCII_PLOT_H_

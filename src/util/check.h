@@ -1,0 +1,37 @@
+#ifndef TILESPMV_UTIL_CHECK_H_
+#define TILESPMV_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checks. TILESPMV_CHECK aborts with a message on violation; it is
+/// used for programming errors (broken invariants), never for user input —
+/// user input errors surface as Status.
+#define TILESPMV_CHECK(cond)                                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define TILESPMV_CHECK_OK(expr)                                              \
+  do {                                                                       \
+    ::tilespmv::Status _st = (expr);                                         \
+    if (!_st.ok()) {                                                         \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, _st.ToString().c_str());                        \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define TILESPMV_DCHECK(cond) TILESPMV_CHECK(cond)
+#else
+#define TILESPMV_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#endif
+
+#endif  // TILESPMV_UTIL_CHECK_H_

@@ -1,0 +1,53 @@
+#ifndef TILESPMV_UTIL_RANDOM_H_
+#define TILESPMV_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace tilespmv {
+
+/// PCG32: small, fast, reproducible PRNG (O'Neill 2014). Deterministic across
+/// platforms, which matters because generated datasets stand in for the
+/// paper's real graphs and must be identical run-to-run.
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed, uint64_t stream = 0x853c49e6748fea9bULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform value in [0, bound) without modulo bias.
+  uint32_t NextBounded(uint32_t bound) {
+    if (bound <= 1) return 0;
+    uint32_t threshold = (~bound + 1u) % bound;
+    for (;;) {
+      uint32_t r = NextU32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return NextU32() * (1.0 / 4294967296.0); }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_UTIL_RANDOM_H_

@@ -1,0 +1,58 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tilespmv {
+
+LengthDistribution AnalyzeLengths(const std::vector<int64_t>& lengths) {
+  LengthDistribution d;
+  d.count = static_cast<int64_t>(lengths.size());
+  if (d.count == 0) return d;
+
+  std::vector<int64_t> sorted = lengths;
+  std::sort(sorted.begin(), sorted.end());
+  for (int64_t len : sorted) d.total += len;
+  d.max = sorted.back();
+  d.mean = static_cast<double>(d.total) / static_cast<double>(d.count);
+  d.median = static_cast<double>(sorted[sorted.size() / 2]);
+
+  int64_t top_n = std::max<int64_t>(1, d.count / 100);
+  int64_t top_mass = 0;
+  for (int64_t i = d.count - top_n; i < d.count; ++i) top_mass += sorted[i];
+  d.top1pct_mass =
+      d.total > 0 ? static_cast<double>(top_mass) / static_cast<double>(d.total)
+                  : 0.0;
+
+  // Use a small xmin so the bulk of the tail participates in the fit.
+  int64_t xmin = std::max<int64_t>(2, static_cast<int64_t>(d.mean));
+  d.powerlaw_alpha = EstimatePowerLawAlpha(lengths, xmin);
+  return d;
+}
+
+double EstimatePowerLawAlpha(const std::vector<int64_t>& lengths,
+                             int64_t xmin) {
+  if (xmin < 1) xmin = 1;
+  double log_sum = 0.0;
+  int64_t n = 0;
+  for (int64_t len : lengths) {
+    if (len >= xmin) {
+      log_sum += std::log(static_cast<double>(len) /
+                          (static_cast<double>(xmin) - 0.5));
+      ++n;
+    }
+  }
+  if (n < 10 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+bool LooksPowerLaw(const LengthDistribution& dist) {
+  if (dist.count < 100 || dist.total <= 0) return false;
+  // A heavy tail: the densest 1% of rows/columns carries far more than 1% of
+  // the mass, and the max is much larger than the mean.
+  bool heavy_tail = dist.top1pct_mass > 0.08;
+  bool skewed_max = dist.max > 20.0 * std::max(1.0, dist.mean);
+  return heavy_tail && skewed_max;
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,39 @@
+#ifndef TILESPMV_UTIL_STATS_H_
+#define TILESPMV_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tilespmv {
+
+/// Summary statistics of a length distribution (row or column lengths).
+struct LengthDistribution {
+  int64_t count = 0;      ///< Number of rows/columns.
+  int64_t total = 0;      ///< Sum of lengths (= nnz).
+  int64_t max = 0;        ///< Longest row/column.
+  double mean = 0.0;
+  double median = 0.0;
+  /// Fraction of total nnz concentrated in the densest 1% of rows/columns.
+  /// Near-uniform matrices are ~0.01; power-law graphs are typically > 0.1.
+  double top1pct_mass = 0.0;
+  /// Maximum-likelihood power-law exponent alpha for the tail (lengths >=
+  /// xmin); 0 if the distribution is degenerate.
+  double powerlaw_alpha = 0.0;
+};
+
+/// Computes summary statistics for a vector of non-negative lengths.
+LengthDistribution AnalyzeLengths(const std::vector<int64_t>& lengths);
+
+/// Continuous MLE estimate of the power-law exponent (Newman 2005, eq. 5):
+/// alpha = 1 + n / sum(ln(x_i / xmin)) over x_i >= xmin. Returns 0 if fewer
+/// than 10 samples qualify.
+double EstimatePowerLawAlpha(const std::vector<int64_t>& lengths,
+                             int64_t xmin);
+
+/// Heuristic power-law detector used to classify datasets the way the paper's
+/// Table 2 does: skewed length distribution with a heavy tail.
+bool LooksPowerLaw(const LengthDistribution& dist);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_UTIL_STATS_H_

@@ -1,0 +1,85 @@
+#ifndef TILESPMV_UTIL_STATUS_H_
+#define TILESPMV_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tilespmv {
+
+/// Error category for a failed operation. Mirrors the small set of failure
+/// modes the library can hit: bad user input, a format that cannot represent
+/// the given matrix (e.g. DIA on a power-law graph), resource exhaustion
+/// (device memory), and I/O failures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kUnsupportedFormat,
+  kResourceExhausted,
+  kIoError,
+  kInternal,
+};
+
+/// Arrow/RocksDB-style status object. The library does not throw across API
+/// boundaries; fallible operations return Status (or Result<T>).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status UnsupportedFormat(std::string msg) {
+    return Status(StatusCode::kUnsupportedFormat, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<CODE>: <message>" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  const Status& status() const { return std::get<Status>(value_); }
+  T& value() { return std::get<T>(value_); }
+  const T& value() const { return std::get<T>(value_); }
+  T&& take() { return std::move(std::get<T>(value_)); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+#define TILESPMV_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::tilespmv::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef TILESPMV_UTIL_TIMER_H_
+#define TILESPMV_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace tilespmv {
+
+/// Simple wall-clock timer. Used only for host-side measurements (CPU
+/// baseline kernel, preprocessing cost); GPU timings come from the gpusim
+/// cost model.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_UTIL_TIMER_H_

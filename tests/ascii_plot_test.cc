@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/ascii_plot.h"
+
+namespace tilespmv {
+namespace {
+
+TEST(LogLogHistogramTest, BinsDoubleAndCountsMatch) {
+  // Degrees: 3x1, 2x2, 1x5, 1x100.
+  std::string plot = LogLogHistogram({1, 1, 1, 2, 2, 5, 100});
+  EXPECT_NE(plot.find("1-1"), std::string::npos);
+  EXPECT_NE(plot.find(" 3\n"), std::string::npos);   // Count of the 1-bin.
+  EXPECT_NE(plot.find("4-7"), std::string::npos);    // 5 falls here.
+  EXPECT_NE(plot.find("64-127"), std::string::npos); // 100 falls here.
+}
+
+TEST(LogLogHistogramTest, EmptyAndZeroInputs) {
+  EXPECT_NE(LogLogHistogram({}).find("no non-zero"), std::string::npos);
+  EXPECT_NE(LogLogHistogram({0, 0}).find("no non-zero"), std::string::npos);
+}
+
+TEST(LogLogHistogramTest, BarsBoundedByWidth) {
+  std::vector<int64_t> lengths(100000, 1);
+  std::string plot = LogLogHistogram(lengths, 40);
+  // No line's bar exceeds the width (+ label slack).
+  size_t pos = 0;
+  while ((pos = plot.find('|', pos)) != std::string::npos) {
+    size_t end = plot.find('\n', pos);
+    size_t hashes = 0;
+    for (size_t i = pos; i < end; ++i) {
+      if (plot[i] == '#') ++hashes;
+    }
+    EXPECT_LE(hashes, 40u);
+    pos = end;
+  }
+}
+
+TEST(LogSparklineTest, GeometricDecayRampsDown) {
+  std::vector<double> decay;
+  for (int i = 0; i < 20; ++i) decay.push_back(std::pow(0.5, i));
+  std::string line = LogSparkline(decay);
+  // First char is the densest level, and the annotation carries the range.
+  EXPECT_EQ(line[0], '#');
+  EXPECT_NE(line.find("log scale"), std::string::npos);
+}
+
+TEST(LogSparklineTest, DegenerateInputs) {
+  EXPECT_NE(LogSparkline({}).find("empty"), std::string::npos);
+  EXPECT_NE(LogSparkline({0.0, 0.0}).find("all zero"), std::string::npos);
+  // A constant series renders without crashing.
+  std::string flat = LogSparkline({1.0, 1.0, 1.0});
+  EXPECT_FALSE(flat.empty());
+}
+
+}  // namespace
+}  // namespace tilespmv

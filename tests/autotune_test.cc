@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/autotune.h"
+#include "core/tile_composite.h"
+#include "gen/power_law.h"
+#include "sparse/permute.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+TEST(ChooseWorkloadTest, RespectsLowerBound) {
+  DeviceSpec spec;
+  PerfModel model(spec);
+  std::vector<int64_t> lens = {500, 40, 30, 20, 10, 5, 5, 5};
+  TileAutotune t = ChooseWorkloadSize(lens, true, model);
+  // The longest row cannot be split: WL >= 500 and a multiple of 500 steps.
+  EXPECT_GE(t.workload_size, 500);
+  EXPECT_EQ(t.workload_size % 500, 0);
+  EXPECT_GE(t.candidates_tried, 1);
+}
+
+TEST(ChooseWorkloadTest, RespectsUpperBound) {
+  DeviceSpec spec;
+  PerfModel model(spec);
+  std::vector<int64_t> lens(100000, 30);  // 3M nnz, first row 30.
+  TileAutotune t = ChooseWorkloadSize(lens, true, model);
+  int64_t upper = 3000000 / spec.MaxActiveWarps();
+  EXPECT_LE(t.workload_size, upper);
+}
+
+TEST(ChooseWorkloadTest, EmptyTile) {
+  DeviceSpec spec;
+  PerfModel model(spec);
+  TileAutotune t = ChooseWorkloadSize({}, true, model);
+  EXPECT_EQ(t.workload_size, 0);
+}
+
+TEST(ChooseWorkloadTest, PredictedTimeIsBestAmongCandidates) {
+  DeviceSpec spec;
+  PerfModel model(spec);
+  std::vector<int64_t> lens;
+  for (int i = 0; i < 5000; ++i) lens.push_back(1 + 2000 / (i + 1));
+  std::sort(lens.begin(), lens.end(), std::greater<int64_t>());
+  TileAutotune t = ChooseWorkloadSize(lens, true, model);
+  // Cross-check a few other candidates cannot beat the chosen one.
+  for (int64_t wl :
+       {lens[0], 2 * lens[0], 16 * lens[0], 64 * lens[0]}) {
+    EXPECT_LE(t.predicted_seconds,
+              model.PredictTileSeconds(lens, wl, true) + 1e-12);
+  }
+}
+
+TEST(AutotunePlanTest, HeuristicTileCountMatchesAlgorithmOne) {
+  DeviceSpec spec;
+  PerfModel model(spec);
+  CsrMatrix a = GenerateRmat(100000, 800000, RmatOptions{.seed = 71});
+  CsrMatrix sorted = ApplyColumnPermutation(a, SortColumnsByLengthDesc(a));
+  TilingOptions opts;
+  opts.tile_width = 4096;
+  AutotunePlan plan = AutotuneTileComposite(sorted, opts, model);
+  EXPECT_EQ(plan.num_tiles,
+            HeuristicNumTiles(sorted.ColLengths(), opts.tile_width));
+  EXPECT_EQ(plan.tiles.size(), static_cast<size_t>(plan.num_tiles));
+  EXPECT_GT(plan.predicted_seconds, 0.0);
+}
+
+TEST(AutotunePlanTest, AutoTunedKernelCloseToExhaustiveBest) {
+  // Fig 5(b): the auto-tuned configuration lands within a few percent of the
+  // best configuration found by (coarse) exhaustive search over tile counts.
+  DeviceSpec spec;
+  // Large enough that per-tile launch overhead doesn't dominate (the
+  // regime the paper's heuristic targets).
+  CsrMatrix a = GenerateRmat(40000, 1500000, RmatOptions{.seed = 72});
+  TileCompositeOptions opts;
+  opts.tiling.tile_width = 8192;
+
+  TileCompositeKernel tuned(spec, opts);
+  ASSERT_TRUE(tuned.Setup(a).ok());
+  double tuned_time = tuned.timing().seconds;
+
+  double best = tuned_time;
+  for (int nt = 0; nt <= 5; ++nt) {
+    TileCompositeOptions forced = opts;
+    forced.tiling.num_tiles = nt;
+    TileCompositeKernel k(spec, forced);
+    ASSERT_TRUE(k.Setup(a).ok());
+    best = std::min(best, k.timing().seconds);
+  }
+  EXPECT_LT(tuned_time, 1.25 * best);
+}
+
+TEST(AutotunePlanTest, PredictedWithinFactorOfSimulated) {
+  // Fig 5(c): prediction vs "measured" (full simulation) within ~2x here —
+  // the paper reports ~20% on real hardware; our simulated measurement and
+  // analytic model share cost recipes but differ in cache behavior, padding
+  // fetches, camping and partial-wave effects.
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(60000, 500000, RmatOptions{.seed = 73});
+  TileCompositeKernel k(spec);
+  ASSERT_TRUE(k.Setup(a).ok());
+  double measured = k.timing().seconds;
+  double predicted = k.predicted_seconds();
+  EXPECT_GT(predicted, 0.2 * measured);
+  EXPECT_LT(predicted, 5.0 * measured);
+}
+
+TEST(AutotunePlanTest, WorkloadSizesRecorded) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(30000, 250000, RmatOptions{.seed = 74});
+  TileCompositeOptions opts;
+  opts.tiling.tile_width = 4096;  // Force several tiles + a sparse part.
+  TileCompositeKernel k(spec, opts);
+  ASSERT_TRUE(k.Setup(a).ok());
+  // One workload size per dense tile plus one for the sparse remainder
+  // (absent when the tiles swallowed every occupied column).
+  EXPECT_GE(k.workload_sizes().size(), static_cast<size_t>(k.num_tiles()));
+  EXPECT_LE(k.workload_sizes().size(),
+            static_cast<size_t>(k.num_tiles()) + 1);
+  EXPECT_GE(k.num_tiles(), 1);
+  for (int64_t wl : k.workload_sizes()) EXPECT_GT(wl, 0);
+}
+
+TEST(AutotunePlanTest, ForcedWorkloadOverridesTuner) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(30000, 250000, RmatOptions{.seed = 75});
+  TileCompositeOptions opts;
+  opts.forced_workload = 4096;
+  TileCompositeKernel k(spec, opts);
+  ASSERT_TRUE(k.Setup(a).ok());
+  for (int64_t wl : k.workload_sizes()) EXPECT_GE(wl, 4096);
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gen/power_law.h"
+#include "graph/centrality.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+CsrMatrix TestGraph(uint64_t seed = 131) {
+  return GenerateRmat(1500, 12000, RmatOptions{.seed = seed});
+}
+
+TEST(KatzTest, MatchesReferenceWithExplicitAlpha) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph();
+  auto kernel = CreateKernel("tile-composite", spec);
+  KatzOptions opts;
+  opts.alpha = 0.002f;  // Safely convergent.
+  opts.tolerance = 0;
+  opts.max_iterations = 25;
+  Result<IterativeResult> r = RunKatz(a, kernel.get(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<double> ref = KatzReference(a, 0.002, 1.0, 25);
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(r.value().result[i], ref[i], 1e-3 + 0.01 * ref[i]) << i;
+  }
+}
+
+TEST(KatzTest, AutoAlphaConverges) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph(132);
+  auto kernel = CreateKernel("hyb", spec);
+  Result<IterativeResult> r = RunKatz(a, kernel.get(), KatzOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().converged);
+  for (float v : r.value().result) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_GE(v, 1.0f);  // beta * 1 is a lower bound.
+  }
+}
+
+TEST(KatzTest, DivergentAlphaReported) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph(133);
+  auto kernel = CreateKernel("coo", spec);
+  KatzOptions opts;
+  opts.alpha = 0.9f;  // Far past 1 / lambda_max.
+  Result<IterativeResult> r = RunKatz(a, kernel.get(), opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KatzTest, HighInDegreeNodesScoreHigh) {
+  // Star: everything points at node 0.
+  std::vector<Triplet> t;
+  for (int32_t v = 1; v < 400; ++v) t.push_back({v, 0, 1.0f});
+  CsrMatrix a = CsrMatrix::FromTriplets(400, 400, std::move(t));
+  DeviceSpec spec;
+  auto kernel = CreateKernel("hyb", spec);
+  Result<IterativeResult> r = RunKatz(a, kernel.get(), KatzOptions{});
+  ASSERT_TRUE(r.ok());
+  for (int32_t v = 1; v < 400; ++v) {
+    ASSERT_GT(r.value().result[0], r.value().result[v]);
+  }
+}
+
+TEST(SalsaTest, ScoresNormalizedAndConsistentAcrossKernels) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph(134);
+  auto k1 = CreateKernel("cpu-csr", spec);
+  auto k2 = CreateKernel("tile-composite", spec);
+  Result<SalsaScores> r1 = RunSalsa(a, k1.get(), SalsaOptions{});
+  Result<SalsaScores> r2 = RunSalsa(a, k2.get(), SalsaOptions{});
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  double sum_a = 0;
+  for (float v : r1.value().authority) sum_a += std::fabs(v);
+  EXPECT_NEAR(sum_a, 1.0, 1e-3);
+  for (size_t i = 0; i < r1.value().authority.size(); ++i) {
+    ASSERT_NEAR(r1.value().authority[i], r2.value().authority[i], 2e-4) << i;
+    ASSERT_NEAR(r1.value().hub[i], r2.value().hub[i], 2e-4) << i;
+  }
+}
+
+TEST(SalsaTest, AuthorityFollowsInDegreeWithinComponent) {
+  // One component: pages 2..51 cite both 0 and 1; pages 52..101 cite only
+  // 0. SALSA authority within a component is proportional to in-degree, so
+  // node 0 (in-degree 100) outranks node 1 (in-degree 50) ~2:1.
+  std::vector<Triplet> t;
+  for (int32_t v = 2; v < 52; ++v) {
+    t.push_back({v, 0, 1.0f});
+    t.push_back({v, 1, 1.0f});
+  }
+  for (int32_t v = 52; v < 102; ++v) t.push_back({v, 0, 1.0f});
+  CsrMatrix a = CsrMatrix::FromTriplets(102, 102, std::move(t));
+  DeviceSpec spec;
+  auto kernel = CreateKernel("coo", spec);
+  Result<SalsaScores> r = RunSalsa(a, kernel.get(), SalsaOptions{});
+  ASSERT_TRUE(r.ok());
+  float a0 = r.value().authority[0];
+  float a1 = r.value().authority[1];
+  EXPECT_GT(a1, 0.0f);
+  EXPECT_NEAR(a0 / a1, 2.0f, 0.2f);
+}
+
+TEST(SalsaTest, RectangularRejected) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmatRect(100, 200, 500, RmatOptions{.seed = 135});
+  auto kernel = CreateKernel("coo", spec);
+  EXPECT_FALSE(RunSalsa(a, kernel.get(), SalsaOptions{}).ok());
+  EXPECT_FALSE(RunKatz(a, kernel.get(), KatzOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace tilespmv

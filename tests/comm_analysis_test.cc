@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "multigpu/comm_analysis.h"
+
+namespace tilespmv {
+namespace {
+
+TEST(CommAnalysisTest, RowsSendOnlyTheirSlice) {
+  CommCost rows = AnalyzeCommunication(1000000, 8,
+                                       DistributionLayout::kByRows);
+  EXPECT_EQ(rows.elements_sent_per_node, 125000);
+  EXPECT_FALSE(rows.needs_reduction);
+}
+
+TEST(CommAnalysisTest, ColumnsSendEverythingAndReduce) {
+  CommCost cols = AnalyzeCommunication(1000000, 8,
+                                       DistributionLayout::kByColumns);
+  EXPECT_EQ(cols.elements_sent_per_node, 1000000);
+  EXPECT_TRUE(cols.needs_reduction);
+}
+
+TEST(CommAnalysisTest, PaperOrderingRowsBeatGridsBeatColumns) {
+  // Section 3.2's argument, for every node count it discusses.
+  for (int p : {2, 4, 8, 9, 10, 16}) {
+    CommCost rows = AnalyzeCommunication(1 << 20, p,
+                                         DistributionLayout::kByRows);
+    CommCost grid = AnalyzeCommunication(1 << 20, p,
+                                         DistributionLayout::kByGrid);
+    CommCost cols = AnalyzeCommunication(1 << 20, p,
+                                         DistributionLayout::kByColumns);
+    EXPECT_LT(rows.elements_sent_per_node, grid.elements_sent_per_node)
+        << p;
+    EXPECT_LE(grid.elements_sent_per_node, cols.elements_sent_per_node)
+        << p;
+    // Only the row layout avoids the post-gather reduction.
+    EXPECT_FALSE(rows.needs_reduction);
+    EXPECT_TRUE(grid.needs_reduction);
+  }
+}
+
+TEST(CommAnalysisTest, SingleNodeDegenerates) {
+  CommCost rows = AnalyzeCommunication(1000, 1, DistributionLayout::kByRows);
+  EXPECT_EQ(rows.elements_sent_per_node, 1000);  // Sends to nobody though.
+  EXPECT_EQ(rows.elements_received_per_node, 0);
+}
+
+TEST(CommAnalysisTest, TrafficScalesWithNodesForRows) {
+  // Total traffic for rows is ~N regardless of P (each element broadcast
+  // once); for columns it is N * P — the scalability gap.
+  int64_t n = 1 << 20;
+  CommCost rows4 = AnalyzeCommunication(n, 4, DistributionLayout::kByRows);
+  CommCost rows16 = AnalyzeCommunication(n, 16, DistributionLayout::kByRows);
+  EXPECT_NEAR(static_cast<double>(rows4.TotalTrafficBytes(4)),
+              static_cast<double>(rows16.TotalTrafficBytes(16)), 4.0 * n);
+  CommCost cols4 = AnalyzeCommunication(n, 4,
+                                        DistributionLayout::kByColumns);
+  CommCost cols16 = AnalyzeCommunication(n, 16,
+                                         DistributionLayout::kByColumns);
+  EXPECT_EQ(cols16.TotalTrafficBytes(16), 4 * cols4.TotalTrafficBytes(4));
+}
+
+TEST(CommAnalysisTest, NamesStable) {
+  EXPECT_STREQ(LayoutName(DistributionLayout::kByRows), "by-rows");
+  EXPECT_STREQ(LayoutName(DistributionLayout::kByColumns), "by-columns");
+  EXPECT_STREQ(LayoutName(DistributionLayout::kByGrid), "by-grid");
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/composite.h"
+#include "gen/power_law.h"
+#include "util/random.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+TEST(MakeWorkloadTest, RowMajorPadsWidth) {
+  DeviceSpec spec;
+  Workload wl = MakeWorkload(0, 40, 3, spec);  // w >= h.
+  EXPECT_TRUE(wl.row_major);
+  EXPECT_EQ(wl.padded_w, 64);
+  EXPECT_EQ(wl.padded_h, 3);
+  EXPECT_EQ(wl.PaddedFloats(), 192);
+}
+
+TEST(MakeWorkloadTest, ColumnMajorPadsHeight) {
+  DeviceSpec spec;
+  Workload wl = MakeWorkload(0, 3, 40, spec);  // w < h.
+  EXPECT_FALSE(wl.row_major);
+  EXPECT_EQ(wl.padded_w, 3);
+  EXPECT_EQ(wl.padded_h, 64);
+}
+
+TEST(MakeWorkloadTest, SquareBoundaryIsRowMajor) {
+  DeviceSpec spec;
+  EXPECT_TRUE(MakeWorkload(0, 5, 5, spec).row_major);
+}
+
+TEST(PackTest, EveryRowInExactlyOneWorkload) {
+  DeviceSpec spec;
+  Pcg32 rng(51);
+  std::vector<int64_t> lens;
+  for (int i = 0; i < 5000; ++i) lens.push_back(1 + rng.NextBounded(300));
+  std::sort(lens.begin(), lens.end(), std::greater<int64_t>());
+  std::vector<Workload> wls = PackWorkloads(lens, 512, spec, true);
+  int64_t covered = 0;
+  int32_t next = 0;
+  for (const Workload& wl : wls) {
+    EXPECT_EQ(wl.first_pos, next);
+    next += wl.h;
+    covered += wl.h;
+  }
+  EXPECT_EQ(covered, static_cast<int64_t>(lens.size()));
+}
+
+TEST(PackTest, WorkloadWidthIsFirstRowLength) {
+  DeviceSpec spec;
+  std::vector<int64_t> lens = {100, 90, 10, 9, 8, 1, 1, 1};
+  std::vector<Workload> wls = PackWorkloads(lens, 100, spec, true);
+  for (const Workload& wl : wls) {
+    EXPECT_EQ(wl.w, lens[wl.first_pos]);
+    // Packed nnz never exceeds the workload size unless a single row does.
+    int64_t packed = 0;
+    for (int32_t i = wl.first_pos; i < wl.first_pos + wl.h; ++i)
+      packed += lens[i];
+    if (wl.h > 1) EXPECT_LE(packed, 100);
+  }
+}
+
+TEST(PackTest, PaperFigure1dExample) {
+  // Figure 1(d): row lengths 3, 2, 1, 1, 1, 1 with workload size 4 packs as
+  // (3+... no: rows 0 and 1 -> 5 > 4, so first workload is {3}, then {2,1,1},
+  // then {1,1}. The paper's fictitious 2-thread warp differs; with our
+  // warp-size padding the shapes still follow w-vs-h.
+  DeviceSpec spec;
+  std::vector<int64_t> lens = {3, 2, 1, 1, 1, 1};
+  std::vector<Workload> wls = PackWorkloads(lens, 4, spec, false);
+  ASSERT_EQ(wls.size(), 3u);
+  EXPECT_EQ(wls[0].h, 1);
+  EXPECT_EQ(wls[1].first_pos, 1);
+  EXPECT_EQ(wls[1].h, 3);   // 2 + 1 + 1 = 4 fits.
+  EXPECT_EQ(wls[2].h, 2);
+  EXPECT_FALSE(wls[1].row_major);  // w=2 < h=3 -> ELL-style.
+}
+
+TEST(PackTest, OffsetsStrictlyIncreaseAndCoverStorage) {
+  DeviceSpec spec;
+  Pcg32 rng(52);
+  std::vector<int64_t> lens;
+  for (int i = 0; i < 2000; ++i) lens.push_back(1 + rng.NextBounded(64));
+  std::sort(lens.begin(), lens.end(), std::greater<int64_t>());
+  std::vector<Workload> wls = PackWorkloads(lens, 256, spec, true);
+  int64_t prev_end = 0;
+  for (const Workload& wl : wls) {
+    EXPECT_GE(wl.storage_offset, prev_end);
+    prev_end = wl.storage_offset + wl.PaddedFloats();
+  }
+}
+
+TEST(PackTest, CampingPadBreaksAlignment) {
+  DeviceSpec spec;
+  // Uniform rows of 512: every workload is exactly 512 floats (one row,
+  // since 2*512 > 512), a multiple of 512 -> pad inserted.
+  std::vector<int64_t> lens(64, 512);
+  std::vector<Workload> padded = PackWorkloads(lens, 512, spec, true);
+  std::vector<Workload> unpadded = PackWorkloads(lens, 512, spec, false);
+  ASSERT_EQ(padded.size(), unpadded.size());
+  // Without padding all workloads start 512 floats (2048 B) apart -> same
+  // partition; with padding the starts drift across partitions.
+  std::set<int64_t> partitions_padded, partitions_unpadded;
+  for (const Workload& wl : padded)
+    partitions_padded.insert((wl.storage_offset * 4 / 256) % 8);
+  for (const Workload& wl : unpadded)
+    partitions_unpadded.insert((wl.storage_offset * 4 / 256) % 8);
+  EXPECT_EQ(partitions_unpadded.size(), 1u);
+  EXPECT_GT(partitions_padded.size(), 4u);
+}
+
+TEST(CostTest, RowMajorCostScalesWithRows) {
+  DeviceSpec spec;
+  WorkloadCost c1 = CostOfWorkload(MakeWorkload(0, 64, 2, spec), spec);
+  WorkloadCost c2 = CostOfWorkload(MakeWorkload(0, 64, 4, spec), spec);
+  EXPECT_GT(c2.issue_cycles, c1.issue_cycles);
+  EXPECT_EQ(c2.matrix_bytes, 2 * c1.matrix_bytes);
+}
+
+TEST(CostTest, EllStyleCheaperPerRowForShortRows) {
+  DeviceSpec spec;
+  // 32 rows of length 2: ELL-style (w=2, h=32) vs row-major (forced shape
+  // 2x32 doesn't arise, but compare against 32 one-row CSR-vector loads).
+  WorkloadCost ell = CostOfWorkload(MakeWorkload(0, 2, 32, spec), spec);
+  WorkloadCost one_row = CostOfWorkload(MakeWorkload(0, 32, 1, spec), spec);
+  EXPECT_LT(ell.issue_cycles, 32 * one_row.issue_cycles);
+}
+
+TEST(BuildCompositeTest, RowsRankedAndDataPreserved) {
+  DeviceSpec spec;
+  CsrMatrix tile = GenerateRmat(1000, 8000, RmatOptions{.seed = 53});
+  CompositeTile ct = BuildComposite(tile, 256, spec, true);
+  EXPECT_EQ(ct.nnz, tile.nnz());
+  EXPECT_TRUE(std::is_sorted(ct.row_len.begin(), ct.row_len.end(),
+                             [](int64_t a, int64_t b) { return a > b; }));
+  // Sum of workload rows == occupied rows.
+  int64_t rows = 0;
+  for (const Workload& wl : ct.workloads) rows += wl.h;
+  EXPECT_EQ(rows, ct.occupied_rows());
+  // Row data matches the source matrix.
+  for (size_t p = 0; p < ct.row_order.size(); ++p) {
+    int32_t r = ct.row_order[p];
+    ASSERT_EQ(ct.row_len[p], tile.RowLength(r));
+    for (int64_t k = 0; k < ct.row_len[p]; ++k) {
+      EXPECT_EQ(ct.cols[ct.row_start[p] + k],
+                tile.col_idx[tile.row_ptr[r] + k]);
+    }
+  }
+}
+
+TEST(BuildCompositeTest, EmptyTileYieldsNoWorkloads) {
+  DeviceSpec spec;
+  CsrMatrix tile;
+  tile.rows = 10;
+  tile.cols = 10;
+  tile.row_ptr.assign(11, 0);
+  CompositeTile ct = BuildComposite(tile, 64, spec, true);
+  EXPECT_TRUE(ct.workloads.empty());
+  EXPECT_EQ(ct.total_padded_floats, 0);
+}
+
+TEST(BuildCompositeTest, PaddingOverheadBounded) {
+  DeviceSpec spec;
+  CsrMatrix tile = GenerateRmat(5000, 50000, RmatOptions{.seed = 54});
+  CompositeTile ct = BuildComposite(tile, 2048, spec, true);
+  // Composite padding should stay within a small factor of the raw nnz —
+  // that is the whole point versus ELL.
+  EXPECT_LT(ct.total_padded_floats, 4 * ct.nnz);
+}
+
+}  // namespace
+}  // namespace tilespmv

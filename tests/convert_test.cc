@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/convert.h"
+#include "util/random.h"
+
+namespace tilespmv {
+namespace {
+
+CsrMatrix RandomMatrix(int32_t rows, int32_t cols, int64_t nnz,
+                       uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Triplet> t;
+  for (int64_t i = 0; i < nnz; ++i) {
+    t.push_back(Triplet{static_cast<int32_t>(rng.NextBounded(rows)),
+                        static_cast<int32_t>(rng.NextBounded(cols)),
+                        rng.NextFloat() + 0.1f});
+  }
+  return CsrMatrix::FromTriplets(rows, cols, std::move(t));
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentity) {
+  CsrMatrix m = RandomMatrix(30, 50, 200, 31);
+  CsrMatrix tt = Transpose(Transpose(m));
+  EXPECT_EQ(tt.rows, m.rows);
+  EXPECT_EQ(tt.cols, m.cols);
+  EXPECT_EQ(tt.row_ptr, m.row_ptr);
+  EXPECT_EQ(tt.col_idx, m.col_idx);
+  EXPECT_EQ(tt.values, m.values);
+}
+
+TEST(TransposeTest, EntriesSwapIndices) {
+  CsrMatrix m =
+      CsrMatrix::FromTriplets(2, 3, {{0, 2, 5.0f}, {1, 0, 7.0f}});
+  CsrMatrix t = Transpose(m);
+  EXPECT_EQ(t.rows, 3);
+  EXPECT_EQ(t.cols, 2);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.RowLength(0), 1);
+  EXPECT_EQ(t.RowLength(2), 1);
+  EXPECT_FLOAT_EQ(t.values[0], 7.0f);  // (0,1) in transpose.
+}
+
+TEST(NormalizeTest, RowsSumToOne) {
+  CsrMatrix m = RandomMatrix(40, 40, 300, 32);
+  CsrMatrix w = RowNormalize(m);
+  for (int32_t r = 0; r < w.rows; ++r) {
+    if (w.RowLength(r) == 0) continue;
+    double sum = 0;
+    for (int64_t k = w.row_ptr[r]; k < w.row_ptr[r + 1]; ++k)
+      sum += w.values[k];
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(NormalizeTest, ColumnsSumToOne) {
+  CsrMatrix m = RandomMatrix(40, 40, 300, 33);
+  CsrMatrix w = ColNormalize(m);
+  std::vector<double> sums(40, 0.0);
+  for (int32_t r = 0; r < w.rows; ++r) {
+    for (int64_t k = w.row_ptr[r]; k < w.row_ptr[r + 1]; ++k)
+      sums[w.col_idx[k]] += w.values[k];
+  }
+  std::vector<int64_t> lens = w.ColLengths();
+  for (int32_t c = 0; c < 40; ++c) {
+    if (lens[c] > 0) {
+      EXPECT_NEAR(sums[c], 1.0, 1e-4);
+    }
+  }
+}
+
+TEST(SymmetrizeTest, ResultIsSymmetricWithUnitValues) {
+  CsrMatrix m = RandomMatrix(60, 60, 250, 34);
+  CsrMatrix s = Symmetrize(m);
+  CsrMatrix st = Transpose(s);
+  EXPECT_EQ(s.row_ptr, st.row_ptr);
+  EXPECT_EQ(s.col_idx, st.col_idx);
+  for (float v : s.values) EXPECT_FLOAT_EQ(v, 1.0f);
+  // Every original edge must be present.
+  EXPECT_GE(s.nnz(), m.nnz());
+}
+
+TEST(HitsMatrixTest, BlockStructure) {
+  CsrMatrix a = CsrMatrix::FromTriplets(3, 3, {{0, 1, 1.0f}, {2, 0, 1.0f}});
+  CsrMatrix m = BuildHitsMatrix(a);
+  EXPECT_EQ(m.rows, 6);
+  EXPECT_EQ(m.cols, 6);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_TRUE(m.Validate().ok());
+  // Top-left and bottom-right blocks must be empty.
+  for (int32_t r = 0; r < 3; ++r) {
+    for (int64_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k)
+      EXPECT_GE(m.col_idx[k], 3);
+  }
+  for (int32_t r = 3; r < 6; ++r) {
+    for (int64_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k)
+      EXPECT_LT(m.col_idx[k], 3);
+  }
+}
+
+TEST(HitsMatrixTest, MultiplyComputesBothProducts) {
+  CsrMatrix a = RandomMatrix(20, 20, 80, 35);
+  CsrMatrix m = BuildHitsMatrix(a);
+  std::vector<float> v(40);
+  Pcg32 rng(36);
+  for (float& f : v) f = rng.NextFloat();
+  std::vector<float> y;
+  CsrMultiply(m, v, &y);
+  // Top half should be A^T * h where h = v[20..40).
+  CsrMatrix at = Transpose(a);
+  std::vector<float> h(v.begin() + 20, v.end());
+  std::vector<float> want_a;
+  CsrMultiply(at, h, &want_a);
+  for (int i = 0; i < 20; ++i) EXPECT_NEAR(y[i], want_a[i], 1e-4);
+  // Bottom half should be A * a where a = v[0..20).
+  std::vector<float> avec(v.begin(), v.begin() + 20);
+  std::vector<float> want_h;
+  CsrMultiply(a, avec, &want_h);
+  for (int i = 0; i < 20; ++i) EXPECT_NEAR(y[20 + i], want_h[i], 1e-4);
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "gen/power_law.h"
+#include "kernels/cpu_csr.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+TEST(CpuKernelTest, CacheResidentXIsFaster) {
+  // Same nnz, one matrix with x inside the 1 MB L2 and one far outside:
+  // the gather misses must show up in the model.
+  DeviceSpec spec;
+  CsrMatrix small_x = GenerateRmat(50000, 800000, RmatOptions{.seed = 181});
+  CsrMatrix big_x = GenerateRmat(800000, 800000, RmatOptions{.seed = 182});
+  CpuCsrKernel k1(spec), k2(spec);
+  ASSERT_TRUE(k1.Setup(small_x).ok());
+  ASSERT_TRUE(k2.Setup(big_x).ok());
+  EXPECT_GT(k1.timing().TexHitRate(), k2.timing().TexHitRate());
+  EXPECT_GT(k1.timing().gflops(), 1.5 * k2.timing().gflops());
+}
+
+TEST(CpuKernelTest, SpecParametersScaleTheModel) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(200000, 2000000, RmatOptions{.seed = 183});
+  CpuSpec slow;
+  CpuSpec fast;
+  fast.mem_bandwidth_gbps = 4 * slow.mem_bandwidth_gbps;
+  fast.clock_ghz = 4 * slow.clock_ghz;
+  CpuCsrKernel k_slow(spec, slow), k_fast(spec, fast);
+  ASSERT_TRUE(k_slow.Setup(a).ok());
+  ASSERT_TRUE(k_fast.Setup(a).ok());
+  EXPECT_NEAR(k_fast.timing().gflops() / k_slow.timing().gflops(), 4.0,
+              0.2);
+}
+
+TEST(CpuKernelTest, HostLoopIsExact) {
+  DeviceSpec spec;
+  CpuCsrKernel kernel(spec);
+  CsrMatrix a = CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 2.0f}, {0, 2, 1.0f}, {2, 1, -3.0f}});
+  ASSERT_TRUE(kernel.Setup(a).ok());
+  std::vector<float> y;
+  kernel.Multiply({1, 2, 3}, &y);
+  EXPECT_EQ(y, (std::vector<float>{5, 0, -6}));
+  EXPECT_TRUE(kernel.row_permutation().empty());
+  EXPECT_EQ(kernel.timing().device_bytes, 0u);  // Host kernel.
+}
+
+TEST(CpuKernelTest, EraAppropriateThroughput) {
+  // The modeled Opteron must land in the sub-GFLOPS-to-~2-GFLOPS band the
+  // 2008-2011 SpMV literature reports for single cores.
+  DeviceSpec spec;
+  CpuCsrKernel kernel(spec);
+  CsrMatrix a = GenerateRmat(300000, 3000000, RmatOptions{.seed = 184});
+  ASSERT_TRUE(kernel.Setup(a).ok());
+  EXPECT_GT(kernel.timing().gflops(), 0.05);
+  EXPECT_LT(kernel.timing().gflops(), 2.5);
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/power_law.h"
+#include "sparse/csc.h"
+#include "util/random.h"
+
+namespace tilespmv {
+namespace {
+
+TEST(CscTest, RoundTripExact) {
+  CsrMatrix a = GenerateRmat(800, 6000, RmatOptions{.seed = 111});
+  CscMatrix c = CscFromCsr(a);
+  EXPECT_TRUE(c.Validate().ok());
+  CsrMatrix back = CsrFromCsc(c);
+  EXPECT_EQ(back.row_ptr, a.row_ptr);
+  EXPECT_EQ(back.col_idx, a.col_idx);
+  EXPECT_EQ(back.values, a.values);
+}
+
+TEST(CscTest, ColumnLengthsMatchCsrColumnCounts) {
+  CsrMatrix a = GenerateRmat(500, 4000, RmatOptions{.seed = 112});
+  CscMatrix c = CscFromCsr(a);
+  std::vector<int64_t> expect = a.ColLengths();
+  for (int32_t col = 0; col < a.cols; ++col) {
+    ASSERT_EQ(c.ColLength(col), expect[col]) << col;
+  }
+}
+
+TEST(CscTest, MultiplyMatchesCsr) {
+  CsrMatrix a = GenerateRmatRect(300, 700, 5000, RmatOptions{.seed = 113});
+  CscMatrix c = CscFromCsr(a);
+  Pcg32 rng(114);
+  std::vector<float> x(a.cols);
+  for (float& v : x) v = rng.NextFloat() - 0.5f;
+  std::vector<float> want, got;
+  CsrMultiply(a, x, &want);
+  CscMultiply(c, x, &got);
+  double max_abs = 1.0;
+  for (float w : want) max_abs = std::max(max_abs, std::fabs(double{w}));
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-4 * max_abs) << i;
+  }
+}
+
+TEST(CscTest, ValidateCatchesCorruption) {
+  CsrMatrix a = GenerateRmat(100, 600, RmatOptions{.seed = 115});
+  CscMatrix c = CscFromCsr(a);
+  c.row_idx[0] = 500;
+  EXPECT_FALSE(c.Validate().ok());
+  c = CscFromCsr(a);
+  c.col_ptr[1] = c.col_ptr[2] + 1;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(CscTest, EmptyMatrix) {
+  CsrMatrix a;
+  a.rows = 3;
+  a.cols = 5;
+  a.row_ptr.assign(4, 0);
+  CscMatrix c = CscFromCsr(a);
+  EXPECT_TRUE(c.Validate().ok());
+  EXPECT_EQ(c.nnz(), 0);
+  std::vector<float> y;
+  CscMultiply(c, {1, 2, 3, 4, 5}, &y);
+  EXPECT_EQ(y, (std::vector<float>{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/power_law.h"
+#include "kernels/spmv_csr5.h"
+#include "util/random.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+TEST(Csr5Test, TilesPartitionNnzInFixedChunks) {
+  DeviceSpec spec;
+  Csr5Kernel kernel(spec);
+  CsrMatrix a = GenerateRmat(4000, 50000, RmatOptions{.seed = 161});
+  ASSERT_TRUE(kernel.Setup(a).ok());
+  const auto& tiles = kernel.tiles();
+  ASSERT_FALSE(tiles.empty());
+  constexpr int kTile = Csr5Kernel::kOmega * Csr5Kernel::kSigma;
+  EXPECT_EQ(tiles.front().nnz_begin, 0);
+  EXPECT_EQ(tiles.back().nnz_end, a.nnz());
+  for (size_t i = 0; i < tiles.size(); ++i) {
+    int64_t len = tiles[i].nnz_end - tiles[i].nnz_begin;
+    if (i + 1 < tiles.size()) {
+      EXPECT_EQ(len, kTile) << i;
+      EXPECT_EQ(tiles[i].nnz_end, tiles[i + 1].nnz_begin) << i;
+    } else {
+      EXPECT_LE(len, kTile);
+    }
+    EXPECT_LE(tiles[i].row_begin, tiles[i].row_end) << i;
+  }
+}
+
+TEST(Csr5Test, RowRangesConsistentWithRowPtr) {
+  DeviceSpec spec;
+  Csr5Kernel kernel(spec);
+  CsrMatrix a = GenerateRmat(2000, 30000, RmatOptions{.seed = 162});
+  ASSERT_TRUE(kernel.Setup(a).ok());
+  for (const auto& t : kernel.tiles()) {
+    if (t.nnz_end == t.nnz_begin) continue;
+    // The first entry belongs to row_begin, the last to row_end.
+    EXPECT_GE(t.nnz_begin, a.row_ptr[t.row_begin]);
+    EXPECT_LT(t.nnz_begin, a.row_ptr[t.row_begin + 1]);
+    EXPECT_GE(t.nnz_end, a.row_ptr[t.row_end]);
+    EXPECT_LE(t.nnz_end, a.row_ptr[t.row_end + 1]);
+  }
+}
+
+TEST(Csr5Test, HubRowsSpanTilesCorrectly) {
+  std::vector<Triplet> t;
+  Pcg32 rng(163);
+  for (int32_t c = 0; c < 5000; ++c) t.push_back({3, c, 0.25f});
+  for (int i = 0; i < 8000; ++i) {
+    t.push_back({static_cast<int32_t>(rng.NextBounded(1000)),
+                 static_cast<int32_t>(rng.NextBounded(5000)),
+                 rng.NextFloat()});
+  }
+  CsrMatrix a = CsrMatrix::FromTriplets(1000, 5000, std::move(t));
+  DeviceSpec spec;
+  Csr5Kernel kernel(spec);
+  ASSERT_TRUE(kernel.Setup(a).ok());
+  std::vector<float> x(a.cols);
+  for (float& v : x) v = rng.NextFloat();
+  std::vector<float> want, got;
+  CsrMultiply(a, x, &want);
+  kernel.Multiply(x, &got);
+  double max_abs = 1.0;
+  for (float w : want) max_abs = std::max(max_abs, std::fabs(double{w}));
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-4 * max_abs) << i;
+  }
+}
+
+TEST(Csr5Test, BalancedLikeMergeUnlikeCsrVector) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(60000, 800000, RmatOptions{.seed = 164});
+  auto csr5 = CreateKernel("csr5", spec);
+  auto csr_vec = CreateKernel("csr-vector", spec);
+  ASSERT_TRUE(csr5->Setup(a).ok());
+  ASSERT_TRUE(csr_vec->Setup(a).ok());
+  EXPECT_LT(csr5->timing().seconds, csr_vec->timing().seconds);
+}
+
+TEST(Csr5Test, EmptyMatrix) {
+  DeviceSpec spec;
+  Csr5Kernel kernel(spec);
+  CsrMatrix a;
+  a.rows = 8;
+  a.cols = 8;
+  a.row_ptr.assign(9, 0);
+  ASSERT_TRUE(kernel.Setup(a).ok());
+  EXPECT_TRUE(kernel.tiles().empty());
+  std::vector<float> y;
+  kernel.Multiply(std::vector<float>(8, 1.0f), &y);
+  for (float v : y) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace tilespmv

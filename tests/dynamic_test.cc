@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dynamic.h"
+#include "gen/power_law.h"
+#include "util/random.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+CsrMatrix BaseGraph(uint64_t seed = 141) {
+  return GenerateRmat(3000, 24000, RmatOptions{.seed = seed});
+}
+
+void ExpectMatchesDense(const DynamicTileComposite& dyn,
+                        const CsrMatrix& expected) {
+  Pcg32 rng(142);
+  std::vector<float> x(expected.cols);
+  for (float& v : x) v = rng.NextFloat();
+  std::vector<float> want, got;
+  CsrMultiply(expected, x, &want);
+  dyn.Multiply(x, &got);
+  double max_abs = 1.0;
+  for (float w : want) max_abs = std::max(max_abs, std::fabs(double{w}));
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-4 * max_abs) << i;
+  }
+}
+
+TEST(DynamicTest, InitMatchesStaticKernel) {
+  DeviceSpec spec;
+  DynamicTileComposite dyn(spec);
+  CsrMatrix a = BaseGraph();
+  ASSERT_TRUE(dyn.Init(a).ok());
+  EXPECT_EQ(dyn.delta_nnz(), 0);
+  ExpectMatchesDense(dyn, a);
+}
+
+TEST(DynamicTest, AddedEdgesVisibleImmediately) {
+  DeviceSpec spec;
+  DynamicTileComposite dyn(spec);
+  CsrMatrix a = BaseGraph(143);
+  ASSERT_TRUE(dyn.Init(a).ok());
+
+  std::vector<Triplet> extra = {{5, 17, 2.5f}, {100, 0, -1.0f},
+                                {5, 17, 0.5f}};  // Duplicate accumulates.
+  std::vector<Triplet> merged;
+  for (int32_t r = 0; r < a.rows; ++r) {
+    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      merged.push_back(Triplet{r, a.col_idx[k], a.values[k]});
+    }
+  }
+  for (const Triplet& t : extra) {
+    ASSERT_TRUE(dyn.AddEdge(t.row, t.col, t.value).ok());
+    merged.push_back(t);
+  }
+  EXPECT_EQ(dyn.delta_nnz(), 2);  // (5,17) coalesced in the delta.
+  CsrMatrix expected =
+      CsrMatrix::FromTriplets(a.rows, a.cols, std::move(merged));
+  ExpectMatchesDense(dyn, expected);
+}
+
+TEST(DynamicTest, AutoRebuildAtThreshold) {
+  DeviceSpec spec;
+  DynamicOptions opts;
+  opts.rebuild_fraction = 0.001;  // Rebuild after ~24 staged edges.
+  DynamicTileComposite dyn(spec, opts);
+  CsrMatrix a = BaseGraph(144);
+  ASSERT_TRUE(dyn.Init(a).ok());
+
+  Pcg32 rng(145);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(dyn.AddEdge(static_cast<int32_t>(rng.NextBounded(3000)),
+                            static_cast<int32_t>(rng.NextBounded(3000)),
+                            1.0f)
+                    .ok());
+  }
+  EXPECT_GE(dyn.rebuilds(), 1);
+  // After a rebuild the delta is folded into the base.
+  EXPECT_GT(dyn.base_nnz(), a.nnz());
+  EXPECT_LT(dyn.delta_nnz(), 30);
+}
+
+TEST(DynamicTest, DeltaCostGrowsThenRebuildRestoresIt) {
+  DeviceSpec spec;
+  DynamicOptions opts;
+  opts.rebuild_fraction = 1.0;  // Never auto-rebuild.
+  DynamicTileComposite dyn(spec, opts);
+  CsrMatrix a = BaseGraph(146);
+  ASSERT_TRUE(dyn.Init(a).ok());
+  double clean = dyn.seconds_per_multiply();
+
+  Pcg32 rng(147);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(dyn.AddEdge(static_cast<int32_t>(rng.NextBounded(3000)),
+                            static_cast<int32_t>(rng.NextBounded(3000)),
+                            0.1f)
+                    .ok());
+  }
+  double dirty = dyn.seconds_per_multiply();
+  EXPECT_GT(dirty, clean);
+  ASSERT_TRUE(dyn.Rebuild().ok());
+  EXPECT_EQ(dyn.delta_nnz(), 0);
+  // Post-rebuild the per-multiply cost drops back near the tuned baseline
+  // (the matrix grew a little, so allow some slack).
+  EXPECT_LT(dyn.seconds_per_multiply(), 0.9 * dirty);
+}
+
+TEST(DynamicTest, RejectsBadEdges) {
+  DeviceSpec spec;
+  DynamicTileComposite dyn(spec);
+  CsrMatrix a = BaseGraph(148);
+  ASSERT_TRUE(dyn.Init(a).ok());
+  EXPECT_FALSE(dyn.AddEdge(-1, 0, 1.0f).ok());
+  EXPECT_FALSE(dyn.AddEdge(0, 999999, 1.0f).ok());
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,140 @@
+// Tests for the extensions beyond the paper's core: personalized PageRank,
+// the Fermi device preset with device-adapted tiling, and the device-memory
+// accounting surfaced through KernelTiming.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/tile_composite.h"
+#include "core/tiling.h"
+#include "gen/power_law.h"
+#include "graph/pagerank.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+TEST(PersonalizedPageRankTest, BiasesTowardRestartSet) {
+  // Two cliques joined by one edge; personalize on clique A.
+  std::vector<Triplet> t;
+  const int32_t n = 200;
+  for (int32_t i = 0; i < 100; ++i) {
+    for (int32_t j = 0; j < 100; ++j) {
+      if (i != j) t.push_back({i, j, 1.0f});
+    }
+  }
+  for (int32_t i = 100; i < 200; ++i) {
+    for (int32_t j = 100; j < 200; ++j) {
+      if (i != j) t.push_back({i, j, 1.0f});
+    }
+  }
+  t.push_back({0, 100, 1.0f});
+  t.push_back({100, 0, 1.0f});
+  CsrMatrix a = CsrMatrix::FromTriplets(n, n, std::move(t));
+
+  DeviceSpec spec;
+  auto kernel = CreateKernel("tile-composite", spec);
+  std::vector<float> pers(n, 0.0f);
+  for (int32_t i = 0; i < 100; ++i) pers[i] = 0.01f;
+  PageRankOptions opts;
+  opts.personalization = &pers;
+  Result<IterativeResult> r = RunPageRank(a, kernel.get(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  double mass_a = 0, mass_b = 0;
+  for (int32_t i = 0; i < 100; ++i) mass_a += r.value().result[i];
+  for (int32_t i = 100; i < 200; ++i) mass_b += r.value().result[i];
+  EXPECT_GT(mass_a, 3 * mass_b);
+}
+
+TEST(PersonalizedPageRankTest, UniformVectorMatchesClassic) {
+  CsrMatrix a = GenerateRmat(1500, 12000, RmatOptions{.seed = 61});
+  DeviceSpec spec;
+  std::vector<float> uniform(a.rows, 1.0f / a.rows);
+  PageRankOptions with;
+  with.personalization = &uniform;
+  auto k1 = CreateKernel("hyb", spec);
+  auto k2 = CreateKernel("hyb", spec);
+  Result<IterativeResult> r1 = RunPageRank(a, k1.get(), with);
+  Result<IterativeResult> r2 = RunPageRank(a, k2.get(), PageRankOptions{});
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  for (size_t i = 0; i < r1.value().result.size(); ++i) {
+    EXPECT_NEAR(r1.value().result[i], r2.value().result[i], 1e-6);
+  }
+}
+
+TEST(PersonalizedPageRankTest, RelabeledKernelHandlesPersonalization) {
+  // tile-composite relabels internally; the personalization must follow.
+  CsrMatrix a = GenerateRmat(1000, 8000, RmatOptions{.seed = 62});
+  DeviceSpec spec;
+  std::vector<float> pers(a.rows, 0.0f);
+  pers[123] = 1.0f;
+  PageRankOptions opts;
+  opts.personalization = &pers;
+  auto tile = CreateKernel("tile-composite", spec);
+  auto cpu = CreateKernel("cpu-csr", spec);
+  Result<IterativeResult> rt = RunPageRank(a, tile.get(), opts);
+  Result<IterativeResult> rc = RunPageRank(a, cpu.get(), opts);
+  ASSERT_TRUE(rt.ok() && rc.ok());
+  for (size_t i = 0; i < rt.value().result.size(); ++i) {
+    ASSERT_NEAR(rt.value().result[i], rc.value().result[i],
+                1e-4 + 0.02 * rc.value().result[i]);
+  }
+}
+
+TEST(PersonalizedPageRankTest, WrongSizeRejected) {
+  CsrMatrix a = GenerateRmat(500, 3000, RmatOptions{.seed = 63});
+  DeviceSpec spec;
+  std::vector<float> pers(13, 1.0f);
+  PageRankOptions opts;
+  opts.personalization = &pers;
+  auto kernel = CreateKernel("coo", spec);
+  EXPECT_FALSE(RunPageRank(a, kernel.get(), opts).ok());
+}
+
+TEST(DevicePresetTest, FermiDiffersAndWorks) {
+  DeviceSpec fermi = DeviceSpec::FermiC2050();
+  EXPECT_NE(fermi.num_sms, DeviceSpec::TeslaC1060().num_sms);
+  EXPECT_GT(fermi.mem_bandwidth_gbps,
+            DeviceSpec::TeslaC1060().mem_bandwidth_gbps);
+  CsrMatrix a = GenerateRmat(20000, 200000, RmatOptions{.seed = 64});
+  auto kernel = CreateKernel("tile-composite", fermi);
+  ASSERT_TRUE(kernel->Setup(a).ok());
+  std::vector<float> x(a.cols, 1.0f), want, got;
+  CsrMultiply(a, x, &want);
+  MultiplyOriginal(*kernel, x, &got);
+  for (size_t i = 0; i < want.size(); ++i) ASSERT_NEAR(got[i], want[i], 1e-2);
+}
+
+TEST(DevicePresetTest, TilingWidthFollowsCacheSize) {
+  TilingOptions tesla = TilingOptionsForDevice(DeviceSpec::TeslaC1060());
+  EXPECT_EQ(tesla.tile_width, 64 * 1024);  // 256 KB / 4 B.
+  TilingOptions fermi = TilingOptionsForDevice(DeviceSpec::FermiC2050());
+  EXPECT_EQ(fermi.tile_width, 192 * 1024);  // 768 KB / 4 B.
+}
+
+TEST(DevicePresetTest, FasterDeviceFasterKernel) {
+  CsrMatrix a = GenerateRmat(60000, 700000, RmatOptions{.seed = 65});
+  auto tesla = CreateKernel("tile-composite", DeviceSpec::TeslaC1060());
+  auto fermi = CreateKernel("tile-composite", DeviceSpec::FermiC2050());
+  ASSERT_TRUE(tesla->Setup(a).ok());
+  ASSERT_TRUE(fermi->Setup(a).ok());
+  EXPECT_GT(fermi->timing().gflops(), tesla->timing().gflops());
+}
+
+TEST(DeviceBytesTest, AccountedAndPlausible) {
+  CsrMatrix a = GenerateRmat(10000, 100000, RmatOptions{.seed = 66});
+  DeviceSpec spec;
+  for (const char* name : {"coo", "hyb", "tile-composite"}) {
+    auto kernel = CreateKernel(name, spec);
+    ASSERT_TRUE(kernel->Setup(a).ok()) << name;
+    uint64_t bytes = kernel->timing().device_bytes;
+    // At least the raw data (8 B/nnz + vectors), at most a generous blowup.
+    EXPECT_GT(bytes, 8ULL * a.nnz()) << name;
+    EXPECT_LT(bytes, 64ULL * a.nnz()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tilespmv

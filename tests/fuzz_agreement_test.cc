@@ -1,0 +1,90 @@
+// Randomized agreement testing: draw matrices from random families with
+// random shapes and check that every kernel that accepts the matrix
+// produces the same y (and sane timing) — a seeded, reproducible mini-fuzzer
+// over the whole kernel zoo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/graph_models.h"
+#include "gen/power_law.h"
+#include "gen/structured.h"
+#include "kernels/spmv.h"
+#include "util/random.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+CsrMatrix RandomFamilyMatrix(Pcg32* rng) {
+  int family = rng->NextBounded(7);
+  int32_t n = 64 + static_cast<int32_t>(rng->NextBounded(3000));
+  switch (family) {
+    case 0:
+      return GenerateRmat(n, 8LL * n, RmatOptions{.seed = rng->NextU32()});
+    case 1:
+      return GenerateRmatRect(n, 64 + rng->NextBounded(5000), 6LL * n,
+                              RmatOptions{.seed = rng->NextU32()});
+    case 2:
+      return GenerateBarabasiAlbert(std::max(n, 128), 4, rng->NextU32());
+    case 3:
+      return GenerateWattsStrogatz(std::max(n, 128), 6, 0.2,
+                                   rng->NextU32());
+    case 4:
+      return GenerateBanded(n, 1 + rng->NextBounded(9), rng->NextU32());
+    case 5:
+      return GenerateCircuit(n, 4.0, rng->NextU32());
+    default: {
+      // Sparse uniform with occasional empty rows and duplicate merges.
+      std::vector<Triplet> t;
+      int64_t nnz = 1 + rng->NextBounded(static_cast<uint32_t>(6 * n));
+      for (int64_t i = 0; i < nnz; ++i) {
+        t.push_back(Triplet{static_cast<int32_t>(rng->NextBounded(n)),
+                            static_cast<int32_t>(rng->NextBounded(n)),
+                            rng->NextFloat() - 0.5f});
+      }
+      return CsrMatrix::FromTriplets(n, n, std::move(t));
+    }
+  }
+}
+
+class FuzzAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzAgreement, AllAcceptingKernelsAgree) {
+  Pcg32 rng(1000 + static_cast<uint64_t>(GetParam()));
+  DeviceSpec spec;
+  CsrMatrix a = RandomFamilyMatrix(&rng);
+  ASSERT_TRUE(a.Validate().ok());
+
+  std::vector<float> x(a.cols);
+  for (float& v : x) v = rng.NextFloat() - 0.5f;
+  std::vector<float> want;
+  CsrMultiply(a, x, &want);
+  double max_abs = 1.0;
+  for (float w : want) max_abs = std::max(max_abs, std::fabs(double{w}));
+
+  int accepted = 0;
+  for (const std::string& name : AllKernelNames()) {
+    auto kernel = CreateKernel(name, spec);
+    Status st = kernel->Setup(a);
+    if (!st.ok()) continue;  // Format legitimately refuses some inputs.
+    ++accepted;
+    std::vector<float> got;
+    MultiplyOriginal(*kernel, x, &got);
+    ASSERT_EQ(got.size(), want.size()) << name;
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], 2e-4 * max_abs)
+          << name << " seed " << GetParam() << " row " << i;
+    }
+    EXPECT_GT(kernel->timing().seconds, 0.0) << name;
+    EXPECT_LT(kernel->timing().gflops(), 1000.0) << name;
+  }
+  // The CSR family + COO + HYB + merge + csr5 + tiles always accept.
+  EXPECT_GE(accepted, 9) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzAgreement, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace tilespmv

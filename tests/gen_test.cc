@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "gen/power_law.h"
+#include "gen/structured.h"
+#include "sparse/matrix_stats.h"
+
+namespace tilespmv {
+namespace {
+
+TEST(RmatTest, DimensionsAndApproxNnz) {
+  CsrMatrix m = GenerateRmat(10000, 80000, RmatOptions{.seed = 1});
+  EXPECT_EQ(m.rows, 10000);
+  EXPECT_EQ(m.cols, 10000);
+  EXPECT_TRUE(m.Validate().ok());
+  // Duplicates merge, so nnz lands a bit below target but not far.
+  EXPECT_GT(m.nnz(), 80000 * 0.8);
+  EXPECT_LE(m.nnz(), 80000);
+}
+
+TEST(RmatTest, ProducesPowerLawDegrees) {
+  CsrMatrix m = GenerateRmat(1 << 14, 200000, RmatOptions{.seed = 2});
+  MatrixStats s = ComputeStats(m);
+  EXPECT_TRUE(s.power_law);
+  EXPECT_GT(s.col_dist.max, 100);  // Hubs exist.
+}
+
+TEST(RmatTest, DeterministicForSeed) {
+  CsrMatrix a = GenerateRmat(1000, 5000, RmatOptions{.seed = 7});
+  CsrMatrix b = GenerateRmat(1000, 5000, RmatOptions{.seed = 7});
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  CsrMatrix c = GenerateRmat(1000, 5000, RmatOptions{.seed = 8});
+  EXPECT_NE(a.col_idx, c.col_idx);
+}
+
+TEST(RmatTest, NonPowerOfTwoSizeWorks) {
+  CsrMatrix m = GenerateRmat(999, 3000, RmatOptions{.seed = 3});
+  EXPECT_EQ(m.rows, 999);
+  EXPECT_TRUE(m.Validate().ok());
+  for (int32_t c : m.col_idx) EXPECT_LT(c, 999);
+}
+
+TEST(RmatTest, RectangularShape) {
+  CsrMatrix m = GenerateRmatRect(100, 5000, 2000, RmatOptions{.seed = 4});
+  EXPECT_EQ(m.rows, 100);
+  EXPECT_EQ(m.cols, 5000);
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(StructuredTest, DenseIsFullyDense) {
+  CsrMatrix m = GenerateDense(64);
+  EXPECT_EQ(m.nnz(), 64 * 64);
+  EXPECT_TRUE(m.Validate().ok());
+  for (int32_t r = 0; r < 64; ++r) EXPECT_EQ(m.RowLength(r), 64);
+}
+
+TEST(StructuredTest, CircuitHasDiagonalAndTargetDensity) {
+  CsrMatrix m = GenerateCircuit(5000, 5.6, 42);
+  EXPECT_TRUE(m.Validate().ok());
+  double per_row = static_cast<double>(m.nnz()) / m.rows;
+  EXPECT_NEAR(per_row, 5.6, 0.5);
+  EXPECT_FALSE(ComputeStats(m).power_law);
+}
+
+TEST(StructuredTest, FemRowsNearUniform) {
+  CsrMatrix m = GenerateFemStencil(3000, 51, 400, 42);
+  EXPECT_TRUE(m.Validate().ok());
+  MatrixStats s = ComputeStats(m);
+  EXPECT_FALSE(s.power_law);
+  EXPECT_LE(s.row_dist.max, 52);
+  EXPECT_GE(s.row_dist.mean, 40);  // Duplicates shrink rows slightly.
+}
+
+TEST(StructuredTest, LpIsWide) {
+  CsrMatrix m = GenerateLp(100, 20000, 50000, 42);
+  EXPECT_EQ(m.rows, 100);
+  EXPECT_EQ(m.cols, 20000);
+  EXPECT_GT(m.RowLength(0), 100);
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(StructuredTest, BandedStaysInBand) {
+  CsrMatrix m = GenerateBanded(2000, 8, 42);
+  EXPECT_TRUE(m.Validate().ok());
+  for (int32_t r = 0; r < m.rows; ++r) {
+    for (int64_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      EXPECT_LE(std::abs(m.col_idx[k] - r), 8);
+    }
+  }
+}
+
+TEST(DatasetsTest, RegistryKnowsAllPaperDatasets) {
+  EXPECT_EQ(PowerLawDatasets().size(), 5u);
+  EXPECT_EQ(UnstructuredDatasets().size(), 5u);
+  EXPECT_EQ(WebGraphDatasets().size(), 4u);
+  EXPECT_TRUE(FindDataset("livejournal").ok());
+  EXPECT_TRUE(FindDataset("uk-union").ok());
+  EXPECT_FALSE(FindDataset("nonexistent").ok());
+}
+
+TEST(DatasetsTest, PowerLawDatasetsComeOutPowerLaw) {
+  // Small scale keeps the test quick; the distributional property is what
+  // the generators must preserve at any scale.
+  Result<CsrMatrix> m = MakeDataset("flickr", 0.01);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(ComputeStats(m.value()).power_law);
+}
+
+TEST(DatasetsTest, UnstructuredDatasetsAreNot) {
+  for (const char* name : {"circuit", "fem_harbor", "protein"}) {
+    Result<CsrMatrix> m = MakeDataset(name, 0.2);
+    ASSERT_TRUE(m.ok()) << name;
+    EXPECT_FALSE(ComputeStats(m.value()).power_law) << name;
+  }
+}
+
+TEST(DatasetsTest, ScalePreservesMeanDegree) {
+  Result<CsrMatrix> small = MakeDataset("youtube", 0.02);
+  Result<CsrMatrix> large = MakeDataset("youtube", 0.08);
+  ASSERT_TRUE(small.ok() && large.ok());
+  double d1 = static_cast<double>(small.value().nnz()) / small.value().rows;
+  double d2 = static_cast<double>(large.value().nnz()) / large.value().rows;
+  EXPECT_NEAR(d1, d2, 1.0);
+}
+
+TEST(DatasetsTest, LpKeepsAspectRatio) {
+  Result<CsrMatrix> m = MakeDataset("lp", 0.1);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m.value().cols, 50 * m.value().rows);
+}
+
+}  // namespace
+}  // namespace tilespmv

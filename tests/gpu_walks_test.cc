@@ -1,0 +1,142 @@
+// Direct tests of the shared kernel-walk helpers (SimContext +
+// SimulateCooLaunch / SimulateEllLaunch) — the layer every GPU kernel's
+// timing rests on.
+#include <gtest/gtest.h>
+
+#include "gen/power_law.h"
+#include "kernels/walks.h"
+#include "sparse/hyb.h"
+
+namespace tilespmv {
+namespace {
+
+using gpu::SimContext;
+using gpusim::DeviceSpec;
+
+TEST(SimContextTest, AllocRespectsDeviceCapacity) {
+  DeviceSpec spec;
+  spec.global_mem_bytes = 1 << 20;
+  SimContext ctx(spec);
+  EXPECT_TRUE(ctx.Alloc(512 << 10).ok());
+  Result<gpu::DeviceArray> too_big = ctx.Alloc(768 << 10);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SimContextTest, TexFetchChargesMissesOnly) {
+  DeviceSpec spec;
+  SimContext ctx(spec);
+  gpusim::WarpWork warp;
+  ctx.TexFetch(0, 5, &warp);  // Cold miss.
+  uint64_t after_miss = warp.scattered_bytes;
+  EXPECT_EQ(after_miss, static_cast<uint64_t>(spec.texture_cache_line_bytes));
+  EXPECT_EQ(warp.issue_cycles,
+            static_cast<uint64_t>(spec.tex_miss_stall_cycles));
+  ctx.TexFetch(0, 5, &warp);  // Hit: nothing added.
+  EXPECT_EQ(warp.scattered_bytes, after_miss);
+}
+
+TEST(SimContextTest, FlushResetsResidency) {
+  DeviceSpec spec;
+  SimContext ctx(spec);
+  gpusim::WarpWork warp;
+  ctx.TexFetch(0, 9, &warp);
+  ctx.FlushTexture();
+  uint64_t before = warp.scattered_bytes;
+  ctx.TexFetch(0, 9, &warp);  // Misses again after flush.
+  EXPECT_GT(warp.scattered_bytes, before);
+}
+
+TEST(CooWalkTest, EmptyMatrixCostsNothingButLaunches) {
+  DeviceSpec spec;
+  SimContext ctx(spec);
+  CooMatrix m;
+  m.rows = 10;
+  m.cols = 10;
+  ASSERT_TRUE(gpu::SimulateCooLaunch(m, 0, 0, false, &ctx).ok());
+  KernelTiming t;
+  t.flops = 1;
+  ctx.Finalize(&t);
+  EXPECT_EQ(t.global_bytes, 0u);
+}
+
+TEST(CooWalkTest, TrafficScalesWithNnz) {
+  DeviceSpec spec;
+  CsrMatrix small = GenerateRmat(2000, 20000, RmatOptions{.seed = 191});
+  CsrMatrix large = GenerateRmat(2000, 80000, RmatOptions{.seed = 191});
+  auto traffic = [&](const CsrMatrix& a) {
+    SimContext ctx(spec);
+    auto x = ctx.Alloc(a.cols * 4);
+    auto y = ctx.Alloc(a.rows * 4);
+    EXPECT_TRUE(gpu::SimulateCooLaunch(CooFromCsr(a), x.value().addr,
+                                       y.value().addr, false, &ctx)
+                    .ok());
+    KernelTiming t;
+    t.flops = 1;
+    ctx.Finalize(&t);
+    return t;
+  };
+  KernelTiming ts = traffic(small);
+  KernelTiming tl = traffic(large);
+  // 4x the nnz: at least 3x the array traffic (cache effects bend it).
+  EXPECT_GT(tl.global_bytes, 3 * ts.global_bytes);
+  EXPECT_GT(tl.seconds, ts.seconds);
+}
+
+TEST(CooWalkTest, AccumulationDoublesYTraffic) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(3000, 30000, RmatOptions{.seed = 192});
+  CooMatrix coo = CooFromCsr(a);
+  auto run = [&](bool accumulate) {
+    SimContext ctx(spec);
+    auto x = ctx.Alloc(a.cols * 4);
+    auto y = ctx.Alloc(a.rows * 4);
+    EXPECT_TRUE(gpu::SimulateCooLaunch(coo, x.value().addr, y.value().addr,
+                                       accumulate, &ctx)
+                    .ok());
+    KernelTiming t;
+    t.flops = 1;
+    ctx.Finalize(&t);
+    return t.global_bytes;
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+TEST(EllWalkTest, PaddingCostsTrafficButNotFetches) {
+  DeviceSpec spec;
+  // Two ELL matrices, same real nnz, one padded 4x wider.
+  CsrMatrix a = GenerateRmat(4000, 24000, RmatOptions{.seed = 193});
+  std::vector<Triplet> overflow;
+  EllMatrix tight = EllFromCsrTruncated(a, 6, &overflow);
+  EllMatrix padded = EllFromCsrTruncated(a, 24, nullptr);
+  auto run = [&](const EllMatrix& m) {
+    SimContext ctx(spec);
+    auto x = ctx.Alloc(a.cols * 4);
+    auto y = ctx.Alloc(a.rows * 4);
+    EXPECT_TRUE(
+        gpu::SimulateEllLaunch(m, x.value().addr, y.value().addr, &ctx).ok());
+    KernelTiming t;
+    t.flops = 1;
+    ctx.Finalize(&t);
+    return t;
+  };
+  KernelTiming t_tight = run(tight);
+  KernelTiming t_padded = run(padded);
+  EXPECT_GT(t_padded.global_bytes, 2 * t_tight.global_bytes);
+  // Fetch count equals real (non-pad) entries, not padded slots.
+  EXPECT_EQ(t_padded.tex_hits + t_padded.tex_misses,
+            static_cast<uint64_t>(padded.nnz()));
+}
+
+TEST(UsefulBytesTest, FormatAccountingMatchesDefinition) {
+  CsrMatrix a = GenerateRmat(1000, 8000, RmatOptions{.seed = 194});
+  CooMatrix coo = CooFromCsr(a);
+  EXPECT_GE(gpu::CooUsefulBytes(coo),
+            static_cast<uint64_t>(coo.nnz()) * 16);
+  HybMatrix h = HybFromCsr(a);
+  EXPECT_GE(gpu::EllUsefulBytes(h.ell),
+            static_cast<uint64_t>(h.ell.PaddedEntries()) * 8);
+}
+
+}  // namespace
+}  // namespace tilespmv

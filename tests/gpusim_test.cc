@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/cost_model.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/memory_system.h"
+#include "gpusim/texture_cache.h"
+
+namespace tilespmv::gpusim {
+namespace {
+
+TEST(DeviceSpecTest, TeslaC1060Parameters) {
+  DeviceSpec spec = DeviceSpec::TeslaC1060();
+  EXPECT_EQ(spec.num_sms, 30);
+  EXPECT_EQ(spec.MaxActiveWarps(), 960);
+  EXPECT_EQ(spec.texture_cache_bytes, 256 << 10);
+  EXPECT_DOUBLE_EQ(spec.PartitionBandwidthBytesPerSec(),
+                   spec.BandwidthBytesPerSec() / 8);
+}
+
+TEST(TextureCacheTest, ColdMissThenHit) {
+  TextureCache cache(1024, 32, 2);
+  EXPECT_FALSE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(31));   // Same line.
+  EXPECT_FALSE(cache.Access(32));  // Next line.
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(TextureCacheTest, LruEviction) {
+  // 2 sets x 2 ways x 32 B lines = 128 B. Lines 0, 2, 4 map to set 0.
+  TextureCache cache(128, 32, 2);
+  EXPECT_FALSE(cache.Access(0 * 32));
+  EXPECT_FALSE(cache.Access(2 * 32));
+  EXPECT_TRUE(cache.Access(0 * 32));   // Refresh line 0; line 2 is now LRU.
+  EXPECT_FALSE(cache.Access(4 * 32));  // Evicts line 2.
+  EXPECT_TRUE(cache.Access(0 * 32));
+  EXPECT_FALSE(cache.Access(2 * 32));  // Line 2 was evicted.
+}
+
+TEST(TextureCacheTest, WorkingSetAtCapacityAllHitsAfterWarmup) {
+  DeviceSpec spec;
+  TextureCache cache(spec);
+  // 64K floats = 256 KB = exactly the cache (the paper's tile width).
+  const int n = 64 * 1024;
+  for (int i = 0; i < n; ++i) cache.Access(4 * static_cast<uint64_t>(i));
+  cache.ResetCounters();
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < n; ++i) cache.Access(4 * static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.hits(), 3u * n);
+}
+
+TEST(TextureCacheTest, WorkingSetBeyondCapacityThrashes) {
+  DeviceSpec spec;
+  TextureCache cache(spec);
+  const int n = 4 * 64 * 1024;  // 1 MB of floats vs 256 KB of cache.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < n; ++i) cache.Access(4 * static_cast<uint64_t>(i));
+  }
+  // Sequential sweep over 4x the capacity: spatial hits within each 32 B
+  // line remain (7 of 8 floats), but zero lines survive between passes —
+  // every line is refetched on pass two.
+  uint64_t lines_per_pass = static_cast<uint64_t>(n) * 4 / 32;
+  EXPECT_EQ(cache.misses(), 2 * lines_per_pass);
+}
+
+TEST(TextureCacheTest, FlushInvalidates) {
+  TextureCache cache(1024, 32, 2);
+  cache.Access(0);
+  cache.Flush();
+  EXPECT_FALSE(cache.Access(0));
+}
+
+TEST(CoalesceTest, FullyCoalescedSingleTransaction) {
+  DeviceSpec spec;
+  uint64_t addrs[16];
+  for (int i = 0; i < 16; ++i) addrs[i] = 4096 + 4 * i;  // One 64 B span.
+  CoalesceResult r = CoalesceHalfWarp(addrs, 16, 4, spec);
+  EXPECT_EQ(r.transactions, 1u);
+  EXPECT_EQ(r.bytes, 64u);  // Shrunk from 128 to the touched 64 B.
+}
+
+TEST(CoalesceTest, ScatteredLanesOneTransactionEach) {
+  DeviceSpec spec;
+  uint64_t addrs[16];
+  for (int i = 0; i < 16; ++i) addrs[i] = 4096 + 1024 * i;
+  CoalesceResult r = CoalesceHalfWarp(addrs, 16, 4, spec);
+  EXPECT_EQ(r.transactions, 16u);
+  EXPECT_EQ(r.bytes, 16u * 32);  // Minimum 32 B transactions.
+}
+
+TEST(CoalesceTest, TwoSegments) {
+  DeviceSpec spec;
+  uint64_t addrs[16];
+  for (int i = 0; i < 16; ++i) addrs[i] = 4 * i * 2;  // 0..120, spans 128 B.
+  addrs[15] = 130;  // Push one lane into the next segment.
+  CoalesceResult r = CoalesceHalfWarp(addrs, 16, 4, spec);
+  EXPECT_EQ(r.transactions, 2u);
+}
+
+TEST(CoalesceTest, SequentialTrafficRoundsToSegments) {
+  DeviceSpec spec;
+  CoalesceResult r = SequentialTraffic(0, 4, spec);
+  EXPECT_EQ(r.bytes, 128u);
+  r = SequentialTraffic(0, 128, spec);
+  EXPECT_EQ(r.bytes, 128u);
+  r = SequentialTraffic(120, 16, spec);  // Straddles a boundary.
+  EXPECT_EQ(r.transactions, 2u);
+}
+
+TEST(PartitionTest, StripesInterleave) {
+  DeviceSpec spec;
+  EXPECT_EQ(PartitionOf(0, spec), 0);
+  EXPECT_EQ(PartitionOf(255, spec), 0);
+  EXPECT_EQ(PartitionOf(256, spec), 1);
+  EXPECT_EQ(PartitionOf(256 * 8, spec), 0);  // Wraps after 8 partitions.
+}
+
+TEST(AllocatorTest, AlignsAndExhausts) {
+  DeviceSpec spec;
+  spec.global_mem_bytes = 1024;
+  DeviceAllocator alloc(spec);
+  Result<uint64_t> a = alloc.Allocate(100);
+  ASSERT_TRUE(a.ok());
+  Result<uint64_t> b = alloc.Allocate(100);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value() % 256, 0u);
+  Result<uint64_t> c = alloc.Allocate(1024);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CostModelTest, EmptyLaunchIsJustOverhead) {
+  DeviceSpec spec;
+  CostModel model(spec);
+  LaunchEstimate est = model.EstimateLaunch(KernelLaunch{});
+  EXPECT_NEAR(est.seconds, spec.kernel_launch_overhead_us * 1e-6, 1e-12);
+  EXPECT_EQ(est.waves, 0);
+}
+
+TEST(CostModelTest, WaveCountMatchesEquationOne) {
+  DeviceSpec spec;
+  CostModel model(spec);
+  KernelLaunch launch;
+  launch.warps.resize(2000);  // ceil(2000 / 960) = 3 iterations.
+  EXPECT_EQ(model.EstimateLaunch(launch).waves, 3);
+}
+
+TEST(CostModelTest, ComputeBoundScalesWithCycles) {
+  DeviceSpec spec;
+  CostModel model(spec);
+  KernelLaunch launch;
+  WarpWork w;
+  w.issue_cycles = 1000000;
+  launch.warps.assign(30, w);  // One warp per SM.
+  double t1 = model.EstimateLaunch(launch).seconds;
+  for (auto& warp : launch.warps) warp.issue_cycles *= 2;
+  double t2 = model.EstimateLaunch(launch).seconds;
+  EXPECT_NEAR(t2 - spec.kernel_launch_overhead_us * 1e-6,
+              2 * (t1 - spec.kernel_launch_overhead_us * 1e-6), 1e-9);
+}
+
+TEST(CostModelTest, MemoryBoundUniformTrafficUsesFullBandwidth) {
+  DeviceSpec spec;
+  CostModel model(spec);
+  KernelLaunch launch;
+  WarpWork w;
+  w.global_bytes = 10 << 20;
+  w.start_address = kNoAddress;  // Spread uniformly.
+  launch.warps.assign(960, w);
+  double bytes = 960.0 * (10 << 20);
+  double expect = bytes / spec.BandwidthBytesPerSec();
+  LaunchEstimate est = model.EstimateLaunch(launch);
+  EXPECT_NEAR(est.memory_seconds, expect, expect * 0.01);
+  EXPECT_NEAR(est.worst_camping_factor, 1.0, 0.01);
+}
+
+TEST(CostModelTest, PartitionCampingDetectedAndPenalized) {
+  DeviceSpec spec;
+  CostModel model(spec);
+  // All warps stream from addresses 2048 B apart -> same partition.
+  KernelLaunch camped;
+  for (int i = 0; i < 960; ++i) {
+    WarpWork w;
+    w.global_bytes = 1 << 20;
+    w.start_address = static_cast<uint64_t>(i) * 2048;
+    camped.warps.push_back(w);
+  }
+  // Same traffic, staggered by one partition stripe per warp.
+  KernelLaunch staggered;
+  for (int i = 0; i < 960; ++i) {
+    WarpWork w;
+    w.global_bytes = 1 << 20;
+    w.start_address = static_cast<uint64_t>(i) * (2048 + 256);
+    staggered.warps.push_back(w);
+  }
+  LaunchEstimate bad = model.EstimateLaunch(camped);
+  LaunchEstimate good = model.EstimateLaunch(staggered);
+  EXPECT_NEAR(bad.worst_camping_factor, 8.0, 0.01);
+  EXPECT_NEAR(good.worst_camping_factor, 1.0, 0.01);
+  EXPECT_GT(bad.seconds, 4 * good.seconds);
+}
+
+TEST(CostModelTest, MaxOfComputeAndMemoryPerWave) {
+  DeviceSpec spec;
+  CostModel model(spec);
+  KernelLaunch launch;
+  WarpWork w;
+  w.issue_cycles = 1;
+  w.global_bytes = 100 << 20;
+  w.start_address = kNoAddress;
+  launch.warps.assign(10, w);
+  LaunchEstimate est = model.EstimateLaunch(launch);
+  double overhead = spec.kernel_launch_overhead_us * 1e-6;
+  EXPECT_NEAR(est.seconds - overhead, est.memory_seconds, 1e-12);
+}
+
+}  // namespace
+}  // namespace tilespmv::gpusim

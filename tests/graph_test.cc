@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "gen/power_law.h"
+#include "graph/hits.h"
+#include "graph/pagerank.h"
+#include "graph/rwr.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+CsrMatrix TestGraph(uint64_t seed = 81) {
+  return GenerateRmat(2000, 16000, RmatOptions{.seed = seed});
+}
+
+class GraphKernelTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GraphKernelTest, PageRankMatchesReference) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph();
+  auto kernel = CreateKernel(GetParam(), spec);
+  PageRankOptions opts;
+  opts.max_iterations = 60;
+  Result<IterativeResult> r = RunPageRank(a, kernel.get(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<double> ref = PageRankReference(a, 0.85, 60);
+  ASSERT_EQ(r.value().result.size(), ref.size());
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(r.value().result[i], ref[i], 1e-4 + 0.02 * ref[i]) << i;
+  }
+}
+
+TEST_P(GraphKernelTest, HitsMatchesReference) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph(82);
+  auto kernel = CreateKernel(GetParam(), spec);
+  HitsOptions opts;
+  opts.max_iterations = 40;
+  Result<HitsScores> r = RunHits(a, kernel.get(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<double> ref_a, ref_h;
+  HitsReference(a, 40, &ref_a, &ref_h);
+  double dot_a = 0, norm1 = 0, norm2 = 0;
+  for (size_t i = 0; i < ref_a.size(); ++i) {
+    dot_a += r.value().authority[i] * ref_a[i];
+    norm1 += r.value().authority[i] * r.value().authority[i];
+    norm2 += ref_a[i] * ref_a[i];
+  }
+  // Cosine similarity of authority vectors ~ 1.
+  EXPECT_GT(dot_a / std::sqrt(norm1 * norm2), 0.999);
+}
+
+TEST_P(GraphKernelTest, RwrMatchesReference) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph(83);
+  auto kernel = CreateKernel(GetParam(), spec);
+  RwrEngine engine(kernel.get());
+  RwrOptions opts;
+  opts.max_iterations = 50;
+  ASSERT_TRUE(engine.Init(a, opts).ok());
+  for (int32_t node : {0, 37, 1999}) {
+    Result<RwrResult> r = engine.Query(node);
+    ASSERT_TRUE(r.ok());
+    std::vector<double> ref = RwrReference(a, node, 0.9, 50);
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_NEAR(r.value().scores[i], ref[i], 1e-4 + 0.02 * ref[i])
+          << "node " << node << " entry " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, GraphKernelTest,
+                         ::testing::Values("cpu-csr", "coo", "hyb",
+                                           "tile-coo", "tile-composite"),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           std::replace(s.begin(), s.end(), '-', '_');
+                           return s;
+                         });
+
+TEST(PageRankTest, SumsToOneWithoutDanglingNodes) {
+  // Give every node an out-edge so the Markov chain conserves mass.
+  std::vector<Triplet> t;
+  for (int32_t r = 0; r < 500; ++r) {
+    t.push_back({r, (r + 1) % 500, 1.0f});
+    t.push_back({r, (r * 7 + 3) % 500, 1.0f});
+  }
+  CsrMatrix a = CsrMatrix::FromTriplets(500, 500, std::move(t));
+  DeviceSpec spec;
+  auto kernel = CreateKernel("tile-composite", spec);
+  Result<IterativeResult> r = RunPageRank(a, kernel.get(), PageRankOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().converged);
+  double sum = std::accumulate(r.value().result.begin(),
+                               r.value().result.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+TEST(PageRankTest, HubGetsHighRank) {
+  // Star graph: everyone links to node 0.
+  std::vector<Triplet> t;
+  for (int32_t r = 1; r < 300; ++r) t.push_back({r, 0, 1.0f});
+  t.push_back({0, 1, 1.0f});
+  CsrMatrix a = CsrMatrix::FromTriplets(300, 300, std::move(t));
+  DeviceSpec spec;
+  auto kernel = CreateKernel("hyb", spec);
+  Result<IterativeResult> r = RunPageRank(a, kernel.get(), PageRankOptions{});
+  ASSERT_TRUE(r.ok());
+  const std::vector<float>& p = r.value().result;
+  for (int32_t i = 2; i < 300; ++i) EXPECT_GT(p[0], p[i]);
+}
+
+TEST(PageRankTest, TimingScalesWithIterations) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph(84);
+  auto kernel = CreateKernel("coo", spec);
+  PageRankOptions opts;
+  opts.tolerance = 0;  // Run to max_iterations.
+  opts.max_iterations = 10;
+  Result<IterativeResult> r10 = RunPageRank(a, kernel.get(), opts);
+  ASSERT_TRUE(r10.ok());
+  EXPECT_EQ(r10.value().iterations, 10);
+  EXPECT_NEAR(r10.value().gpu_seconds,
+              10 * r10.value().seconds_per_iteration, 1e-9);
+}
+
+TEST(PageRankTest, RejectsRectangularMatrix) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmatRect(100, 200, 500, RmatOptions{.seed = 85});
+  auto kernel = CreateKernel("coo", spec);
+  EXPECT_FALSE(RunPageRank(a, kernel.get(), PageRankOptions{}).ok());
+}
+
+TEST(HitsTest, ScoresNormalizedPerHalf) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph(86);
+  auto kernel = CreateKernel("hyb", spec);
+  Result<HitsScores> r = RunHits(a, kernel.get(), HitsOptions{});
+  ASSERT_TRUE(r.ok());
+  double sum_a = 0, sum_h = 0;
+  for (float v : r.value().authority) sum_a += std::fabs(v);
+  for (float v : r.value().hub) sum_h += std::fabs(v);
+  EXPECT_NEAR(sum_a, 1.0, 1e-3);
+  EXPECT_NEAR(sum_h, 1.0, 1e-3);
+}
+
+TEST(RwrTest, QueryNodeKeepsHighestScore) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph(87);
+  auto kernel = CreateKernel("tile-composite", spec);
+  RwrEngine engine(kernel.get());
+  ASSERT_TRUE(engine.Init(a, RwrOptions{}).ok());
+  Result<RwrResult> r = engine.Query(123);
+  ASSERT_TRUE(r.ok());
+  const std::vector<float>& s = r.value().scores;
+  int32_t best = static_cast<int32_t>(
+      std::max_element(s.begin(), s.end()) - s.begin());
+  EXPECT_EQ(best, 123);
+}
+
+TEST(RwrTest, OutOfRangeQueryRejected) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph(88);
+  auto kernel = CreateKernel("coo", spec);
+  RwrEngine engine(kernel.get());
+  ASSERT_TRUE(engine.Init(a, RwrOptions{}).ok());
+  EXPECT_FALSE(engine.Query(-1).ok());
+  EXPECT_FALSE(engine.Query(2000).ok());
+}
+
+TEST(RwrTest, EngineReusableAcrossQueries) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph(89);
+  auto kernel = CreateKernel("hyb", spec);
+  RwrEngine engine(kernel.get());
+  ASSERT_TRUE(engine.Init(a, RwrOptions{}).ok());
+  Result<RwrResult> r1 = engine.Query(5);
+  Result<RwrResult> r2 = engine.Query(5);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1.value().scores, r2.value().scores);  // No state leaks.
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,145 @@
+// End-to-end checks tying datasets, kernels, auto-tuning and the mining
+// algorithms together: the paper's qualitative claims at reduced scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "gen/datasets.h"
+#include "graph/pagerank.h"
+#include "kernels/spmv.h"
+#include "sparse/matrix_stats.h"
+#include "util/random.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+// A small scale keeps the suite fast; shape assertions hold at larger scales
+// too (the benches run those).
+constexpr double kScale = 0.02;
+
+TEST(IntegrationTest, TileCompositeBeatsHybOnEveryPowerLawDataset) {
+  DeviceSpec spec;
+  for (const DatasetSpec& ds : PowerLawDatasets()) {
+    Result<CsrMatrix> a = MakeDataset(ds.name, kScale);
+    ASSERT_TRUE(a.ok()) << ds.name;
+    auto hyb = CreateKernel("hyb", spec);
+    auto tile = CreateKernel("tile-composite", spec);
+    ASSERT_TRUE(hyb->Setup(a.value()).ok()) << ds.name;
+    ASSERT_TRUE(tile->Setup(a.value()).ok()) << ds.name;
+    EXPECT_GT(tile->timing().gflops(), hyb->timing().gflops()) << ds.name;
+  }
+}
+
+TEST(IntegrationTest, NoSingleKernelDominatesUnstructured) {
+  // Appendix D: "there is no single kernel that outperforms all others" on
+  // the unstructured set. Verify tile-composite is NOT the winner everywhere
+  // yet stays competitive (top half) on each dataset it runs on.
+  DeviceSpec spec;
+  int tile_wins = 0, datasets = 0;
+  for (const DatasetSpec& ds : UnstructuredDatasets()) {
+    Result<CsrMatrix> a = MakeDataset(ds.name, ds.name == "dense" ? 0.1 : 0.1);
+    ASSERT_TRUE(a.ok()) << ds.name;
+    double best = 0, tile_perf = 0;
+    for (const std::string& name : GpuKernelNames()) {
+      auto k = CreateKernel(name, spec);
+      if (!k->Setup(a.value()).ok()) continue;
+      double g = k->timing().gflops();
+      best = std::max(best, g);
+      if (name == "tile-composite") tile_perf = g;
+    }
+    ++datasets;
+    if (tile_perf >= best * 0.999) ++tile_wins;
+    EXPECT_GT(tile_perf, 0.25 * best) << ds.name;
+  }
+  EXPECT_LT(tile_wins, datasets);
+}
+
+TEST(IntegrationTest, PageRankSpeedupShapeOnPowerLaw) {
+  // Table 1's shape: tile-composite < tile-coo < hyb ~ coo << cpu runtimes.
+  DeviceSpec spec;
+  Result<CsrMatrix> a = MakeDataset("wikipedia", kScale);
+  ASSERT_TRUE(a.ok());
+  PageRankOptions opts;
+  opts.max_iterations = 20;
+  opts.tolerance = 0;
+  auto run = [&](const char* name) {
+    auto k = CreateKernel(name, spec);
+    Result<IterativeResult> r = RunPageRank(a.value(), k.get(), opts);
+    EXPECT_TRUE(r.ok()) << name;
+    return r.value().gpu_seconds;
+  };
+  double cpu = run("cpu-csr");
+  double coo = run("coo");
+  double hyb = run("hyb");
+  double tile_coo = run("tile-coo");
+  double tile_comp = run("tile-composite");
+  EXPECT_LT(tile_comp, tile_coo);
+  EXPECT_LT(tile_coo, coo);
+  // The paper has HYB ~10% ahead of COO; the model puts them at parity on
+  // the transposed (in-degree-skewed) PageRank matrix, where most non-zeros
+  // overflow HYB's ELL prefix into its COO part (see EXPERIMENTS.md).
+  EXPECT_LT(hyb, 1.05 * coo);
+  EXPECT_LT(coo, cpu);
+  double speedup_vs_cpu = cpu / tile_comp;
+  EXPECT_GT(speedup_vs_cpu, 5.0);
+  EXPECT_LT(speedup_vs_cpu, 200.0);
+}
+
+TEST(IntegrationTest, AllDatasetsProduceConsistentKernelResults) {
+  // Functional cross-check: every kernel that sets up returns the same y.
+  DeviceSpec spec;
+  std::vector<std::string> names = {"webbase", "youtube", "circuit", "lp"};
+  for (const std::string& ds : names) {
+    Result<CsrMatrix> a = MakeDataset(ds, 0.02);
+    ASSERT_TRUE(a.ok()) << ds;
+    Pcg32 rng(7);
+    std::vector<float> x(a.value().cols);
+    for (float& v : x) v = rng.NextFloat();
+    std::vector<float> want;
+    CsrMultiply(a.value(), x, &want);
+    double max_abs = 1.0;
+    for (float w : want) max_abs = std::max(max_abs, std::fabs(double{w}));
+    for (const std::string& name : AllKernelNames()) {
+      auto k = CreateKernel(name, spec);
+      if (!k->Setup(a.value()).ok()) continue;  // Format not applicable.
+      std::vector<float> got;
+      MultiplyOriginal(*k, x, &got);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_NEAR(got[i], want[i], 1e-4 * max_abs)
+            << ds << " " << name << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, DenseMatrixBandwidthExceedsPeakViaTextureCache) {
+  // Appendix D: on the dense matrix, tile-composite's *algorithmic*
+  // bandwidth beats the physical peak because x is served from cache.
+  DeviceSpec spec;
+  Result<CsrMatrix> a = MakeDataset("dense", 1.0);
+  ASSERT_TRUE(a.ok());
+  auto k = CreateKernel("tile-composite", spec);
+  ASSERT_TRUE(k->Setup(a.value()).ok());
+  EXPECT_GT(k->timing().gbps(), spec.mem_bandwidth_gbps);
+  EXPECT_GT(k->timing().TexHitRate(), 0.95);
+}
+
+TEST(IntegrationTest, KernelTimingDeterministic) {
+  DeviceSpec spec;
+  Result<CsrMatrix> a = MakeDataset("youtube", kScale);
+  ASSERT_TRUE(a.ok());
+  auto k1 = CreateKernel("tile-composite", spec);
+  auto k2 = CreateKernel("tile-composite", spec);
+  ASSERT_TRUE(k1->Setup(a.value()).ok());
+  ASSERT_TRUE(k2->Setup(a.value()).ok());
+  EXPECT_DOUBLE_EQ(k1->timing().seconds, k2->timing().seconds);
+  EXPECT_EQ(k1->timing().tex_misses, k2->timing().tex_misses);
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "gen/power_law.h"
+#include "io/binary_cache.h"
+#include "io/edge_list.h"
+
+namespace tilespmv {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(EdgeListTest, ReadsPlainEdges) {
+  std::string path = TempPath("plain.edges");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n"
+        << "0 1\n"
+        << "1 2 2.5\n"
+        << "% another comment\n"
+        << "2 0\n";
+  }
+  Result<CsrMatrix> r = ReadEdgeList(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const CsrMatrix& m = r.value();
+  EXPECT_EQ(m.rows, 3);
+  EXPECT_EQ(m.nnz(), 3);
+  // Edge (1,2) carries its explicit weight.
+  EXPECT_FLOAT_EQ(m.values[m.row_ptr[1]], 2.5f);
+}
+
+TEST(EdgeListTest, SymmetrizeAddsReverseEdges) {
+  std::string path = TempPath("sym.edges");
+  {
+    std::ofstream out(path);
+    out << "0 1\n2 2\n";
+  }
+  EdgeListOptions opts;
+  opts.symmetrize = true;
+  Result<CsrMatrix> r = ReadEdgeList(path, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().nnz(), 3);  // (0,1), (1,0), self-loop once.
+}
+
+TEST(EdgeListTest, CompactIdsRenumberDensely) {
+  std::string path = TempPath("sparseids.edges");
+  {
+    std::ofstream out(path);
+    out << "1000000 5000000\n5000000 9000000\n";
+  }
+  EdgeListOptions opts;
+  opts.compact_ids = true;
+  Result<CsrMatrix> r = ReadEdgeList(path, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows, 3);  // Three distinct nodes -> ids 0, 1, 2.
+  EXPECT_EQ(r.value().nnz(), 2);
+}
+
+TEST(EdgeListTest, DuplicateEdgesMerge) {
+  std::string path = TempPath("dups.edges");
+  {
+    std::ofstream out(path);
+    out << "0 1 1.0\n0 1 2.0\n";
+  }
+  Result<CsrMatrix> r = ReadEdgeList(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().nnz(), 1);
+  EXPECT_FLOAT_EQ(r.value().values[0], 3.0f);
+}
+
+TEST(EdgeListTest, MalformedLineFails) {
+  std::string path = TempPath("bad.edges");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot numbers\n";
+  }
+  EXPECT_FALSE(ReadEdgeList(path).ok());
+}
+
+TEST(EdgeListTest, NegativeIdFails) {
+  std::string path = TempPath("neg.edges");
+  {
+    std::ofstream out(path);
+    out << "-3 1\n";
+  }
+  EXPECT_FALSE(ReadEdgeList(path).ok());
+}
+
+TEST(EdgeListTest, WriteReadRoundTrip) {
+  CsrMatrix m = GenerateRmat(500, 3000, RmatOptions{.seed = 15});
+  std::string path = TempPath("roundtrip.edges");
+  ASSERT_TRUE(WriteEdgeList(m, path).ok());
+  Result<CsrMatrix> r = ReadEdgeList(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().nnz(), m.nnz());
+  EXPECT_EQ(r.value().col_idx, m.col_idx);
+}
+
+TEST(BinaryCacheTest, RoundTripExact) {
+  CsrMatrix m = GenerateRmat(1000, 8000, RmatOptions{.seed = 16});
+  std::string path = TempPath("matrix.bin");
+  ASSERT_TRUE(WriteBinaryMatrix(m, path).ok());
+  Result<CsrMatrix> r = ReadBinaryMatrix(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows, m.rows);
+  EXPECT_EQ(r.value().row_ptr, m.row_ptr);
+  EXPECT_EQ(r.value().col_idx, m.col_idx);
+  EXPECT_EQ(r.value().values, m.values);  // Bit-exact.
+}
+
+TEST(BinaryCacheTest, RejectsWrongMagic) {
+  std::string path = TempPath("junk.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a matrix";
+  }
+  EXPECT_FALSE(ReadBinaryMatrix(path).ok());
+}
+
+TEST(BinaryCacheTest, RejectsTruncation) {
+  CsrMatrix m = GenerateRmat(200, 1000, RmatOptions{.seed = 17});
+  std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(WriteBinaryMatrix(m, path).ok());
+  // Chop the file.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  auto size = in.tellg();
+  std::vector<char> buf(static_cast<size_t>(size) / 2);
+  in.seekg(0);
+  in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+  EXPECT_FALSE(ReadBinaryMatrix(path).ok());
+}
+
+TEST(BinaryCacheTest, LoadOrBuildCachesSecondLoad) {
+  std::string path = TempPath("cached.bin");
+  std::remove(path.c_str());
+  auto make = []() -> Result<CsrMatrix> {
+    return GenerateRmat(300, 2000, RmatOptions{.seed = 18});
+  };
+  Result<CsrMatrix> first = LoadOrBuild(path, make);
+  ASSERT_TRUE(first.ok());
+  // Second call must come from the cache and be identical.
+  Result<CsrMatrix> second = LoadOrBuild(path, make);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().col_idx, second.value().col_idx);
+  std::ifstream probe(path);
+  EXPECT_TRUE(probe.good());
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/matrix_market.h"
+#include "util/random.h"
+
+namespace tilespmv {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(MatrixMarketTest, WriteReadRoundTrip) {
+  Pcg32 rng(41);
+  std::vector<Triplet> t;
+  for (int i = 0; i < 500; ++i) {
+    t.push_back(Triplet{static_cast<int32_t>(rng.NextBounded(70)),
+                        static_cast<int32_t>(rng.NextBounded(90)),
+                        rng.NextFloat() + 0.5f});
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(70, 90, std::move(t));
+  std::string path = TempPath("roundtrip.mtx");
+  ASSERT_TRUE(WriteMatrixMarket(m, path).ok());
+  Result<CsrMatrix> r = ReadMatrixMarket(path);
+  ASSERT_TRUE(r.ok());
+  const CsrMatrix& back = r.value();
+  EXPECT_EQ(back.rows, m.rows);
+  EXPECT_EQ(back.cols, m.cols);
+  ASSERT_EQ(back.nnz(), m.nnz());
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  for (int64_t k = 0; k < m.nnz(); ++k)
+    EXPECT_NEAR(back.values[k], m.values[k], 1e-5 * std::abs(m.values[k]));
+}
+
+TEST(MatrixMarketTest, PatternEntriesGetUnitValues) {
+  std::string path = TempPath("pattern.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate pattern general\n"
+        << "% comment line\n"
+        << "3 3 2\n"
+        << "1 2\n"
+        << "3 1\n";
+  }
+  Result<CsrMatrix> r = ReadMatrixMarket(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().nnz(), 2);
+  for (float v : r.value().values) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(MatrixMarketTest, SymmetricExpands) {
+  std::string path = TempPath("sym.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real symmetric\n"
+        << "3 3 2\n"
+        << "2 1 5.0\n"
+        << "3 3 7.0\n";
+  }
+  Result<CsrMatrix> r = ReadMatrixMarket(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().nnz(), 3);  // Off-diagonal mirrored, diagonal not.
+}
+
+TEST(MatrixMarketTest, MissingFileFails) {
+  Result<CsrMatrix> r = ReadMatrixMarket("/nonexistent/file.mtx");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(MatrixMarketTest, BadBannerFails) {
+  std::string path = TempPath("bad.mtx");
+  {
+    std::ofstream out(path);
+    out << "not a matrix market file\n";
+  }
+  EXPECT_FALSE(ReadMatrixMarket(path).ok());
+}
+
+TEST(MatrixMarketTest, OutOfRangeIndexFails) {
+  std::string path = TempPath("oob.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n"
+        << "2 2 1\n"
+        << "5 1 1.0\n";
+  }
+  Result<CsrMatrix> r = ReadMatrixMarket(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatrixMarketTest, TruncatedFileFails) {
+  std::string path = TempPath("trunc.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n"
+        << "3 3 5\n"
+        << "1 1 1.0\n";
+  }
+  EXPECT_FALSE(ReadMatrixMarket(path).ok());
+}
+
+}  // namespace
+}  // namespace tilespmv

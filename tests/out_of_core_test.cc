@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "gen/power_law.h"
+#include "kernels/spmv.h"
+#include "multigpu/out_of_core.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+TEST(OutOfCoreTest, InCoreMatrixIsOneChunk) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(20000, 200000, RmatOptions{.seed = 51});
+  Result<OutOfCoreResult> r = ModelOutOfCoreSpmv(a, "hyb", spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_chunks, 1);
+  EXPECT_GT(r.value().transfer_seconds, 0.0);
+}
+
+TEST(OutOfCoreTest, SmallDeviceForcesChunking) {
+  DeviceSpec spec;
+  spec.global_mem_bytes = 2 << 20;  // 2 MB.
+  CsrMatrix a = GenerateRmat(30000, 500000, RmatOptions{.seed = 52});
+  Result<OutOfCoreResult> r = ModelOutOfCoreSpmv(a, "coo", spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r.value().num_chunks, 2);
+}
+
+TEST(OutOfCoreTest, PcieBecomesTheBottleneck) {
+  // Section 3.2's argument: the kernel sustains tens of GB/s, the bus 8.
+  // Out-of-core SpMV must come out PCIe-bound with throughput well under
+  // the in-core kernel's.
+  DeviceSpec spec;
+  spec.global_mem_bytes = 8 << 20;
+  CsrMatrix a = GenerateRmat(50000, 1000000, RmatOptions{.seed = 53});
+  Result<OutOfCoreResult> r = ModelOutOfCoreSpmv(a, "tile-composite", spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().pcie_bound);
+  EXPECT_GT(r.value().transfer_seconds, r.value().compute_seconds);
+
+  DeviceSpec big;  // Same kernel with everything resident, for contrast.
+  auto kernel = CreateKernel("tile-composite", big);
+  ASSERT_TRUE(kernel->Setup(a).ok());
+  double in_core_gflops = kernel->timing().gflops();
+  EXPECT_LT(r.value().gflops(), 0.6 * in_core_gflops);
+}
+
+TEST(OutOfCoreTest, VectorsAloneTooBigFails) {
+  DeviceSpec spec;
+  spec.global_mem_bytes = 64 << 10;  // 64 KB.
+  CsrMatrix a = GenerateRmat(100000, 200000, RmatOptions{.seed = 54});
+  Result<OutOfCoreResult> r = ModelOutOfCoreSpmv(a, "coo", spec);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(OutOfCoreTest, UnknownKernelRejected) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(1000, 5000, RmatOptions{.seed = 55});
+  EXPECT_FALSE(ModelOutOfCoreSpmv(a, "no-such-kernel", spec).ok());
+}
+
+TEST(OutOfCoreTest, FlopsAccountedOnce) {
+  DeviceSpec spec;
+  spec.global_mem_bytes = 4 << 20;
+  CsrMatrix a = GenerateRmat(20000, 300000, RmatOptions{.seed = 56});
+  Result<OutOfCoreResult> r = ModelOutOfCoreSpmv(a, "hyb", spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().flops, 2 * static_cast<uint64_t>(a.nnz()));
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/power_law.h"
+#include "sparse/csr.h"
+#include "sparse/permute.h"
+#include "util/random.h"
+
+namespace tilespmv {
+namespace {
+
+CsrMatrix RandomMatrix(int32_t rows, int32_t cols, int64_t nnz,
+                       uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Triplet> t;
+  for (int64_t i = 0; i < nnz; ++i) {
+    t.push_back(Triplet{static_cast<int32_t>(rng.NextBounded(rows)),
+                        static_cast<int32_t>(rng.NextBounded(cols)),
+                        rng.NextFloat() + 0.1f});
+  }
+  return CsrMatrix::FromTriplets(rows, cols, std::move(t));
+}
+
+std::vector<float> RandomVector(int32_t n, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<float> x(n);
+  for (float& v : x) v = rng.NextFloat();
+  return x;
+}
+
+TEST(PermuteTest, InvertRoundTrip) {
+  Permutation p = {3, 1, 0, 2};
+  Permutation inv = InvertPermutation(p);
+  EXPECT_EQ(inv, (Permutation{2, 1, 3, 0}));
+  EXPECT_EQ(InvertPermutation(inv), p);
+}
+
+TEST(PermuteTest, ValidityCheck) {
+  EXPECT_TRUE(IsValidPermutation({2, 0, 1}));
+  EXPECT_FALSE(IsValidPermutation({0, 0, 1}));
+  EXPECT_FALSE(IsValidPermutation({0, 3, 1}));
+  EXPECT_TRUE(IsValidPermutation({}));
+}
+
+TEST(PermuteTest, SortColumnsDescendingAndStable) {
+  // Columns with lengths 1, 3, 0, 3, 2.
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      3, 5,
+      {{0, 0, 1}, {0, 1, 1}, {1, 1, 1}, {2, 1, 1},
+       {0, 3, 1}, {1, 3, 1}, {2, 3, 1}, {1, 4, 1}, {2, 4, 1}});
+  Permutation p = SortColumnsByLengthDesc(m);
+  ASSERT_TRUE(IsValidPermutation(p));
+  // Descending lengths 3,3,2,1,0; ties (cols 1 and 3) keep original order.
+  EXPECT_EQ(p, (Permutation{1, 3, 4, 0, 2}));
+}
+
+TEST(PermuteTest, SortedColumnLengthsAreNonIncreasing) {
+  CsrMatrix m = GenerateRmat(2048, 20000, RmatOptions{.seed = 3});
+  Permutation p = SortColumnsByLengthDesc(m);
+  ASSERT_TRUE(IsValidPermutation(p));
+  CsrMatrix sorted = ApplyColumnPermutation(m, p);
+  std::vector<int64_t> lengths = sorted.ColLengths();
+  EXPECT_TRUE(std::is_sorted(lengths.begin(), lengths.end(),
+                             [](int64_t a, int64_t b) { return a > b; }));
+}
+
+TEST(PermuteTest, ColumnPermutationPreservesMultiply) {
+  CsrMatrix m = RandomMatrix(40, 60, 400, 21);
+  Permutation p = SortColumnsByLengthDesc(m);
+  CsrMatrix mp = ApplyColumnPermutation(m, p);
+  ASSERT_TRUE(mp.Validate().ok());
+  std::vector<float> x = RandomVector(60, 22);
+  std::vector<float> xp;
+  PermuteVector(p, x, &xp);
+  std::vector<float> y1, y2;
+  CsrMultiply(m, x, &y1);
+  CsrMultiply(mp, xp, &y2);
+  for (int i = 0; i < 40; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-4);
+}
+
+TEST(PermuteTest, RowPermutationPermutesResult) {
+  CsrMatrix m = RandomMatrix(50, 50, 300, 23);
+  Permutation p = SortRowsByLengthDesc(m);
+  CsrMatrix mp = ApplyRowPermutation(m, p);
+  ASSERT_TRUE(mp.Validate().ok());
+  std::vector<float> x = RandomVector(50, 24);
+  std::vector<float> y1, y2;
+  CsrMultiply(m, x, &y1);
+  CsrMultiply(mp, x, &y2);
+  for (int i = 0; i < 50; ++i) EXPECT_NEAR(y2[i], y1[p[i]], 1e-4);
+}
+
+TEST(PermuteTest, SymmetricPermutationPreservesMultiplyUpToRelabel) {
+  CsrMatrix m = RandomMatrix(64, 64, 512, 25);
+  Permutation p = SortColumnsByLengthDesc(m);
+  CsrMatrix mp = ApplySymmetricPermutation(m, p);
+  std::vector<float> x = RandomVector(64, 26);
+  std::vector<float> xp;
+  PermuteVector(p, x, &xp);
+  std::vector<float> y_orig, y_perm, y_back;
+  CsrMultiply(m, x, &y_orig);
+  CsrMultiply(mp, xp, &y_perm);
+  UnpermuteVector(p, y_perm, &y_back);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(y_back[i], y_orig[i], 1e-4);
+}
+
+TEST(PermuteTest, VectorPermuteRoundTrip) {
+  Permutation p = {4, 2, 0, 1, 3};
+  std::vector<float> x = {10, 11, 12, 13, 14};
+  std::vector<float> xp, back;
+  PermuteVector(p, x, &xp);
+  EXPECT_EQ(xp, (std::vector<float>{14, 12, 10, 11, 13}));
+  UnpermuteVector(p, xp, &back);
+  EXPECT_EQ(back, x);
+}
+
+TEST(PermuteTest, CountingSortHandlesAllEqualLengths) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 4, {{0, 0, 1}, {0, 1, 1}, {0, 2, 1}, {0, 3, 1}});
+  Permutation p = SortColumnsByLengthDesc(m);
+  EXPECT_EQ(p, (Permutation{0, 1, 2, 3}));  // Stable: identity on ties.
+}
+
+}  // namespace
+}  // namespace tilespmv

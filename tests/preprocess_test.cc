@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/preprocess.h"
+#include "gen/power_law.h"
+#include "graph/pagerank.h"
+#include "kernels/spmv.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+TEST(PreprocessTest, StagesMeasuredAndSummed) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(30000, 300000, RmatOptions{.seed = 91});
+  Result<PreprocessReport> r = MeasurePreprocessing(a, spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const PreprocessReport& p = r.value();
+  EXPECT_GT(p.total_seconds, 0.0);
+  EXPECT_NEAR(p.total_seconds,
+              p.sort_columns_seconds + p.relabel_seconds + p.tiling_seconds +
+                  p.composite_seconds,
+              1e-9);
+  EXPECT_GT(p.baseline_iteration_seconds, 0.0);
+  EXPECT_GT(p.tile_iteration_seconds, 0.0);
+}
+
+TEST(PreprocessTest, BreakevenFiniteWhenTileKernelWins) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(60000, 700000, RmatOptions{.seed = 92});
+  Result<PreprocessReport> r = MeasurePreprocessing(a, spec);
+  ASSERT_TRUE(r.ok());
+  // On a power-law matrix tile-composite beats HYB, so break-even exists.
+  EXPECT_LT(r.value().tile_iteration_seconds,
+            r.value().baseline_iteration_seconds);
+  EXPECT_TRUE(std::isfinite(r.value().breakeven_iterations));
+  EXPECT_GT(r.value().breakeven_iterations, 0.0);
+}
+
+TEST(PreprocessTest, UnknownBaselineRejected) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(1000, 8000, RmatOptions{.seed = 93});
+  EXPECT_FALSE(MeasurePreprocessing(a, spec, "bogus").ok());
+}
+
+TEST(DeltaHistoryTest, RecordedAndDecaying) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(2000, 16000, RmatOptions{.seed = 94});
+  auto kernel = CreateKernel("hyb", spec);
+  PageRankOptions opts;
+  opts.tolerance = 0;
+  opts.max_iterations = 30;
+  Result<IterativeResult> r = RunPageRank(a, kernel.get(), opts);
+  ASSERT_TRUE(r.ok());
+  const auto& h = r.value().delta_history;
+  ASSERT_EQ(static_cast<int>(h.size()), r.value().iterations);
+  // Power iteration with damping c contracts geometrically: the tail of the
+  // history must shrink by ~c per step.
+  for (size_t i = 5; i < h.size(); ++i) {
+    EXPECT_LT(h[i], h[i - 1]) << i;
+  }
+  EXPECT_LT(h.back(), 0.01 * h.front());
+}
+
+TEST(LaunchDetailsTest, PerLaunchBreakdownExposed) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(20000, 200000, RmatOptions{.seed = 95});
+  auto kernel = CreateKernel("tile-composite", spec);
+  ASSERT_TRUE(kernel->Setup(a).ok());
+  const KernelTiming& t = kernel->timing();
+  ASSERT_EQ(static_cast<int>(t.launch_details.size()), t.launches);
+  double sum = 0;
+  for (const auto& l : t.launch_details) {
+    EXPECT_GT(l.seconds, 0.0);
+    sum += l.seconds;
+  }
+  EXPECT_NEAR(sum, t.seconds, 1e-9);
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,166 @@
+// Parameterized property sweeps: structural invariants that must hold for
+// every workload size, tile width, and device — the knobs the auto-tuner
+// turns. These catch boundary bugs (padding, offsets, clamping) that fixed
+// examples miss.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/composite.h"
+#include "core/tile_composite.h"
+#include "core/tiling.h"
+#include "gen/power_law.h"
+#include "sparse/permute.h"
+#include "util/random.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+CsrMatrix SweepMatrix() {
+  static const CsrMatrix* kMatrix =
+      new CsrMatrix(GenerateRmat(4000, 40000, RmatOptions{.seed = 71}));
+  return *kMatrix;
+}
+
+// ---------------------------------------------------------------- composite
+class CompositeSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(CompositeSweep, InvariantsHoldForEveryWorkloadSize) {
+  const int64_t wl_size = GetParam();
+  DeviceSpec spec;
+  CsrMatrix tile = SweepMatrix();
+  CompositeTile ct = BuildComposite(tile, wl_size, spec, true);
+
+  // Every occupied row appears in exactly one workload, in ranking order.
+  int64_t covered = 0;
+  int32_t expect_pos = 0;
+  int64_t prev_end = -1;
+  for (const Workload& wl : ct.workloads) {
+    ASSERT_EQ(wl.first_pos, expect_pos);
+    ASSERT_GE(wl.h, 1);
+    ASSERT_EQ(wl.w, ct.row_len[wl.first_pos]);
+    // Storage rectangles are disjoint and ordered.
+    ASSERT_GT(wl.storage_offset, prev_end);
+    prev_end = wl.storage_offset + wl.PaddedFloats() - 1;
+    // Padding rule: one dimension is a warp multiple.
+    if (wl.row_major) {
+      ASSERT_EQ(wl.padded_w % spec.warp_size, 0);
+      ASSERT_GE(wl.w, wl.h);
+    } else {
+      ASSERT_EQ(wl.padded_h % spec.warp_size, 0);
+      ASSERT_LT(wl.w, wl.h);
+    }
+    // Multi-row workloads never exceed the workload size.
+    if (wl.h > 1) {
+      int64_t packed = 0;
+      for (int32_t i = wl.first_pos; i < wl.first_pos + wl.h; ++i)
+        packed += ct.row_len[i];
+      ASSERT_LE(packed, std::max(wl_size, ct.row_len[wl.first_pos]));
+    }
+    covered += wl.h;
+    expect_pos += wl.h;
+  }
+  EXPECT_EQ(covered, ct.occupied_rows());
+  EXPECT_EQ(ct.total_padded_floats, prev_end + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkloadSizes, CompositeSweep,
+                         ::testing::Values(1, 17, 32, 100, 513, 4096, 32768,
+                                           1000000));
+
+// ------------------------------------------------------------------ tiling
+class TilingSweep : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(TilingSweep, NnzConservedForEveryTileWidth) {
+  const int32_t width = GetParam();
+  CsrMatrix a = SweepMatrix();
+  CsrMatrix sorted = ApplyColumnPermutation(a, SortColumnsByLengthDesc(a));
+  TilingOptions opts;
+  opts.tile_width = width;
+  TiledMatrix t = BuildTiling(sorted, opts);
+  EXPECT_EQ(t.nnz(), a.nnz());
+  // Tile-local column indices stay inside their tile.
+  for (const TileSlice& s : t.dense_tiles) {
+    for (int32_t c : s.local.col_idx) {
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, s.col_end - s.col_begin);
+    }
+  }
+  // Sparse part only holds columns past the dense boundary.
+  for (int32_t c : t.sparse_part.col_idx) {
+    ASSERT_GE(c, t.dense_col_end);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileWidths, TilingSweep,
+                         ::testing::Values(1, 7, 32, 100, 512, 4096, 65536));
+
+// ------------------------------------------------- kernel x device matrix
+class KernelDeviceSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(KernelDeviceSweep, CorrectOnBothDevices) {
+  const char* name = std::get<0>(GetParam());
+  DeviceSpec spec = std::get<1>(GetParam()) == 0
+                        ? DeviceSpec::TeslaC1060()
+                        : DeviceSpec::FermiC2050();
+  CsrMatrix a = SweepMatrix();
+  auto kernel = CreateKernel(name, spec);
+  ASSERT_NE(kernel, nullptr);
+  ASSERT_TRUE(kernel->Setup(a).ok()) << name;
+  Pcg32 rng(72);
+  std::vector<float> x(a.cols);
+  for (float& v : x) v = rng.NextFloat();
+  std::vector<float> want, got;
+  CsrMultiply(a, x, &want);
+  MultiplyOriginal(*kernel, x, &got);
+  double max_abs = 1.0;
+  for (float w : want) max_abs = std::max(max_abs, std::fabs(double{w}));
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-4 * max_abs) << name << " row " << i;
+  }
+  EXPECT_GT(kernel->timing().gflops(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsTimesDevices, KernelDeviceSweep,
+    ::testing::Combine(::testing::Values("csr", "csr-vector", "bsk-bdw",
+                                         "coo", "hyb", "tile-coo",
+                                         "tile-composite"),
+                       ::testing::Values(0, 1)),
+    [](const auto& info) {
+      std::string s = std::string(std::get<0>(info.param)) +
+                      (std::get<1>(info.param) == 0 ? "_tesla" : "_fermi");
+      std::replace(s.begin(), s.end(), '-', '_');
+      return s;
+    });
+
+// --------------------------------------------- forced tile-composite knobs
+class ForcedWorkloadSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ForcedWorkloadSweep, KernelStaysCorrectUnderAnyForcedSize) {
+  DeviceSpec spec;
+  TileCompositeOptions opts;
+  opts.forced_workload = GetParam();
+  TileCompositeKernel kernel(spec, opts);
+  CsrMatrix a = SweepMatrix();
+  ASSERT_TRUE(kernel.Setup(a).ok());
+  std::vector<float> x(a.cols, 0.5f), want, got;
+  CsrMultiply(a, x, &want);
+  MultiplyOriginal(kernel, x, &got);
+  double max_abs = 1.0;
+  for (float w : want) max_abs = std::max(max_abs, std::fabs(double{w}));
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-4 * max_abs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ForcedSizes, ForcedWorkloadSweep,
+                         ::testing::Values(1, 64, 1000, 50000));
+
+}  // namespace
+}  // namespace tilespmv

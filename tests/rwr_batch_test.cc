@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/power_law.h"
+#include "graph/rwr.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+
+CsrMatrix TestGraph() { return GenerateRmat(2500, 20000, RmatOptions{.seed = 151}); }
+
+TEST(RwrBatchTest, BatchMatchesIndividualQueries) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph();
+  auto kernel = CreateKernel("tile-composite", spec);
+  RwrEngine engine(kernel.get());
+  ASSERT_TRUE(engine.Init(a, RwrOptions{}).ok());
+
+  std::vector<int32_t> nodes = {3, 777, 2400};
+  Result<std::vector<RwrResult>> batch = engine.QueryBatch(nodes);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch.value().size(), nodes.size());
+  for (size_t q = 0; q < nodes.size(); ++q) {
+    Result<RwrResult> single = engine.Query(nodes[q]);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ(batch.value()[q].scores.size(), single.value().scores.size());
+    for (size_t i = 0; i < single.value().scores.size(); ++i) {
+      ASSERT_NEAR(batch.value()[q].scores[i], single.value().scores[i],
+                  1e-6)
+          << "query " << q << " entry " << i;
+    }
+    EXPECT_EQ(batch.value()[q].stats.iterations,
+              single.value().stats.iterations);
+  }
+}
+
+TEST(RwrBatchTest, AmortizationMakesBatchCheaperPerQuery) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph();
+  auto kernel = CreateKernel("hyb", spec);
+  RwrEngine engine(kernel.get());
+  ASSERT_TRUE(engine.Init(a, RwrOptions{}).ok());
+  double single_iter = engine.BatchIterationSeconds(1);
+  double batch8_iter = engine.BatchIterationSeconds(8);
+  // The batch costs more than one query but far less than eight.
+  EXPECT_GT(batch8_iter, single_iter);
+  EXPECT_LT(batch8_iter, 6.0 * single_iter);
+  // Per-query billing reflects it.
+  Result<std::vector<RwrResult>> batch =
+      engine.QueryBatch({1, 2, 3, 4, 5, 6, 7, 8});
+  Result<RwrResult> one = engine.Query(1);
+  ASSERT_TRUE(batch.ok() && one.ok());
+  EXPECT_LT(batch.value()[0].stats.gpu_seconds,
+            one.value().stats.gpu_seconds);
+}
+
+TEST(RwrBatchTest, EmptyAndInvalidBatches) {
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph();
+  auto kernel = CreateKernel("coo", spec);
+  RwrEngine engine(kernel.get());
+  ASSERT_TRUE(engine.Init(a, RwrOptions{}).ok());
+  Result<std::vector<RwrResult>> empty = engine.QueryBatch({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+  EXPECT_FALSE(engine.QueryBatch({1, -5}).ok());
+}
+
+TEST(RwrBatchTest, MixedConvergenceSpeeds) {
+  // A hub query converges differently from a leaf query; both must be
+  // billed their own iteration counts.
+  DeviceSpec spec;
+  CsrMatrix a = TestGraph();
+  auto kernel = CreateKernel("hyb", spec);
+  RwrEngine engine(kernel.get());
+  RwrOptions opts;
+  opts.tolerance = 1e-6f;
+  ASSERT_TRUE(engine.Init(a, opts).ok());
+  Result<std::vector<RwrResult>> batch = engine.QueryBatch({0, 2499});
+  ASSERT_TRUE(batch.ok());
+  for (const RwrResult& r : batch.value()) {
+    EXPECT_TRUE(r.stats.converged);
+    EXPECT_EQ(static_cast<int>(r.stats.delta_history.size()),
+              r.stats.iterations);
+  }
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "gen/power_law.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+#include "sparse/dia.h"
+#include "sparse/ell.h"
+#include "sparse/hyb.h"
+#include "sparse/matrix_stats.h"
+#include "sparse/pkt.h"
+#include "util/random.h"
+
+namespace tilespmv {
+namespace {
+
+CsrMatrix SmallMatrix() {
+  // 4x5:
+  // [1 0 2 0 0]
+  // [0 0 0 0 0]
+  // [3 4 0 0 5]
+  // [0 0 0 6 0]
+  return CsrMatrix::FromTriplets(4, 5,
+                                 {{0, 0, 1}, {0, 2, 2}, {2, 0, 3},
+                                  {2, 1, 4}, {2, 4, 5}, {3, 3, 6}});
+}
+
+CsrMatrix RandomMatrix(int32_t rows, int32_t cols, int64_t nnz,
+                       uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Triplet> t;
+  for (int64_t i = 0; i < nnz; ++i) {
+    t.push_back(Triplet{static_cast<int32_t>(rng.NextBounded(rows)),
+                        static_cast<int32_t>(rng.NextBounded(cols)),
+                        rng.NextFloat() + 0.1f});
+  }
+  return CsrMatrix::FromTriplets(rows, cols, std::move(t));
+}
+
+std::vector<float> RandomVector(int32_t n, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<float> x(n);
+  for (float& v : x) v = rng.NextFloat();
+  return x;
+}
+
+TEST(CsrTest, FromTripletsSortsAndSums) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 2, {{1, 1, 5}, {0, 0, 1}, {1, 1, 2}, {0, 1, 3}});
+  EXPECT_EQ(m.nnz(), 3);  // (1,1) duplicates merged.
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_EQ(m.RowLength(0), 2);
+  EXPECT_EQ(m.RowLength(1), 1);
+  EXPECT_FLOAT_EQ(m.values[2], 7.0f);  // 5 + 2.
+}
+
+TEST(CsrTest, LengthsAndValidate) {
+  CsrMatrix m = SmallMatrix();
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_EQ(m.RowLengths(), (std::vector<int64_t>{2, 0, 3, 1}));
+  EXPECT_EQ(m.ColLengths(), (std::vector<int64_t>{2, 1, 1, 1, 1}));
+}
+
+TEST(CsrTest, ValidateCatchesCorruption) {
+  CsrMatrix m = SmallMatrix();
+  m.col_idx[0] = 99;
+  EXPECT_FALSE(m.Validate().ok());
+  m = SmallMatrix();
+  m.row_ptr[2] = 100;
+  EXPECT_FALSE(m.Validate().ok());
+  m = SmallMatrix();
+  m.row_ptr.pop_back();
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(CsrTest, MultiplyMatchesHandComputation) {
+  CsrMatrix m = SmallMatrix();
+  std::vector<float> y;
+  CsrMultiply(m, {1, 2, 3, 4, 5}, &y);
+  EXPECT_EQ(y, (std::vector<float>{7, 0, 36, 24}));
+}
+
+TEST(CooTest, RoundTripPreservesMatrix) {
+  CsrMatrix m = RandomMatrix(50, 40, 300, 1);
+  CooMatrix coo = CooFromCsr(m);
+  EXPECT_TRUE(coo.Validate().ok());
+  CsrMatrix back = CsrFromCoo(coo);
+  EXPECT_EQ(back.row_ptr, m.row_ptr);
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  EXPECT_EQ(back.values, m.values);
+}
+
+TEST(EllTest, ConversionPadsToMaxRow) {
+  CsrMatrix m = SmallMatrix();
+  Result<EllMatrix> r = EllFromCsr(m, 1 << 20);
+  ASSERT_TRUE(r.ok());
+  const EllMatrix& e = r.value();
+  EXPECT_EQ(e.width, 3);
+  EXPECT_EQ(e.PaddedEntries(), 12);
+  EXPECT_EQ(e.nnz(), m.nnz());
+  EXPECT_TRUE(e.Validate().ok());
+}
+
+TEST(EllTest, MultiplySemanticsPreserved) {
+  CsrMatrix m = RandomMatrix(64, 64, 400, 2);
+  Result<EllMatrix> r = EllFromCsr(m, 1 << 24);
+  ASSERT_TRUE(r.ok());
+  const EllMatrix& e = r.value();
+  std::vector<float> x = RandomVector(64, 3);
+  std::vector<float> want;
+  CsrMultiply(m, x, &want);
+  std::vector<float> got(64, 0.0f);
+  for (int32_t j = 0; j < e.width; ++j) {
+    for (int32_t row = 0; row < e.rows; ++row) {
+      size_t slot = static_cast<size_t>(j) * e.rows + row;
+      if (e.col_idx[slot] != EllMatrix::kEllPad)
+        got[row] += e.values[slot] * x[e.col_idx[slot]];
+    }
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(got[i], want[i], 1e-4);
+}
+
+TEST(EllTest, PowerLawPaddingExplodes) {
+  // One hub row of 10000 + 10000 short rows: padded size 10001 * 10000.
+  std::vector<Triplet> t;
+  for (int32_t c = 0; c < 10000; ++c) t.push_back({0, c, 1.0f});
+  for (int32_t r = 1; r <= 10000; ++r) t.push_back({r, r % 100, 1.0f});
+  CsrMatrix m = CsrMatrix::FromTriplets(10001, 10001, std::move(t));
+  Result<EllMatrix> r = EllFromCsr(m, /*max_bytes=*/100 << 20);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EllTest, TruncatedOverflowsToTriplets) {
+  CsrMatrix m = SmallMatrix();
+  std::vector<Triplet> overflow;
+  EllMatrix e = EllFromCsrTruncated(m, 1, &overflow);
+  EXPECT_EQ(e.nnz() + static_cast<int64_t>(overflow.size()), m.nnz());
+  EXPECT_EQ(overflow.size(), 3u);  // Rows 0 and 2 overflow 1 and 2 entries.
+}
+
+TEST(HybTest, WidthHeuristicOnUniformRows) {
+  // All rows length 7 -> width 7 (every row qualifies at every k <= 7).
+  std::vector<Triplet> t;
+  for (int32_t r = 0; r < 300; ++r) {
+    for (int32_t j = 0; j < 7; ++j) t.push_back({r, (r + j * 13) % 300, 1.0f});
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(300, 300, std::move(t));
+  EXPECT_EQ(HybEllWidth(m), 7);
+  HybMatrix h = HybFromCsr(m);
+  EXPECT_EQ(h.coo.nnz(), 0);
+}
+
+TEST(HybTest, SkewedRowsBoundTheEllWidth) {
+  std::vector<Triplet> t;
+  for (int32_t c = 0; c < 5000; ++c) t.push_back({0, c, 1.0f});
+  for (int32_t r = 1; r < 3000; ++r) {
+    t.push_back({r, r, 1.0f});
+    if (r % 3 == 0) t.push_back({r, (r * 7) % 5000, 1.0f});
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(3000, 5000, std::move(t));
+  int32_t width = HybEllWidth(m);
+  EXPECT_LE(width, 2);  // The hub row must not set the width.
+  HybMatrix h = HybFromCsr(m);
+  EXPECT_EQ(h.nnz(), m.nnz());
+  EXPECT_GT(h.coo.nnz(), 4000);  // Hub row overflows to COO.
+}
+
+TEST(HybTest, SplitPreservesMultiply) {
+  CsrMatrix m = GenerateRmat(512, 4000, RmatOptions{.seed = 5});
+  HybMatrix h = HybFromCsr(m);
+  EXPECT_EQ(h.nnz(), m.nnz());
+  std::vector<float> x = RandomVector(512, 6);
+  std::vector<float> want;
+  CsrMultiply(m, x, &want);
+  std::vector<float> got(512, 0.0f);
+  const EllMatrix& e = h.ell;
+  for (int32_t j = 0; j < e.width; ++j) {
+    for (int32_t row = 0; row < e.rows; ++row) {
+      size_t slot = static_cast<size_t>(j) * e.rows + row;
+      if (e.col_idx[slot] != EllMatrix::kEllPad)
+        got[row] += e.values[slot] * x[e.col_idx[slot]];
+    }
+  }
+  for (int64_t k = 0; k < h.coo.nnz(); ++k)
+    got[h.coo.row_idx[k]] += h.coo.values[k] * x[h.coo.col_idx[k]];
+  for (int i = 0; i < 512; ++i) EXPECT_NEAR(got[i], want[i], 1e-3);
+}
+
+TEST(DiaTest, BandedMatrixConverts) {
+  std::vector<Triplet> t;
+  for (int32_t r = 0; r < 100; ++r) {
+    t.push_back({r, r, 2.0f});
+    if (r > 0) t.push_back({r, r - 1, -1.0f});
+    if (r < 99) t.push_back({r, r + 1, -1.0f});
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(100, 100, std::move(t));
+  Result<DiaMatrix> r = DiaFromCsr(m, 16, 1 << 20);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().offsets, (std::vector<int32_t>{-1, 0, 1}));
+  EXPECT_TRUE(r.value().Validate().ok());
+}
+
+TEST(DiaTest, RandomMatrixRejected) {
+  CsrMatrix m = RandomMatrix(500, 500, 3000, 7);
+  Result<DiaMatrix> r = DiaFromCsr(m, 64, 1 << 30);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupportedFormat);
+}
+
+TEST(DiaTest, MultiplySemanticsPreserved) {
+  std::vector<Triplet> t;
+  for (int32_t r = 0; r < 50; ++r) {
+    t.push_back({r, r, 2.0f});
+    if (r + 3 < 50) t.push_back({r, r + 3, 1.5f});
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(50, 50, std::move(t));
+  Result<DiaMatrix> res = DiaFromCsr(m, 16, 1 << 20);
+  ASSERT_TRUE(res.ok());
+  const DiaMatrix& d = res.value();
+  std::vector<float> x = RandomVector(50, 8);
+  std::vector<float> want;
+  CsrMultiply(m, x, &want);
+  std::vector<float> got(50, 0.0f);
+  for (size_t dd = 0; dd < d.offsets.size(); ++dd) {
+    for (int32_t row = 0; row < d.rows; ++row) {
+      int64_t c = row + d.offsets[dd];
+      if (c >= 0 && c < d.cols)
+        got[row] += d.values[dd * d.rows + row] * x[c];
+    }
+  }
+  for (int i = 0; i < 50; ++i) EXPECT_NEAR(got[i], want[i], 1e-4);
+}
+
+TEST(PktTest, StructuredMatrixPacketsCoverAllNnz) {
+  // Block-diagonal: clusters fit shared memory easily.
+  std::vector<Triplet> t;
+  for (int32_t b = 0; b < 20; ++b) {
+    for (int32_t i = 0; i < 50; ++i) {
+      for (int32_t j = 0; j < 50; j += 5) {
+        t.push_back({b * 50 + i, b * 50 + (i + j) % 50, 1.0f});
+      }
+    }
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(1000, 1000, std::move(t));
+  Result<PktMatrix> r = PktFromCsr(m, 512);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().nnz(), m.nnz());
+  for (const Packet& p : r.value().packets) {
+    EXPECT_LE(static_cast<int32_t>(p.x_columns.size()), 512);
+  }
+}
+
+TEST(PktTest, HubRowOverflowsSharedMemory) {
+  std::vector<Triplet> t;
+  for (int32_t c = 0; c < 5000; ++c) t.push_back({0, c, 1.0f});
+  CsrMatrix m = CsrMatrix::FromTriplets(10, 5000, std::move(t));
+  Result<PktMatrix> r = PktFromCsr(m, 4096);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupportedFormat);
+}
+
+TEST(PktTest, ImbalancedPacketsRejected) {
+  // A dense stripe then a long sparse tail: first packet huge vs tail ones.
+  std::vector<Triplet> t;
+  for (int32_t r = 0; r < 40; ++r) {
+    for (int32_t c = 0; c < 100; ++c) t.push_back({r, c, 1.0f});
+  }
+  for (int32_t r = 40; r < 20000; ++r) t.push_back({r, 100 + r, 1.0f});
+  CsrMatrix m = CsrMatrix::FromTriplets(20000, 21000, std::move(t));
+  Result<PktMatrix> r = PktFromCsr(m, 128, /*imbalance_limit=*/2.0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(MatrixStatsTest, DetectsPowerLaw) {
+  CsrMatrix rmat = GenerateRmat(4096, 40000, RmatOptions{.seed = 11});
+  MatrixStats s = ComputeStats(rmat);
+  EXPECT_TRUE(s.power_law);
+  EXPECT_GT(s.col_dist.max, 50);
+
+  CsrMatrix uniform = RandomMatrix(4096, 4096, 40000, 12);
+  EXPECT_FALSE(ComputeStats(uniform).power_law);
+}
+
+}  // namespace
+}  // namespace tilespmv

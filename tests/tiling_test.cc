@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/tiling.h"
+#include "gen/power_law.h"
+#include "sparse/permute.h"
+
+namespace tilespmv {
+namespace {
+
+CsrMatrix SortedPowerLaw(int32_t n, int64_t nnz, uint64_t seed) {
+  CsrMatrix a = GenerateRmat(n, nnz, RmatOptions{.seed = seed});
+  return ApplyColumnPermutation(a, SortColumnsByLengthDesc(a));
+}
+
+TEST(HeuristicTest, StopsAtSingleElementColumn) {
+  // Tile width 4: first tile's lead column 5, second 2, third 1 -> 2 tiles.
+  std::vector<int64_t> lens = {5, 4, 3, 3, 2, 2, 2, 1, 1, 1, 1, 0};
+  EXPECT_EQ(HeuristicNumTiles(lens, 4), 2);
+}
+
+TEST(HeuristicTest, ZeroTilesWhenAllSingletons) {
+  std::vector<int64_t> lens(100, 1);
+  EXPECT_EQ(HeuristicNumTiles(lens, 10), 0);
+}
+
+TEST(HeuristicTest, AllTilesWhenDense) {
+  std::vector<int64_t> lens(100, 7);
+  EXPECT_EQ(HeuristicNumTiles(lens, 10), 10);
+}
+
+TEST(SliceTest, LocalizedColumnsShifted) {
+  CsrMatrix a = CsrMatrix::FromTriplets(
+      2, 10, {{0, 1, 1.0f}, {0, 4, 2.0f}, {1, 5, 3.0f}, {1, 9, 4.0f}});
+  CsrMatrix s = SliceColumns(a, 4, 8, /*localize=*/true);
+  EXPECT_EQ(s.cols, 4);
+  EXPECT_EQ(s.nnz(), 2);
+  EXPECT_EQ(s.col_idx, (std::vector<int32_t>{0, 1}));  // 4 -> 0, 5 -> 1.
+  EXPECT_FLOAT_EQ(s.values[0], 2.0f);
+}
+
+TEST(SliceTest, UnlocalizedKeepsGlobalIndices) {
+  CsrMatrix a = CsrMatrix::FromTriplets(1, 10, {{0, 7, 1.0f}});
+  CsrMatrix s = SliceColumns(a, 5, 10, /*localize=*/false);
+  EXPECT_EQ(s.cols, 10);
+  EXPECT_EQ(s.col_idx[0], 7);
+}
+
+TEST(SliceTest, SlicesPartitionNnz) {
+  CsrMatrix a = SortedPowerLaw(2000, 20000, 21);
+  int64_t total = 0;
+  for (int32_t c0 = 0; c0 < a.cols; c0 += 700) {
+    total += SliceColumns(a, c0, std::min(a.cols, c0 + 700), true).nnz();
+  }
+  EXPECT_EQ(total, a.nnz());
+}
+
+TEST(BuildTilingTest, ConservesNnzAcrossTilesAndSparsePart) {
+  CsrMatrix a = SortedPowerLaw(5000, 60000, 22);
+  TilingOptions opts;
+  opts.tile_width = 512;
+  TiledMatrix t = BuildTiling(a, opts);
+  EXPECT_EQ(t.nnz(), a.nnz());
+  EXPECT_GE(static_cast<int>(t.dense_tiles.size()), 1);
+  // Dense tiles hold the majority of non-zeros on a power-law matrix even
+  // though they cover a minority of columns (Observation 2 / Amdahl).
+  EXPECT_GT(t.dense_nnz(), t.sparse_part.nnz());
+  EXPECT_LE(t.dense_col_end, a.cols);
+}
+
+TEST(BuildTilingTest, ForcedTileCountRespected) {
+  CsrMatrix a = SortedPowerLaw(5000, 60000, 23);
+  TilingOptions opts;
+  opts.tile_width = 512;
+  opts.num_tiles = 3;
+  TiledMatrix t = BuildTiling(a, opts);
+  EXPECT_EQ(t.dense_tiles.size(), 3u);
+  EXPECT_EQ(t.dense_col_end, 3 * 512);
+  opts.num_tiles = 0;
+  t = BuildTiling(a, opts);
+  EXPECT_TRUE(t.dense_tiles.empty());
+  EXPECT_EQ(t.sparse_part.nnz(), a.nnz());
+}
+
+TEST(BuildTilingTest, ForcedCountClampedToMatrixWidth) {
+  CsrMatrix a = SortedPowerLaw(100, 800, 24);
+  TilingOptions opts;
+  opts.tile_width = 64;
+  opts.num_tiles = 1000;
+  TiledMatrix t = BuildTiling(a, opts);
+  EXPECT_LE(static_cast<int64_t>(t.dense_tiles.size()) * 64,
+            a.cols + 63);
+  EXPECT_EQ(t.sparse_part.nnz(), 0);
+  EXPECT_EQ(t.nnz(), a.nnz());
+}
+
+TEST(BuildTilingTest, TileColumnRangesAreDisjointAndOrdered) {
+  CsrMatrix a = SortedPowerLaw(3000, 30000, 25);
+  TilingOptions opts;
+  opts.tile_width = 256;
+  TiledMatrix t = BuildTiling(a, opts);
+  int32_t expected_begin = 0;
+  for (const TileSlice& s : t.dense_tiles) {
+    EXPECT_EQ(s.col_begin, expected_begin);
+    EXPECT_EQ(s.local.cols, s.col_end - s.col_begin);
+    expected_begin = s.col_end;
+  }
+}
+
+}  // namespace
+}  // namespace tilespmv

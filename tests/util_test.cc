@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace tilespmv {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rows");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad rows");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(),   Status::UnsupportedFormat("").code(),
+      Status::ResourceExhausted("").code(), Status::IoError("").code(),
+      Status::Internal("").code()};
+  EXPECT_EQ(codes.size(), 5u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::IoError("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = r.take();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Pcg32Test, DeterministicForSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32Test, BoundedStaysInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(Pcg32Test, DoubleInUnitInterval) {
+  Pcg32 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // Roughly uniform.
+}
+
+TEST(StatsTest, AnalyzeLengthsBasics) {
+  LengthDistribution d = AnalyzeLengths({1, 2, 3, 4, 10});
+  EXPECT_EQ(d.count, 5);
+  EXPECT_EQ(d.total, 20);
+  EXPECT_EQ(d.max, 10);
+  EXPECT_DOUBLE_EQ(d.mean, 4.0);
+}
+
+TEST(StatsTest, EmptyLengths) {
+  LengthDistribution d = AnalyzeLengths({});
+  EXPECT_EQ(d.count, 0);
+  EXPECT_EQ(d.total, 0);
+}
+
+TEST(StatsTest, PowerLawAlphaRecoversExponent) {
+  // Sample from a discrete power law with alpha ~ 2.3 via inverse CDF.
+  Pcg32 rng(42);
+  std::vector<int64_t> lengths;
+  const double alpha = 2.3;
+  for (int i = 0; i < 200000; ++i) {
+    double u = rng.NextDouble();
+    double x = std::pow(1.0 - u, -1.0 / (alpha - 1.0));  // xmin = 1.
+    lengths.push_back(static_cast<int64_t>(x));
+  }
+  // Flooring the continuous samples biases the head of the distribution;
+  // estimate on the tail (xmin = 5) where the discretization washes out.
+  double est = EstimatePowerLawAlpha(lengths, 5);
+  EXPECT_NEAR(est, alpha, 0.25);
+}
+
+TEST(StatsTest, UniformLengthsNotPowerLaw) {
+  std::vector<int64_t> lengths(10000, 50);
+  EXPECT_FALSE(LooksPowerLaw(AnalyzeLengths(lengths)));
+}
+
+TEST(StatsTest, SkewedLengthsArePowerLaw) {
+  Pcg32 rng(4);
+  std::vector<int64_t> lengths;
+  for (int i = 0; i < 100000; ++i) {
+    double u = rng.NextDouble();
+    lengths.push_back(static_cast<int64_t>(std::pow(1.0 - u, -1.0 / 1.2)));
+  }
+  EXPECT_TRUE(LooksPowerLaw(AnalyzeLengths(lengths)));
+}
+
+TEST(StatsTest, AlphaNeedsEnoughSamples) {
+  EXPECT_EQ(EstimatePowerLawAlpha({5, 6, 7}, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,333 @@
+// tilespmv command-line tool: load a graph/matrix (MatrixMarket, edge list,
+// or binary cache), inspect it, run SpMV kernels or the graph-mining
+// algorithms on the modeled device, and convert between formats.
+//
+//   spmv_cli stats    <file>
+//   spmv_cli spmv     <file> [--kernel=NAME|auto] [--device=c1060|c2050]
+//                            [--verbose]
+//   spmv_cli autotune <file> [--device=...]
+//   spmv_cli pagerank <file> [--kernel=...] [--damping=0.85] [--top=10]
+//   spmv_cli hits     <file> [--kernel=...] [--top=10]
+//   spmv_cli rwr      <file> --node=K[,K2,...] [--kernel=...] [--top=10]
+//   spmv_cli katz     <file> [--kernel=...] [--top=10]
+//   spmv_cli salsa    <file> [--kernel=...] [--top=10]
+//   spmv_cli convert  <in> <out>          (format chosen by extension)
+//   spmv_cli generate <dataset> <out> [--scale=0.125]
+//
+// Extensions: .mtx MatrixMarket, .bin tilespmv binary, anything else is
+// parsed as a whitespace edge list.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+
+#include "core/kernel_select.h"
+#include "core/tile_composite.h"
+#include "gen/datasets.h"
+#include "graph/centrality.h"
+#include "graph/hits.h"
+#include "graph/pagerank.h"
+#include "graph/rwr.h"
+#include "io/binary_cache.h"
+#include "io/edge_list.h"
+#include "io/matrix_market.h"
+#include "kernels/spmv.h"
+#include "sparse/matrix_stats.h"
+#include "util/ascii_plot.h"
+
+namespace tilespmv::cli {
+namespace {
+
+struct Flags {
+  std::string kernel = "tile-composite";
+  std::string device = "c1060";
+  double damping = 0.85;
+  double scale = 0.0;
+  int top = 10;
+  std::vector<int32_t> nodes;  // --node=K or --node=K1,K2,...
+  bool verbose = false;
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags f;
+  for (int i = first; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--kernel=", 9) == 0) f.kernel = a + 9;
+    else if (std::strncmp(a, "--device=", 9) == 0) f.device = a + 9;
+    else if (std::strncmp(a, "--damping=", 10) == 0) f.damping = atof(a + 10);
+    else if (std::strncmp(a, "--scale=", 8) == 0) f.scale = atof(a + 8);
+    else if (std::strncmp(a, "--top=", 6) == 0) f.top = atoi(a + 6);
+    else if (std::strncmp(a, "--node=", 7) == 0) {
+      const char* p = a + 7;
+      while (*p) {
+        f.nodes.push_back(atoi(p));
+        const char* comma = std::strchr(p, ',');
+        if (comma == nullptr) break;
+        p = comma + 1;
+      }
+    }
+    else if (std::strcmp(a, "--verbose") == 0) f.verbose = true;
+  }
+  return f;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+Result<CsrMatrix> Load(const std::string& path) {
+  if (EndsWith(path, ".mtx")) return ReadMatrixMarket(path);
+  if (EndsWith(path, ".bin")) return ReadBinaryMatrix(path);
+  return ReadEdgeList(path, EdgeListOptions{});
+}
+
+Status Save(const CsrMatrix& a, const std::string& path) {
+  if (EndsWith(path, ".mtx")) return WriteMatrixMarket(a, path);
+  if (EndsWith(path, ".bin")) return WriteBinaryMatrix(a, path);
+  return WriteEdgeList(a, path);
+}
+
+gpusim::DeviceSpec DeviceFor(const Flags& f) {
+  if (f.device == "c2050") return gpusim::DeviceSpec::FermiC2050();
+  return gpusim::DeviceSpec::TeslaC1060();
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+void PrintTop(const std::vector<float>& scores, int top, const char* what) {
+  std::vector<int32_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  top = std::min<int>(top, static_cast<int>(order.size()));
+  std::partial_sort(order.begin(), order.begin() + top, order.end(),
+                    [&](int32_t a, int32_t b) {
+                      return scores[a] > scores[b];
+                    });
+  std::printf("top %d nodes by %s:\n", top, what);
+  for (int i = 0; i < top; ++i) {
+    std::printf("  %8d  %.6g\n", order[i], scores[order[i]]);
+  }
+}
+
+int CmdStats(const std::string& path) {
+  Result<CsrMatrix> a = Load(path);
+  if (!a.ok()) return Fail(a.status());
+  MatrixStats s = ComputeStats(a.value());
+  std::printf("%s\n", s.ToString().c_str());
+  std::printf("row lengths: mean=%.2f median=%.0f max=%lld top1%%mass=%.3f\n",
+              s.row_dist.mean, s.row_dist.median,
+              static_cast<long long>(s.row_dist.max), s.row_dist.top1pct_mass);
+  std::printf("col lengths: mean=%.2f median=%.0f max=%lld top1%%mass=%.3f\n",
+              s.col_dist.mean, s.col_dist.median,
+              static_cast<long long>(s.col_dist.max), s.col_dist.top1pct_mass);
+  std::printf("\nout-degree distribution:\n%s",
+              LogLogHistogram(a.value().RowLengths()).c_str());
+  return 0;
+}
+
+int CmdSpmv(const std::string& path, const Flags& f) {
+  Result<CsrMatrix> a = Load(path);
+  if (!a.ok()) return Fail(a.status());
+  gpusim::DeviceSpec device = DeviceFor(f);
+  std::string name = f.kernel;
+  if (name == "auto") {
+    PerfModel model(device);
+    std::printf("model-driven kernel selection:\n");
+    for (const KernelPrediction& p :
+         PredictKernelChoices(a.value(), model)) {
+      std::printf("  %-16s predicted %10.1f us\n", p.kernel.c_str(),
+                  p.predicted_seconds * 1e6);
+    }
+    name = SelectKernel(a.value(), model);
+  }
+  auto kernel = CreateKernel(name, device);
+  if (kernel == nullptr)
+    return Fail(Status::InvalidArgument("unknown kernel " + name));
+  Status st = kernel->Setup(a.value());
+  if (!st.ok()) return Fail(st);
+  const KernelTiming& t = kernel->timing();
+  std::printf(
+      "%s on %s: %.1f us/SpMV, %.2f GFLOPS, %.2f GB/s, tex hit %.1f%%, "
+      "%d launches, %.1f MB device memory\n",
+      name.c_str(), f.device.c_str(), t.seconds * 1e6, t.gflops(), t.gbps(),
+      100 * t.TexHitRate(), t.launches, t.device_bytes / 1e6);
+  if (f.verbose) {
+    std::printf("per-launch breakdown:\n");
+    for (size_t i = 0; i < t.launch_details.size(); ++i) {
+      const gpusim::LaunchEstimate& l = t.launch_details[i];
+      std::printf(
+          "  launch %2zu: %8.1f us  (compute %.1f us, memory %.1f us, "
+          "%d wave%s, camping %.2f, %s-bound)\n",
+          i, l.seconds * 1e6, l.compute_seconds * 1e6,
+          l.memory_seconds * 1e6, l.waves, l.waves == 1 ? "" : "s",
+          l.worst_camping_factor,
+          l.memory_seconds > l.compute_seconds ? "memory" : "compute");
+    }
+  }
+  return 0;
+}
+
+int CmdAutotune(const std::string& path, const Flags& f) {
+  Result<CsrMatrix> a = Load(path);
+  if (!a.ok()) return Fail(a.status());
+  TileCompositeKernel kernel(DeviceFor(f));
+  Status st = kernel.Setup(a.value());
+  if (!st.ok()) return Fail(st);
+  std::printf("tiles: %d  workload sizes:", kernel.num_tiles());
+  for (int64_t wl : kernel.workload_sizes())
+    std::printf(" %lld", static_cast<long long>(wl));
+  std::printf("\npredicted %.1f us, simulated %.1f us (%.2f GFLOPS)\n",
+              kernel.predicted_seconds() * 1e6,
+              kernel.timing().seconds * 1e6, kernel.timing().gflops());
+  return 0;
+}
+
+int CmdPageRank(const std::string& path, const Flags& f) {
+  Result<CsrMatrix> a = Load(path);
+  if (!a.ok()) return Fail(a.status());
+  auto kernel = CreateKernel(f.kernel, DeviceFor(f));
+  if (kernel == nullptr)
+    return Fail(Status::InvalidArgument("unknown kernel " + f.kernel));
+  PageRankOptions opts;
+  opts.damping = static_cast<float>(f.damping);
+  Result<IterativeResult> r = RunPageRank(a.value(), kernel.get(), opts);
+  if (!r.ok()) return Fail(r.status());
+  std::printf("%d iterations (%sconverged), modeled %.4f s (%.2f GFLOPS)\n",
+              r.value().iterations, r.value().converged ? "" : "NOT ",
+              r.value().gpu_seconds, r.value().gflops());
+  std::printf("convergence: %s\n",
+              LogSparkline(r.value().delta_history).c_str());
+  PrintTop(r.value().result, f.top, "PageRank");
+  return 0;
+}
+
+int CmdKatz(const std::string& path, const Flags& f) {
+  Result<CsrMatrix> a = Load(path);
+  if (!a.ok()) return Fail(a.status());
+  auto kernel = CreateKernel(f.kernel, DeviceFor(f));
+  if (kernel == nullptr)
+    return Fail(Status::InvalidArgument("unknown kernel " + f.kernel));
+  Result<IterativeResult> r = RunKatz(a.value(), kernel.get(), KatzOptions{});
+  if (!r.ok()) return Fail(r.status());
+  std::printf("%d iterations (%sconverged), modeled %.4f s\n",
+              r.value().iterations, r.value().converged ? "" : "NOT ",
+              r.value().gpu_seconds);
+  PrintTop(r.value().result, f.top, "Katz centrality");
+  return 0;
+}
+
+int CmdSalsa(const std::string& path, const Flags& f) {
+  Result<CsrMatrix> a = Load(path);
+  if (!a.ok()) return Fail(a.status());
+  auto kernel = CreateKernel(f.kernel, DeviceFor(f));
+  if (kernel == nullptr)
+    return Fail(Status::InvalidArgument("unknown kernel " + f.kernel));
+  Result<SalsaScores> r = RunSalsa(a.value(), kernel.get(), SalsaOptions{});
+  if (!r.ok()) return Fail(r.status());
+  std::printf("%d iterations, modeled %.4f s\n", r.value().stats.iterations,
+              r.value().stats.gpu_seconds);
+  PrintTop(r.value().authority, f.top, "SALSA authority");
+  PrintTop(r.value().hub, f.top, "SALSA hub");
+  return 0;
+}
+
+int CmdHits(const std::string& path, const Flags& f) {
+  Result<CsrMatrix> a = Load(path);
+  if (!a.ok()) return Fail(a.status());
+  auto kernel = CreateKernel(f.kernel, DeviceFor(f));
+  Result<HitsScores> r = RunHits(a.value(), kernel.get(), HitsOptions{});
+  if (!r.ok()) return Fail(r.status());
+  std::printf("%d iterations, modeled %.4f s\n", r.value().stats.iterations,
+              r.value().stats.gpu_seconds);
+  PrintTop(r.value().authority, f.top, "authority");
+  PrintTop(r.value().hub, f.top, "hub");
+  return 0;
+}
+
+int CmdRwr(const std::string& path, const Flags& f) {
+  if (f.nodes.empty())
+    return Fail(Status::InvalidArgument("rwr requires --node=K[,K2,...]"));
+  Result<CsrMatrix> a = Load(path);
+  if (!a.ok()) return Fail(a.status());
+  auto kernel = CreateKernel(f.kernel, DeviceFor(f));
+  RwrEngine engine(kernel.get());
+  Status st = engine.Init(a.value(), RwrOptions{});
+  if (!st.ok()) return Fail(st);
+  // Multiple nodes run as one batch: the matrix stream is shared on the
+  // device, so per-query cost amortizes.
+  Result<std::vector<RwrResult>> r = engine.QueryBatch(f.nodes);
+  if (!r.ok()) return Fail(r.status());
+  for (size_t q = 0; q < f.nodes.size(); ++q) {
+    const RwrResult& res = r.value()[q];
+    std::printf("query %d: %d iterations, modeled %.4f s%s\n", f.nodes[q],
+                res.stats.iterations, res.stats.gpu_seconds,
+                f.nodes.size() > 1 ? " (batched)" : "");
+    PrintTop(res.scores, f.top, "RWR relevance");
+  }
+  return 0;
+}
+
+int CmdConvert(const std::string& in, const std::string& out) {
+  Result<CsrMatrix> a = Load(in);
+  if (!a.ok()) return Fail(a.status());
+  Status st = Save(a.value(), out);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %s (%d x %d, %lld nnz)\n", out.c_str(), a.value().rows,
+              a.value().cols, static_cast<long long>(a.value().nnz()));
+  return 0;
+}
+
+int CmdGenerate(const std::string& dataset, const std::string& out,
+                const Flags& f) {
+  Result<CsrMatrix> a = MakeDataset(dataset, f.scale);
+  if (!a.ok()) return Fail(a.status());
+  Status st = Save(a.value(), out);
+  if (!st.ok()) return Fail(st);
+  std::printf("generated %s -> %s: %s\n", dataset.c_str(), out.c_str(),
+              ComputeStats(a.value()).ToString().c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: spmv_cli <stats|spmv|autotune|pagerank|hits|rwr|katz|salsa|"
+      "convert|generate> <args...>\n"
+      "  flags: --kernel=NAME|auto --device=c1060|c2050 --damping=F "
+      "--top=N --node=K --scale=F\n"
+      "  kernels:");
+  for (const std::string& k : tilespmv::AllKernelNames()) {
+    std::fprintf(stderr, " %s", k.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string cmd = argv[1];
+  std::string arg = argv[2];
+  Flags flags = ParseFlags(argc, argv, 3);
+  if (cmd == "stats") return CmdStats(arg);
+  if (cmd == "spmv") return CmdSpmv(arg, flags);
+  if (cmd == "autotune") return CmdAutotune(arg, flags);
+  if (cmd == "pagerank") return CmdPageRank(arg, flags);
+  if (cmd == "hits") return CmdHits(arg, flags);
+  if (cmd == "rwr") return CmdRwr(arg, flags);
+  if (cmd == "katz") return CmdKatz(arg, flags);
+  if (cmd == "salsa") return CmdSalsa(arg, flags);
+  if (cmd == "convert" && argc >= 4) return CmdConvert(arg, argv[3]);
+  if (cmd == "generate" && argc >= 4)
+    return CmdGenerate(arg, argv[3], ParseFlags(argc, argv, 4));
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tilespmv::cli
+
+int main(int argc, char** argv) { return tilespmv::cli::Main(argc, argv); }
