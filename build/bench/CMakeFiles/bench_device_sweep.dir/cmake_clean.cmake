@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_device_sweep.dir/bench_device_sweep.cc.o"
+  "CMakeFiles/bench_device_sweep.dir/bench_device_sweep.cc.o.d"
+  "bench_device_sweep"
+  "bench_device_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_device_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

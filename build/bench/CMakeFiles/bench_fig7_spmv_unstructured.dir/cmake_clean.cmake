@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_spmv_unstructured.dir/bench_fig7_spmv_unstructured.cc.o"
+  "CMakeFiles/bench_fig7_spmv_unstructured.dir/bench_fig7_spmv_unstructured.cc.o.d"
+  "bench_fig7_spmv_unstructured"
+  "bench_fig7_spmv_unstructured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_spmv_unstructured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

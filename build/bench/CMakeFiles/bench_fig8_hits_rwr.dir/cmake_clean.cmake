@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hits_rwr.dir/bench_fig8_hits_rwr.cc.o"
+  "CMakeFiles/bench_fig8_hits_rwr.dir/bench_fig8_hits_rwr.cc.o.d"
+  "bench_fig8_hits_rwr"
+  "bench_fig8_hits_rwr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hits_rwr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_select.dir/bench_kernel_select.cc.o"
+  "CMakeFiles/bench_kernel_select.dir/bench_kernel_select.cc.o.d"
+  "bench_kernel_select"
+  "bench_kernel_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

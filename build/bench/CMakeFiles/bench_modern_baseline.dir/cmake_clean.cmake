@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modern_baseline.dir/bench_modern_baseline.cc.o"
+  "CMakeFiles/bench_modern_baseline.dir/bench_modern_baseline.cc.o.d"
+  "bench_modern_baseline"
+  "bench_modern_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modern_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_out_of_core.dir/bench_out_of_core.cc.o"
+  "CMakeFiles/bench_out_of_core.dir/bench_out_of_core.cc.o.d"
+  "bench_out_of_core"
+  "bench_out_of_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_out_of_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_hits.dir/bench_table4_hits.cc.o"
+  "CMakeFiles/bench_table4_hits.dir/bench_table4_hits.cc.o.d"
+  "bench_table4_hits"
+  "bench_table4_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

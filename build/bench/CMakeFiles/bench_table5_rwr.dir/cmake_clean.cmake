@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_rwr.dir/bench_table5_rwr.cc.o"
+  "CMakeFiles/bench_table5_rwr.dir/bench_table5_rwr.cc.o.d"
+  "bench_table5_rwr"
+  "bench_table5_rwr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_rwr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

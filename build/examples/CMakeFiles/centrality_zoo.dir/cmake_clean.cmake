@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centrality_zoo.dir/centrality_zoo.cpp.o"
+  "CMakeFiles/centrality_zoo.dir/centrality_zoo.cpp.o.d"
+  "centrality_zoo"
+  "centrality_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centrality_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_tour.dir/format_tour.cpp.o"
+  "CMakeFiles/format_tour.dir/format_tour.cpp.o.d"
+  "format_tour"
+  "format_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_rwr.dir/recommender_rwr.cpp.o"
+  "CMakeFiles/recommender_rwr.dir/recommender_rwr.cpp.o.d"
+  "recommender_rwr"
+  "recommender_rwr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_rwr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autotune.cc" "src/CMakeFiles/tilespmv.dir/core/autotune.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/core/autotune.cc.o.d"
+  "/root/repo/src/core/composite.cc" "src/CMakeFiles/tilespmv.dir/core/composite.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/core/composite.cc.o.d"
+  "/root/repo/src/core/dynamic.cc" "src/CMakeFiles/tilespmv.dir/core/dynamic.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/core/dynamic.cc.o.d"
+  "/root/repo/src/core/kernel_select.cc" "src/CMakeFiles/tilespmv.dir/core/kernel_select.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/core/kernel_select.cc.o.d"
+  "/root/repo/src/core/perf_model.cc" "src/CMakeFiles/tilespmv.dir/core/perf_model.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/core/perf_model.cc.o.d"
+  "/root/repo/src/core/preprocess.cc" "src/CMakeFiles/tilespmv.dir/core/preprocess.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/core/preprocess.cc.o.d"
+  "/root/repo/src/core/tile_composite.cc" "src/CMakeFiles/tilespmv.dir/core/tile_composite.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/core/tile_composite.cc.o.d"
+  "/root/repo/src/core/tile_coo.cc" "src/CMakeFiles/tilespmv.dir/core/tile_coo.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/core/tile_coo.cc.o.d"
+  "/root/repo/src/core/tiling.cc" "src/CMakeFiles/tilespmv.dir/core/tiling.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/core/tiling.cc.o.d"
+  "/root/repo/src/gen/datasets.cc" "src/CMakeFiles/tilespmv.dir/gen/datasets.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/gen/datasets.cc.o.d"
+  "/root/repo/src/gen/graph_models.cc" "src/CMakeFiles/tilespmv.dir/gen/graph_models.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/gen/graph_models.cc.o.d"
+  "/root/repo/src/gen/power_law.cc" "src/CMakeFiles/tilespmv.dir/gen/power_law.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/gen/power_law.cc.o.d"
+  "/root/repo/src/gen/structured.cc" "src/CMakeFiles/tilespmv.dir/gen/structured.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/gen/structured.cc.o.d"
+  "/root/repo/src/gpusim/cost_model.cc" "src/CMakeFiles/tilespmv.dir/gpusim/cost_model.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/gpusim/cost_model.cc.o.d"
+  "/root/repo/src/gpusim/device_spec.cc" "src/CMakeFiles/tilespmv.dir/gpusim/device_spec.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/gpusim/device_spec.cc.o.d"
+  "/root/repo/src/gpusim/memory_system.cc" "src/CMakeFiles/tilespmv.dir/gpusim/memory_system.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/gpusim/memory_system.cc.o.d"
+  "/root/repo/src/gpusim/texture_cache.cc" "src/CMakeFiles/tilespmv.dir/gpusim/texture_cache.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/gpusim/texture_cache.cc.o.d"
+  "/root/repo/src/graph/centrality.cc" "src/CMakeFiles/tilespmv.dir/graph/centrality.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/graph/centrality.cc.o.d"
+  "/root/repo/src/graph/hits.cc" "src/CMakeFiles/tilespmv.dir/graph/hits.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/graph/hits.cc.o.d"
+  "/root/repo/src/graph/pagerank.cc" "src/CMakeFiles/tilespmv.dir/graph/pagerank.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/graph/pagerank.cc.o.d"
+  "/root/repo/src/graph/power_method.cc" "src/CMakeFiles/tilespmv.dir/graph/power_method.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/graph/power_method.cc.o.d"
+  "/root/repo/src/graph/rwr.cc" "src/CMakeFiles/tilespmv.dir/graph/rwr.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/graph/rwr.cc.o.d"
+  "/root/repo/src/io/binary_cache.cc" "src/CMakeFiles/tilespmv.dir/io/binary_cache.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/io/binary_cache.cc.o.d"
+  "/root/repo/src/io/edge_list.cc" "src/CMakeFiles/tilespmv.dir/io/edge_list.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/io/edge_list.cc.o.d"
+  "/root/repo/src/io/matrix_market.cc" "src/CMakeFiles/tilespmv.dir/io/matrix_market.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/io/matrix_market.cc.o.d"
+  "/root/repo/src/kernels/cpu_csr.cc" "src/CMakeFiles/tilespmv.dir/kernels/cpu_csr.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/kernels/cpu_csr.cc.o.d"
+  "/root/repo/src/kernels/gpu_common.cc" "src/CMakeFiles/tilespmv.dir/kernels/gpu_common.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/kernels/gpu_common.cc.o.d"
+  "/root/repo/src/kernels/registry.cc" "src/CMakeFiles/tilespmv.dir/kernels/registry.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/kernels/registry.cc.o.d"
+  "/root/repo/src/kernels/spmv_coo.cc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_coo.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_coo.cc.o.d"
+  "/root/repo/src/kernels/spmv_csr5.cc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_csr5.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_csr5.cc.o.d"
+  "/root/repo/src/kernels/spmv_csr_scalar.cc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_csr_scalar.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_csr_scalar.cc.o.d"
+  "/root/repo/src/kernels/spmv_csr_vector.cc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_csr_vector.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_csr_vector.cc.o.d"
+  "/root/repo/src/kernels/spmv_dia.cc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_dia.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_dia.cc.o.d"
+  "/root/repo/src/kernels/spmv_ell.cc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_ell.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_ell.cc.o.d"
+  "/root/repo/src/kernels/spmv_hyb.cc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_hyb.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_hyb.cc.o.d"
+  "/root/repo/src/kernels/spmv_merge_csr.cc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_merge_csr.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_merge_csr.cc.o.d"
+  "/root/repo/src/kernels/spmv_pkt.cc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_pkt.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_pkt.cc.o.d"
+  "/root/repo/src/kernels/spmv_sell.cc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_sell.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/kernels/spmv_sell.cc.o.d"
+  "/root/repo/src/multigpu/cluster.cc" "src/CMakeFiles/tilespmv.dir/multigpu/cluster.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/multigpu/cluster.cc.o.d"
+  "/root/repo/src/multigpu/comm_analysis.cc" "src/CMakeFiles/tilespmv.dir/multigpu/comm_analysis.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/multigpu/comm_analysis.cc.o.d"
+  "/root/repo/src/multigpu/distributed_engine.cc" "src/CMakeFiles/tilespmv.dir/multigpu/distributed_engine.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/multigpu/distributed_engine.cc.o.d"
+  "/root/repo/src/multigpu/distributed_pagerank.cc" "src/CMakeFiles/tilespmv.dir/multigpu/distributed_pagerank.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/multigpu/distributed_pagerank.cc.o.d"
+  "/root/repo/src/multigpu/out_of_core.cc" "src/CMakeFiles/tilespmv.dir/multigpu/out_of_core.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/multigpu/out_of_core.cc.o.d"
+  "/root/repo/src/multigpu/partition.cc" "src/CMakeFiles/tilespmv.dir/multigpu/partition.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/multigpu/partition.cc.o.d"
+  "/root/repo/src/sparse/convert.cc" "src/CMakeFiles/tilespmv.dir/sparse/convert.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/sparse/convert.cc.o.d"
+  "/root/repo/src/sparse/coo.cc" "src/CMakeFiles/tilespmv.dir/sparse/coo.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/sparse/coo.cc.o.d"
+  "/root/repo/src/sparse/csc.cc" "src/CMakeFiles/tilespmv.dir/sparse/csc.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/sparse/csc.cc.o.d"
+  "/root/repo/src/sparse/csr.cc" "src/CMakeFiles/tilespmv.dir/sparse/csr.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/sparse/csr.cc.o.d"
+  "/root/repo/src/sparse/dia.cc" "src/CMakeFiles/tilespmv.dir/sparse/dia.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/sparse/dia.cc.o.d"
+  "/root/repo/src/sparse/ell.cc" "src/CMakeFiles/tilespmv.dir/sparse/ell.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/sparse/ell.cc.o.d"
+  "/root/repo/src/sparse/hyb.cc" "src/CMakeFiles/tilespmv.dir/sparse/hyb.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/sparse/hyb.cc.o.d"
+  "/root/repo/src/sparse/matrix_stats.cc" "src/CMakeFiles/tilespmv.dir/sparse/matrix_stats.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/sparse/matrix_stats.cc.o.d"
+  "/root/repo/src/sparse/permute.cc" "src/CMakeFiles/tilespmv.dir/sparse/permute.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/sparse/permute.cc.o.d"
+  "/root/repo/src/sparse/pkt.cc" "src/CMakeFiles/tilespmv.dir/sparse/pkt.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/sparse/pkt.cc.o.d"
+  "/root/repo/src/util/ascii_plot.cc" "src/CMakeFiles/tilespmv.dir/util/ascii_plot.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/util/ascii_plot.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/tilespmv.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/tilespmv.dir/util/status.cc.o" "gcc" "src/CMakeFiles/tilespmv.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

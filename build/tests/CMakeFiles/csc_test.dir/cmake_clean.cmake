@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csc_test.dir/csc_test.cc.o"
+  "CMakeFiles/csc_test.dir/csc_test.cc.o.d"
+  "csc_test"
+  "csc_test.pdb"
+  "csc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

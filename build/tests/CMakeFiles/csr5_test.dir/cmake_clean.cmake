@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr5_test.dir/csr5_test.cc.o"
+  "CMakeFiles/csr5_test.dir/csr5_test.cc.o.d"
+  "csr5_test"
+  "csr5_test.pdb"
+  "csr5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_engine_test.dir/distributed_engine_test.cc.o"
+  "CMakeFiles/distributed_engine_test.dir/distributed_engine_test.cc.o.d"
+  "distributed_engine_test"
+  "distributed_engine_test.pdb"
+  "distributed_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

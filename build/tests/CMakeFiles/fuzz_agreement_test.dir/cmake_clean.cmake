@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_agreement_test.dir/fuzz_agreement_test.cc.o"
+  "CMakeFiles/fuzz_agreement_test.dir/fuzz_agreement_test.cc.o.d"
+  "fuzz_agreement_test"
+  "fuzz_agreement_test.pdb"
+  "fuzz_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

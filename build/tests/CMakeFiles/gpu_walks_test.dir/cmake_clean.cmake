@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_walks_test.dir/gpu_walks_test.cc.o"
+  "CMakeFiles/gpu_walks_test.dir/gpu_walks_test.cc.o.d"
+  "gpu_walks_test"
+  "gpu_walks_test.pdb"
+  "gpu_walks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_walks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_models_test.dir/graph_models_test.cc.o"
+  "CMakeFiles/graph_models_test.dir/graph_models_test.cc.o.d"
+  "graph_models_test"
+  "graph_models_test.pdb"
+  "graph_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_extended_test.dir/io_extended_test.cc.o"
+  "CMakeFiles/io_extended_test.dir/io_extended_test.cc.o.d"
+  "io_extended_test"
+  "io_extended_test.pdb"
+  "io_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

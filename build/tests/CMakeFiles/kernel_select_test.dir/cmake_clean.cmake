@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_select_test.dir/kernel_select_test.cc.o"
+  "CMakeFiles/kernel_select_test.dir/kernel_select_test.cc.o.d"
+  "kernel_select_test"
+  "kernel_select_test.pdb"
+  "kernel_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_csr_test.dir/merge_csr_test.cc.o"
+  "CMakeFiles/merge_csr_test.dir/merge_csr_test.cc.o.d"
+  "merge_csr_test"
+  "merge_csr_test.pdb"
+  "merge_csr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_csr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

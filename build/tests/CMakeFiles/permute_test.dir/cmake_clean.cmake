@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permute_test.dir/permute_test.cc.o"
+  "CMakeFiles/permute_test.dir/permute_test.cc.o.d"
+  "permute_test"
+  "permute_test.pdb"
+  "permute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwr_batch_test.dir/rwr_batch_test.cc.o"
+  "CMakeFiles/rwr_batch_test.dir/rwr_batch_test.cc.o.d"
+  "rwr_batch_test"
+  "rwr_batch_test.pdb"
+  "rwr_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwr_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_formats_test.dir/sparse_formats_test.cc.o"
+  "CMakeFiles/sparse_formats_test.dir/sparse_formats_test.cc.o.d"
+  "sparse_formats_test"
+  "sparse_formats_test.pdb"
+  "sparse_formats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_formats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

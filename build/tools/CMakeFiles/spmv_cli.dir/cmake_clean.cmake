@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_cli.dir/spmv_cli.cc.o"
+  "CMakeFiles/spmv_cli.dir/spmv_cli.cc.o.d"
+  "spmv_cli"
+  "spmv_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
