@@ -1,0 +1,173 @@
+// Serving-engine benchmark: quantifies the two wins the serve/ subsystem
+// exists for, and prints both in one JSON summary.
+//
+//   1. Plan caching. A cold query pays the paper's Section 3.1 preprocessing
+//      pipeline (reorder + tiling + composite packing + autotune) before its
+//      first iteration; a hot query reuses the cached plan. The end-to-end
+//      speedup of the hot path is the amortization argument measured in host
+//      wall time. Acceptance: >= 10x.
+//
+//   2. RWR coalescing. Concurrent RWR queries coalesced into one
+//      RwrEngine::QueryBatch call share the matrix stream on the modeled
+//      device, so the *modeled* per-query cost collapses while host wall
+//      time stays flat (the host still iterates per query). Throughput is
+//      therefore reported in modeled-GPU-queries/s: queries divided by total
+//      billed gpu_seconds. Acceptance: coalesced beats uncoalesced at mean
+//      batch size >= 4.
+#include <future>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/power_law.h"
+#include "serve/engine.h"
+#include "util/check.h"
+
+namespace tilespmv::bench {
+namespace {
+
+using serve::Engine;
+using serve::EngineOptions;
+using serve::QueryKind;
+using serve::QueryParams;
+using serve::QueryResponse;
+
+struct PlanCacheResult {
+  double cold_seconds = 0.0;
+  double build_seconds = 0.0;
+  double hot_seconds = 0.0;  // Mean over the hot queries.
+  double speedup = 0.0;
+};
+
+PlanCacheResult MeasurePlanCache(const CsrMatrix& graph, int hot_queries) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  opts.batch_window_seconds = 0;  // Isolate caching from coalescing.
+  Engine engine(opts);
+  TILESPMV_CHECK_OK(engine.AddGraph("g", graph));
+
+  QueryParams params;
+  params.tolerance = 1e-4f;
+
+  PlanCacheResult out;
+  params.node = 1;
+  WallTimer cold;
+  QueryResponse first = engine.Query("g", QueryKind::kRwr, params);
+  out.cold_seconds = cold.Seconds();
+  TILESPMV_CHECK_OK(first.status);
+  TILESPMV_CHECK(!first.plan_cache_hit);
+  out.build_seconds = first.plan_build_seconds;
+
+  for (int i = 0; i < hot_queries; ++i) {
+    params.node = (i * 37) % graph.rows;
+    WallTimer hot;
+    QueryResponse r = engine.Query("g", QueryKind::kRwr, params);
+    out.hot_seconds += hot.Seconds();
+    TILESPMV_CHECK_OK(r.status);
+    TILESPMV_CHECK(r.plan_cache_hit);
+  }
+  out.hot_seconds /= hot_queries;
+  out.speedup = out.cold_seconds / out.hot_seconds;
+  return out;
+}
+
+struct CoalesceResult {
+  double modeled_qps = 0.0;     // queries / sum of billed gpu_seconds.
+  double wall_seconds = 0.0;    // Host wall time for the whole burst.
+  double mean_batch = 0.0;
+  double modeled_gpu_seconds = 0.0;
+};
+
+CoalesceResult MeasureBurst(const CsrMatrix& graph, int queries,
+                            double window_seconds, int max_batch) {
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.batch_window_seconds = window_seconds;
+  opts.max_batch = max_batch;
+  Engine engine(opts);
+  TILESPMV_CHECK_OK(engine.AddGraph("g", graph));
+
+  // Warm the RWR plan so both configurations measure pure query cost.
+  QueryParams warm;
+  warm.node = 0;
+  warm.tolerance = 1e-4f;
+  TILESPMV_CHECK_OK(engine.Query("g", QueryKind::kRwr, warm).status);
+
+  CoalesceResult out;
+  WallTimer timer;
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(queries);
+  for (int i = 0; i < queries; ++i) {
+    QueryParams params;
+    params.node = (i * 53) % graph.rows;
+    params.tolerance = 1e-4f;
+    futures.push_back(engine.Submit("g", QueryKind::kRwr, params));
+  }
+  double batch_sum = 0.0;
+  for (auto& f : futures) {
+    QueryResponse r = f.get();
+    TILESPMV_CHECK_OK(r.status);
+    out.modeled_gpu_seconds += r.stats.gpu_seconds;
+    batch_sum += r.batch_size;
+  }
+  out.wall_seconds = timer.Seconds();
+  out.mean_batch = batch_sum / queries;
+  out.modeled_qps = queries / out.modeled_gpu_seconds;
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  const int32_t n = opts.quick ? 20000 : 50000;
+  const int64_t nnz = opts.quick ? 160000 : 400000;
+  const int hot_queries = opts.quick ? 10 : 20;
+  const int burst = opts.quick ? 16 : 32;
+
+  std::printf("# serving engine benchmark (n=%d nnz=%lld)\n", n,
+              static_cast<long long>(nnz));
+  CsrMatrix graph = GenerateRmat(n, nnz, RmatOptions{.seed = 7});
+
+  PlanCacheResult cache = MeasurePlanCache(graph, hot_queries);
+  std::printf(
+      "# plan cache: cold %.1f ms (build %.1f ms) -> hot %.2f ms, "
+      "speedup %.1fx %s\n",
+      cache.cold_seconds * 1e3, cache.build_seconds * 1e3,
+      cache.hot_seconds * 1e3, cache.speedup,
+      cache.speedup >= 10 ? "(PASS >=10x)" : "(FAIL <10x)");
+
+  CoalesceResult uncoalesced = MeasureBurst(graph, burst, 0.0, 1);
+  CoalesceResult coalesced = MeasureBurst(graph, burst, 0.05, 8);
+  const double coalesce_speedup =
+      coalesced.modeled_qps / uncoalesced.modeled_qps;
+  std::printf(
+      "# coalescing (%d queries): uncoalesced %.0f modeled q/s, coalesced "
+      "%.0f modeled q/s at mean batch %.1f, speedup %.1fx %s\n",
+      burst, uncoalesced.modeled_qps, coalesced.modeled_qps,
+      coalesced.mean_batch, coalesce_speedup,
+      coalesce_speedup > 1 && coalesced.mean_batch >= 4
+          ? "(PASS >1x at batch >=4)"
+          : "(FAIL)");
+
+  std::printf(
+      "{\"plan_cache\": {\"cold_ms\": %.3f, \"build_ms\": %.3f, "
+      "\"hot_ms\": %.3f, \"speedup\": %.2f, \"pass\": %s}, "
+      "\"coalescing\": {\"queries\": %d, "
+      "\"uncoalesced_modeled_qps\": %.1f, \"coalesced_modeled_qps\": %.1f, "
+      "\"mean_batch\": %.2f, \"uncoalesced_gpu_seconds\": %.4f, "
+      "\"coalesced_gpu_seconds\": %.4f, \"speedup\": %.2f, \"pass\": %s}}\n",
+      cache.cold_seconds * 1e3, cache.build_seconds * 1e3,
+      cache.hot_seconds * 1e3, cache.speedup,
+      cache.speedup >= 10 ? "true" : "false", burst, uncoalesced.modeled_qps,
+      coalesced.modeled_qps, coalesced.mean_batch,
+      uncoalesced.modeled_gpu_seconds, coalesced.modeled_gpu_seconds,
+      coalesce_speedup,
+      coalesce_speedup > 1 && coalesced.mean_batch >= 4 ? "true" : "false");
+  return (cache.speedup >= 10 && coalesce_speedup > 1 &&
+          coalesced.mean_batch >= 4)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace tilespmv::bench
+
+int main(int argc, char** argv) { return tilespmv::bench::Run(argc, argv); }

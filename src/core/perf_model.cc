@@ -50,9 +50,15 @@ double PerfModel::ComputeThroughput(int32_t w, int32_t h, bool cached) const {
 
 double PerfModel::Performance(int32_t w, int32_t h, bool cached) const {
   uint64_t key = Key(w, h, cached);
-  auto it = table_.find(key);
-  if (it != table_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(key);
+    if (it != table_.end()) return it->second;
+  }
+  // Computed outside the lock: concurrent first queries for the same shape
+  // may duplicate work, but the result is deterministic either way.
   double p = ComputeThroughput(w, h, cached);
+  std::lock_guard<std::mutex> lock(mu_);
   table_.emplace(key, p);
   return p;
 }
@@ -74,7 +80,7 @@ size_t PerfModel::BuildTable(int64_t max_workload_size) {
       }
     }
   }
-  return table_.size();
+  return table_size();
 }
 
 double PerfModel::PredictTileSeconds(const std::vector<int64_t>& sorted_lens,

@@ -2,6 +2,7 @@
 #define TILESPMV_CORE_PERF_MODEL_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -36,7 +37,10 @@ class PerfModel {
 
   /// Machine-wide throughput (padded matrix entries per second) at full
   /// occupancy of identical (w, h) workloads. Memoized; shapes outside the
-  /// prebuilt table are computed on demand.
+  /// prebuilt table are computed on demand. Thread-safe: the memo table is
+  /// mutex-guarded, so a PerfModel shared by a cached plan (e.g. through
+  /// TileCompositeKernel::perf_model()) may be queried from concurrent
+  /// server threads.
   double Performance(int32_t w, int32_t h, bool cached) const;
 
   /// Algorithm 3: predicted seconds to process one tile whose occupied rows
@@ -44,13 +48,17 @@ class PerfModel {
   double PredictTileSeconds(const std::vector<int64_t>& sorted_lens,
                             int64_t workload_size, bool cached) const;
 
-  size_t table_size() const { return table_.size(); }
+  size_t table_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.size();
+  }
   const gpusim::DeviceSpec& spec() const { return spec_; }
 
  private:
   double ComputeThroughput(int32_t w, int32_t h, bool cached) const;
 
   gpusim::DeviceSpec spec_;
+  mutable std::mutex mu_;  ///< Guards table_ (memoized under const).
   mutable std::unordered_map<uint64_t, double> table_;
 };
 

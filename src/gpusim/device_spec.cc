@@ -18,4 +18,16 @@ DeviceSpec DeviceSpec::FermiC2050() {
   return spec;
 }
 
+bool DeviceSpecByName(std::string_view name, DeviceSpec* spec) {
+  if (name == "c1060") {
+    *spec = DeviceSpec::TeslaC1060();
+    return true;
+  }
+  if (name == "c2050") {
+    *spec = DeviceSpec::FermiC2050();
+    return true;
+  }
+  return false;
+}
+
 }  // namespace tilespmv::gpusim

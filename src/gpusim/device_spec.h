@@ -2,6 +2,7 @@
 #define TILESPMV_GPUSIM_DEVICE_SPEC_H_
 
 #include <cstdint>
+#include <string_view>
 
 namespace tilespmv::gpusim {
 
@@ -54,6 +55,11 @@ struct DeviceSpec {
   /// (the "next generation hybrid architectures" remark in Section 1).
   static DeviceSpec FermiC2050();
 };
+
+/// Looks up a spec by the short name the CLI and serving layer use
+/// ("c1060", "c2050"). Returns false for unknown names, leaving *spec
+/// untouched.
+bool DeviceSpecByName(std::string_view name, DeviceSpec* spec);
 
 }  // namespace tilespmv::gpusim
 

@@ -12,16 +12,20 @@ Result<HitsScores> RunHits(const CsrMatrix& adjacency, SpMVKernel* kernel,
   TILESPMV_CHECK(kernel != nullptr);
   if (adjacency.rows != adjacency.cols)
     return Status::InvalidArgument("HITS needs a square adjacency matrix");
-  const int32_t n = adjacency.rows;
-  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (adjacency.rows == 0) return Status::InvalidArgument("empty graph");
+  TILESPMV_RETURN_IF_ERROR(kernel->Setup(BuildHitsMatrix(adjacency)));
+  return RunHitsPrepared(*kernel, options);
+}
 
-  CsrMatrix m = BuildHitsMatrix(adjacency);
-  TILESPMV_RETURN_IF_ERROR(kernel->Setup(m));
-  const Permutation& row_perm = kernel->row_permutation();
+Result<HitsScores> RunHitsPrepared(const SpMVKernel& kernel,
+                                   const HitsOptions& options) {
+  const int32_t n2 = kernel.rows();
+  const int32_t n = n2 / 2;
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  const Permutation& row_perm = kernel.row_permutation();
 
   // In internal (possibly relabeled) space, remember which positions belong
   // to the authority half [0, n) so the two halves normalize separately.
-  const int32_t n2 = 2 * n;
   std::vector<char> is_authority(n2);
   for (int32_t i = 0; i < n2; ++i) {
     int32_t orig = row_perm.empty() ? i : row_perm[i];
@@ -31,14 +35,14 @@ Result<HitsScores> RunHits(const CsrMatrix& adjacency, SpMVKernel* kernel,
   std::vector<float> v(n2, 1.0f / static_cast<float>(n));
   std::vector<float> y;
 
-  const gpusim::DeviceSpec& spec = kernel->spec();
+  const gpusim::DeviceSpec& spec = kernel.spec();
   const double aux_seconds = 3 * ReductionSeconds(n2, spec) +
                              2 * ElementwiseSeconds(n2, n2, spec);
   HitsScores out;
-  out.stats.seconds_per_iteration = kernel->timing().seconds + aux_seconds;
+  out.stats.seconds_per_iteration = kernel.timing().seconds + aux_seconds;
 
   for (int it = 0; it < options.max_iterations; ++it) {
-    kernel->Multiply(v, &y);
+    kernel.Multiply(v, &y);
     double sum_a = 0.0, sum_h = 0.0;
     for (int32_t i = 0; i < n2; ++i) {
       (is_authority[i] ? sum_a : sum_h) += std::fabs(y[i]);
@@ -61,9 +65,9 @@ Result<HitsScores> RunHits(const CsrMatrix& adjacency, SpMVKernel* kernel,
   out.stats.gpu_seconds =
       out.stats.seconds_per_iteration * out.stats.iterations;
   out.stats.flops = static_cast<uint64_t>(out.stats.iterations) *
-                    (kernel->timing().flops + 6ULL * n2);
+                    (kernel.timing().flops + 6ULL * n2);
   out.stats.useful_bytes = static_cast<uint64_t>(out.stats.iterations) *
-                           (kernel->timing().useful_bytes + 28ULL * n2);
+                           (kernel.timing().useful_bytes + 28ULL * n2);
 
   std::vector<float> combined;
   if (!row_perm.empty()) {

@@ -28,6 +28,12 @@ struct HitsScores {
 Result<HitsScores> RunHits(const CsrMatrix& adjacency, SpMVKernel* kernel,
                            const HitsOptions& options);
 
+/// The iteration loop of RunHits on a kernel already Setup() on
+/// BuildHitsMatrix(adjacency) (so kernel.rows() == 2n). Only const kernel
+/// methods are touched; one shared plan serves concurrent callers.
+Result<HitsScores> RunHitsPrepared(const SpMVKernel& kernel,
+                                   const HitsOptions& options);
+
 /// Double-precision host reference.
 void HitsReference(const CsrMatrix& adjacency, int iterations,
                    std::vector<double>* authority, std::vector<double>* hub);

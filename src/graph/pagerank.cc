@@ -7,22 +7,30 @@
 
 namespace tilespmv {
 
+CsrMatrix PageRankMatrix(const CsrMatrix& adjacency) {
+  // Equation 6 multiplies by W^T, W the row-normalized adjacency matrix.
+  return Transpose(RowNormalize(adjacency));
+}
+
 Result<IterativeResult> RunPageRank(const CsrMatrix& adjacency,
                                     SpMVKernel* kernel,
                                     const PageRankOptions& options) {
   TILESPMV_CHECK(kernel != nullptr);
   if (adjacency.rows != adjacency.cols)
     return Status::InvalidArgument("PageRank needs a square adjacency matrix");
-  const int32_t n = adjacency.rows;
-  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (adjacency.rows == 0) return Status::InvalidArgument("empty graph");
+  TILESPMV_RETURN_IF_ERROR(kernel->Setup(PageRankMatrix(adjacency)));
+  return RunPageRankPrepared(*kernel, options);
+}
 
-  // Equation 6 multiplies by W^T, W the row-normalized adjacency matrix.
-  CsrMatrix wt = Transpose(RowNormalize(adjacency));
-  TILESPMV_RETURN_IF_ERROR(kernel->Setup(wt));
+Result<IterativeResult> RunPageRankPrepared(const SpMVKernel& kernel,
+                                            const PageRankOptions& options) {
+  const int32_t n = kernel.rows();
+  if (n == 0) return Status::InvalidArgument("empty graph");
   // For relabeling kernels the whole loop runs in internal space; a uniform
   // p0 is permutation-invariant, and the result is unpermuted at the end.
-  const Permutation& row_perm = kernel->row_permutation();
-  TILESPMV_CHECK(row_perm.size() == kernel->col_permutation().size());
+  const Permutation& row_perm = kernel.row_permutation();
+  TILESPMV_CHECK(row_perm.size() == kernel.col_permutation().size());
 
   const float c = options.damping;
   // Restart vector in internal index space. The uniform default is
@@ -43,13 +51,13 @@ Result<IterativeResult> RunPageRank(const CsrMatrix& adjacency,
   std::vector<float> y;
 
   const double aux_seconds =
-      ElementwiseSeconds(2 * n, n, kernel->spec()) +  // axpy with p0.
-      ReductionSeconds(n, kernel->spec());            // convergence check.
+      ElementwiseSeconds(2 * n, n, kernel.spec()) +  // axpy with p0.
+      ReductionSeconds(n, kernel.spec());            // convergence check.
   IterativeResult out;
-  out.seconds_per_iteration = kernel->timing().seconds + aux_seconds;
+  out.seconds_per_iteration = kernel.timing().seconds + aux_seconds;
 
   for (int it = 0; it < options.max_iterations; ++it) {
-    kernel->Multiply(p, &y);
+    kernel.Multiply(p, &y);
     double delta = 0.0;
     for (int32_t i = 0; i < n; ++i) {
       float next = c * y[i] + (1.0f - c) * p0[i];
@@ -65,9 +73,9 @@ Result<IterativeResult> RunPageRank(const CsrMatrix& adjacency,
   }
   out.gpu_seconds = out.seconds_per_iteration * out.iterations;
   out.flops = static_cast<uint64_t>(out.iterations) *
-              (kernel->timing().flops + 3ULL * n);
+              (kernel.timing().flops + 3ULL * n);
   out.useful_bytes = static_cast<uint64_t>(out.iterations) *
-                     (kernel->timing().useful_bytes + 16ULL * n);
+                     (kernel.timing().useful_bytes + 16ULL * n);
   if (!row_perm.empty()) {
     UnpermuteVector(row_perm, p, &out.result);
   } else {

@@ -26,6 +26,18 @@ Result<IterativeResult> RunPageRank(const CsrMatrix& adjacency,
                                     SpMVKernel* kernel,
                                     const PageRankOptions& options);
 
+/// The matrix PageRank iterates with: W^T, where W is the row-normalized
+/// adjacency matrix (Equation 6). Exposed so a serving layer can Setup() a
+/// kernel on it once and reuse the plan across queries.
+CsrMatrix PageRankMatrix(const CsrMatrix& adjacency);
+
+/// The iteration loop of RunPageRank on a kernel already Setup() on
+/// PageRankMatrix(adjacency). Only const kernel methods are touched, so one
+/// shared plan serves any number of concurrent callers (each call varies
+/// damping / tolerance / personalization freely).
+Result<IterativeResult> RunPageRankPrepared(const SpMVKernel& kernel,
+                                            const PageRankOptions& options);
+
 /// Double-precision host reference for correctness checks.
 std::vector<double> PageRankReference(const CsrMatrix& adjacency,
                                       double damping, int iterations);

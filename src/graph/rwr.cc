@@ -22,11 +22,16 @@ Status RwrEngine::Init(const CsrMatrix& adjacency, const RwrOptions& options) {
 }
 
 Result<RwrResult> RwrEngine::Query(int32_t node) const {
+  return Query(node, options_);
+}
+
+Result<RwrResult> RwrEngine::Query(int32_t node,
+                                   const RwrOptions& options) const {
   if (node < 0 || node >= n_)
     return Status::InvalidArgument("query node out of range");
   const int32_t internal_node =
       inv_row_perm_.empty() ? node : inv_row_perm_[node];
-  const float c = options_.restart;
+  const float c = options.restart;
 
   std::vector<float> r(n_, 0.0f);
   r[internal_node] = 1.0f;
@@ -38,7 +43,7 @@ Result<RwrResult> RwrEngine::Query(int32_t node) const {
   RwrResult out;
   out.stats.seconds_per_iteration = kernel_->timing().seconds + aux_seconds;
 
-  for (int it = 0; it < options_.max_iterations; ++it) {
+  for (int it = 0; it < options.max_iterations; ++it) {
     kernel_->Multiply(r, &y);
     double delta = 0.0;
     for (int32_t i = 0; i < n_; ++i) {
@@ -48,7 +53,7 @@ Result<RwrResult> RwrEngine::Query(int32_t node) const {
     }
     ++out.stats.iterations;
     out.stats.delta_history.push_back(delta);
-    if (delta < options_.tolerance) {
+    if (delta < options.tolerance) {
       out.stats.converged = true;
       break;
     }
@@ -87,6 +92,11 @@ double RwrEngine::BatchIterationSeconds(int batch_size) const {
 
 Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
     const std::vector<int32_t>& nodes) const {
+  return QueryBatch(nodes, options_);
+}
+
+Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
+    const std::vector<int32_t>& nodes, const RwrOptions& options) const {
   if (nodes.empty()) return std::vector<RwrResult>{};
   const int k = static_cast<int>(nodes.size());
   std::vector<std::vector<float>> r(k);
@@ -99,12 +109,12 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
     r[q].assign(n_, 0.0f);
     r[q][internal] = 1.0f;
   }
-  const float c = options_.restart;
+  const float c = options.restart;
   const double iter_seconds = BatchIterationSeconds(k);
   std::vector<bool> done(k, false);
   std::vector<float> y;
   int active = k;
-  for (int it = 0; it < options_.max_iterations && active > 0; ++it) {
+  for (int it = 0; it < options.max_iterations && active > 0; ++it) {
     for (int q = 0; q < k; ++q) {
       if (done[q]) continue;
       int32_t internal =
@@ -118,7 +128,7 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
       }
       ++out[q].stats.iterations;
       out[q].stats.delta_history.push_back(delta);
-      if (delta < options_.tolerance) {
+      if (delta < options.tolerance) {
         done[q] = true;
         --active;
         out[q].stats.converged = true;

@@ -28,11 +28,17 @@ class RwrEngine {
  public:
   explicit RwrEngine(SpMVKernel* kernel) : kernel_(kernel) {}
 
-  /// Builds W = colnorm(sym(A)) and sets the kernel up on it.
+  /// Builds W = colnorm(sym(A)) and sets the kernel up on it. W depends only
+  /// on the graph, so after Init the engine is an immutable plan: every
+  /// Query / QueryBatch below is const and thread-safe (see the SpMVKernel
+  /// thread-safety contract), and the per-call overloads let one shared plan
+  /// serve queries with different restart / tolerance parameters.
   Status Init(const CsrMatrix& adjacency, const RwrOptions& options);
 
-  /// Runs one query to convergence.
+  /// Runs one query to convergence with the Init-time options.
   Result<RwrResult> Query(int32_t node) const;
+  /// Runs one query with per-call options (plan-independent parameters).
+  Result<RwrResult> Query(int32_t node, const RwrOptions& options) const;
 
   /// Runs a batch of queries simultaneously as a multi-vector power method
   /// (extension beyond the paper, which serves queries one at a time). On
@@ -42,10 +48,16 @@ class RwrEngine {
   /// converges (and is billed) individually.
   Result<std::vector<RwrResult>> QueryBatch(
       const std::vector<int32_t>& nodes) const;
+  /// QueryBatch with per-call options.
+  Result<std::vector<RwrResult>> QueryBatch(const std::vector<int32_t>& nodes,
+                                            const RwrOptions& options) const;
 
   /// Modeled per-iteration cost of a batch of size k: the kernel's full
   /// cost once plus the per-extra-vector gather/update traffic.
   double BatchIterationSeconds(int batch_size) const;
+
+  /// Node count of the Init-time graph (0 before Init).
+  int32_t num_nodes() const { return n_; }
 
  private:
   SpMVKernel* kernel_;

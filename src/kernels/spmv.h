@@ -61,6 +61,18 @@ struct KernelTiming {
 /// algorithms instead run entirely in internal space (valid for the square,
 /// symmetrically relabeled matrices they use) and unpermute once at the end,
 /// exactly as the paper's one-off preprocessing does.
+///
+/// Thread-safety contract (what lets the serving layer share one plan across
+/// server threads): Setup() is NOT thread-safe and must complete (happens-
+/// before, e.g. via the PlanCache mutex) before the kernel is shared. After
+/// a successful Setup, every const member function — Multiply(),
+/// MultiplyOriginal(), timing(), the permutation accessors, rows()/cols() —
+/// only reads the frozen plan state and may be called concurrently from any
+/// number of threads. Implementations must keep Multiply() free of mutable
+/// member scratch: per-call state lives in the caller-provided y (an audit
+/// of every in-tree kernel found none; the one mutable member reachable from
+/// a shared plan, PerfModel's memo table behind
+/// TileCompositeKernel::perf_model(), is internally mutex-guarded).
 class SpMVKernel {
  public:
   explicit SpMVKernel(const gpusim::DeviceSpec& spec) : spec_(spec) {}

@@ -1,0 +1,64 @@
+#include "serve/coalescer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tilespmv::serve {
+
+size_t RwrBatchKeyHash::operator()(const RwrBatchKey& k) const {
+  size_t h = std::hash<uint64_t>{}(k.fingerprint);
+  auto mix = [&h](size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<std::string>{}(k.device));
+  mix(std::hash<std::string>{}(k.kernel));
+  mix(std::hash<float>{}(k.restart));
+  mix(std::hash<float>{}(k.tolerance));
+  mix(static_cast<size_t>(k.max_iterations));
+  return h;
+}
+
+bool RwrCoalescer::Add(const RwrBatchKey& key, RwrPendingQuery query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RwrPendingQuery>& bucket = buckets_[key];
+  bucket.push_back(std::move(query));
+  return bucket.size() == 1;
+}
+
+std::vector<RwrPendingQuery> RwrCoalescer::Take(const RwrBatchKey& key,
+                                                int max_batch,
+                                                bool* has_more) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RwrPendingQuery> taken;
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) {
+    if (has_more != nullptr) *has_more = false;
+    return taken;
+  }
+  std::vector<RwrPendingQuery>& bucket = it->second;
+  size_t n = std::min<size_t>(bucket.size(),
+                              max_batch > 0 ? static_cast<size_t>(max_batch)
+                                            : bucket.size());
+  taken.reserve(n);
+  for (size_t i = 0; i < n; ++i) taken.push_back(std::move(bucket[i]));
+  bucket.erase(bucket.begin(), bucket.begin() + static_cast<int64_t>(n));
+  if (bucket.empty()) {
+    buckets_.erase(it);
+    if (has_more != nullptr) *has_more = false;
+  } else {
+    if (has_more != nullptr) *has_more = true;
+  }
+  return taken;
+}
+
+std::vector<RwrPendingQuery> RwrCoalescer::TakeAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RwrPendingQuery> all;
+  for (auto& [key, bucket] : buckets_) {
+    for (RwrPendingQuery& q : bucket) all.push_back(std::move(q));
+  }
+  buckets_.clear();
+  return all;
+}
+
+}  // namespace tilespmv::serve

@@ -1,0 +1,74 @@
+#ifndef TILESPMV_SERVE_COALESCER_H_
+#define TILESPMV_SERVE_COALESCER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace tilespmv::serve {
+
+/// Identifies RWR queries that can legally share one QueryBatch call: same
+/// graph (by content fingerprint), same plan (device + kernel), and the same
+/// iteration parameters, so every member of the batch walks the same matrix
+/// with the same restart/tolerance schedule.
+struct RwrBatchKey {
+  uint64_t fingerprint = 0;
+  std::string device;
+  std::string kernel;
+  float restart = 0.9f;
+  float tolerance = 1e-5f;
+  int max_iterations = 100;
+
+  bool operator==(const RwrBatchKey&) const = default;
+};
+
+struct RwrBatchKeyHash {
+  size_t operator()(const RwrBatchKey& k) const;
+};
+
+/// One RWR query waiting to be flushed as part of a batch.
+struct RwrPendingQuery {
+  int32_t node = -1;
+  std::promise<QueryResponse> promise;
+  std::chrono::steady_clock::time_point enqueue_time;
+  std::chrono::steady_clock::time_point deadline;
+  bool has_deadline = false;
+};
+
+/// Groups concurrent RWR queries per batch key so the engine can serve them
+/// with one RwrEngine::QueryBatch call. The matrix stream is shared across
+/// the whole batch on the device, so the modeled per-query cost drops
+/// steeply with batch size (RwrEngine::BatchIterationSeconds quantifies it).
+/// The coalescer only buffers; the engine owns the flush timing (a batch
+/// window) and execution.
+class RwrCoalescer {
+ public:
+  /// Adds a pending query. Returns true when this query opened a new bucket
+  /// — the caller must then schedule a flush for `key`.
+  bool Add(const RwrBatchKey& key, RwrPendingQuery query);
+
+  /// Removes and returns up to `max_batch` queries for `key`, oldest first.
+  /// `*has_more` reports whether the bucket still holds queries (the caller
+  /// should schedule another flush).
+  std::vector<RwrPendingQuery> Take(const RwrBatchKey& key, int max_batch,
+                                    bool* has_more);
+
+  /// Drains every bucket (shutdown path). Returns all pending queries.
+  std::vector<RwrPendingQuery> TakeAll();
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<RwrBatchKey, std::vector<RwrPendingQuery>,
+                     RwrBatchKeyHash>
+      buckets_;
+};
+
+}  // namespace tilespmv::serve
+
+#endif  // TILESPMV_SERVE_COALESCER_H_

@@ -1,0 +1,551 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/hits.h"
+#include "graph/pagerank.h"
+#include "sparse/convert.h"
+#include "util/timer.h"
+
+namespace tilespmv::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+Clock::duration DurationFromSeconds(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+PlanWorkload WorkloadFor(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPageRank:
+      return PlanWorkload::kPageRank;
+    case QueryKind::kHits:
+      return PlanWorkload::kHits;
+    case QueryKind::kRwr:
+      return PlanWorkload::kRwr;
+  }
+  return PlanWorkload::kPageRank;
+}
+
+/// Modeled footprint of a plan: the kernel's device structures plus the x/y
+/// vectors it needs resident.
+uint64_t PlanResidentBytes(const SpMVKernel& kernel) {
+  uint64_t vectors =
+      4ULL * (static_cast<uint64_t>(kernel.rows()) + kernel.cols());
+  return std::max<uint64_t>(kernel.timing().device_bytes, 1) + vectors;
+}
+
+std::future<QueryResponse> ReadyResponse(QueryKind kind, Status status) {
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> future = promise.get_future();
+  QueryResponse response;
+  response.kind = kind;
+  response.status = std::move(status);
+  promise.set_value(std::move(response));
+  return future;
+}
+
+}  // namespace
+
+std::string_view QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPageRank:
+      return "pagerank";
+    case QueryKind::kHits:
+      return "hits";
+    case QueryKind::kRwr:
+      return "rwr";
+  }
+  return "unknown";
+}
+
+size_t Engine::DedupKeyHash::operator()(const DedupKey& k) const {
+  size_t h = std::hash<uint64_t>{}(k.fingerprint);
+  auto mix = [&h](size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<size_t>(k.kind));
+  mix(std::hash<std::string>{}(k.device));
+  mix(std::hash<std::string>{}(k.kernel));
+  mix(std::hash<float>{}(k.damping));
+  mix(std::hash<float>{}(k.tolerance));
+  mix(static_cast<size_t>(k.max_iterations));
+  return h;
+}
+
+Engine::Engine(const EngineOptions& options)
+    : options_(options), plan_cache_(options.plan_cache_bytes) {
+  options_.num_threads = std::max(1, options_.num_threads);
+  options_.max_pending = std::max(1, options_.max_pending);
+  options_.max_batch = std::max(1, options_.max_batch);
+  workers_.reserve(static_cast<size_t>(options_.num_threads));
+  for (int i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Engine::~Engine() { Shutdown(); }
+
+Status Engine::AddGraph(const std::string& name, CsrMatrix graph) {
+  TILESPMV_RETURN_IF_ERROR(graph.Validate());
+  if (graph.rows != graph.cols) {
+    return Status::InvalidArgument(
+        "serving requires a square adjacency matrix");
+  }
+  if (graph.rows == 0) return Status::InvalidArgument("empty graph");
+  auto entry = std::make_shared<GraphEntry>();
+  entry->fingerprint = FingerprintCsr(graph);
+  entry->matrix = std::move(graph);
+  std::lock_guard<std::mutex> lock(graphs_mu_);
+  graphs_[name] = std::move(entry);
+  return Status::OK();
+}
+
+std::future<QueryResponse> Engine::Submit(const std::string& graph,
+                                          QueryKind kind,
+                                          const QueryParams& params) {
+  if (stopping_.load(std::memory_order_relaxed)) {
+    return ReadyResponse(kind, Status::Unavailable("engine is shut down"));
+  }
+  std::shared_ptr<const GraphEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(graphs_mu_);
+    auto it = graphs_.find(graph);
+    if (it != graphs_.end()) entry = it->second;
+  }
+  if (entry == nullptr) {
+    return ReadyResponse(
+        kind, Status::InvalidArgument("unknown graph \"" + graph + "\""));
+  }
+
+  QueryParams resolved = params;
+  if (resolved.kernel.empty()) resolved.kernel = options_.default_kernel;
+  if (resolved.device.empty()) resolved.device = options_.default_device;
+  gpusim::DeviceSpec spec;
+  if (!gpusim::DeviceSpecByName(resolved.device, &spec)) {
+    return ReadyResponse(
+        kind, Status::InvalidArgument("unknown device " + resolved.device));
+  }
+  if (CreateKernel(resolved.kernel, spec) == nullptr) {
+    return ReadyResponse(
+        kind, Status::InvalidArgument("unknown kernel " + resolved.kernel));
+  }
+  if (kind == QueryKind::kRwr &&
+      (resolved.node < 0 || resolved.node >= entry->matrix.rows)) {
+    return ReadyResponse(kind,
+                         Status::InvalidArgument("rwr query node out of "
+                                                 "range"));
+  }
+
+  // Admission control: bound total in-flight requests instead of queueing
+  // unboundedly.
+  if (pending_.fetch_add(1, std::memory_order_acq_rel) >=
+      options_.max_pending) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    stats_.RecordShed(StatusCode::kUnavailable);
+    return ReadyResponse(
+        kind, Status::Unavailable("admission control: queue full"));
+  }
+
+  const TimePoint now = Clock::now();
+  double deadline_seconds = resolved.deadline_seconds > 0
+                                ? resolved.deadline_seconds
+                                : options_.default_deadline_seconds;
+  const bool has_deadline = deadline_seconds > 0;
+  const TimePoint deadline =
+      has_deadline ? now + DurationFromSeconds(deadline_seconds) : now;
+
+  // RWR queries coalesce: park in the batcher and let a flush task drain
+  // the bucket after the batch window.
+  if (kind == QueryKind::kRwr && options_.batch_window_seconds > 0 &&
+      options_.max_batch > 1) {
+    RwrBatchKey key;
+    key.fingerprint = entry->fingerprint;
+    key.device = resolved.device;
+    key.kernel = resolved.kernel;
+    key.restart = resolved.restart;
+    key.tolerance = resolved.tolerance;
+    key.max_iterations = resolved.max_iterations;
+
+    RwrPendingQuery sub;
+    sub.node = resolved.node;
+    sub.enqueue_time = now;
+    sub.deadline = deadline;
+    sub.has_deadline = has_deadline;
+    std::future<QueryResponse> future = sub.promise.get_future();
+    if (coalescer_.Add(key, std::move(sub))) {
+      Task task;
+      task.kind = Task::Kind::kFlushBatch;
+      task.batch_key = std::move(key);
+      task.batch_graph = entry;
+      task.not_before = now + DurationFromSeconds(
+                                  options_.batch_window_seconds);
+      EnqueueTask(std::move(task));
+    }
+    return future;
+  }
+
+  auto request = std::make_shared<Request>();
+  request->kind = kind;
+  request->graph = entry;
+  request->params = std::move(resolved);
+  request->enqueue_time = now;
+  request->deadline = deadline;
+  request->has_deadline = has_deadline;
+  std::future<QueryResponse> future = request->promise.get_future();
+
+  // Identical PageRank/HITS requests already in flight are answered once:
+  // later arrivals attach to the running computation.
+  if (kind == QueryKind::kPageRank || kind == QueryKind::kHits) {
+    request->dedup_key =
+        DedupKey{entry->fingerprint,           kind,
+                 request->params.device,       request->params.kernel,
+                 request->params.damping,      request->params.tolerance,
+                 request->params.max_iterations};
+    request->deduplicable = true;
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(request->dedup_key);
+    if (it != inflight_.end()) {
+      it->second->waiters.push_back(
+          Request::Waiter{std::move(request->promise), now});
+      stats_.RecordDedupHit();
+      return future;
+    }
+    inflight_[request->dedup_key] = request;
+  }
+
+  Task task;
+  task.kind = Task::Kind::kExec;
+  task.request = std::move(request);
+  EnqueueTask(std::move(task));
+  return future;
+}
+
+QueryResponse Engine::Query(const std::string& graph, QueryKind kind,
+                            const QueryParams& params) {
+  return Submit(graph, kind, params).get();
+}
+
+ServerStatsSnapshot Engine::stats() const {
+  ServerStatsSnapshot s = stats_.Snapshot();
+  PlanCacheStats cache = plan_cache_.stats();
+  s.plan_hits = cache.hits;
+  s.plan_misses = cache.misses;
+  s.plan_evictions = cache.evictions;
+  s.plan_resident_bytes = cache.resident_bytes;
+  s.plan_entries = cache.entries;
+  return s;
+}
+
+void Engine::EnqueueTask(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void Engine::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (task.kind == Task::Kind::kExec) {
+      ExecuteSingle(task.request);
+    } else {
+      FlushBatch(task);
+    }
+  }
+}
+
+Result<std::shared_ptr<const Plan>> Engine::GetPlan(
+    const GraphEntry& graph, QueryKind kind, const std::string& kernel,
+    const std::string& device, bool* cache_hit, double* build_seconds) {
+  PlanKey key;
+  key.fingerprint = graph.fingerprint;
+  key.device = device;
+  key.kernel = kernel;
+  key.workload = WorkloadFor(kind);
+
+  Result<std::shared_ptr<const Plan>> plan = plan_cache_.GetOrBuild(
+      key,
+      [&]() -> Result<Plan> {
+        gpusim::DeviceSpec spec;
+        if (!gpusim::DeviceSpecByName(device, &spec)) {
+          return Status::InvalidArgument("unknown device " + device);
+        }
+        std::unique_ptr<SpMVKernel> k = CreateKernel(kernel, spec);
+        if (k == nullptr) {
+          return Status::InvalidArgument("unknown kernel " + kernel);
+        }
+        WallTimer timer;
+        Plan built;
+        built.nodes = graph.matrix.rows;
+        switch (key.workload) {
+          case PlanWorkload::kPageRank: {
+            Status st = k->Setup(PageRankMatrix(graph.matrix));
+            if (!st.ok()) return st;
+            break;
+          }
+          case PlanWorkload::kHits: {
+            Status st = k->Setup(BuildHitsMatrix(graph.matrix));
+            if (!st.ok()) return st;
+            break;
+          }
+          case PlanWorkload::kRwr: {
+            built.rwr = std::make_unique<RwrEngine>(k.get());
+            Status st = built.rwr->Init(graph.matrix, RwrOptions{});
+            if (!st.ok()) return st;
+            break;
+          }
+        }
+        built.resident_bytes = PlanResidentBytes(*k);
+        built.kernel = std::move(k);
+        built.build_seconds = timer.Seconds();
+        return built;
+      },
+      cache_hit);
+  if (plan.ok() && build_seconds != nullptr) {
+    *build_seconds = *cache_hit ? 0.0 : plan.value()->build_seconds;
+  }
+  return plan;
+}
+
+void Engine::ExecuteSingle(const std::shared_ptr<Request>& request) {
+  const TimePoint start = Clock::now();
+  QueryResponse response;
+  response.kind = request->kind;
+  response.queue_seconds = SecondsBetween(request->enqueue_time, start);
+
+  if (request->has_deadline && start > request->deadline) {
+    response.status =
+        Status::DeadlineExceeded("request expired while queued");
+    FinishRequest(request, std::move(response));
+    return;
+  }
+
+  bool cache_hit = false;
+  double build_seconds = 0.0;
+  Result<std::shared_ptr<const Plan>> plan =
+      GetPlan(*request->graph, request->kind, request->params.kernel,
+              request->params.device, &cache_hit, &build_seconds);
+  if (!plan.ok()) {
+    response.status = plan.status();
+    FinishRequest(request, std::move(response));
+    return;
+  }
+  response.plan_cache_hit = cache_hit;
+  response.plan_build_seconds = build_seconds;
+
+  const QueryParams& p = request->params;
+  switch (request->kind) {
+    case QueryKind::kPageRank: {
+      PageRankOptions opts;
+      opts.damping = p.damping;
+      opts.max_iterations = p.max_iterations;
+      opts.tolerance = p.tolerance;
+      Result<IterativeResult> r =
+          RunPageRankPrepared(*plan.value()->kernel, opts);
+      if (!r.ok()) {
+        response.status = r.status();
+        break;
+      }
+      IterativeResult stats = r.take();
+      response.scores = std::move(stats.result);
+      stats.result.clear();
+      response.stats = std::move(stats);
+      break;
+    }
+    case QueryKind::kHits: {
+      HitsOptions opts;
+      opts.max_iterations = p.max_iterations;
+      opts.tolerance = p.tolerance;
+      Result<HitsScores> r = RunHitsPrepared(*plan.value()->kernel, opts);
+      if (!r.ok()) {
+        response.status = r.status();
+        break;
+      }
+      HitsScores scores = r.take();
+      response.authority = std::move(scores.authority);
+      response.hub = std::move(scores.hub);
+      response.stats = std::move(scores.stats);
+      break;
+    }
+    case QueryKind::kRwr: {
+      RwrOptions opts;
+      opts.restart = p.restart;
+      opts.max_iterations = p.max_iterations;
+      opts.tolerance = p.tolerance;
+      Result<RwrResult> r = plan.value()->rwr->Query(p.node, opts);
+      if (!r.ok()) {
+        response.status = r.status();
+        break;
+      }
+      RwrResult result = r.take();
+      response.scores = std::move(result.scores);
+      response.stats = std::move(result.stats);
+      break;
+    }
+  }
+  FinishRequest(request, std::move(response));
+}
+
+void Engine::FlushBatch(const Task& task) {
+  // Let the batch window close so companions can pile in — unless the
+  // engine is shutting down, in which case flush immediately.
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         Clock::now() < task.not_before) {
+    std::this_thread::sleep_until(task.not_before);
+  }
+
+  bool has_more = false;
+  std::vector<RwrPendingQuery> subs =
+      coalescer_.Take(task.batch_key, options_.max_batch, &has_more);
+  if (has_more) {
+    // Leftovers beyond max_batch flush immediately as the next batch.
+    Task next = task;
+    next.not_before = Clock::now();
+    EnqueueTask(std::move(next));
+  }
+  if (subs.empty()) return;
+
+  const TimePoint start = Clock::now();
+  std::vector<RwrPendingQuery*> live;
+  live.reserve(subs.size());
+  for (RwrPendingQuery& sub : subs) {
+    if (sub.has_deadline && start > sub.deadline) {
+      QueryResponse response;
+      response.kind = QueryKind::kRwr;
+      response.queue_seconds = SecondsBetween(sub.enqueue_time, start);
+      response.status =
+          Status::DeadlineExceeded("request expired while queued");
+      Respond(&sub.promise, std::move(response), sub.enqueue_time);
+    } else {
+      live.push_back(&sub);
+    }
+  }
+  if (live.empty()) return;
+
+  auto fail_all = [&](const Status& status) {
+    for (RwrPendingQuery* sub : live) {
+      QueryResponse response;
+      response.kind = QueryKind::kRwr;
+      response.queue_seconds = SecondsBetween(sub->enqueue_time, start);
+      response.status = status;
+      Respond(&sub->promise, std::move(response), sub->enqueue_time);
+    }
+  };
+
+  bool cache_hit = false;
+  double build_seconds = 0.0;
+  Result<std::shared_ptr<const Plan>> plan =
+      GetPlan(*task.batch_graph, QueryKind::kRwr, task.batch_key.kernel,
+              task.batch_key.device, &cache_hit, &build_seconds);
+  if (!plan.ok()) {
+    fail_all(plan.status());
+    return;
+  }
+
+  std::vector<int32_t> nodes;
+  nodes.reserve(live.size());
+  for (RwrPendingQuery* sub : live) nodes.push_back(sub->node);
+
+  RwrOptions opts;
+  opts.restart = task.batch_key.restart;
+  opts.tolerance = task.batch_key.tolerance;
+  opts.max_iterations = task.batch_key.max_iterations;
+  Result<std::vector<RwrResult>> results =
+      plan.value()->rwr->QueryBatch(nodes, opts);
+  if (!results.ok()) {
+    fail_all(results.status());
+    return;
+  }
+
+  const int batch_size = static_cast<int>(live.size());
+  stats_.RecordRwrBatch(batch_size);
+  for (size_t i = 0; i < live.size(); ++i) {
+    RwrPendingQuery* sub = live[i];
+    QueryResponse response;
+    response.kind = QueryKind::kRwr;
+    response.status = Status::OK();
+    response.scores = std::move(results.value()[i].scores);
+    response.stats = std::move(results.value()[i].stats);
+    response.plan_cache_hit = cache_hit;
+    response.plan_build_seconds = i == 0 ? build_seconds : 0.0;
+    response.batch_size = batch_size;
+    response.queue_seconds = SecondsBetween(sub->enqueue_time, start);
+    Respond(&sub->promise, std::move(response), sub->enqueue_time);
+  }
+}
+
+void Engine::FinishRequest(const std::shared_ptr<Request>& request,
+                           QueryResponse response) {
+  std::vector<Request::Waiter> waiters;
+  if (request->deduplicable) {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(request->dedup_key);
+    if (it != inflight_.end() && it->second == request) inflight_.erase(it);
+    waiters = std::move(request->waiters);
+    request->waiters.clear();
+  }
+  for (Request::Waiter& waiter : waiters) {
+    QueryResponse copy = response;
+    copy.deduped = true;
+    copy.plan_build_seconds = 0.0;
+    Respond(&waiter.promise, std::move(copy), waiter.enqueue_time);
+  }
+  Respond(&request->promise, std::move(response), request->enqueue_time);
+}
+
+void Engine::Respond(std::promise<QueryResponse>* promise,
+                     QueryResponse response, TimePoint enqueue_time) {
+  const double latency = SecondsBetween(enqueue_time, Clock::now());
+  const StatusCode code = response.status.code();
+  if (code == StatusCode::kDeadlineExceeded) {
+    stats_.RecordShed(code);
+  } else if (code == StatusCode::kUnavailable) {
+    stats_.RecordShed(code);
+  } else {
+    stats_.RecordCompletion(latency, response.stats.gpu_seconds,
+                            response.status.ok());
+  }
+  promise->set_value(std::move(response));
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Engine::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  stopping_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Coalescer invariant: every non-empty bucket has a queued flush task, and
+  // the queue is drained before workers exit — but answer any stragglers
+  // defensively rather than leaving futures hanging.
+  for (RwrPendingQuery& sub : coalescer_.TakeAll()) {
+    QueryResponse response;
+    response.kind = QueryKind::kRwr;
+    response.status = Status::Unavailable("engine is shut down");
+    Respond(&sub.promise, std::move(response), sub.enqueue_time);
+  }
+}
+
+}  // namespace tilespmv::serve

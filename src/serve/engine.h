@@ -1,0 +1,186 @@
+#ifndef TILESPMV_SERVE_ENGINE_H_
+#define TILESPMV_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/coalescer.h"
+#include "serve/plan_cache.h"
+#include "serve/request.h"
+#include "serve/server_stats.h"
+#include "sparse/csr.h"
+
+namespace tilespmv::serve {
+
+/// Engine configuration. The defaults suit an interactive mixed workload;
+/// docs/SERVING.md discusses tuning.
+struct EngineOptions {
+  int num_threads = 4;
+  /// Admission control: total requests in flight (queued + executing +
+  /// waiting in a coalescing bucket). Submissions beyond it are shed with
+  /// kUnavailable instead of queueing unboundedly.
+  int max_pending = 256;
+  /// Plan cache budget in modeled resident bytes.
+  uint64_t plan_cache_bytes = 512ULL << 20;
+  /// Default per-request deadline; 0 = no deadline unless the request sets
+  /// one.
+  double default_deadline_seconds = 0.0;
+  /// How long an RWR query may wait for companions before its batch is
+  /// flushed. 0 disables coalescing.
+  double batch_window_seconds = 0.002;
+  /// Largest coalesced RWR batch.
+  int max_batch = 16;
+  std::string default_kernel = "tile-composite";
+  std::string default_device = "c1060";
+};
+
+/// A long-running, thread-safe graph-analytics serving engine layered on the
+/// batch stack. Graphs are registered once; queries against them reuse
+/// cached preprocessed plans (PlanCache), run on a bounded thread pool with
+/// admission control and deadlines, and concurrent RWR queries on the same
+/// graph coalesce into one QueryBatch call. All public methods are
+/// thread-safe.
+class Engine {
+ public:
+  explicit Engine(const EngineOptions& options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers a graph under `name` (fingerprinted for plan caching).
+  /// Re-registering an existing name replaces the graph; plans for the old
+  /// content age out of the cache by LRU.
+  Status AddGraph(const std::string& name, CsrMatrix graph);
+
+  /// Submits a query. The returned future always completes — with a result,
+  /// or with a typed error Status in QueryResponse::status: kUnavailable
+  /// when shed by admission control or shutdown, kDeadlineExceeded when the
+  /// deadline expired in queue, kInvalidArgument for bad requests.
+  std::future<QueryResponse> Submit(const std::string& graph, QueryKind kind,
+                                    const QueryParams& params = {});
+
+  /// Blocking convenience wrapper around Submit.
+  QueryResponse Query(const std::string& graph, QueryKind kind,
+                      const QueryParams& params = {});
+
+  /// Snapshot of the serving counters, including plan-cache stats.
+  ServerStatsSnapshot stats() const;
+
+  PlanCacheStats plan_cache_stats() const { return plan_cache_.stats(); }
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Drains in-flight work and joins the worker threads. Called by the
+  /// destructor; safe to call more than once. Requests still waiting when
+  /// shutdown begins are answered (the queue is drained, not dropped), but
+  /// new submissions are shed with kUnavailable.
+  void Shutdown();
+
+ private:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  struct GraphEntry {
+    CsrMatrix matrix;
+    uint64_t fingerprint = 0;
+  };
+
+  /// Key for deduplicating identical PageRank/HITS requests in flight.
+  struct DedupKey {
+    uint64_t fingerprint = 0;
+    QueryKind kind = QueryKind::kPageRank;
+    std::string device;
+    std::string kernel;
+    float damping = 0.0f;
+    float tolerance = 0.0f;
+    int max_iterations = 0;
+
+    bool operator==(const DedupKey&) const = default;
+  };
+  struct DedupKeyHash {
+    size_t operator()(const DedupKey& k) const;
+  };
+
+  struct Request {
+    QueryKind kind = QueryKind::kPageRank;
+    std::shared_ptr<const GraphEntry> graph;
+    QueryParams params;  // kernel/device resolved to concrete names.
+    TimePoint enqueue_time;
+    TimePoint deadline;
+    bool has_deadline = false;
+    std::promise<QueryResponse> promise;
+    DedupKey dedup_key;
+    bool deduplicable = false;
+    /// Identical requests that attached while this one was in flight; they
+    /// receive copies of the result (marked deduped), each billed its own
+    /// queue latency.
+    struct Waiter {
+      std::promise<QueryResponse> promise;
+      TimePoint enqueue_time;
+    };
+    std::vector<Waiter> waiters;  // Guarded by Engine::inflight_mu_.
+  };
+
+  struct Task {
+    enum class Kind { kExec, kFlushBatch };
+    Kind kind = Kind::kExec;
+    std::shared_ptr<Request> request;              // kExec.
+    RwrBatchKey batch_key;                         // kFlushBatch.
+    std::shared_ptr<const GraphEntry> batch_graph; // kFlushBatch.
+    TimePoint not_before;                          // kFlushBatch.
+  };
+
+  void WorkerLoop();
+  void ExecuteSingle(const std::shared_ptr<Request>& request);
+  void FlushBatch(const Task& task);
+  /// Fulfills the request's promise plus any dedup waiters.
+  void FinishRequest(const std::shared_ptr<Request>& request,
+                     QueryResponse response);
+  Result<std::shared_ptr<const Plan>> GetPlan(const GraphEntry& graph,
+                                              QueryKind kind,
+                                              const std::string& kernel,
+                                              const std::string& device,
+                                              bool* cache_hit,
+                                              double* build_seconds);
+  /// Fulfills one promise and records stats for it.
+  void Respond(std::promise<QueryResponse>* promise, QueryResponse response,
+               TimePoint enqueue_time);
+  void EnqueueTask(Task task);
+
+  EngineOptions options_;
+  PlanCache plan_cache_;
+  RwrCoalescer coalescer_;
+  ServerStats stats_;
+
+  mutable std::mutex graphs_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const GraphEntry>> graphs_;
+
+  std::mutex inflight_mu_;
+  std::unordered_map<DedupKey, std::shared_ptr<Request>, DedupKeyHash>
+      inflight_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool stop_ = false;  // Guarded by queue_mu_; pairs with queue_cv_.
+
+  /// Lock-free view of shutdown for admission and batch-window waits.
+  std::atomic<bool> stopping_{false};
+  std::mutex shutdown_mu_;  ///< Serializes Shutdown() callers.
+  std::atomic<int> pending_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tilespmv::serve
+
+#endif  // TILESPMV_SERVE_ENGINE_H_

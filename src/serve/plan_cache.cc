@@ -1,0 +1,113 @@
+#include "serve/plan_cache.h"
+
+#include <utility>
+
+namespace tilespmv::serve {
+
+std::string_view PlanWorkloadName(PlanWorkload w) {
+  switch (w) {
+    case PlanWorkload::kPageRank:
+      return "pagerank";
+    case PlanWorkload::kHits:
+      return "hits";
+    case PlanWorkload::kRwr:
+      return "rwr";
+  }
+  return "unknown";
+}
+
+size_t PlanKeyHash::operator()(const PlanKey& k) const {
+  size_t h = std::hash<uint64_t>{}(k.fingerprint);
+  auto mix = [&h](size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<std::string>{}(k.device));
+  mix(std::hash<std::string>{}(k.kernel));
+  mix(static_cast<size_t>(k.workload));
+  return h;
+}
+
+Result<std::shared_ptr<const Plan>> PlanCache::GetOrBuild(
+    const PlanKey& key, const Builder& builder, bool* cache_hit) {
+  std::shared_ptr<Building> build;
+  bool owner = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      if (cache_hit != nullptr) *cache_hit = true;
+      return it->second->plan;
+    }
+    auto bit = building_.find(key);
+    if (bit != building_.end()) {
+      // Another thread is already building this plan: count it as a hit —
+      // this caller pays no preprocessing, which is what the hit rate
+      // measures — and share the build's outcome below.
+      ++hits_;
+      if (cache_hit != nullptr) *cache_hit = true;
+      build = bit->second;
+    } else {
+      ++misses_;
+      if (cache_hit != nullptr) *cache_hit = false;
+      build = std::make_shared<Building>();
+      building_.emplace(key, build);
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> lock(build->mu);
+    build->cv.wait(lock, [&] { return build->done; });
+    if (!build->status.ok()) return build->status;
+    return build->plan;
+  }
+
+  Result<Plan> built = builder();
+  std::shared_ptr<const Plan> plan;
+  if (built.ok()) {
+    plan = std::make_shared<const Plan>(std::move(built.value()));
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.push_front(Entry{key, plan});
+    map_[key] = lru_.begin();
+    resident_bytes_ += plan->resident_bytes;
+    // Evict from the cold end; never the entry just inserted.
+    while (resident_bytes_ > byte_budget_ && lru_.size() > 1) {
+      Entry& victim = lru_.back();
+      resident_bytes_ -= victim.plan->resident_bytes;
+      map_.erase(victim.key);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> cache_lock(mu_);
+    building_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(build->mu);
+    build->done = true;
+    if (built.ok()) {
+      build->plan = plan;
+    } else {
+      build->status = built.status();
+    }
+  }
+  build->cv.notify_all();
+  if (!built.ok()) return built.status();
+  return plan;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.resident_bytes = resident_bytes_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace tilespmv::serve

@@ -1,0 +1,123 @@
+#ifndef TILESPMV_SERVE_PLAN_CACHE_H_
+#define TILESPMV_SERVE_PLAN_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "graph/rwr.h"
+#include "kernels/spmv.h"
+
+namespace tilespmv::serve {
+
+/// The algorithm family a plan was preprocessed for. Each family multiplies
+/// by a different derived matrix (PageRank by W^T, HITS by the 2n x 2n
+/// bipartite matrix, RWR by colnorm(sym(A))), so the plan must be keyed on
+/// it in addition to the graph itself.
+enum class PlanWorkload { kPageRank, kHits, kRwr };
+
+std::string_view PlanWorkloadName(PlanWorkload w);
+
+/// Cache key: matrix content fingerprint + device + kernel + workload.
+/// Iteration-time parameters (damping, restart, tolerance, deadlines) are
+/// deliberately NOT part of the key — they vary per call against the same
+/// plan.
+struct PlanKey {
+  uint64_t fingerprint = 0;
+  std::string device;
+  std::string kernel;
+  PlanWorkload workload = PlanWorkload::kPageRank;
+
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const;
+};
+
+/// An immutable preprocessed plan: the Setup() kernel (reorder + tiling +
+/// packing + tuning already paid) plus, for RWR, the query engine wrapping
+/// it. After construction only const methods are used, so one plan may be
+/// executed by any number of server threads concurrently (the SpMVKernel
+/// thread-safety contract). This is exactly the amortization the paper's
+/// Section 3.1 pipeline assumes: preprocessing is one-off, queries are many.
+struct Plan {
+  std::unique_ptr<SpMVKernel> kernel;
+  /// Non-null iff workload == kRwr; Init()ed on the same kernel.
+  std::unique_ptr<RwrEngine> rwr;
+  int32_t nodes = 0;  ///< Graph node count in original index space.
+  /// Modeled device memory the plan's structures occupy — the unit of the
+  /// cache's byte budget.
+  uint64_t resident_bytes = 0;
+  double build_seconds = 0.0;  ///< Host preprocessing wall time.
+};
+
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t entries = 0;
+};
+
+/// Thread-safe LRU cache of preprocessed plans, bounded by total resident
+/// bytes. Concurrent misses for the same key build the plan once: the first
+/// requester runs the builder while the rest block on its completion and
+/// share the result (builds of *different* keys proceed in parallel).
+class PlanCache {
+ public:
+  explicit PlanCache(uint64_t byte_budget) : byte_budget_(byte_budget) {}
+
+  using Builder = std::function<Result<Plan>()>;
+
+  /// Returns the cached plan for `key`, or runs `builder` to create and
+  /// insert it. Inserting evicts least-recently-used plans until the budget
+  /// holds again (the newly inserted plan itself is never evicted, so a plan
+  /// larger than the whole budget still serves — alone). A failed build is
+  /// not cached; its Status propagates to every waiter. `cache_hit`, if
+  /// non-null, reports whether this caller avoided preprocessing: true for a
+  /// resident plan and for waiters sharing an in-progress build, false only
+  /// for the caller that actually ran the builder.
+  Result<std::shared_ptr<const Plan>> GetOrBuild(const PlanKey& key,
+                                                 const Builder& builder,
+                                                 bool* cache_hit = nullptr);
+
+  PlanCacheStats stats() const;
+
+  uint64_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Entry {
+    PlanKey key;
+    std::shared_ptr<const Plan> plan;
+  };
+  /// Build-in-progress state shared between the builder and its waiters.
+  struct Building {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;                          // Failure, if any.
+    std::shared_ptr<const Plan> plan;       // Success, if any.
+  };
+
+  mutable std::mutex mu_;
+  uint64_t byte_budget_;
+  uint64_t resident_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> map_;
+  std::unordered_map<PlanKey, std::shared_ptr<Building>, PlanKeyHash>
+      building_;
+};
+
+}  // namespace tilespmv::serve
+
+#endif  // TILESPMV_SERVE_PLAN_CACHE_H_

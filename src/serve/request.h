@@ -1,0 +1,56 @@
+#ifndef TILESPMV_SERVE_REQUEST_H_
+#define TILESPMV_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/power_method.h"
+#include "util/status.h"
+
+namespace tilespmv::serve {
+
+/// The graph-mining queries the engine serves — the paper's three iterative
+/// workloads (Appendix F), each executed against a cached preprocessed plan.
+enum class QueryKind { kPageRank, kHits, kRwr };
+
+std::string_view QueryKindName(QueryKind kind);
+
+/// Per-request parameters. Kernel and device select the plan (empty = the
+/// engine's defaults); the numeric knobs are iteration-time only and do not
+/// fragment the plan cache.
+struct QueryParams {
+  std::string kernel;  ///< SpMV kernel name; empty = engine default.
+  std::string device;  ///< "c1060" / "c2050"; empty = engine default.
+  float damping = 0.85f;    ///< PageRank only.
+  float restart = 0.9f;     ///< RWR only: probability of continuing the walk.
+  float tolerance = 1e-5f;
+  int max_iterations = 100;
+  int32_t node = -1;  ///< RWR only: the query node.
+  /// Seconds from submission until the request is worthless; expired
+  /// requests are answered with kDeadlineExceeded instead of executing.
+  /// 0 uses the engine default (which may be "no deadline").
+  double deadline_seconds = 0.0;
+};
+
+/// What the engine hands back, successful or not. `stats` carries the
+/// modeled device cost exactly as the batch tools report it; the serving
+/// metadata below it tells the client what the engine did on its behalf.
+struct QueryResponse {
+  Status status;
+  QueryKind kind = QueryKind::kPageRank;
+  std::vector<float> scores;     ///< PageRank / RWR result vector.
+  std::vector<float> authority;  ///< HITS only.
+  std::vector<float> hub;        ///< HITS only.
+  IterativeResult stats;         ///< Iterations + modeled time (result empty).
+
+  bool plan_cache_hit = false;  ///< Plan served from cache (no preprocessing).
+  bool deduped = false;   ///< Answered by an identical in-flight computation.
+  int batch_size = 1;     ///< >1 when served from a coalesced RWR batch.
+  double queue_seconds = 0.0;       ///< Time spent waiting for a worker.
+  double plan_build_seconds = 0.0;  ///< Preprocessing paid by this request.
+};
+
+}  // namespace tilespmv::serve
+
+#endif  // TILESPMV_SERVE_REQUEST_H_

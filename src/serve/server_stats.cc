@@ -1,0 +1,110 @@
+#include "serve/server_stats.h"
+
+#include <cstdio>
+
+#include "util/stats.h"
+
+namespace tilespmv::serve {
+
+void ServerStats::RecordCompletion(double latency_seconds,
+                                   double modeled_gpu_seconds, bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    ++completed_;
+  } else {
+    ++failed_;
+  }
+  modeled_gpu_seconds_ += modeled_gpu_seconds;
+  latency_sum_ += latency_seconds;
+  ++latency_count_;
+  if (latencies_.size() < kLatencyWindow) {
+    latencies_.push_back(latency_seconds);
+  } else {
+    latencies_[latency_next_] = latency_seconds;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+void ServerStats::RecordShed(StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (code == StatusCode::kDeadlineExceeded) {
+    ++shed_deadline_;
+  } else {
+    ++shed_queue_full_;
+  }
+}
+
+void ServerStats::RecordDedupHit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++dedup_hits_;
+}
+
+void ServerStats::RecordRwrBatch(int queries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rwr_batches_;
+  rwr_batched_queries_ += static_cast<uint64_t>(queries);
+}
+
+ServerStatsSnapshot ServerStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStatsSnapshot s;
+  s.uptime_seconds = uptime_.Seconds();
+  s.completed = completed_;
+  s.failed = failed_;
+  s.shed_queue_full = shed_queue_full_;
+  s.shed_deadline = shed_deadline_;
+  s.dedup_hits = dedup_hits_;
+  s.rwr_batches = rwr_batches_;
+  s.rwr_batched_queries = rwr_batched_queries_;
+  s.qps = s.uptime_seconds > 0
+              ? static_cast<double>(completed_) / s.uptime_seconds
+              : 0.0;
+  s.modeled_gpu_seconds = modeled_gpu_seconds_;
+  s.coalesce_factor =
+      rwr_batches_ > 0 ? static_cast<double>(rwr_batched_queries_) /
+                             static_cast<double>(rwr_batches_)
+                       : 0.0;
+  s.latency_mean_ms =
+      latency_count_ > 0
+          ? latency_sum_ / static_cast<double>(latency_count_) * 1e3
+          : 0.0;
+  s.latency_p50_ms = Percentile(latencies_, 50.0) * 1e3;
+  s.latency_p95_ms = Percentile(latencies_, 95.0) * 1e3;
+  s.latency_p99_ms = Percentile(latencies_, 99.0) * 1e3;
+  return s;
+}
+
+std::string ServerStatsSnapshot::ToJson() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"uptime_seconds\": %.3f, \"qps\": %.2f, \"completed\": %llu, "
+      "\"failed\": %llu, \"shed_queue_full\": %llu, \"shed_deadline\": %llu, "
+      "\"dedup_hits\": %llu, \"latency_ms\": {\"mean\": %.3f, \"p50\": %.3f, "
+      "\"p95\": %.3f, \"p99\": %.3f}, \"plan_cache\": {\"hits\": %llu, "
+      "\"misses\": %llu, \"evictions\": %llu, \"resident_bytes\": %llu, "
+      "\"entries\": %llu, \"hit_rate\": %.3f}, \"coalescing\": "
+      "{\"rwr_batches\": %llu, \"rwr_batched_queries\": %llu, "
+      "\"coalesce_factor\": %.2f}, \"modeled_gpu_seconds\": %.6f}",
+      uptime_seconds, qps, static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(shed_queue_full),
+      static_cast<unsigned long long>(shed_deadline),
+      static_cast<unsigned long long>(dedup_hits), latency_mean_ms,
+      latency_p50_ms, latency_p95_ms, latency_p99_ms,
+      static_cast<unsigned long long>(plan_hits),
+      static_cast<unsigned long long>(plan_misses),
+      static_cast<unsigned long long>(plan_evictions),
+      static_cast<unsigned long long>(plan_resident_bytes),
+      static_cast<unsigned long long>(plan_entries),
+      plan_hits + plan_misses > 0
+          ? static_cast<double>(plan_hits) /
+                static_cast<double>(plan_hits + plan_misses)
+          : 0.0,
+      static_cast<unsigned long long>(rwr_batches),
+      static_cast<unsigned long long>(rwr_batched_queries), coalesce_factor,
+      modeled_gpu_seconds);
+  return buf;
+}
+
+}  // namespace tilespmv::serve

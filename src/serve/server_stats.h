@@ -1,0 +1,78 @@
+#ifndef TILESPMV_SERVE_SERVER_STATS_H_
+#define TILESPMV_SERVE_SERVER_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace tilespmv::serve {
+
+/// Point-in-time view of a running Engine, dumpable as JSON (the schema is
+/// documented in docs/SERVING.md). Latency percentiles cover the most recent
+/// window of completed requests; `modeled_gpu_seconds` is the billed device
+/// time, which coalescing shrinks even when host wall time does not.
+struct ServerStatsSnapshot {
+  double uptime_seconds = 0.0;
+  uint64_t completed = 0;  ///< Responses delivered with OK status.
+  uint64_t failed = 0;     ///< Non-OK responses other than sheds.
+  uint64_t shed_queue_full = 0;  ///< Admission-control rejections.
+  uint64_t shed_deadline = 0;    ///< Requests expired before/while queued.
+  uint64_t dedup_hits = 0;  ///< Requests answered by an identical in-flight run.
+  uint64_t rwr_batches = 0;          ///< Coalesced RWR batch executions.
+  uint64_t rwr_batched_queries = 0;  ///< RWR queries served through them.
+  uint64_t plan_hits = 0;
+  uint64_t plan_misses = 0;
+  uint64_t plan_evictions = 0;
+  uint64_t plan_resident_bytes = 0;
+  uint64_t plan_entries = 0;
+  double qps = 0.0;  ///< Completed requests per second of uptime.
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double modeled_gpu_seconds = 0.0;
+  /// Average RWR batch size: rwr_batched_queries / rwr_batches (0 if none).
+  double coalesce_factor = 0.0;
+
+  std::string ToJson() const;
+};
+
+/// Thread-safe accumulator behind Engine::stats(). The plan-cache fields of
+/// the snapshot are filled in by the Engine from its PlanCache.
+class ServerStats {
+ public:
+  void RecordCompletion(double latency_seconds, double modeled_gpu_seconds,
+                        bool ok);
+  void RecordShed(StatusCode code);
+  void RecordDedupHit();
+  void RecordRwrBatch(int queries);
+
+  ServerStatsSnapshot Snapshot() const;
+
+ private:
+  /// Latency reservoir size; old samples are overwritten ring-buffer style.
+  static constexpr size_t kLatencyWindow = 8192;
+
+  mutable std::mutex mu_;
+  WallTimer uptime_;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t shed_queue_full_ = 0;
+  uint64_t shed_deadline_ = 0;
+  uint64_t dedup_hits_ = 0;
+  uint64_t rwr_batches_ = 0;
+  uint64_t rwr_batched_queries_ = 0;
+  double modeled_gpu_seconds_ = 0.0;
+  double latency_sum_ = 0.0;
+  uint64_t latency_count_ = 0;
+  std::vector<double> latencies_;
+  size_t latency_next_ = 0;
+};
+
+}  // namespace tilespmv::serve
+
+#endif  // TILESPMV_SERVE_SERVER_STATS_H_

@@ -1,10 +1,32 @@
 #include "sparse/csr.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/check.h"
 
 namespace tilespmv {
+namespace {
+
+// FNV-1a, 64-bit.
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t h, const void* data, size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <typename T>
+uint64_t FnvMixVector(uint64_t h, const std::vector<T>& v) {
+  return FnvMix(h, v.data(), v.size() * sizeof(T));
+}
+
+}  // namespace
 
 std::vector<int64_t> CsrMatrix::RowLengths() const {
   std::vector<int64_t> lengths(rows);
@@ -73,6 +95,16 @@ CsrMatrix CsrMatrix::FromTriplets(int32_t rows, int32_t cols,
   }
   for (int32_t r = 0; r < rows; ++r) m.row_ptr[r + 1] += m.row_ptr[r];
   return m;
+}
+
+uint64_t FingerprintCsr(const CsrMatrix& a) {
+  uint64_t h = kFnvOffset;
+  int64_t header[3] = {a.rows, a.cols, a.nnz()};
+  h = FnvMix(h, header, sizeof(header));
+  h = FnvMixVector(h, a.row_ptr);
+  h = FnvMixVector(h, a.col_idx);
+  h = FnvMixVector(h, a.values);
+  return h;
 }
 
 void CsrMultiply(const CsrMatrix& a, const std::vector<float>& x,

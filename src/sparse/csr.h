@@ -49,6 +49,13 @@ struct CsrMatrix {
 void CsrMultiply(const CsrMatrix& a, const std::vector<float>& x,
                  std::vector<float>* y);
 
+/// 64-bit content fingerprint: dimensions, nnz, and an FNV-1a hash over the
+/// row_ptr, col_idx and values arrays. Matrices that differ structurally
+/// (permuted, edited, resized) get distinct fingerprints with overwhelming
+/// probability. One O(nnz) pass — cheap next to any preprocessing — computed
+/// once per loaded graph and used as the serving layer's PlanCache key.
+uint64_t FingerprintCsr(const CsrMatrix& a);
+
 }  // namespace tilespmv
 
 #endif  // TILESPMV_SPARSE_CSR_H_

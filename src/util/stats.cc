@@ -46,6 +46,17 @@ double EstimatePowerLawAlpha(const std::vector<int64_t>& lengths,
   return 1.0 + static_cast<double>(n) / log_sum;
 }
 
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 100.0);
+  double rank = q / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
 bool LooksPowerLaw(const LengthDistribution& dist) {
   if (dist.count < 100 || dist.total <= 0) return false;
   // A heavy tail: the densest 1% of rows/columns carries far more than 1% of

@@ -34,6 +34,11 @@ double EstimatePowerLawAlpha(const std::vector<int64_t>& lengths,
 /// Table 2 does: skewed length distribution with a heavy tail.
 bool LooksPowerLaw(const LengthDistribution& dist);
 
+/// Linearly-interpolated q-th percentile (q in [0, 100]) of a sample, taken
+/// by value because it sorts. Returns 0 for an empty sample. Used by the
+/// serving layer for latency p50/p95/p99.
+double Percentile(std::vector<double> values, double q);
+
 }  // namespace tilespmv
 
 #endif  // TILESPMV_UTIL_STATS_H_

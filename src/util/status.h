@@ -10,7 +10,9 @@ namespace tilespmv {
 /// Error category for a failed operation. Mirrors the small set of failure
 /// modes the library can hit: bad user input, a format that cannot represent
 /// the given matrix (e.g. DIA on a power-law graph), resource exhaustion
-/// (device memory), and I/O failures.
+/// (device memory), I/O failures, and — for the serving layer — requests
+/// shed by admission control (kUnavailable) or expired in queue
+/// (kDeadlineExceeded).
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -18,6 +20,8 @@ enum class StatusCode {
   kResourceExhausted,
   kIoError,
   kInternal,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Arrow/RocksDB-style status object. The library does not throw across API
@@ -43,6 +47,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

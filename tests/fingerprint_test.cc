@@ -1,0 +1,88 @@
+// Tests for the CSR content fingerprint that keys the serving plan cache:
+// identical content must agree, and any structural difference — edited
+// values, permuted entries, changed dimensions — must (with overwhelming
+// probability) disagree.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "gen/power_law.h"
+#include "sparse/csr.h"
+
+namespace tilespmv {
+namespace {
+
+CsrMatrix TestGraph(uint64_t seed = 151) {
+  return GenerateRmat(2500, 20000, RmatOptions{.seed = seed});
+}
+
+TEST(FingerprintCsrTest, IdenticalContentAgrees) {
+  CsrMatrix a = TestGraph();
+  CsrMatrix b = TestGraph();
+  EXPECT_EQ(FingerprintCsr(a), FingerprintCsr(b));
+
+  CsrMatrix copy = a;
+  EXPECT_EQ(FingerprintCsr(a), FingerprintCsr(copy));
+}
+
+TEST(FingerprintCsrTest, DifferentGraphsDisagree) {
+  EXPECT_NE(FingerprintCsr(TestGraph(151)), FingerprintCsr(TestGraph(152)));
+}
+
+TEST(FingerprintCsrTest, SingleValueEditDisagrees) {
+  CsrMatrix a = TestGraph();
+  CsrMatrix b = a;
+  b.values[b.values.size() / 2] += 1.0f;
+  EXPECT_NE(FingerprintCsr(a), FingerprintCsr(b));
+}
+
+TEST(FingerprintCsrTest, SingleColumnEditDisagrees) {
+  CsrMatrix a = TestGraph();
+  CsrMatrix b = a;
+  // Move one entry to a different column (stays in range; ordering within
+  // the row is irrelevant to the hash, which covers raw bytes).
+  b.col_idx[0] = (b.col_idx[0] + 1) % b.cols;
+  EXPECT_NE(FingerprintCsr(a), FingerprintCsr(b));
+}
+
+TEST(FingerprintCsrTest, PermutedEntriesDisagree) {
+  CsrMatrix a = TestGraph();
+  // Find a row with at least two entries and swap them (values too): the
+  // logical matrix is unchanged, but the stored layout — what preprocessing
+  // consumes — is not, so the fingerprint must differ.
+  CsrMatrix b = a;
+  for (int32_t r = 0; r < b.rows; ++r) {
+    int64_t lo = b.row_ptr[r], hi = b.row_ptr[r + 1];
+    if (hi - lo >= 2 && b.col_idx[lo] != b.col_idx[lo + 1]) {
+      std::swap(b.col_idx[lo], b.col_idx[lo + 1]);
+      std::swap(b.values[lo], b.values[lo + 1]);
+      break;
+    }
+  }
+  EXPECT_NE(FingerprintCsr(a), FingerprintCsr(b));
+}
+
+TEST(FingerprintCsrTest, ResizedMatrixDisagrees) {
+  CsrMatrix a = TestGraph();
+  // Append one empty row: same nnz, same entry arrays, different shape.
+  CsrMatrix b = a;
+  b.rows += 1;
+  b.row_ptr.push_back(b.row_ptr.back());
+  ASSERT_EQ(b.Validate().code(), StatusCode::kOk);
+  EXPECT_NE(FingerprintCsr(a), FingerprintCsr(b));
+}
+
+TEST(FingerprintCsrTest, DimensionsAloneDistinguishEmptyMatrices) {
+  CsrMatrix a;
+  a.rows = 3;
+  a.cols = 3;
+  a.row_ptr.assign(4, 0);
+  CsrMatrix b;
+  b.rows = 4;
+  b.cols = 4;
+  b.row_ptr.assign(5, 0);
+  EXPECT_NE(FingerprintCsr(a), FingerprintCsr(b));
+}
+
+}  // namespace
+}  // namespace tilespmv

@@ -1,0 +1,428 @@
+// Tests for the serving engine: concurrent bitwise agreement with the batch
+// APIs, plan-cache LRU eviction and build dedup, admission control and
+// deadline shedding, and RWR coalescing. Run under ThreadSanitizer in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gen/power_law.h"
+#include "graph/hits.h"
+#include "graph/pagerank.h"
+#include "graph/rwr.h"
+#include "gpusim/device_spec.h"
+#include "kernels/spmv.h"
+#include "serve/engine.h"
+#include "serve/plan_cache.h"
+#include "serve/server_stats.h"
+#include "sparse/convert.h"
+
+namespace tilespmv::serve {
+namespace {
+
+CsrMatrix TestGraph(uint64_t seed = 151) {
+  return GenerateRmat(1500, 12000, RmatOptions{.seed = seed});
+}
+
+gpusim::DeviceSpec TestDevice() {
+  gpusim::DeviceSpec spec;
+  EXPECT_TRUE(gpusim::DeviceSpecByName("c1060", &spec));
+  return spec;
+}
+
+constexpr char kKernel[] = "tile-composite";
+
+// Shared iteration parameters: the engine and the serial references must run
+// the exact same FP schedule for bitwise comparison.
+constexpr float kDamping = 0.85f;
+constexpr float kRestart = 0.9f;
+constexpr float kTolerance = 1e-5f;
+constexpr int kMaxIterations = 60;
+
+QueryParams BaseParams() {
+  QueryParams p;
+  p.damping = kDamping;
+  p.restart = kRestart;
+  p.tolerance = kTolerance;
+  p.max_iterations = kMaxIterations;
+  return p;
+}
+
+// Parks an engine worker for the engine's batch window: the RWR flush task
+// sleeps out the window on the worker thread, so (with one worker)
+// everything submitted meanwhile stays queued or is shed — which makes the
+// shedding and dedup tests below deterministic. Returns the RWR future.
+std::future<QueryResponse> ParkWorker(Engine* engine) {
+  QueryParams params = BaseParams();
+  params.node = 0;
+  return engine->Submit("g", QueryKind::kRwr, params);
+}
+
+TEST(ServeEngineTest, ConcurrentQueriesBitwiseMatchSerial) {
+  CsrMatrix graph = TestGraph();
+
+  // Serial references through the same prepared-plan code paths.
+  std::vector<float> ref_pagerank;
+  {
+    auto kernel = CreateKernel(kKernel, TestDevice());
+    ASSERT_EQ(kernel->Setup(PageRankMatrix(graph)).code(), StatusCode::kOk);
+    PageRankOptions opts;
+    opts.damping = kDamping;
+    opts.tolerance = kTolerance;
+    opts.max_iterations = kMaxIterations;
+    Result<IterativeResult> r = RunPageRankPrepared(*kernel, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ref_pagerank = std::move(r.value().result);
+  }
+  std::vector<float> ref_authority, ref_hub;
+  {
+    auto kernel = CreateKernel(kKernel, TestDevice());
+    ASSERT_EQ(kernel->Setup(BuildHitsMatrix(graph)).code(), StatusCode::kOk);
+    HitsOptions opts;
+    opts.tolerance = kTolerance;
+    opts.max_iterations = kMaxIterations;
+    Result<HitsScores> r = RunHitsPrepared(*kernel, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ref_authority = std::move(r.value().authority);
+    ref_hub = std::move(r.value().hub);
+  }
+  const int32_t rwr_node = 7;
+  std::vector<float> ref_rwr;
+  {
+    auto kernel = CreateKernel(kKernel, TestDevice());
+    RwrEngine rwr(kernel.get());
+    ASSERT_EQ(rwr.Init(graph, RwrOptions{}).code(), StatusCode::kOk);
+    RwrOptions opts;
+    opts.restart = kRestart;
+    opts.tolerance = kTolerance;
+    opts.max_iterations = kMaxIterations;
+    Result<RwrResult> r = rwr.Query(rwr_node, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ref_rwr = std::move(r.value().scores);
+  }
+
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.batch_window_seconds = 0.001;
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", graph).code(), StatusCode::kOk);
+
+  constexpr int kClients = 8;
+  constexpr int kRounds = 2;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        QueryParams params = BaseParams();
+        QueryResponse pr = engine.Query("g", QueryKind::kPageRank, params);
+        QueryResponse hits = engine.Query("g", QueryKind::kHits, params);
+        params.node = rwr_node;
+        QueryResponse rwr = engine.Query("g", QueryKind::kRwr, params);
+        if (!pr.status.ok() || !hits.status.ok() || !rwr.status.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Bitwise: the engine runs the identical FP schedule.
+        if (pr.scores != ref_pagerank) mismatches.fetch_add(1);
+        if (hits.authority != ref_authority) mismatches.fetch_add(1);
+        if (hits.hub != ref_hub) mismatches.fetch_add(1);
+        if (rwr.scores != ref_rwr) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  ServerStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.completed,
+            static_cast<uint64_t>(kClients * kRounds * 3));
+  // Three workloads on one graph = exactly three plans built, ever.
+  EXPECT_EQ(stats.plan_misses, 3u);
+  EXPECT_GT(stats.plan_hits + stats.dedup_hits + stats.rwr_batched_queries,
+            0u);
+}
+
+TEST(ServeEngineTest, DedupAnswersIdenticalInFlightOnce) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  opts.batch_window_seconds = 0.2;
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", TestGraph()).code(), StatusCode::kOk);
+
+  // Park the only worker in an RWR batch window so the PageRank leader
+  // stays queued while the identical submissions below attach to it.
+  std::future<QueryResponse> parked = ParkWorker(&engine);
+
+  constexpr int kDup = 4;
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < kDup; ++i) {
+    futures.push_back(engine.Submit("g", QueryKind::kPageRank, BaseParams()));
+  }
+  std::vector<QueryResponse> responses;
+  for (auto& f : futures) responses.push_back(f.get());
+  EXPECT_EQ(parked.get().status.code(), StatusCode::kOk);
+
+  int deduped = 0;
+  for (const QueryResponse& r : responses) {
+    ASSERT_EQ(r.status.code(), StatusCode::kOk) << r.status.ToString();
+    if (r.deduped) ++deduped;
+    EXPECT_EQ(r.scores, responses[0].scores);
+  }
+  EXPECT_EQ(deduped, kDup - 1);
+  EXPECT_EQ(engine.stats().dedup_hits, static_cast<uint64_t>(kDup - 1));
+}
+
+TEST(ServeEngineTest, CoalescedBatchBitwiseMatchesSingleQueries) {
+  CsrMatrix graph = TestGraph(152);
+
+  auto kernel = CreateKernel(kKernel, TestDevice());
+  RwrEngine serial(kernel.get());
+  ASSERT_EQ(serial.Init(graph, RwrOptions{}).code(), StatusCode::kOk);
+  RwrOptions serial_opts;
+  serial_opts.restart = kRestart;
+  serial_opts.tolerance = kTolerance;
+  serial_opts.max_iterations = kMaxIterations;
+
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.batch_window_seconds = 0.05;  // Wide window: all queries coalesce.
+  opts.max_batch = 8;
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", graph).code(), StatusCode::kOk);
+
+  constexpr int kQueries = 8;
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < kQueries; ++i) {
+    QueryParams params = BaseParams();
+    params.node = i * 11 % graph.rows;
+    futures.push_back(engine.Submit("g", QueryKind::kRwr, params));
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    QueryResponse r = futures[i].get();
+    ASSERT_EQ(r.status.code(), StatusCode::kOk) << r.status.ToString();
+    EXPECT_GE(r.batch_size, 4) << "query " << i << " was not coalesced";
+    Result<RwrResult> ref = serial.Query(i * 11 % graph.rows, serial_opts);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(r.scores, ref.value().scores) << "query " << i;
+  }
+  ServerStatsSnapshot stats = engine.stats();
+  EXPECT_GE(stats.rwr_batched_queries, static_cast<uint64_t>(kQueries));
+  EXPECT_GE(stats.coalesce_factor, 4.0);
+}
+
+TEST(ServeEngineTest, AdmissionControlShedsWhenQueueFull) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  opts.max_pending = 3;
+  opts.batch_window_seconds = 0.25;  // The parked worker sleeps this long.
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", TestGraph()).code(), StatusCode::kOk);
+
+  // One pending slot goes to the parked RWR query; nothing can complete
+  // until its batch window elapses, so the burst below fills the remaining
+  // two slots and sheds the rest — deterministically.
+  std::future<QueryResponse> parked = ParkWorker(&engine);
+
+  constexpr int kBurst = 8;
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < kBurst; ++i) {
+    // Distinct damping values defeat dedup: each submission needs a slot.
+    QueryParams params = BaseParams();
+    params.damping = 0.5f + 0.01f * static_cast<float>(i);
+    futures.push_back(engine.Submit("g", QueryKind::kPageRank, params));
+  }
+  int ok = 0, shed = 0;
+  for (auto& f : futures) {
+    QueryResponse r = f.get();
+    if (r.status.ok()) ++ok;
+    else if (r.status.code() == StatusCode::kUnavailable) ++shed;
+  }
+  EXPECT_EQ(parked.get().status.code(), StatusCode::kOk);
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(shed, kBurst - 2);
+  EXPECT_GE(engine.stats().shed_queue_full, static_cast<uint64_t>(shed));
+}
+
+TEST(ServeEngineTest, DeadlineExpiredInQueueIsShed) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  opts.batch_window_seconds = 0.2;
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", TestGraph()).code(), StatusCode::kOk);
+
+  // The parked worker cannot reach the PageRank request for ~200 ms; its
+  // 50 ms deadline is guaranteed to have expired by then.
+  std::future<QueryResponse> parked = ParkWorker(&engine);
+  QueryParams hurried = BaseParams();
+  hurried.deadline_seconds = 0.05;
+  std::future<QueryResponse> expired =
+      engine.Submit("g", QueryKind::kPageRank, hurried);
+
+  QueryResponse r = expired.get();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded)
+      << r.status.ToString();
+  EXPECT_EQ(parked.get().status.code(), StatusCode::kOk);
+  EXPECT_GE(engine.stats().shed_deadline, 1u);
+}
+
+TEST(ServeEngineTest, InvalidRequestsGetTypedErrors) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", TestGraph()).code(), StatusCode::kOk);
+
+  EXPECT_EQ(engine.Query("nope", QueryKind::kPageRank).status.code(),
+            StatusCode::kInvalidArgument);
+
+  QueryParams bad_kernel = BaseParams();
+  bad_kernel.kernel = "no-such-kernel";
+  EXPECT_EQ(engine.Query("g", QueryKind::kPageRank, bad_kernel).status.code(),
+            StatusCode::kInvalidArgument);
+
+  QueryParams bad_device = BaseParams();
+  bad_device.device = "h100";
+  EXPECT_EQ(engine.Query("g", QueryKind::kPageRank, bad_device).status.code(),
+            StatusCode::kInvalidArgument);
+
+  QueryParams bad_node = BaseParams();
+  bad_node.node = 1 << 30;
+  EXPECT_EQ(engine.Query("g", QueryKind::kRwr, bad_node).status.code(),
+            StatusCode::kInvalidArgument);
+
+  engine.Shutdown();
+  EXPECT_EQ(engine.Query("g", QueryKind::kPageRank).status.code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(ServeEngineTest, RejectsNonSquareGraph) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  Engine engine(opts);
+  CsrMatrix rect = GenerateRmatRect(100, 50, 400, RmatOptions{.seed = 9});
+  EXPECT_EQ(engine.AddGraph("r", std::move(rect)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- PlanCache unit tests (builder returns synthetic plans). ---
+
+Plan FakePlan(uint64_t bytes) {
+  Plan p;
+  p.resident_bytes = bytes;
+  return p;
+}
+
+PlanKey KeyFor(const std::string& kernel) {
+  PlanKey k;
+  k.fingerprint = 42;
+  k.device = "c1060";
+  k.kernel = kernel;
+  k.workload = PlanWorkload::kRwr;
+  return k;
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsedToHoldByteBudget) {
+  PlanCache cache(250);
+  auto build100 = [] { return Result<Plan>(FakePlan(100)); };
+
+  bool hit = true;
+  ASSERT_TRUE(cache.GetOrBuild(KeyFor("a"), build100, &hit).ok());
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE(cache.GetOrBuild(KeyFor("b"), build100, &hit).ok());
+  ASSERT_TRUE(cache.GetOrBuild(KeyFor("c"), build100, &hit).ok());
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_LE(stats.resident_bytes, 250u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);  // "a" was least recently used.
+
+  // "b" is still resident; "a" must rebuild.
+  ASSERT_TRUE(cache.GetOrBuild(KeyFor("b"), build100, &hit).ok());
+  EXPECT_TRUE(hit);
+  ASSERT_TRUE(cache.GetOrBuild(KeyFor("a"), build100, &hit).ok());
+  EXPECT_FALSE(hit);
+  EXPECT_LE(cache.stats().resident_bytes, 250u);
+}
+
+TEST(PlanCacheTest, OversizedPlanServesAlone) {
+  PlanCache cache(100);
+  bool hit = false;
+  Result<std::shared_ptr<const Plan>> r = cache.GetOrBuild(
+      KeyFor("big"), [] { return Result<Plan>(FakePlan(1000)); }, &hit);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->resident_bytes, 1000u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(PlanCacheTest, ConcurrentMissesBuildOnce) {
+  PlanCache cache(1 << 20);
+  std::atomic<int> builds{0};
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const Plan>> plans(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Result<std::shared_ptr<const Plan>> r = cache.GetOrBuild(
+          KeyFor("shared"), [&] {
+            builds.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            return Result<Plan>(FakePlan(64));
+          });
+      ASSERT_TRUE(r.ok());
+      plans[t] = r.value();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(builds.load(), 1);
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(plans[t], plans[0]);
+}
+
+TEST(PlanCacheTest, FailedBuildIsNotCached) {
+  PlanCache cache(1 << 20);
+  int attempts = 0;
+  auto failing = [&]() -> Result<Plan> {
+    ++attempts;
+    return Status::Internal("boom");
+  };
+  EXPECT_EQ(cache.GetOrBuild(KeyFor("x"), failing).status().code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(cache.GetOrBuild(KeyFor("x"), failing).status().code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(attempts, 2);  // Second call re-ran the builder: no negative cache.
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ServerStatsTest, SnapshotAndJson) {
+  ServerStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.RecordCompletion(i * 1e-3, 1e-4, true);
+  }
+  stats.RecordShed(StatusCode::kUnavailable);
+  stats.RecordShed(StatusCode::kDeadlineExceeded);
+  stats.RecordDedupHit();
+  stats.RecordRwrBatch(8);
+
+  ServerStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.completed, 100u);
+  EXPECT_EQ(snap.shed_queue_full, 1u);
+  EXPECT_EQ(snap.shed_deadline, 1u);
+  EXPECT_EQ(snap.rwr_batches, 1u);
+  EXPECT_EQ(snap.rwr_batched_queries, 8u);
+  EXPECT_NEAR(snap.latency_p50_ms, 50.0, 2.0);
+  EXPECT_GE(snap.latency_p95_ms, snap.latency_p50_ms);
+  EXPECT_GE(snap.latency_p99_ms, snap.latency_p95_ms);
+  EXPECT_NEAR(snap.modeled_gpu_seconds, 100 * 1e-4, 1e-9);
+  EXPECT_NE(snap.ToJson().find("\"latency_ms\""), std::string::npos);
+  EXPECT_NE(snap.ToJson().find("\"plan_cache\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tilespmv::serve

@@ -17,11 +17,14 @@
 // Extensions: .mtx MatrixMarket, .bin tilespmv binary, anything else is
 // parsed as a whitespace edge list.
 #include <algorithm>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <numeric>
 #include <string>
+#include <vector>
 
 #include "core/kernel_select.h"
 #include "core/tile_composite.h"
@@ -34,6 +37,7 @@
 #include "io/edge_list.h"
 #include "io/matrix_market.h"
 #include "kernels/spmv.h"
+#include "serve/engine.h"
 #include "sparse/matrix_stats.h"
 #include "util/ascii_plot.h"
 
@@ -48,29 +52,80 @@ struct Flags {
   int top = 10;
   std::vector<int32_t> nodes;  // --node=K or --node=K1,K2,...
   bool verbose = false;
+  // serve subcommand.
+  int threads = 4;
+  int queries = 64;
+  double window_ms = 2.0;
 };
 
-Flags ParseFlags(int argc, char** argv, int first) {
-  Flags f;
+/// Parses the whole string as a double; rejects trailing garbage.
+bool ParseDouble(const char* s, double* out) {
+  if (*s == '\0') return false;
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+/// Parses the whole string as an int; rejects trailing garbage and overflow.
+bool ParseInt(const char* s, int* out) {
+  if (*s == '\0') return false;
+  char* end = nullptr;
+  long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  if (v < INT_MIN || v > INT_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+/// Strict flag parsing: unknown flags and malformed values are errors, not
+/// silently ignored/zeroed.
+Status ParseFlags(int argc, char** argv, int first, Flags* f) {
   for (int i = first; i < argc; ++i) {
     const char* a = argv[i];
-    if (std::strncmp(a, "--kernel=", 9) == 0) f.kernel = a + 9;
-    else if (std::strncmp(a, "--device=", 9) == 0) f.device = a + 9;
-    else if (std::strncmp(a, "--damping=", 10) == 0) f.damping = atof(a + 10);
-    else if (std::strncmp(a, "--scale=", 8) == 0) f.scale = atof(a + 8);
-    else if (std::strncmp(a, "--top=", 6) == 0) f.top = atoi(a + 6);
-    else if (std::strncmp(a, "--node=", 7) == 0) {
+    if (std::strncmp(a, "--kernel=", 9) == 0) {
+      f->kernel = a + 9;
+    } else if (std::strncmp(a, "--device=", 9) == 0) {
+      f->device = a + 9;
+    } else if (std::strncmp(a, "--damping=", 10) == 0) {
+      if (!ParseDouble(a + 10, &f->damping))
+        return Status::InvalidArgument(std::string("bad number in ") + a);
+    } else if (std::strncmp(a, "--scale=", 8) == 0) {
+      if (!ParseDouble(a + 8, &f->scale))
+        return Status::InvalidArgument(std::string("bad number in ") + a);
+    } else if (std::strncmp(a, "--top=", 6) == 0) {
+      if (!ParseInt(a + 6, &f->top))
+        return Status::InvalidArgument(std::string("bad number in ") + a);
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      if (!ParseInt(a + 10, &f->threads) || f->threads < 1)
+        return Status::InvalidArgument(std::string("bad number in ") + a);
+    } else if (std::strncmp(a, "--queries=", 10) == 0) {
+      if (!ParseInt(a + 10, &f->queries) || f->queries < 1)
+        return Status::InvalidArgument(std::string("bad number in ") + a);
+    } else if (std::strncmp(a, "--window-ms=", 12) == 0) {
+      if (!ParseDouble(a + 12, &f->window_ms) || f->window_ms < 0)
+        return Status::InvalidArgument(std::string("bad number in ") + a);
+    } else if (std::strncmp(a, "--node=", 7) == 0) {
       const char* p = a + 7;
-      while (*p) {
-        f.nodes.push_back(atoi(p));
+      for (;;) {
         const char* comma = std::strchr(p, ',');
+        std::string piece =
+            comma == nullptr ? std::string(p) : std::string(p, comma);
+        int node = 0;
+        if (!ParseInt(piece.c_str(), &node))
+          return Status::InvalidArgument(std::string("bad number in ") + a);
+        f->nodes.push_back(node);
         if (comma == nullptr) break;
         p = comma + 1;
       }
+    } else if (std::strcmp(a, "--verbose") == 0) {
+      f->verbose = true;
+    } else {
+      return Status::InvalidArgument(std::string("unknown flag ") + a);
     }
-    else if (std::strcmp(a, "--verbose") == 0) f.verbose = true;
   }
-  return f;
+  return Status::OK();
 }
 
 bool EndsWith(const std::string& s, const char* suffix) {
@@ -272,6 +327,67 @@ int CmdRwr(const std::string& path, const Flags& f) {
   return 0;
 }
 
+/// Stands up a serving engine on the loaded graph and drives a synthetic
+/// mixed workload through it (half RWR — which coalesces — plus repeated
+/// identical PageRank and HITS queries — which dedup), then dumps the
+/// engine's stats JSON. A smoke-testable miniature of the serving story;
+/// bench_serve measures it properly.
+int CmdServe(const std::string& path, const Flags& f) {
+  Result<CsrMatrix> a = Load(path);
+  if (!a.ok()) return Fail(a.status());
+  const int32_t n = a.value().rows;
+  if (n == 0) return Fail(Status::InvalidArgument("empty graph"));
+
+  serve::EngineOptions opts;
+  opts.num_threads = f.threads;
+  opts.batch_window_seconds = f.window_ms * 1e-3;
+  opts.default_kernel = f.kernel;
+  opts.default_device = f.device;
+  serve::Engine engine(opts);
+  Status st = engine.AddGraph("g", a.take());
+  if (!st.ok()) return Fail(st);
+
+  std::vector<std::future<serve::QueryResponse>> futures;
+  futures.reserve(static_cast<size_t>(f.queries));
+  for (int i = 0; i < f.queries; ++i) {
+    serve::QueryKind kind;
+    serve::QueryParams params;
+    params.damping = static_cast<float>(f.damping);
+    if (i % 4 == 0) {
+      kind = serve::QueryKind::kPageRank;
+    } else if (i % 4 == 1) {
+      kind = serve::QueryKind::kHits;
+    } else {
+      kind = serve::QueryKind::kRwr;
+      params.node = static_cast<int32_t>(i) % n;
+    }
+    futures.push_back(engine.Submit("g", kind, params));
+  }
+
+  int ok = 0, failed = 0, cache_hits = 0, deduped = 0, batched = 0;
+  for (auto& fut : futures) {
+    serve::QueryResponse r = fut.get();
+    if (r.status.ok()) {
+      ++ok;
+      if (r.plan_cache_hit) ++cache_hits;
+      if (r.deduped) ++deduped;
+      if (r.batch_size > 1) ++batched;
+    } else {
+      ++failed;
+      if (f.verbose)
+        std::fprintf(stderr, "query failed: %s\n",
+                     r.status.ToString().c_str());
+    }
+  }
+  engine.Shutdown();
+  std::printf(
+      "served %d queries (%d ok, %d failed): %d plan-cache hits, "
+      "%d deduped, %d in coalesced batches\n",
+      f.queries, ok, failed, cache_hits, deduped, batched);
+  std::printf("%s\n", engine.stats().ToJson().c_str());
+  return failed == 0 ? 0 : 1;
+}
+
 int CmdConvert(const std::string& in, const std::string& out) {
   Result<CsrMatrix> a = Load(in);
   if (!a.ok()) return Fail(a.status());
@@ -297,9 +413,10 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: spmv_cli <stats|spmv|autotune|pagerank|hits|rwr|katz|salsa|"
-      "convert|generate> <args...>\n"
+      "serve|convert|generate> <args...>\n"
       "  flags: --kernel=NAME|auto --device=c1060|c2050 --damping=F "
       "--top=N --node=K --scale=F\n"
+      "  serve: --threads=N --queries=N --window-ms=F\n"
       "  kernels:");
   for (const std::string& k : tilespmv::AllKernelNames()) {
     std::fprintf(stderr, " %s", k.c_str());
@@ -312,7 +429,15 @@ int Main(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string cmd = argv[1];
   std::string arg = argv[2];
-  Flags flags = ParseFlags(argc, argv, 3);
+  // convert/generate take a second positional argument before the flags.
+  const bool two_positional = cmd == "convert" || cmd == "generate";
+  Flags flags;
+  Status parse = ParseFlags(argc, argv, two_positional ? 4 : 3, &flags);
+  if (!parse.ok()) {
+    std::fprintf(stderr, "error: %s\n", parse.ToString().c_str());
+    Usage();
+    return 2;
+  }
   if (cmd == "stats") return CmdStats(arg);
   if (cmd == "spmv") return CmdSpmv(arg, flags);
   if (cmd == "autotune") return CmdAutotune(arg, flags);
@@ -321,9 +446,9 @@ int Main(int argc, char** argv) {
   if (cmd == "rwr") return CmdRwr(arg, flags);
   if (cmd == "katz") return CmdKatz(arg, flags);
   if (cmd == "salsa") return CmdSalsa(arg, flags);
+  if (cmd == "serve") return CmdServe(arg, flags);
   if (cmd == "convert" && argc >= 4) return CmdConvert(arg, argv[3]);
-  if (cmd == "generate" && argc >= 4)
-    return CmdGenerate(arg, argv[3], ParseFlags(argc, argv, 4));
+  if (cmd == "generate" && argc >= 4) return CmdGenerate(arg, argv[3], flags);
   return Usage();
 }
 
