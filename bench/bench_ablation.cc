@@ -62,6 +62,12 @@ int Run(int argc, char** argv) {
     std::printf("%-12s %10.2f %10.2f %14.2f | %11.1f%% %11.1f%%\n", label,
                 coo, tcoo, tcomp, 100 * (tcoo / coo - 1),
                 100 * (tcomp / tcoo - 1));
+    JsonReporter::Global().Add(std::string(label) + "/coo", "ablation", 0.0,
+                               coo, 1);
+    JsonReporter::Global().Add(std::string(label) + "/tile-coo", "ablation",
+                               0.0, tcoo, 1);
+    JsonReporter::Global().Add(std::string(label) + "/tile-composite",
+                               "ablation", 0.0, tcomp, 1);
   }
 
   std::printf("\n=== Ablation 3: partition-camping pad ===\n");
@@ -87,6 +93,10 @@ int Run(int argc, char** argv) {
     std::printf("camping pad %-3s: %8.2f GFLOPS  worst camping factor %.2f\n",
                 pad ? "on" : "off", k.timing().gflops(),
                 k.timing().worst_camping_factor);
+    JsonReporter::Global().Add("camping-pad",
+                               pad ? "pad=on" : "pad=off",
+                               k.timing().seconds * 1e3,
+                               k.timing().gflops(), 1);
   }
 
   std::printf("\n=== Ablation 4: row-partitioning schemes (8 nodes) ===\n");
@@ -119,6 +129,7 @@ int Run(int argc, char** argv) {
       "composite helps on both; the pad removes camping; bitonic balances "
       "rows AND nnz simultaneously; rows beat grids beat columns on "
       "communication and avoid the post-gather reduction.\n");
+  JsonReporter::Global().Emit("ablation");
   return 0;
 }
 

@@ -44,11 +44,15 @@ int Run(int argc, char** argv) {
     const KernelTiming& t = kernel->timing();
     std::printf("%12d %14d %12.2f %12.2f %13.1f%%\n", width, width * 4 / 1024,
                 t.gflops(), t.gbps(), 100 * t.TexHitRate());
+    JsonReporter::Global().Add("fold/coo",
+                               "width=" + std::to_string(width),
+                               t.seconds * 1e3, t.gflops(), 1);
   }
   std::printf(
       "\npaper: the biggest improvement appears at width 64K = 256 KB, "
       "locating the Tesla's texture cache size; the tile width is fixed to "
       "64K columns from then on.\n");
+  JsonReporter::Global().Emit("cache_probe");
   return 0;
 }
 

@@ -10,6 +10,7 @@
 
 #include "gen/datasets.h"
 #include "kernels/spmv.h"
+#include "obs/trace.h"
 #include "sparse/matrix_stats.h"
 #include "util/timer.h"
 
@@ -113,6 +114,71 @@ inline void PrintCell3(double value, bool ok) {
     std::printf(" %14s", "--");
   }
 }
+
+/// One benchmark measurement in the shared cross-binary schema.
+struct BenchResult {
+  std::string name;    ///< What was measured, e.g. "flickr/tile-composite".
+  std::string config;  ///< Free-form setup detail, e.g. "device=c1060".
+  double ms = 0.0;     ///< Modeled or measured milliseconds.
+  double gflops = 0.0; ///< 0 when rate is not meaningful for the metric.
+  int64_t iters = 0;   ///< Iteration count behind the timing (0 = one shot).
+};
+
+/// Accumulates results and emits them as one machine-readable JSON line:
+///
+///   {"bench":"<binary>","schema":"tilespmv-bench-v1","results":[
+///     {"name":...,"config":...,"ms":...,"gflops":...,"iters":...},...]}
+///
+/// Every bench_* binary ends its run with Emit(), so sweep tooling can diff
+/// runs across binaries without per-bench table parsers. The line goes to
+/// stdout after the human-readable tables, prefixed by nothing, so
+/// `grep '"tilespmv-bench-v1"'` extracts it.
+class JsonReporter {
+ public:
+  static JsonReporter& Global() {
+    static JsonReporter* reporter = new JsonReporter();
+    return *reporter;
+  }
+
+  void Add(std::string name, std::string config, double ms,
+           double gflops = 0.0, int64_t iters = 0) {
+    results_.push_back(BenchResult{std::move(name), std::move(config), ms,
+                                   gflops, iters});
+  }
+
+  std::string ToJson(const std::string& bench) const {
+    std::string out = "{\"bench\":\"" + obs::JsonEscape(bench) +
+                      "\",\"schema\":\"tilespmv-bench-v1\",\"results\":[";
+    char buf[64];
+    for (size_t i = 0; i < results_.size(); ++i) {
+      const BenchResult& r = results_[i];
+      if (i > 0) out += ",";
+      out += "{\"name\":\"" + obs::JsonEscape(r.name) + "\",\"config\":\"" +
+             obs::JsonEscape(r.config) + "\"";
+      std::snprintf(buf, sizeof(buf), ",\"ms\":%.6g", r.ms);
+      out += buf;
+      std::snprintf(buf, sizeof(buf), ",\"gflops\":%.6g", r.gflops);
+      out += buf;
+      std::snprintf(buf, sizeof(buf), ",\"iters\":%lld}",
+                    static_cast<long long>(r.iters));
+      out += buf;
+    }
+    out += "]}";
+    return out;
+  }
+
+  /// Prints the JSON line and clears the accumulated results.
+  void Emit(const std::string& bench) {
+    std::printf("%s\n", ToJson(bench).c_str());
+    std::fflush(stdout);
+    results_.clear();
+  }
+
+  const std::vector<BenchResult>& results() const { return results_; }
+
+ private:
+  std::vector<BenchResult> results_;
+};
 
 }  // namespace tilespmv::bench
 

@@ -40,6 +40,12 @@ int Run(int argc, char** argv) {
         auto kernel = CreateKernel(name, spec);
         bool ok = kernel->Setup(a.value()).ok();
         PrintCell(ok ? kernel->timing().gflops() : 0, ok);
+        if (ok) {
+          JsonReporter::Global().Add(std::string(ds) + "/" + name,
+                                     std::string("device=") + label,
+                                     kernel->timing().seconds * 1e3,
+                                     kernel->timing().gflops(), 1);
+        }
       }
       std::printf("\n");
       std::fflush(stdout);
@@ -50,6 +56,7 @@ int Run(int argc, char** argv) {
       "on the Fermi, and a tile width that tracks the cache (64K -> 192K "
       "columns) with no code changes — the \"adaptive algorithm designs in "
       "next generation hybrid architectures\" the paper closes with.\n");
+  JsonReporter::Global().Emit("device_sweep");
   return 0;
 }
 

@@ -43,6 +43,10 @@ int Run(int argc, char** argv) {
       row.gflops.push_back(ok ? t.gflops() : 0);
       row.gbps.push_back(ok ? t.gbps() : 0);
       row.ok.push_back(ok);
+      if (ok) {
+        JsonReporter::Global().Add(ds.name + "/" + name, "spmv",
+                                   t.seconds * 1e3, t.gflops(), 1);
+      }
       if (name == "cpu-csr") {
         cpu = t.gflops();
       } else if (ok) {
@@ -77,6 +81,7 @@ int Run(int argc, char** argv) {
       "\nGPU-vs-CPU speedup range across kernels/datasets: %.2fx - %.2fx "
       "(paper: 2.05x - 37.31x)\n",
       min_speedup, max_speedup);
+  JsonReporter::Global().Emit("fig7_spmv_unstructured");
   return 0;
 }
 

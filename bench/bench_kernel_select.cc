@@ -52,12 +52,15 @@ int Run(int argc, char** argv) {
     double cost = pick_seconds / best_seconds - 1.0;
     std::printf("%-14s %-16s %-16s %9.1f%%\n", ds.c_str(), pick.c_str(),
                 best.c_str(), 100 * cost);
+    JsonReporter::Global().Add(ds + "/" + pick, "model-pick",
+                               pick_seconds * 1e3, 0.0, 1);
     ++total;
     if (pick == best) ++correct;
     std::fflush(stdout);
   }
   std::printf("\ncorrect picks: %d/%d (a wrong pick's cost is shown above)\n",
               correct, total);
+  JsonReporter::Global().Emit("kernel_select");
   return 0;
 }
 

@@ -6,6 +6,7 @@
 // of SpMV-equivalents.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/composite.h"
 #include "core/tiling.h"
 #include "gen/power_law.h"
@@ -105,7 +106,30 @@ void BM_KernelSetupSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelSetupSimulation);
 
+// Console output as usual, plus every run forwarded into the shared
+// tilespmv-bench-v1 JSON line so all bench binaries share one schema.
+class JsonForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      bench::JsonReporter::Global().Add(
+          run.benchmark_name(), "host-wall",
+          run.real_accumulated_time / run.iterations * 1e3, 0.0,
+          run.iterations);
+    }
+  }
+};
+
 }  // namespace
 }  // namespace tilespmv
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  tilespmv::JsonForwardingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  tilespmv::bench::JsonReporter::Global().Emit("microbench");
+  return 0;
+}

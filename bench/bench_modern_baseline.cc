@@ -39,6 +39,10 @@ int Run(int argc, char** argv) {
       std::string why;
       bool ok = SetupKernel(name, a, spec, &t, &why);
       PrintCell(ok ? t.gflops() : 0, ok);
+      if (ok) {
+        JsonReporter::Global().Add(ds.name + "/" + name, "spmv",
+                                   t.seconds * 1e3, t.gflops(), 1);
+      }
       if (name == "merge-csr") merge = t.gflops();
       if (name == "tile-composite") tile = t.gflops();
     }
@@ -57,6 +61,7 @@ int Run(int argc, char** argv) {
       "column-major hub walks show why composite stores long rows "
       "row-major.\n",
       tile_sum / merge_sum);
+  JsonReporter::Global().Emit("modern_baseline");
   return 0;
 }
 

@@ -161,6 +161,15 @@ int Run(int argc, char** argv) {
       uncoalesced.modeled_gpu_seconds, coalesced.modeled_gpu_seconds,
       coalesce_speedup,
       coalesce_speedup > 1 && coalesced.mean_batch >= 4 ? "true" : "false");
+  JsonReporter::Global().Add("plan_cache/cold", "rwr",
+                             cache.cold_seconds * 1e3, 0.0, 1);
+  JsonReporter::Global().Add("plan_cache/hot", "rwr", cache.hot_seconds * 1e3,
+                             0.0, hot_queries);
+  JsonReporter::Global().Add("coalesce/uncoalesced", "max_batch=1",
+                             uncoalesced.wall_seconds * 1e3, 0.0, burst);
+  JsonReporter::Global().Add("coalesce/coalesced", "max_batch=8",
+                             coalesced.wall_seconds * 1e3, 0.0, burst);
+  JsonReporter::Global().Emit("serve");
   return (cache.speedup >= 10 && coalesce_speedup > 1 &&
           coalesced.mean_batch >= 4)
              ? 0

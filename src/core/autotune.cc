@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace tilespmv {
@@ -20,6 +21,7 @@ std::vector<int64_t> SortedOccupiedRowLengths(const CsrMatrix& tile) {
 
 TileAutotune ChooseWorkloadSize(const std::vector<int64_t>& sorted_lens,
                                 bool cached, const PerfModel& model) {
+  obs::TraceSpan span("autotune", "autotune/choose_workload");
   TileAutotune result;
   if (sorted_lens.empty()) return result;
   int64_t nnz = 0;
@@ -45,12 +47,18 @@ TileAutotune ChooseWorkloadSize(const std::vector<int64_t>& sorted_lens,
     }
   }
   result.predicted_seconds = best_time;
+  if (span.active()) {
+    span.Arg("candidates", result.candidates_tried);
+    span.Arg("workload", result.workload_size);
+    span.Arg("predicted_us", best_time * 1e6);
+  }
   return result;
 }
 
 AutotunePlan AutotuneTileComposite(const CsrMatrix& sorted,
                                    const TilingOptions& options,
                                    const PerfModel& model) {
+  obs::TraceSpan span("autotune", "autotune/plan");
   AutotunePlan plan;
   TilingOptions opts = options;
   if (opts.num_tiles < 0) {

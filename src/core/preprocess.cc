@@ -7,6 +7,7 @@
 #include "core/composite.h"
 #include "core/tiling.h"
 #include "kernels/spmv.h"
+#include "obs/trace.h"
 #include "sparse/permute.h"
 #include "util/timer.h"
 
@@ -19,33 +20,47 @@ Result<PreprocessReport> MeasurePreprocessing(
   PreprocessReport report;
 
   WallTimer timer;
-  Permutation perm = SortColumnsByLengthDesc(a);
+  Permutation perm;
+  {
+    obs::TraceSpan span("preprocess", "preprocess/sort_columns");
+    perm = SortColumnsByLengthDesc(a);
+  }
   report.sort_columns_seconds = timer.Seconds();
 
   timer.Reset();
-  CsrMatrix sorted = a.rows == a.cols
-                         ? ApplySymmetricPermutation(a, perm)
-                         : ApplyColumnPermutation(a, perm);
+  CsrMatrix sorted;
+  {
+    obs::TraceSpan span("preprocess", "preprocess/relabel");
+    sorted = a.rows == a.cols ? ApplySymmetricPermutation(a, perm)
+                              : ApplyColumnPermutation(a, perm);
+  }
   report.relabel_seconds = timer.Seconds();
 
   timer.Reset();
-  TiledMatrix tiled = BuildTiling(sorted, TilingOptionsForDevice(spec));
+  TiledMatrix tiled;
+  {
+    obs::TraceSpan span("preprocess", "preprocess/tiling");
+    tiled = BuildTiling(sorted, TilingOptionsForDevice(spec));
+  }
   report.tiling_seconds = timer.Seconds();
 
   timer.Reset();
-  PerfModel model(spec);
-  for (const TileSlice& slice : tiled.dense_tiles) {
-    std::vector<int64_t> lens = SortedOccupiedRowLengths(slice.local);
-    if (lens.empty()) continue;
-    TileAutotune tuned = ChooseWorkloadSize(lens, /*cached=*/true, model);
-    BuildComposite(slice.local, tuned.workload_size, spec, true);
-  }
-  std::vector<int64_t> sparse_lens =
-      SortedOccupiedRowLengths(tiled.sparse_part);
-  if (!sparse_lens.empty()) {
-    TileAutotune tuned = ChooseWorkloadSize(sparse_lens, /*cached=*/false,
-                                            model);
-    BuildComposite(tiled.sparse_part, tuned.workload_size, spec, true);
+  {
+    obs::TraceSpan span("preprocess", "preprocess/composite");
+    PerfModel model(spec);
+    for (const TileSlice& slice : tiled.dense_tiles) {
+      std::vector<int64_t> lens = SortedOccupiedRowLengths(slice.local);
+      if (lens.empty()) continue;
+      TileAutotune tuned = ChooseWorkloadSize(lens, /*cached=*/true, model);
+      BuildComposite(slice.local, tuned.workload_size, spec, true);
+    }
+    std::vector<int64_t> sparse_lens =
+        SortedOccupiedRowLengths(tiled.sparse_part);
+    if (!sparse_lens.empty()) {
+      TileAutotune tuned = ChooseWorkloadSize(sparse_lens, /*cached=*/false,
+                                              model);
+      BuildComposite(tiled.sparse_part, tuned.workload_size, spec, true);
+    }
   }
   report.composite_seconds = timer.Seconds();
   report.total_seconds = report.sort_columns_seconds +

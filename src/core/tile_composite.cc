@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kernels/gpu_common.h"
+#include "obs/trace.h"
 
 namespace tilespmv {
 
@@ -14,26 +15,49 @@ Status TileCompositeKernel::Setup(const CsrMatrix& a) {
   workload_sizes_.clear();
   predicted_seconds_ = 0.0;
 
-  Permutation perm = SortColumnsByLengthDesc(a);
-  CsrMatrix sorted;
-  if (a.rows == a.cols) {
-    sorted = ApplySymmetricPermutation(a, perm);
-    row_perm_ = perm;
-    col_perm_ = perm;
-  } else {
-    sorted = ApplyColumnPermutation(a, perm);
-    row_perm_.clear();
-    col_perm_ = perm;
+  obs::TraceSpan setup_span("preprocess", "preprocess/setup");
+  if (setup_span.active()) {
+    setup_span.Arg("rows", static_cast<int64_t>(a.rows));
+    setup_span.Arg("nnz", a.nnz());
   }
-  TiledMatrix tiled = BuildTiling(sorted, options_.tiling);
-  num_dense_tiles_ = static_cast<int>(tiled.dense_tiles.size());
+  Permutation perm;
+  {
+    obs::TraceSpan span("preprocess", "preprocess/sort_columns");
+    perm = SortColumnsByLengthDesc(a);
+  }
+  CsrMatrix sorted;
+  {
+    obs::TraceSpan span("preprocess", "preprocess/relabel");
+    if (a.rows == a.cols) {
+      sorted = ApplySymmetricPermutation(a, perm);
+      row_perm_ = perm;
+      col_perm_ = perm;
+    } else {
+      sorted = ApplyColumnPermutation(a, perm);
+      row_perm_.clear();
+      col_perm_ = perm;
+    }
+  }
+  TiledMatrix tiled;
+  {
+    obs::TraceSpan span("preprocess", "preprocess/tiling");
+    tiled = BuildTiling(sorted, options_.tiling);
+    num_dense_tiles_ = static_cast<int>(tiled.dense_tiles.size());
+    if (span.active()) span.Arg("dense_tiles", num_dense_tiles_);
+  }
 
   // Pick each tile's workload size (Algorithm 2) and build the composite
   // storage. The sparse remainder becomes one final, uncached tile.
   auto build_tile = [&](const CsrMatrix& tile_csr, int32_t col_begin,
                         bool cached) -> Status {
+    obs::TraceSpan span("preprocess", "preprocess/composite_tile");
     std::vector<int64_t> lens = SortedOccupiedRowLengths(tile_csr);
     if (lens.empty()) return Status::OK();
+    if (span.active()) {
+      span.Arg("tile", static_cast<int64_t>(tiles_.size()));
+      span.Arg("cached", static_cast<int64_t>(cached ? 1 : 0));
+      span.Arg("nnz", tile_csr.nnz());
+    }
     int64_t wl = options_.forced_workload;
     if (wl <= 0) {
       TileAutotune tuned = ChooseWorkloadSize(lens, cached, model_);
@@ -59,6 +83,7 @@ Status TileCompositeKernel::Setup(const CsrMatrix& a) {
       build_tile(tiled.sparse_part, /*col_begin=*/0, /*cached=*/false));
 
   // ---- Simulate one multiply. ----
+  obs::TraceSpan sim_span("kernel", "kernel/simulate");
   gpu::SimContext ctx(spec_);
   Result<gpu::DeviceArray> x_arr = ctx.Alloc(static_cast<int64_t>(a.cols) * 4);
   Result<gpu::DeviceArray> y_arr = ctx.Alloc(static_cast<int64_t>(a.rows) * 4);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparse/convert.h"
 #include "util/check.h"
 
@@ -42,26 +44,42 @@ Result<HitsScores> RunHitsPrepared(const SpMVKernel& kernel,
   out.stats.seconds_per_iteration = kernel.timing().seconds + aux_seconds;
 
   for (int it = 0; it < options.max_iterations; ++it) {
-    kernel.Multiply(v, &y);
-    double sum_a = 0.0, sum_h = 0.0;
-    for (int32_t i = 0; i < n2; ++i) {
-      (is_authority[i] ? sum_a : sum_h) += std::fabs(y[i]);
-    }
-    float inv_a = sum_a > 0 ? static_cast<float>(1.0 / sum_a) : 0.0f;
-    float inv_h = sum_h > 0 ? static_cast<float>(1.0 / sum_h) : 0.0f;
+    obs::TraceSpan iter_span("graph", "hits/iteration");
     double delta = 0.0;
-    for (int32_t i = 0; i < n2; ++i) {
-      float next = y[i] * (is_authority[i] ? inv_a : inv_h);
-      delta += std::fabs(static_cast<double>(next) - v[i]);
-      v[i] = next;
+    {
+      obs::TraceSpan spmv_span("spmv", "spmv/multiply");
+      kernel.Multiply(v, &y);
+    }
+    {
+      obs::TraceSpan red_span("reduction", "reduction/hits_normalize");
+      double sum_a = 0.0, sum_h = 0.0;
+      for (int32_t i = 0; i < n2; ++i) {
+        (is_authority[i] ? sum_a : sum_h) += std::fabs(y[i]);
+      }
+      float inv_a = sum_a > 0 ? static_cast<float>(1.0 / sum_a) : 0.0f;
+      float inv_h = sum_h > 0 ? static_cast<float>(1.0 / sum_h) : 0.0f;
+      for (int32_t i = 0; i < n2; ++i) {
+        float next = y[i] * (is_authority[i] ? inv_a : inv_h);
+        delta += std::fabs(static_cast<double>(next) - v[i]);
+        v[i] = next;
+      }
     }
     ++out.stats.iterations;
     out.stats.delta_history.push_back(delta);
+    if (iter_span.active()) {
+      iter_span.Arg("iter", it);
+      iter_span.Arg("residual", delta);
+    }
     if (delta < options.tolerance) {
       out.stats.converged = true;
       break;
     }
   }
+  obs::MetricsRegistry::Global()
+      .GetHistogram("tilespmv_hits_iterations",
+                    "Iterations to convergence per HITS run",
+                    obs::ExponentialBuckets(1, 2.0, 10))
+      ->Observe(out.stats.iterations);
   out.stats.gpu_seconds =
       out.stats.seconds_per_iteration * out.stats.iterations;
   out.stats.flops = static_cast<uint64_t>(out.stats.iterations) *

@@ -2,8 +2,11 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparse/convert.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace tilespmv {
 
@@ -56,21 +59,44 @@ Result<IterativeResult> RunPageRankPrepared(const SpMVKernel& kernel,
   IterativeResult out;
   out.seconds_per_iteration = kernel.timing().seconds + aux_seconds;
 
+  WallTimer run_timer;
   for (int it = 0; it < options.max_iterations; ++it) {
-    kernel.Multiply(p, &y);
+    obs::TraceSpan iter_span("graph", "pagerank/iteration");
     double delta = 0.0;
-    for (int32_t i = 0; i < n; ++i) {
-      float next = c * y[i] + (1.0f - c) * p0[i];
-      delta += std::fabs(static_cast<double>(next) - p[i]);
-      p[i] = next;
+    {
+      obs::TraceSpan spmv_span("spmv", "spmv/multiply");
+      kernel.Multiply(p, &y);
+    }
+    {
+      obs::TraceSpan red_span("reduction", "reduction/pagerank_update");
+      for (int32_t i = 0; i < n; ++i) {
+        float next = c * y[i] + (1.0f - c) * p0[i];
+        delta += std::fabs(static_cast<double>(next) - p[i]);
+        p[i] = next;
+      }
     }
     ++out.iterations;
     out.delta_history.push_back(delta);
+    if (iter_span.active()) {
+      iter_span.Arg("iter", it);
+      iter_span.Arg("residual", delta);
+    }
     if (delta < options.tolerance) {
       out.converged = true;
       break;
     }
   }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics
+      .GetHistogram("tilespmv_pagerank_iterations",
+                    "Iterations to convergence per PageRank run",
+                    obs::ExponentialBuckets(1, 2.0, 10))
+      ->Observe(out.iterations);
+  metrics
+      .GetHistogram("tilespmv_pagerank_host_seconds",
+                    "Host wall time of the PageRank iteration loop",
+                    obs::ExponentialBuckets(1e-4, 4.0, 12))
+      ->Observe(run_timer.Seconds());
   out.gpu_seconds = out.seconds_per_iteration * out.iterations;
   out.flops = static_cast<uint64_t>(out.iterations) *
               (kernel.timing().flops + 3ULL * n);

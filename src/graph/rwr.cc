@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparse/convert.h"
 #include "util/check.h"
 
@@ -44,20 +46,36 @@ Result<RwrResult> RwrEngine::Query(int32_t node,
   out.stats.seconds_per_iteration = kernel_->timing().seconds + aux_seconds;
 
   for (int it = 0; it < options.max_iterations; ++it) {
-    kernel_->Multiply(r, &y);
+    obs::TraceSpan iter_span("graph", "rwr/iteration");
     double delta = 0.0;
-    for (int32_t i = 0; i < n_; ++i) {
-      float next = c * y[i] + (i == internal_node ? 1.0f - c : 0.0f);
-      delta += std::fabs(static_cast<double>(next) - r[i]);
-      r[i] = next;
+    {
+      obs::TraceSpan spmv_span("spmv", "spmv/multiply");
+      kernel_->Multiply(r, &y);
+    }
+    {
+      obs::TraceSpan red_span("reduction", "reduction/rwr_update");
+      for (int32_t i = 0; i < n_; ++i) {
+        float next = c * y[i] + (i == internal_node ? 1.0f - c : 0.0f);
+        delta += std::fabs(static_cast<double>(next) - r[i]);
+        r[i] = next;
+      }
     }
     ++out.stats.iterations;
     out.stats.delta_history.push_back(delta);
+    if (iter_span.active()) {
+      iter_span.Arg("iter", it);
+      iter_span.Arg("residual", delta);
+    }
     if (delta < options.tolerance) {
       out.stats.converged = true;
       break;
     }
   }
+  obs::MetricsRegistry::Global()
+      .GetHistogram("tilespmv_rwr_iterations",
+                    "Iterations to convergence per RWR query",
+                    obs::ExponentialBuckets(1, 2.0, 10))
+      ->Observe(out.stats.iterations);
   out.stats.gpu_seconds =
       out.stats.seconds_per_iteration * out.stats.iterations;
   out.stats.flops = static_cast<uint64_t>(out.stats.iterations) *
@@ -115,11 +133,20 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
   std::vector<float> y;
   int active = k;
   for (int it = 0; it < options.max_iterations && active > 0; ++it) {
+    obs::TraceSpan iter_span("graph", "rwr/batch_iteration");
+    if (iter_span.active()) {
+      iter_span.Arg("iter", it);
+      iter_span.Arg("active_queries", active);
+    }
     for (int q = 0; q < k; ++q) {
       if (done[q]) continue;
       int32_t internal =
           inv_row_perm_.empty() ? nodes[q] : inv_row_perm_[nodes[q]];
-      kernel_->Multiply(r[q], &y);
+      {
+        obs::TraceSpan spmv_span("spmv", "spmv/multiply");
+        kernel_->Multiply(r[q], &y);
+      }
+      obs::TraceSpan red_span("reduction", "reduction/rwr_update");
       double delta = 0.0;
       for (int32_t i = 0; i < n_; ++i) {
         float next = c * y[i] + (i == internal ? 1.0f - c : 0.0f);

@@ -1,5 +1,6 @@
 #include "kernels/gpu_common.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace tilespmv::gpu {
@@ -25,6 +26,9 @@ void SimContext::AddWarp(const gpusim::WarpWork& warp) {
 }
 
 void SimContext::Finalize(KernelTiming* timing) const {
+  // Every GPU kernel's Setup walk funnels through here, so this one span
+  // covers the cost-model evaluation of all kernels per-launch/per-workload.
+  obs::TraceSpan span("kernel", "kernel/finalize");
   gpusim::CostModel model(spec_);
   timing->launch_details.clear();
   timing->launch_details.reserve(launches_.size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/power_method.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace tilespmv {
@@ -13,13 +14,21 @@ Status DistributedSpmv::Init(const CsrMatrix& m, int num_gpus,
   TILESPMV_RETURN_IF_ERROR(m.Validate());
   if (num_gpus < 1) return Status::InvalidArgument("num_gpus must be >= 1");
   n_ = m.rows;
-  partition_ = PartitionRows(m, num_gpus, scheme);
-  balance_ = AnalyzeBalance(m, partition_);
+  {
+    obs::TraceSpan span("multigpu", "multigpu/partition");
+    partition_ = PartitionRows(m, num_gpus, scheme);
+    balance_ = AnalyzeBalance(m, partition_);
+    if (span.active()) {
+      span.Arg("num_gpus", num_gpus);
+      span.Arg("nnz_imbalance", balance_.nnz_imbalance);
+    }
+  }
   kernels_.clear();
   locals_.clear();
   compute_seconds_ = 0.0;
   flops_ = 0;
   for (int p = 0; p < num_gpus; ++p) {
+    obs::TraceSpan span("multigpu", "multigpu/setup_node");
     locals_.push_back(ExtractRows(m, partition_.owner_rows[p]));
     std::unique_ptr<SpMVKernel> kernel =
         CreateKernel(kernel_name, cluster_.gpu);
@@ -29,11 +38,20 @@ Status DistributedSpmv::Init(const CsrMatrix& m, int num_gpus,
     TILESPMV_RETURN_IF_ERROR(kernel->Setup(locals_.back()));
     compute_seconds_ = std::max(compute_seconds_, kernel->timing().seconds);
     flops_ += kernel->timing().flops;
+    if (span.active()) {
+      span.Arg("gpu", p);
+      span.Arg("local_nnz", locals_.back().nnz());
+      span.Arg("modeled_us", kernel->timing().seconds * 1e6);
+    }
     kernels_.push_back(std::move(kernel));
   }
-  comm_seconds_ =
-      AllGatherSeconds(n_, num_gpus, cluster_) +
-      ElementwiseSeconds(2 * (n_ / num_gpus), n_ / num_gpus, cluster_.gpu);
+  {
+    obs::TraceSpan span("multigpu", "multigpu/exchange");
+    comm_seconds_ =
+        AllGatherSeconds(n_, num_gpus, cluster_) +
+        ElementwiseSeconds(2 * (n_ / num_gpus), n_ / num_gpus, cluster_.gpu);
+    if (span.active()) span.Arg("modeled_us", comm_seconds_ * 1e6);
+  }
   return Status::OK();
 }
 

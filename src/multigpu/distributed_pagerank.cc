@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/trace.h"
 #include "sparse/convert.h"
 #include "util/check.h"
 
@@ -18,17 +19,25 @@ Result<DistributedRunResult> RunDistributedPageRank(
   const int32_t n = adjacency.rows;
 
   CsrMatrix wt = Transpose(RowNormalize(adjacency));
-  RowPartition partition = PartitionRows(wt, num_gpus, options.scheme);
-
   DistributedRunResult out;
   out.num_gpus = num_gpus;
-  out.balance = AnalyzeBalance(wt, partition);
+  RowPartition partition;
+  {
+    obs::TraceSpan span("multigpu", "multigpu/partition");
+    partition = PartitionRows(wt, num_gpus, options.scheme);
+    out.balance = AnalyzeBalance(wt, partition);
+    if (span.active()) {
+      span.Arg("num_gpus", num_gpus);
+      span.Arg("nnz_imbalance", out.balance.nnz_imbalance);
+    }
+  }
 
   // Set up each node's local kernel; any node that cannot fit its slice
   // fails the whole configuration.
   std::vector<std::unique_ptr<SpMVKernel>> kernels(num_gpus);
   std::vector<CsrMatrix> locals(num_gpus);
   for (int p = 0; p < num_gpus; ++p) {
+    obs::TraceSpan span("multigpu", "multigpu/setup_node");
     locals[p] = ExtractRows(wt, partition.owner_rows[p]);
     kernels[p] = CreateKernel(options.kernel_name, cluster.gpu);
     if (kernels[p] == nullptr)
@@ -38,11 +47,22 @@ Result<DistributedRunResult> RunDistributedPageRank(
         std::max(out.compute_seconds_per_iteration,
                  kernels[p]->timing().seconds);
     out.flops_per_iteration += kernels[p]->timing().flops;
+    if (span.active()) {
+      span.Arg("gpu", p);
+      span.Arg("local_nnz", locals[p].nnz());
+      span.Arg("modeled_us", kernels[p]->timing().seconds * 1e6);
+    }
   }
-  out.comm_seconds_per_iteration =
-      AllGatherSeconds(n, num_gpus, cluster) +
-      ElementwiseSeconds(2 * (n / std::max(1, num_gpus)),
-                         n / std::max(1, num_gpus), cluster.gpu);
+  {
+    obs::TraceSpan span("multigpu", "multigpu/exchange");
+    out.comm_seconds_per_iteration =
+        AllGatherSeconds(n, num_gpus, cluster) +
+        ElementwiseSeconds(2 * (n / std::max(1, num_gpus)),
+                           n / std::max(1, num_gpus), cluster.gpu);
+    if (span.active()) {
+      span.Arg("modeled_us", out.comm_seconds_per_iteration * 1e6);
+    }
+  }
   // The allgather of finished y slices overlaps the computation of tiles
   // that do not consume them; model half the shorter phase as hidden.
   double longer = std::max(out.compute_seconds_per_iteration,
@@ -58,6 +78,7 @@ Result<DistributedRunResult> RunDistributedPageRank(
     std::vector<float> next(n);
     std::vector<float> y_local;
     for (int it = 0; it < options.pagerank.max_iterations; ++it) {
+      obs::TraceSpan iter_span("graph", "pagerank/distributed_iteration");
       // Each node computes its owned slice of W^T p; the allgather then
       // rebuilds the full vector everywhere.
       for (int node = 0; node < num_gpus; ++node) {

@@ -1,0 +1,218 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace tilespmv::obs {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds, size_t window)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1, 0),
+      window_cap_(std::max<size_t>(1, window)) {
+  TILESPMV_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  sum_ += value;
+  ++count_;
+  if (window_.size() < window_cap_) {
+    window_.push_back(value);
+  } else {
+    window_[window_next_] = value;
+    window_next_ = (window_next_ + 1) % window_cap_;
+  }
+}
+
+uint64_t Histogram::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::Sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::Percentile(double q) const {
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window = window_;
+  }
+  return tilespmv::Percentile(std::move(window), q);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  TILESPMV_CHECK(start > 0 && factor > 1 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBuckets(double start, double width, int count) {
+  TILESPMV_CHECK(width > 0 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) bounds.push_back(start + i * width);
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter == nullptr) {
+    TILESPMV_CHECK(e.gauge == nullptr && e.histogram == nullptr);
+    e.kind = Entry::Kind::kCounter;
+    e.help = help;
+    e.counter = std::make_unique<Counter>();
+  }
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.gauge == nullptr) {
+    TILESPMV_CHECK(e.counter == nullptr && e.histogram == nullptr);
+    e.kind = Entry::Kind::kGauge;
+    e.help = help;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         size_t window) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.histogram == nullptr) {
+    TILESPMV_CHECK(e.counter == nullptr && e.gauge == nullptr);
+    e.kind = Entry::Kind::kHistogram;
+    e.help = help;
+    e.histogram = std::make_unique<Histogram>(std::move(bounds), window);
+  }
+  return e.histogram.get();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) {
+      out += "# HELP " + name + " " + e.help + "\n";
+    }
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(e.counter->Value()) + "\n";
+        break;
+      case Entry::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + FormatDouble(e.gauge->Value()) + "\n";
+        break;
+      case Entry::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        const std::vector<double>& bounds = e.histogram->bounds();
+        std::vector<uint64_t> counts = e.histogram->BucketCounts();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < bounds.size(); ++i) {
+          cumulative += counts[i];
+          out += name + "_bucket{le=\"" + FormatDouble(bounds[i]) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        cumulative += counts.back();
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+               "\n";
+        out += name + "_sum " + FormatDouble(e.histogram->Sum()) + "\n";
+        out += name + "_count " + std::to_string(e.histogram->Count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":";
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        out += "{\"type\":\"counter\",\"value\":" +
+               std::to_string(e.counter->Value()) + "}";
+        break;
+      case Entry::Kind::kGauge:
+        out += "{\"type\":\"gauge\",\"value\":" +
+               FormatDouble(e.gauge->Value()) + "}";
+        break;
+      case Entry::Kind::kHistogram: {
+        const std::vector<double>& bounds = e.histogram->bounds();
+        std::vector<uint64_t> counts = e.histogram->BucketCounts();
+        out += "{\"type\":\"histogram\",\"count\":" +
+               std::to_string(e.histogram->Count()) +
+               ",\"sum\":" + FormatDouble(e.histogram->Sum()) +
+               ",\"buckets\":[";
+        for (size_t i = 0; i < counts.size(); ++i) {
+          if (i > 0) out += ',';
+          out += "{\"le\":";
+          out += i < bounds.size() ? FormatDouble(bounds[i]) : "\"+Inf\"";
+          out += ",\"count\":" + std::to_string(counts[i]) + "}";
+        }
+        out += "],\"p50\":" + FormatDouble(e.histogram->Percentile(50)) +
+               ",\"p95\":" + FormatDouble(e.histogram->Percentile(95)) +
+               ",\"p99\":" + FormatDouble(e.histogram->Percentile(99)) + "}";
+        break;
+      }
+    }
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace tilespmv::obs

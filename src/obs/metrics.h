@@ -1,0 +1,127 @@
+#ifndef TILESPMV_OBS_METRICS_H_
+#define TILESPMV_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tilespmv::obs {
+
+/// Monotonically increasing event count. Lock-free.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A settable/addable double (resident bytes, modeled GPU seconds, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram plus a bounded window of the most recent samples.
+/// The buckets drive the Prometheus export (cumulative, le-labelled); the
+/// window gives exact percentiles over the last `window` observations —
+/// the serving layer's latency p50/p95/p99 come from here, with the window
+/// size defined once at construction (see ServerStats::kLatencyWindow).
+class Histogram {
+ public:
+  static constexpr size_t kDefaultWindow = 8192;
+
+  /// `bounds` are the buckets' inclusive upper bounds, strictly increasing;
+  /// an implicit +Inf bucket is appended.
+  Histogram(std::vector<double> bounds, size_t window = kDefaultWindow);
+
+  void Observe(double value);
+
+  uint64_t Count() const;
+  double Sum() const;
+  double Mean() const;
+  /// Exact linearly-interpolated percentile over the retained window
+  /// (0 with no samples).
+  double Percentile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (bounds().size() + 1 entries, last = +Inf bucket).
+  std::vector<uint64_t> BucketCounts() const;
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> counts_;
+  double sum_ = 0.0;
+  uint64_t count_ = 0;
+  std::vector<double> window_;
+  size_t window_cap_;
+  size_t window_next_ = 0;
+};
+
+/// Exponentially spaced bucket bounds: start, start*factor, ... (count
+/// bounds). The conventional shape for latency histograms.
+std::vector<double> ExponentialBuckets(double start, double factor, int count);
+
+/// Linearly spaced bucket bounds: start, start+width, ... (count bounds).
+std::vector<double> LinearBuckets(double start, double width, int count);
+
+/// A named set of counters, gauges and histograms with Prometheus-text and
+/// JSON exporters. Get* registers on first use and returns a pointer that
+/// stays valid for the registry's lifetime; repeated Get* with the same name
+/// returns the same instrument (a name registered as one kind must not be
+/// re-requested as another). All methods are thread-safe; instrument
+/// updates through the returned pointers are lock-free or individually
+/// locked and never take the registry mutex.
+class MetricsRegistry {
+ public:
+  /// Process-wide registry that library instrumentation records into;
+  /// spmv_cli --metrics-out exports it.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          size_t window = Histogram::kDefaultWindow);
+
+  /// Prometheus text exposition format (counters, gauges, cumulative
+  /// histogram buckets with _bucket/_sum/_count series).
+  std::string ToPrometheusText() const;
+  /// One JSON object keyed by metric name.
+  std::string ToJson() const;
+
+ private:
+  struct Entry {
+    enum class Kind { kCounter, kGauge, kHistogram };
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  ///< Ordered for stable export.
+};
+
+}  // namespace tilespmv::obs
+
+#endif  // TILESPMV_OBS_METRICS_H_

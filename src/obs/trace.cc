@@ -1,0 +1,195 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tilespmv::obs {
+namespace {
+
+/// Stable small per-thread id for the "tid" field. Chrome groups spans into
+/// rows by tid, so worker threads show as separate tracks.
+int ThreadId() {
+  static std::atomic<int> next{1};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity > 0 ? capacity : kDefaultCapacity;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_ = 0;
+  dropped_ = 0;
+  epoch_ = Clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+double Tracer::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::Record(TraceEvent event) {
+  event.tid = ThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // next_ points at the oldest event once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(e.name);
+    out += "\",\"cat\":\"";
+    out += JsonEscape(e.cat);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    AppendDouble(&out, e.ts_us);
+    out += ",\"dur\":";
+    AppendDouble(&out, e.dur_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      out += e.args;
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace output file " + path);
+  }
+  std::string json = ToChromeTraceJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+#ifndef SPMV_OBS_DISABLED
+
+void TraceSpan::Arg(const char* key, double value) {
+  if (!active_) return;
+  if (!event_.args.empty()) event_.args += ',';
+  event_.args += '"';
+  event_.args += key;
+  event_.args += "\":";
+  AppendDouble(&event_.args, value);
+}
+
+void TraceSpan::Arg(const char* key, int64_t value) {
+  if (!active_) return;
+  if (!event_.args.empty()) event_.args += ',';
+  event_.args += '"';
+  event_.args += key;
+  event_.args += "\":";
+  event_.args += std::to_string(value);
+}
+
+void TraceSpan::Arg(const char* key, const std::string& value) {
+  if (!active_) return;
+  if (!event_.args.empty()) event_.args += ',';
+  event_.args += '"';
+  event_.args += key;
+  event_.args += "\":\"";
+  event_.args += JsonEscape(value);
+  event_.args += '"';
+}
+
+#endif  // SPMV_OBS_DISABLED
+
+}  // namespace tilespmv::obs

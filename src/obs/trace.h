@@ -1,0 +1,135 @@
+#ifndef TILESPMV_OBS_TRACE_H_
+#define TILESPMV_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tilespmv::obs {
+
+/// One completed span, Chrome trace_event "X" (complete) phase. `args` is a
+/// pre-rendered JSON object body ("\"iter\":3,\"residual\":0.01") so the hot
+/// path never builds a map. Span names follow the "<phase>/<step>" convention
+/// documented in docs/OBSERVABILITY.md; the part before the slash is the
+/// phase trace_summarize groups by.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  double ts_us = 0.0;   ///< Start, microseconds since Tracer::Enable().
+  double dur_us = 0.0;
+  int tid = 0;          ///< Per-process thread index (stable, small).
+  std::string args;     ///< JSON object body, possibly empty.
+};
+
+/// Low-overhead span recorder. Disabled (the default) it is a null tracer:
+/// TraceSpan construction is one relaxed atomic load and nothing allocates.
+/// Enabled, completed spans land in a fixed-capacity ring buffer under a
+/// mutex — when the buffer wraps, the oldest spans are dropped and counted.
+/// All methods are thread-safe.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  static Tracer& Global();
+
+  /// Starts recording into a fresh ring buffer of `capacity` events and
+  /// resets the time origin. Idempotent apart from clearing the buffer.
+  void Enable(size_t capacity = kDefaultCapacity);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(TraceEvent event);
+
+  /// Recorded events, oldest first. Spans dropped to ring wrap-around are
+  /// reported by dropped().
+  std::vector<TraceEvent> Events() const;
+  uint64_t dropped() const;
+  size_t size() const;
+  void Clear();
+
+  /// Microseconds since Enable() (0 if never enabled).
+  double NowMicros() const;
+
+  /// The whole buffer as a Chrome/Perfetto-loadable trace document
+  /// ({"traceEvents": [...], "displayTimeUnit": "ms"}).
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  Clock::time_point epoch_ = Clock::now();
+  std::vector<TraceEvent> ring_;
+  size_t capacity_ = kDefaultCapacity;
+  size_t next_ = 0;       ///< Ring write cursor once full.
+  uint64_t dropped_ = 0;  ///< Events overwritten by wrap-around.
+};
+
+#ifdef SPMV_OBS_DISABLED
+
+/// Compile-time-disabled span: every member is an inline no-op, so call
+/// sites (and their `if (span.active())` argument blocks) fold away.
+class TraceSpan {
+ public:
+  TraceSpan(const char* /*cat*/, const char* /*name*/) {}
+  static constexpr bool active() { return false; }
+  void Arg(const char* /*key*/, double /*value*/) {}
+  void Arg(const char* /*key*/, int64_t /*value*/) {}
+  void Arg(const char* /*key*/, int /*value*/) {}
+  void Arg(const char* /*key*/, const std::string& /*value*/) {}
+};
+
+#else
+
+/// RAII span: measures from construction to destruction and records into
+/// Tracer::Global() if tracing was enabled at construction. Use literal
+/// `cat`/`name` strings on hot paths and attach dynamic detail with Arg()
+/// guarded by active(), so a disabled tracer costs one atomic load.
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name)
+      : active_(Tracer::Global().enabled()) {
+    if (active_) {
+      event_.cat = cat;
+      event_.name = name;
+      event_.ts_us = Tracer::Global().NowMicros();
+    }
+  }
+  ~TraceSpan() {
+    if (active_) {
+      event_.dur_us = Tracer::Global().NowMicros() - event_.ts_us;
+      Tracer::Global().Record(std::move(event_));
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+
+  void Arg(const char* key, double value);
+  void Arg(const char* key, int64_t value);
+  void Arg(const char* key, int value) { Arg(key, static_cast<int64_t>(value)); }
+  void Arg(const char* key, const std::string& value);
+
+ private:
+  bool active_;
+  TraceEvent event_;
+};
+
+#endif  // SPMV_OBS_DISABLED
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace tilespmv::obs
+
+#endif  // TILESPMV_OBS_TRACE_H_

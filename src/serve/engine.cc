@@ -5,6 +5,7 @@
 
 #include "graph/hits.h"
 #include "graph/pagerank.h"
+#include "obs/trace.h"
 #include "sparse/convert.h"
 #include "util/timer.h"
 
@@ -81,7 +82,9 @@ size_t Engine::DedupKeyHash::operator()(const DedupKey& k) const {
 }
 
 Engine::Engine(const EngineOptions& options)
-    : options_(options), plan_cache_(options.plan_cache_bytes) {
+    : options_(options),
+      plan_cache_(options.plan_cache_bytes),
+      stats_(options.metrics) {
   options_.num_threads = std::max(1, options_.num_threads);
   options_.max_pending = std::max(1, options_.max_pending);
   options_.max_batch = std::max(1, options_.max_batch);
@@ -111,6 +114,11 @@ Status Engine::AddGraph(const std::string& name, CsrMatrix graph) {
 std::future<QueryResponse> Engine::Submit(const std::string& graph,
                                           QueryKind kind,
                                           const QueryParams& params) {
+  obs::TraceSpan span("serve", "serve/submit");
+  if (span.active()) {
+    span.Arg("graph", graph);
+    span.Arg("kind", std::string(QueryKindName(kind)));
+  }
   if (stopping_.load(std::memory_order_relaxed)) {
     return ReadyResponse(kind, Status::Unavailable("engine is shut down"));
   }
@@ -244,6 +252,26 @@ ServerStatsSnapshot Engine::stats() const {
   return s;
 }
 
+std::string Engine::MetricsText() const {
+  obs::MetricsRegistry* registry = stats_.registry();
+  PlanCacheStats cache = plan_cache_.stats();
+  registry->GetGauge("tilespmv_serve_plan_hits", "Plan-cache hits")
+      ->Set(static_cast<double>(cache.hits));
+  registry->GetGauge("tilespmv_serve_plan_misses", "Plan-cache misses")
+      ->Set(static_cast<double>(cache.misses));
+  registry->GetGauge("tilespmv_serve_plan_evictions", "Plan-cache evictions")
+      ->Set(static_cast<double>(cache.evictions));
+  registry
+      ->GetGauge("tilespmv_serve_plan_resident_bytes",
+                 "Modeled bytes of resident plans")
+      ->Set(static_cast<double>(cache.resident_bytes));
+  registry->GetGauge("tilespmv_serve_plan_entries", "Resident plan count")
+      ->Set(static_cast<double>(cache.entries));
+  registry->GetGauge("tilespmv_serve_uptime_seconds", "Engine uptime")
+      ->Set(stats_.Snapshot().uptime_seconds);
+  return registry->ToPrometheusText();
+}
+
 void Engine::EnqueueTask(Task task) {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -282,6 +310,12 @@ Result<std::shared_ptr<const Plan>> Engine::GetPlan(
   Result<std::shared_ptr<const Plan>> plan = plan_cache_.GetOrBuild(
       key,
       [&]() -> Result<Plan> {
+        obs::TraceSpan build_span("serve", "serve/plan_build");
+        if (build_span.active()) {
+          build_span.Arg("kernel", kernel);
+          build_span.Arg("device", device);
+          build_span.Arg("workload", std::string(QueryKindName(kind)));
+        }
         gpusim::DeviceSpec spec;
         if (!gpusim::DeviceSpecByName(device, &spec)) {
           return Status::InvalidArgument("unknown device " + device);
@@ -325,9 +359,14 @@ Result<std::shared_ptr<const Plan>> Engine::GetPlan(
 
 void Engine::ExecuteSingle(const std::shared_ptr<Request>& request) {
   const TimePoint start = Clock::now();
+  obs::TraceSpan span("serve", "serve/execute");
   QueryResponse response;
   response.kind = request->kind;
   response.queue_seconds = SecondsBetween(request->enqueue_time, start);
+  if (span.active()) {
+    span.Arg("kind", std::string(QueryKindName(request->kind)));
+    span.Arg("queue_ms", response.queue_seconds * 1e3);
+  }
 
   if (request->has_deadline && start > request->deadline) {
     response.status =
@@ -410,6 +449,7 @@ void Engine::FlushBatch(const Task& task) {
     std::this_thread::sleep_until(task.not_before);
   }
 
+  obs::TraceSpan batch_span("serve", "serve/flush_batch");
   bool has_more = false;
   std::vector<RwrPendingQuery> subs =
       coalescer_.Take(task.batch_key, options_.max_batch, &has_more);
@@ -475,6 +515,7 @@ void Engine::FlushBatch(const Task& task) {
 
   const int batch_size = static_cast<int>(live.size());
   stats_.RecordRwrBatch(batch_size);
+  if (batch_span.active()) batch_span.Arg("batch_size", batch_size);
   for (size_t i = 0; i < live.size(); ++i) {
     RwrPendingQuery* sub = live[i];
     QueryResponse response;

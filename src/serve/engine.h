@@ -42,6 +42,11 @@ struct EngineOptions {
   int max_batch = 16;
   std::string default_kernel = "tile-composite";
   std::string default_device = "c1060";
+  /// Registry the engine's tilespmv_serve_* instruments live in. nullptr
+  /// gives the engine a private registry (readable via MetricsText());
+  /// pass &obs::MetricsRegistry::Global() to fold serving metrics into a
+  /// process-wide export (spmv_cli serve does).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A long-running, thread-safe graph-analytics serving engine layered on the
@@ -76,6 +81,11 @@ class Engine {
 
   /// Snapshot of the serving counters, including plan-cache stats.
   ServerStatsSnapshot stats() const;
+
+  /// Prometheus text exposition of the engine's metrics registry — the
+  /// GET /metrics payload a fronting HTTP server would return. Plan-cache
+  /// gauges are refreshed from the PlanCache at call time.
+  std::string MetricsText() const;
 
   PlanCacheStats plan_cache_stats() const { return plan_cache_.stats(); }
 

@@ -2,75 +2,84 @@
 
 #include <cstdio>
 
-#include "util/stats.h"
-
 namespace tilespmv::serve {
+
+ServerStats::ServerStats(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  registry_ = registry;
+  completed_ = registry_->GetCounter("tilespmv_serve_completed_total",
+                                     "Responses delivered with OK status");
+  failed_ = registry_->GetCounter("tilespmv_serve_failed_total",
+                                  "Non-OK responses other than sheds");
+  shed_queue_full_ =
+      registry_->GetCounter("tilespmv_serve_shed_queue_full_total",
+                            "Admission-control rejections");
+  shed_deadline_ =
+      registry_->GetCounter("tilespmv_serve_shed_deadline_total",
+                            "Requests expired before/while queued");
+  dedup_hits_ = registry_->GetCounter(
+      "tilespmv_serve_dedup_hits_total",
+      "Requests answered by an identical in-flight run");
+  rwr_batches_ = registry_->GetCounter("tilespmv_serve_rwr_batches_total",
+                                       "Coalesced RWR batch executions");
+  rwr_batched_queries_ =
+      registry_->GetCounter("tilespmv_serve_rwr_batched_queries_total",
+                            "RWR queries served through coalesced batches");
+  modeled_gpu_seconds_ =
+      registry_->GetGauge("tilespmv_serve_modeled_gpu_seconds",
+                          "Total billed modeled device time");
+  // 100us..~14s in 18 exponential buckets; exact percentiles come from the
+  // histogram's kLatencyWindow-sample window, not the buckets.
+  latency_ = registry_->GetHistogram(
+      "tilespmv_serve_request_latency_seconds",
+      "End-to-end request latency (submit to response)",
+      obs::ExponentialBuckets(1e-4, 2.0, 18), kLatencyWindow);
+}
 
 void ServerStats::RecordCompletion(double latency_seconds,
                                    double modeled_gpu_seconds, bool ok) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ok) {
-    ++completed_;
-  } else {
-    ++failed_;
-  }
-  modeled_gpu_seconds_ += modeled_gpu_seconds;
-  latency_sum_ += latency_seconds;
-  ++latency_count_;
-  if (latencies_.size() < kLatencyWindow) {
-    latencies_.push_back(latency_seconds);
-  } else {
-    latencies_[latency_next_] = latency_seconds;
-    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-  }
+  (ok ? completed_ : failed_)->Increment();
+  modeled_gpu_seconds_->Add(modeled_gpu_seconds);
+  latency_->Observe(latency_seconds);
 }
 
 void ServerStats::RecordShed(StatusCode code) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (code == StatusCode::kDeadlineExceeded) {
-    ++shed_deadline_;
-  } else {
-    ++shed_queue_full_;
-  }
+  (code == StatusCode::kDeadlineExceeded ? shed_deadline_ : shed_queue_full_)
+      ->Increment();
 }
 
-void ServerStats::RecordDedupHit() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++dedup_hits_;
-}
+void ServerStats::RecordDedupHit() { dedup_hits_->Increment(); }
 
 void ServerStats::RecordRwrBatch(int queries) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++rwr_batches_;
-  rwr_batched_queries_ += static_cast<uint64_t>(queries);
+  rwr_batches_->Increment();
+  rwr_batched_queries_->Increment(static_cast<uint64_t>(queries));
 }
 
 ServerStatsSnapshot ServerStats::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
   ServerStatsSnapshot s;
   s.uptime_seconds = uptime_.Seconds();
-  s.completed = completed_;
-  s.failed = failed_;
-  s.shed_queue_full = shed_queue_full_;
-  s.shed_deadline = shed_deadline_;
-  s.dedup_hits = dedup_hits_;
-  s.rwr_batches = rwr_batches_;
-  s.rwr_batched_queries = rwr_batched_queries_;
+  s.completed = completed_->Value();
+  s.failed = failed_->Value();
+  s.shed_queue_full = shed_queue_full_->Value();
+  s.shed_deadline = shed_deadline_->Value();
+  s.dedup_hits = dedup_hits_->Value();
+  s.rwr_batches = rwr_batches_->Value();
+  s.rwr_batched_queries = rwr_batched_queries_->Value();
   s.qps = s.uptime_seconds > 0
-              ? static_cast<double>(completed_) / s.uptime_seconds
+              ? static_cast<double>(s.completed) / s.uptime_seconds
               : 0.0;
-  s.modeled_gpu_seconds = modeled_gpu_seconds_;
+  s.modeled_gpu_seconds = modeled_gpu_seconds_->Value();
   s.coalesce_factor =
-      rwr_batches_ > 0 ? static_cast<double>(rwr_batched_queries_) /
-                             static_cast<double>(rwr_batches_)
-                       : 0.0;
-  s.latency_mean_ms =
-      latency_count_ > 0
-          ? latency_sum_ / static_cast<double>(latency_count_) * 1e3
-          : 0.0;
-  s.latency_p50_ms = Percentile(latencies_, 50.0) * 1e3;
-  s.latency_p95_ms = Percentile(latencies_, 95.0) * 1e3;
-  s.latency_p99_ms = Percentile(latencies_, 99.0) * 1e3;
+      s.rwr_batches > 0 ? static_cast<double>(s.rwr_batched_queries) /
+                              static_cast<double>(s.rwr_batches)
+                        : 0.0;
+  s.latency_mean_ms = latency_->Mean() * 1e3;
+  s.latency_p50_ms = latency_->Percentile(50.0) * 1e3;
+  s.latency_p95_ms = latency_->Percentile(95.0) * 1e3;
+  s.latency_p99_ms = latency_->Percentile(99.0) * 1e3;
   return s;
 }
 

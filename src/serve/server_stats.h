@@ -2,10 +2,10 @@
 #define TILESPMV_SERVE_SERVER_STATS_H_
 
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <vector>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -13,8 +13,9 @@ namespace tilespmv::serve {
 
 /// Point-in-time view of a running Engine, dumpable as JSON (the schema is
 /// documented in docs/SERVING.md). Latency percentiles cover the most recent
-/// window of completed requests; `modeled_gpu_seconds` is the billed device
-/// time, which coalescing shrinks even when host wall time does not.
+/// ServerStats::kLatencyWindow completed requests; `modeled_gpu_seconds` is
+/// the billed device time, which coalescing shrinks even when host wall time
+/// does not.
 struct ServerStatsSnapshot {
   double uptime_seconds = 0.0;
   uint64_t completed = 0;  ///< Responses delivered with OK status.
@@ -41,10 +42,25 @@ struct ServerStatsSnapshot {
   std::string ToJson() const;
 };
 
-/// Thread-safe accumulator behind Engine::stats(). The plan-cache fields of
-/// the snapshot are filled in by the Engine from its PlanCache.
+/// Thread-safe serving counters behind Engine::stats(), implemented as a
+/// view over an obs::MetricsRegistry: every Record* call updates registry
+/// instruments (tilespmv_serve_* names, see docs/OBSERVABILITY.md), so the
+/// snapshot and the Prometheus export of Engine::MetricsText() are two
+/// renderings of the same numbers. The plan-cache fields of the snapshot are
+/// filled in by the Engine from its PlanCache.
 class ServerStats {
  public:
+  /// Latency sample window: percentiles in the snapshot (and the registry
+  /// histogram's window percentiles) cover the most recent kLatencyWindow
+  /// completed requests, ring-buffer style. This constant is the single
+  /// source of truth; docs/SERVING.md references it.
+  static constexpr size_t kLatencyWindow = 8192;
+
+  /// `registry` is where the instruments live; nullptr makes the stats own
+  /// a private registry (the Engine passes its own, or the global one, via
+  /// EngineOptions::metrics).
+  explicit ServerStats(obs::MetricsRegistry* registry = nullptr);
+
   void RecordCompletion(double latency_seconds, double modeled_gpu_seconds,
                         bool ok);
   void RecordShed(StatusCode code);
@@ -53,24 +69,21 @@ class ServerStats {
 
   ServerStatsSnapshot Snapshot() const;
 
- private:
-  /// Latency reservoir size; old samples are overwritten ring-buffer style.
-  static constexpr size_t kLatencyWindow = 8192;
+  obs::MetricsRegistry* registry() const { return registry_; }
 
-  mutable std::mutex mu_;
+ private:
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
   WallTimer uptime_;
-  uint64_t completed_ = 0;
-  uint64_t failed_ = 0;
-  uint64_t shed_queue_full_ = 0;
-  uint64_t shed_deadline_ = 0;
-  uint64_t dedup_hits_ = 0;
-  uint64_t rwr_batches_ = 0;
-  uint64_t rwr_batched_queries_ = 0;
-  double modeled_gpu_seconds_ = 0.0;
-  double latency_sum_ = 0.0;
-  uint64_t latency_count_ = 0;
-  std::vector<double> latencies_;
-  size_t latency_next_ = 0;
+  obs::Counter* completed_;
+  obs::Counter* failed_;
+  obs::Counter* shed_queue_full_;
+  obs::Counter* shed_deadline_;
+  obs::Counter* dedup_hits_;
+  obs::Counter* rwr_batches_;
+  obs::Counter* rwr_batched_queries_;
+  obs::Gauge* modeled_gpu_seconds_;
+  obs::Histogram* latency_;
 };
 
 }  // namespace tilespmv::serve

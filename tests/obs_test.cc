@@ -1,0 +1,305 @@
+// Tests for the observability layer: span tracer ring buffer and Chrome
+// export, metrics instruments and exporters, and the recorded-overhead bound
+// on the PageRank loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/power_law.h"
+#include "graph/pagerank.h"
+#include "kernels/spmv.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace tilespmv::obs {
+namespace {
+
+// The global tracer is shared by every test in this binary; each test that
+// enables it must leave it disabled and empty.
+class TracerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+#ifndef SPMV_OBS_DISABLED
+
+TEST_F(TracerTest, DisabledRecordsNothing) {
+  Tracer::Global().Disable();
+  {
+    TraceSpan span("cat", "phase/step");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(Tracer::Global().size(), 0u);
+}
+
+TEST_F(TracerTest, RecordsNestedSpansWithArgs) {
+  Tracer::Global().Enable();
+  {
+    TraceSpan outer("graph", "pagerank/iteration");
+    ASSERT_TRUE(outer.active());
+    outer.Arg("iter", 3);
+    outer.Arg("residual", 0.25);
+    {
+      TraceSpan inner("spmv", "spmv/multiply");
+      ASSERT_TRUE(inner.active());
+    }
+  }
+  std::vector<TraceEvent> events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner destructs first, so it lands first; both carry the same tid.
+  EXPECT_EQ(events[0].name, "spmv/multiply");
+  EXPECT_EQ(events[1].name, "pagerank/iteration");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(events[1].cat, "graph");
+  EXPECT_NE(events[1].args.find("\"iter\":3"), std::string::npos);
+  EXPECT_NE(events[1].args.find("\"residual\":0.25"), std::string::npos);
+  // The inner span nests within the outer one on the timeline.
+  EXPECT_GE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us + 1e-3);
+}
+
+TEST_F(TracerTest, RingWrapDropsOldestAndCounts) {
+  Tracer::Global().Enable(/*capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    TraceEvent e;
+    e.name = std::to_string(i);
+    e.ts_us = static_cast<double>(i);
+    Tracer::Global().Record(std::move(e));
+  }
+  EXPECT_EQ(Tracer::Global().size(), 8u);
+  EXPECT_EQ(Tracer::Global().dropped(), 12u);
+  std::vector<TraceEvent> events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first: the survivors are events 12..19 in order.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(events[i].name, std::to_string(12 + i));
+  }
+}
+
+TEST_F(TracerTest, ChromeExportIsWellFormed) {
+  Tracer::Global().Enable();
+  {
+    TraceSpan span("preprocess", "preprocess/sort_columns");
+    span.Arg("rows", static_cast<int64_t>(100));
+    span.Arg("label", std::string("a\"b"));
+  }
+  std::string json = Tracer::Global().ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"preprocess/sort_columns\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // The quote inside the string arg must come out escaped.
+  EXPECT_NE(json.find("\"label\":\"a\\\"b\""), std::string::npos);
+  // Balanced braces/brackets outside string context (our own values are
+  // escaped, so raw counting is a fair structural smoke check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(TracerTest, EnableResetsClockAndBuffer) {
+  Tracer::Global().Enable();
+  { TraceSpan span("a", "a/b"); }
+  EXPECT_EQ(Tracer::Global().size(), 1u);
+  Tracer::Global().Enable();  // Re-enable starts fresh.
+  EXPECT_EQ(Tracer::Global().size(), 0u);
+  EXPECT_EQ(Tracer::Global().dropped(), 0u);
+}
+
+TEST_F(TracerTest, ConcurrentSpansAllLand) {
+  Tracer::Global().Enable();
+  constexpr int kThreads = 4, kSpansEach = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpansEach; ++i) {
+        TraceSpan span("test", "test/span");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(Tracer::Global().size() + Tracer::Global().dropped(),
+            static_cast<size_t>(kThreads * kSpansEach));
+  // Distinct threads got distinct tids.
+  std::vector<TraceEvent> events = Tracer::Global().Events();
+  std::vector<int> tids;
+  for (const TraceEvent& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+}
+
+// Recording overhead on the PageRank iteration loop stays under 3%. Both
+// sides run the identical instrumented binary; the only difference is the
+// tracer being enabled (spans recorded) versus disabled (spans no-op).
+// min-of-N on both sides filters scheduler noise.
+TEST_F(TracerTest, RecordedOverheadUnderThreePercentOnPageRank) {
+  CsrMatrix a = GenerateRmat(5000, 60000, RmatOptions{.seed = 7});
+  gpusim::DeviceSpec spec;
+  auto kernel = CreateKernel("tile-composite", spec);
+  ASSERT_NE(kernel, nullptr);
+  ASSERT_TRUE(kernel->Setup(PageRankMatrix(a)).ok());
+  PageRankOptions opts;
+  opts.max_iterations = 30;
+  opts.tolerance = 0.0f;  // Fixed iteration count: identical work per run.
+
+  auto run_once = [&] {
+    WallTimer t;
+    Result<IterativeResult> r = RunPageRankPrepared(*kernel, opts);
+    double s = t.Seconds();
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.value().iterations, opts.max_iterations);
+    return s;
+  };
+
+  constexpr int kTrials = 7;
+  double off = 1e30, on = 1e30;
+  run_once();  // Warm caches before either timed side.
+  for (int i = 0; i < kTrials; ++i) {
+    Tracer::Global().Disable();
+    off = std::min(off, run_once());
+    Tracer::Global().Enable();
+    on = std::min(on, run_once());
+  }
+  Tracer::Global().Disable();
+  EXPECT_LT(on, off * 1.03) << "tracing overhead " << (on / off - 1.0) * 100
+                            << "% (off=" << off << "s on=" << on << "s)";
+}
+
+#endif  // SPMV_OBS_DISABLED
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+
+  Gauge g;
+  g.Set(2.5);
+  g.Add(-0.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.0);
+}
+
+TEST(MetricsTest, HistogramBucketsSumAndWindowPercentiles) {
+  Histogram h({1.0, 10.0, 100.0}, /*window=*/4);
+  for (double v : {0.5, 5.0, 50.0, 500.0}) h.Observe(v);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 555.5 / 4);
+  std::vector<uint64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + Inf.
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  // Window holds the last 4 samples; a flood of 7s evicts them all.
+  for (int i = 0; i < 4; ++i) h.Observe(7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 7.0);
+  // Bucket counts keep the full history even as the window slides.
+  EXPECT_EQ(h.Count(), 8u);
+}
+
+TEST(MetricsTest, EmptyHistogramIsZero) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+}
+
+TEST(MetricsTest, BucketGenerators) {
+  std::vector<double> exp = ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(exp.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp[0], 1.0);
+  EXPECT_DOUBLE_EQ(exp[3], 8.0);
+  std::vector<double> lin = LinearBuckets(10.0, 5.0, 3);
+  ASSERT_EQ(lin.size(), 3u);
+  EXPECT_DOUBLE_EQ(lin[2], 20.0);
+}
+
+TEST(MetricsTest, RegistryReturnsStableInstruments) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("requests_total", "Requests");
+  Counter* c2 = reg.GetCounter("requests_total");
+  EXPECT_EQ(c1, c2);
+  c1->Increment(3);
+  EXPECT_EQ(c2->Value(), 3u);
+  Histogram* h1 = reg.GetHistogram("latency", "Latency", {0.1, 1.0});
+  Histogram* h2 = reg.GetHistogram("latency", "Latency", {0.5});  // Ignored.
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsTest, PrometheusTextFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("reqs_total", "Total requests")->Increment(5);
+  reg.GetGauge("bytes", "Resident bytes")->Set(1024);
+  Histogram* h = reg.GetHistogram("lat_seconds", "Latency", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(5.0);
+  std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("# HELP reqs_total Total requests"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("reqs_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram"), std::string::npos);
+  // Cumulative buckets: 1 <= 0.1, 2 <= 1.0, 3 <= +Inf.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 3"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonExportMentionsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.GetCounter("c_total")->Increment();
+  reg.GetGauge("g")->Set(1.5);
+  reg.GetHistogram("h", "", {1.0})->Observe(0.5);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"c_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"g\""), std::string::npos);
+  EXPECT_NE(json.find("\"h\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(MetricsTest, ConcurrentObservationsAllCount) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("hits_total");
+  Histogram* h = reg.GetHistogram("obs", "", {0.5}, /*window=*/64);
+  constexpr int kThreads = 4, kOpsEach = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kOpsEach; ++i) {
+        c->Increment();
+        h->Observe(static_cast<double>(i % 2));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads * kOpsEach));
+  EXPECT_EQ(h->Count(), static_cast<uint64_t>(kThreads * kOpsEach));
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace tilespmv::obs

@@ -6,6 +6,7 @@
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace tilespmv {
 namespace {
@@ -131,6 +132,74 @@ TEST(StatsTest, SkewedLengthsArePowerLaw) {
 
 TEST(StatsTest, AlphaNeedsEnoughSamples) {
   EXPECT_EQ(EstimatePowerLawAlpha({5, 6, 7}, 1), 0.0);
+}
+
+TEST(PercentileTest, EmptySampleIsZero) {
+  EXPECT_EQ(Percentile({}, 50.0), 0.0);
+  EXPECT_EQ(Percentile({}, 0.0), 0.0);
+  EXPECT_EQ(Percentile({}, 100.0), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleIsThatSampleAtAnyQ) {
+  for (double q : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(Percentile({7.5}, q), 7.5) << "q=" << q;
+  }
+}
+
+TEST(PercentileTest, EndpointsAndMidpointOfSortedSample) {
+  std::vector<double> v{4.0, 1.0, 3.0, 2.0};  // Sorted internally.
+  EXPECT_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_EQ(Percentile(v, 100.0), 4.0);
+  // Midpoint interpolates between the two middle samples.
+  EXPECT_NEAR(Percentile(v, 50.0), 2.5, 1e-12);
+}
+
+TEST(PercentileTest, DuplicateHeavySampleStaysOnPlateau) {
+  // 1 then 99 copies of 5: every percentile above the first gap sits on the
+  // plateau and interpolation must not invent values between 1 and 5.
+  std::vector<double> v(100, 5.0);
+  v[0] = 1.0;
+  EXPECT_NEAR(Percentile(v, 50.0), 5.0, 1e-12);
+  EXPECT_NEAR(Percentile(v, 95.0), 5.0, 1e-12);
+  EXPECT_NEAR(Percentile(v, 99.0), 5.0, 1e-12);
+  EXPECT_EQ(Percentile(v, 0.0), 1.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  // Ranks 0..9 hold 0..90; q maps linearly over (n-1) gaps.
+  std::vector<double> v;
+  for (int i = 0; i < 10; ++i) v.push_back(10.0 * i);
+  EXPECT_NEAR(Percentile(v, 25.0), 22.5, 1e-12);
+  EXPECT_NEAR(Percentile(v, 95.0), 85.5, 1e-12);
+}
+
+TEST(WallTimerTest, NeverRunsBackwards) {
+  WallTimer t;
+  double last = t.Seconds();
+  EXPECT_GE(last, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    double now = t.Seconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(WallTimerTest, ResetRestartsFromZero) {
+  WallTimer t;
+  // Burn a little time so the pre-reset reading is strictly positive.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  double before = t.Seconds();
+  EXPECT_GT(before, 0.0);
+  t.Reset();
+  EXPECT_LT(t.Seconds(), before);
+}
+
+TEST(WallTimerTest, MeasuresElapsedWork) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(t.Seconds(), 0.0);
 }
 
 }  // namespace

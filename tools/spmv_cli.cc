@@ -37,6 +37,8 @@
 #include "io/edge_list.h"
 #include "io/matrix_market.h"
 #include "kernels/spmv.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/engine.h"
 #include "sparse/matrix_stats.h"
 #include "util/ascii_plot.h"
@@ -56,6 +58,9 @@ struct Flags {
   int threads = 4;
   int queries = 64;
   double window_ms = 2.0;
+  // Observability (any subcommand).
+  std::string trace_out;    // Chrome trace_event JSON.
+  std::string metrics_out;  // Prometheus text, or JSON if path ends in .json.
 };
 
 /// Parses the whole string as a double; rejects trailing garbage.
@@ -119,6 +124,10 @@ Status ParseFlags(int argc, char** argv, int first, Flags* f) {
         if (comma == nullptr) break;
         p = comma + 1;
       }
+    } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
+      f->trace_out = a + 12;
+    } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
+      f->metrics_out = a + 14;
     } else if (std::strcmp(a, "--verbose") == 0) {
       f->verbose = true;
     } else {
@@ -343,6 +352,8 @@ int CmdServe(const std::string& path, const Flags& f) {
   opts.batch_window_seconds = f.window_ms * 1e-3;
   opts.default_kernel = f.kernel;
   opts.default_device = f.device;
+  // Share the process-global registry so --metrics-out sees serve metrics.
+  opts.metrics = &obs::MetricsRegistry::Global();
   serve::Engine engine(opts);
   Status st = engine.AddGraph("g", a.take());
   if (!st.ok()) return Fail(st);
@@ -379,6 +390,9 @@ int CmdServe(const std::string& path, const Flags& f) {
                      r.status.ToString().c_str());
     }
   }
+  // Refresh the plan-cache/uptime gauges into the shared registry so the
+  // final --metrics-out dump includes them.
+  if (!f.metrics_out.empty()) (void)engine.MetricsText();
   engine.Shutdown();
   std::printf(
       "served %d queries (%d ok, %d failed): %d plan-cache hits, "
@@ -409,6 +423,32 @@ int CmdGenerate(const std::string& dataset, const std::string& out,
   return 0;
 }
 
+/// Dumps collected observability data after a command ran. Trace goes out as
+/// Chrome trace_event JSON; metrics as Prometheus text, or as JSON when the
+/// path ends in .json.
+int WriteObservability(const Flags& f, int rc) {
+  if (!f.trace_out.empty()) {
+    Status st = obs::Tracer::Global().WriteChromeTrace(f.trace_out);
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "wrote %zu trace spans to %s\n",
+                 obs::Tracer::Global().size(), f.trace_out.c_str());
+  }
+  if (!f.metrics_out.empty()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    std::string text = EndsWith(f.metrics_out, ".json")
+                           ? reg.ToJson()
+                           : reg.ToPrometheusText();
+    FILE* out = std::fopen(f.metrics_out.c_str(), "w");
+    if (out == nullptr)
+      return Fail(Status::IoError("cannot open " + f.metrics_out));
+    size_t written = std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    if (written != text.size())
+      return Fail(Status::IoError("short write to " + f.metrics_out));
+  }
+  return rc;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -417,6 +457,7 @@ int Usage() {
       "  flags: --kernel=NAME|auto --device=c1060|c2050 --damping=F "
       "--top=N --node=K --scale=F\n"
       "  serve: --threads=N --queries=N --window-ms=F\n"
+      "  observability: --trace-out=FILE --metrics-out=FILE[.json|.prom]\n"
       "  kernels:");
   for (const std::string& k : tilespmv::AllKernelNames()) {
     std::fprintf(stderr, " %s", k.c_str());
@@ -438,18 +479,22 @@ int Main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  if (cmd == "stats") return CmdStats(arg);
-  if (cmd == "spmv") return CmdSpmv(arg, flags);
-  if (cmd == "autotune") return CmdAutotune(arg, flags);
-  if (cmd == "pagerank") return CmdPageRank(arg, flags);
-  if (cmd == "hits") return CmdHits(arg, flags);
-  if (cmd == "rwr") return CmdRwr(arg, flags);
-  if (cmd == "katz") return CmdKatz(arg, flags);
-  if (cmd == "salsa") return CmdSalsa(arg, flags);
-  if (cmd == "serve") return CmdServe(arg, flags);
-  if (cmd == "convert" && argc >= 4) return CmdConvert(arg, argv[3]);
-  if (cmd == "generate" && argc >= 4) return CmdGenerate(arg, argv[3], flags);
-  return Usage();
+  if (!flags.trace_out.empty()) obs::Tracer::Global().Enable();
+  int rc = -1;
+  if (cmd == "stats") rc = CmdStats(arg);
+  else if (cmd == "spmv") rc = CmdSpmv(arg, flags);
+  else if (cmd == "autotune") rc = CmdAutotune(arg, flags);
+  else if (cmd == "pagerank") rc = CmdPageRank(arg, flags);
+  else if (cmd == "hits") rc = CmdHits(arg, flags);
+  else if (cmd == "rwr") rc = CmdRwr(arg, flags);
+  else if (cmd == "katz") rc = CmdKatz(arg, flags);
+  else if (cmd == "salsa") rc = CmdSalsa(arg, flags);
+  else if (cmd == "serve") rc = CmdServe(arg, flags);
+  else if (cmd == "convert" && argc >= 4) rc = CmdConvert(arg, argv[3]);
+  else if (cmd == "generate" && argc >= 4)
+    rc = CmdGenerate(arg, argv[3], flags);
+  if (rc < 0) return Usage();
+  return WriteObservability(flags, rc);
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+// Summarizes a Chrome trace_event JSON file produced by
+// `spmv_cli --trace-out=...` (or anything writing complete "X" events).
+// Groups span durations by phase — the text before the first '/' in the
+// span name, per the convention in docs/OBSERVABILITY.md — and prints each
+// phase's total time and share, e.g. preprocess vs spmv vs reduction.
+//
+//   trace_summarize <trace.json>
+//   trace_summarize -           (read stdin)
+//
+// Exits nonzero when the file holds no complete spans, so CI can assert a
+// run actually produced a trace.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string ReadAll(std::FILE* in) {
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) data.append(buf, n);
+  return data;
+}
+
+/// Extracts the string value of `"key":"..."` inside [begin, end). Returns
+/// an empty string when absent. Handles escaped quotes, which is all the
+/// escaping our span names can contain.
+std::string FindStringValue(const std::string& s, size_t begin, size_t end,
+                            const char* key) {
+  std::string needle = std::string("\"") + key + "\":\"";
+  size_t at = s.find(needle, begin);
+  if (at == std::string::npos || at >= end) return "";
+  size_t start = at + needle.size();
+  std::string out;
+  for (size_t i = start; i < end; ++i) {
+    if (s[i] == '\\' && i + 1 < end) {
+      out.push_back(s[i + 1]);
+      ++i;
+    } else if (s[i] == '"') {
+      return out;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return "";
+}
+
+/// Extracts the numeric value of `"key":N` inside [begin, end); -1 if absent.
+double FindNumberValue(const std::string& s, size_t begin, size_t end,
+                       const char* key) {
+  std::string needle = std::string("\"") + key + "\":";
+  size_t at = s.find(needle, begin);
+  if (at == std::string::npos || at >= end) return -1.0;
+  return std::strtod(s.c_str() + at + needle.size(), nullptr);
+}
+
+struct PhaseTotal {
+  double micros = 0.0;
+  int64_t spans = 0;
+};
+
+int Run(const char* path) {
+  std::FILE* in = std::strcmp(path, "-") == 0 ? stdin
+                                              : std::fopen(path, "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", path);
+    return 1;
+  }
+  std::string data = ReadAll(in);
+  if (in != stdin) std::fclose(in);
+
+  size_t events = data.find("\"traceEvents\"");
+  if (events == std::string::npos) {
+    std::fprintf(stderr, "error: %s has no traceEvents array\n", path);
+    return 1;
+  }
+
+  // Walk the flat event objects. Our exporter writes one object per span
+  // with no nested objects except a final "args"; scanning brace-balanced
+  // regions keeps this robust to args content.
+  std::map<std::string, PhaseTotal> phases;
+  double wall_begin = -1.0, wall_end = -1.0;
+  size_t pos = data.find('[', events);
+  int depth = 0;
+  size_t obj_start = 0;
+  for (size_t i = pos == std::string::npos ? data.size() : pos;
+       i < data.size(); ++i) {
+    char c = data[i];
+    if (c == '"') {  // Skip strings so braces inside values don't count.
+      for (++i; i < data.size(); ++i) {
+        if (data[i] == '\\') ++i;
+        else if (data[i] == '"') break;
+      }
+    } else if (c == '{') {
+      if (depth == 0) obj_start = i;
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) {
+        std::string name = FindStringValue(data, obj_start, i, "name");
+        std::string ph = FindStringValue(data, obj_start, i, "ph");
+        double dur = FindNumberValue(data, obj_start, i, "dur");
+        double ts = FindNumberValue(data, obj_start, i, "ts");
+        if (!name.empty() && ph == "X" && dur >= 0) {
+          std::string phase = name.substr(0, name.find('/'));
+          phases[phase].micros += dur;
+          ++phases[phase].spans;
+          if (ts >= 0) {
+            if (wall_begin < 0 || ts < wall_begin) wall_begin = ts;
+            wall_end = std::max(wall_end, ts + dur);
+          }
+        }
+      }
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+
+  int64_t total_spans = 0;
+  double total_micros = 0.0;
+  for (const auto& [phase, t] : phases) {
+    total_spans += t.spans;
+    total_micros += t.micros;
+  }
+  if (total_spans == 0) {
+    std::fprintf(stderr, "error: %s holds no complete spans\n", path);
+    return 1;
+  }
+
+  // Share is of summed span time: nested spans double-count their parent,
+  // so shares describe where instrumented time concentrates, not wall time.
+  std::vector<std::pair<std::string, PhaseTotal>> rows(phases.begin(),
+                                                       phases.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.micros > b.second.micros;
+  });
+  std::printf("%-12s %8s %12s %7s\n", "phase", "spans", "total_ms", "share");
+  for (const auto& [phase, t] : rows) {
+    std::printf("%-12s %8lld %12.3f %6.1f%%\n", phase.c_str(),
+                static_cast<long long>(t.spans), t.micros / 1e3,
+                100.0 * t.micros / total_micros);
+  }
+  std::printf("%-12s %8lld %12.3f %6.1f%%\n", "total",
+              static_cast<long long>(total_spans), total_micros / 1e3, 100.0);
+  if (wall_begin >= 0) {
+    std::printf("trace wall span: %.3f ms\n", (wall_end - wall_begin) / 1e3);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_summarize <trace.json|->\n");
+    return 2;
+  }
+  return Run(argv[1]);
+}
