@@ -8,6 +8,7 @@
 #include "core/tiling.h"
 #include "kernels/spmv.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 #include "sparse/permute.h"
 #include "util/timer.h"
 
@@ -48,19 +49,24 @@ Result<PreprocessReport> MeasurePreprocessing(
   {
     obs::TraceSpan span("preprocess", "preprocess/composite");
     PerfModel model(spec);
-    for (const TileSlice& slice : tiled.dense_tiles) {
-      std::vector<int64_t> lens = SortedOccupiedRowLengths(slice.local);
-      if (lens.empty()) continue;
-      TileAutotune tuned = ChooseWorkloadSize(lens, /*cached=*/true, model);
-      BuildComposite(slice.local, tuned.workload_size, spec, true);
-    }
-    std::vector<int64_t> sparse_lens =
-        SortedOccupiedRowLengths(tiled.sparse_part);
-    if (!sparse_lens.empty()) {
-      TileAutotune tuned = ChooseWorkloadSize(sparse_lens, /*cached=*/false,
-                                              model);
-      BuildComposite(tiled.sparse_part, tuned.workload_size, spec, true);
-    }
+    // One pool chunk per tile; the sparse remainder rides along as the
+    // final entry. Mirrors TileCompositeKernel::Setup's concurrent build.
+    const int64_t num_tiles = static_cast<int64_t>(tiled.dense_tiles.size());
+    par::LoopOptions tile_opts;
+    tile_opts.grain = 1;
+    tile_opts.chunking = par::Chunking::kGuided;
+    tile_opts.label = "par/measure_composite";
+    par::ParallelFor(0, num_tiles + 1, tile_opts, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const bool cached = i < num_tiles;
+        const CsrMatrix& tile_csr =
+            cached ? tiled.dense_tiles[i].local : tiled.sparse_part;
+        std::vector<int64_t> lens = SortedOccupiedRowLengths(tile_csr);
+        if (lens.empty()) continue;
+        TileAutotune tuned = ChooseWorkloadSize(lens, cached, model);
+        BuildComposite(tile_csr, tuned.workload_size, spec, true);
+      }
+    });
   }
   report.composite_seconds = timer.Seconds();
   report.total_seconds = report.sort_columns_seconds +

@@ -4,6 +4,7 @@
 
 #include "kernels/gpu_common.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 
 namespace tilespmv {
 
@@ -47,40 +48,70 @@ Status TileCompositeKernel::Setup(const CsrMatrix& a) {
   }
 
   // Pick each tile's workload size (Algorithm 2) and build the composite
-  // storage. The sparse remainder becomes one final, uncached tile.
-  auto build_tile = [&](const CsrMatrix& tile_csr, int32_t col_begin,
-                        bool cached) -> Status {
-    obs::TraceSpan span("preprocess", "preprocess/composite_tile");
-    std::vector<int64_t> lens = SortedOccupiedRowLengths(tile_csr);
-    if (lens.empty()) return Status::OK();
-    if (span.active()) {
-      span.Arg("tile", static_cast<int64_t>(tiles_.size()));
-      span.Arg("cached", static_cast<int64_t>(cached ? 1 : 0));
-      span.Arg("nnz", tile_csr.nnz());
-    }
-    int64_t wl = options_.forced_workload;
-    if (wl <= 0) {
-      TileAutotune tuned = ChooseWorkloadSize(lens, cached, model_);
-      wl = tuned.workload_size;
-      predicted_seconds_ += tuned.predicted_seconds;
-    } else {
-      wl = std::max(wl, lens.front());  // The longest row cannot be split.
-      predicted_seconds_ += model_.PredictTileSeconds(lens, wl, cached);
-    }
-    BuiltTile bt;
-    bt.col_begin = col_begin;
-    bt.cached = cached;
-    bt.ct = BuildComposite(tile_csr, wl, spec_, options_.camping_padding);
-    workload_sizes_.push_back(wl);
-    tiles_.push_back(std::move(bt));
-    return Status::OK();
+  // storage, one pool chunk per tile. The sparse remainder becomes one
+  // final, uncached tile. Results land in per-tile slots and are compacted
+  // in tile order afterwards, so tiles_ / workload_sizes_ /
+  // predicted_seconds_ come out identical to the old sequential build.
+  struct TileInput {
+    const CsrMatrix* csr;
+    int32_t col_begin;
+    bool cached;
   };
+  std::vector<TileInput> inputs;
+  inputs.reserve(tiled.dense_tiles.size() + 1);
   for (const TileSlice& slice : tiled.dense_tiles) {
-    TILESPMV_RETURN_IF_ERROR(
-        build_tile(slice.local, slice.col_begin, /*cached=*/true));
+    inputs.push_back({&slice.local, slice.col_begin, /*cached=*/true});
   }
-  TILESPMV_RETURN_IF_ERROR(
-      build_tile(tiled.sparse_part, /*col_begin=*/0, /*cached=*/false));
+  inputs.push_back({&tiled.sparse_part, /*col_begin=*/0, /*cached=*/false});
+
+  struct TileOutput {
+    BuiltTile bt;
+    int64_t wl = 0;
+    double predicted = 0.0;
+    bool used = false;
+  };
+  std::vector<TileOutput> outputs(inputs.size());
+  par::LoopOptions tile_opts;
+  tile_opts.grain = 1;
+  tile_opts.chunking = par::Chunking::kGuided;
+  tile_opts.label = "par/composite_build";
+  par::ParallelFor(
+      0, static_cast<int64_t>(inputs.size()), tile_opts,
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const TileInput& in = inputs[i];
+          obs::TraceSpan span("preprocess", "preprocess/composite_tile");
+          std::vector<int64_t> lens = SortedOccupiedRowLengths(*in.csr);
+          if (lens.empty()) continue;
+          if (span.active()) {
+            span.Arg("tile", i);
+            span.Arg("cached", static_cast<int64_t>(in.cached ? 1 : 0));
+            span.Arg("nnz", in.csr->nnz());
+          }
+          TileOutput& out = outputs[i];
+          int64_t wl = options_.forced_workload;
+          if (wl <= 0) {
+            TileAutotune tuned = ChooseWorkloadSize(lens, in.cached, model_);
+            wl = tuned.workload_size;
+            out.predicted = tuned.predicted_seconds;
+          } else {
+            wl = std::max(wl, lens.front());  // Longest row cannot be split.
+            out.predicted = model_.PredictTileSeconds(lens, wl, in.cached);
+          }
+          out.bt.col_begin = in.col_begin;
+          out.bt.cached = in.cached;
+          out.bt.ct =
+              BuildComposite(*in.csr, wl, spec_, options_.camping_padding);
+          out.wl = wl;
+          out.used = true;
+        }
+      });
+  for (TileOutput& out : outputs) {
+    if (!out.used) continue;
+    predicted_seconds_ += out.predicted;
+    workload_sizes_.push_back(out.wl);
+    tiles_.push_back(std::move(out.bt));
+  }
 
   // ---- Simulate one multiply. ----
   obs::TraceSpan sim_span("kernel", "kernel/simulate");
@@ -141,16 +172,29 @@ Status TileCompositeKernel::Setup(const CsrMatrix& a) {
 void TileCompositeKernel::Multiply(const std::vector<float>& x,
                                    std::vector<float>* y) const {
   y->assign(rows_, 0.0f);
+  // Tiles stay sequential (each accumulates into y written by its
+  // predecessors); positions within a tile target unique rows
+  // (ct.row_order holds each occupied row once), so the per-tile loop is
+  // row-parallel and the per-row += order — one sum per tile, in tile
+  // order — is unchanged. Bitwise identical at every thread count.
+  par::LoopOptions options;
+  options.grain = 256;
+  options.chunking = par::Chunking::kGuided;
+  options.label = "par/tile_composite_multiply";
   for (const BuiltTile& bt : tiles_) {
     const CompositeTile& ct = bt.ct;
-    for (size_t p = 0; p < ct.row_order.size(); ++p) {
-      float sum = 0.0f;
-      int64_t start = ct.row_start[p];
-      for (int64_t k = 0; k < ct.row_len[p]; ++k) {
-        sum += ct.vals[start + k] * x[bt.col_begin + ct.cols[start + k]];
-      }
-      (*y)[ct.row_order[p]] += sum;
-    }
+    par::ParallelFor(
+        0, static_cast<int64_t>(ct.row_order.size()), options,
+        [&](int64_t p0, int64_t p1) {
+          for (int64_t p = p0; p < p1; ++p) {
+            float sum = 0.0f;
+            int64_t start = ct.row_start[p];
+            for (int64_t k = 0; k < ct.row_len[p]; ++k) {
+              sum += ct.vals[start + k] * x[bt.col_begin + ct.cols[start + k]];
+            }
+            (*y)[ct.row_order[p]] += sum;
+          }
+        });
   }
 }
 

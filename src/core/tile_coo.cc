@@ -1,6 +1,7 @@
 #include "core/tile_coo.h"
 
 #include "kernels/walks.h"
+#include "par/pool.h"
 
 namespace tilespmv {
 
@@ -69,24 +70,36 @@ Status TileCooKernel::Setup(const CsrMatrix& a) {
 void TileCooKernel::Multiply(const std::vector<float>& x,
                              std::vector<float>* y) const {
   y->assign(rows_, 0.0f);
+  // Tiles stay sequential (each accumulates into y from its predecessors);
+  // rows within a tile are independent, so each tile's loop is
+  // row-parallel. The per-row += order — one sum per tile, in tile order —
+  // is unchanged, so the result is bitwise identical.
+  par::LoopOptions options;
+  options.grain = 256;
+  options.chunking = par::Chunking::kGuided;
+  options.label = "par/tile_coo_multiply";
   for (const TileSlice& slice : tiled_.dense_tiles) {
     const CsrMatrix& t = slice.local;
-    for (int32_t r = 0; r < t.rows; ++r) {
+    par::ParallelFor(0, t.rows, options, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        float sum = 0.0f;
+        for (int64_t k = t.row_ptr[r]; k < t.row_ptr[r + 1]; ++k) {
+          sum += t.values[k] * x[slice.col_begin + t.col_idx[k]];
+        }
+        (*y)[r] += sum;
+      }
+    });
+  }
+  const CsrMatrix& s = tiled_.sparse_part;
+  par::ParallelFor(0, s.rows, options, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
       float sum = 0.0f;
-      for (int64_t k = t.row_ptr[r]; k < t.row_ptr[r + 1]; ++k) {
-        sum += t.values[k] * x[slice.col_begin + t.col_idx[k]];
+      for (int64_t k = s.row_ptr[r]; k < s.row_ptr[r + 1]; ++k) {
+        sum += s.values[k] * x[s.col_idx[k]];
       }
       (*y)[r] += sum;
     }
-  }
-  const CsrMatrix& s = tiled_.sparse_part;
-  for (int32_t r = 0; r < s.rows; ++r) {
-    float sum = 0.0f;
-    for (int64_t k = s.row_ptr[r]; k < s.row_ptr[r + 1]; ++k) {
-      sum += s.values[k] * x[s.col_idx[k]];
-    }
-    (*y)[r] += sum;
-  }
+  });
 }
 
 }  // namespace tilespmv

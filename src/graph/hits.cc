@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 #include "sparse/convert.h"
 #include "util/check.h"
 
@@ -52,17 +53,41 @@ Result<HitsScores> RunHitsPrepared(const SpMVKernel& kernel,
     }
     {
       obs::TraceSpan red_span("reduction", "reduction/hits_normalize");
-      double sum_a = 0.0, sum_h = 0.0;
-      for (int32_t i = 0; i < n2; ++i) {
-        (is_authority[i] ? sum_a : sum_h) += std::fabs(y[i]);
-      }
-      float inv_a = sum_a > 0 ? static_cast<float>(1.0 / sum_a) : 0.0f;
-      float inv_h = sum_h > 0 ? static_cast<float>(1.0 / sum_h) : 0.0f;
-      for (int32_t i = 0; i < n2; ++i) {
-        float next = y[i] * (is_authority[i] ? inv_a : inv_h);
-        delta += std::fabs(static_cast<double>(next) - v[i]);
-        v[i] = next;
-      }
+      // Both reductions use the fixed-block recipe (see par/pool.h), so
+      // sums and delta are bitwise identical at every thread count.
+      struct HalfSums {
+        double a = 0.0, h = 0.0;
+      };
+      HalfSums sums = par::ParallelReduce<HalfSums>(
+          0, n2, par::kReduceBlock, HalfSums{},
+          [&](int64_t lo, int64_t hi) {
+            HalfSums local;
+            for (int64_t i = lo; i < hi; ++i) {
+              (is_authority[i] ? local.a : local.h) += std::fabs(y[i]);
+            }
+            return local;
+          },
+          [](HalfSums x, HalfSums w) {
+            x.a += w.a;
+            x.h += w.h;
+            return x;
+          },
+          "par/hits_half_sums");
+      float inv_a = sums.a > 0 ? static_cast<float>(1.0 / sums.a) : 0.0f;
+      float inv_h = sums.h > 0 ? static_cast<float>(1.0 / sums.h) : 0.0f;
+      delta = par::ParallelReduce<double>(
+          0, n2, par::kReduceBlock, 0.0,
+          [&](int64_t lo, int64_t hi) {
+            double local = 0.0;
+            for (int64_t i = lo; i < hi; ++i) {
+              float next = y[i] * (is_authority[i] ? inv_a : inv_h);
+              local += std::fabs(static_cast<double>(next) - v[i]);
+              v[i] = next;
+            }
+            return local;
+          },
+          [](double a, double b) { return a + b; },
+          "par/hits_update");
     }
     ++out.stats.iterations;
     out.stats.delta_history.push_back(delta);

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 #include "sparse/convert.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -69,11 +70,22 @@ Result<IterativeResult> RunPageRankPrepared(const SpMVKernel& kernel,
     }
     {
       obs::TraceSpan red_span("reduction", "reduction/pagerank_update");
-      for (int32_t i = 0; i < n; ++i) {
-        float next = c * y[i] + (1.0f - c) * p0[i];
-        delta += std::fabs(static_cast<double>(next) - p[i]);
-        p[i] = next;
-      }
+      // Fixed-block reduction: each block updates its slice of p and sums
+      // its residual contribution serially; partials combine in block
+      // order, so delta is bitwise identical at every thread count.
+      delta = par::ParallelReduce<double>(
+          0, n, par::kReduceBlock, 0.0,
+          [&](int64_t lo, int64_t hi) {
+            double local = 0.0;
+            for (int64_t i = lo; i < hi; ++i) {
+              float next = c * y[i] + (1.0f - c) * p0[i];
+              local += std::fabs(static_cast<double>(next) - p[i]);
+              p[i] = next;
+            }
+            return local;
+          },
+          [](double a, double b) { return a + b; },
+          "par/pagerank_update");
     }
     ++out.iterations;
     out.delta_history.push_back(delta);

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 #include "sparse/convert.h"
 #include "util/check.h"
 
@@ -54,11 +55,22 @@ Result<RwrResult> RwrEngine::Query(int32_t node,
     }
     {
       obs::TraceSpan red_span("reduction", "reduction/rwr_update");
-      for (int32_t i = 0; i < n_; ++i) {
-        float next = c * y[i] + (i == internal_node ? 1.0f - c : 0.0f);
-        delta += std::fabs(static_cast<double>(next) - r[i]);
-        r[i] = next;
-      }
+      // Fixed-block reduction (see par/pool.h): delta is bitwise identical
+      // at every thread count.
+      delta = par::ParallelReduce<double>(
+          0, n_, par::kReduceBlock, 0.0,
+          [&](int64_t lo, int64_t hi) {
+            double local = 0.0;
+            for (int64_t i = lo; i < hi; ++i) {
+              float next =
+                  c * y[i] + (i == internal_node ? 1.0f - c : 0.0f);
+              local += std::fabs(static_cast<double>(next) - r[i]);
+              r[i] = next;
+            }
+            return local;
+          },
+          [](double a, double b) { return a + b; },
+          "par/rwr_update");
     }
     ++out.stats.iterations;
     out.stats.delta_history.push_back(delta);
@@ -147,12 +159,20 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
         kernel_->Multiply(r[q], &y);
       }
       obs::TraceSpan red_span("reduction", "reduction/rwr_update");
-      double delta = 0.0;
-      for (int32_t i = 0; i < n_; ++i) {
-        float next = c * y[i] + (i == internal ? 1.0f - c : 0.0f);
-        delta += std::fabs(static_cast<double>(next) - r[q][i]);
-        r[q][i] = next;
-      }
+      std::vector<float>& rq = r[q];
+      double delta = par::ParallelReduce<double>(
+          0, n_, par::kReduceBlock, 0.0,
+          [&](int64_t lo, int64_t hi) {
+            double local = 0.0;
+            for (int64_t i = lo; i < hi; ++i) {
+              float next = c * y[i] + (i == internal ? 1.0f - c : 0.0f);
+              local += std::fabs(static_cast<double>(next) - rq[i]);
+              rq[i] = next;
+            }
+            return local;
+          },
+          [](double a, double b) { return a + b; },
+          "par/rwr_batch_update");
       ++out[q].stats.iterations;
       out[q].stats.delta_history.push_back(delta);
       if (delta < options.tolerance) {

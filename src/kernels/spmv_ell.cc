@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kernels/walks.h"
+#include "par/pool.h"
 
 namespace tilespmv {
 namespace gpu {
@@ -92,15 +93,25 @@ Status EllKernel::Setup(const CsrMatrix& a) {
 void EllKernel::Multiply(const std::vector<float>& x,
                          std::vector<float>* y) const {
   y->assign(rows_, 0.0f);
-  for (int32_t j = 0; j < m_.width; ++j) {
-    for (int32_t r = 0; r < m_.rows; ++r) {
-      size_t slot = static_cast<size_t>(j) * m_.rows + r;
-      int32_t c = m_.col_idx[slot];
-      if (c != EllMatrix::kEllPad) {
-        (*y)[r] += m_.values[slot] * x[c];
+  // Row-outer order keeps each row's slot accumulation in increasing-j
+  // order — the same per-element sequence as the serial column-major walk,
+  // so the result is bitwise identical at every thread count.
+  par::LoopOptions options;
+  options.grain = 512;
+  options.label = "par/ell_multiply";
+  par::ParallelFor(0, m_.rows, options, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      float sum = 0.0f;
+      for (int32_t j = 0; j < m_.width; ++j) {
+        size_t slot = static_cast<size_t>(j) * m_.rows + static_cast<size_t>(r);
+        int32_t c = m_.col_idx[slot];
+        if (c != EllMatrix::kEllPad) {
+          sum += m_.values[slot] * x[c];
+        }
       }
+      (*y)[r] = sum;
     }
-  }
+  });
 }
 
 }  // namespace tilespmv

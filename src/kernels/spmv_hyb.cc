@@ -1,6 +1,9 @@
 #include "kernels/spmv_hyb.h"
 
+#include <algorithm>
+
 #include "kernels/walks.h"
+#include "par/pool.h"
 
 namespace tilespmv {
 
@@ -35,18 +38,34 @@ void HybKernel::Multiply(const std::vector<float>& x,
                          std::vector<float>* y) const {
   y->assign(rows_, 0.0f);
   const EllMatrix& e = m_.ell;
-  for (int32_t j = 0; j < e.width; ++j) {
-    for (int32_t r = 0; r < e.rows; ++r) {
-      size_t slot = static_cast<size_t>(j) * e.rows + r;
-      int32_t c = e.col_idx[slot];
-      if (c != EllMatrix::kEllPad) {
-        (*y)[r] += e.values[slot] * x[c];
+  // Per-row fusion: each row takes its ELL slots in increasing-j order and
+  // then its COO tail entries in k order — the same per-element sequence as
+  // the serial two-pass walk, so the result is bitwise identical. The COO
+  // tail is row-sorted (CooFromCsr), so each chunk locates its range once.
+  par::LoopOptions options;
+  options.grain = 512;
+  options.label = "par/hyb_multiply";
+  par::ParallelFor(0, rows_, options, [&](int64_t r0, int64_t r1) {
+    const int32_t* coo_rows = m_.coo.row_idx.data();
+    const int64_t coo_nnz = m_.coo.nnz();
+    int64_t k = std::lower_bound(coo_rows, coo_rows + coo_nnz,
+                                 static_cast<int32_t>(r0)) -
+                coo_rows;
+    for (int64_t r = r0; r < r1; ++r) {
+      float sum = 0.0f;
+      for (int32_t j = 0; j < e.width; ++j) {
+        size_t slot = static_cast<size_t>(j) * e.rows + static_cast<size_t>(r);
+        int32_t c = e.col_idx[slot];
+        if (c != EllMatrix::kEllPad) {
+          sum += e.values[slot] * x[c];
+        }
       }
+      for (; k < coo_nnz && coo_rows[k] == r; ++k) {
+        sum += m_.coo.values[k] * x[m_.coo.col_idx[k]];
+      }
+      (*y)[r] = sum;
     }
-  }
-  for (int64_t k = 0; k < m_.coo.nnz(); ++k) {
-    (*y)[m_.coo.row_idx[k]] += m_.coo.values[k] * x[m_.coo.col_idx[k]];
-  }
+  });
 }
 
 }  // namespace tilespmv

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kernels/gpu_common.h"
+#include "par/pool.h"
 
 namespace tilespmv {
 namespace {
@@ -119,20 +120,55 @@ Status MergeCsrKernel::Setup(const CsrMatrix& a) {
 void MergeCsrKernel::Multiply(const std::vector<float>& x,
                               std::vector<float>* y) const {
   y->assign(rows_, 0.0f);
-  // Execute segment by segment, exactly as the warps would: full rows sum
-  // locally, boundary rows accumulate carries across segments.
-  for (const Segment& seg : segments_) {
-    int32_t row = seg.row_begin;
-    float carry = 0.0f;
-    for (int64_t k = seg.nnz_begin; k < seg.nnz_end; ++k) {
-      while (row < rows_ && a_.row_ptr[row + 1] <= k) {
-        (*y)[row] += carry;
-        carry = 0.0f;
-        ++row;
-      }
-      carry += a_.values[k] * x[a_.col_idx[k]];
-    }
-    if (row < rows_) (*y)[row] += carry;
+  // Segments execute in parallel, each replaying its warp's merge walk.
+  // In-loop flushes on rows past the segment's first row are complete rows
+  // no other segment touches, so they apply directly (y[row] is still the
+  // assigned 0.0f, matching the serial += on 0.0f). Flushes on the
+  // segment's first row and the trailing carry can hit rows shared with
+  // neighbouring segments; those are recorded and replayed serially in
+  // segment order below — the exact serial += sequence per row, so the
+  // result is bitwise identical at every thread count.
+  struct Deferred {
+    int32_t row[2];
+    float value[2];
+    int count = 0;
+  };
+  std::vector<Deferred> deferred(segments_.size());
+  par::LoopOptions options;
+  options.grain = 1;
+  options.chunking = par::Chunking::kGuided;
+  options.label = "par/merge_csr_segments";
+  par::ParallelFor(
+      0, static_cast<int64_t>(segments_.size()), options,
+      [&](int64_t s0, int64_t s1) {
+        for (int64_t s = s0; s < s1; ++s) {
+          const Segment& seg = segments_[s];
+          Deferred& d = deferred[s];
+          int32_t row = seg.row_begin;
+          float carry = 0.0f;
+          for (int64_t k = seg.nnz_begin; k < seg.nnz_end; ++k) {
+            while (row < rows_ && a_.row_ptr[row + 1] <= k) {
+              if (row == seg.row_begin) {
+                d.row[d.count] = row;
+                d.value[d.count] = carry;
+                ++d.count;
+              } else {
+                (*y)[row] += carry;
+              }
+              carry = 0.0f;
+              ++row;
+            }
+            carry += a_.values[k] * x[a_.col_idx[k]];
+          }
+          if (row < rows_) {
+            d.row[d.count] = row;
+            d.value[d.count] = carry;
+            ++d.count;
+          }
+        }
+      });
+  for (const Deferred& d : deferred) {
+    for (int i = 0; i < d.count; ++i) (*y)[d.row[i]] += d.value[i];
   }
 }
 

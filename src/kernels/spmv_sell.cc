@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "kernels/gpu_common.h"
+#include "par/pool.h"
 
 namespace tilespmv {
 
@@ -106,13 +107,22 @@ Status SellKernel::Setup(const CsrMatrix& a) {
 void SellKernel::Multiply(const std::vector<float>& x,
                           std::vector<float>* y) const {
   y->assign(rows_, 0.0f);
-  for (int32_t r = 0; r < sorted_.rows; ++r) {
-    float sum = 0.0f;
-    for (int64_t k = sorted_.row_ptr[r]; k < sorted_.row_ptr[r + 1]; ++k) {
-      sum += sorted_.values[k] * x[sorted_.col_idx[k]];
+  // Rows of the length-sorted matrix are independent; per-row accumulation
+  // order is unchanged, so the result is bitwise identical. The sort means
+  // early chunks are heavy and late ones light — guided chunking balances.
+  par::LoopOptions options;
+  options.grain = 256;
+  options.chunking = par::Chunking::kGuided;
+  options.label = "par/sell_multiply";
+  par::ParallelFor(0, sorted_.rows, options, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      float sum = 0.0f;
+      for (int64_t k = sorted_.row_ptr[r]; k < sorted_.row_ptr[r + 1]; ++k) {
+        sum += sorted_.values[k] * x[sorted_.col_idx[k]];
+      }
+      (*y)[r] = sum;
     }
-    (*y)[r] = sum;
-  }
+  });
 }
 
 }  // namespace tilespmv

@@ -1,0 +1,341 @@
+#include "par/pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tilespmv::par {
+namespace {
+
+/// True while this thread is executing a chunk for some region; nested
+/// ParallelFor calls run inline instead of fanning out again.
+thread_local bool tls_in_chunk = false;
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// One parallel loop in flight. Lives on the submitting thread's stack; the
+/// submitter only returns after `done == total && active == 0`, so workers
+/// never touch a freed region.
+struct ThreadPool::Region {
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  int64_t grain = 1;
+  Chunking chunking = Chunking::kStatic;
+  int64_t total = 0;
+  int participants = 1;
+
+  /// Guided chunking: one shared cursor over [cursor, end).
+  std::atomic<int64_t> cursor{0};
+  int64_t end = 0;
+
+  /// Static chunking: one contiguous block per participant slot. All block
+  /// fields are guarded by the block's mutex; owners take grain-sized
+  /// chunks from the front, thieves take half the remainder from the back.
+  struct Block {
+    std::mutex mu;
+    int64_t next = 0;
+    int64_t end = 0;
+  };
+  std::vector<std::unique_ptr<Block>> blocks;
+  std::atomic<int> next_slot{0};
+
+  std::atomic<int64_t> done{0};
+  std::atomic<int> active{0};
+  std::atomic<uint64_t> tasks{0};
+  std::atomic<uint64_t> steals{0};
+  std::atomic<uint64_t> busy_ns{0};
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  /// Grabs the next chunk for participant `slot`. Returns false when the
+  /// region has no grabbable work left (work only ever shrinks, so false is
+  /// final).
+  bool Grab(int slot, int64_t* b, int64_t* e, bool* stole) {
+    *stole = false;
+    if (chunking == Chunking::kGuided) {
+      for (;;) {
+        int64_t cur = cursor.load(std::memory_order_relaxed);
+        if (cur >= end) return false;
+        int64_t remaining = end - cur;
+        int64_t k = std::max(grain, remaining / (2 * participants));
+        k = std::min(k, remaining);
+        if (cursor.compare_exchange_weak(cur, cur + k,
+                                         std::memory_order_relaxed)) {
+          *b = cur;
+          *e = cur + k;
+          return true;
+        }
+      }
+    }
+    const int nblocks = static_cast<int>(blocks.size());
+    Block& own = *blocks[static_cast<size_t>(slot % nblocks)];
+    {
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (own.next < own.end) {
+        *b = own.next;
+        *e = std::min(own.next + grain, own.end);
+        own.next = *e;
+        return true;
+      }
+    }
+    // Own block exhausted: steal the back half (at least a grain) of the
+    // first other block that still has work.
+    for (int offset = 1; offset < nblocks; ++offset) {
+      Block& victim = *blocks[static_cast<size_t>((slot + offset) % nblocks)];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      int64_t remaining = victim.end - victim.next;
+      if (remaining <= 0) continue;
+      int64_t k = std::min(remaining, std::max(grain, remaining / 2));
+      *b = victim.end - k;
+      *e = victim.end;
+      victim.end = *b;
+      *stole = true;
+      return true;
+    }
+    return false;
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) { Resize(num_threads); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: the pool must outlive every static object whose
+  // destructor might still run a loop.
+  static ThreadPool* pool = new ThreadPool(0);
+  return *pool;
+}
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("TILESPMV_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::SetGlobalThreadCount(int num_threads) {
+  Global().Resize(num_threads);
+}
+
+void ThreadPool::Resize(int num_threads) {
+  if (num_threads <= 0) num_threads = DefaultThreadCount();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("tilespmv_par_threads", "Compute pool participant count")
+      ->Set(static_cast<double>(num_threads));
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.regions = total_regions_.load(std::memory_order_relaxed);
+  s.tasks = total_tasks_.load(std::memory_order_relaxed);
+  s.steals = total_steals_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Region* region = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !regions_.empty(); });
+      if (regions_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      region = regions_.front();
+      region->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    WorkOn(region);
+    // A returning WorkOn means the region has no grabbable work left;
+    // retire it so idle workers stop picking it up.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = std::find(regions_.begin(), regions_.end(), region);
+      if (it != regions_.end()) regions_.erase(it);
+    }
+    // Decrement and notify under the region mutex: the submitter's wait
+    // holds the same mutex, so it cannot observe active == 0 and destroy
+    // the region while this thread is still touching it.
+    {
+      std::lock_guard<std::mutex> lock(region->done_mu);
+      region->active.fetch_sub(1, std::memory_order_release);
+      region->done_cv.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::WorkOn(Region* region) {
+  const int slot = region->next_slot.fetch_add(1, std::memory_order_relaxed);
+  uint64_t chunks = 0;
+  uint64_t steals = 0;
+  uint64_t busy = 0;
+  int64_t begin = 0;
+  int64_t end = 0;
+  bool stole = false;
+  while (region->Grab(slot, &begin, &end, &stole)) {
+    ++chunks;
+    if (stole) ++steals;
+    const uint64_t t0 = NowNanos();
+    tls_in_chunk = true;
+    (*region->fn)(begin, end);
+    tls_in_chunk = false;
+    busy += NowNanos() - t0;
+    region->done.fetch_add(end - begin, std::memory_order_release);
+  }
+  if (chunks > 0) {
+    region->tasks.fetch_add(chunks, std::memory_order_relaxed);
+    region->steals.fetch_add(steals, std::memory_order_relaxed);
+    region->busy_ns.fetch_add(busy, std::memory_order_relaxed);
+  }
+  return chunks > 0;
+}
+
+void ThreadPool::PublishMetrics(const Region& region, double wall_seconds,
+                                const char* label) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* regions =
+      registry.GetCounter("tilespmv_par_regions_total",
+                          "Parallel loops executed through the pool");
+  static obs::Counter* tasks = registry.GetCounter(
+      "tilespmv_par_tasks_total", "Chunks executed by pool participants");
+  static obs::Counter* steals = registry.GetCounter(
+      "tilespmv_par_steals_total", "Static-chunking block steals");
+  static obs::Histogram* utilization = registry.GetHistogram(
+      "tilespmv_par_utilization",
+      "Per-region busy fraction: busy time / (wall time * participants)",
+      obs::LinearBuckets(0.1, 0.1, 10));
+  const uint64_t region_tasks = region.tasks.load(std::memory_order_relaxed);
+  const uint64_t region_steals = region.steals.load(std::memory_order_relaxed);
+  regions->Increment();
+  tasks->Increment(region_tasks);
+  steals->Increment(region_steals);
+  total_regions_.fetch_add(1, std::memory_order_relaxed);
+  total_tasks_.fetch_add(region_tasks, std::memory_order_relaxed);
+  total_steals_.fetch_add(region_steals, std::memory_order_relaxed);
+  if (wall_seconds > 0) {
+    const double busy_seconds =
+        static_cast<double>(region.busy_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    utilization->Observe(busy_seconds /
+                         (wall_seconds * region.participants));
+  }
+  (void)label;
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const LoopOptions& options,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  const int64_t n = end - begin;
+  const int participants = num_threads();
+  // Inline when fanning out cannot help: nested inside a pool chunk, a
+  // 1-thread pool, or a range too short to split at the grain.
+  if (tls_in_chunk || participants == 1 || n < 2 * options.grain) {
+    fn(begin, end);
+    return;
+  }
+
+  const char* label = options.label != nullptr ? options.label : "par/for";
+  obs::TraceSpan span("par", label);
+  const uint64_t t0 = NowNanos();
+
+  Region region;
+  region.fn = &fn;
+  region.grain = std::max<int64_t>(1, options.grain);
+  region.chunking = options.chunking;
+  region.total = n;
+  region.participants = participants;
+  if (options.chunking == Chunking::kGuided) {
+    region.cursor.store(begin, std::memory_order_relaxed);
+    region.end = end;
+  } else {
+    region.blocks.reserve(static_cast<size_t>(participants));
+    for (int i = 0; i < participants; ++i) {
+      auto block = std::make_unique<Region::Block>();
+      block->next = begin + n * i / participants;
+      block->end = begin + n * (i + 1) / participants;
+      region.blocks.push_back(std::move(block));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    regions_.push_back(&region);
+  }
+  cv_.notify_all();
+
+  WorkOn(&region);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find(regions_.begin(), regions_.end(), &region);
+    if (it != regions_.end()) regions_.erase(it);
+  }
+  {
+    std::unique_lock<std::mutex> lock(region.done_mu);
+    region.done_cv.wait(lock, [&region] {
+      return region.done.load(std::memory_order_acquire) == region.total &&
+             region.active.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  const double wall_seconds = static_cast<double>(NowNanos() - t0) * 1e-9;
+  PublishMetrics(region, wall_seconds, label);
+  if (span.active()) {
+    span.Arg("items", n);
+    span.Arg("tasks",
+             static_cast<int64_t>(region.tasks.load(std::memory_order_relaxed)));
+    span.Arg("steals", static_cast<int64_t>(
+                           region.steals.load(std::memory_order_relaxed)));
+    span.Arg("threads", participants);
+  }
+}
+
+void ParallelFor(int64_t begin, int64_t end, const LoopOptions& options,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, options, fn);
+}
+
+}  // namespace tilespmv::par

@@ -1,0 +1,172 @@
+#ifndef TILESPMV_PAR_POOL_H_
+#define TILESPMV_PAR_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tilespmv::par {
+
+/// How a parallel loop hands out iterations.
+enum class Chunking {
+  /// The range is pre-split into one contiguous block per participant;
+  /// finished participants steal half of the largest remaining block.
+  /// Best locality; the stealing bounds imbalance on skewed work.
+  kStatic,
+  /// Participants grab shrinking chunks (remaining / 2P, floored at the
+  /// grain) from one shared cursor. Self-balancing for power-law row
+  /// distributions at the cost of block locality.
+  kGuided,
+};
+
+/// Per-loop tuning. The defaults suit coarse numeric loops; see
+/// docs/PARALLELISM.md for the chunking policy discussion.
+struct LoopOptions {
+  /// Smallest number of items a participant takes at once. Ranges shorter
+  /// than 2 * grain run inline on the calling thread.
+  int64_t grain = 1024;
+  Chunking chunking = Chunking::kStatic;
+  /// Span label recorded when tracing is enabled ("par/<site>" convention).
+  const char* label = nullptr;
+};
+
+/// Cumulative pool activity, exported to the obs metrics registry and
+/// readable directly in tests.
+struct PoolStats {
+  uint64_t regions = 0;  ///< Parallel loops executed through the pool.
+  uint64_t tasks = 0;    ///< Chunks handed to participants.
+  uint64_t steals = 0;   ///< Static-chunking block steals.
+};
+
+/// A small work-stealing thread pool for data-parallel loops.
+///
+/// The pool owns `num_threads - 1` worker threads; the caller of
+/// ParallelFor always participates, so a 1-thread pool runs everything
+/// inline and spawns nothing. Multiple external threads (e.g. the serving
+/// engine's request workers) may run loops concurrently: each loop is an
+/// independent region and idle workers drain whichever regions are active,
+/// oldest first.
+///
+/// Determinism contract: ParallelFor invokes `fn` on disjoint, collectively
+/// exhaustive sub-ranges, so any loop whose chunks write disjoint outputs
+/// and read only loop-invariant state produces results byte-identical to a
+/// serial run — regardless of thread count, chunking policy, or timing. The
+/// ParallelReduce helper (below) extends the guarantee to reductions by
+/// fixing the block structure independently of the thread count.
+///
+/// Re-entrancy: a loop started from inside a pool-executed chunk runs
+/// inline on that thread (no nested fan-out), so library code may use
+/// ParallelFor freely without tracking call depth.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 resolves to DefaultThreadCount().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool shared by the kernels, the preprocessing pipeline,
+  /// the graph loops, and the serving engine. Created on first use; never
+  /// destroyed (avoids shutdown-order races with other static state).
+  static ThreadPool& Global();
+
+  /// Thread count the global pool is created with: TILESPMV_THREADS if set
+  /// to a positive integer, otherwise std::thread::hardware_concurrency().
+  static int DefaultThreadCount();
+
+  /// Resizes the global pool (0 = DefaultThreadCount()). Used by spmv_cli
+  /// --threads and by tests sweeping thread counts. Must not be called
+  /// while parallel loops are running.
+  static void SetGlobalThreadCount(int num_threads);
+
+  /// Total participants per loop (workers + the calling thread).
+  int num_threads() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Joins and respawns workers so loops see `num_threads` participants.
+  void Resize(int num_threads);
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end). Blocks until every
+  /// iteration has executed. The caller participates; chunks are disjoint
+  /// and cover the range exactly once.
+  void ParallelFor(int64_t begin, int64_t end, const LoopOptions& options,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  PoolStats stats() const;
+
+ private:
+  struct Region;
+
+  void WorkerLoop();
+  /// Executes chunks of `region` until none are grabbable. Returns true if
+  /// at least one chunk ran.
+  bool WorkOn(Region* region);
+  void PublishMetrics(const Region& region, double wall_seconds,
+                      const char* label);
+
+  mutable std::mutex mu_;       ///< Guards regions_, stop_, workers_.
+  std::condition_variable cv_;  ///< Wakes workers when regions arrive.
+  std::deque<Region*> regions_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> total_regions_{0};
+  std::atomic<uint64_t> total_tasks_{0};
+  std::atomic<uint64_t> total_steals_{0};
+};
+
+/// Convenience wrapper over ThreadPool::Global().
+void ParallelFor(int64_t begin, int64_t end, const LoopOptions& options,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Block size used by the deterministic reductions in the graph loops.
+/// Fixed (never derived from the thread count) so a reduction's float
+/// summation tree is identical at every thread count.
+inline constexpr int64_t kReduceBlock = 4096;
+
+/// Fixed-order blocked reduction: [begin, end) is cut into ceil(n / block)
+/// blocks, `block_fn(b0, b1)` computes each block's partial serially, and
+/// the partials are combined left-to-right in block order. The block
+/// structure depends only on `block`, so the result is bitwise identical
+/// for every thread count — including a plain serial run of the same
+/// blocked recipe. `combine` must be associative only in the intended
+/// mathematical sense; it is always applied in ascending block order.
+template <typename T, typename BlockFn, typename CombineFn>
+T ParallelReduce(int64_t begin, int64_t end, int64_t block, T init,
+                 const BlockFn& block_fn, const CombineFn& combine,
+                 const char* label = nullptr) {
+  if (end <= begin) return init;
+  const int64_t n = end - begin;
+  const int64_t num_blocks = (n + block - 1) / block;
+  if (num_blocks == 1) {
+    return combine(init, block_fn(begin, end));
+  }
+  std::vector<T> partials(static_cast<size_t>(num_blocks));
+  LoopOptions options;
+  options.grain = 1;
+  options.chunking = Chunking::kGuided;
+  options.label = label;
+  ParallelFor(0, num_blocks, options, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const int64_t lo = begin + b * block;
+      const int64_t hi = lo + block < end ? lo + block : end;
+      partials[static_cast<size_t>(b)] = block_fn(lo, hi);
+    }
+  });
+  T acc = init;
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    acc = combine(acc, partials[static_cast<size_t>(b)]);
+  }
+  return acc;
+}
+
+}  // namespace tilespmv::par
+
+#endif  // TILESPMV_PAR_POOL_H_

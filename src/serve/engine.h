@@ -25,6 +25,12 @@ namespace tilespmv::serve {
 /// Engine configuration. The defaults suit an interactive mixed workload;
 /// docs/SERVING.md discusses tuning.
 struct EngineOptions {
+  /// Request workers (queries executing concurrently). Numeric loops inside
+  /// a query (kernel Multiply, preprocessing, graph reductions) additionally
+  /// fan out over the process-global par::ThreadPool, which is shared by all
+  /// engine workers: each loop is an independent pool region, and results
+  /// stay bitwise identical regardless of either thread count (see
+  /// docs/PARALLELISM.md), so dedup/coalescing semantics are unaffected.
   int num_threads = 4;
   /// Admission control: total requests in flight (queued + executing +
   /// waiting in a coalescing bucket). Submissions beyond it are shed with

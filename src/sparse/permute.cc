@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "par/pool.h"
 #include "util/check.h"
 
 namespace tilespmv {
@@ -10,18 +11,84 @@ namespace {
 
 /// Counting sort of indices [0, n) by key descending, stable. Runs in
 /// O(n + max_key) — linear for the power-law tails the paper describes.
+///
+/// Parallel form: the index range is cut into blocks, each block histograms
+/// its keys, a serial scan over (bucket, block) assigns every block its
+/// start offset per bucket, and the blocks scatter concurrently. Stability
+/// fully determines the output permutation, so this produces exactly the
+/// serial result. Per-block histograms cost blocks * (max_key + 1) words;
+/// when that is disproportionate to n the sort runs serially instead.
 Permutation CountingSortDesc(const std::vector<int64_t>& keys) {
-  int64_t max_key = 0;
-  for (int64_t k : keys) max_key = std::max(max_key, k);
-  std::vector<int64_t> bucket_start(max_key + 2, 0);
-  // bucket for key k (descending): position max_key - k.
-  for (int64_t k : keys) ++bucket_start[max_key - k + 1];
-  for (size_t i = 1; i < bucket_start.size(); ++i)
-    bucket_start[i] += bucket_start[i - 1];
-  Permutation perm(keys.size());
-  for (size_t i = 0; i < keys.size(); ++i) {
-    perm[bucket_start[max_key - keys[i]]++] = static_cast<int32_t>(i);
+  const int64_t n = static_cast<int64_t>(keys.size());
+  int64_t max_key = par::ParallelReduce<int64_t>(
+      0, n, par::kReduceBlock, 0,
+      [&](int64_t lo, int64_t hi) {
+        int64_t m = 0;
+        for (int64_t i = lo; i < hi; ++i) m = std::max(m, keys[i]);
+        return m;
+      },
+      [](int64_t a, int64_t b) { return std::max(a, b); },
+      "par/counting_sort_max");
+  const int64_t buckets = max_key + 1;
+
+  int64_t num_blocks = par::ThreadPool::Global().num_threads();
+  const int64_t kMinBlockItems = 1 << 14;
+  num_blocks = std::min(num_blocks, (n + kMinBlockItems - 1) / kMinBlockItems);
+  // Keep the histogram matrix within a small multiple of the input size.
+  while (num_blocks > 1 && num_blocks * buckets > std::max<int64_t>(n, 1) * 4) {
+    num_blocks /= 2;
   }
+  Permutation perm(keys.size());
+  if (num_blocks <= 1) {
+    std::vector<int64_t> bucket_start(buckets + 1, 0);
+    // bucket for key k (descending): position max_key - k.
+    for (int64_t k : keys) ++bucket_start[max_key - k + 1];
+    for (size_t i = 1; i < bucket_start.size(); ++i)
+      bucket_start[i] += bucket_start[i - 1];
+    for (size_t i = 0; i < keys.size(); ++i) {
+      perm[bucket_start[max_key - keys[i]]++] = static_cast<int32_t>(i);
+    }
+    return perm;
+  }
+
+  auto block_range = [&](int64_t b, int64_t* lo, int64_t* hi) {
+    *lo = n * b / num_blocks;
+    *hi = n * (b + 1) / num_blocks;
+  };
+  std::vector<int64_t> counts(static_cast<size_t>(num_blocks * buckets), 0);
+  par::LoopOptions block_opts;
+  block_opts.grain = 1;
+  block_opts.label = "par/counting_sort_histogram";
+  par::ParallelFor(0, num_blocks, block_opts, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      int64_t lo, hi;
+      block_range(b, &lo, &hi);
+      int64_t* local = counts.data() + b * buckets;
+      for (int64_t i = lo; i < hi; ++i) ++local[max_key - keys[i]];
+    }
+  });
+  // counts[b][bucket] -> start offset: buckets outermost (descending key),
+  // blocks innermost (ascending index), i.e. the stable order.
+  int64_t running = 0;
+  for (int64_t bucket = 0; bucket < buckets; ++bucket) {
+    for (int64_t b = 0; b < num_blocks; ++b) {
+      int64_t& slot = counts[static_cast<size_t>(b * buckets + bucket)];
+      int64_t c = slot;
+      slot = running;
+      running += c;
+    }
+  }
+  block_opts.label = "par/counting_sort_scatter";
+  par::ParallelFor(0, num_blocks, block_opts, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      int64_t lo, hi;
+      block_range(b, &lo, &hi);
+      int64_t* local = counts.data() + b * buckets;
+      for (int64_t i = lo; i < hi; ++i) {
+        perm[local[max_key - keys[i]]++] = static_cast<int32_t>(i);
+      }
+    }
+  });
   return perm;
 }
 
@@ -60,20 +127,28 @@ CsrMatrix ApplyColumnPermutation(const CsrMatrix& a, const Permutation& perm) {
   m.row_ptr = a.row_ptr;
   m.col_idx.resize(a.col_idx.size());
   m.values.resize(a.values.size());
-  std::vector<std::pair<int32_t, float>> row_buf;
-  for (int32_t r = 0; r < a.rows; ++r) {
-    row_buf.clear();
-    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
-      row_buf.emplace_back(inv[a.col_idx[k]], a.values[k]);
+  // Each row rewrites only its own [row_ptr[r], row_ptr[r+1]) segment, so
+  // rows scatter concurrently; the row buffer is per-chunk scratch.
+  par::LoopOptions options;
+  options.grain = 256;
+  options.chunking = par::Chunking::kGuided;
+  options.label = "par/apply_col_perm";
+  par::ParallelFor(0, a.rows, options, [&](int64_t r0, int64_t r1) {
+    std::vector<std::pair<int32_t, float>> row_buf;
+    for (int64_t r = r0; r < r1; ++r) {
+      row_buf.clear();
+      for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+        row_buf.emplace_back(inv[a.col_idx[k]], a.values[k]);
+      }
+      std::sort(row_buf.begin(), row_buf.end());
+      int64_t k = a.row_ptr[r];
+      for (const auto& [c, v] : row_buf) {
+        m.col_idx[k] = c;
+        m.values[k] = v;
+        ++k;
+      }
     }
-    std::sort(row_buf.begin(), row_buf.end());
-    int64_t k = a.row_ptr[r];
-    for (const auto& [c, v] : row_buf) {
-      m.col_idx[k] = c;
-      m.values[k] = v;
-      ++k;
-    }
-  }
+  });
   return m;
 }
 
@@ -83,17 +158,28 @@ CsrMatrix ApplyRowPermutation(const CsrMatrix& a, const Permutation& perm) {
   m.rows = a.rows;
   m.cols = a.cols;
   m.row_ptr.assign(static_cast<size_t>(a.rows) + 1, 0);
-  m.col_idx.reserve(a.col_idx.size());
-  m.values.reserve(a.values.size());
+  // Row lengths then a serial prefix give every output row its offset, so
+  // the per-row copies are disjoint and run concurrently.
   for (int32_t i = 0; i < a.rows; ++i) {
     int32_t r = perm[i];
-    for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
-      m.col_idx.push_back(a.col_idx[k]);
-      m.values.push_back(a.values[k]);
-    }
-    m.row_ptr[i + 1] =
-        m.row_ptr[i] + (a.row_ptr[r + 1] - a.row_ptr[r]);
+    m.row_ptr[i + 1] = m.row_ptr[i] + (a.row_ptr[r + 1] - a.row_ptr[r]);
   }
+  m.col_idx.resize(a.col_idx.size());
+  m.values.resize(a.values.size());
+  par::LoopOptions options;
+  options.grain = 256;
+  options.chunking = par::Chunking::kGuided;
+  options.label = "par/apply_row_perm";
+  par::ParallelFor(0, a.rows, options, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      int32_t r = perm[i];
+      int64_t out = m.row_ptr[i];
+      for (int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k, ++out) {
+        m.col_idx[out] = a.col_idx[k];
+        m.values[out] = a.values[k];
+      }
+    }
+  });
   return m;
 }
 
@@ -107,14 +193,26 @@ void PermuteVector(const Permutation& perm, const std::vector<float>& x,
                    std::vector<float>* out) {
   TILESPMV_CHECK(perm.size() == x.size());
   out->resize(x.size());
-  for (size_t i = 0; i < perm.size(); ++i) (*out)[i] = x[perm[i]];
+  par::LoopOptions options;
+  options.grain = 4096;
+  options.label = "par/permute_vector";
+  par::ParallelFor(0, static_cast<int64_t>(perm.size()), options,
+                   [&](int64_t i0, int64_t i1) {
+                     for (int64_t i = i0; i < i1; ++i) (*out)[i] = x[perm[i]];
+                   });
 }
 
 void UnpermuteVector(const Permutation& perm, const std::vector<float>& y,
                      std::vector<float>* out) {
   TILESPMV_CHECK(perm.size() == y.size());
   out->resize(y.size());
-  for (size_t i = 0; i < perm.size(); ++i) (*out)[perm[i]] = y[i];
+  par::LoopOptions options;
+  options.grain = 4096;
+  options.label = "par/unpermute_vector";
+  par::ParallelFor(0, static_cast<int64_t>(perm.size()), options,
+                   [&](int64_t i0, int64_t i1) {
+                     for (int64_t i = i0; i < i1; ++i) (*out)[perm[i]] = y[i];
+                   });
 }
 
 }  // namespace tilespmv

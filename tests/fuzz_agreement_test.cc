@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "gen/graph_models.h"
 #include "gen/power_law.h"
 #include "gen/structured.h"
 #include "kernels/spmv.h"
+#include "par/pool.h"
 #include "util/random.h"
 
 namespace tilespmv {
@@ -85,6 +88,63 @@ TEST_P(FuzzAgreement, AllAcceptingKernelsAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzAgreement, ::testing::Range(0, 24));
+
+uint32_t FloatBits(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+/// The serving layer's dedup/coalescing contract (see spmv.h) requires that
+/// results not depend on the pool size. Every registered kernel — setup AND
+/// multiply — must produce the same bits at 1, 2, 4, and 8 threads, on both
+/// a power-law and a structured matrix.
+TEST(SerialParallelBitwise, AllKernelsMatchAcrossThreadCounts) {
+  DeviceSpec spec;
+  struct NamedMatrix {
+    const char* name;
+    CsrMatrix m;
+  };
+  std::vector<NamedMatrix> matrices;
+  matrices.push_back(
+      {"powerlaw", GenerateRmat(1500, 12000, RmatOptions{.seed = 7})});
+  matrices.push_back({"banded", GenerateBanded(2000, 6, 11)});
+
+  for (const NamedMatrix& nm : matrices) {
+    ASSERT_TRUE(nm.m.Validate().ok()) << nm.name;
+    Pcg32 rng(99);
+    std::vector<float> x(nm.m.cols);
+    for (float& v : x) v = rng.NextFloat() - 0.5f;
+
+    for (const std::string& kernel_name : AllKernelNames()) {
+      std::vector<float> serial;
+      bool have_serial = false;
+      for (int threads : {1, 2, 4, 8}) {
+        par::ThreadPool::SetGlobalThreadCount(threads);
+        auto kernel = CreateKernel(kernel_name, spec);
+        // A fresh Setup per thread count also sweeps the parallel
+        // preprocessing (counting sort, permutations, composite build).
+        Status st = kernel->Setup(nm.m);
+        if (!st.ok()) break;  // Rejection does not depend on threads.
+        std::vector<float> got;
+        MultiplyOriginal(*kernel, x, &got);
+        if (!have_serial) {
+          serial = std::move(got);
+          have_serial = true;
+          continue;
+        }
+        ASSERT_EQ(got.size(), serial.size()) << kernel_name;
+        for (size_t i = 0; i < serial.size(); ++i) {
+          ASSERT_EQ(FloatBits(got[i]), FloatBits(serial[i]))
+              << kernel_name << " on " << nm.name << " at " << threads
+              << " threads, row " << i << ": " << got[i]
+              << " != " << serial[i];
+        }
+      }
+    }
+  }
+  par::ThreadPool::SetGlobalThreadCount(0);
+}
 
 }  // namespace
 }  // namespace tilespmv

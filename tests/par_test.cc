@@ -1,0 +1,189 @@
+// Unit tests for the par::ThreadPool work-stealing runtime: exact range
+// coverage under both chunking policies, nested-loop inlining, concurrent
+// regions from external threads (the serving engine's usage pattern),
+// fixed-block reduction determinism, and the TILESPMV_THREADS env contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "par/pool.h"
+
+namespace tilespmv::par {
+namespace {
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnceStatic) {
+  ThreadPool pool(4);
+  std::vector<int> touched(10001, 0);
+  LoopOptions options;
+  options.grain = 16;
+  options.chunking = Chunking::kStatic;
+  pool.ParallelFor(0, 10001, options, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++touched[i];
+  });
+  for (size_t i = 0; i < touched.size(); ++i) {
+    ASSERT_EQ(touched[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnceGuided) {
+  ThreadPool pool(4);
+  std::vector<int> touched(9973, 0);
+  LoopOptions options;
+  options.grain = 8;
+  options.chunking = Chunking::kGuided;
+  pool.ParallelFor(0, 9973, options, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++touched[i];
+  });
+  for (size_t i = 0; i < touched.size(); ++i) {
+    ASSERT_EQ(touched[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, NonZeroBeginAndEmptyRange) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  LoopOptions options;
+  options.grain = 4;
+  pool.ParallelFor(100, 200, options, [&](int64_t b, int64_t e) {
+    int64_t local = 0;
+    for (int64_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+  bool ran = false;
+  pool.ParallelFor(5, 5, options, [&](int64_t, int64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, NestedLoopsRunInline) {
+  ThreadPool pool(4);
+  std::vector<int> touched(4096, 0);
+  LoopOptions outer;
+  outer.grain = 1;
+  pool.ParallelFor(0, 4, outer, [&](int64_t b0, int64_t e0) {
+    for (int64_t b = b0; b < e0; ++b) {
+      LoopOptions inner;
+      inner.grain = 8;
+      // Must not deadlock or fan out; runs inline on this thread.
+      pool.ParallelFor(b * 1024, (b + 1) * 1024, inner,
+                       [&](int64_t i0, int64_t i1) {
+                         for (int64_t i = i0; i < i1; ++i) ++touched[i];
+                       });
+    }
+  });
+  for (size_t i = 0; i < touched.size(); ++i) {
+    ASSERT_EQ(touched[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ConcurrentRegionsFromExternalThreads) {
+  // The serving engine's pattern: several request workers submit loops to
+  // the same pool at once. Every loop must complete with full coverage.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr int64_t kItems = 20000;
+  std::vector<std::vector<int>> touched(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    touched[s].assign(kItems, 0);
+    submitters.emplace_back([&pool, &touched, s] {
+      LoopOptions options;
+      options.grain = 64;
+      options.chunking = s % 2 == 0 ? Chunking::kStatic : Chunking::kGuided;
+      for (int round = 0; round < 20; ++round) {
+        pool.ParallelFor(0, kItems, options, [&](int64_t b, int64_t e) {
+          for (int64_t i = b; i < e; ++i) ++touched[s][i];
+        });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    for (int64_t i = 0; i < kItems; ++i) {
+      ASSERT_EQ(touched[s][i], 20) << "submitter " << s << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelReduce, BitwiseIdenticalAcrossThreadCounts) {
+  // A float-ish reduction whose value depends on summation order: the
+  // fixed-block recipe must give the same bits at every pool size.
+  const int64_t n = 100000;
+  std::vector<double> values(n);
+  for (int64_t i = 0; i < n; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  auto run = [&](int threads) {
+    ThreadPool::SetGlobalThreadCount(threads);
+    return ParallelReduce<double>(
+        0, n, kReduceBlock, 0.0,
+        [&](int64_t lo, int64_t hi) {
+          double local = 0.0;
+          for (int64_t i = lo; i < hi; ++i) local += values[i];
+          return local;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double at1 = run(1);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(DoubleBits(run(threads)), DoubleBits(at1))
+        << threads << " threads";
+  }
+  ThreadPool::SetGlobalThreadCount(0);
+}
+
+TEST(ThreadPool, StatsCountRegionsAndTasks) {
+  ThreadPool pool(4);
+  PoolStats before = pool.stats();
+  LoopOptions options;
+  options.grain = 1;
+  for (int i = 0; i < 5; ++i) {
+    pool.ParallelFor(0, 1000, options, [](int64_t, int64_t) {});
+  }
+  PoolStats after = pool.stats();
+  EXPECT_EQ(after.regions - before.regions, 5u);
+  EXPECT_GT(after.tasks, before.tasks);
+}
+
+TEST(ThreadPool, DefaultThreadCountReadsEnv) {
+  setenv("TILESPMV_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);
+  setenv("TILESPMV_THREADS", "junk", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+  setenv("TILESPMV_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+  unsetenv("TILESPMV_THREADS");
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+TEST(ThreadPool, ResizeChangesParticipants) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2);
+  pool.Resize(6);
+  EXPECT_EQ(pool.num_threads(), 6);
+  std::vector<int> touched(5000, 0);
+  LoopOptions options;
+  options.grain = 16;
+  pool.ParallelFor(0, 5000, options, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++touched[i];
+  });
+  for (size_t i = 0; i < touched.size(); ++i) {
+    ASSERT_EQ(touched[i], 1) << "index " << i;
+  }
+  pool.Resize(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace tilespmv::par

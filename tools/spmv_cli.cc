@@ -39,6 +39,7 @@
 #include "kernels/spmv.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 #include "serve/engine.h"
 #include "sparse/matrix_stats.h"
 #include "util/ascii_plot.h"
@@ -54,8 +55,11 @@ struct Flags {
   int top = 10;
   std::vector<int32_t> nodes;  // --node=K or --node=K1,K2,...
   bool verbose = false;
+  // Compute-pool size for every subcommand: 0 = hardware concurrency,
+  // -1 = unset (pool keeps its TILESPMV_THREADS/hardware default). The
+  // serve subcommand also sizes its engine workers from this (default 4).
+  int threads = -1;
   // serve subcommand.
-  int threads = 4;
   int queries = 64;
   double window_ms = 2.0;
   // Observability (any subcommand).
@@ -103,7 +107,7 @@ Status ParseFlags(int argc, char** argv, int first, Flags* f) {
       if (!ParseInt(a + 6, &f->top))
         return Status::InvalidArgument(std::string("bad number in ") + a);
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
-      if (!ParseInt(a + 10, &f->threads) || f->threads < 1)
+      if (!ParseInt(a + 10, &f->threads) || f->threads < 0)
         return Status::InvalidArgument(std::string("bad number in ") + a);
     } else if (std::strncmp(a, "--queries=", 10) == 0) {
       if (!ParseInt(a + 10, &f->queries) || f->queries < 1)
@@ -348,7 +352,9 @@ int CmdServe(const std::string& path, const Flags& f) {
   if (n == 0) return Fail(Status::InvalidArgument("empty graph"));
 
   serve::EngineOptions opts;
-  opts.num_threads = f.threads;
+  opts.num_threads = f.threads > 0 ? f.threads
+                     : f.threads == 0 ? par::ThreadPool::DefaultThreadCount()
+                                      : 4;
   opts.batch_window_seconds = f.window_ms * 1e-3;
   opts.default_kernel = f.kernel;
   opts.default_device = f.device;
@@ -455,8 +461,8 @@ int Usage() {
       "usage: spmv_cli <stats|spmv|autotune|pagerank|hits|rwr|katz|salsa|"
       "serve|convert|generate> <args...>\n"
       "  flags: --kernel=NAME|auto --device=c1060|c2050 --damping=F "
-      "--top=N --node=K --scale=F\n"
-      "  serve: --threads=N --queries=N --window-ms=F\n"
+      "--top=N --node=K --scale=F --threads=N (0 = hardware concurrency)\n"
+      "  serve: --queries=N --window-ms=F\n"
       "  observability: --trace-out=FILE --metrics-out=FILE[.json|.prom]\n"
       "  kernels:");
   for (const std::string& k : tilespmv::AllKernelNames()) {
@@ -480,6 +486,7 @@ int Main(int argc, char** argv) {
     return 2;
   }
   if (!flags.trace_out.empty()) obs::Tracer::Global().Enable();
+  if (flags.threads >= 0) par::ThreadPool::SetGlobalThreadCount(flags.threads);
   int rc = -1;
   if (cmd == "stats") rc = CmdStats(arg);
   else if (cmd == "spmv") rc = CmdSpmv(arg, flags);
