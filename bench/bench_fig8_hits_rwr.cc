@@ -9,6 +9,7 @@
 #include "bench_common.h"
 #include "graph/power_method.h"
 #include "sparse/convert.h"
+#include "spmm/spmm.h"
 
 namespace tilespmv::bench {
 namespace {
@@ -44,9 +45,12 @@ int Run(int argc, char** argv) {
   const std::vector<std::string> graphs = {"flickr", "livejournal",
                                            "wikipedia", "youtube"};
 
+  const std::vector<int> widths = {1, 4, 8, 16};
+
   struct Row {
     std::string graph;
     std::vector<AppRates> hits, rwr;
+    std::vector<double> batched_ms;  // Per-query-iteration time per width.
   };
   std::vector<Row> rows;
   for (const std::string& g : graphs) {
@@ -69,6 +73,20 @@ int Run(int argc, char** argv) {
                                    row.rwr.back().gflops, 1);
       }
     }
+    // Batched RWR (docs/SPMM.md): one blocked tile-composite sweep serves k
+    // queries per iteration; each query still pays its own axpy + reduction.
+    auto blocked = spmm::CreateSpMMKernel("spmm-tile-composite", spec);
+    if (blocked->Setup(rwr_m, spmm::kMaxBlockCols).ok()) {
+      double aux = ReductionSeconds(a.rows, spec) +
+                   ElementwiseSeconds(2 * a.rows, a.rows, spec);
+      for (int k : widths) {
+        double per_query = blocked->TimingForBlockCols(k).seconds / k + aux;
+        row.batched_ms.push_back(per_query * 1e3);
+        JsonReporter::Global().Add(g + "/rwr_batched/tile-composite",
+                                   "k=" + std::to_string(k), per_query * 1e3,
+                                   0.0, 1);
+      }
+    }
     rows.push_back(std::move(row));
   }
 
@@ -87,6 +105,21 @@ int Run(int argc, char** argv) {
   print_panel("Figure 8(b): HITS bandwidth (GB/s)", true, false);
   print_panel("Figure 8(c): RWR GFLOPS", false, true);
   print_panel("Figure 8(d): RWR bandwidth (GB/s)", false, false);
+
+  std::printf(
+      "\n--- extension: batched RWR, ms per query-iteration "
+      "(tile-composite SpMM panel) ---\n");
+  std::vector<std::string> width_labels;
+  for (int k : widths) width_labels.push_back("k=" + std::to_string(k));
+  PrintHeader("graph", width_labels);
+  for (const Row& r : rows) {
+    std::printf("%-14s", r.graph.c_str());
+    for (size_t i = 0; i < width_labels.size(); ++i) {
+      PrintCell3(i < r.batched_ms.size() ? r.batched_ms[i] : 0.0,
+                 i < r.batched_ms.size());
+    }
+    std::printf("\n");
+  }
   JsonReporter::Global().Emit("fig8_hits_rwr");
   return 0;
 }

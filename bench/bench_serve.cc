@@ -14,12 +14,21 @@
 //      therefore reported in modeled-GPU-queries/s: queries divided by total
 //      billed gpu_seconds. Acceptance: coalesced beats uncoalesced at mean
 //      batch size >= 4.
+//
+//   3. SpMM panel width (docs/SPMM.md). The same batch executed through the
+//      blocked power method at panel widths 1/4/8/16: each matrix sweep
+//      feeds k vectors, so the modeled per-query cost falls as the sweep is
+//      amortized. Width 1 is the scalar path (one SpMV per query per
+//      iteration). Acceptance: k=8 per-query time below k=1.
 #include <future>
+#include <memory>
 #include <vector>
 
 #include "bench_common.h"
 #include "gen/power_law.h"
+#include "graph/rwr.h"
 #include "serve/engine.h"
+#include "spmm/spmm.h"
 #include "util/check.h"
 
 namespace tilespmv::bench {
@@ -115,6 +124,57 @@ CoalesceResult MeasureBurst(const CsrMatrix& graph, int queries,
   return out;
 }
 
+struct BlockedWidthResult {
+  int width = 0;
+  double per_query_gpu_seconds = 0.0;  // Billed gpu_seconds / queries.
+  int64_t sweeps = 0;                  // Matrix sweeps over the whole batch.
+  int64_t vectors = 0;                 // Vector-iterations those sweeps fed.
+};
+
+/// Runs the same query set through RwrEngine's blocked path at each panel
+/// width. Width 1 is the scalar baseline — a one-column panel degenerates to
+/// SpMV, so every query pays a full matrix sweep per iteration; wider panels
+/// share each sweep across up to `width` queries. Results are bitwise
+/// identical across widths (the SpMM determinism contract), so only the
+/// billed cost differs.
+std::vector<BlockedWidthResult> MeasureBlockedWidths(const CsrMatrix& graph,
+                                                     int queries) {
+  gpusim::DeviceSpec spec;
+  std::vector<int32_t> nodes;
+  nodes.reserve(queries);
+  for (int i = 0; i < queries; ++i) {
+    nodes.push_back(static_cast<int32_t>((i * 53) % graph.rows));
+  }
+
+  std::vector<BlockedWidthResult> out;
+  for (int width : {1, 4, 8, 16}) {
+    std::unique_ptr<SpMVKernel> kernel = CreateKernel("tile-composite", spec);
+    std::unique_ptr<spmm::SpMMKernel> blocked =
+        spmm::CreateSpMMKernel("spmm-tile-composite", spec);
+    RwrEngine engine(kernel.get(), blocked.get());
+    RwrOptions ropts;
+    ropts.tolerance = 1e-4f;
+    ropts.block_cols = width;
+    TILESPMV_CHECK_OK(engine.Init(graph, ropts));
+
+    RwrBatchExecution exec;
+    Result<std::vector<RwrResult>> results =
+        engine.QueryBatch(nodes, ropts, &exec);
+    TILESPMV_CHECK(results.ok());
+
+    BlockedWidthResult r;
+    r.width = width;
+    for (const RwrResult& q : results.value()) {
+      r.per_query_gpu_seconds += q.stats.gpu_seconds;
+    }
+    r.per_query_gpu_seconds /= queries;
+    r.sweeps = exec.sweeps;
+    r.vectors = exec.vectors;
+    out.push_back(r);
+  }
+  return out;
+}
+
 int Run(int argc, char** argv) {
   BenchOptions opts = ParseArgs(argc, argv);
   const int32_t n = opts.quick ? 20000 : 50000;
@@ -147,20 +207,50 @@ int Run(int argc, char** argv) {
           ? "(PASS >1x at batch >=4)"
           : "(FAIL)");
 
+  std::vector<BlockedWidthResult> widths = MeasureBlockedWidths(graph, burst);
+  const BlockedWidthResult* w1 = nullptr;
+  const BlockedWidthResult* w8 = nullptr;
+  for (const BlockedWidthResult& w : widths) {
+    if (w.width == 1) w1 = &w;
+    if (w.width == 8) w8 = &w;
+  }
+  TILESPMV_CHECK(w1 != nullptr && w8 != nullptr);
+  const double spmm_speedup =
+      w1->per_query_gpu_seconds / w8->per_query_gpu_seconds;
+  const bool spmm_pass = spmm_speedup > 1.0;
+  std::printf("# spmm batching (%d queries, tile-composite):\n", burst);
+  for (const BlockedWidthResult& w : widths) {
+    std::printf(
+        "#   k=%-2d %.3f ms/query modeled (%lld sweeps for %lld "
+        "vector-iterations)\n",
+        w.width, w.per_query_gpu_seconds * 1e3,
+        static_cast<long long>(w.sweeps), static_cast<long long>(w.vectors));
+  }
+  std::printf("# spmm batching: k=8 vs k=1 speedup %.2fx %s\n", spmm_speedup,
+              spmm_pass ? "(PASS >1x)" : "(FAIL <=1x)");
+
   std::printf(
       "{\"plan_cache\": {\"cold_ms\": %.3f, \"build_ms\": %.3f, "
       "\"hot_ms\": %.3f, \"speedup\": %.2f, \"pass\": %s}, "
       "\"coalescing\": {\"queries\": %d, "
       "\"uncoalesced_modeled_qps\": %.1f, \"coalesced_modeled_qps\": %.1f, "
       "\"mean_batch\": %.2f, \"uncoalesced_gpu_seconds\": %.4f, "
-      "\"coalesced_gpu_seconds\": %.4f, \"speedup\": %.2f, \"pass\": %s}}\n",
+      "\"coalesced_gpu_seconds\": %.4f, \"speedup\": %.2f, \"pass\": %s}, "
+      "\"spmm_batch\": {\"queries\": %d, \"per_query_ms\": "
+      "{\"k1\": %.4f, \"k4\": %.4f, \"k8\": %.4f, \"k16\": %.4f}, "
+      "\"k8_vs_k1_speedup\": %.2f, \"pass\": %s}}\n",
       cache.cold_seconds * 1e3, cache.build_seconds * 1e3,
       cache.hot_seconds * 1e3, cache.speedup,
       cache.speedup >= 10 ? "true" : "false", burst, uncoalesced.modeled_qps,
       coalesced.modeled_qps, coalesced.mean_batch,
       uncoalesced.modeled_gpu_seconds, coalesced.modeled_gpu_seconds,
       coalesce_speedup,
-      coalesce_speedup > 1 && coalesced.mean_batch >= 4 ? "true" : "false");
+      coalesce_speedup > 1 && coalesced.mean_batch >= 4 ? "true" : "false",
+      burst, widths[0].per_query_gpu_seconds * 1e3,
+      widths[1].per_query_gpu_seconds * 1e3,
+      widths[2].per_query_gpu_seconds * 1e3,
+      widths[3].per_query_gpu_seconds * 1e3, spmm_speedup,
+      spmm_pass ? "true" : "false");
   JsonReporter::Global().Add("plan_cache/cold", "rwr",
                              cache.cold_seconds * 1e3, 0.0, 1);
   JsonReporter::Global().Add("plan_cache/hot", "rwr", cache.hot_seconds * 1e3,
@@ -169,9 +259,14 @@ int Run(int argc, char** argv) {
                              uncoalesced.wall_seconds * 1e3, 0.0, burst);
   JsonReporter::Global().Add("coalesce/coalesced", "max_batch=8",
                              coalesced.wall_seconds * 1e3, 0.0, burst);
+  for (const BlockedWidthResult& w : widths) {
+    JsonReporter::Global().Add("spmm_batch/width",
+                               "k=" + std::to_string(w.width),
+                               w.per_query_gpu_seconds * 1e3, 0.0, burst);
+  }
   JsonReporter::Global().Emit("serve");
   return (cache.speedup >= 10 && coalesce_speedup > 1 &&
-          coalesced.mean_batch >= 4)
+          coalesced.mean_batch >= 4 && spmm_pass)
              ? 0
              : 1;
 }

@@ -169,6 +169,16 @@ Status TileCompositeKernel::Setup(const CsrMatrix& a) {
   return Status::OK();
 }
 
+std::vector<TileCompositeKernel::TileView> TileCompositeKernel::tile_views()
+    const {
+  std::vector<TileView> views;
+  views.reserve(tiles_.size());
+  for (const BuiltTile& bt : tiles_) {
+    views.push_back(TileView{bt.col_begin, bt.cached, &bt.ct});
+  }
+  return views;
+}
+
 void TileCompositeKernel::Multiply(const std::vector<float>& x,
                                    std::vector<float>* y) const {
   y->assign(rows_, 0.0f);

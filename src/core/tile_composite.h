@@ -45,6 +45,17 @@ class TileCompositeKernel : public SpMVKernel {
   const Permutation& col_permutation() const override { return col_perm_; }
 
   int num_tiles() const { return num_dense_tiles_; }
+  /// Read-only view of one built tile: the composite storage plus the x
+  /// segment it gathers from. Exposed so the blocked SpMM wrapper can walk
+  /// the exact tile sequence (and per-tile accumulation order) Multiply
+  /// uses, which is what keeps each panel column bitwise identical to a
+  /// single-vector run.
+  struct TileView {
+    int32_t col_begin = 0;
+    bool cached = true;
+    const CompositeTile* ct = nullptr;
+  };
+  std::vector<TileView> tile_views() const;
   /// Workload size used for each dense tile, then the sparse tile.
   const std::vector<int64_t>& workload_sizes() const {
     return workload_sizes_;

@@ -71,6 +71,46 @@ LaunchEstimate CostModel::EstimateLaunch(const KernelLaunch& launch) const {
   return est;
 }
 
+SpmmSweepCost EstimateSpmmSweep(const SpmmSweepInputs& in, int block_cols,
+                                const DeviceSpec& spec) {
+  SpmmSweepCost out;
+  const int k = std::max(1, block_cols);
+  out.flops = in.flops * static_cast<uint64_t>(k);
+
+  // Per-extra-vector traffic: the x-gather misses repeat per column (cache
+  // behavior depends only on the access pattern, which is the matrix
+  // structure), and each column writes its own y. The matrix stream itself —
+  // everything else in global_bytes — is paid once.
+  const uint64_t per_vector_bytes =
+      in.tex_misses * static_cast<uint64_t>(spec.texture_cache_line_bytes) +
+      static_cast<uint64_t>(in.rows) * 4;
+  // Per-extra-vector compute: the MAD work scales with k. 8 SPs per SM, one
+  // MAD (2 flops) per SP per core clock.
+  const double peak_flops = spec.ClockHz() * spec.num_sms * 8 * 2;
+  const double per_vector_compute =
+      peak_flops > 0 ? static_cast<double>(in.flops) / peak_flops : 0.0;
+  const double per_vector_seconds =
+      static_cast<double>(per_vector_bytes) / spec.BandwidthBytesPerSec() +
+      per_vector_compute;
+
+  out.seconds = in.spmv_seconds + (k - 1) * per_vector_seconds;
+  out.seconds_per_vector = out.seconds / k;
+  out.global_bytes =
+      in.global_bytes + static_cast<uint64_t>(k - 1) * per_vector_bytes;
+  // Algorithmic traffic: matrix once, x/y vectors per column. The
+  // single-vector useful_bytes already contains one set of vector traffic
+  // (4 bytes per nnz for x, 4 per row for y).
+  out.useful_bytes =
+      in.useful_bytes +
+      static_cast<uint64_t>(k - 1) *
+          (in.flops * 2 + static_cast<uint64_t>(in.rows) * 4);
+  out.arithmetic_intensity =
+      out.global_bytes > 0
+          ? static_cast<double>(out.flops) / static_cast<double>(out.global_bytes)
+          : 0.0;
+  return out;
+}
+
 LaunchEstimate CostModel::EstimateLaunches(
     const std::vector<KernelLaunch>& launches) const {
   LaunchEstimate total;

@@ -45,6 +45,45 @@ struct LaunchEstimate {
   double worst_camping_factor = 1.0;  ///< 1 = uniform, 8 = fully camped.
 };
 
+/// Single-vector cost inputs for scaling an SpMV walk to a blocked SpMM
+/// sweep (see EstimateSpmmSweep). All numbers come straight out of the
+/// kernel's KernelTiming after a normal Setup; they are kept primitive here
+/// so gpusim stays below the kernel layer in the include graph.
+struct SpmmSweepInputs {
+  double spmv_seconds = 0.0;     ///< One y = A*x sweep.
+  uint64_t flops = 0;            ///< 2 * nnz.
+  uint64_t useful_bytes = 0;     ///< Algorithmic traffic of one sweep.
+  uint64_t global_bytes = 0;     ///< Modeled DRAM traffic of one sweep.
+  uint64_t tex_misses = 0;       ///< x-gather cache misses of one sweep.
+  int64_t rows = 0;              ///< Output vector length.
+};
+
+/// Modeled cost of one blocked SpMM sweep: y-panel = A * x-panel with
+/// `block_cols` dense vectors per matrix read.
+struct SpmmSweepCost {
+  double seconds = 0.0;
+  uint64_t flops = 0;         ///< block_cols * 2 * nnz.
+  uint64_t useful_bytes = 0;  ///< Matrix once + per-vector x/y traffic.
+  uint64_t global_bytes = 0;  ///< Modeled DRAM traffic of the sweep.
+  /// flops / global_bytes — the Fig. 2-style arithmetic-intensity axis. A
+  /// single-vector SpMV sits near 0.25 flop/byte; blocking raises it because
+  /// the matrix stream (the dominant traffic) is amortized over the panel.
+  double arithmetic_intensity = 0.0;
+  /// Modeled time divided by block_cols — the per-user amortized cost the
+  /// serving layer optimizes for.
+  double seconds_per_vector = 0.0;
+};
+
+/// Scales a single-vector SpMV cost to a k-wide blocked sweep. The matrix
+/// stream (val/col/row structure) is read once regardless of k; every
+/// additional vector re-pays its x-gather misses (the cache behavior is
+/// structure-only, so the miss count is identical per column), its y writes,
+/// and its MAD work. This is the same amortization argument as
+/// RwrEngine::BatchIterationSeconds, centralized so kernels, autotuning and
+/// the Fig. 2 sweeps all report one model.
+SpmmSweepCost EstimateSpmmSweep(const SpmmSweepInputs& in, int block_cols,
+                                const DeviceSpec& spec);
+
 /// Converts per-warp work records into time on the modeled device.
 ///
 /// Warps execute in waves of at most MaxActiveWarps() (Equation 1 of the

@@ -1,5 +1,6 @@
 #include "graph/rwr.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/metrics.h"
@@ -18,6 +19,21 @@ Status RwrEngine::Init(const CsrMatrix& adjacency, const RwrOptions& options) {
   n_ = adjacency.rows;
   CsrMatrix w = ColNormalize(Symmetrize(adjacency));
   TILESPMV_RETURN_IF_ERROR(kernel_->Setup(w));
+  if (spmm_kernel_ != nullptr) {
+    if (spmm::SpmvKernelNameForSpmm(spmm_kernel_->name()) != kernel_->name()) {
+      return Status::InvalidArgument(
+          "SpMM kernel " + std::string(spmm_kernel_->name()) +
+          " does not pair with SpMV kernel " + std::string(kernel_->name()) +
+          "; panel columns would not match the scalar path");
+    }
+    if (!spmm::IsValidBlockCols(options.block_cols)) {
+      return Status::InvalidArgument(
+          "RwrOptions::block_cols must be one of {1, 2, 4, 8, 16} when an "
+          "SpMM kernel is attached, got " +
+          std::to_string(options.block_cols));
+    }
+    TILESPMV_RETURN_IF_ERROR(spmm_kernel_->Setup(w, options.block_cols));
+  }
   const Permutation& row_perm = kernel_->row_permutation();
   inv_row_perm_ = row_perm.empty() ? Permutation{}
                                    : InvertPermutation(row_perm);
@@ -120,30 +136,55 @@ double RwrEngine::BatchIterationSeconds(int batch_size) const {
          ReductionSeconds(n_, spec) + (batch_size - 1) * per_extra;
 }
 
+double RwrEngine::BlockIterationSeconds(int width) const {
+  TILESPMV_CHECK(spmm_kernel_ != nullptr);
+  const gpusim::DeviceSpec& spec = spmm_kernel_->spec();
+  // One shared matrix sweep at panel width, then each vector's own
+  // axpy/reduction work.
+  return spmm_kernel_->TimingForBlockCols(width).seconds +
+         width * (ElementwiseSeconds(2 * n_, n_, spec) +
+                  ReductionSeconds(n_, spec));
+}
+
 Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
     const std::vector<int32_t>& nodes) const {
-  return QueryBatch(nodes, options_);
+  return QueryBatch(nodes, options_, nullptr);
 }
 
 Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
     const std::vector<int32_t>& nodes, const RwrOptions& options) const {
+  return QueryBatch(nodes, options, nullptr);
+}
+
+Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
+    const std::vector<int32_t>& nodes, const RwrOptions& options,
+    RwrBatchExecution* exec) const {
+  if (exec != nullptr) *exec = RwrBatchExecution{};
   if (nodes.empty()) return std::vector<RwrResult>{};
   const int k = static_cast<int>(nodes.size());
-  std::vector<std::vector<float>> r(k);
-  std::vector<RwrResult> out(k);
+  std::vector<int32_t> internal(k);
   for (int q = 0; q < k; ++q) {
     if (nodes[q] < 0 || nodes[q] >= n_)
       return Status::InvalidArgument("query node out of range");
-    int32_t internal =
-        inv_row_perm_.empty() ? nodes[q] : inv_row_perm_[nodes[q]];
+    internal[q] = inv_row_perm_.empty() ? nodes[q] : inv_row_perm_[nodes[q]];
+  }
+  if (spmm_kernel_ != nullptr) return QueryBatchBlocked(internal, options, exec);
+
+  std::vector<std::vector<float>> r(k);
+  std::vector<RwrResult> out(k);
+  for (int q = 0; q < k; ++q) {
     r[q].assign(n_, 0.0f);
-    r[q][internal] = 1.0f;
+    r[q][internal[q]] = 1.0f;
   }
   const float c = options.restart;
   const double iter_seconds = BatchIterationSeconds(k);
   std::vector<bool> done(k, false);
   std::vector<float> y;
   int active = k;
+  if (exec != nullptr) {
+    exec->blocked = false;
+    exec->block_cols = 1;
+  }
   for (int it = 0; it < options.max_iterations && active > 0; ++it) {
     obs::TraceSpan iter_span("graph", "rwr/batch_iteration");
     if (iter_span.active()) {
@@ -152,11 +193,14 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
     }
     for (int q = 0; q < k; ++q) {
       if (done[q]) continue;
-      int32_t internal =
-          inv_row_perm_.empty() ? nodes[q] : inv_row_perm_[nodes[q]];
+      const int32_t internal_node = internal[q];
       {
         obs::TraceSpan spmv_span("spmv", "spmv/multiply");
         kernel_->Multiply(r[q], &y);
+      }
+      if (exec != nullptr) {
+        ++exec->sweeps;
+        ++exec->vectors;
       }
       obs::TraceSpan red_span("reduction", "reduction/rwr_update");
       std::vector<float>& rq = r[q];
@@ -165,7 +209,7 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
           [&](int64_t lo, int64_t hi) {
             double local = 0.0;
             for (int64_t i = lo; i < hi; ++i) {
-              float next = c * y[i] + (i == internal ? 1.0f - c : 0.0f);
+              float next = c * y[i] + (i == internal_node ? 1.0f - c : 0.0f);
               local += std::fabs(static_cast<double>(next) - rq[i]);
               rq[i] = next;
             }
@@ -197,6 +241,101 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
       UnpermuteVector(row_perm, r[q], &out[q].scores);
     } else {
       out[q].scores = std::move(r[q]);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<RwrResult>> RwrEngine::QueryBatchBlocked(
+    const std::vector<int32_t>& internal, const RwrOptions& options,
+    RwrBatchExecution* exec) const {
+  const int k = static_cast<int>(internal.size());
+  const int bw = spmm_kernel_->block_cols();
+  const float c = options.restart;
+  const Permutation& row_perm = kernel_->row_permutation();
+  std::vector<RwrResult> out(k);
+  if (exec != nullptr) {
+    exec->blocked = true;
+    exec->block_cols = bw;
+  }
+  spmm::DenseBlock x, y;
+  std::vector<float> column;
+  for (int p0 = 0; p0 < k; p0 += bw) {
+    // The final panel may be ragged; it sweeps at its actual width.
+    const int w = std::min(bw, k - p0);
+    x.Resize(n_, w);
+    for (int j = 0; j < w; ++j) x.at(internal[p0 + j], j) = 1.0f;
+    std::vector<bool> done(w, false);
+    int active = w;
+    const double iter_seconds = BlockIterationSeconds(w);
+    for (int it = 0; it < options.max_iterations && active > 0; ++it) {
+      obs::TraceSpan iter_span("graph", "rwr/block_iteration");
+      if (iter_span.active()) {
+        iter_span.Arg("iter", it);
+        iter_span.Arg("active_queries", active);
+        iter_span.Arg("block_cols", w);
+      }
+      {
+        obs::TraceSpan spmm_span("spmm", "spmm/multiply");
+        spmm_kernel_->Multiply(x, &y);
+      }
+      if (exec != nullptr) {
+        ++exec->sweeps;
+        exec->vectors += w;
+      }
+      for (int j = 0; j < w; ++j) {
+        // Converged columns keep their scores: the sweep still computes
+        // them (the matrix read is shared) but the update is skipped, so
+        // each column's iterate history matches its standalone run.
+        if (done[j]) continue;
+        const int q = p0 + j;
+        const int32_t internal_node = internal[q];
+        obs::TraceSpan red_span("reduction", "reduction/rwr_update");
+        // Fixed-block reduction over one interleaved column: the same
+        // per-element order as the scalar path, so delta — and every
+        // iterate — is bitwise identical at every thread count.
+        double delta = par::ParallelReduce<double>(
+            0, n_, par::kReduceBlock, 0.0,
+            [&](int64_t lo, int64_t hi) {
+              double local = 0.0;
+              for (int64_t i = lo; i < hi; ++i) {
+                const size_t s = static_cast<size_t>(i) * w + j;
+                float next =
+                    c * y.data[s] + (i == internal_node ? 1.0f - c : 0.0f);
+                local += std::fabs(static_cast<double>(next) - x.data[s]);
+                x.data[s] = next;
+              }
+              return local;
+            },
+            [](double a, double b) { return a + b; },
+            "par/rwr_block_update");
+        ++out[q].stats.iterations;
+        out[q].stats.delta_history.push_back(delta);
+        if (delta < options.tolerance) {
+          done[j] = true;
+          --active;
+          out[q].stats.converged = true;
+        }
+      }
+    }
+    const KernelTiming sweep = spmm_kernel_->TimingForBlockCols(w);
+    for (int j = 0; j < w; ++j) {
+      const int q = p0 + j;
+      // Bill each query its share of the shared panel sweeps.
+      out[q].stats.seconds_per_iteration = iter_seconds / w;
+      out[q].stats.gpu_seconds =
+          out[q].stats.seconds_per_iteration * out[q].stats.iterations;
+      out[q].stats.flops = static_cast<uint64_t>(out[q].stats.iterations) *
+                           (sweep.flops / w + 3ULL * n_);
+      out[q].stats.useful_bytes =
+          static_cast<uint64_t>(out[q].stats.iterations) *
+          (sweep.useful_bytes / w + 16ULL * n_);
+      x.ExtractColumn(j, &column);
+      if (!row_perm.empty()) {
+        UnpermuteVector(row_perm, column, &out[q].scores);
+      } else {
+        out[q].scores = column;
+      }
     }
   }
   return out;

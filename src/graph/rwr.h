@@ -3,6 +3,7 @@
 
 #include "graph/power_method.h"
 #include "sparse/csr.h"
+#include "spmm/spmm.h"
 #include "util/status.h"
 
 namespace tilespmv {
@@ -12,6 +13,20 @@ struct RwrOptions {
   float restart = 0.9f;  ///< c: probability of continuing the walk.
   int max_iterations = 100;
   float tolerance = 1e-5f;
+  /// Panel width for batched queries. A plan property read at Init: when the
+  /// engine was constructed with a paired SpMM kernel this must be one of
+  /// spmm::kBlockWidths and QueryBatch runs panels of up to this many
+  /// vectors per matrix sweep. Ignored (left 0) on scalar-only engines.
+  int block_cols = 0;
+};
+
+/// How a QueryBatch call actually executed — the serving layer feeds this
+/// into its SpMM metrics.
+struct RwrBatchExecution {
+  bool blocked = false;  ///< Batch ran through the SpMM panel path.
+  int block_cols = 0;    ///< Setup-time panel width (1 on the scalar path).
+  int64_t sweeps = 0;    ///< Matrix sweeps executed (SpMM or SpMV calls).
+  int64_t vectors = 0;   ///< Vector-iterations summed over all sweeps.
 };
 
 /// Per-query relevance scores plus run statistics.
@@ -27,6 +42,14 @@ struct RwrResult {
 class RwrEngine {
  public:
   explicit RwrEngine(SpMVKernel* kernel) : kernel_(kernel) {}
+
+  /// An engine with a blocked sibling attached: QueryBatch sweeps the matrix
+  /// once per panel of options.block_cols vectors instead of once per query.
+  /// `spmm_kernel` must pair with `kernel` (spmm::SpmvKernelNameForSpmm) so
+  /// every panel column stays bitwise identical to the scalar path — that
+  /// equivalence is what lets serving dedup cache results across both paths.
+  RwrEngine(SpMVKernel* kernel, spmm::SpMMKernel* spmm_kernel)
+      : kernel_(kernel), spmm_kernel_(spmm_kernel) {}
 
   /// Builds W = colnorm(sym(A)) and sets the kernel up on it. W depends only
   /// on the graph, so after Init the engine is an immutable plan: every
@@ -51,16 +74,39 @@ class RwrEngine {
   /// QueryBatch with per-call options.
   Result<std::vector<RwrResult>> QueryBatch(const std::vector<int32_t>& nodes,
                                             const RwrOptions& options) const;
+  /// QueryBatch that also reports how the batch executed (sweeps, panel
+  /// width). `exec` may be null.
+  Result<std::vector<RwrResult>> QueryBatch(const std::vector<int32_t>& nodes,
+                                            const RwrOptions& options,
+                                            RwrBatchExecution* exec) const;
 
   /// Modeled per-iteration cost of a batch of size k: the kernel's full
   /// cost once plus the per-extra-vector gather/update traffic.
   double BatchIterationSeconds(int batch_size) const;
 
+  /// Modeled per-iteration cost of one blocked panel of `width` vectors:
+  /// the SpMM sweep plus each vector's own update/reduction work. Only
+  /// valid on engines with an SpMM kernel attached.
+  double BlockIterationSeconds(int width) const;
+
   /// Node count of the Init-time graph (0 before Init).
   int32_t num_nodes() const { return n_; }
 
+  /// Setup-time panel width, or 0 on scalar-only engines.
+  int block_cols() const {
+    return spmm_kernel_ != nullptr ? spmm_kernel_->block_cols() : 0;
+  }
+
  private:
+  /// The SpMM path: panels of block_cols() queries iterate together, all
+  /// columns updated per matrix sweep. `internal` holds already-permuted
+  /// seed indices.
+  Result<std::vector<RwrResult>> QueryBatchBlocked(
+      const std::vector<int32_t>& internal, const RwrOptions& options,
+      RwrBatchExecution* exec) const;
+
   SpMVKernel* kernel_;
+  spmm::SpMMKernel* spmm_kernel_ = nullptr;
   RwrOptions options_;
   int32_t n_ = 0;
   Permutation inv_row_perm_;  // old -> new, empty when identity.

@@ -33,6 +33,9 @@ class CpuCsrKernel : public SpMVKernel {
   void Multiply(const std::vector<float>& x,
                 std::vector<float>* y) const override;
 
+  /// The Setup-time matrix (the blocked SpMM wrapper executes over it).
+  const CsrMatrix& csr() const { return a_; }
+
  private:
   CpuSpec cpu_;
   CsrMatrix a_;

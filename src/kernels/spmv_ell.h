@@ -19,6 +19,10 @@ class EllKernel : public SpMVKernel {
   void Multiply(const std::vector<float>& x,
                 std::vector<float>* y) const override;
 
+  /// The Setup-time padded storage (the blocked SpMM wrapper executes over
+  /// it, like HybKernel::hyb()).
+  const EllMatrix& ell() const { return m_; }
+
  private:
   EllMatrix m_;
 };

@@ -88,6 +88,15 @@ Engine::Engine(const EngineOptions& options)
   options_.num_threads = std::max(1, options_.num_threads);
   options_.max_pending = std::max(1, options_.max_pending);
   options_.max_batch = std::max(1, options_.max_batch);
+  // Resolve the RWR panel width: an explicit value rounds down to a valid
+  // width, 0 auto-selects the largest width the batch cap can fill.
+  if (options_.spmm_block_cols <= 0) {
+    options_.spmm_block_cols = spmm::LargestBlockColsAtMost(
+        std::min(options_.max_batch, spmm::kMaxBlockCols));
+  } else {
+    options_.spmm_block_cols = spmm::LargestBlockColsAtMost(
+        std::min(options_.spmm_block_cols, spmm::kMaxBlockCols));
+  }
   workers_.reserve(static_cast<size_t>(options_.num_threads));
   for (int i = 0; i < options_.num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -339,13 +348,33 @@ Result<std::shared_ptr<const Plan>> Engine::GetPlan(
             break;
           }
           case PlanWorkload::kRwr: {
-            built.rwr = std::make_unique<RwrEngine>(k.get());
-            Status st = built.rwr->Init(graph.matrix, RwrOptions{});
+            // Attach the blocked sibling when the kernel has one and the
+            // engine coalesces: batches then pay one matrix sweep per panel
+            // of spmm_block_cols queries instead of one per query.
+            RwrOptions ropts;
+            const std::string spmm_name = spmm::SpmmKernelNameForSpmv(kernel);
+            if (!spmm_name.empty() && options_.max_batch > 1 &&
+                options_.batch_window_seconds > 0) {
+              built.spmm = spmm::CreateSpMMKernel(spmm_name, spec);
+              ropts.block_cols = options_.spmm_block_cols;
+              built.rwr =
+                  std::make_unique<RwrEngine>(k.get(), built.spmm.get());
+            } else {
+              built.rwr = std::make_unique<RwrEngine>(k.get());
+            }
+            Status st = built.rwr->Init(graph.matrix, ropts);
             if (!st.ok()) return st;
             break;
           }
         }
         built.resident_bytes = PlanResidentBytes(*k);
+        if (built.spmm != nullptr) {
+          // The blocked path keeps x/y panels resident instead of single
+          // vectors.
+          built.resident_bytes +=
+              8ULL * static_cast<uint64_t>(built.spmm->block_cols()) *
+              static_cast<uint64_t>(graph.matrix.rows);
+        }
         built.kernel = std::move(k);
         built.build_seconds = timer.Seconds();
         return built;
@@ -506,8 +535,9 @@ void Engine::FlushBatch(const Task& task) {
   opts.restart = task.batch_key.restart;
   opts.tolerance = task.batch_key.tolerance;
   opts.max_iterations = task.batch_key.max_iterations;
+  RwrBatchExecution exec;
   Result<std::vector<RwrResult>> results =
-      plan.value()->rwr->QueryBatch(nodes, opts);
+      plan.value()->rwr->QueryBatch(nodes, opts, &exec);
   if (!results.ok()) {
     fail_all(results.status());
     return;
@@ -515,7 +545,15 @@ void Engine::FlushBatch(const Task& task) {
 
   const int batch_size = static_cast<int>(live.size());
   stats_.RecordRwrBatch(batch_size);
-  if (batch_span.active()) batch_span.Arg("batch_size", batch_size);
+  if (exec.sweeps > 0 && exec.blocked) {
+    stats_.RecordSpmmExecution(exec.sweeps, exec.vectors);
+  }
+  if (batch_span.active()) {
+    batch_span.Arg("batch_size", batch_size);
+    batch_span.Arg("blocked", exec.blocked ? 1 : 0);
+    batch_span.Arg("block_cols", exec.block_cols);
+    batch_span.Arg("spmm_sweeps", static_cast<double>(exec.sweeps));
+  }
   for (size_t i = 0; i < live.size(); ++i) {
     RwrPendingQuery* sub = live[i];
     QueryResponse response;

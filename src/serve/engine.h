@@ -46,6 +46,12 @@ struct EngineOptions {
   double batch_window_seconds = 0.002;
   /// Largest coalesced RWR batch.
   int max_batch = 16;
+  /// Panel width RWR plans are set up with for blocked (SpMM) batch
+  /// execution: one of spmm::kBlockWidths, or 0 to auto-select the largest
+  /// width <= max_batch. Values are normalized in the constructor (rounded
+  /// down to a valid width); the CLI rejects invalid input before it gets
+  /// here.
+  int spmm_block_cols = 0;
   std::string default_kernel = "tile-composite";
   std::string default_device = "c1060";
   /// Registry the engine's tilespmv_serve_* instruments live in. nullptr

@@ -49,7 +49,12 @@ struct PlanKeyHash {
 /// Section 3.1 pipeline assumes: preprocessing is one-off, queries are many.
 struct Plan {
   std::unique_ptr<SpMVKernel> kernel;
-  /// Non-null iff workload == kRwr; Init()ed on the same kernel.
+  /// Blocked sibling of `kernel`, set up at the plan's panel width. Non-null
+  /// only for RWR plans whose kernel has one (spmm::SpmmKernelNameForSpmv)
+  /// and whose engine coalesces; `rwr` then executes batches through it.
+  std::unique_ptr<spmm::SpMMKernel> spmm;
+  /// Non-null iff workload == kRwr; Init()ed on the same kernel (and, when
+  /// present, the SpMM kernel).
   std::unique_ptr<RwrEngine> rwr;
   int32_t nodes = 0;  ///< Graph node count in original index space.
   /// Modeled device memory the plan's structures occupy — the unit of the

@@ -28,6 +28,17 @@ ServerStats::ServerStats(obs::MetricsRegistry* registry) {
   rwr_batched_queries_ =
       registry_->GetCounter("tilespmv_serve_rwr_batched_queries_total",
                             "RWR queries served through coalesced batches");
+  spmm_sweeps_ = registry_->GetCounter(
+      "tilespmv_spmm_sweeps_total",
+      "Blocked SpMM matrix sweeps executed by batched RWR");
+  spmm_vectors_ = registry_->GetCounter(
+      "tilespmv_spmm_vectors_per_sweep",
+      "Vector-iterations carried by blocked SpMM sweeps; divide by "
+      "tilespmv_spmm_sweeps_total for the achieved panel width");
+  rwr_batch_width_ = registry_->GetHistogram(
+      "tilespmv_serve_rwr_batch_width",
+      "Coalesced RWR batch width (queries per QueryBatch call)",
+      obs::ExponentialBuckets(1, 2.0, 7));
   modeled_gpu_seconds_ =
       registry_->GetGauge("tilespmv_serve_modeled_gpu_seconds",
                           "Total billed modeled device time");
@@ -56,6 +67,12 @@ void ServerStats::RecordDedupHit() { dedup_hits_->Increment(); }
 void ServerStats::RecordRwrBatch(int queries) {
   rwr_batches_->Increment();
   rwr_batched_queries_->Increment(static_cast<uint64_t>(queries));
+  rwr_batch_width_->Observe(static_cast<double>(queries));
+}
+
+void ServerStats::RecordSpmmExecution(int64_t sweeps, int64_t vectors) {
+  spmm_sweeps_->Increment(static_cast<uint64_t>(sweeps));
+  spmm_vectors_->Increment(static_cast<uint64_t>(vectors));
 }
 
 ServerStatsSnapshot ServerStats::Snapshot() const {
@@ -68,6 +85,14 @@ ServerStatsSnapshot ServerStats::Snapshot() const {
   s.dedup_hits = dedup_hits_->Value();
   s.rwr_batches = rwr_batches_->Value();
   s.rwr_batched_queries = rwr_batched_queries_->Value();
+  s.rwr_batch_width_mean = rwr_batch_width_->Mean();
+  s.rwr_batch_width_p95 = rwr_batch_width_->Percentile(95.0);
+  s.spmm_sweeps = spmm_sweeps_->Value();
+  s.spmm_vectors = spmm_vectors_->Value();
+  s.spmm_vectors_per_sweep =
+      s.spmm_sweeps > 0 ? static_cast<double>(s.spmm_vectors) /
+                              static_cast<double>(s.spmm_sweeps)
+                        : 0.0;
   s.qps = s.uptime_seconds > 0
               ? static_cast<double>(s.completed) / s.uptime_seconds
               : 0.0;
@@ -84,7 +109,7 @@ ServerStatsSnapshot ServerStats::Snapshot() const {
 }
 
 std::string ServerStatsSnapshot::ToJson() const {
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "{\"uptime_seconds\": %.3f, \"qps\": %.2f, \"completed\": %llu, "
@@ -94,7 +119,9 @@ std::string ServerStatsSnapshot::ToJson() const {
       "\"misses\": %llu, \"evictions\": %llu, \"resident_bytes\": %llu, "
       "\"entries\": %llu, \"hit_rate\": %.3f}, \"coalescing\": "
       "{\"rwr_batches\": %llu, \"rwr_batched_queries\": %llu, "
-      "\"coalesce_factor\": %.2f}, \"modeled_gpu_seconds\": %.6f}",
+      "\"coalesce_factor\": %.2f, \"batch_width\": {\"mean\": %.2f, "
+      "\"p95\": %.2f}}, \"spmm\": {\"sweeps\": %llu, \"vectors\": %llu, "
+      "\"vectors_per_sweep\": %.2f}, \"modeled_gpu_seconds\": %.6f}",
       uptime_seconds, qps, static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(shed_queue_full),
@@ -112,6 +139,9 @@ std::string ServerStatsSnapshot::ToJson() const {
           : 0.0,
       static_cast<unsigned long long>(rwr_batches),
       static_cast<unsigned long long>(rwr_batched_queries), coalesce_factor,
+      rwr_batch_width_mean, rwr_batch_width_p95,
+      static_cast<unsigned long long>(spmm_sweeps),
+      static_cast<unsigned long long>(spmm_vectors), spmm_vectors_per_sweep,
       modeled_gpu_seconds);
   return buf;
 }

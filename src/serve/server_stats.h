@@ -25,6 +25,13 @@ struct ServerStatsSnapshot {
   uint64_t dedup_hits = 0;  ///< Requests answered by an identical in-flight run.
   uint64_t rwr_batches = 0;          ///< Coalesced RWR batch executions.
   uint64_t rwr_batched_queries = 0;  ///< RWR queries served through them.
+  double rwr_batch_width_mean = 0.0;  ///< Mean coalesced batch width.
+  double rwr_batch_width_p95 = 0.0;   ///< p95 coalesced batch width.
+  uint64_t spmm_sweeps = 0;   ///< Blocked matrix sweeps executed.
+  uint64_t spmm_vectors = 0;  ///< Vector-iterations carried by those sweeps.
+  /// Matrix-stream amortization actually achieved: spmm_vectors /
+  /// spmm_sweeps (0 if no blocked execution happened).
+  double spmm_vectors_per_sweep = 0.0;
   uint64_t plan_hits = 0;
   uint64_t plan_misses = 0;
   uint64_t plan_evictions = 0;
@@ -65,7 +72,11 @@ class ServerStats {
                         bool ok);
   void RecordShed(StatusCode code);
   void RecordDedupHit();
+  /// Also feeds the tilespmv_serve_rwr_batch_width distribution.
   void RecordRwrBatch(int queries);
+  /// Accounts one batch's blocked execution: `sweeps` SpMM matrix sweeps
+  /// carrying `vectors` total vector-iterations.
+  void RecordSpmmExecution(int64_t sweeps, int64_t vectors);
 
   ServerStatsSnapshot Snapshot() const;
 
@@ -82,8 +93,11 @@ class ServerStats {
   obs::Counter* dedup_hits_;
   obs::Counter* rwr_batches_;
   obs::Counter* rwr_batched_queries_;
+  obs::Counter* spmm_sweeps_;
+  obs::Counter* spmm_vectors_;
   obs::Gauge* modeled_gpu_seconds_;
   obs::Histogram* latency_;
+  obs::Histogram* rwr_batch_width_;
 };
 
 }  // namespace tilespmv::serve

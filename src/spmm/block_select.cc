@@ -1,0 +1,86 @@
+#include "spmm/block_select.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace tilespmv::spmm {
+
+bool ParseBlockCols(const std::string& s, int* out) {
+  // strtol skips leading whitespace and accepts a sign; a width is a bare
+  // decimal digit string, nothing else.
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  char* end = nullptr;
+  long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  if (v < 1 || v > kMaxBlockCols || !IsValidBlockCols(static_cast<int>(v))) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+Result<int> BlockColsFromEnv(int fallback) {
+  const char* env = std::getenv(kBlockColsEnvVar);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  int k = 0;
+  if (!ParseBlockCols(env, &k)) {
+    return Status::InvalidArgument(std::string(kBlockColsEnvVar) + "=\"" +
+                                   env + "\" is not a valid block width " +
+                                   "(want one of 1, 2, 4, 8, 16)");
+  }
+  return k;
+}
+
+int ChooseBlockCols(const SpMMKernel& kernel, int max_block_cols) {
+  int best_k = 1;
+  double best_per_vector = 0.0;
+  for (int k : kBlockWidths) {
+    if (k > max_block_cols) break;
+    double per_vector = kernel.TimingForBlockCols(k).seconds / k;
+    if (k == 1 || per_vector < best_per_vector) {
+      best_k = k;
+      best_per_vector = per_vector;
+    }
+  }
+  return best_k;
+}
+
+std::vector<SpmmChoice> PredictSpmmChoices(const CsrMatrix& a,
+                                           const gpusim::DeviceSpec& spec,
+                                           int max_block_cols) {
+  std::vector<SpmmChoice> choices;
+  const int setup_k = LargestBlockColsAtMost(max_block_cols);
+  for (const std::string& name : AllSpMMKernelNames()) {
+    std::unique_ptr<SpMMKernel> kernel = CreateSpMMKernel(name, spec);
+    if (kernel == nullptr) continue;
+    if (!kernel->Setup(a, setup_k).ok()) continue;  // Format rejected it.
+    SpmmChoice c;
+    c.kernel = name;
+    c.block_cols = ChooseBlockCols(*kernel, max_block_cols);
+    c.sweep_seconds = kernel->TimingForBlockCols(c.block_cols).seconds;
+    c.seconds_per_vector = c.sweep_seconds / c.block_cols;
+    c.arithmetic_intensity = kernel->ArithmeticIntensity(c.block_cols);
+    choices.push_back(std::move(c));
+  }
+  std::stable_sort(choices.begin(), choices.end(),
+                   [](const SpmmChoice& a, const SpmmChoice& b) {
+                     return a.seconds_per_vector < b.seconds_per_vector;
+                   });
+  return choices;
+}
+
+Result<SpmmChoice> SelectSpmmPlan(const CsrMatrix& a,
+                                  const gpusim::DeviceSpec& spec,
+                                  int max_block_cols) {
+  std::vector<SpmmChoice> choices = PredictSpmmChoices(a, spec, max_block_cols);
+  if (choices.empty()) {
+    return Status::InvalidArgument(
+        "no blocked kernel accepts this matrix");
+  }
+  return choices.front();
+}
+
+}  // namespace tilespmv::spmm

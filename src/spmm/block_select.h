@@ -1,0 +1,59 @@
+#ifndef TILESPMV_SPMM_BLOCK_SELECT_H_
+#define TILESPMV_SPMM_BLOCK_SELECT_H_
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.h"
+#include "spmm/spmm.h"
+
+namespace tilespmv::spmm {
+
+/// Environment variable consulted for the default panel width (same
+/// convention as TILESPMV_THREADS). A set-but-invalid value is an error,
+/// never silently ignored.
+inline constexpr char kBlockColsEnvVar[] = "TILESPMV_BLOCK_COLS";
+
+/// Strict parse of a block-cols string: the whole string must be an integer
+/// AND one of kBlockWidths. Returns false (leaving *out untouched)
+/// otherwise — callers reject "8x", "0", "3", "" outright.
+bool ParseBlockCols(const std::string& s, int* out);
+
+/// The panel width to use when the caller gave none: kBlockColsEnvVar if
+/// set, else `fallback`. A set-but-invalid value returns InvalidArgument so
+/// a typo can't silently change results batching.
+Result<int> BlockColsFromEnv(int fallback);
+
+/// The width in kBlockWidths (<= max_block_cols) minimizing the kernel's
+/// modeled per-vector seconds. Wider panels amortize the matrix stream, so
+/// this is usually the largest allowed width; ties break toward the
+/// narrower panel (less batching latency for the same throughput).
+int ChooseBlockCols(const SpMMKernel& kernel, int max_block_cols);
+
+/// One candidate from the blocked autotune sweep.
+struct SpmmChoice {
+  std::string kernel;  ///< Blocked kernel name (CreateSpMMKernel-compatible).
+  int block_cols = 1;
+  double sweep_seconds = 0.0;        ///< One sweep at block_cols.
+  double seconds_per_vector = 0.0;   ///< sweep_seconds / block_cols.
+  double arithmetic_intensity = 0.0; ///< Flops per modeled DRAM byte.
+};
+
+/// kernel_select's blocked sibling: sets up every blocked kernel on `a`
+/// (skipping ones whose format rejects it, e.g. ELL padding blow-up), picks
+/// each one's best width <= max_block_cols, and returns the candidates
+/// sorted by modeled per-vector seconds, fastest first.
+std::vector<SpmmChoice> PredictSpmmChoices(const CsrMatrix& a,
+                                           const gpusim::DeviceSpec& spec,
+                                           int max_block_cols);
+
+/// The fastest candidate from PredictSpmmChoices, or InvalidArgument when
+/// every blocked kernel rejected the matrix (cannot happen in practice:
+/// spmm-cpu-csr accepts anything CSR-valid).
+Result<SpmmChoice> SelectSpmmPlan(const CsrMatrix& a,
+                                  const gpusim::DeviceSpec& spec,
+                                  int max_block_cols);
+
+}  // namespace tilespmv::spmm
+
+#endif  // TILESPMV_SPMM_BLOCK_SELECT_H_

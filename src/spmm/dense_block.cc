@@ -1,0 +1,45 @@
+#include "spmm/dense_block.h"
+
+#include "util/check.h"
+
+namespace tilespmv::spmm {
+
+bool IsValidBlockCols(int k) {
+  for (int w : kBlockWidths) {
+    if (k == w) return true;
+  }
+  return false;
+}
+
+int LargestBlockColsAtMost(int limit) {
+  int best = 1;
+  for (int w : kBlockWidths) {
+    if (w <= limit) best = w;
+  }
+  return best;
+}
+
+void DenseBlock::ExtractColumn(int j, std::vector<float>* out) const {
+  TILESPMV_CHECK(j >= 0 && j < cols);
+  out->resize(static_cast<size_t>(rows));
+  for (int32_t r = 0; r < rows; ++r) (*out)[r] = at(r, j);
+}
+
+void DenseBlock::SetColumn(int j, const std::vector<float>& in) {
+  TILESPMV_CHECK(j >= 0 && j < cols);
+  TILESPMV_CHECK(static_cast<int64_t>(in.size()) == rows);
+  for (int32_t r = 0; r < rows; ++r) at(r, j) = in[r];
+}
+
+DenseBlock PackColumns(const std::vector<std::vector<float>>& columns) {
+  DenseBlock block;
+  if (columns.empty()) return block;
+  block.Resize(static_cast<int32_t>(columns[0].size()),
+               static_cast<int>(columns.size()));
+  for (int j = 0; j < block.cols; ++j) {
+    block.SetColumn(j, columns[static_cast<size_t>(j)]);
+  }
+  return block;
+}
+
+}  // namespace tilespmv::spmm

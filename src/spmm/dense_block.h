@@ -1,0 +1,61 @@
+#ifndef TILESPMV_SPMM_DENSE_BLOCK_H_
+#define TILESPMV_SPMM_DENSE_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tilespmv::spmm {
+
+/// Supported panel widths. Fixed so every blocked kernel's inner loop is a
+/// small compile-time-friendly trip count and so autotuning sweeps a short
+/// discrete axis (mirroring the paper's fixed workload-size grid).
+inline constexpr int kBlockWidths[] = {1, 2, 4, 8, 16};
+inline constexpr int kMaxBlockCols = 16;
+
+/// Returns true when `k` is one of kBlockWidths.
+bool IsValidBlockCols(int k);
+
+/// The largest valid width <= `limit` (at least 1).
+int LargestBlockColsAtMost(int limit);
+
+/// A dense panel of `cols` vectors of length `rows`, stored row-major
+/// (`data[r * cols + j]` is row r of vector j). Row-major interleaving is
+/// the point of the subsystem: one gather of a matrix column touches the k
+/// panel entries contiguously, so the per-nonzero x traffic a blocked sweep
+/// pays is one cache line instead of k scattered floats.
+struct DenseBlock {
+  int32_t rows = 0;
+  int cols = 0;
+  std::vector<float> data;
+
+  DenseBlock() = default;
+  DenseBlock(int32_t r, int c) { Resize(r, c); }
+
+  void Resize(int32_t r, int c, float value = 0.0f) {
+    rows = r;
+    cols = c;
+    data.assign(static_cast<size_t>(r) * static_cast<size_t>(c), value);
+  }
+
+  float& at(int32_t r, int j) {
+    return data[static_cast<size_t>(r) * cols + static_cast<size_t>(j)];
+  }
+  float at(int32_t r, int j) const {
+    return data[static_cast<size_t>(r) * cols + static_cast<size_t>(j)];
+  }
+
+  /// Copies vector `j` out as a plain std::vector (the SpMV-compatible
+  /// view used by the agreement tests and the serving result path).
+  void ExtractColumn(int j, std::vector<float>* out) const;
+
+  /// Overwrites vector `j` from a plain std::vector of length `rows`.
+  void SetColumn(int j, const std::vector<float>& in);
+};
+
+/// Packs `columns.size()` vectors (all the same length) into one panel.
+DenseBlock PackColumns(const std::vector<std::vector<float>>& columns);
+
+}  // namespace tilespmv::spmm
+
+#endif  // TILESPMV_SPMM_DENSE_BLOCK_H_

@@ -1,0 +1,119 @@
+#include "spmm/spmm.h"
+
+#include "sparse/permute.h"
+#include "spmm/spmm_cpu_csr.h"
+#include "spmm/spmm_ell.h"
+#include "spmm/spmm_hyb.h"
+#include "spmm/spmm_tile_composite.h"
+
+namespace tilespmv::spmm {
+
+const Permutation SpMMKernel::kIdentityPerm = {};
+
+Status SpMMKernel::FinishSetup(const KernelTiming& spmv, int block_cols) {
+  if (!IsValidBlockCols(block_cols)) {
+    return Status::InvalidArgument(
+        "block_cols must be one of {1, 2, 4, 8, 16}, got " +
+        std::to_string(block_cols));
+  }
+  block_cols_ = block_cols;
+  spmv_timing_ = spmv;
+  timing_ = TimingForBlockCols(block_cols);
+  return Status::OK();
+}
+
+KernelTiming SpMMKernel::TimingForBlockCols(int k) const {
+  gpusim::SpmmSweepInputs in;
+  in.spmv_seconds = spmv_timing_.seconds;
+  in.flops = spmv_timing_.flops;
+  in.useful_bytes = spmv_timing_.useful_bytes;
+  in.global_bytes = spmv_timing_.global_bytes;
+  in.tex_misses = spmv_timing_.tex_misses;
+  in.rows = rows_;
+  gpusim::SpmmSweepCost cost = gpusim::EstimateSpmmSweep(in, k, spec_);
+  KernelTiming t = spmv_timing_;  // Hits/launch details are structure-only.
+  t.seconds = cost.seconds;
+  t.flops = cost.flops;
+  t.useful_bytes = cost.useful_bytes;
+  t.global_bytes = cost.global_bytes;
+  return t;
+}
+
+double SpMMKernel::ArithmeticIntensity(int k) const {
+  gpusim::SpmmSweepInputs in;
+  in.spmv_seconds = spmv_timing_.seconds;
+  in.flops = spmv_timing_.flops;
+  in.useful_bytes = spmv_timing_.useful_bytes;
+  in.global_bytes = spmv_timing_.global_bytes;
+  in.tex_misses = spmv_timing_.tex_misses;
+  in.rows = rows_;
+  return gpusim::EstimateSpmmSweep(in, k, spec_).arithmetic_intensity;
+}
+
+std::unique_ptr<SpMMKernel> CreateSpMMKernel(std::string_view name,
+                                             const gpusim::DeviceSpec& spec) {
+  if (name == "spmm-cpu-csr") return std::make_unique<SpmmCpuCsrKernel>(spec);
+  if (name == "spmm-ell") return std::make_unique<SpmmEllKernel>(spec);
+  if (name == "spmm-hyb") return std::make_unique<SpmmHybKernel>(spec);
+  if (name == "spmm-tile-composite")
+    return std::make_unique<SpmmTileCompositeKernel>(spec);
+  return nullptr;
+}
+
+const std::vector<std::string>& AllSpMMKernelNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "spmm-cpu-csr", "spmm-ell", "spmm-hyb", "spmm-tile-composite"};
+  return *kNames;
+}
+
+std::string SpmmKernelNameForSpmv(std::string_view spmv_name) {
+  if (spmv_name == "cpu-csr") return "spmm-cpu-csr";
+  if (spmv_name == "ell") return "spmm-ell";
+  if (spmv_name == "hyb") return "spmm-hyb";
+  if (spmv_name == "tile-composite") return "spmm-tile-composite";
+  return "";
+}
+
+std::string SpmvKernelNameForSpmm(std::string_view spmm_name) {
+  if (spmm_name == "spmm-cpu-csr") return "cpu-csr";
+  if (spmm_name == "spmm-ell") return "ell";
+  if (spmm_name == "spmm-hyb") return "hyb";
+  if (spmm_name == "spmm-tile-composite") return "tile-composite";
+  return "";
+}
+
+void MultiplyOriginal(const SpMMKernel& kernel, const DenseBlock& x,
+                      DenseBlock* y) {
+  const Permutation& col_perm = kernel.col_permutation();
+  const Permutation& row_perm = kernel.row_permutation();
+  if (col_perm.empty() && row_perm.empty()) {
+    kernel.Multiply(x, y);
+    return;
+  }
+  DenseBlock x_internal;
+  const DenseBlock* xp = &x;
+  std::vector<float> column, permuted;
+  if (!col_perm.empty()) {
+    x_internal.Resize(x.rows, x.cols);
+    for (int j = 0; j < x.cols; ++j) {
+      x.ExtractColumn(j, &column);
+      PermuteVector(col_perm, column, &permuted);
+      x_internal.SetColumn(j, permuted);
+    }
+    xp = &x_internal;
+  }
+  if (row_perm.empty()) {
+    kernel.Multiply(*xp, y);
+    return;
+  }
+  DenseBlock y_internal;
+  kernel.Multiply(*xp, &y_internal);
+  y->Resize(y_internal.rows, y_internal.cols);
+  for (int j = 0; j < y_internal.cols; ++j) {
+    y_internal.ExtractColumn(j, &column);
+    UnpermuteVector(row_perm, column, &permuted);
+    y->SetColumn(j, permuted);
+  }
+}
+
+}  // namespace tilespmv::spmm

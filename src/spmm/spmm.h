@@ -1,0 +1,122 @@
+#ifndef TILESPMV_SPMM_SPMM_H_
+#define TILESPMV_SPMM_SPMM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kernels/spmv.h"
+#include "spmm/dense_block.h"
+
+namespace tilespmv::spmm {
+
+/// A blocked SpMM kernel: one sweep of the matrix applied to a dense panel
+/// of up to block_cols() vectors — the multi-vector sibling of SpMVKernel.
+/// The matrix stream (the paper's bottleneck resource) is paid once per
+/// sweep and amortized over the panel; only the x gathers, y writes and MAD
+/// work repeat per vector.
+///
+/// Determinism contract (what lets the serving layer route coalesced
+/// batches through this path without changing results): column j of
+/// Multiply's output is bitwise identical to the underlying single-vector
+/// SpMV kernel's Multiply on column j alone, at every pool thread count.
+/// Implementations guarantee it by accumulating each (row, column) sum over
+/// matrix entries in exactly the per-element order of the paired SpMV
+/// kernel, with one independent accumulator per panel column.
+///
+/// Thread-safety matches SpMVKernel: Setup() is not thread-safe; after a
+/// successful Setup every const member is, and Multiply keeps all per-call
+/// state in the caller-provided y panel.
+class SpMMKernel {
+ public:
+  explicit SpMMKernel(const gpusim::DeviceSpec& spec) : spec_(spec) {}
+  virtual ~SpMMKernel() = default;
+
+  SpMMKernel(const SpMMKernel&) = delete;
+  SpMMKernel& operator=(const SpMMKernel&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  /// Builds device structures for panels of up to `block_cols` vectors
+  /// (must be one of kBlockWidths), simulates one blocked sweep, records
+  /// timing(). Delegates the structural build to the paired SpMV kernel, so
+  /// permutations and format rejections (e.g. ELL padding blow-up) are
+  /// identical to the single-vector path.
+  virtual Status Setup(const CsrMatrix& a, int block_cols) = 0;
+
+  /// y = A * x for a panel in internal index space. x.cols may be any width
+  /// in [1, block_cols()] — the ragged final panel of a batch runs at its
+  /// actual width. Requires a successful Setup.
+  virtual void Multiply(const DenseBlock& x, DenseBlock* y) const = 0;
+
+  /// Modeled cost of one blocked sweep at block_cols() vectors.
+  const KernelTiming& timing() const { return timing_; }
+
+  /// Modeled cost of one sweep at width `k` (any value in [1,
+  /// block_cols()]), derived from the Setup-time single-vector walk via
+  /// gpusim::EstimateSpmmSweep. Lets callers evaluate the whole width axis
+  /// without re-running Setup — the block-width autotuner and the ragged
+  /// final panel both use it.
+  KernelTiming TimingForBlockCols(int k) const;
+
+  /// Arithmetic intensity (flops per modeled DRAM byte) of one sweep at
+  /// width `k` — the Fig. 2-style reporting axis for SpMM.
+  double ArithmeticIntensity(int k) const;
+
+  /// The single-vector timing the blocked cost is derived from.
+  const KernelTiming& spmv_timing() const { return spmv_timing_; }
+
+  virtual const Permutation& row_permutation() const { return kIdentityPerm; }
+  virtual const Permutation& col_permutation() const { return kIdentityPerm; }
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+  int block_cols() const { return block_cols_; }
+  const gpusim::DeviceSpec& spec() const { return spec_; }
+
+ protected:
+  static const Permutation kIdentityPerm;  // empty vector
+
+  /// Validates `block_cols` and derives timing_ for it from `spmv` (the
+  /// paired kernel's Setup-time timing). Every implementation calls this at
+  /// the end of Setup.
+  Status FinishSetup(const KernelTiming& spmv, int block_cols);
+
+  gpusim::DeviceSpec spec_;
+  KernelTiming timing_;       ///< One blocked sweep at block_cols_.
+  KernelTiming spmv_timing_;  ///< One single-vector sweep.
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+  int block_cols_ = 1;
+};
+
+/// Creates a blocked kernel by name. Known names: "spmm-cpu-csr",
+/// "spmm-ell", "spmm-hyb", "spmm-tile-composite". Returns nullptr for
+/// unknown names.
+std::unique_ptr<SpMMKernel> CreateSpMMKernel(std::string_view name,
+                                             const gpusim::DeviceSpec& spec);
+
+/// All blocked kernel names.
+const std::vector<std::string>& AllSpMMKernelNames();
+
+/// The blocked sibling of an SpMV kernel name ("tile-composite" ->
+/// "spmm-tile-composite"), or "" when no blocked implementation exists.
+/// The pairing is what preserves serving dedup semantics: a plan built for
+/// SpMV kernel X may only execute batches through SpmmKernelNameForSpmv(X),
+/// whose columns are bitwise identical to X.
+std::string SpmmKernelNameForSpmv(std::string_view spmv_name);
+
+/// The SpMV kernel a blocked kernel pairs with ("spmm-ell" -> "ell"), or ""
+/// for unknown names.
+std::string SpmvKernelNameForSpmm(std::string_view spmm_name);
+
+/// Original-index-space panel multiply: permutes every panel column into the
+/// kernel's internal space, multiplies, and un-permutes the result — the
+/// SpMM sibling of tilespmv::MultiplyOriginal.
+void MultiplyOriginal(const SpMMKernel& kernel, const DenseBlock& x,
+                      DenseBlock* y);
+
+}  // namespace tilespmv::spmm
+
+#endif  // TILESPMV_SPMM_SPMM_H_

@@ -1,0 +1,27 @@
+#ifndef TILESPMV_SPMM_SPMM_CPU_CSR_H_
+#define TILESPMV_SPMM_SPMM_CPU_CSR_H_
+
+#include "kernels/cpu_csr.h"
+#include "spmm/spmm.h"
+
+namespace tilespmv::spmm {
+
+/// Blocked CPU CSR: the scalar baseline swept once per panel. Each row walks
+/// its CSR entries in order with one accumulator per panel column, so column
+/// j matches CpuCsrKernel::Multiply (and CsrMultiply) bit for bit.
+class SpmmCpuCsrKernel : public SpMMKernel {
+ public:
+  explicit SpmmCpuCsrKernel(const gpusim::DeviceSpec& spec)
+      : SpMMKernel(spec), inner_(spec) {}
+
+  std::string_view name() const override { return "spmm-cpu-csr"; }
+  Status Setup(const CsrMatrix& a, int block_cols) override;
+  void Multiply(const DenseBlock& x, DenseBlock* y) const override;
+
+ private:
+  CpuCsrKernel inner_;
+};
+
+}  // namespace tilespmv::spmm
+
+#endif  // TILESPMV_SPMM_SPMM_CPU_CSR_H_

@@ -1,0 +1,43 @@
+#include "spmm/spmm_ell.h"
+
+#include "par/pool.h"
+#include "util/check.h"
+
+namespace tilespmv::spmm {
+
+Status SpmmEllKernel::Setup(const CsrMatrix& a, int block_cols) {
+  TILESPMV_RETURN_IF_ERROR(inner_.Setup(a));
+  rows_ = inner_.rows();
+  cols_ = inner_.cols();
+  return FinishSetup(inner_.timing(), block_cols);
+}
+
+void SpmmEllKernel::Multiply(const DenseBlock& x, DenseBlock* y) const {
+  const EllMatrix& m = inner_.ell();
+  const int k = x.cols;
+  TILESPMV_CHECK(x.rows == cols_);
+  TILESPMV_CHECK(k >= 1 && k <= block_cols_);
+  y->Resize(m.rows, k);
+  par::LoopOptions options;
+  options.grain = 512;
+  options.label = "par/spmm_ell_multiply";
+  par::ParallelFor(0, m.rows, options, [&](int64_t r0, int64_t r1) {
+    float acc[kMaxBlockCols];
+    for (int64_t r = r0; r < r1; ++r) {
+      for (int j = 0; j < k; ++j) acc[j] = 0.0f;
+      for (int32_t w = 0; w < m.width; ++w) {
+        size_t slot = static_cast<size_t>(w) * m.rows + static_cast<size_t>(r);
+        int32_t c = m.col_idx[slot];
+        if (c != EllMatrix::kEllPad) {
+          const float v = m.values[slot];
+          const float* xs = &x.data[static_cast<size_t>(c) * k];
+          for (int j = 0; j < k; ++j) acc[j] += v * xs[j];
+        }
+      }
+      float* ys = &y->data[static_cast<size_t>(r) * k];
+      for (int j = 0; j < k; ++j) ys[j] = acc[j];
+    }
+  });
+}
+
+}  // namespace tilespmv::spmm

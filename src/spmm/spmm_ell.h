@@ -1,0 +1,29 @@
+#ifndef TILESPMV_SPMM_SPMM_ELL_H_
+#define TILESPMV_SPMM_SPMM_ELL_H_
+
+#include "kernels/spmv_ell.h"
+#include "spmm/spmm.h"
+
+namespace tilespmv::spmm {
+
+/// Blocked ELL: one sweep of the padded column-major storage applied to the
+/// whole panel. Each row takes its slots in increasing-j order (padding
+/// skipped) with one accumulator per panel column, matching
+/// EllKernel::Multiply bit for bit. Inherits ELL's RESOURCE_EXHAUSTED
+/// rejection of power-law matrices from the inner kernel's Setup.
+class SpmmEllKernel : public SpMMKernel {
+ public:
+  explicit SpmmEllKernel(const gpusim::DeviceSpec& spec)
+      : SpMMKernel(spec), inner_(spec) {}
+
+  std::string_view name() const override { return "spmm-ell"; }
+  Status Setup(const CsrMatrix& a, int block_cols) override;
+  void Multiply(const DenseBlock& x, DenseBlock* y) const override;
+
+ private:
+  EllKernel inner_;
+};
+
+}  // namespace tilespmv::spmm
+
+#endif  // TILESPMV_SPMM_SPMM_ELL_H_

@@ -1,0 +1,56 @@
+#include "spmm/spmm_hyb.h"
+
+#include <algorithm>
+
+#include "par/pool.h"
+#include "util/check.h"
+
+namespace tilespmv::spmm {
+
+Status SpmmHybKernel::Setup(const CsrMatrix& a, int block_cols) {
+  TILESPMV_RETURN_IF_ERROR(inner_.Setup(a));
+  rows_ = inner_.rows();
+  cols_ = inner_.cols();
+  return FinishSetup(inner_.timing(), block_cols);
+}
+
+void SpmmHybKernel::Multiply(const DenseBlock& x, DenseBlock* y) const {
+  const HybMatrix& m = inner_.hyb();
+  const EllMatrix& e = m.ell;
+  const int k = x.cols;
+  TILESPMV_CHECK(x.rows == cols_);
+  TILESPMV_CHECK(k >= 1 && k <= block_cols_);
+  y->Resize(rows_, k);
+  par::LoopOptions options;
+  options.grain = 512;
+  options.label = "par/spmm_hyb_multiply";
+  par::ParallelFor(0, rows_, options, [&](int64_t r0, int64_t r1) {
+    const int32_t* coo_rows = m.coo.row_idx.data();
+    const int64_t coo_nnz = m.coo.nnz();
+    int64_t t = std::lower_bound(coo_rows, coo_rows + coo_nnz,
+                                 static_cast<int32_t>(r0)) -
+                coo_rows;
+    float acc[kMaxBlockCols];
+    for (int64_t r = r0; r < r1; ++r) {
+      for (int j = 0; j < k; ++j) acc[j] = 0.0f;
+      for (int32_t w = 0; w < e.width; ++w) {
+        size_t slot = static_cast<size_t>(w) * e.rows + static_cast<size_t>(r);
+        int32_t c = e.col_idx[slot];
+        if (c != EllMatrix::kEllPad) {
+          const float v = e.values[slot];
+          const float* xs = &x.data[static_cast<size_t>(c) * k];
+          for (int j = 0; j < k; ++j) acc[j] += v * xs[j];
+        }
+      }
+      for (; t < coo_nnz && coo_rows[t] == r; ++t) {
+        const float v = m.coo.values[t];
+        const float* xs = &x.data[static_cast<size_t>(m.coo.col_idx[t]) * k];
+        for (int j = 0; j < k; ++j) acc[j] += v * xs[j];
+      }
+      float* ys = &y->data[static_cast<size_t>(r) * k];
+      for (int j = 0; j < k; ++j) ys[j] = acc[j];
+    }
+  });
+}
+
+}  // namespace tilespmv::spmm

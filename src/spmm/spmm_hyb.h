@@ -1,0 +1,28 @@
+#ifndef TILESPMV_SPMM_SPMM_HYB_H_
+#define TILESPMV_SPMM_SPMM_HYB_H_
+
+#include "kernels/spmv_hyb.h"
+#include "spmm/spmm.h"
+
+namespace tilespmv::spmm {
+
+/// Blocked HYB: per-row fusion of the ELL prefix (increasing-j slot order)
+/// and the row-sorted COO tail (entry order), with one accumulator per panel
+/// column — the widened mirror of HybKernel::Multiply, bit for bit per
+/// column.
+class SpmmHybKernel : public SpMMKernel {
+ public:
+  explicit SpmmHybKernel(const gpusim::DeviceSpec& spec)
+      : SpMMKernel(spec), inner_(spec) {}
+
+  std::string_view name() const override { return "spmm-hyb"; }
+  Status Setup(const CsrMatrix& a, int block_cols) override;
+  void Multiply(const DenseBlock& x, DenseBlock* y) const override;
+
+ private:
+  HybKernel inner_;
+};
+
+}  // namespace tilespmv::spmm
+
+#endif  // TILESPMV_SPMM_SPMM_HYB_H_

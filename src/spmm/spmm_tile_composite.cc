@@ -1,0 +1,48 @@
+#include "spmm/spmm_tile_composite.h"
+
+#include "par/pool.h"
+#include "util/check.h"
+
+namespace tilespmv::spmm {
+
+Status SpmmTileCompositeKernel::Setup(const CsrMatrix& a, int block_cols) {
+  TILESPMV_RETURN_IF_ERROR(inner_.Setup(a));
+  rows_ = inner_.rows();
+  cols_ = inner_.cols();
+  return FinishSetup(inner_.timing(), block_cols);
+}
+
+void SpmmTileCompositeKernel::Multiply(const DenseBlock& x,
+                                       DenseBlock* y) const {
+  const int k = x.cols;
+  TILESPMV_CHECK(x.rows == cols_);
+  TILESPMV_CHECK(k >= 1 && k <= block_cols_);
+  y->Resize(rows_, k);
+  par::LoopOptions options;
+  options.grain = 256;
+  options.chunking = par::Chunking::kGuided;
+  options.label = "par/spmm_tile_composite_multiply";
+  for (const TileCompositeKernel::TileView& tv : inner_.tile_views()) {
+    const CompositeTile& ct = *tv.ct;
+    par::ParallelFor(
+        0, static_cast<int64_t>(ct.row_order.size()), options,
+        [&](int64_t p0, int64_t p1) {
+          float acc[kMaxBlockCols];
+          for (int64_t p = p0; p < p1; ++p) {
+            for (int j = 0; j < k; ++j) acc[j] = 0.0f;
+            int64_t start = ct.row_start[p];
+            for (int64_t e = 0; e < ct.row_len[p]; ++e) {
+              const float v = ct.vals[start + e];
+              const float* xs =
+                  &x.data[static_cast<size_t>(tv.col_begin + ct.cols[start + e]) *
+                          k];
+              for (int j = 0; j < k; ++j) acc[j] += v * xs[j];
+            }
+            float* ys = &y->data[static_cast<size_t>(ct.row_order[p]) * k];
+            for (int j = 0; j < k; ++j) ys[j] += acc[j];
+          }
+        });
+  }
+}
+
+}  // namespace tilespmv::spmm

@@ -1,0 +1,37 @@
+#ifndef TILESPMV_SPMM_SPMM_TILE_COMPOSITE_H_
+#define TILESPMV_SPMM_SPMM_TILE_COMPOSITE_H_
+
+#include "core/tile_composite.h"
+#include "spmm/spmm.h"
+
+namespace tilespmv::spmm {
+
+/// Blocked tile/composite: the paper's kernel swept over a panel. Tiles stay
+/// sequential (each accumulates into the y written by its predecessors);
+/// within a tile, each occupied row contributes one per-column partial sum
+/// in tile entry order — so column j reproduces TileCompositeKernel's
+/// per-row += sequence exactly. Operates in the inner kernel's permuted
+/// index space; callers permute panels with row/col_permutation().
+class SpmmTileCompositeKernel : public SpMMKernel {
+ public:
+  explicit SpmmTileCompositeKernel(const gpusim::DeviceSpec& spec)
+      : SpMMKernel(spec), inner_(spec) {}
+
+  std::string_view name() const override { return "spmm-tile-composite"; }
+  Status Setup(const CsrMatrix& a, int block_cols) override;
+  void Multiply(const DenseBlock& x, DenseBlock* y) const override;
+
+  const Permutation& row_permutation() const override {
+    return inner_.row_permutation();
+  }
+  const Permutation& col_permutation() const override {
+    return inner_.col_permutation();
+  }
+
+ private:
+  TileCompositeKernel inner_;
+};
+
+}  // namespace tilespmv::spmm
+
+#endif  // TILESPMV_SPMM_SPMM_TILE_COMPOSITE_H_

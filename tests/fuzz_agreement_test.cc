@@ -13,6 +13,8 @@
 #include "gen/structured.h"
 #include "kernels/spmv.h"
 #include "par/pool.h"
+#include "spmm/dense_block.h"
+#include "spmm/spmm.h"
 #include "util/random.h"
 
 namespace tilespmv {
@@ -139,6 +141,70 @@ TEST(SerialParallelBitwise, AllKernelsMatchAcrossThreadCounts) {
               << kernel_name << " on " << nm.name << " at " << threads
               << " threads, row " << i << ": " << got[i]
               << " != " << serial[i];
+        }
+      }
+    }
+  }
+  par::ThreadPool::SetGlobalThreadCount(0);
+}
+
+/// The SpMM determinism contract (see spmm/spmm.h): every panel column of
+/// every blocked kernel, at every supported width and every pool size, must
+/// match k independent single-vector runs of the paired SpMV kernel bit for
+/// bit. This is what lets the serving layer cache and dedup results across
+/// the scalar and blocked paths interchangeably.
+TEST(SerialParallelBitwise, SpmmMatchesIndependentSpmvSweeps) {
+  gpusim::DeviceSpec spec;
+  struct NamedMatrix {
+    const char* name;
+    CsrMatrix m;
+  };
+  std::vector<NamedMatrix> matrices;
+  matrices.push_back(
+      {"powerlaw", GenerateRmat(1200, 9600, RmatOptions{.seed = 19})});
+  matrices.push_back({"banded", GenerateBanded(1500, 5, 23)});
+
+  for (const NamedMatrix& nm : matrices) {
+    Pcg32 rng(123);
+    std::vector<std::vector<float>> columns(8);
+    for (auto& c : columns) {
+      c.resize(static_cast<size_t>(nm.m.cols));
+      for (float& v : c) v = rng.NextFloat() - 0.5f;
+    }
+
+    for (const std::string& name : spmm::AllSpMMKernelNames()) {
+      const std::string spmv_name = spmm::SpmvKernelNameForSpmm(name);
+      ASSERT_FALSE(spmv_name.empty()) << name;
+      // Single-vector reference columns, computed serially.
+      par::ThreadPool::SetGlobalThreadCount(1);
+      auto scalar = CreateKernel(spmv_name, spec);
+      if (!scalar->Setup(nm.m).ok()) continue;  // Both formats reject.
+      std::vector<std::vector<float>> want(columns.size());
+      for (size_t j = 0; j < columns.size(); ++j) {
+        MultiplyOriginal(*scalar, columns[j], &want[j]);
+      }
+
+      for (int k : {1, 2, 4, 8}) {
+        for (int threads : {1, 2, 4, 8}) {
+          par::ThreadPool::SetGlobalThreadCount(threads);
+          auto blocked = spmm::CreateSpMMKernel(name, spec);
+          ASSERT_TRUE(blocked->Setup(nm.m, k).ok()) << name;
+          spmm::DenseBlock x =
+              spmm::PackColumns(std::vector<std::vector<float>>(
+                  columns.begin(), columns.begin() + k));
+          spmm::DenseBlock y;
+          spmm::MultiplyOriginal(*blocked, x, &y);
+          ASSERT_EQ(y.rows, static_cast<int32_t>(want[0].size()));
+          std::vector<float> got;
+          for (int j = 0; j < k; ++j) {
+            y.ExtractColumn(j, &got);
+            for (size_t i = 0; i < got.size(); ++i) {
+              ASSERT_EQ(FloatBits(got[i]),
+                        FloatBits(want[static_cast<size_t>(j)][i]))
+                  << name << " on " << nm.name << " k=" << k << " threads="
+                  << threads << " col " << j << " row " << i;
+            }
+          }
         }
       }
     }

@@ -1,0 +1,373 @@
+// Blocked SpMM subsystem tests: panel layout, degenerate and ragged widths,
+// empty rows, modeled-cost monotonicity, block-width selection, and the
+// blocked RWR path's bitwise equivalence to the scalar one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "gen/graph_models.h"
+#include "gen/power_law.h"
+#include "gen/structured.h"
+#include "graph/rwr.h"
+#include "kernels/spmv.h"
+#include "par/pool.h"
+#include "spmm/block_select.h"
+#include "spmm/dense_block.h"
+#include "spmm/spmm.h"
+#include "util/random.h"
+
+namespace tilespmv {
+namespace {
+
+using gpusim::DeviceSpec;
+using spmm::DenseBlock;
+
+uint32_t FloatBits(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+std::vector<std::vector<float>> RandomColumns(int32_t rows, int cols,
+                                              uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<std::vector<float>> columns(cols);
+  for (auto& c : columns) {
+    c.resize(static_cast<size_t>(rows));
+    for (float& v : c) v = rng.NextFloat() - 0.5f;
+  }
+  return columns;
+}
+
+TEST(DenseBlockTest, RowMajorLayoutAndColumnRoundTrip) {
+  std::vector<std::vector<float>> columns = RandomColumns(17, 3, 5);
+  DenseBlock b = spmm::PackColumns(columns);
+  EXPECT_EQ(b.rows, 17);
+  EXPECT_EQ(b.cols, 3);
+  // Row-major interleaved: row r of vector j at data[r*cols + j].
+  EXPECT_EQ(b.data[5 * 3 + 2], columns[2][5]);
+  std::vector<float> out;
+  for (int j = 0; j < 3; ++j) {
+    b.ExtractColumn(j, &out);
+    EXPECT_EQ(out, columns[static_cast<size_t>(j)]);
+  }
+}
+
+TEST(DenseBlockTest, BlockWidthHelpers) {
+  for (int k : {1, 2, 4, 8, 16}) EXPECT_TRUE(spmm::IsValidBlockCols(k));
+  for (int k : {0, 3, 5, 7, 9, 17, 32, -1}) {
+    EXPECT_FALSE(spmm::IsValidBlockCols(k)) << k;
+  }
+  EXPECT_EQ(spmm::LargestBlockColsAtMost(1), 1);
+  EXPECT_EQ(spmm::LargestBlockColsAtMost(3), 2);
+  EXPECT_EQ(spmm::LargestBlockColsAtMost(7), 4);
+  EXPECT_EQ(spmm::LargestBlockColsAtMost(16), 16);
+  EXPECT_EQ(spmm::LargestBlockColsAtMost(1000), 16);
+}
+
+TEST(SpmmKernelTest, NamePairingIsABijection) {
+  for (const std::string& name : spmm::AllSpMMKernelNames()) {
+    std::string spmv = spmm::SpmvKernelNameForSpmm(name);
+    ASSERT_FALSE(spmv.empty()) << name;
+    EXPECT_EQ(spmm::SpmmKernelNameForSpmv(spmv), name);
+    EXPECT_NE(CreateKernel(spmv, DeviceSpec{}), nullptr);
+    EXPECT_NE(spmm::CreateSpMMKernel(name, DeviceSpec{}), nullptr);
+  }
+  EXPECT_EQ(spmm::CreateSpMMKernel("nope", DeviceSpec{}), nullptr);
+  EXPECT_EQ(spmm::SpmmKernelNameForSpmv("coo"), "");
+}
+
+TEST(SpmmKernelTest, RejectsInvalidBlockCols) {
+  CsrMatrix a = GenerateBanded(64, 2, 3);
+  for (int bad : {0, 3, 32, -4}) {
+    auto k = spmm::CreateSpMMKernel("spmm-cpu-csr", DeviceSpec{});
+    EXPECT_FALSE(k->Setup(a, bad).ok()) << bad;
+  }
+}
+
+/// k = 1 panels must degenerate to the paired SpMV kernel exactly.
+TEST(SpmmKernelTest, WidthOneDegeneratesToSpmv) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(900, 7200, RmatOptions{.seed = 21});
+  std::vector<std::vector<float>> columns = RandomColumns(a.cols, 1, 77);
+  for (const std::string& name : spmm::AllSpMMKernelNames()) {
+    auto blocked = spmm::CreateSpMMKernel(name, spec);
+    auto scalar = CreateKernel(spmm::SpmvKernelNameForSpmm(name), spec);
+    Status bs = blocked->Setup(a, 1);
+    Status ss = scalar->Setup(a);
+    ASSERT_EQ(bs.ok(), ss.ok()) << name;
+    if (!bs.ok()) continue;  // e.g. ELL padding blow-up — both reject.
+    DenseBlock x = spmm::PackColumns(columns);
+    DenseBlock y;
+    spmm::MultiplyOriginal(*blocked, x, &y);
+    std::vector<float> want;
+    MultiplyOriginal(*scalar, columns[0], &want);
+    ASSERT_EQ(y.rows, static_cast<int32_t>(want.size())) << name;
+    std::vector<float> got;
+    y.ExtractColumn(0, &got);
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(FloatBits(got[i]), FloatBits(want[i])) << name << " row " << i;
+    }
+  }
+}
+
+/// A panel narrower than the Setup width (the ragged final block of a
+/// batch) must produce the same columns as the full-width run.
+TEST(SpmmKernelTest, RaggedFinalBlockMatchesFullWidth) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(700, 5600, RmatOptions{.seed = 4});
+  std::vector<std::vector<float>> columns = RandomColumns(a.cols, 8, 15);
+  for (const std::string& name : spmm::AllSpMMKernelNames()) {
+    auto blocked = spmm::CreateSpMMKernel(name, spec);
+    if (!blocked->Setup(a, 8).ok()) continue;
+    DenseBlock full = spmm::PackColumns(columns);
+    DenseBlock y_full;
+    spmm::MultiplyOriginal(*blocked, full, &y_full);
+    for (int w : {1, 3, 5, 8}) {
+      DenseBlock ragged = spmm::PackColumns(std::vector<std::vector<float>>(
+          columns.begin(), columns.begin() + w));
+      DenseBlock y;
+      spmm::MultiplyOriginal(*blocked, ragged, &y);
+      ASSERT_EQ(y.cols, w);
+      std::vector<float> got, want;
+      for (int j = 0; j < w; ++j) {
+        y.ExtractColumn(j, &got);
+        y_full.ExtractColumn(j, &want);
+        for (size_t i = 0; i < want.size(); ++i) {
+          ASSERT_EQ(FloatBits(got[i]), FloatBits(want[i]))
+              << name << " width " << w << " col " << j << " row " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpmmKernelTest, EmptyRowsProduceZeroOutput) {
+  // Rows 0 and 3 empty; column space also has untouched indices.
+  std::vector<Triplet> t = {{1, 0, 2.0f}, {1, 3, -1.0f}, {2, 2, 4.0f},
+                            {4, 1, 0.5f}};
+  CsrMatrix a = CsrMatrix::FromTriplets(5, 4, std::move(t));
+  std::vector<std::vector<float>> columns = RandomColumns(4, 4, 9);
+  for (const std::string& name : spmm::AllSpMMKernelNames()) {
+    auto blocked = spmm::CreateSpMMKernel(name, DeviceSpec{});
+    if (!blocked->Setup(a, 4).ok()) continue;
+    DenseBlock y;
+    spmm::MultiplyOriginal(*blocked, spmm::PackColumns(columns), &y);
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(y.at(0, j), 0.0f) << name;
+      EXPECT_EQ(y.at(3, j), 0.0f) << name;
+    }
+  }
+}
+
+/// The Fig.2-style modeled-cost axes: wider panels never cost more per
+/// vector, arithmetic intensity rises with width, and width 1 matches the
+/// paired single-vector walk.
+TEST(SpmmKernelTest, ModeledCostMonotonicity) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(2000, 16000, RmatOptions{.seed = 31});
+  for (const std::string& name : spmm::AllSpMMKernelNames()) {
+    auto blocked = spmm::CreateSpMMKernel(name, spec);
+    if (!blocked->Setup(a, 16).ok()) continue;
+    EXPECT_DOUBLE_EQ(blocked->TimingForBlockCols(1).seconds,
+                     blocked->spmv_timing().seconds)
+        << name;
+    double prev_per_vector = 0.0;
+    double prev_ai = 0.0;
+    for (int k : spmm::kBlockWidths) {
+      KernelTiming t = blocked->TimingForBlockCols(k);
+      EXPECT_GT(t.seconds, 0.0) << name;
+      EXPECT_EQ(t.flops,
+                blocked->spmv_timing().flops * static_cast<uint64_t>(k))
+          << name;
+      double per_vector = t.seconds / k;
+      double ai = blocked->ArithmeticIntensity(k);
+      if (k > 1) {
+        EXPECT_LT(per_vector, prev_per_vector) << name << " k=" << k;
+        EXPECT_GT(ai, prev_ai) << name << " k=" << k;
+      }
+      prev_per_vector = per_vector;
+      prev_ai = ai;
+    }
+    EXPECT_EQ(blocked->timing().seconds,
+              blocked->TimingForBlockCols(16).seconds)
+        << name;
+  }
+}
+
+TEST(BlockSelectTest, ParseBlockColsIsStrict) {
+  int k = -1;
+  for (const char* good : {"1", "2", "4", "8", "16"}) {
+    EXPECT_TRUE(spmm::ParseBlockCols(good, &k)) << good;
+  }
+  EXPECT_EQ(k, 16);
+  for (const char* bad :
+       {"", "0", "3", "5", "32", "8x", " 8", "4.0", "-8", "eight"}) {
+    int unchanged = 42;
+    EXPECT_FALSE(spmm::ParseBlockCols(bad, &unchanged)) << bad;
+    EXPECT_EQ(unchanged, 42) << bad;
+  }
+}
+
+TEST(BlockSelectTest, BlockColsFromEnv) {
+  ::unsetenv(spmm::kBlockColsEnvVar);
+  Result<int> r = spmm::BlockColsFromEnv(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 8);
+
+  ::setenv(spmm::kBlockColsEnvVar, "4", 1);
+  r = spmm::BlockColsFromEnv(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 4);
+
+  // Set-but-invalid is an error, never a silent fallback.
+  for (const char* bad : {"3", "abc", "8 "}) {
+    ::setenv(spmm::kBlockColsEnvVar, bad, 1);
+    EXPECT_FALSE(spmm::BlockColsFromEnv(8).ok()) << bad;
+  }
+  ::unsetenv(spmm::kBlockColsEnvVar);
+}
+
+TEST(BlockSelectTest, ChooseBlockColsPrefersWiderPanels) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(1200, 9600, RmatOptions{.seed = 13});
+  auto kernel = spmm::CreateSpMMKernel("spmm-tile-composite", spec);
+  ASSERT_TRUE(kernel->Setup(a, 16).ok());
+  // Per-vector cost strictly falls with width, so the bound is binding.
+  EXPECT_EQ(spmm::ChooseBlockCols(*kernel, 16), 16);
+  EXPECT_EQ(spmm::ChooseBlockCols(*kernel, 8), 8);
+  EXPECT_EQ(spmm::ChooseBlockCols(*kernel, 5), 4);
+  EXPECT_EQ(spmm::ChooseBlockCols(*kernel, 1), 1);
+}
+
+TEST(BlockSelectTest, SelectSpmmPlanPicksAKernelAndWidth) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(1500, 12000, RmatOptions{.seed = 3});
+  std::vector<spmm::SpmmChoice> choices =
+      spmm::PredictSpmmChoices(a, spec, 8);
+  ASSERT_FALSE(choices.empty());
+  for (size_t i = 1; i < choices.size(); ++i) {
+    EXPECT_LE(choices[i - 1].seconds_per_vector,
+              choices[i].seconds_per_vector);
+  }
+  Result<spmm::SpmmChoice> best = spmm::SelectSpmmPlan(a, spec, 8);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.value().kernel, choices.front().kernel);
+  EXPECT_TRUE(spmm::IsValidBlockCols(best.value().block_cols));
+  EXPECT_LE(best.value().block_cols, 8);
+  EXPECT_GT(best.value().arithmetic_intensity, 0.0);
+  // The GPU kernels amortize their stream; the modeled CPU baseline should
+  // not win on a power-law graph.
+  EXPECT_NE(best.value().kernel, "spmm-cpu-csr");
+}
+
+/// The serving dedup contract end-to-end: a blocked batch must return, for
+/// every query, the bit-exact scores of its standalone scalar run — panel
+/// position, ragged tails, and convergence staggering included.
+TEST(RwrBlockedTest, BlockedBatchMatchesScalarQueriesBitwise) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(800, 6400, RmatOptions{.seed = 17});
+  RwrOptions opts;
+  opts.max_iterations = 40;
+  opts.block_cols = 4;
+
+  for (const std::string& name :
+       {std::string("tile-composite"), std::string("cpu-csr"),
+        std::string("hyb")}) {
+    auto kernel = CreateKernel(name, spec);
+    auto blocked =
+        spmm::CreateSpMMKernel(spmm::SpmmKernelNameForSpmv(name), spec);
+    RwrEngine engine(kernel.get(), blocked.get());
+    ASSERT_TRUE(engine.Init(a, opts).ok()) << name;
+    EXPECT_EQ(engine.block_cols(), 4);
+
+    auto scalar_kernel = CreateKernel(name, spec);
+    RwrEngine scalar(scalar_kernel.get());
+    RwrOptions scalar_opts = opts;
+    scalar_opts.block_cols = 0;
+    ASSERT_TRUE(scalar.Init(a, scalar_opts).ok()) << name;
+
+    // 6 queries -> one full panel of 4 plus a ragged panel of 2.
+    std::vector<int32_t> nodes = {3, 700, 42, 42, 515, 0};
+    RwrBatchExecution exec;
+    Result<std::vector<RwrResult>> batch =
+        engine.QueryBatch(nodes, opts, &exec);
+    ASSERT_TRUE(batch.ok()) << name;
+    EXPECT_TRUE(exec.blocked);
+    EXPECT_EQ(exec.block_cols, 4);
+    EXPECT_GT(exec.sweeps, 0);
+    EXPECT_GT(exec.vectors, exec.sweeps);  // Panels carried >1 vector.
+
+    for (size_t q = 0; q < nodes.size(); ++q) {
+      Result<RwrResult> single = scalar.Query(nodes[q], opts);
+      ASSERT_TRUE(single.ok());
+      const RwrResult& got = batch.value()[q];
+      EXPECT_EQ(got.stats.iterations, single.value().stats.iterations)
+          << name << " query " << q;
+      ASSERT_EQ(got.scores.size(), single.value().scores.size());
+      for (size_t i = 0; i < got.scores.size(); ++i) {
+        ASSERT_EQ(FloatBits(got.scores[i]),
+                  FloatBits(single.value().scores[i]))
+            << name << " query " << q << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(RwrBlockedTest, InitRejectsBadBlockColsAndMismatchedPairing) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateBanded(128, 2, 5);
+  auto kernel = CreateKernel("tile-composite", spec);
+  auto blocked = spmm::CreateSpMMKernel("spmm-tile-composite", spec);
+  {
+    RwrEngine engine(kernel.get(), blocked.get());
+    RwrOptions opts;
+    opts.block_cols = 3;  // Not a valid width.
+    EXPECT_FALSE(engine.Init(a, opts).ok());
+  }
+  {
+    auto wrong = spmm::CreateSpMMKernel("spmm-cpu-csr", spec);
+    RwrEngine engine(kernel.get(), wrong.get());
+    RwrOptions opts;
+    opts.block_cols = 4;
+    EXPECT_FALSE(engine.Init(a, opts).ok());
+  }
+}
+
+/// Blocked batches must stay bitwise stable across pool sizes, like every
+/// other parallel loop in the library.
+TEST(RwrBlockedTest, BlockedBatchBitwiseAcrossThreadCounts) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(600, 4800, RmatOptions{.seed = 29});
+  RwrOptions opts;
+  opts.max_iterations = 30;
+  opts.block_cols = 4;
+  std::vector<int32_t> nodes = {1, 2, 3, 4, 5};
+
+  std::vector<std::vector<float>> serial;
+  for (int threads : {1, 2, 4, 8}) {
+    par::ThreadPool::SetGlobalThreadCount(threads);
+    auto kernel = CreateKernel("tile-composite", spec);
+    auto blocked = spmm::CreateSpMMKernel("spmm-tile-composite", spec);
+    RwrEngine engine(kernel.get(), blocked.get());
+    ASSERT_TRUE(engine.Init(a, opts).ok());
+    Result<std::vector<RwrResult>> r = engine.QueryBatch(nodes, opts);
+    ASSERT_TRUE(r.ok());
+    if (serial.empty()) {
+      for (const RwrResult& res : r.value()) serial.push_back(res.scores);
+      continue;
+    }
+    for (size_t q = 0; q < nodes.size(); ++q) {
+      for (size_t i = 0; i < serial[q].size(); ++i) {
+        ASSERT_EQ(FloatBits(r.value()[q].scores[i]), FloatBits(serial[q][i]))
+            << threads << " threads, query " << q << " row " << i;
+      }
+    }
+  }
+  par::ThreadPool::SetGlobalThreadCount(0);
+}
+
+}  // namespace
+}  // namespace tilespmv

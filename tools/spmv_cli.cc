@@ -42,6 +42,7 @@
 #include "par/pool.h"
 #include "serve/engine.h"
 #include "sparse/matrix_stats.h"
+#include "spmm/block_select.h"
 #include "util/ascii_plot.h"
 
 namespace tilespmv::cli {
@@ -62,6 +63,9 @@ struct Flags {
   // serve subcommand.
   int queries = 64;
   double window_ms = 2.0;
+  // SpMM panel width for rwr/serve: one of spmm::kBlockWidths, 0 = unset
+  // (fall back to TILESPMV_BLOCK_COLS, then auto-select).
+  int block_cols = 0;
   // Observability (any subcommand).
   std::string trace_out;    // Chrome trace_event JSON.
   std::string metrics_out;  // Prometheus text, or JSON if path ends in .json.
@@ -115,6 +119,11 @@ Status ParseFlags(int argc, char** argv, int first, Flags* f) {
     } else if (std::strncmp(a, "--window-ms=", 12) == 0) {
       if (!ParseDouble(a + 12, &f->window_ms) || f->window_ms < 0)
         return Status::InvalidArgument(std::string("bad number in ") + a);
+    } else if (std::strncmp(a, "--block-cols=", 13) == 0) {
+      if (!spmm::ParseBlockCols(a + 13, &f->block_cols))
+        return Status::InvalidArgument(
+            std::string("bad block width in ") + a +
+            " (want one of 1, 2, 4, 8, 16)");
     } else if (std::strncmp(a, "--node=", 7) == 0) {
       const char* p = a + 7;
       for (;;) {
@@ -161,6 +170,13 @@ Status Save(const CsrMatrix& a, const std::string& path) {
 gpusim::DeviceSpec DeviceFor(const Flags& f) {
   if (f.device == "c2050") return gpusim::DeviceSpec::FermiC2050();
   return gpusim::DeviceSpec::TeslaC1060();
+}
+
+/// SpMM panel width for rwr/serve: --block-cols beats TILESPMV_BLOCK_COLS
+/// beats `fallback`. A set-but-invalid env value is an error.
+Result<int> ResolveBlockCols(const Flags& f, int fallback) {
+  if (f.block_cols > 0) return f.block_cols;
+  return spmm::BlockColsFromEnv(fallback);
 }
 
 int Fail(const Status& st) {
@@ -323,13 +339,48 @@ int CmdRwr(const std::string& path, const Flags& f) {
   Result<CsrMatrix> a = Load(path);
   if (!a.ok()) return Fail(a.status());
   auto kernel = CreateKernel(f.kernel, DeviceFor(f));
-  RwrEngine engine(kernel.get());
-  Status st = engine.Init(a.value(), RwrOptions{});
+  if (kernel == nullptr)
+    return Fail(Status::InvalidArgument("unknown kernel " + f.kernel));
+
+  // Attach the blocked (SpMM) sibling when the kernel has one: batched
+  // queries then share one matrix sweep per panel. --block-cols /
+  // TILESPMV_BLOCK_COLS force the panel width; default is the largest
+  // width the batch fills.
+  const int auto_width = spmm::LargestBlockColsAtMost(
+      std::min<int>(static_cast<int>(f.nodes.size()), spmm::kMaxBlockCols));
+  Result<int> width = ResolveBlockCols(f, auto_width);
+  if (!width.ok()) return Fail(width.status());
+  const bool forced =
+      f.block_cols > 0 || std::getenv(spmm::kBlockColsEnvVar) != nullptr;
+  const std::string spmm_name = spmm::SpmmKernelNameForSpmv(f.kernel);
+  if (forced && spmm_name.empty()) {
+    return Fail(Status::InvalidArgument(
+        "kernel " + f.kernel + " has no blocked (SpMM) sibling; "
+        "--block-cols does not apply"));
+  }
+  std::unique_ptr<spmm::SpMMKernel> spmm_kernel;
+  RwrOptions opts;
+  if (!spmm_name.empty()) {
+    spmm_kernel = spmm::CreateSpMMKernel(spmm_name, DeviceFor(f));
+    opts.block_cols = width.value();
+  }
+  RwrEngine engine = spmm_kernel != nullptr
+                         ? RwrEngine(kernel.get(), spmm_kernel.get())
+                         : RwrEngine(kernel.get());
+  Status st = engine.Init(a.value(), opts);
   if (!st.ok()) return Fail(st);
   // Multiple nodes run as one batch: the matrix stream is shared on the
   // device, so per-query cost amortizes.
-  Result<std::vector<RwrResult>> r = engine.QueryBatch(f.nodes);
+  RwrBatchExecution exec;
+  Result<std::vector<RwrResult>> r = engine.QueryBatch(f.nodes, opts, &exec);
   if (!r.ok()) return Fail(r.status());
+  if (exec.blocked) {
+    std::printf("blocked execution: %s, panel width %d, %lld sweeps for "
+                "%lld vector-iterations\n",
+                spmm_name.c_str(), exec.block_cols,
+                static_cast<long long>(exec.sweeps),
+                static_cast<long long>(exec.vectors));
+  }
   for (size_t q = 0; q < f.nodes.size(); ++q) {
     const RwrResult& res = r.value()[q];
     std::printf("query %d: %d iterations, modeled %.4f s%s\n", f.nodes[q],
@@ -358,6 +409,10 @@ int CmdServe(const std::string& path, const Flags& f) {
   opts.batch_window_seconds = f.window_ms * 1e-3;
   opts.default_kernel = f.kernel;
   opts.default_device = f.device;
+  // 0 = auto (engine picks the largest width its batch cap fills).
+  Result<int> width = ResolveBlockCols(f, 0);
+  if (!width.ok()) return Fail(width.status());
+  opts.spmm_block_cols = width.value();
   // Share the process-global registry so --metrics-out sees serve metrics.
   opts.metrics = &obs::MetricsRegistry::Global();
   serve::Engine engine(opts);
@@ -463,6 +518,8 @@ int Usage() {
       "  flags: --kernel=NAME|auto --device=c1060|c2050 --damping=F "
       "--top=N --node=K --scale=F --threads=N (0 = hardware concurrency)\n"
       "  serve: --queries=N --window-ms=F\n"
+      "  rwr/serve: --block-cols=1|2|4|8|16 (or TILESPMV_BLOCK_COLS; SpMM "
+      "panel width)\n"
       "  observability: --trace-out=FILE --metrics-out=FILE[.json|.prom]\n"
       "  kernels:");
   for (const std::string& k : tilespmv::AllKernelNames()) {
