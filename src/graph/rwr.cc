@@ -184,6 +184,9 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
   if (exec != nullptr) {
     exec->blocked = false;
     exec->block_cols = 1;
+    // Scalar path: every query is its own width-1 "panel".
+    exec->queries.resize(k);
+    for (int q = 0; q < k; ++q) exec->queries[q].panel_index = q;
   }
   for (int it = 0; it < options.max_iterations && active > 0; ++it) {
     obs::TraceSpan iter_span("graph", "rwr/batch_iteration");
@@ -257,12 +260,22 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatchBlocked(
   if (exec != nullptr) {
     exec->blocked = true;
     exec->block_cols = bw;
+    exec->queries.resize(k);
   }
   spmm::DenseBlock x, y;
   std::vector<float> column;
   for (int p0 = 0; p0 < k; p0 += bw) {
     // The final panel may be ragged; it sweeps at its actual width.
     const int w = std::min(bw, k - p0);
+    if (exec != nullptr) {
+      for (int j = 0; j < w; ++j) {
+        RwrQueryExecution& qe = exec->queries[p0 + j];
+        qe.panel_index = p0 / bw;
+        qe.panel_width = w;
+        qe.panel_column = j;
+        qe.ragged_tail = w < bw;
+      }
+    }
     x.Resize(n_, w);
     for (int j = 0; j < w; ++j) x.at(internal[p0 + j], j) = 1.0f;
     std::vector<bool> done(w, false);

@@ -20,6 +20,16 @@ struct RwrOptions {
   int block_cols = 0;
 };
 
+/// Where one query of a batch actually ran: which SpMM panel, at what width,
+/// in which column slot — the attribution the serving layer threads into
+/// per-query records and trace spans.
+struct RwrQueryExecution {
+  int panel_index = 0;   ///< Which panel of the batch (0 on the scalar path).
+  int panel_width = 1;   ///< Actual sweep width of that panel.
+  int panel_column = 0;  ///< The query's column slot within the panel.
+  bool ragged_tail = false;  ///< Panel swept narrower than the plan width.
+};
+
 /// How a QueryBatch call actually executed — the serving layer feeds this
 /// into its SpMM metrics.
 struct RwrBatchExecution {
@@ -27,6 +37,8 @@ struct RwrBatchExecution {
   int block_cols = 0;    ///< Setup-time panel width (1 on the scalar path).
   int64_t sweeps = 0;    ///< Matrix sweeps executed (SpMM or SpMV calls).
   int64_t vectors = 0;   ///< Vector-iterations summed over all sweeps.
+  /// Per-query placement, indexed like the QueryBatch `nodes` argument.
+  std::vector<RwrQueryExecution> queries;
 };
 
 /// Per-query relevance scores plus run statistics.

@@ -1,0 +1,206 @@
+#include "obs/query_log.h"
+
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace tilespmv::obs {
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kUnsupportedFormat:
+      return "UNSUPPORTED_FORMAT";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+const char* QueryStageName(int stage) {
+  switch (stage) {
+    case 0:
+      return "admission";
+    case 1:
+      return "queue";
+    case 2:
+      return "coalesce";
+    case 3:
+      return "plan";
+    case 4:
+      return "execute";
+    case 5:
+      return "postprocess";
+    case 6:
+      return "reply";
+    default:
+      return "unknown";
+  }
+}
+
+const char* QueryStageName(QueryStage stage) {
+  return QueryStageName(static_cast<int>(stage));
+}
+
+double QueryStages::Sum() const {
+  double total = 0.0;
+  for (double s : seconds) total += s;
+  return total;
+}
+
+std::string QueryRecord::ToJson() const {
+  std::string out = "{\"query_id\":";
+  out += std::to_string(query_id);
+  out += ",\"kind\":\"";
+  out += JsonEscape(kind);
+  out += "\",\"status\":\"";
+  out += StatusCodeName(code);
+  out += "\",\"total_ms\":";
+  AppendDouble(&out, total_seconds * 1e3);
+  out += ",\"stages_ms\":{";
+  for (int i = 0; i < kNumQueryStages; ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += QueryStageName(i);
+    out += "\":";
+    AppendDouble(&out, stages.seconds[i] * 1e3);
+  }
+  out += "},\"deadline_missed\":";
+  out += deadline_missed ? "true" : "false";
+  out += ",\"deduped\":";
+  out += deduped ? "true" : "false";
+  out += ",\"coalesced\":";
+  out += coalesced ? "true" : "false";
+  out += ",\"plan_cache_hit\":";
+  out += plan_cache_hit ? "true" : "false";
+  out += ",\"batch_size\":";
+  out += std::to_string(batch_size);
+  out += ",\"panel_width\":";
+  out += std::to_string(panel_width);
+  out += ",\"panel_column\":";
+  out += std::to_string(panel_column);
+  out += ",\"ragged_tail\":";
+  out += ragged_tail ? "true" : "false";
+  out += ",\"exec_span_id\":";
+  out += std::to_string(exec_span_id);
+  out += ",\"enqueue_ts_us\":";
+  AppendDouble(&out, enqueue_ts_us);
+  out += '}';
+  return out;
+}
+
+QueryJournal::QueryJournal(const Options& options) : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  ring_.reserve(options_.capacity);
+  if (options_.dump_retention > 0) dumps_.reserve(options_.dump_retention);
+}
+
+void QueryJournal::Record(QueryRecord record) {
+  bool dump = (options_.dump_on_deadline_miss && record.deadline_missed) ||
+              (options_.slow_seconds > 0.0 &&
+               record.total_seconds >= options_.slow_seconds);
+  std::string dump_line;
+  if (dump && !options_.dump_path.empty()) dump_line = record.ToJson();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dump) {
+      ++dumped_total_;
+      if (options_.dump_retention > 0) {
+        if (dumps_.size() < options_.dump_retention) {
+          dumps_.push_back(record);
+        } else {
+          dumps_[dumps_next_] = record;
+          dumps_next_ = (dumps_next_ + 1) % options_.dump_retention;
+        }
+      }
+    }
+    if (ring_.size() < options_.capacity) {
+      ring_.push_back(std::move(record));
+    } else {
+      ring_[next_] = std::move(record);
+      next_ = (next_ + 1) % options_.capacity;
+      ++dropped_;
+    }
+  }
+  if (!dump_line.empty()) {
+    // Appended outside the lock: file I/O must not stall recording threads.
+    std::FILE* f = std::fopen(options_.dump_path.c_str(), "a");
+    if (f != nullptr) {
+      dump_line += '\n';
+      std::fwrite(dump_line.data(), 1, dump_line.size(), f);
+      std::fclose(f);
+    }
+  }
+}
+
+std::vector<QueryRecord> QueryJournal::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<QueryRecord> QueryJournal::Dumps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryRecord> out;
+  out.reserve(dumps_.size());
+  for (size_t i = 0; i < dumps_.size(); ++i) {
+    out.push_back(dumps_[(dumps_next_ + i) % dumps_.size()]);
+  }
+  return out;
+}
+
+uint64_t QueryJournal::dumped_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumped_total_;
+}
+
+uint64_t QueryJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t QueryJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::string QueryJournal::ToJson() const {
+  std::vector<QueryRecord> records = Records();
+  std::string out = "{\"schema\":\"tilespmv-query-log-v1\",\"records\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out += ',';
+    out += records[i].ToJson();
+  }
+  out += "],\"dropped\":";
+  out += std::to_string(dropped());
+  out += ",\"dumped_total\":";
+  out += std::to_string(dumped_total());
+  out += '}';
+  return out;
+}
+
+}  // namespace tilespmv::obs

@@ -1,0 +1,148 @@
+#ifndef TILESPMV_OBS_QUERY_LOG_H_
+#define TILESPMV_OBS_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tilespmv::obs {
+
+/// The stages a serving-engine request passes through, in pipeline order.
+/// Every request is attributed a duration per stage; the durations are
+/// computed as differences of one monotone timestamp sequence, so they are
+/// individually non-negative and sum (telescope) to the request's total
+/// latency exactly. docs/OBSERVABILITY.md documents the stage model.
+enum class QueryStage {
+  kAdmission = 0,  ///< Submit-side validation + admission control.
+  kQueue,          ///< Waiting for a worker (non-coalesced requests).
+  kCoalesce,       ///< Waiting in a coalescing bucket (batched RWR).
+  kPlan,           ///< Plan-cache fetch, or preprocessing + autotune on miss.
+  kExecute,        ///< Kernel / SpMM-panel execution (power iterations).
+  kPostprocess,    ///< Unpermute + per-query response assembly.
+  kReply,          ///< Stats recording + promise fulfillment.
+};
+
+inline constexpr int kNumQueryStages = 7;
+
+/// Short stable stage name ("admission", "queue", ...), used for metric
+/// names, JSON keys and trace args.
+const char* QueryStageName(QueryStage stage);
+const char* QueryStageName(int stage);
+
+/// Stable uppercase status-code name ("OK", "DEADLINE_EXCEEDED", ...), the
+/// spelling Status::ToString() uses.
+const char* StatusCodeName(StatusCode code);
+
+/// Per-stage durations in seconds. Exactly one of kQueue/kCoalesce is
+/// nonzero for a given request (coalesced RWR bills its wait to kCoalesce).
+struct QueryStages {
+  double seconds[kNumQueryStages] = {};
+
+  double& operator[](QueryStage s) { return seconds[static_cast<int>(s)]; }
+  double operator[](QueryStage s) const {
+    return seconds[static_cast<int>(s)];
+  }
+  double Sum() const;
+};
+
+/// One finished request, as the query journal remembers it: identity, how it
+/// was served (dedup / coalescing / SpMM panel placement), its per-stage
+/// latency breakdown, and the flow id linking it to the shared execution
+/// trace span it rode.
+struct QueryRecord {
+  uint64_t query_id = 0;
+  std::string kind;  ///< "pagerank" | "hits" | "rwr".
+  StatusCode code = StatusCode::kOk;
+  QueryStages stages;
+  double total_seconds = 0.0;  ///< Enqueue to reply; == stages.Sum().
+  /// Trace-clock enqueue timestamp (Tracer::NowMicros at submit); 0 when
+  /// tracing was disabled at submit time.
+  double enqueue_ts_us = 0.0;
+  bool deadline_missed = false;  ///< Deadline expired (in queue or batch).
+  bool deduped = false;     ///< Answered by an identical in-flight leader.
+  bool coalesced = false;   ///< Served from a coalesced RWR batch.
+  bool plan_cache_hit = false;
+  int batch_size = 1;       ///< Queries in the coalesced batch (1 = alone).
+  /// SpMM panel placement (batched RWR on a blocked plan): the panel width
+  /// the query's column actually swept at, and its column index within that
+  /// panel. width 0 = scalar execution (no panel).
+  int panel_width = 0;
+  int panel_column = -1;
+  bool ragged_tail = false;  ///< Rode the final, narrower-than-plan panel.
+  /// Flow id shared with the execution trace span (the dedup leader's run or
+  /// the batch flush) — the span carries flow_out, the query's lifetime
+  /// event flow_in, so Chrome/Perfetto draw the linkage. 0 = none recorded.
+  uint64_t exec_span_id = 0;
+
+  /// One-line JSON object: the flight-recorder dump format.
+  std::string ToJson() const;
+};
+
+/// Bounded, thread-safe journal of finished requests plus an always-on
+/// flight recorder: records whose deadline was missed (or that exceeded the
+/// slow-query threshold) are additionally retained in a separate bounded
+/// dump ring and, when `dump_path` is set, appended as JSON lines to that
+/// file the moment they happen — so the full stage breakdown of an outlier
+/// survives even if the main ring has long since wrapped.
+class QueryJournal {
+ public:
+  struct Options {
+    /// Main ring capacity (records). Clamped to >= 1.
+    size_t capacity = 4096;
+    /// Slow-query threshold in seconds; > 0 dumps any record whose total
+    /// latency is >= it, deadline missed or not.
+    double slow_seconds = 0.0;
+    /// Dump records whose deadline_missed flag is set.
+    bool dump_on_deadline_miss = true;
+    /// Retained dumped records (separate ring), for inspection without I/O.
+    size_t dump_retention = 64;
+    /// When non-empty, every dump is appended to this file as one JSON line.
+    std::string dump_path;
+  };
+
+  QueryJournal() : QueryJournal(Options{}) {}
+  explicit QueryJournal(const Options& options);
+
+  /// Monotonically increasing, unique id (first call returns 1). Also used
+  /// to allocate flow ids for shared execution spans.
+  uint64_t NextId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Appends a finished request; triggers a flight-recorder dump when the
+  /// record qualifies. Thread-safe.
+  void Record(QueryRecord record);
+
+  /// Journal contents, oldest first.
+  std::vector<QueryRecord> Records() const;
+  /// Retained flight-recorder dumps, oldest first.
+  std::vector<QueryRecord> Dumps() const;
+  /// Total dumps triggered (including ones no longer retained).
+  uint64_t dumped_total() const;
+  /// Records lost to main-ring wrap-around.
+  uint64_t dropped() const;
+  size_t size() const;
+  const Options& options() const { return options_; }
+
+  /// The whole journal as one JSON document (records + drop/dump counters).
+  std::string ToJson() const;
+
+ private:
+  Options options_;
+  std::atomic<uint64_t> next_id_{0};
+  mutable std::mutex mu_;
+  std::vector<QueryRecord> ring_;
+  size_t next_ = 0;  ///< Ring write cursor once full.
+  uint64_t dropped_ = 0;
+  std::vector<QueryRecord> dumps_;
+  size_t dumps_next_ = 0;
+  uint64_t dumped_total_ = 0;
+};
+
+}  // namespace tilespmv::obs
+
+#endif  // TILESPMV_OBS_QUERY_LOG_H_

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace tilespmv::obs {
 namespace {
 
@@ -80,13 +82,25 @@ double Tracer::NowMicros() const {
 
 void Tracer::Record(TraceEvent event) {
   event.tid = ThreadId();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(event));
-  } else {
-    ring_[next_] = std::move(event);
-    next_ = (next_ + 1) % capacity_;
-    ++dropped_;
+  bool dropped_one = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(event));
+    } else {
+      ring_[next_] = std::move(event);
+      next_ = (next_ + 1) % capacity_;
+      ++dropped_;
+      dropped_one = true;
+    }
+  }
+  if (dropped_one) {
+    // Wrap-around drops are otherwise invisible in every report; surface
+    // them in the registry so exports and trace_summarize can warn.
+    static Counter* drop_counter = MetricsRegistry::Global().GetCounter(
+        "tilespmv_trace_dropped_total",
+        "Trace spans overwritten by ring-buffer wrap-around");
+    drop_counter->Increment();
   }
 }
 
@@ -135,6 +149,17 @@ std::string Tracer::ToChromeTraceJson() const {
     AppendDouble(&out, e.dur_us);
     out += ",\"pid\":1,\"tid\":";
     out += std::to_string(e.tid);
+    if (e.bind_id != 0) {
+      // Chrome's binding flow-event encoding on complete events.
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "0x%llx",
+                    static_cast<unsigned long long>(e.bind_id));
+      out += ",\"bind_id\":\"";
+      out += buf;
+      out += '"';
+      if (e.flow_in) out += ",\"flow_in\":true";
+      if (e.flow_out) out += ",\"flow_out\":true";
+    }
     if (!e.args.empty()) {
       out += ",\"args\":{";
       out += e.args;
@@ -142,7 +167,9 @@ std::string Tracer::ToChromeTraceJson() const {
     }
     out += '}';
   }
-  out += "],\"displayTimeUnit\":\"ms\"}";
+  out += "],\"displayTimeUnit\":\"ms\",\"droppedSpans\":";
+  out += std::to_string(dropped());
+  out += '}';
   return out;
 }
 

@@ -24,6 +24,13 @@ struct TraceEvent {
   double dur_us = 0.0;
   int tid = 0;          ///< Per-process thread index (stable, small).
   std::string args;     ///< JSON object body, possibly empty.
+  /// Flow linkage (Chrome "binding" flow events on X phases): spans sharing
+  /// a nonzero bind_id are drawn connected, from the flow_out span to the
+  /// flow_in span. Used to tie a query's lifetime event to the shared
+  /// execution span (dedup leader run / batch flush) that served it.
+  uint64_t bind_id = 0;
+  bool flow_in = false;
+  bool flow_out = false;
 };
 
 /// Low-overhead span recorder. Disabled (the default) it is a null tracer:
@@ -84,6 +91,8 @@ class TraceSpan {
   void Arg(const char* /*key*/, int64_t /*value*/) {}
   void Arg(const char* /*key*/, int /*value*/) {}
   void Arg(const char* /*key*/, const std::string& /*value*/) {}
+  void FlowOut(uint64_t /*bind_id*/) {}
+  void FlowIn(uint64_t /*bind_id*/) {}
 };
 
 #else
@@ -118,6 +127,19 @@ class TraceSpan {
   void Arg(const char* key, int64_t value);
   void Arg(const char* key, int value) { Arg(key, static_cast<int64_t>(value)); }
   void Arg(const char* key, const std::string& value);
+
+  /// Marks this span as the source (FlowOut) or destination (FlowIn) of the
+  /// flow identified by `bind_id`. A span can be both.
+  void FlowOut(uint64_t bind_id) {
+    if (!active_) return;
+    event_.bind_id = bind_id;
+    event_.flow_out = true;
+  }
+  void FlowIn(uint64_t bind_id) {
+    if (!active_) return;
+    event_.bind_id = bind_id;
+    event_.flow_in = true;
+  }
 
  private:
   bool active_;

@@ -39,6 +39,12 @@ struct RwrPendingQuery {
   std::chrono::steady_clock::time_point enqueue_time;
   std::chrono::steady_clock::time_point deadline;
   bool has_deadline = false;
+  /// Attribution carried through the coalescer (see Engine::RequestTiming):
+  /// the journal-assigned id, the trace-clock submit timestamp, and when
+  /// Submit-side admission finished (the coalesce wait starts here).
+  uint64_t query_id = 0;
+  double enqueue_ts_us = 0.0;
+  std::chrono::steady_clock::time_point admitted;
 };
 
 /// Groups concurrent RWR queries per batch key so the engine can serve them

@@ -1,6 +1,7 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "graph/hits.h"
@@ -43,14 +44,13 @@ uint64_t PlanResidentBytes(const SpMVKernel& kernel) {
   return std::max<uint64_t>(kernel.timing().device_bytes, 1) + vectors;
 }
 
-std::future<QueryResponse> ReadyResponse(QueryKind kind, Status status) {
-  std::promise<QueryResponse> promise;
-  std::future<QueryResponse> future = promise.get_future();
-  QueryResponse response;
-  response.kind = kind;
-  response.status = std::move(status);
-  promise.set_value(std::move(response));
-  return future;
+obs::QueryJournal::Options JournalOptions(const EngineOptions& options) {
+  obs::QueryJournal::Options jo;
+  jo.capacity = options.query_journal_capacity;
+  jo.slow_seconds = options.slow_query_seconds;
+  jo.dump_on_deadline_miss = options.flight_recorder;
+  jo.dump_path = options.flight_dump_path;
+  return jo;
 }
 
 }  // namespace
@@ -84,7 +84,8 @@ size_t Engine::DedupKeyHash::operator()(const DedupKey& k) const {
 Engine::Engine(const EngineOptions& options)
     : options_(options),
       plan_cache_(options.plan_cache_bytes),
-      stats_(options.metrics) {
+      stats_(options.metrics),
+      journal_(JournalOptions(options)) {
   options_.num_threads = std::max(1, options_.num_threads);
   options_.max_pending = std::max(1, options_.max_pending);
   options_.max_batch = std::max(1, options_.max_batch);
@@ -123,13 +124,25 @@ Status Engine::AddGraph(const std::string& name, CsrMatrix graph) {
 std::future<QueryResponse> Engine::Submit(const std::string& graph,
                                           QueryKind kind,
                                           const QueryParams& params) {
+  // Per-request identity is assigned at the door: every outcome, including
+  // rejections, lands in the query journal under this id.
+  const TimePoint t_enqueue = Clock::now();
+  const uint64_t query_id = journal_.NextId();
+  const double enqueue_ts_us = obs::Tracer::Global().enabled()
+                                   ? obs::Tracer::Global().NowMicros()
+                                   : 0.0;
   obs::TraceSpan span("serve", "serve/submit");
   if (span.active()) {
     span.Arg("graph", graph);
     span.Arg("kind", std::string(QueryKindName(kind)));
+    span.Arg("query_id", static_cast<int64_t>(query_id));
   }
+  auto reject = [&](Status status) {
+    return FinishEarly(kind, std::move(status), query_id, enqueue_ts_us,
+                       t_enqueue);
+  };
   if (stopping_.load(std::memory_order_relaxed)) {
-    return ReadyResponse(kind, Status::Unavailable("engine is shut down"));
+    return reject(Status::Unavailable("engine is shut down"));
   }
   std::shared_ptr<const GraphEntry> entry;
   {
@@ -138,8 +151,7 @@ std::future<QueryResponse> Engine::Submit(const std::string& graph,
     if (it != graphs_.end()) entry = it->second;
   }
   if (entry == nullptr) {
-    return ReadyResponse(
-        kind, Status::InvalidArgument("unknown graph \"" + graph + "\""));
+    return reject(Status::InvalidArgument("unknown graph \"" + graph + "\""));
   }
 
   QueryParams resolved = params;
@@ -147,18 +159,14 @@ std::future<QueryResponse> Engine::Submit(const std::string& graph,
   if (resolved.device.empty()) resolved.device = options_.default_device;
   gpusim::DeviceSpec spec;
   if (!gpusim::DeviceSpecByName(resolved.device, &spec)) {
-    return ReadyResponse(
-        kind, Status::InvalidArgument("unknown device " + resolved.device));
+    return reject(Status::InvalidArgument("unknown device " + resolved.device));
   }
   if (CreateKernel(resolved.kernel, spec) == nullptr) {
-    return ReadyResponse(
-        kind, Status::InvalidArgument("unknown kernel " + resolved.kernel));
+    return reject(Status::InvalidArgument("unknown kernel " + resolved.kernel));
   }
   if (kind == QueryKind::kRwr &&
       (resolved.node < 0 || resolved.node >= entry->matrix.rows)) {
-    return ReadyResponse(kind,
-                         Status::InvalidArgument("rwr query node out of "
-                                                 "range"));
+    return reject(Status::InvalidArgument("rwr query node out of range"));
   }
 
   // Admission control: bound total in-flight requests instead of queueing
@@ -167,8 +175,7 @@ std::future<QueryResponse> Engine::Submit(const std::string& graph,
       options_.max_pending) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     stats_.RecordShed(StatusCode::kUnavailable);
-    return ReadyResponse(
-        kind, Status::Unavailable("admission control: queue full"));
+    return reject(Status::Unavailable("admission control: queue full"));
   }
 
   const TimePoint now = Clock::now();
@@ -193,9 +200,12 @@ std::future<QueryResponse> Engine::Submit(const std::string& graph,
 
     RwrPendingQuery sub;
     sub.node = resolved.node;
-    sub.enqueue_time = now;
+    sub.enqueue_time = t_enqueue;
     sub.deadline = deadline;
     sub.has_deadline = has_deadline;
+    sub.query_id = query_id;
+    sub.enqueue_ts_us = enqueue_ts_us;
+    sub.admitted = now;
     std::future<QueryResponse> future = sub.promise.get_future();
     if (coalescer_.Add(key, std::move(sub))) {
       Task task;
@@ -213,9 +223,12 @@ std::future<QueryResponse> Engine::Submit(const std::string& graph,
   request->kind = kind;
   request->graph = entry;
   request->params = std::move(resolved);
-  request->enqueue_time = now;
+  request->enqueue_time = t_enqueue;
   request->deadline = deadline;
   request->has_deadline = has_deadline;
+  request->query_id = query_id;
+  request->enqueue_ts_us = enqueue_ts_us;
+  request->admitted = now;
   std::future<QueryResponse> future = request->promise.get_future();
 
   // Identical PageRank/HITS requests already in flight are answered once:
@@ -230,8 +243,9 @@ std::future<QueryResponse> Engine::Submit(const std::string& graph,
     std::lock_guard<std::mutex> lock(inflight_mu_);
     auto it = inflight_.find(request->dedup_key);
     if (it != inflight_.end()) {
-      it->second->waiters.push_back(
-          Request::Waiter{std::move(request->promise), now});
+      it->second->waiters.push_back(Request::Waiter{
+          std::move(request->promise), t_enqueue, query_id, enqueue_ts_us,
+          now});
       stats_.RecordDedupHit();
       return future;
     }
@@ -258,6 +272,9 @@ ServerStatsSnapshot Engine::stats() const {
   s.plan_evictions = cache.evictions;
   s.plan_resident_bytes = cache.resident_bytes;
   s.plan_entries = cache.entries;
+  s.flight_dumps = journal_.dumped_total();
+  s.journal_records = journal_.size();
+  s.journal_dropped = journal_.dropped();
   return s;
 }
 
@@ -388,19 +405,32 @@ Result<std::shared_ptr<const Plan>> Engine::GetPlan(
 
 void Engine::ExecuteSingle(const std::shared_ptr<Request>& request) {
   const TimePoint start = Clock::now();
+  // The execution span and the query's lifetime event share this flow id:
+  // dedup waiters link to the same span as the leader they rode.
+  const uint64_t exec_id = journal_.NextId();
   obs::TraceSpan span("serve", "serve/execute");
+  RequestTiming timing;
+  timing.query_id = request->query_id;
+  timing.enqueue_ts_us = request->enqueue_ts_us;
+  timing.kind = request->kind;
+  timing.enqueue = request->enqueue_time;
+  timing.admitted = request->admitted;
+  timing.exec_start = start;
+  timing.exec_span_id = exec_id;
   QueryResponse response;
   response.kind = request->kind;
   response.queue_seconds = SecondsBetween(request->enqueue_time, start);
   if (span.active()) {
     span.Arg("kind", std::string(QueryKindName(request->kind)));
     span.Arg("queue_ms", response.queue_seconds * 1e3);
+    span.Arg("query_id", static_cast<int64_t>(request->query_id));
+    span.FlowOut(exec_id);
   }
 
   if (request->has_deadline && start > request->deadline) {
     response.status =
         Status::DeadlineExceeded("request expired while queued");
-    FinishRequest(request, std::move(response));
+    FinishRequest(request, std::move(response), timing);
     return;
   }
 
@@ -409,9 +439,10 @@ void Engine::ExecuteSingle(const std::shared_ptr<Request>& request) {
   Result<std::shared_ptr<const Plan>> plan =
       GetPlan(*request->graph, request->kind, request->params.kernel,
               request->params.device, &cache_hit, &build_seconds);
+  timing.plan_ready = Clock::now();
   if (!plan.ok()) {
     response.status = plan.status();
-    FinishRequest(request, std::move(response));
+    FinishRequest(request, std::move(response), timing);
     return;
   }
   response.plan_cache_hit = cache_hit;
@@ -467,7 +498,8 @@ void Engine::ExecuteSingle(const std::shared_ptr<Request>& request) {
       break;
     }
   }
-  FinishRequest(request, std::move(response));
+  timing.compute_done = Clock::now();
+  FinishRequest(request, std::move(response), timing);
 }
 
 void Engine::FlushBatch(const Task& task) {
@@ -491,6 +523,21 @@ void Engine::FlushBatch(const Task& task) {
   if (subs.empty()) return;
 
   const TimePoint start = Clock::now();
+  // One flow id for the whole flush: every query in the batch links its
+  // lifetime event to this shared execution span.
+  const uint64_t exec_id = journal_.NextId();
+  auto timing_for = [&](const RwrPendingQuery& sub) {
+    RequestTiming timing;
+    timing.query_id = sub.query_id;
+    timing.enqueue_ts_us = sub.enqueue_ts_us;
+    timing.kind = QueryKind::kRwr;
+    timing.enqueue = sub.enqueue_time;
+    timing.admitted = sub.admitted;
+    timing.exec_start = start;
+    timing.coalesced = true;
+    timing.exec_span_id = exec_id;
+    return timing;
+  };
   std::vector<RwrPendingQuery*> live;
   live.reserve(subs.size());
   for (RwrPendingQuery& sub : subs) {
@@ -500,7 +547,7 @@ void Engine::FlushBatch(const Task& task) {
       response.queue_seconds = SecondsBetween(sub.enqueue_time, start);
       response.status =
           Status::DeadlineExceeded("request expired while queued");
-      Respond(&sub.promise, std::move(response), sub.enqueue_time);
+      Respond(&sub.promise, std::move(response), timing_for(sub));
     } else {
       live.push_back(&sub);
     }
@@ -513,7 +560,7 @@ void Engine::FlushBatch(const Task& task) {
       response.kind = QueryKind::kRwr;
       response.queue_seconds = SecondsBetween(sub->enqueue_time, start);
       response.status = status;
-      Respond(&sub->promise, std::move(response), sub->enqueue_time);
+      Respond(&sub->promise, std::move(response), timing_for(*sub));
     }
   };
 
@@ -522,6 +569,7 @@ void Engine::FlushBatch(const Task& task) {
   Result<std::shared_ptr<const Plan>> plan =
       GetPlan(*task.batch_graph, QueryKind::kRwr, task.batch_key.kernel,
               task.batch_key.device, &cache_hit, &build_seconds);
+  const TimePoint plan_ready = Clock::now();
   if (!plan.ok()) {
     fail_all(plan.status());
     return;
@@ -538,6 +586,7 @@ void Engine::FlushBatch(const Task& task) {
   RwrBatchExecution exec;
   Result<std::vector<RwrResult>> results =
       plan.value()->rwr->QueryBatch(nodes, opts, &exec);
+  const TimePoint compute_done = Clock::now();
   if (!results.ok()) {
     fail_all(results.status());
     return;
@@ -553,6 +602,7 @@ void Engine::FlushBatch(const Task& task) {
     batch_span.Arg("blocked", exec.blocked ? 1 : 0);
     batch_span.Arg("block_cols", exec.block_cols);
     batch_span.Arg("spmm_sweeps", static_cast<double>(exec.sweeps));
+    batch_span.FlowOut(exec_id);
   }
   for (size_t i = 0; i < live.size(); ++i) {
     RwrPendingQuery* sub = live[i];
@@ -565,12 +615,23 @@ void Engine::FlushBatch(const Task& task) {
     response.plan_build_seconds = i == 0 ? build_seconds : 0.0;
     response.batch_size = batch_size;
     response.queue_seconds = SecondsBetween(sub->enqueue_time, start);
-    Respond(&sub->promise, std::move(response), sub->enqueue_time);
+    if (exec.blocked && i < exec.queries.size()) {
+      // SpMM panel placement: which panel column this query occupied, at
+      // what actual sweep width, and whether that panel was the ragged tail.
+      response.panel_width = exec.queries[i].panel_width;
+      response.panel_column = exec.queries[i].panel_column;
+      response.ragged_tail = exec.queries[i].ragged_tail;
+    }
+    RequestTiming timing = timing_for(*sub);
+    timing.plan_ready = plan_ready;
+    timing.compute_done = compute_done;
+    timing.post_done = Clock::now();
+    Respond(&sub->promise, std::move(response), timing);
   }
 }
 
 void Engine::FinishRequest(const std::shared_ptr<Request>& request,
-                           QueryResponse response) {
+                           QueryResponse response, RequestTiming timing) {
   std::vector<Request::Waiter> waiters;
   if (request->deduplicable) {
     std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -579,29 +640,147 @@ void Engine::FinishRequest(const std::shared_ptr<Request>& request,
     waiters = std::move(request->waiters);
     request->waiters.clear();
   }
+  timing.post_done = Clock::now();
   for (Request::Waiter& waiter : waiters) {
     QueryResponse copy = response;
     copy.deduped = true;
     copy.plan_build_seconds = 0.0;
-    Respond(&waiter.promise, std::move(copy), waiter.enqueue_time);
+    // Waiters share the leader's execution timeline but own their entry
+    // boundaries; stage clamping in RecordOutcome bills a waiter that
+    // attached mid-run only for the portion it actually waited.
+    RequestTiming waiter_timing = timing;
+    waiter_timing.query_id = waiter.query_id;
+    waiter_timing.enqueue_ts_us = waiter.enqueue_ts_us;
+    waiter_timing.enqueue = waiter.enqueue_time;
+    waiter_timing.admitted = waiter.admitted;
+    Respond(&waiter.promise, std::move(copy), waiter_timing);
   }
-  Respond(&request->promise, std::move(response), request->enqueue_time);
+  Respond(&request->promise, std::move(response), timing);
+}
+
+void Engine::RecordOutcome(QueryResponse* response,
+                           const RequestTiming& timing) {
+  const TimePoint now = Clock::now();
+  // Telescoping breakdown: consecutive differences of one boundary sequence
+  // sum to the total latency exactly. The running max collapses unset (or
+  // leader-owned, pre-attach) boundaries onto their predecessor, keeping
+  // every stage non-negative without breaking the telescope (the endpoints
+  // are this request's own enqueue and reply times).
+  TimePoint b[7] = {timing.enqueue,      timing.admitted, timing.exec_start,
+                    timing.plan_ready,   timing.compute_done,
+                    timing.post_done,    now};
+  for (int i = 1; i < 7; ++i) b[i] = std::max(b[i - 1], b[i]);
+  obs::QueryStages stages;
+  stages[obs::QueryStage::kAdmission] = SecondsBetween(b[0], b[1]);
+  stages[timing.coalesced ? obs::QueryStage::kCoalesce
+                          : obs::QueryStage::kQueue] =
+      SecondsBetween(b[1], b[2]);
+  stages[obs::QueryStage::kPlan] = SecondsBetween(b[2], b[3]);
+  stages[obs::QueryStage::kExecute] = SecondsBetween(b[3], b[4]);
+  stages[obs::QueryStage::kPostprocess] = SecondsBetween(b[4], b[5]);
+  stages[obs::QueryStage::kReply] = SecondsBetween(b[5], b[6]);
+  const double total = SecondsBetween(b[0], b[6]);
+
+  response->query_id = timing.query_id;
+  response->stages = stages;
+  response->latency_seconds = total;
+
+  obs::QueryRecord record;
+  record.query_id = timing.query_id;
+  record.kind = std::string(QueryKindName(timing.kind));
+  record.code = response->status.code();
+  record.stages = stages;
+  record.total_seconds = total;
+  record.enqueue_ts_us = timing.enqueue_ts_us;
+  record.deadline_missed = record.code == StatusCode::kDeadlineExceeded;
+  record.deduped = response->deduped;
+  record.coalesced = timing.coalesced;
+  record.plan_cache_hit = response->plan_cache_hit;
+  record.batch_size = response->batch_size;
+  record.panel_width = response->panel_width;
+  record.panel_column = response->panel_column;
+  record.ragged_tail = response->ragged_tail;
+  record.exec_span_id = timing.exec_span_id;
+
+  // The query's lifetime trace event: one span covering enqueue to reply,
+  // flow-linked (bind_id) to the shared execution span it rode, with the
+  // stage breakdown in its args. Recorded retroactively — the tracer must
+  // have been enabled when the request was submitted.
+  if (timing.enqueue_ts_us > 0 && obs::Tracer::Global().enabled()) {
+    obs::TraceEvent event;
+    event.name = "query/";
+    event.name += record.kind;
+    event.cat = "query";
+    event.ts_us = timing.enqueue_ts_us;
+    event.dur_us = total * 1e6;
+    std::string args = "\"query_id\":" + std::to_string(record.query_id);
+    args += ",\"status\":\"";
+    args += obs::StatusCodeName(record.code);
+    args += '"';
+    char buf[64];
+    for (int i = 0; i < obs::kNumQueryStages; ++i) {
+      std::snprintf(buf, sizeof(buf), ",\"%s_ms\":%.4f",
+                    obs::QueryStageName(i), stages.seconds[i] * 1e3);
+      args += buf;
+    }
+    args += ",\"batch_size\":" + std::to_string(record.batch_size);
+    args += ",\"panel_width\":" + std::to_string(record.panel_width);
+    args += ",\"panel_column\":" + std::to_string(record.panel_column);
+    args += ",\"ragged_tail\":";
+    args += record.ragged_tail ? "true" : "false";
+    args += ",\"deduped\":";
+    args += record.deduped ? "true" : "false";
+    args += ",\"coalesced\":";
+    args += record.coalesced ? "true" : "false";
+    args += ",\"deadline_missed\":";
+    args += record.deadline_missed ? "true" : "false";
+    event.args = std::move(args);
+    if (record.exec_span_id != 0) {
+      event.bind_id = record.exec_span_id;
+      event.flow_in = true;
+    }
+    obs::Tracer::Global().Record(std::move(event));
+  }
+
+  journal_.Record(std::move(record));
 }
 
 void Engine::Respond(std::promise<QueryResponse>* promise,
-                     QueryResponse response, TimePoint enqueue_time) {
-  const double latency = SecondsBetween(enqueue_time, Clock::now());
+                     QueryResponse response, RequestTiming timing) {
+  RecordOutcome(&response, timing);
   const StatusCode code = response.status.code();
   if (code == StatusCode::kDeadlineExceeded) {
     stats_.RecordShed(code);
+    stats_.RecordStages(response.stages);
   } else if (code == StatusCode::kUnavailable) {
     stats_.RecordShed(code);
   } else {
-    stats_.RecordCompletion(latency, response.stats.gpu_seconds,
-                            response.status.ok());
+    stats_.RecordCompletion(response.latency_seconds,
+                            response.stats.gpu_seconds, response.status.ok());
+    stats_.RecordStages(response.stages);
   }
   promise->set_value(std::move(response));
   pending_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::future<QueryResponse> Engine::FinishEarly(QueryKind kind, Status status,
+                                               uint64_t query_id,
+                                               double enqueue_ts_us,
+                                               TimePoint enqueue) {
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> future = promise.get_future();
+  QueryResponse response;
+  response.kind = kind;
+  response.status = std::move(status);
+  RequestTiming timing;
+  timing.query_id = query_id;
+  timing.enqueue_ts_us = enqueue_ts_us;
+  timing.kind = kind;
+  timing.enqueue = enqueue;
+  timing.admitted = Clock::now();  // The whole rejection is admission work.
+  RecordOutcome(&response, timing);
+  promise.set_value(std::move(response));
+  return future;
 }
 
 void Engine::Shutdown() {
@@ -623,7 +802,14 @@ void Engine::Shutdown() {
     QueryResponse response;
     response.kind = QueryKind::kRwr;
     response.status = Status::Unavailable("engine is shut down");
-    Respond(&sub.promise, std::move(response), sub.enqueue_time);
+    RequestTiming timing;
+    timing.query_id = sub.query_id;
+    timing.enqueue_ts_us = sub.enqueue_ts_us;
+    timing.kind = QueryKind::kRwr;
+    timing.enqueue = sub.enqueue_time;
+    timing.admitted = sub.admitted;
+    timing.coalesced = true;
+    Respond(&sub.promise, std::move(response), timing);
   }
 }
 

@@ -54,6 +54,16 @@ struct EngineOptions {
   int spmm_block_cols = 0;
   std::string default_kernel = "tile-composite";
   std::string default_device = "c1060";
+  /// Query-journal ring capacity (finished-request records retained).
+  size_t query_journal_capacity = 4096;
+  /// Flight recorder: dump the full stage breakdown of any request whose
+  /// deadline was missed. Slow-query dumps additionally trigger when
+  /// slow_query_seconds > 0 and a request's total latency reaches it.
+  bool flight_recorder = true;
+  double slow_query_seconds = 0.0;
+  /// When non-empty, flight-recorder dumps are appended to this file as JSON
+  /// lines as they happen (spmv_cli serve --flight-dump).
+  std::string flight_dump_path;
   /// Registry the engine's tilespmv_serve_* instruments live in. nullptr
   /// gives the engine a private registry (readable via MetricsText());
   /// pass &obs::MetricsRegistry::Global() to fold serving metrics into a
@@ -91,8 +101,13 @@ class Engine {
   QueryResponse Query(const std::string& graph, QueryKind kind,
                       const QueryParams& params = {});
 
-  /// Snapshot of the serving counters, including plan-cache stats.
+  /// Snapshot of the serving counters, including plan-cache stats, per-stage
+  /// latency attribution, and flight-recorder counters.
   ServerStatsSnapshot stats() const;
+
+  /// The engine's query journal: one record per finished request with the
+  /// per-stage latency breakdown, plus the flight-recorder dump ring.
+  const obs::QueryJournal& journal() const { return journal_; }
 
   /// Prometheus text exposition of the engine's metrics registry — the
   /// GET /metrics payload a fronting HTTP server would return. Plan-cache
@@ -143,14 +158,41 @@ class Engine {
     std::promise<QueryResponse> promise;
     DedupKey dedup_key;
     bool deduplicable = false;
+    uint64_t query_id = 0;       ///< Journal-assigned id.
+    double enqueue_ts_us = 0.0;  ///< Trace clock at Submit (0 = tracing off).
+    TimePoint admitted;          ///< Submit-side work done, queued for a worker.
     /// Identical requests that attached while this one was in flight; they
     /// receive copies of the result (marked deduped), each billed its own
     /// queue latency.
     struct Waiter {
       std::promise<QueryResponse> promise;
       TimePoint enqueue_time;
+      uint64_t query_id = 0;
+      double enqueue_ts_us = 0.0;
+      TimePoint admitted;
     };
     std::vector<Waiter> waiters;  // Guarded by Engine::inflight_mu_.
+  };
+
+  /// The timestamp sequence one request moved through, shared boundaries
+  /// between adjacent stages so the per-stage durations telescope to the
+  /// total latency exactly. Unset points collapse to their predecessor
+  /// (RecordOutcome takes a running max), so early-exit paths bill the
+  /// skipped stages zero.
+  struct RequestTiming {
+    uint64_t query_id = 0;
+    double enqueue_ts_us = 0.0;  ///< Trace clock at Submit (0 = tracing off).
+    QueryKind kind = QueryKind::kPageRank;
+    TimePoint enqueue;       ///< Submit entry.
+    TimePoint admitted;      ///< Validation + admission control done.
+    TimePoint exec_start;    ///< Worker picked it up / batch flush started.
+    TimePoint plan_ready;    ///< Plan fetched (or built + autotuned).
+    TimePoint compute_done;  ///< Kernel / panel iterations finished.
+    TimePoint post_done;     ///< Scores unpermuted + response assembled.
+    bool coalesced = false;  ///< Bills the pre-exec wait to kCoalesce.
+    /// Flow id linking the query's lifetime trace event to the shared
+    /// execution span that served it (0 = none).
+    uint64_t exec_span_id = 0;
   };
 
   struct Task {
@@ -167,22 +209,34 @@ class Engine {
   void FlushBatch(const Task& task);
   /// Fulfills the request's promise plus any dedup waiters.
   void FinishRequest(const std::shared_ptr<Request>& request,
-                     QueryResponse response);
+                     QueryResponse response, RequestTiming timing);
   Result<std::shared_ptr<const Plan>> GetPlan(const GraphEntry& graph,
                                               QueryKind kind,
                                               const std::string& kernel,
                                               const std::string& device,
                                               bool* cache_hit,
                                               double* build_seconds);
-  /// Fulfills one promise and records stats for it.
+  /// Computes the per-stage breakdown from `timing`, fills the response's
+  /// attribution fields, journals the record (triggering a flight-recorder
+  /// dump when it qualifies), and emits the query's lifetime trace event.
+  void RecordOutcome(QueryResponse* response, const RequestTiming& timing);
+  /// Fulfills one promise and records stats + journal for it.
   void Respond(std::promise<QueryResponse>* promise, QueryResponse response,
-               TimePoint enqueue_time);
+               RequestTiming timing);
+  /// Terminal outcome decided inside Submit (invalid request, shed,
+  /// shutdown): journals the record and returns a ready future. Does not
+  /// touch pending_ or the shed counters — the caller owns those.
+  std::future<QueryResponse> FinishEarly(QueryKind kind, Status status,
+                                         uint64_t query_id,
+                                         double enqueue_ts_us,
+                                         TimePoint enqueue);
   void EnqueueTask(Task task);
 
   EngineOptions options_;
   PlanCache plan_cache_;
   RwrCoalescer coalescer_;
   ServerStats stats_;
+  obs::QueryJournal journal_;
 
   mutable std::mutex graphs_mu_;
   std::unordered_map<std::string, std::shared_ptr<const GraphEntry>> graphs_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/power_method.h"
+#include "obs/query_log.h"
 #include "util/status.h"
 
 namespace tilespmv::serve {
@@ -49,6 +50,19 @@ struct QueryResponse {
   int batch_size = 1;     ///< >1 when served from a coalesced RWR batch.
   double queue_seconds = 0.0;       ///< Time spent waiting for a worker.
   double plan_build_seconds = 0.0;  ///< Preprocessing paid by this request.
+
+  /// Request-scoped attribution (docs/OBSERVABILITY.md, "Query journal").
+  uint64_t query_id = 0;  ///< Engine-assigned id, matches the query journal.
+  /// Per-stage latency breakdown; stages.Sum() == latency_seconds within
+  /// timer resolution for every response, successful or not.
+  obs::QueryStages stages;
+  double latency_seconds = 0.0;  ///< Submit to response, as billed to stats.
+  /// SpMM panel placement when the query rode a blocked coalesced batch:
+  /// the actual sweep width, this query's column slot, and whether it was
+  /// the ragged tail panel. panel_width 0 = no panel (scalar execution).
+  int panel_width = 0;
+  int panel_column = -1;
+  bool ragged_tail = false;
 };
 
 }  // namespace tilespmv::serve

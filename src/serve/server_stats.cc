@@ -48,6 +48,14 @@ ServerStats::ServerStats(obs::MetricsRegistry* registry) {
       "tilespmv_serve_request_latency_seconds",
       "End-to-end request latency (submit to response)",
       obs::ExponentialBuckets(1e-4, 2.0, 18), kLatencyWindow);
+  for (int i = 0; i < obs::kNumQueryStages; ++i) {
+    stage_[i] = registry_->GetHistogram(
+        std::string("tilespmv_serve_stage_") + obs::QueryStageName(i) +
+            "_seconds",
+        std::string("Per-request latency attributed to the ") +
+            obs::QueryStageName(i) + " stage",
+        obs::ExponentialBuckets(1e-6, 4.0, 14), kLatencyWindow);
+  }
 }
 
 void ServerStats::RecordCompletion(double latency_seconds,
@@ -73,6 +81,12 @@ void ServerStats::RecordRwrBatch(int queries) {
 void ServerStats::RecordSpmmExecution(int64_t sweeps, int64_t vectors) {
   spmm_sweeps_->Increment(static_cast<uint64_t>(sweeps));
   spmm_vectors_->Increment(static_cast<uint64_t>(vectors));
+}
+
+void ServerStats::RecordStages(const obs::QueryStages& stages) {
+  for (int i = 0; i < obs::kNumQueryStages; ++i) {
+    stage_[i]->Observe(stages.seconds[i]);
+  }
 }
 
 ServerStatsSnapshot ServerStats::Snapshot() const {
@@ -105,6 +119,11 @@ ServerStatsSnapshot ServerStats::Snapshot() const {
   s.latency_p50_ms = latency_->Percentile(50.0) * 1e3;
   s.latency_p95_ms = latency_->Percentile(95.0) * 1e3;
   s.latency_p99_ms = latency_->Percentile(99.0) * 1e3;
+  for (int i = 0; i < obs::kNumQueryStages; ++i) {
+    s.stage_mean_ms[i] = stage_[i]->Mean() * 1e3;
+    s.stage_p95_ms[i] = stage_[i]->Percentile(95.0) * 1e3;
+    s.stage_p99_ms[i] = stage_[i]->Percentile(99.0) * 1e3;
+  }
   return s;
 }
 
@@ -143,7 +162,29 @@ std::string ServerStatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(spmm_sweeps),
       static_cast<unsigned long long>(spmm_vectors), spmm_vectors_per_sweep,
       modeled_gpu_seconds);
-  return buf;
+  // The per-stage attribution and flight-recorder sections grow with the
+  // stage count, so they are appended dynamically rather than squeezed into
+  // the fixed snprintf above.
+  std::string out(buf);
+  out.pop_back();  // Reopen the object (drop the trailing '}').
+  out += ", \"stages_ms\": {";
+  for (int i = 0; i < obs::kNumQueryStages; ++i) {
+    char stage_buf[160];
+    std::snprintf(stage_buf, sizeof(stage_buf),
+                  "%s\"%s\": {\"mean\": %.4f, \"p95\": %.4f, \"p99\": %.4f}",
+                  i > 0 ? ", " : "", obs::QueryStageName(i), stage_mean_ms[i],
+                  stage_p95_ms[i], stage_p99_ms[i]);
+    out += stage_buf;
+  }
+  char tail[192];
+  std::snprintf(tail, sizeof(tail),
+                "}, \"flight_recorder\": {\"dumps\": %llu, "
+                "\"journal_records\": %llu, \"journal_dropped\": %llu}}",
+                static_cast<unsigned long long>(flight_dumps),
+                static_cast<unsigned long long>(journal_records),
+                static_cast<unsigned long long>(journal_dropped));
+  out += tail;
+  return out;
 }
 
 }  // namespace tilespmv::serve

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -45,6 +46,17 @@ struct ServerStatsSnapshot {
   double modeled_gpu_seconds = 0.0;
   /// Average RWR batch size: rwr_batched_queries / rwr_batches (0 if none).
   double coalesce_factor = 0.0;
+  /// Per-stage latency attribution over the same sample window as the
+  /// latency percentiles, indexed by obs::QueryStage. Stage durations of one
+  /// request sum to its total latency, so e.g. stage_p99_ms decomposes where
+  /// slow requests spend their time.
+  double stage_mean_ms[obs::kNumQueryStages] = {};
+  double stage_p95_ms[obs::kNumQueryStages] = {};
+  double stage_p99_ms[obs::kNumQueryStages] = {};
+  /// Flight recorder / query journal counters (filled by Engine::stats()).
+  uint64_t flight_dumps = 0;     ///< Deadline-miss / slow-query dumps taken.
+  uint64_t journal_records = 0;  ///< Records currently retained.
+  uint64_t journal_dropped = 0;  ///< Records lost to ring wrap-around.
 
   std::string ToJson() const;
 };
@@ -77,6 +89,10 @@ class ServerStats {
   /// Accounts one batch's blocked execution: `sweeps` SpMM matrix sweeps
   /// carrying `vectors` total vector-iterations.
   void RecordSpmmExecution(int64_t sweeps, int64_t vectors);
+  /// Feeds one request's per-stage breakdown into the
+  /// tilespmv_serve_stage_<name>_seconds histograms (completed and
+  /// deadline-exceeded requests; sheds have no stages to attribute).
+  void RecordStages(const obs::QueryStages& stages);
 
   ServerStatsSnapshot Snapshot() const;
 
@@ -98,6 +114,7 @@ class ServerStats {
   obs::Gauge* modeled_gpu_seconds_;
   obs::Histogram* latency_;
   obs::Histogram* rwr_batch_width_;
+  obs::Histogram* stage_[obs::kNumQueryStages];
 };
 
 }  // namespace tilespmv::serve

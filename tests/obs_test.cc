@@ -1,9 +1,11 @@
 // Tests for the observability layer: span tracer ring buffer and Chrome
-// export, metrics instruments and exporters, and the recorded-overhead bound
-// on the PageRank loop.
+// export, flow linkage, metrics instruments and exporters, the query
+// journal / flight recorder, and the recorded-overhead bound on the
+// PageRank loop.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "graph/pagerank.h"
 #include "kernels/spmv.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -103,6 +106,45 @@ TEST_F(TracerTest, ChromeExportIsWellFormed) {
   // escaped, so raw counting is a fair structural smoke check).
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(TracerTest, FlowFieldsExportAsBindId) {
+  Tracer::Global().Enable();
+  {
+    TraceSpan producer("serve", "serve/execute");
+    producer.FlowOut(0x2a);
+    TraceSpan consumer("query", "query/pagerank");
+    consumer.FlowIn(0x2a);
+  }
+  std::string json = Tracer::Global().ToChromeTraceJson();
+  EXPECT_NE(json.find("\"bind_id\":\"0x2a\",\"flow_out\":true"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bind_id\":\"0x2a\",\"flow_in\":true"),
+            std::string::npos);
+  // Spans with no flow linkage stay clean of flow keys.
+  { TraceSpan plain("a", "a/b"); }
+  json = Tracer::Global().ToChromeTraceJson();
+  size_t binds = 0;
+  for (size_t at = json.find("\"bind_id\""); at != std::string::npos;
+       at = json.find("\"bind_id\"", at + 1)) {
+    ++binds;
+  }
+  EXPECT_EQ(binds, 2u);
+}
+
+TEST_F(TracerTest, RingWrapIncrementsDroppedCounter) {
+  Counter* dropped = MetricsRegistry::Global().GetCounter(
+      "tilespmv_trace_dropped_total");
+  const uint64_t before = dropped->Value();
+  Tracer::Global().Enable(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent e;
+    e.name = "x";
+    Tracer::Global().Record(std::move(e));
+  }
+  EXPECT_EQ(dropped->Value() - before, 6u);
+  EXPECT_NE(Tracer::Global().ToChromeTraceJson().find("\"droppedSpans\":6"),
+            std::string::npos);
 }
 
 TEST_F(TracerTest, EnableResetsClockAndBuffer) {
@@ -298,6 +340,190 @@ TEST(MetricsTest, ConcurrentObservationsAllCount) {
   for (std::thread& w : workers) w.join();
   EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads * kOpsEach));
   EXPECT_EQ(h->Count(), static_cast<uint64_t>(kThreads * kOpsEach));
+}
+
+TEST(MetricsTest, PercentileEmptyWindowIsZeroAtEveryQuantile) {
+  Histogram h({1.0}, /*window=*/8);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 0.0);
+}
+
+TEST(MetricsTest, PercentileSingleSampleIsThatSample) {
+  Histogram h({1.0}, /*window=*/8);
+  h.Observe(3.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 3.5);
+  // Out-of-range quantiles clamp instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(h.Percentile(-10.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(250.0), 3.5);
+}
+
+TEST(MetricsTest, PercentileBoundariesAreMinAndMax) {
+  Histogram h({100.0}, /*window=*/8);
+  for (double v : {4.0, 1.0, 3.0, 2.0}) h.Observe(v);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 4.0);
+  // Linear interpolation between order statistics: rank 1.5 of {1,2,3,4}.
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 2.5);
+}
+
+TEST(MetricsTest, PercentileWindowWrapAtExactlyWindowObservations) {
+  constexpr size_t kWindow = 4;
+  Histogram h({100.0}, kWindow);
+  // Exactly `window` observations: nothing evicted yet, min/max intact.
+  for (double v : {10.0, 20.0, 30.0, 40.0}) h.Observe(v);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 40.0);
+  // Observation window+1 evicts the oldest sample (10) and only it.
+  h.Observe(50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 50.0);
+  // The cumulative count keeps the full history regardless of the window.
+  EXPECT_EQ(h.Count(), kWindow + 1);
+}
+
+// --- Query journal / flight recorder. ---
+
+QueryRecord MakeRecord(uint64_t id, double total_seconds,
+                       bool deadline_missed = false) {
+  QueryRecord r;
+  r.query_id = id;
+  r.kind = "pagerank";
+  r.total_seconds = total_seconds;
+  r.stages[QueryStage::kExecute] = total_seconds;
+  r.deadline_missed = deadline_missed;
+  return r;
+}
+
+TEST(QueryJournalTest, IdsStartAtOneAndIncrement) {
+  QueryJournal journal;
+  EXPECT_EQ(journal.NextId(), 1u);
+  EXPECT_EQ(journal.NextId(), 2u);
+  EXPECT_EQ(journal.NextId(), 3u);
+}
+
+TEST(QueryJournalTest, RingBoundsRecordsAndCountsDrops) {
+  QueryJournal::Options opts;
+  opts.capacity = 4;
+  QueryJournal journal(opts);
+  for (uint64_t i = 1; i <= 10; ++i) journal.Record(MakeRecord(i, 1e-3));
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.dropped(), 6u);
+  std::vector<QueryRecord> records = journal.Records();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest-first: the survivors are 7..10 in arrival order.
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].query_id, 7 + i);
+  }
+}
+
+TEST(QueryJournalTest, DeadlineMissTriggersDump) {
+  QueryJournal::Options opts;
+  opts.dump_on_deadline_miss = true;
+  QueryJournal journal(opts);
+  journal.Record(MakeRecord(1, 1e-3));
+  journal.Record(MakeRecord(2, 1e-3, /*deadline_missed=*/true));
+  journal.Record(MakeRecord(3, 1e-3));
+  EXPECT_EQ(journal.dumped_total(), 1u);
+  std::vector<QueryRecord> dumps = journal.Dumps();
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_EQ(dumps[0].query_id, 2u);
+  EXPECT_TRUE(dumps[0].deadline_missed);
+}
+
+TEST(QueryJournalTest, SlowThresholdTriggersDump) {
+  QueryJournal::Options opts;
+  opts.dump_on_deadline_miss = false;
+  opts.slow_seconds = 0.5;
+  QueryJournal journal(opts);
+  journal.Record(MakeRecord(1, 0.1));
+  journal.Record(MakeRecord(2, 0.9));
+  journal.Record(MakeRecord(3, 0.5));  // At-threshold counts as slow.
+  EXPECT_EQ(journal.dumped_total(), 2u);
+  std::vector<QueryRecord> dumps = journal.Dumps();
+  ASSERT_EQ(dumps.size(), 2u);
+  EXPECT_EQ(dumps[0].query_id, 2u);
+  EXPECT_EQ(dumps[1].query_id, 3u);
+}
+
+TEST(QueryJournalTest, DumpRetentionRingKeepsNewest) {
+  QueryJournal::Options opts;
+  opts.slow_seconds = 0.01;
+  opts.dump_retention = 2;
+  QueryJournal journal(opts);
+  for (uint64_t i = 1; i <= 5; ++i) journal.Record(MakeRecord(i, 1.0));
+  EXPECT_EQ(journal.dumped_total(), 5u);
+  std::vector<QueryRecord> dumps = journal.Dumps();
+  ASSERT_EQ(dumps.size(), 2u);
+  EXPECT_EQ(dumps[0].query_id, 4u);
+  EXPECT_EQ(dumps[1].query_id, 5u);
+}
+
+TEST(QueryJournalTest, DumpPathAppendsOneJsonLinePerDump) {
+  std::string path = ::testing::TempDir() + "flight_dump_test.jsonl";
+  std::remove(path.c_str());
+  QueryJournal::Options opts;
+  opts.slow_seconds = 0.5;
+  opts.dump_path = path;
+  QueryJournal journal(opts);
+  journal.Record(MakeRecord(1, 0.1));  // Fast: no dump line.
+  journal.Record(MakeRecord(2, 0.9));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  std::string contents(buf, n);
+  EXPECT_EQ(std::count(contents.begin(), contents.end(), '\n'), 1);
+  EXPECT_NE(contents.find("\"query_id\":2"), std::string::npos);
+  EXPECT_NE(contents.find("\"status\":\"OK\""), std::string::npos);
+}
+
+TEST(QueryJournalTest, ToJsonCarriesSchemaStagesAndCounts) {
+  QueryJournal::Options opts;
+  opts.capacity = 2;
+  QueryJournal journal(opts);
+  QueryRecord r = MakeRecord(1, 0.25);
+  r.stages[QueryStage::kQueue] = 0.05;
+  r.code = StatusCode::kDeadlineExceeded;
+  r.panel_width = 8;
+  r.panel_column = 3;
+  journal.Record(r);
+  journal.Record(MakeRecord(2, 1e-3));
+  journal.Record(MakeRecord(3, 1e-3));  // Capacity 2: evicts record 1.
+  std::string json = journal.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"tilespmv-query-log-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"query_id\":2"), std::string::npos);
+  EXPECT_EQ(json.find("\"query_id\":1"), std::string::npos);
+  // Every stage name appears in each record's stages_ms map.
+  for (int i = 0; i < kNumQueryStages; ++i) {
+    EXPECT_NE(json.find(std::string("\"") + QueryStageName(i) + "\":"),
+              std::string::npos);
+  }
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(QueryJournalTest, StagesSumMatchesComponents) {
+  QueryStages stages;
+  stages[QueryStage::kAdmission] = 0.001;
+  stages[QueryStage::kQueue] = 0.01;
+  stages[QueryStage::kExecute] = 0.1;
+  stages[QueryStage::kReply] = 0.002;
+  EXPECT_DOUBLE_EQ(stages.Sum(), 0.113);
+}
+
+TEST(QueryJournalTest, StatusAndStageNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(QueryStageName(QueryStage::kCoalesce), "coalesce");
+  EXPECT_STREQ(QueryStageName(99), "unknown");
 }
 
 TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {

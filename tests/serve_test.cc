@@ -3,12 +3,15 @@
 // deadline shedding, and RWR coalescing. Run under ThreadSanitizer in CI.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
 #include <thread>
 #include <vector>
+
+#include "obs/query_log.h"
 
 #include "gen/power_law.h"
 #include "graph/hits.h"
@@ -312,6 +315,166 @@ TEST(ServeEngineTest, RejectsNonSquareGraph) {
             StatusCode::kInvalidArgument);
 }
 
+// --- Per-query latency attribution (docs/OBSERVABILITY.md stage model). ---
+
+void ExpectStagesTelescope(const obs::QueryStages& stages, double total) {
+  double sum = 0.0;
+  for (int i = 0; i < obs::kNumQueryStages; ++i) {
+    EXPECT_GE(stages.seconds[i], 0.0) << obs::QueryStageName(i);
+    sum += stages.seconds[i];
+  }
+  // The breakdown telescopes: stage durations are differences of one
+  // monotone timestamp sequence, so they sum to the total latency exactly
+  // up to floating-point rounding.
+  EXPECT_NEAR(sum, total, 1e-9);
+}
+
+TEST(ServeEngineTest, StageBreakdownTelescopesToTotalLatency) {
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.batch_window_seconds = 0.001;
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", TestGraph()).code(), StatusCode::kOk);
+
+  QueryResponse r = engine.Query("g", QueryKind::kPageRank, BaseParams());
+  ASSERT_EQ(r.status.code(), StatusCode::kOk) << r.status.ToString();
+  EXPECT_GT(r.query_id, 0u);
+  EXPECT_GT(r.latency_seconds, 0.0);
+  ExpectStagesTelescope(r.stages, r.latency_seconds);
+  // Non-coalesced requests bill their wait to queue, never coalesce.
+  EXPECT_DOUBLE_EQ(r.stages[obs::QueryStage::kCoalesce], 0.0);
+  // A cold query did real plan and execute work.
+  EXPECT_GT(r.stages[obs::QueryStage::kPlan], 0.0);
+  EXPECT_GT(r.stages[obs::QueryStage::kExecute], 0.0);
+
+  // The journal remembers the same request under the same id.
+  std::vector<obs::QueryRecord> records = engine.journal().Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].query_id, r.query_id);
+  EXPECT_EQ(records[0].kind, "pagerank");
+  EXPECT_NEAR(records[0].total_seconds, r.latency_seconds, 1e-12);
+  EXPECT_FALSE(records[0].deadline_missed);
+
+  // Early rejections are journaled too, with their own ids.
+  QueryResponse bad = engine.Query("nope", QueryKind::kPageRank);
+  EXPECT_EQ(bad.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_GT(bad.query_id, r.query_id);
+  records = engine.journal().Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].code, StatusCode::kInvalidArgument);
+}
+
+TEST(ServeEngineTest, CoalescedBatchAttributesPanelPlacement) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  opts.batch_window_seconds = 0.2;
+  opts.max_batch = 8;
+  opts.spmm_block_cols = 4;
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", TestGraph()).code(), StatusCode::kOk);
+
+  // The parked flush task sleeps out the window on the only worker, so all
+  // six RWR queries below land in one bucket and flush as a single batch:
+  // panels [0..3] at width 4 and a ragged tail [4..5] at width 2.
+  constexpr int kQueries = 6;
+  std::vector<std::future<QueryResponse>> futures;
+  futures.push_back(ParkWorker(&engine));  // node 0.
+  for (int i = 1; i < kQueries; ++i) {
+    QueryParams params = BaseParams();
+    params.node = i;
+    futures.push_back(engine.Submit("g", QueryKind::kRwr, params));
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    QueryResponse r = futures[i].get();
+    ASSERT_EQ(r.status.code(), StatusCode::kOk) << r.status.ToString();
+    EXPECT_EQ(r.batch_size, kQueries) << "query " << i;
+    ExpectStagesTelescope(r.stages, r.latency_seconds);
+    // Coalesced requests bill their wait to coalesce, never queue.
+    EXPECT_DOUBLE_EQ(r.stages[obs::QueryStage::kQueue], 0.0);
+    EXPECT_GT(r.stages[obs::QueryStage::kCoalesce], 0.0);
+    // Panel placement follows submission order.
+    if (i < 4) {
+      EXPECT_EQ(r.panel_width, 4) << "query " << i;
+      EXPECT_EQ(r.panel_column, i);
+      EXPECT_FALSE(r.ragged_tail);
+    } else {
+      EXPECT_EQ(r.panel_width, 2) << "query " << i;
+      EXPECT_EQ(r.panel_column, i - 4);
+      EXPECT_TRUE(r.ragged_tail);
+    }
+  }
+
+  // The journal carries the same placement, linked to one shared flush span.
+  std::vector<obs::QueryRecord> records = engine.journal().Records();
+  ASSERT_EQ(records.size(), static_cast<size_t>(kQueries));
+  uint64_t exec_span = records[0].exec_span_id;
+  for (const obs::QueryRecord& rec : records) {
+    EXPECT_TRUE(rec.coalesced);
+    EXPECT_EQ(rec.batch_size, kQueries);
+    EXPECT_EQ(rec.exec_span_id, exec_span);
+  }
+}
+
+// Run under ThreadSanitizer in CI: concurrent submitters race against the
+// worker's deadline shedding, and each miss must land exactly one
+// flight-recorder dump with a well-formed stage breakdown.
+TEST(ServeEngineTest, ConcurrentDeadlineMissesEachDumpExactlyOnce) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  opts.batch_window_seconds = 0.2;
+  ASSERT_TRUE(opts.flight_recorder);  // Dump-on-miss is the default.
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", TestGraph()).code(), StatusCode::kOk);
+
+  // Park the only worker past every deadline below.
+  std::future<QueryResponse> parked = ParkWorker(&engine);
+
+  constexpr int kMiss = 4;
+  std::vector<std::future<QueryResponse>> futures(kMiss);
+  std::vector<std::thread> clients;
+  clients.reserve(kMiss);
+  for (int i = 0; i < kMiss; ++i) {
+    clients.emplace_back([&, i] {
+      // Distinct damping defeats dedup: every miss is its own request.
+      QueryParams params = BaseParams();
+      params.damping = 0.5f + 0.01f * static_cast<float>(i);
+      params.deadline_seconds = 0.05;
+      futures[i] = engine.Submit("g", QueryKind::kPageRank, params);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  std::vector<uint64_t> ids;
+  for (auto& f : futures) {
+    QueryResponse r = f.get();
+    EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded)
+        << r.status.ToString();
+    EXPECT_GE(r.latency_seconds, 0.05);
+    ExpectStagesTelescope(r.stages, r.latency_seconds);
+    // A request that died waiting spent its life in the queue stage.
+    EXPECT_GT(r.stages[obs::QueryStage::kQueue], 0.0);
+    ids.push_back(r.query_id);
+  }
+  EXPECT_EQ(parked.get().status.code(), StatusCode::kOk);
+
+  // Exactly one dump per miss — no more (the parked query completed fine),
+  // no fewer, and each carries a distinct id with a telescoping breakdown.
+  EXPECT_EQ(engine.journal().dumped_total(), static_cast<uint64_t>(kMiss));
+  std::vector<obs::QueryRecord> dumps = engine.journal().Dumps();
+  ASSERT_EQ(dumps.size(), static_cast<size_t>(kMiss));
+  std::vector<uint64_t> dump_ids;
+  for (const obs::QueryRecord& d : dumps) {
+    EXPECT_TRUE(d.deadline_missed);
+    EXPECT_EQ(d.code, StatusCode::kDeadlineExceeded);
+    ExpectStagesTelescope(d.stages, d.total_seconds);
+    dump_ids.push_back(d.query_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  std::sort(dump_ids.begin(), dump_ids.end());
+  EXPECT_EQ(ids, dump_ids);
+  EXPECT_TRUE(std::unique(ids.begin(), ids.end()) == ids.end());
+}
+
 // --- PlanCache unit tests (builder returns synthetic plans). ---
 
 Plan FakePlan(uint64_t bytes) {
@@ -422,6 +585,31 @@ TEST(ServerStatsTest, SnapshotAndJson) {
   EXPECT_NEAR(snap.modeled_gpu_seconds, 100 * 1e-4, 1e-9);
   EXPECT_NE(snap.ToJson().find("\"latency_ms\""), std::string::npos);
   EXPECT_NE(snap.ToJson().find("\"plan_cache\""), std::string::npos);
+}
+
+TEST(ServerStatsTest, StageHistogramsFeedSnapshotAndJson) {
+  ServerStats stats;
+  obs::QueryStages stages;
+  stages[obs::QueryStage::kQueue] = 0.010;
+  stages[obs::QueryStage::kExecute] = 0.100;
+  for (int i = 0; i < 10; ++i) stats.RecordStages(stages);
+
+  ServerStatsSnapshot snap = stats.Snapshot();
+  const int queue = static_cast<int>(obs::QueryStage::kQueue);
+  const int execute = static_cast<int>(obs::QueryStage::kExecute);
+  const int coalesce = static_cast<int>(obs::QueryStage::kCoalesce);
+  EXPECT_NEAR(snap.stage_mean_ms[queue], 10.0, 1e-6);
+  EXPECT_NEAR(snap.stage_p95_ms[queue], 10.0, 1e-6);
+  EXPECT_NEAR(snap.stage_mean_ms[execute], 100.0, 1e-6);
+  EXPECT_NEAR(snap.stage_p99_ms[execute], 100.0, 1e-6);
+  EXPECT_DOUBLE_EQ(snap.stage_mean_ms[coalesce], 0.0);
+
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"stages_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue\""), std::string::npos);
+  EXPECT_NE(json.find("\"flight_recorder\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
 }
 
 }  // namespace

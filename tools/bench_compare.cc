@@ -1,0 +1,221 @@
+// Perf-regression gate: diffs a fresh bench_serve run against the committed
+// baseline (BENCH_serve.json) and fails when a watched metric regresses past
+// its per-metric threshold.
+//
+//   bench_compare <fresh.json> <baseline.json> [--check] [--warn-only]
+//                 [--tol-pct=F]
+//
+// Either input may be a committed BENCH_*.json file (metrics nested under
+// "summary") or raw bench_serve stdout (the summary printed as its own JSON
+// line) — metrics are located by section name, so both layouts parse the
+// same way.
+//
+// The watched metrics are the scale-invariant summary ratios (speedups,
+// pass/fail verdicts) plus the modeled absolute costs. Checks are one-sided:
+// only movement in the *worse* direction counts, so running a reduced
+// profile (`--quick`) against a full-size baseline flags a lost speedup but
+// not the smaller problem's faster absolute times.
+//
+// Exit codes: 0 ok (or informational run without --check, or --warn-only),
+// 1 regression under --check, 2 malformed input / missing metric.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+std::string ReadAll(const char* path) {
+  std::FILE* in = std::fopen(path, "rb");
+  if (in == nullptr) return "";
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) data.append(buf, n);
+  std::fclose(in);
+  return data;
+}
+
+/// Finds the balanced-brace region of `"name": {...}`. Returns false when
+/// the key is absent or the object never closes (truncated file).
+bool FindObject(const std::string& s, const char* name, size_t* begin,
+                size_t* end) {
+  std::string needle = std::string("\"") + name + "\"";
+  size_t at = s.find(needle);
+  if (at == std::string::npos) return false;
+  size_t open = s.find('{', at + needle.size());
+  if (open == std::string::npos) return false;
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '"') {
+      for (++i; i < s.size() && s[i] != '"'; ++i) {
+        if (s[i] == '\\') ++i;
+      }
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) {
+        *begin = open;
+        *end = i;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Reads `"key": <number|true|false>` inside [begin, end). NaN when absent;
+/// booleans read as 1/0 so pass-flags diff like any other metric.
+double FindValue(const std::string& s, size_t begin, size_t end,
+                 const char* key) {
+  std::string needle = std::string("\"") + key + "\":";
+  size_t at = s.find(needle, begin);
+  if (at == std::string::npos || at >= end) return NAN;
+  size_t v = at + needle.size();
+  while (v < end && (s[v] == ' ' || s[v] == '\t')) ++v;
+  if (s.compare(v, 4, "true") == 0) return 1.0;
+  if (s.compare(v, 5, "false") == 0) return 0.0;
+  return std::strtod(s.c_str() + v, nullptr);
+}
+
+/// One watched metric: where it lives, which way is better, how much
+/// one-sided slack it gets before --check fails.
+struct MetricRule {
+  const char* section;  ///< Top-level summary object to search in.
+  const char* subsection;  ///< Nested object, or nullptr.
+  const char* key;
+  bool higher_better;
+  double tol_pct;  ///< Allowed regression before failing, in percent.
+};
+
+// Ratios get slack for wall-clock jitter plus the amortization lost to the
+// reduced `--quick` profile (smaller graphs amortize less, so its speedups
+// sit ~25% under the full-size baseline); modeled per-query costs are
+// deterministic for a fixed profile, so their tolerance only absorbs
+// cost-model tuning. pass-flags get zero slack: a true -> false flip is
+// always a regression.
+constexpr MetricRule kRules[] = {
+    {"plan_cache", nullptr, "speedup", true, 35.0},
+    {"plan_cache", nullptr, "pass", true, 0.0},
+    {"coalescing", nullptr, "speedup", true, 35.0},
+    {"coalescing", nullptr, "coalesced_modeled_qps", true, 20.0},
+    {"coalescing", nullptr, "mean_batch", true, 20.0},
+    {"coalescing", nullptr, "pass", true, 0.0},
+    {"spmm_batch", nullptr, "k8_vs_k1_speedup", true, 35.0},
+    {"spmm_batch", "per_query_ms", "k1", false, 25.0},
+    {"spmm_batch", "per_query_ms", "k8", false, 25.0},
+    {"spmm_batch", "per_query_ms", "k16", false, 25.0},
+    {"spmm_batch", nullptr, "pass", true, 0.0},
+};
+
+/// NaN when the section/key is missing or the file is malformed.
+double Extract(const std::string& doc, const MetricRule& rule) {
+  size_t begin, end;
+  if (!FindObject(doc, rule.section, &begin, &end)) return NAN;
+  if (rule.subsection != nullptr) {
+    std::string inner = doc.substr(begin, end - begin + 1);
+    if (!FindObject(inner, rule.subsection, &begin, &end)) return NAN;
+    return FindValue(inner, begin, end, rule.key);
+  }
+  return FindValue(doc, begin, end, rule.key);
+}
+
+int Run(int argc, char** argv) {
+  const char* fresh_path = nullptr;
+  const char* base_path = nullptr;
+  bool check = false;
+  bool warn_only = false;
+  double tol_override = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--warn-only") == 0) {
+      warn_only = true;
+    } else if (std::strncmp(argv[i], "--tol-pct=", 10) == 0) {
+      tol_override = std::atof(argv[i] + 10);
+    } else if (fresh_path == nullptr) {
+      fresh_path = argv[i];
+    } else if (base_path == nullptr) {
+      base_path = argv[i];
+    } else {
+      std::fprintf(stderr, "error: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (fresh_path == nullptr || base_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <fresh.json> <baseline.json> "
+                 "[--check] [--warn-only] [--tol-pct=F]\n");
+    return 2;
+  }
+
+  std::string fresh = ReadAll(fresh_path);
+  std::string base = ReadAll(base_path);
+  if (fresh.empty()) {
+    std::fprintf(stderr, "error: cannot read %s (or empty)\n", fresh_path);
+    return 2;
+  }
+  if (base.empty()) {
+    std::fprintf(stderr, "error: cannot read %s (or empty)\n", base_path);
+    return 2;
+  }
+
+  std::printf("%-36s %12s %12s %9s  %s\n", "metric", "baseline", "fresh",
+              "delta", "verdict");
+  int regressions = 0;
+  int compared = 0;
+  for (const MetricRule& rule : kRules) {
+    std::string name = std::string(rule.section) + ".";
+    if (rule.subsection != nullptr) name += std::string(rule.subsection) + ".";
+    name += rule.key;
+    double b = Extract(base, rule);
+    double f = Extract(fresh, rule);
+    if (std::isnan(b)) {
+      // Older baselines may predate a metric; note it and move on.
+      std::printf("%-36s %12s %12.4g %9s  skipped (not in baseline)\n",
+                  name.c_str(), "-", f, "-");
+      continue;
+    }
+    if (std::isnan(f)) {
+      std::fprintf(stderr,
+                   "error: %s: metric %s missing — malformed or truncated "
+                   "bench output\n",
+                   fresh_path, name.c_str());
+      return 2;
+    }
+    ++compared;
+    double tol = tol_override >= 0 && rule.tol_pct > 0 ? tol_override
+                                                       : rule.tol_pct;
+    double delta_pct = b != 0 ? 100.0 * (f - b) / std::fabs(b)
+                              : (f == 0 ? 0.0 : 100.0);
+    double regression_pct = rule.higher_better ? -delta_pct : delta_pct;
+    bool bad = regression_pct > tol;
+    if (bad) ++regressions;
+    std::printf("%-36s %12.4g %12.4g %+8.1f%%  %s (%s, tol %.0f%%)\n",
+                name.c_str(), b, f, delta_pct,
+                bad ? (warn_only ? "WARN" : "FAIL") : "ok",
+                rule.higher_better ? "higher-better" : "lower-better", tol);
+  }
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "error: no watched metrics found in %s — not bench_serve "
+                 "output?\n",
+                 base_path);
+    return 2;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr, "%s: %d of %d watched metrics regressed past "
+                 "tolerance vs %s\n",
+                 warn_only || !check ? "warning" : "error", regressions,
+                 compared, base_path);
+  } else {
+    std::printf("all %d watched metrics within tolerance\n", compared);
+  }
+  return (check && !warn_only && regressions > 0) ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -63,6 +63,12 @@ struct Flags {
   // serve subcommand.
   int queries = 64;
   double window_ms = 2.0;
+  double deadline_ms = 0.0;  // Default per-request deadline; 0 = none.
+  // Flight recorder: slow-query dump threshold (0 = deadline misses only),
+  // JSONL dump file, and a full query-journal JSON dump path.
+  double slow_ms = 0.0;
+  std::string flight_dump;
+  std::string query_log;
   // SpMM panel width for rwr/serve: one of spmm::kBlockWidths, 0 = unset
   // (fall back to TILESPMV_BLOCK_COLS, then auto-select).
   int block_cols = 0;
@@ -119,6 +125,16 @@ Status ParseFlags(int argc, char** argv, int first, Flags* f) {
     } else if (std::strncmp(a, "--window-ms=", 12) == 0) {
       if (!ParseDouble(a + 12, &f->window_ms) || f->window_ms < 0)
         return Status::InvalidArgument(std::string("bad number in ") + a);
+    } else if (std::strncmp(a, "--deadline-ms=", 14) == 0) {
+      if (!ParseDouble(a + 14, &f->deadline_ms) || f->deadline_ms < 0)
+        return Status::InvalidArgument(std::string("bad number in ") + a);
+    } else if (std::strncmp(a, "--slow-ms=", 10) == 0) {
+      if (!ParseDouble(a + 10, &f->slow_ms) || f->slow_ms < 0)
+        return Status::InvalidArgument(std::string("bad number in ") + a);
+    } else if (std::strncmp(a, "--flight-dump=", 14) == 0) {
+      f->flight_dump = a + 14;
+    } else if (std::strncmp(a, "--query-log=", 12) == 0) {
+      f->query_log = a + 12;
     } else if (std::strncmp(a, "--block-cols=", 13) == 0) {
       if (!spmm::ParseBlockCols(a + 13, &f->block_cols))
         return Status::InvalidArgument(
@@ -407,6 +423,9 @@ int CmdServe(const std::string& path, const Flags& f) {
                      : f.threads == 0 ? par::ThreadPool::DefaultThreadCount()
                                       : 4;
   opts.batch_window_seconds = f.window_ms * 1e-3;
+  opts.default_deadline_seconds = f.deadline_ms * 1e-3;
+  opts.slow_query_seconds = f.slow_ms * 1e-3;
+  opts.flight_dump_path = f.flight_dump;
   opts.default_kernel = f.kernel;
   opts.default_device = f.device;
   // 0 = auto (engine picks the largest width its batch cap fills).
@@ -436,7 +455,8 @@ int CmdServe(const std::string& path, const Flags& f) {
     futures.push_back(engine.Submit("g", kind, params));
   }
 
-  int ok = 0, failed = 0, cache_hits = 0, deduped = 0, batched = 0;
+  int ok = 0, failed = 0, missed = 0, cache_hits = 0, deduped = 0,
+      batched = 0;
   for (auto& fut : futures) {
     serve::QueryResponse r = fut.get();
     if (r.status.ok()) {
@@ -444,6 +464,10 @@ int CmdServe(const std::string& path, const Flags& f) {
       if (r.plan_cache_hit) ++cache_hits;
       if (r.deduped) ++deduped;
       if (r.batch_size > 1) ++batched;
+    } else if (r.status.code() == StatusCode::kDeadlineExceeded) {
+      // An expected outcome when --deadline-ms is set — the flight recorder
+      // dumps these; they do not fail the command.
+      ++missed;
     } else {
       ++failed;
       if (f.verbose)
@@ -456,10 +480,33 @@ int CmdServe(const std::string& path, const Flags& f) {
   if (!f.metrics_out.empty()) (void)engine.MetricsText();
   engine.Shutdown();
   std::printf(
-      "served %d queries (%d ok, %d failed): %d plan-cache hits, "
-      "%d deduped, %d in coalesced batches\n",
-      f.queries, ok, failed, cache_hits, deduped, batched);
+      "served %d queries (%d ok, %d deadline-missed, %d failed): "
+      "%d plan-cache hits, %d deduped, %d in coalesced batches\n",
+      f.queries, ok, missed, failed, cache_hits, deduped, batched);
+  const uint64_t dumps = engine.journal().dumped_total();
+  if (dumps > 0) {
+    std::fprintf(stderr,
+                 "flight recorder: %llu dump%s (deadline misses / slow "
+                 "queries)%s%s\n",
+                 static_cast<unsigned long long>(dumps), dumps == 1 ? "" : "s",
+                 f.flight_dump.empty() ? "" : " appended to ",
+                 f.flight_dump.c_str());
+  }
+  if (!f.query_log.empty()) {
+    std::string json = engine.journal().ToJson();
+    FILE* out = std::fopen(f.query_log.c_str(), "w");
+    if (out == nullptr)
+      return Fail(Status::IoError("cannot open " + f.query_log));
+    size_t written = std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    if (written != json.size())
+      return Fail(Status::IoError("short write to " + f.query_log));
+    std::fprintf(stderr, "wrote query journal (%zu records) to %s\n",
+                 engine.journal().size(), f.query_log.c_str());
+  }
   std::printf("%s\n", engine.stats().ToJson().c_str());
+  // Deadline-missed queries are an expected outcome when --deadline-ms is
+  // set; only unexpected failures make the command fail.
   return failed == 0 ? 0 : 1;
 }
 
@@ -517,7 +564,8 @@ int Usage() {
       "serve|convert|generate> <args...>\n"
       "  flags: --kernel=NAME|auto --device=c1060|c2050 --damping=F "
       "--top=N --node=K --scale=F --threads=N (0 = hardware concurrency)\n"
-      "  serve: --queries=N --window-ms=F\n"
+      "  serve: --queries=N --window-ms=F --deadline-ms=F --slow-ms=F "
+      "--flight-dump=FILE --query-log=FILE\n"
       "  rwr/serve: --block-cols=1|2|4|8|16 (or TILESPMV_BLOCK_COLS; SpMM "
       "panel width)\n"
       "  observability: --trace-out=FILE --metrics-out=FILE[.json|.prom]\n"

@@ -2,13 +2,19 @@
 // `spmv_cli --trace-out=...` (or anything writing complete "X" events).
 // Groups span durations by phase — the text before the first '/' in the
 // span name, per the convention in docs/OBSERVABILITY.md — and prints each
-// phase's total time and share, e.g. preprocess vs spmv vs reduction.
+// phase's span count, total time, share, and per-span p99. When the trace
+// holds query lifetime events (cat "query", emitted by serve::Engine), it
+// also prints a tail-attribution report: the p50/p95/p99 of end-to-end query
+// latency decomposed into per-stage shares (queue/coalesce/plan/execute/...),
+// so a p99 regression names the stage that moved.
 //
 //   trace_summarize <trace.json>
 //   trace_summarize -           (read stdin)
 //
-// Exits nonzero when the file holds no complete spans, so CI can assert a
-// run actually produced a trace.
+// Exits nonzero when the file holds no complete spans or is malformed /
+// truncated (unterminated traceEvents array), so CI can assert a run
+// actually produced a well-formed trace. Warns when the trace dropped spans
+// to ring-buffer wrap-around ("droppedSpans" top-level key).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -58,9 +64,35 @@ double FindNumberValue(const std::string& s, size_t begin, size_t end,
   return std::strtod(s.c_str() + at + needle.size(), nullptr);
 }
 
+/// Linearly interpolated percentile (q in [0,100]) of an unsorted sample.
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::max(0.0, std::min(100.0, q));
+  double rank = q / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
 struct PhaseTotal {
   double micros = 0.0;
   int64_t spans = 0;
+  std::vector<double> durs_us;  ///< Per-span durations, for percentiles.
+};
+
+/// The serving engine's stage keys, in pipeline order (must match
+/// obs::QueryStageName).
+constexpr const char* kStageKeys[] = {"admission", "queue",       "coalesce",
+                                      "plan",      "execute",     "postprocess",
+                                      "reply"};
+constexpr int kNumStages = 7;
+
+/// One query lifetime event (cat "query"): total latency + stage breakdown.
+struct QuerySample {
+  double total_ms = 0.0;
+  double stage_ms[kNumStages] = {};
 };
 
 int Run(const char* path) {
@@ -75,23 +107,39 @@ int Run(const char* path) {
 
   size_t events = data.find("\"traceEvents\"");
   if (events == std::string::npos) {
-    std::fprintf(stderr, "error: %s has no traceEvents array\n", path);
+    std::fprintf(stderr,
+                 "error: %s is not a trace file (no traceEvents array)\n",
+                 path);
     return 1;
   }
 
   // Walk the flat event objects. Our exporter writes one object per span
   // with no nested objects except a final "args"; scanning brace-balanced
-  // regions keeps this robust to args content.
+  // regions keeps this robust to args content. Strict: an unterminated
+  // array or object (truncated download, interrupted writer) is an error,
+  // not a best-effort partial summary.
   std::map<std::string, PhaseTotal> phases;
+  std::vector<QuerySample> queries;
   double wall_begin = -1.0, wall_end = -1.0;
   size_t pos = data.find('[', events);
+  if (pos == std::string::npos) {
+    std::fprintf(stderr, "error: %s: traceEvents has no '[' after it\n",
+                 path);
+    return 1;
+  }
   int depth = 0;
+  bool array_closed = false;
   size_t obj_start = 0;
-  for (size_t i = pos == std::string::npos ? data.size() : pos;
-       i < data.size(); ++i) {
+  for (size_t i = pos; i < data.size(); ++i) {
     char c = data[i];
     if (c == '"') {  // Skip strings so braces inside values don't count.
-      for (++i; i < data.size(); ++i) {
+      for (++i;; ++i) {
+        if (i >= data.size()) {
+          std::fprintf(stderr,
+                       "error: %s: unterminated string (truncated trace?)\n",
+                       path);
+          return 1;
+        }
         if (data[i] == '\\') ++i;
         else if (data[i] == '"') break;
       }
@@ -99,6 +147,11 @@ int Run(const char* path) {
       if (depth == 0) obj_start = i;
       ++depth;
     } else if (c == '}') {
+      if (depth == 0) {
+        std::fprintf(stderr, "error: %s: unbalanced '}' at offset %zu\n",
+                     path, i);
+        return 1;
+      }
       if (--depth == 0) {
         std::string name = FindStringValue(data, obj_start, i, "name");
         std::string ph = FindStringValue(data, obj_start, i, "ph");
@@ -108,15 +161,34 @@ int Run(const char* path) {
           std::string phase = name.substr(0, name.find('/'));
           phases[phase].micros += dur;
           ++phases[phase].spans;
+          phases[phase].durs_us.push_back(dur);
           if (ts >= 0) {
             if (wall_begin < 0 || ts < wall_begin) wall_begin = ts;
             wall_end = std::max(wall_end, ts + dur);
           }
+          if (FindStringValue(data, obj_start, i, "cat") == "query") {
+            QuerySample q;
+            q.total_ms = dur / 1e3;
+            for (int s = 0; s < kNumStages; ++s) {
+              std::string key = std::string(kStageKeys[s]) + "_ms";
+              double v = FindNumberValue(data, obj_start, i, key.c_str());
+              q.stage_ms[s] = v >= 0 ? v : 0.0;
+            }
+            queries.push_back(q);
+          }
         }
       }
     } else if (c == ']' && depth == 0) {
+      array_closed = true;
       break;
     }
+  }
+  if (!array_closed || depth != 0) {
+    std::fprintf(stderr,
+                 "error: %s: traceEvents array is unterminated (truncated "
+                 "or malformed trace)\n",
+                 path);
+    return 1;
   }
 
   int64_t total_spans = 0;
@@ -130,6 +202,17 @@ int Run(const char* path) {
     return 1;
   }
 
+  // Spans lost to tracer ring wrap-around make every report below an
+  // undercount; say so loudly instead of silently.
+  double dropped = FindNumberValue(data, 0, data.size(), "droppedSpans");
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "warning: trace dropped %.0f spans to ring-buffer "
+                 "wrap-around; totals undercount (raise the tracer capacity "
+                 "or see tilespmv_trace_dropped_total)\n",
+                 dropped);
+  }
+
   // Share is of summed span time: nested spans double-count their parent,
   // so shares describe where instrumented time concentrates, not wall time.
   std::vector<std::pair<std::string, PhaseTotal>> rows(phases.begin(),
@@ -137,16 +220,50 @@ int Run(const char* path) {
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
     return a.second.micros > b.second.micros;
   });
-  std::printf("%-12s %8s %12s %7s\n", "phase", "spans", "total_ms", "share");
-  for (const auto& [phase, t] : rows) {
-    std::printf("%-12s %8lld %12.3f %6.1f%%\n", phase.c_str(),
+  std::printf("%-12s %8s %12s %7s %10s\n", "phase", "spans", "total_ms",
+              "share", "p99_ms");
+  for (auto& [phase, t] : rows) {
+    std::printf("%-12s %8lld %12.3f %6.1f%% %10.3f\n", phase.c_str(),
                 static_cast<long long>(t.spans), t.micros / 1e3,
-                100.0 * t.micros / total_micros);
+                100.0 * t.micros / total_micros,
+                Percentile(std::move(t.durs_us), 99.0) / 1e3);
   }
   std::printf("%-12s %8lld %12.3f %6.1f%%\n", "total",
               static_cast<long long>(total_spans), total_micros / 1e3, 100.0);
   if (wall_begin >= 0) {
     std::printf("trace wall span: %.3f ms\n", (wall_end - wall_begin) / 1e3);
+  }
+
+  // Tail attribution: decompose the latency percentiles into stage shares.
+  // For each percentile the shares are the mean stage fractions over the
+  // queries at or above it — "queries in the p99 tail spend 72% of their
+  // time in coalesce-wait" reads straight off the table.
+  if (!queries.empty()) {
+    std::vector<double> totals;
+    totals.reserve(queries.size());
+    for (const QuerySample& q : queries) totals.push_back(q.total_ms);
+    std::printf("\nquery tail attribution (%zu queries):\n", queries.size());
+    std::printf("%-6s %10s", "pct", "latency_ms");
+    for (int s = 0; s < kNumStages; ++s) std::printf(" %11s", kStageKeys[s]);
+    std::printf("\n");
+    for (double pct : {50.0, 95.0, 99.0}) {
+      double cut = Percentile(totals, pct);
+      double sum[kNumStages] = {};
+      double total_sum = 0.0;
+      int count = 0;
+      for (const QuerySample& q : queries) {
+        if (q.total_ms < cut) continue;
+        ++count;
+        total_sum += q.total_ms;
+        for (int s = 0; s < kNumStages; ++s) sum[s] += q.stage_ms[s];
+      }
+      std::printf("p%-5.0f %10.3f", pct, cut);
+      for (int s = 0; s < kNumStages; ++s) {
+        std::printf(" %10.1f%%",
+                    total_sum > 0 ? 100.0 * sum[s] / total_sum : 0.0);
+      }
+      std::printf("  (%d queries)\n", count);
+    }
   }
   return 0;
 }
