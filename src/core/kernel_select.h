@@ -35,6 +35,17 @@ std::vector<KernelPrediction> PredictKernelChoices(const CsrMatrix& a,
 /// "csr-vector" or "ell"). Use with CreateKernel to run it.
 std::string SelectKernel(const CsrMatrix& a, const PerfModel& model);
 
+/// Host-backend analogue of PredictKernelChoices: ranks the host kernels
+/// (HostKernelNames(): cpu-csr and the SIMD variants) by their modeled
+/// host-execution timing at the currently resolved SIMD tier
+/// (simd::ResolvedTier). Returns predictions sorted fastest-first;
+/// kernels whose Setup fails are skipped.
+std::vector<KernelPrediction> PredictHostKernelChoices(const CsrMatrix& a);
+
+/// The fastest-predicted host kernel for `a`. Ties keep HostKernelNames()
+/// order, so at the scalar tier the plain "cpu-csr" reference wins.
+std::string SelectHostKernel(const CsrMatrix& a);
+
 }  // namespace tilespmv
 
 #endif  // TILESPMV_CORE_KERNEL_SELECT_H_

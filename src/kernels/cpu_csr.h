@@ -32,6 +32,9 @@ class CpuCsrKernel : public SpMVKernel {
   Status Setup(const CsrMatrix& a) override;
   void Multiply(const std::vector<float>& x,
                 std::vector<float>* y) const override;
+  /// The serial scalar reference every SIMD kernel is checked against; its
+  /// Multiply is the real host serving path.
+  std::string_view backend() const override { return "host"; }
 
   /// The Setup-time matrix (the blocked SpMM wrapper executes over it).
   const CsrMatrix& csr() const { return a_; }

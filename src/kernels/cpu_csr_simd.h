@@ -1,0 +1,55 @@
+#ifndef TILESPMV_KERNELS_CPU_CSR_SIMD_H_
+#define TILESPMV_KERNELS_CPU_CSR_SIMD_H_
+
+#include "kernels/cpu_csr.h"
+#include "kernels/spmv.h"
+#include "simd/caps.h"
+#include "simd/kernels.h"
+
+namespace tilespmv {
+
+/// Vectorized host CSR ("cpu-csr-simd"): the same storage as CpuCsrKernel,
+/// executed through the simd::CsrRows* kernels — per-row 8/16-lane gathers
+/// with FMA bodies, software prefetch of the col/val streams and the x
+/// gathers, and a fixed horizontal-sum tree per row.
+///
+/// The SIMD tier is resolved (simd::ResolvedTier) and frozen at Setup(), so
+/// a shared serving plan never changes numeric behavior mid-flight.
+/// Tolerance class: each row's partial-sum tree differs from the sequential
+/// scalar sum (docs/SIMD.md documents the bound); results are still
+/// identical run-to-run and at every thread count.
+class CsrSimdKernel : public SpMVKernel {
+ public:
+  CsrSimdKernel(const gpusim::DeviceSpec& spec, const CpuSpec& cpu)
+      : SpMVKernel(spec), cpu_(cpu), tier_(simd::ResolvedTier()) {}
+  explicit CsrSimdKernel(const gpusim::DeviceSpec& spec)
+      : CsrSimdKernel(spec, CpuSpec{}) {}
+
+  std::string_view name() const override { return "cpu-csr-simd"; }
+  std::string_view backend() const override { return "host"; }
+  DeterminismClass determinism() const override {
+    return tier_ == simd::Tier::kScalar ? DeterminismClass::kBitwise
+                                        : DeterminismClass::kTolerance;
+  }
+  std::string_view simd_tier() const override {
+    return simd::TierName(tier_);
+  }
+
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+  /// The Setup-time matrix (the blocked SpMM sibling executes over it).
+  const CsrMatrix& csr() const { return a_; }
+  simd::Tier tier() const { return tier_; }
+
+ private:
+  CpuSpec cpu_;
+  CsrMatrix a_;
+  simd::Tier tier_;
+  simd::CsrRowsFn rows_fn_ = &simd::CsrRowsScalar;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_CPU_CSR_SIMD_H_

@@ -1,0 +1,164 @@
+#include "kernels/cpu_sell_simd.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gpusim/texture_cache.h"
+#include "par/pool.h"
+#include "util/check.h"
+
+namespace tilespmv {
+
+Status SellSimdKernel::Setup(const CsrMatrix& a) {
+  TILESPMV_RETURN_IF_ERROR(a.Validate());
+  rows_ = a.rows;
+  cols_ = a.cols;
+  tier_ = simd::ResolvedTier();
+  slices_fn_ = simd::SellSlicesForTier(tier_);
+  // Chunk height = vector lane width; the scalar tier keeps C = 8 so the
+  // storage (and the masked-prefix bookkeeping it exercises) stays
+  // identical in shape to the AVX2 build.
+  const int c = tier_ == simd::Tier::kScalar ? 8 : simd::LaneWidth(tier_);
+
+  // Sigma-window sort, rounded to a multiple of C: the slice kernels rely
+  // on lengths being non-increasing *within a slice* (active lanes form a
+  // prefix), which holds exactly when no slice straddles a sort window.
+  const int32_t sigma = std::max<int32_t>(c, sigma_ - sigma_ % c);
+  std::vector<int64_t> lengths = a.RowLengths();
+  Permutation perm(a.rows);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int32_t w0 = 0; w0 < a.rows; w0 += sigma) {
+    int32_t w1 = std::min(a.rows, w0 + sigma);
+    std::stable_sort(perm.begin() + w0, perm.begin() + w1,
+                     [&](int32_t x, int32_t y) {
+                       return lengths[x] > lengths[y];
+                     });
+  }
+  CsrMatrix sorted;
+  if (a.rows == a.cols) {
+    sorted = ApplySymmetricPermutation(a, perm);
+    row_perm_ = perm;
+    col_perm_ = perm;
+  } else {
+    sorted = ApplyRowPermutation(a, perm);
+    row_perm_ = perm;
+    col_perm_.clear();
+  }
+
+  // Pass 1: slice shapes.
+  const int64_t num_slices = (static_cast<int64_t>(a.rows) + c - 1) / c;
+  slice_off_.assign(static_cast<size_t>(num_slices) + 1, 0);
+  slice_width_.assign(static_cast<size_t>(num_slices), 0);
+  int64_t total_cols = 0;  // Sum of slice widths (active[] length).
+  for (int64_t s = 0; s < num_slices; ++s) {
+    const int32_t r0 = static_cast<int32_t>(s * c);
+    const int32_t live = std::min<int32_t>(c, a.rows - r0);
+    int64_t width = 0;
+    for (int32_t r = r0; r < r0 + live; ++r) {
+      width = std::max(width, sorted.RowLength(r));
+    }
+    slice_width_[static_cast<size_t>(s)] = static_cast<int32_t>(width);
+    slice_off_[static_cast<size_t>(s) + 1] =
+        slice_off_[static_cast<size_t>(s)] + width * c;
+    total_cols += width;
+  }
+  const int64_t padded = slice_off_.back();
+
+  // Pass 2: column-major slice fill. Padding lanes get col 0 / value 0 —
+  // the vector kernels may gather x[0] for them but never accumulate it.
+  sell_cols_.assign(static_cast<size_t>(padded), 0);
+  sell_vals_.assign(static_cast<size_t>(padded), 0.0f);
+  active_.assign(static_cast<size_t>(total_cols), 0);
+  for (int64_t s = 0; s < num_slices; ++s) {
+    const int32_t r0 = static_cast<int32_t>(s * c);
+    const int32_t live = std::min<int32_t>(c, a.rows - r0);
+    const int64_t off = slice_off_[static_cast<size_t>(s)];
+    const int64_t active_base = off / c;
+    const int32_t width = slice_width_[static_cast<size_t>(s)];
+    for (int32_t lane = 0; lane < live; ++lane) {
+      const int32_t r = r0 + lane;
+      const int64_t b = sorted.row_ptr[r];
+      const int64_t len = sorted.row_ptr[r + 1] - b;
+      for (int64_t j = 0; j < len; ++j) {
+        sell_cols_[static_cast<size_t>(off + j * c + lane)] =
+            sorted.col_idx[static_cast<size_t>(b + j)];
+        sell_vals_[static_cast<size_t>(off + j * c + lane)] =
+            sorted.values[static_cast<size_t>(b + j)];
+      }
+      for (int64_t j = 0; j < len; ++j) {
+        // Lengths are non-increasing across lanes, so this counts the
+        // active prefix at each column.
+        ++active_[static_cast<size_t>(active_base + j)];
+      }
+    }
+    for (int32_t j = 0; j < width; ++j) {
+      TILESPMV_CHECK(active_[static_cast<size_t>(active_base + j)] <= live);
+    }
+  }
+
+  view_ = simd::SellView{};
+  view_.c = c;
+  view_.rows = a.rows;
+  view_.num_slices = num_slices;
+  view_.slice_off = slice_off_.data();
+  view_.slice_width = slice_width_.data();
+  view_.active = active_.data();
+  view_.cols = sell_cols_.data();
+  view_.vals = sell_vals_.data();
+
+  // Host cost model, as in CsrSimdKernel: compute scaled by lane width but
+  // billed on padded slots; val/col streams cover the padding too; x
+  // gathers through a simulated L2.
+  gpusim::TextureCache l2(cpu_.cache_bytes, cpu_.cache_line_bytes,
+                          cpu_.cache_assoc);
+  uint64_t x_misses = 0;
+  for (int32_t r = 0; r < sorted.rows; ++r) {
+    for (int64_t k = sorted.row_ptr[r]; k < sorted.row_ptr[r + 1]; ++k) {
+      if (!l2.Access(4 * static_cast<uint64_t>(sorted.col_idx[k]))) {
+        ++x_misses;
+      }
+    }
+  }
+  const int lanes = simd::LaneWidth(tier_);
+  const uint64_t nnz = static_cast<uint64_t>(a.nnz());
+  const uint64_t padded_u = static_cast<uint64_t>(padded);
+  uint64_t mem_bytes =
+      padded_u * 8 + static_cast<uint64_t>(a.rows) * 8 +
+      x_misses * static_cast<uint64_t>(cpu_.cache_line_bytes);
+  double compute_s = static_cast<double>(padded_u) * cpu_.cycles_per_nnz /
+                     static_cast<double>(lanes) / (cpu_.clock_ghz * 1e9);
+  double memory_s =
+      static_cast<double>(mem_bytes) / (cpu_.mem_bandwidth_gbps * 1e9);
+
+  timing_ = KernelTiming{};
+  timing_.seconds = std::max(compute_s, memory_s);
+  timing_.flops = 2 * nnz;
+  timing_.useful_bytes = nnz * 12 + static_cast<uint64_t>(a.rows) * 8;
+  timing_.global_bytes = mem_bytes;
+  timing_.tex_hits = l2.hits();
+  timing_.tex_misses = l2.misses();
+  timing_.launches = 1;
+  return Status::OK();
+}
+
+void SellSimdKernel::Multiply(const std::vector<float>& x,
+                              std::vector<float>* y) const {
+  TILESPMV_CHECK(x.size() == static_cast<size_t>(cols_));
+  y->resize(static_cast<size_t>(rows_));
+  if (view_.num_slices == 0) return;
+  // Slices are independent and each covers whole rows, so parallelizing
+  // over slices never splits a vector row block (the par::LoopOptions
+  // align story, one level up: here the loop variable *is* the block).
+  // The length sort makes early slices heavy — guided chunking balances.
+  par::LoopOptions options;
+  options.grain = std::max<int64_t>(1, 256 / view_.c);
+  options.chunking = par::Chunking::kGuided;
+  options.label = "par/sell_simd_multiply";
+  const simd::SellSlicesFn fn = slices_fn_;
+  const simd::SellView view = view_;
+  par::ParallelFor(0, view_.num_slices, options, [&](int64_t s0, int64_t s1) {
+    fn(view, x.data(), y->data(), s0, s1);
+  });
+}
+
+}  // namespace tilespmv

@@ -1,0 +1,76 @@
+#ifndef TILESPMV_KERNELS_CPU_SELL_SIMD_H_
+#define TILESPMV_KERNELS_CPU_SELL_SIMD_H_
+
+#include <vector>
+
+#include "kernels/cpu_csr.h"
+#include "kernels/spmv.h"
+#include "simd/caps.h"
+#include "simd/kernels.h"
+#include "sparse/permute.h"
+
+namespace tilespmv {
+
+/// Host SELL-C-sigma ("cpu-sell-simd"): sigma-window length sort, then real
+/// sliced column-major storage with C = the SIMD lane width, executed by
+/// the simd::SellSlices* kernels — lane = row, so vector execution keeps
+/// every row's accumulation in CSR entry order.
+///
+/// Bitwise class: the output (in internal, sorted index space) is
+/// bit-for-bit the scalar reference run over the sorted matrix, at every
+/// tier and thread count. Ended-row lanes are preserved with a blend /
+/// masked add, never an add-of-zero. The tier — and with it the chunk
+/// height C — is frozen at Setup().
+class SellSimdKernel : public SpMVKernel {
+ public:
+  SellSimdKernel(const gpusim::DeviceSpec& spec, int32_t sigma,
+                 const CpuSpec& cpu)
+      : SpMVKernel(spec), sigma_(sigma), cpu_(cpu),
+        tier_(simd::ResolvedTier()) {}
+  explicit SellSimdKernel(const gpusim::DeviceSpec& spec)
+      : SellSimdKernel(spec, 8192, CpuSpec{}) {}
+
+  std::string_view name() const override { return "cpu-sell-simd"; }
+  std::string_view backend() const override { return "host"; }
+  DeterminismClass determinism() const override {
+    return DeterminismClass::kBitwise;
+  }
+  std::string_view simd_tier() const override {
+    return simd::TierName(tier_);
+  }
+
+  Status Setup(const CsrMatrix& a) override;
+  void Multiply(const std::vector<float>& x,
+                std::vector<float>* y) const override;
+
+  const Permutation& row_permutation() const override { return row_perm_; }
+  const Permutation& col_permutation() const override { return col_perm_; }
+
+  simd::Tier tier() const { return tier_; }
+  int chunk_rows() const { return view_.c; }
+  /// Padded slots / nnz overhead of the sliced storage.
+  int64_t padded_slots() const {
+    return view_.num_slices == 0 ? 0 : slice_off_.back();
+  }
+
+ private:
+  int32_t sigma_;
+  CpuSpec cpu_;
+  simd::Tier tier_;
+  simd::SellSlicesFn slices_fn_ = &simd::SellSlicesScalar;
+
+  Permutation row_perm_;  // new -> old, sigma-window sorted.
+  Permutation col_perm_;  // Same as row_perm_ for square inputs.
+
+  // Sliced storage backing simd::SellView (see simd/kernels.h layout).
+  std::vector<int64_t> slice_off_;
+  std::vector<int32_t> slice_width_;
+  std::vector<int32_t> active_;
+  std::vector<int32_t> sell_cols_;  // Base class owns rows_/cols_ scalars.
+  std::vector<float> sell_vals_;
+  simd::SellView view_;
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_KERNELS_CPU_SELL_SIMD_H_

@@ -3,6 +3,8 @@
 #include "core/tile_composite.h"
 #include "core/tile_coo.h"
 #include "kernels/cpu_csr.h"
+#include "kernels/cpu_csr_simd.h"
+#include "kernels/cpu_sell_simd.h"
 #include "kernels/spmv_coo.h"
 #include "kernels/spmv_csr_scalar.h"
 #include "kernels/spmv_csr5.h"
@@ -18,6 +20,10 @@
 namespace tilespmv {
 
 const Permutation SpMVKernel::kIdentityPerm = {};
+
+const char* DeterminismClassName(DeterminismClass c) {
+  return c == DeterminismClass::kBitwise ? "bitwise" : "tolerance";
+}
 
 void MultiplyOriginal(const SpMVKernel& kernel, const std::vector<float>& x,
                       std::vector<float>* y) {
@@ -43,6 +49,8 @@ void MultiplyOriginal(const SpMVKernel& kernel, const std::vector<float>& x,
 std::unique_ptr<SpMVKernel> CreateKernel(std::string_view name,
                                          const gpusim::DeviceSpec& spec) {
   if (name == "cpu-csr") return std::make_unique<CpuCsrKernel>(spec);
+  if (name == "cpu-csr-simd") return std::make_unique<CsrSimdKernel>(spec);
+  if (name == "cpu-sell-simd") return std::make_unique<SellSimdKernel>(spec);
   if (name == "csr") return std::make_unique<CsrScalarKernel>(spec);
   if (name == "csr-vector") return std::make_unique<CsrVectorKernel>(spec);
   if (name == "bsk-bdw") return std::make_unique<BskBdwKernel>(spec);
@@ -62,10 +70,22 @@ std::unique_ptr<SpMVKernel> CreateKernel(std::string_view name,
 
 const std::vector<std::string>& AllKernelNames() {
   static const std::vector<std::string>* kNames = new std::vector<std::string>{
-      "cpu-csr",   "csr",  "csr-vector", "bsk-bdw", "coo",
+      "cpu-csr",   "cpu-csr-simd", "cpu-sell-simd",
+      "csr",  "csr-vector", "bsk-bdw", "coo",
       "ell",       "hyb",  "dia",        "pkt",     "merge-csr",
       "csr5",      "sell-c-sigma", "tile-coo", "tile-composite"};
   return *kNames;
+}
+
+const std::vector<std::string>& HostKernelNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "cpu-csr", "cpu-csr-simd", "cpu-sell-simd"};
+  return *kNames;
+}
+
+std::string SimdHostKernelFor(std::string_view name) {
+  if (name == "cpu-csr") return "cpu-csr-simd";
+  return "";
 }
 
 const std::vector<std::string>& GpuKernelNames() {

@@ -48,6 +48,22 @@ struct KernelTiming {
   }
 };
 
+/// How a kernel's numeric output relates to the sequential scalar reference
+/// loop (`CsrMultiply` at one thread). Every in-tree kernel is
+/// deterministic — identical output run-to-run and at every thread count —
+/// the class says whether that fixed result is also bit-for-bit the scalar
+/// one. See docs/SIMD.md for the per-kernel contracts.
+enum class DeterminismClass {
+  /// Bit-for-bit equal to the serial scalar reference.
+  kBitwise,
+  /// Uses a different fixed summation order (e.g. a SIMD partial-sum tree),
+  /// so agreement with the reference is tolerance-checked, not bitwise.
+  kTolerance,
+};
+
+/// "bitwise" | "tolerance".
+const char* DeterminismClassName(DeterminismClass c);
+
 /// An SpMV kernel: a storage format plus an execution strategy. Setup()
 /// builds the (modeled) device data structures from a host CSR matrix and
 /// walks the execution once to derive `timing()` — the cost of one multiply
@@ -93,6 +109,22 @@ class SpMVKernel {
   /// Modeled cost of one Multiply() call.
   const KernelTiming& timing() const { return timing_; }
 
+  /// Execution backend for listings and plan metadata: "host" for kernels
+  /// whose Multiply() *is* the wall-clock serving path, "gpusim" for the
+  /// paper's modeled device formats (they too execute on the host, but
+  /// their timing() represents the simulated GPU).
+  virtual std::string_view backend() const { return "gpusim"; }
+
+  /// Relationship of Multiply() to the serial scalar reference.
+  virtual DeterminismClass determinism() const {
+    return DeterminismClass::kBitwise;
+  }
+
+  /// SIMD tier frozen into this kernel's plan ("none" for scalar kernels;
+  /// SIMD-aware kernels resolve it at Setup and report "scalar" / "avx2" /
+  /// "avx512").
+  virtual std::string_view simd_tier() const { return "none"; }
+
   /// new -> old row relabeling applied by Setup (empty = identity).
   virtual const Permutation& row_permutation() const { return kIdentityPerm; }
   /// new -> old column relabeling applied by Setup (empty = identity).
@@ -115,18 +147,28 @@ class SpMVKernel {
 void MultiplyOriginal(const SpMVKernel& kernel, const std::vector<float>& x,
                       std::vector<float>* y);
 
-/// Creates a kernel by name. Known names: "cpu-csr", "csr", "csr-vector",
-/// "bsk-bdw", "coo", "ell", "hyb", "dia", "pkt", "merge-csr" (retrospective
-/// Merrill-Garland baseline), "tile-coo", "tile-composite". Returns nullptr
-/// for unknown names.
+/// Creates a kernel by name. Known names: "cpu-csr", "cpu-csr-simd",
+/// "cpu-sell-simd", "csr", "csr-vector", "bsk-bdw", "coo", "ell", "hyb",
+/// "dia", "pkt", "merge-csr" (retrospective Merrill-Garland baseline),
+/// "tile-coo", "tile-composite". Returns nullptr for unknown names.
 std::unique_ptr<SpMVKernel> CreateKernel(std::string_view name,
                                          const gpusim::DeviceSpec& spec);
 
 /// All kernel names, in the order the paper's figures list them.
 const std::vector<std::string>& AllKernelNames();
 
-/// The GPU kernel names (AllKernelNames minus "cpu-csr").
+/// The GPU kernel names (AllKernelNames minus the host kernels).
 const std::vector<std::string>& GpuKernelNames();
+
+/// The host-backend kernels — the ones whose Multiply() is the real
+/// wall-clock serving path: "cpu-csr" and the SIMD variants.
+const std::vector<std::string>& HostKernelNames();
+
+/// The SIMD-accelerated sibling of a host kernel ("cpu-csr" ->
+/// "cpu-csr-simd"), or "" when `name` has none. The serving engine uses
+/// this to upgrade host-kernel requests when the resolved SIMD tier is
+/// above scalar (EngineOptions::prefer_simd_host).
+std::string SimdHostKernelFor(std::string_view name);
 
 }  // namespace tilespmv
 

@@ -93,7 +93,9 @@ std::string QueryRecord::ToJson() const {
   out += coalesced ? "true" : "false";
   out += ",\"plan_cache_hit\":";
   out += plan_cache_hit ? "true" : "false";
-  out += ",\"batch_size\":";
+  out += ",\"simd_tier\":\"";
+  out += JsonEscape(simd_tier);
+  out += "\",\"batch_size\":";
   out += std::to_string(batch_size);
   out += ",\"panel_width\":";
   out += std::to_string(panel_width);

@@ -66,6 +66,9 @@ struct QueryRecord {
   bool deduped = false;     ///< Answered by an identical in-flight leader.
   bool coalesced = false;   ///< Served from a coalesced RWR batch.
   bool plan_cache_hit = false;
+  /// SIMD tier of the plan's kernel ("none" when the query never reached a
+  /// plan or the kernel is a modeled device format).
+  std::string simd_tier = "none";
   int batch_size = 1;       ///< Queries in the coalesced batch (1 = alone).
   /// SpMM panel placement (batched RWR on a blocked plan): the panel width
   /// the query's column actually swept at, and its column index within that

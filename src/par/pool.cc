@@ -32,6 +32,18 @@ struct ThreadPool::Region {
   Chunking chunking = Chunking::kStatic;
   int64_t total = 0;
   int participants = 1;
+  int64_t range_begin = 0;  ///< Origin for align-relative boundaries.
+  int64_t align = 1;
+
+  /// Rounds a prospective chunk boundary down to `range_begin + k * align`.
+  /// Callers clamp the result back into their interval, so an aligned
+  /// interval start plus this rounding keeps every boundary aligned by
+  /// induction.
+  int64_t AlignDown(int64_t pos) const {
+    if (align <= 1) return pos;
+    int64_t rel = pos - range_begin;
+    return range_begin + rel - rel % align;
+  }
 
   /// Guided chunking: one shared cursor over [cursor, end).
   std::atomic<int64_t> cursor{0};
@@ -69,10 +81,17 @@ struct ThreadPool::Region {
         int64_t remaining = end - cur;
         int64_t k = std::max(grain, remaining / (2 * participants));
         k = std::min(k, remaining);
-        if (cursor.compare_exchange_weak(cur, cur + k,
+        int64_t next = cur + k;
+        if (next < end) {
+          next = AlignDown(next);
+          // An aligned cut at or before `cur` would make the chunk empty;
+          // take one whole block instead (clamped to the range end).
+          if (next <= cur) next = std::min(cur + align, end);
+        }
+        if (cursor.compare_exchange_weak(cur, next,
                                          std::memory_order_relaxed)) {
           *b = cur;
-          *e = cur + k;
+          *e = next;
           return true;
         }
       }
@@ -83,7 +102,12 @@ struct ThreadPool::Region {
       std::lock_guard<std::mutex> lock(own.mu);
       if (own.next < own.end) {
         *b = own.next;
-        *e = std::min(own.next + grain, own.end);
+        int64_t take = std::min(own.next + grain, own.end);
+        if (take < own.end) {
+          take = AlignDown(take);
+          if (take <= own.next) take = std::min(own.next + align, own.end);
+        }
+        *e = take;
         own.next = *e;
         return true;
       }
@@ -96,7 +120,9 @@ struct ThreadPool::Region {
       int64_t remaining = victim.end - victim.next;
       if (remaining <= 0) continue;
       int64_t k = std::min(remaining, std::max(grain, remaining / 2));
-      *b = victim.end - k;
+      int64_t cut = victim.end - k;
+      if (cut > victim.next) cut = std::max(AlignDown(cut), victim.next);
+      *b = cut;
       *e = victim.end;
       victim.end = *b;
       *stole = true;
@@ -287,15 +313,21 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
   region.chunking = options.chunking;
   region.total = n;
   region.participants = participants;
+  region.range_begin = begin;
+  region.align = std::max<int64_t>(1, options.align);
   if (options.chunking == Chunking::kGuided) {
     region.cursor.store(begin, std::memory_order_relaxed);
     region.end = end;
   } else {
     region.blocks.reserve(static_cast<size_t>(participants));
+    // Rounding each interior boundary down keeps the cuts monotone, so a
+    // boundary collision just yields an empty block.
     for (int i = 0; i < participants; ++i) {
       auto block = std::make_unique<Region::Block>();
-      block->next = begin + n * i / participants;
-      block->end = begin + n * (i + 1) / participants;
+      block->next = i == 0 ? begin : region.AlignDown(begin + n * i / participants);
+      block->end = i == participants - 1
+                       ? end
+                       : region.AlignDown(begin + n * (i + 1) / participants);
       region.blocks.push_back(std::move(block));
     }
   }

@@ -33,6 +33,11 @@ struct LoopOptions {
   Chunking chunking = Chunking::kStatic;
   /// Span label recorded when tracing is enabled ("par/<site>" convention).
   const char* label = nullptr;
+  /// Every chunk boundary except the range ends lands on
+  /// `begin + k * align`. SIMD kernels that process fixed-height row blocks
+  /// (SELL chunks, vector-width row groups) set this to the block height so
+  /// no block is ever split across participants. 1 = no constraint.
+  int64_t align = 1;
 };
 
 /// Cumulative pool activity, exported to the obs metrics registry and

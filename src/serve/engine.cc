@@ -7,6 +7,7 @@
 #include "graph/hits.h"
 #include "graph/pagerank.h"
 #include "obs/trace.h"
+#include "simd/caps.h"
 #include "sparse/convert.h"
 #include "util/timer.h"
 
@@ -98,6 +99,9 @@ Engine::Engine(const EngineOptions& options)
     options_.spmm_block_cols = spmm::LargestBlockColsAtMost(
         std::min(options_.spmm_block_cols, spmm::kMaxBlockCols));
   }
+  // The resolved SIMD tier is plan metadata: surface it (and the per-tier
+  // availability gauges) in this engine's metrics export from the start.
+  simd::PublishMetrics(stats_.registry());
   workers_.reserve(static_cast<size_t>(options_.num_threads));
   for (int i = 0; i < options_.num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -163,6 +167,14 @@ std::future<QueryResponse> Engine::Submit(const std::string& graph,
   }
   if (CreateKernel(resolved.kernel, spec) == nullptr) {
     return reject(Status::InvalidArgument("unknown kernel " + resolved.kernel));
+  }
+  // Host fast path: upgrade to the SIMD sibling before the name reaches the
+  // plan cache / dedup keys / coalescing buckets, so every consumer of the
+  // resolved name agrees on the variant actually served.
+  if (options_.prefer_simd_host &&
+      simd::ResolvedTier() != simd::Tier::kScalar) {
+    std::string simd_name = SimdHostKernelFor(resolved.kernel);
+    if (!simd_name.empty()) resolved.kernel = std::move(simd_name);
   }
   if (kind == QueryKind::kRwr &&
       (resolved.node < 0 || resolved.node >= entry->matrix.rows)) {
@@ -275,6 +287,7 @@ ServerStatsSnapshot Engine::stats() const {
   s.flight_dumps = journal_.dumped_total();
   s.journal_records = journal_.size();
   s.journal_dropped = journal_.dropped();
+  s.simd_tier = simd::TierName(simd::ResolvedTier());
   return s;
 }
 
@@ -295,6 +308,8 @@ std::string Engine::MetricsText() const {
       ->Set(static_cast<double>(cache.entries));
   registry->GetGauge("tilespmv_serve_uptime_seconds", "Engine uptime")
       ->Set(stats_.Snapshot().uptime_seconds);
+  // Refresh: a --simd override or env change between engines re-resolves.
+  simd::PublishMetrics(registry);
   return registry->ToPrometheusText();
 }
 
@@ -447,6 +462,7 @@ void Engine::ExecuteSingle(const std::shared_ptr<Request>& request) {
   }
   response.plan_cache_hit = cache_hit;
   response.plan_build_seconds = build_seconds;
+  response.simd_tier = std::string(plan.value()->kernel->simd_tier());
 
   const QueryParams& p = request->params;
   switch (request->kind) {
@@ -593,6 +609,7 @@ void Engine::FlushBatch(const Task& task) {
   }
 
   const int batch_size = static_cast<int>(live.size());
+  const std::string batch_simd_tier(plan.value()->kernel->simd_tier());
   stats_.RecordRwrBatch(batch_size);
   if (exec.sweeps > 0 && exec.blocked) {
     stats_.RecordSpmmExecution(exec.sweeps, exec.vectors);
@@ -613,6 +630,7 @@ void Engine::FlushBatch(const Task& task) {
     response.stats = std::move(results.value()[i].stats);
     response.plan_cache_hit = cache_hit;
     response.plan_build_seconds = i == 0 ? build_seconds : 0.0;
+    response.simd_tier = batch_simd_tier;
     response.batch_size = batch_size;
     response.queue_seconds = SecondsBetween(sub->enqueue_time, start);
     if (exec.blocked && i < exec.queries.size()) {
@@ -696,6 +714,7 @@ void Engine::RecordOutcome(QueryResponse* response,
   record.deduped = response->deduped;
   record.coalesced = timing.coalesced;
   record.plan_cache_hit = response->plan_cache_hit;
+  record.simd_tier = response->simd_tier;
   record.batch_size = response->batch_size;
   record.panel_width = response->panel_width;
   record.panel_column = response->panel_column;
@@ -723,6 +742,7 @@ void Engine::RecordOutcome(QueryResponse* response,
                     obs::QueryStageName(i), stages.seconds[i] * 1e3);
       args += buf;
     }
+    args += ",\"simd_tier\":\"" + record.simd_tier + '"';
     args += ",\"batch_size\":" + std::to_string(record.batch_size);
     args += ",\"panel_width\":" + std::to_string(record.panel_width);
     args += ",\"panel_column\":" + std::to_string(record.panel_column);

@@ -54,6 +54,12 @@ struct EngineOptions {
   int spmm_block_cols = 0;
   std::string default_kernel = "tile-composite";
   std::string default_device = "c1060";
+  /// Upgrade host-kernel requests ("cpu-csr") to their SIMD sibling
+  /// (SimdHostKernelFor) when simd::ResolvedTier() is above scalar. The
+  /// upgrade happens at Submit resolution, so the plan cache, dedup keys
+  /// and coalescing buckets all see the upgraded name. Off = serve exactly
+  /// the kernel the request named.
+  bool prefer_simd_host = true;
   /// Query-journal ring capacity (finished-request records retained).
   size_t query_journal_capacity = 4096;
   /// Flight recorder: dump the full stage breakdown of any request whose

@@ -46,6 +46,10 @@ struct QueryResponse {
   IterativeResult stats;         ///< Iterations + modeled time (result empty).
 
   bool plan_cache_hit = false;  ///< Plan served from cache (no preprocessing).
+  /// SIMD tier frozen into the plan's kernel ("scalar"/"avx2"/"avx512" for
+  /// host kernels, "none" for modeled device kernels or when no plan was
+  /// reached).
+  std::string simd_tier = "none";
   bool deduped = false;   ///< Answered by an identical in-flight computation.
   int batch_size = 1;     ///< >1 when served from a coalesced RWR batch.
   double queue_seconds = 0.0;       ///< Time spent waiting for a worker.

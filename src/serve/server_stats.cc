@@ -176,13 +176,15 @@ std::string ServerStatsSnapshot::ToJson() const {
                   stage_p95_ms[i], stage_p99_ms[i]);
     out += stage_buf;
   }
-  char tail[192];
+  char tail[256];
   std::snprintf(tail, sizeof(tail),
                 "}, \"flight_recorder\": {\"dumps\": %llu, "
-                "\"journal_records\": %llu, \"journal_dropped\": %llu}}",
+                "\"journal_records\": %llu, \"journal_dropped\": %llu}, "
+                "\"simd_tier\": \"%s\"}",
                 static_cast<unsigned long long>(flight_dumps),
                 static_cast<unsigned long long>(journal_records),
-                static_cast<unsigned long long>(journal_dropped));
+                static_cast<unsigned long long>(journal_dropped),
+                simd_tier.c_str());
   out += tail;
   return out;
 }

@@ -57,6 +57,9 @@ struct ServerStatsSnapshot {
   uint64_t flight_dumps = 0;     ///< Deadline-miss / slow-query dumps taken.
   uint64_t journal_records = 0;  ///< Records currently retained.
   uint64_t journal_dropped = 0;  ///< Records lost to ring wrap-around.
+  /// Host SIMD tier host-kernel plans resolve at (simd::ResolvedTier),
+  /// filled by Engine::stats(): "scalar" | "avx2" | "avx512".
+  std::string simd_tier = "scalar";
 
   std::string ToJson() const;
 };

@@ -1,0 +1,154 @@
+#include "simd/caps.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace tilespmv::simd {
+namespace {
+
+/// -1 = no override; otherwise the Tier forced by SetTierOverride.
+std::atomic<int> g_override{-1};
+
+Tier DetectFromCpu(const Caps& caps) { return caps.best(); }
+
+/// Env request, parsed once. Invalid spellings fall back to auto; requests
+/// the host cannot satisfy clamp down to the best runnable tier.
+Tier EnvOrAutoTier() {
+  static const Tier cached = [] {
+    const Caps& caps = DetectCaps();
+    if (const char* env = std::getenv("TILESPMV_SIMD")) {
+      Result<Tier> parsed = ParseTier(env);
+      if (parsed.ok()) {
+        Tier want = parsed.value();
+        while (!caps.Supports(want)) {
+          want = static_cast<Tier>(static_cast<int>(want) - 1);
+        }
+        return want;
+      }
+    }
+    return DetectFromCpu(caps);
+  }();
+  return cached;
+}
+
+}  // namespace
+
+const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+int LaneWidth(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return 1;
+    case Tier::kAvx2:
+      return 8;
+    case Tier::kAvx512:
+      return 16;
+  }
+  return 1;
+}
+
+Result<Tier> ParseTier(const std::string& text) {
+  if (text == "off" || text == "scalar") return Tier::kScalar;
+  if (text == "avx2") return Tier::kAvx2;
+  if (text == "avx512") return Tier::kAvx512;
+  if (text == "auto") return DetectCaps().best();
+  return Status::InvalidArgument(
+      "unknown SIMD tier '" + text + "' (want off|scalar|avx2|avx512|auto)");
+}
+
+Tier Caps::best() const {
+  if (avx512 && compiled_avx512) return Tier::kAvx512;
+  if (avx2 && compiled_avx2) return Tier::kAvx2;
+  return Tier::kScalar;
+}
+
+bool Caps::Supports(Tier t) const {
+  switch (t) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+      return avx2 && compiled_avx2;
+    case Tier::kAvx512:
+      return avx512 && compiled_avx512;
+  }
+  return false;
+}
+
+const Caps& DetectCaps() {
+  static const Caps caps = [] {
+    Caps c;
+#if defined(TILESPMV_HAVE_AVX2)
+    c.compiled_avx2 = true;
+#endif
+#if defined(TILESPMV_HAVE_AVX512)
+    c.compiled_avx512 = true;
+#endif
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    // The AVX2 CSR kernel uses FMA intrinsics, so both bits are required.
+    c.avx2 = __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    // The f32 kernels use masked ops (VL/BW/DQ), not just the F foundation.
+    c.avx512 = __builtin_cpu_supports("avx512f") &&
+               __builtin_cpu_supports("avx512dq") &&
+               __builtin_cpu_supports("avx512bw") &&
+               __builtin_cpu_supports("avx512vl");
+#endif
+    return c;
+  }();
+  return caps;
+}
+
+Tier ResolvedTier() {
+  int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Tier>(forced);
+  return EnvOrAutoTier();
+}
+
+Status SetTierOverride(Tier t) {
+  if (!DetectCaps().Supports(t)) {
+    return Status::InvalidArgument(
+        std::string("SIMD tier '") + TierName(t) +
+        "' is not available on this host/binary (best: " +
+        TierName(DetectCaps().best()) + ")");
+  }
+  g_override.store(static_cast<int>(t), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ClearTierOverride() {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+void PublishMetrics(obs::MetricsRegistry* into) {
+  obs::MetricsRegistry& registry =
+      into != nullptr ? *into : obs::MetricsRegistry::Global();
+  registry
+      .GetGauge("tilespmv_simd_tier",
+                "Resolved host SIMD tier (0=scalar 1=avx2 2=avx512)")
+      ->Set(static_cast<double>(static_cast<int>(ResolvedTier())));
+  const Caps& caps = DetectCaps();
+  registry
+      .GetGauge("tilespmv_simd_avx2_available",
+                "1 when the AVX2 kernels are compiled in and the CPU "
+                "reports AVX2")
+      ->Set(caps.Supports(Tier::kAvx2) ? 1.0 : 0.0);
+  registry
+      .GetGauge("tilespmv_simd_avx512_available",
+                "1 when the AVX-512 kernels are compiled in and the CPU "
+                "reports AVX-512 F+DQ+BW+VL")
+      ->Set(caps.Supports(Tier::kAvx512) ? 1.0 : 0.0);
+}
+
+}  // namespace tilespmv::simd

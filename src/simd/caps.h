@@ -1,0 +1,71 @@
+#ifndef TILESPMV_SIMD_CAPS_H_
+#define TILESPMV_SIMD_CAPS_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace tilespmv::obs {
+class MetricsRegistry;
+}  // namespace tilespmv::obs
+
+namespace tilespmv::simd {
+
+/// Host vector ISA tier a kernel can execute at. Ordered: a higher tier
+/// strictly implies the lower ones, so clamping down is always safe.
+enum class Tier {
+  kScalar = 0,  ///< Portable reference path — always available.
+  kAvx2 = 1,    ///< 8 x f32 lanes (AVX2 + FMA-capable hardware; see SIMD.md).
+  kAvx512 = 2,  ///< 16 x f32 lanes (requires F + DQ + BW + VL).
+};
+
+/// "scalar" | "avx2" | "avx512".
+const char* TierName(Tier t);
+
+/// f32 lanes per vector register at `t`: 1 / 8 / 16.
+int LaneWidth(Tier t);
+
+/// Parses a tier spelling. Accepts "off" and "scalar" (both -> kScalar),
+/// "avx2", "avx512", and "auto" (-> best available).
+Result<Tier> ParseTier(const std::string& text);
+
+/// What this host and this binary can run.
+struct Caps {
+  bool avx2 = false;            ///< CPU reports AVX2.
+  bool avx512 = false;          ///< CPU reports AVX-512 F+DQ+BW+VL.
+  bool compiled_avx2 = false;   ///< Binary contains the AVX2 kernels.
+  bool compiled_avx512 = false; ///< Binary contains the AVX-512 kernels.
+
+  /// Highest tier both detected on the CPU and compiled into the binary.
+  Tier best() const;
+  /// True when `t` is runnable here (scalar always is).
+  bool Supports(Tier t) const;
+};
+
+/// cpuid-backed capability probe; detection runs once and is cached.
+const Caps& DetectCaps();
+
+/// The tier SIMD-aware kernels freeze into their plan at Setup() time.
+/// Precedence: SetTierOverride() (spmv_cli --simd=) > the TILESPMV_SIMD
+/// env var > auto-detection. Env requests above the host's capability are
+/// clamped down (so TILESPMV_SIMD=avx512 degrades gracefully on an AVX2
+/// CI runner); an unparsable env value is ignored. Explicit overrides are
+/// validated strictly by SetTierOverride instead.
+Tier ResolvedTier();
+
+/// Forces ResolvedTier() to `t`. Fails (kInvalidArgument) when the host or
+/// the binary cannot run `t`; kScalar is always accepted.
+Status SetTierOverride(Tier t);
+
+/// Reverts SetTierOverride; ResolvedTier() falls back to env/auto.
+void ClearTierOverride();
+
+/// Publishes tilespmv_simd_tier (0=scalar 1=avx2 2=avx512) and the
+/// per-tier availability gauges to `registry` (nullptr = the global
+/// registry). The serving engine refreshes these into its own registry so
+/// the /metrics export carries the tier its plans resolve at.
+void PublishMetrics(obs::MetricsRegistry* registry = nullptr);
+
+}  // namespace tilespmv::simd
+
+#endif  // TILESPMV_SIMD_CAPS_H_

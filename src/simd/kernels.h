@@ -1,0 +1,100 @@
+#ifndef TILESPMV_SIMD_KERNELS_H_
+#define TILESPMV_SIMD_KERNELS_H_
+
+#include <cstdint>
+
+#include "simd/caps.h"
+
+namespace tilespmv::simd {
+
+/// CSR row-range kernel: y[r] = dot(row r of A, x) for r in [r0, r1).
+///
+/// Determinism: the vector tiers accumulate each row in LaneWidth partial
+/// sums combined by a fixed pairwise tree (and use FMA inside the body), so
+/// for a given tier the result is identical at every thread count and on
+/// every run — but NOT bitwise-equal to the sequential scalar sum. Kernels
+/// built on this are tolerance class (docs/SIMD.md).
+using CsrRowsFn = void (*)(const int64_t* row_ptr, const int32_t* col_idx,
+                           const float* values, const float* x, float* y,
+                           int64_t r0, int64_t r1);
+
+/// SpMM panel micro-kernel over a row-major-interleaved dense panel of
+/// width k (1..16): y[r*k + j] = sum_e values[e] * x[col_idx[e]*k + j].
+///
+/// Determinism: the matrix value is broadcast across the panel row and
+/// combined with separate mul and add ops (never contracted to FMA), so the
+/// per-lane operation order matches the scalar panel loop exactly — every
+/// tier is bitwise identical to scalar.
+using SpmmRowsFn = void (*)(const int64_t* row_ptr, const int32_t* col_idx,
+                            const float* values, const float* x, float* y,
+                            int k, int64_t r0, int64_t r1);
+
+/// SELL-C slice storage view (built by SellSimdKernel::Setup). Rows are
+/// grouped into slices of `c` consecutive rows; within a slice the storage
+/// is column-major — entry (lane, j) of slice s lives at
+/// slice_off[s] + j*c + lane — padded to the slice's widest row. Rows
+/// inside a slice are sorted by descending length (the sigma window sort),
+/// so the lanes still active at column j form a prefix whose length is
+/// active[slice_off[s]/c + j]. Padding lanes carry col 0 / value 0 but are
+/// never active.
+struct SellView {
+  int c = 1;              ///< Slice height (= LaneWidth of the build tier).
+  int32_t rows = 0;       ///< Logical rows (last slice may be partial).
+  int64_t num_slices = 0;
+  const int64_t* slice_off = nullptr;    ///< num_slices + 1 entry offsets.
+  const int32_t* slice_width = nullptr;  ///< Padded row length per slice.
+  const int32_t* active = nullptr;       ///< Active lane count per column.
+  const int32_t* cols = nullptr;
+  const float* vals = nullptr;
+};
+
+/// SELL slice-range kernel: computes y for the rows of slices [s0, s1).
+///
+/// Determinism: lane = row, so each row's accumulation order equals its
+/// storage (CSR entry) order; inactive lanes are preserved with a blend /
+/// masked add, never an add-of-zero. Every tier is bitwise identical to
+/// the scalar reference. Vector tiers require m.c == LaneWidth(tier).
+using SellSlicesFn = void (*)(const SellView& m, const float* x, float* y,
+                              int64_t s0, int64_t s1);
+
+/// Dispatch: the best implementation for `t`, falling back to scalar when
+/// the tier's translation unit is compiled out of this binary.
+CsrRowsFn CsrRowsForTier(Tier t);
+SpmmRowsFn SpmmRowsForTier(Tier t);
+SellSlicesFn SellSlicesForTier(Tier t);
+
+// Per-ISA entry points (internal; use the ForTier dispatchers). Each lives
+// in a translation unit compiled with that ISA's flags and
+// -ffp-contract=off, so the bitwise contracts above survive optimization.
+void CsrRowsScalar(const int64_t* row_ptr, const int32_t* col_idx,
+                   const float* values, const float* x, float* y, int64_t r0,
+                   int64_t r1);
+void SpmmRowsScalar(const int64_t* row_ptr, const int32_t* col_idx,
+                    const float* values, const float* x, float* y, int k,
+                    int64_t r0, int64_t r1);
+void SellSlicesScalar(const SellView& m, const float* x, float* y, int64_t s0,
+                      int64_t s1);
+#if defined(TILESPMV_HAVE_AVX2)
+void CsrRowsAvx2(const int64_t* row_ptr, const int32_t* col_idx,
+                 const float* values, const float* x, float* y, int64_t r0,
+                 int64_t r1);
+void SpmmRowsAvx2(const int64_t* row_ptr, const int32_t* col_idx,
+                  const float* values, const float* x, float* y, int k,
+                  int64_t r0, int64_t r1);
+void SellSlicesAvx2(const SellView& m, const float* x, float* y, int64_t s0,
+                    int64_t s1);
+#endif
+#if defined(TILESPMV_HAVE_AVX512)
+void CsrRowsAvx512(const int64_t* row_ptr, const int32_t* col_idx,
+                   const float* values, const float* x, float* y, int64_t r0,
+                   int64_t r1);
+void SpmmRowsAvx512(const int64_t* row_ptr, const int32_t* col_idx,
+                    const float* values, const float* x, float* y, int k,
+                    int64_t r0, int64_t r1);
+void SellSlicesAvx512(const SellView& m, const float* x, float* y, int64_t s0,
+                      int64_t s1);
+#endif
+
+}  // namespace tilespmv::simd
+
+#endif  // TILESPMV_SIMD_KERNELS_H_

@@ -1,0 +1,237 @@
+// AVX2 (8 x f32) implementations. Compiled with -mavx2 -mfma
+// -ffp-contract=off: FMA is used only where written explicitly (the
+// tolerance-class CSR dot products), never injected by the compiler into
+// the bitwise-contract kernels (SpMM panels, SELL slices).
+#include "simd/kernels.h"
+
+#if defined(TILESPMV_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace tilespmv::simd {
+namespace {
+
+/// Fixed pairwise reduction tree over 8 lanes:
+/// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)). The tree shape is part of the
+/// kernel's determinism contract — it never varies with row length or
+/// thread count.
+inline float Hsum8(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);                 // lane i + lane i+4
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));        // + lane i+2
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));  // + lane 1
+  return _mm_cvtss_f32(s);
+}
+
+/// masks[n] has the low n 32-bit lanes all-ones — the maskload/maskstore
+/// and blend operand for an n-lane prefix.
+inline __m256i PrefixMask(int n) {
+  alignas(32) static const int32_t kRows[9][8] = {
+      {0, 0, 0, 0, 0, 0, 0, 0},
+      {-1, 0, 0, 0, 0, 0, 0, 0},
+      {-1, -1, 0, 0, 0, 0, 0, 0},
+      {-1, -1, -1, 0, 0, 0, 0, 0},
+      {-1, -1, -1, -1, 0, 0, 0, 0},
+      {-1, -1, -1, -1, -1, 0, 0, 0},
+      {-1, -1, -1, -1, -1, -1, 0, 0},
+      {-1, -1, -1, -1, -1, -1, -1, 0},
+      {-1, -1, -1, -1, -1, -1, -1, -1},
+  };
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(kRows[n]));
+}
+
+}  // namespace
+
+void CsrRowsAvx2(const int64_t* row_ptr, const int32_t* col_idx,
+                 const float* values, const float* x, float* y, int64_t r0,
+                 int64_t r1) {
+  for (int64_t r = r0; r < r1; ++r) {
+    const int64_t b = row_ptr[r];
+    const int64_t e = row_ptr[r + 1];
+    const int64_t n = e - b;
+    // Degree 0..8 — the bulk of a power-law distribution — is one masked
+    // lane-parallel pass with no inner branch: consecutive rows have no data
+    // dependency, so their gathers and reduction trees pipeline across loop
+    // iterations instead of serializing on a per-element scalar chain.
+    if (n <= 8) {
+      const __m256i mask = PrefixMask(static_cast<int>(n));
+      const __m256i c = _mm256_maskload_epi32(col_idx + b, mask);
+      const __m256 g = _mm256_mask_i32gather_ps(
+          _mm256_setzero_ps(), x, c, _mm256_castsi256_ps(mask), 4);
+      y[r] = Hsum8(_mm256_mul_ps(_mm256_maskload_ps(values + b, mask), g));
+      continue;
+    }
+    // Degree 9..16: one full vector plus one masked remainder, still
+    // branch-free inside the row.
+    if (n <= 16) {
+      const __m256i c0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col_idx + b));
+      __m256 acc = _mm256_mul_ps(_mm256_loadu_ps(values + b),
+                                 _mm256_i32gather_ps(x, c0, 4));
+      const __m256i mask = PrefixMask(static_cast<int>(n - 8));
+      const __m256i c1 = _mm256_maskload_epi32(col_idx + b + 8, mask);
+      const __m256 g1 = _mm256_mask_i32gather_ps(
+          _mm256_setzero_ps(), x, c1, _mm256_castsi256_ps(mask), 4);
+      acc = _mm256_fmadd_ps(_mm256_maskload_ps(values + b + 8, mask), g1,
+                            acc);
+      y[r] = Hsum8(acc);
+      continue;
+    }
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    int64_t i = b;
+    // Two independent accumulators per 16 entries break the FP add latency
+    // chain that bounds the scalar loop.
+    for (; i + 16 <= e; i += 16) {
+      _mm_prefetch(reinterpret_cast<const char*>(col_idx + i) + 256,
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(values + i) + 256,
+                   _MM_HINT_T0);
+      if (i + 32 <= e) {
+        // Warm the x gathers one block ahead; two touches per block cover
+        // the common case of column locality within a row.
+        _mm_prefetch(reinterpret_cast<const char*>(x + col_idx[i + 16]),
+                     _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(x + col_idx[i + 24]),
+                     _MM_HINT_T0);
+      }
+      const __m256i c0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col_idx + i));
+      const __m256i c1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(col_idx + i + 8));
+      acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(values + i),
+                             _mm256_i32gather_ps(x, c0, 4), acc0);
+      acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(values + i + 8),
+                             _mm256_i32gather_ps(x, c1, 4), acc1);
+    }
+    for (; i + 8 <= e; i += 8) {
+      const __m256i c =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col_idx + i));
+      acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(values + i),
+                             _mm256_i32gather_ps(x, c, 4), acc0);
+    }
+    const int tail = static_cast<int>(e - i);
+    if (tail > 0) {
+      // Masked tail: maskload suppresses the out-of-row element loads and
+      // the masked gather only touches x for active lanes.
+      const __m256i mask = PrefixMask(tail);
+      const __m256i c = _mm256_maskload_epi32(col_idx + i, mask);
+      const __m256 g = _mm256_mask_i32gather_ps(
+          _mm256_setzero_ps(), x, c, _mm256_castsi256_ps(mask), 4);
+      acc1 = _mm256_fmadd_ps(_mm256_maskload_ps(values + i, mask), g, acc1);
+    }
+    y[r] = Hsum8(_mm256_add_ps(acc0, acc1));
+  }
+}
+
+void SpmmRowsAvx2(const int64_t* row_ptr, const int32_t* col_idx,
+                  const float* values, const float* x, float* y, int k,
+                  int64_t r0, int64_t r1) {
+  // Every arm pairs _mm*_mul_ps with _mm*_add_ps — with contraction off the
+  // per-lane order is exactly acc[j] += v * xs[j], keeping the panel
+  // bitwise identical to SpmmRowsScalar.
+  switch (k) {
+    case 16:
+      for (int64_t r = r0; r < r1; ++r) {
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        const int64_t e1 = row_ptr[r + 1];
+        for (int64_t e = row_ptr[r]; e < e1; ++e) {
+          if (e + 1 < e1) {
+            _mm_prefetch(reinterpret_cast<const char*>(
+                             x + static_cast<size_t>(col_idx[e + 1]) * 16),
+                         _MM_HINT_T0);
+          }
+          const __m256 v = _mm256_set1_ps(values[e]);
+          const float* xs = x + static_cast<size_t>(col_idx[e]) * 16;
+          acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(v, _mm256_loadu_ps(xs)));
+          acc1 =
+              _mm256_add_ps(acc1, _mm256_mul_ps(v, _mm256_loadu_ps(xs + 8)));
+        }
+        _mm256_storeu_ps(y + static_cast<size_t>(r) * 16, acc0);
+        _mm256_storeu_ps(y + static_cast<size_t>(r) * 16 + 8, acc1);
+      }
+      return;
+    case 8:
+      for (int64_t r = r0; r < r1; ++r) {
+        __m256 acc = _mm256_setzero_ps();
+        const int64_t e1 = row_ptr[r + 1];
+        for (int64_t e = row_ptr[r]; e < e1; ++e) {
+          if (e + 1 < e1) {
+            _mm_prefetch(reinterpret_cast<const char*>(
+                             x + static_cast<size_t>(col_idx[e + 1]) * 8),
+                         _MM_HINT_T0);
+          }
+          const __m256 v = _mm256_set1_ps(values[e]);
+          const float* xs = x + static_cast<size_t>(col_idx[e]) * 8;
+          acc = _mm256_add_ps(acc, _mm256_mul_ps(v, _mm256_loadu_ps(xs)));
+        }
+        _mm256_storeu_ps(y + static_cast<size_t>(r) * 8, acc);
+      }
+      return;
+    case 4:
+      for (int64_t r = r0; r < r1; ++r) {
+        __m128 acc = _mm_setzero_ps();
+        const int64_t e1 = row_ptr[r + 1];
+        for (int64_t e = row_ptr[r]; e < e1; ++e) {
+          const __m128 v = _mm_set1_ps(values[e]);
+          const float* xs = x + static_cast<size_t>(col_idx[e]) * 4;
+          acc = _mm_add_ps(acc, _mm_mul_ps(v, _mm_loadu_ps(xs)));
+        }
+        _mm_storeu_ps(y + static_cast<size_t>(r) * 4, acc);
+      }
+      return;
+    default:
+      // k = 1/2 (and any irregular width): the panel is too narrow for a
+      // vector register; the scalar loop is already the right shape.
+      SpmmRowsScalar(row_ptr, col_idx, values, x, y, k, r0, r1);
+      return;
+  }
+}
+
+void SellSlicesAvx2(const SellView& m, const float* x, float* y, int64_t s0,
+                    int64_t s1) {
+  if (m.c != 8) {
+    SellSlicesScalar(m, x, y, s0, s1);
+    return;
+  }
+  for (int64_t s = s0; s < s1; ++s) {
+    const int64_t off = m.slice_off[s];
+    const int32_t width = m.slice_width[s];
+    const int64_t active_base = off / 8;
+    const int64_t base_row = s * 8;
+    const int live =
+        static_cast<int>(base_row + 8 <= m.rows ? 8 : m.rows - base_row);
+    __m256 acc = _mm256_setzero_ps();
+    for (int32_t j = 0; j < width; ++j) {
+      const int64_t col_off = off + static_cast<int64_t>(j) * 8;
+      _mm_prefetch(reinterpret_cast<const char*>(m.cols + col_off) + 256,
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(m.vals + col_off) + 256,
+                   _MM_HINT_T0);
+      const int act = m.active[active_base + j];
+      const __m256i c = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(m.cols + col_off));
+      const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(m.vals + col_off),
+                                        _mm256_i32gather_ps(x, c, 4));
+      if (act == 8) {
+        acc = _mm256_add_ps(acc, prod);
+      } else {
+        // Blend after the add: lanes whose row ended before column j keep
+        // their accumulator bit-for-bit (an add of +0.0 would flip -0.0).
+        acc = _mm256_blendv_ps(acc, _mm256_add_ps(acc, prod),
+                               _mm256_castsi256_ps(PrefixMask(act)));
+      }
+    }
+    if (live == 8) {
+      _mm256_storeu_ps(y + base_row, acc);
+    } else {
+      _mm256_maskstore_ps(y + base_row, PrefixMask(live), acc);
+    }
+  }
+}
+
+}  // namespace tilespmv::simd
+
+#endif  // TILESPMV_HAVE_AVX2

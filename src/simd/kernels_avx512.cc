@@ -1,0 +1,195 @@
+// AVX-512 (16 x f32) implementations. Requires F+DQ+BW+VL (masked f32 ops).
+// Compiled with -ffp-contract=off: FMA appears only where written (the
+// tolerance-class CSR dot products), never inside the bitwise-contract
+// kernels (SpMM panels, SELL slices).
+#include "simd/kernels.h"
+
+#if defined(TILESPMV_HAVE_AVX512)
+
+#include <immintrin.h>
+
+namespace tilespmv::simd {
+namespace {
+
+/// Fixed pairwise tree: halves 512 -> 256 -> the 8-lane tree. The shape is
+/// part of the determinism contract.
+inline float Hsum16(__m512 v) {
+  __m256 lo = _mm512_castps512_ps256(v);
+  __m256 hi = _mm512_extractf32x8_ps(v, 1);
+  __m256 s8 = _mm256_add_ps(lo, hi);             // lane i + lane i+8
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(s8),
+                        _mm256_extractf128_ps(s8, 1));  // + lane i+4
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));        // + lane i+2
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));  // + lane 1
+  return _mm_cvtss_f32(s);
+}
+
+inline __mmask16 PrefixMask16(int n) {
+  return static_cast<__mmask16>((1u << n) - 1u);
+}
+
+/// The 8-lane tree from the AVX2 kernel, reused for short rows where a
+/// 256-bit masked pass beats a half-empty 512-bit one.
+inline float Hsum8(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);                 // lane i + lane i+4
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));        // + lane i+2
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));  // + lane 1
+  return _mm_cvtss_f32(s);
+}
+
+}  // namespace
+
+void CsrRowsAvx512(const int64_t* row_ptr, const int32_t* col_idx,
+                   const float* values, const float* x, float* y, int64_t r0,
+                   int64_t r1) {
+  for (int64_t r = r0; r < r1; ++r) {
+    const int64_t b = row_ptr[r];
+    const int64_t e = row_ptr[r + 1];
+    const int64_t n = e - b;
+    // Degree 0..8 — the bulk of a power-law distribution — runs as one
+    // masked 256-bit pass (AVX-512VL): a half-empty 512-bit gather and the
+    // deeper Hsum16 tree would only add latency. No inner branch, so
+    // independent rows pipeline their gathers across loop iterations.
+    if (n <= 8) {
+      const __mmask8 mask = static_cast<__mmask8>((1u << n) - 1u);
+      const __m256i c = _mm256_maskz_loadu_epi32(mask, col_idx + b);
+      const __m256 g =
+          _mm256_mmask_i32gather_ps(_mm256_setzero_ps(), mask, c, x, 4);
+      y[r] = Hsum8(_mm256_mul_ps(_mm256_maskz_loadu_ps(mask, values + b), g));
+      continue;
+    }
+    // Degree 9..16: one masked 16-lane pass, still branch-free in the row.
+    if (n <= 16) {
+      const __mmask16 mask = PrefixMask16(static_cast<int>(n));
+      const __m512i c = _mm512_maskz_loadu_epi32(mask, col_idx + b);
+      const __m512 g =
+          _mm512_mask_i32gather_ps(_mm512_setzero_ps(), mask, c, x, 4);
+      y[r] = Hsum16(_mm512_mul_ps(_mm512_maskz_loadu_ps(mask, values + b), g));
+      continue;
+    }
+    // Degree 17..32: one full vector plus one masked remainder.
+    if (n <= 32) {
+      const __m512i c0 = _mm512_loadu_si512(col_idx + b);
+      __m512 acc = _mm512_mul_ps(_mm512_loadu_ps(values + b),
+                                 _mm512_i32gather_ps(c0, x, 4));
+      const __mmask16 mask = PrefixMask16(static_cast<int>(n - 16));
+      const __m512i c1 = _mm512_maskz_loadu_epi32(mask, col_idx + b + 16);
+      const __m512 g1 =
+          _mm512_mask_i32gather_ps(_mm512_setzero_ps(), mask, c1, x, 4);
+      acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(mask, values + b + 16), g1,
+                            acc);
+      y[r] = Hsum16(acc);
+      continue;
+    }
+    __m512 acc0 = _mm512_setzero_ps();
+    __m512 acc1 = _mm512_setzero_ps();
+    int64_t i = b;
+    for (; i + 32 <= e; i += 32) {
+      _mm_prefetch(reinterpret_cast<const char*>(col_idx + i) + 512,
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(values + i) + 512,
+                   _MM_HINT_T0);
+      if (i + 64 <= e) {
+        _mm_prefetch(reinterpret_cast<const char*>(x + col_idx[i + 32]),
+                     _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(x + col_idx[i + 48]),
+                     _MM_HINT_T0);
+      }
+      const __m512i c0 = _mm512_loadu_si512(col_idx + i);
+      const __m512i c1 = _mm512_loadu_si512(col_idx + i + 16);
+      acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(values + i),
+                             _mm512_i32gather_ps(c0, x, 4), acc0);
+      acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(values + i + 16),
+                             _mm512_i32gather_ps(c1, x, 4), acc1);
+    }
+    for (; i + 16 <= e; i += 16) {
+      const __m512i c = _mm512_loadu_si512(col_idx + i);
+      acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(values + i),
+                             _mm512_i32gather_ps(c, x, 4), acc0);
+    }
+    const int tail = static_cast<int>(e - i);
+    if (tail > 0) {
+      const __mmask16 mask = PrefixMask16(tail);
+      const __m512i c = _mm512_maskz_loadu_epi32(mask, col_idx + i);
+      const __m512 g = _mm512_mask_i32gather_ps(_mm512_setzero_ps(), mask, c,
+                                                x, 4);
+      acc1 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(mask, values + i), g,
+                             acc1);
+    }
+    y[r] = Hsum16(_mm512_add_ps(acc0, acc1));
+  }
+}
+
+void SpmmRowsAvx512(const int64_t* row_ptr, const int32_t* col_idx,
+                    const float* values, const float* x, float* y, int k,
+                    int64_t r0, int64_t r1) {
+  switch (k) {
+    case 16:
+      for (int64_t r = r0; r < r1; ++r) {
+        __m512 acc = _mm512_setzero_ps();
+        const int64_t e1 = row_ptr[r + 1];
+        for (int64_t e = row_ptr[r]; e < e1; ++e) {
+          if (e + 1 < e1) {
+            _mm_prefetch(reinterpret_cast<const char*>(
+                             x + static_cast<size_t>(col_idx[e + 1]) * 16),
+                         _MM_HINT_T0);
+          }
+          const __m512 v = _mm512_set1_ps(values[e]);
+          const float* xs = x + static_cast<size_t>(col_idx[e]) * 16;
+          acc = _mm512_add_ps(acc, _mm512_mul_ps(v, _mm512_loadu_ps(xs)));
+        }
+        _mm512_storeu_ps(y + static_cast<size_t>(r) * 16, acc);
+      }
+      return;
+    default:
+      // Narrower panels use the 256/128-bit arms, identical to AVX2.
+#if defined(TILESPMV_HAVE_AVX2)
+      SpmmRowsAvx2(row_ptr, col_idx, values, x, y, k, r0, r1);
+#else
+      SpmmRowsScalar(row_ptr, col_idx, values, x, y, k, r0, r1);
+#endif
+      return;
+  }
+}
+
+void SellSlicesAvx512(const SellView& m, const float* x, float* y, int64_t s0,
+                      int64_t s1) {
+  if (m.c != 16) {
+    SellSlicesScalar(m, x, y, s0, s1);
+    return;
+  }
+  for (int64_t s = s0; s < s1; ++s) {
+    const int64_t off = m.slice_off[s];
+    const int32_t width = m.slice_width[s];
+    const int64_t active_base = off / 16;
+    const int64_t base_row = s * 16;
+    const int live =
+        static_cast<int>(base_row + 16 <= m.rows ? 16 : m.rows - base_row);
+    __m512 acc = _mm512_setzero_ps();
+    for (int32_t j = 0; j < width; ++j) {
+      const int64_t col_off = off + static_cast<int64_t>(j) * 16;
+      _mm_prefetch(reinterpret_cast<const char*>(m.cols + col_off) + 512,
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(m.vals + col_off) + 512,
+                   _MM_HINT_T0);
+      const int act = m.active[active_base + j];
+      const __mmask16 mask = PrefixMask16(act);
+      const __m512i c = _mm512_loadu_si512(m.cols + col_off);
+      const __m512 prod = _mm512_mul_ps(_mm512_loadu_ps(m.vals + col_off),
+                                        _mm512_i32gather_ps(c, x, 4));
+      // Masked add preserves ended-row lanes bit-for-bit.
+      acc = _mm512_mask_add_ps(acc, mask, acc, prod);
+    }
+    if (live == 16) {
+      _mm512_storeu_ps(y + base_row, acc);
+    } else {
+      _mm512_mask_storeu_ps(y + base_row, PrefixMask16(live), acc);
+    }
+  }
+}
+
+}  // namespace tilespmv::simd
+
+#endif  // TILESPMV_HAVE_AVX512

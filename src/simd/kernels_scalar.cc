@@ -1,0 +1,104 @@
+// Portable reference implementations of the SIMD kernel entry points, plus
+// the runtime dispatch tables. This TU is compiled with the project's
+// default flags (no ISA extensions, no contraction), so the scalar loops
+// here are bit-for-bit the same code the pre-SIMD kernels ran.
+#include "simd/kernels.h"
+
+namespace tilespmv::simd {
+
+void CsrRowsScalar(const int64_t* row_ptr, const int32_t* col_idx,
+                   const float* values, const float* x, float* y, int64_t r0,
+                   int64_t r1) {
+  for (int64_t r = r0; r < r1; ++r) {
+    float sum = 0.0f;
+    for (int64_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+      sum += values[e] * x[col_idx[e]];
+    }
+    y[r] = sum;
+  }
+}
+
+void SpmmRowsScalar(const int64_t* row_ptr, const int32_t* col_idx,
+                    const float* values, const float* x, float* y, int k,
+                    int64_t r0, int64_t r1) {
+  float acc[16];
+  for (int64_t r = r0; r < r1; ++r) {
+    for (int j = 0; j < k; ++j) acc[j] = 0.0f;
+    for (int64_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+      const float v = values[e];
+      const float* xs = &x[static_cast<size_t>(col_idx[e]) * k];
+      for (int j = 0; j < k; ++j) acc[j] += v * xs[j];
+    }
+    float* ys = &y[static_cast<size_t>(r) * k];
+    for (int j = 0; j < k; ++j) ys[j] = acc[j];
+  }
+}
+
+void SellSlicesScalar(const SellView& m, const float* x, float* y, int64_t s0,
+                      int64_t s1) {
+  float acc[16];  // c never exceeds LaneWidth(kAvx512) == 16.
+  for (int64_t s = s0; s < s1; ++s) {
+    const int64_t off = m.slice_off[s];
+    const int32_t width = m.slice_width[s];
+    const int64_t active_base = off / m.c;
+    const int64_t base_row = s * m.c;
+    const int live =
+        static_cast<int>(base_row + m.c <= m.rows ? m.c : m.rows - base_row);
+    for (int lane = 0; lane < live; ++lane) acc[lane] = 0.0f;
+    for (int32_t j = 0; j < width; ++j) {
+      const int act = m.active[active_base + j];
+      const int64_t col_off = off + static_cast<int64_t>(j) * m.c;
+      for (int lane = 0; lane < act; ++lane) {
+        acc[lane] += m.vals[col_off + lane] * x[m.cols[col_off + lane]];
+      }
+    }
+    for (int lane = 0; lane < live; ++lane) y[base_row + lane] = acc[lane];
+  }
+}
+
+CsrRowsFn CsrRowsForTier(Tier t) {
+  switch (t) {
+#if defined(TILESPMV_HAVE_AVX512)
+    case Tier::kAvx512:
+      return &CsrRowsAvx512;
+#endif
+#if defined(TILESPMV_HAVE_AVX2)
+    case Tier::kAvx2:
+      return &CsrRowsAvx2;
+#endif
+    default:
+      return &CsrRowsScalar;
+  }
+}
+
+SpmmRowsFn SpmmRowsForTier(Tier t) {
+  switch (t) {
+#if defined(TILESPMV_HAVE_AVX512)
+    case Tier::kAvx512:
+      return &SpmmRowsAvx512;
+#endif
+#if defined(TILESPMV_HAVE_AVX2)
+    case Tier::kAvx2:
+      return &SpmmRowsAvx2;
+#endif
+    default:
+      return &SpmmRowsScalar;
+  }
+}
+
+SellSlicesFn SellSlicesForTier(Tier t) {
+  switch (t) {
+#if defined(TILESPMV_HAVE_AVX512)
+    case Tier::kAvx512:
+      return &SellSlicesAvx512;
+#endif
+#if defined(TILESPMV_HAVE_AVX2)
+    case Tier::kAvx2:
+      return &SellSlicesAvx2;
+#endif
+    default:
+      return &SellSlicesScalar;
+  }
+}
+
+}  // namespace tilespmv::simd

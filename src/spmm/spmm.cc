@@ -53,6 +53,8 @@ double SpMMKernel::ArithmeticIntensity(int k) const {
 std::unique_ptr<SpMMKernel> CreateSpMMKernel(std::string_view name,
                                              const gpusim::DeviceSpec& spec) {
   if (name == "spmm-cpu-csr") return std::make_unique<SpmmCpuCsrKernel>(spec);
+  if (name == "spmm-cpu-csr-simd")
+    return std::make_unique<SpmmCsrSimdKernel>(spec);
   if (name == "spmm-ell") return std::make_unique<SpmmEllKernel>(spec);
   if (name == "spmm-hyb") return std::make_unique<SpmmHybKernel>(spec);
   if (name == "spmm-tile-composite")
@@ -62,12 +64,14 @@ std::unique_ptr<SpMMKernel> CreateSpMMKernel(std::string_view name,
 
 const std::vector<std::string>& AllSpMMKernelNames() {
   static const std::vector<std::string>* kNames = new std::vector<std::string>{
-      "spmm-cpu-csr", "spmm-ell", "spmm-hyb", "spmm-tile-composite"};
+      "spmm-cpu-csr", "spmm-cpu-csr-simd", "spmm-ell", "spmm-hyb",
+      "spmm-tile-composite"};
   return *kNames;
 }
 
 std::string SpmmKernelNameForSpmv(std::string_view spmv_name) {
   if (spmv_name == "cpu-csr") return "spmm-cpu-csr";
+  if (spmv_name == "cpu-csr-simd") return "spmm-cpu-csr-simd";
   if (spmv_name == "ell") return "spmm-ell";
   if (spmv_name == "hyb") return "spmm-hyb";
   if (spmv_name == "tile-composite") return "spmm-tile-composite";
@@ -76,6 +80,7 @@ std::string SpmmKernelNameForSpmv(std::string_view spmv_name) {
 
 std::string SpmvKernelNameForSpmm(std::string_view spmm_name) {
   if (spmm_name == "spmm-cpu-csr") return "cpu-csr";
+  if (spmm_name == "spmm-cpu-csr-simd") return "cpu-csr-simd";
   if (spmm_name == "spmm-ell") return "ell";
   if (spmm_name == "spmm-hyb") return "hyb";
   if (spmm_name == "spmm-tile-composite") return "tile-composite";

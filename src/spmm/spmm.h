@@ -24,6 +24,11 @@ namespace tilespmv::spmm {
 /// Implementations guarantee it by accumulating each (row, column) sum over
 /// matrix entries in exactly the per-element order of the paired SpMV
 /// kernel, with one independent accumulator per panel column.
+/// determinism() reports the one relaxation: kernels paired with a
+/// tolerance-class SpMV sibling (spmm-cpu-csr-simd, whose pair reduces each
+/// row through a SIMD partial-sum tree) keep their columns bitwise equal to
+/// the *scalar* reference, and therefore agree with their pair only within
+/// the documented tolerance (docs/SIMD.md).
 ///
 /// Thread-safety matches SpMVKernel: Setup() is not thread-safe; after a
 /// successful Setup every const member is, and Multiply keeps all per-call
@@ -70,6 +75,18 @@ class SpMMKernel {
   virtual const Permutation& row_permutation() const { return kIdentityPerm; }
   virtual const Permutation& col_permutation() const { return kIdentityPerm; }
 
+  /// "host" | "gpusim" — mirrors SpMVKernel::backend().
+  virtual std::string_view backend() const { return "gpusim"; }
+
+  /// Relationship of each panel column to the paired SpMV kernel's
+  /// Multiply (see the class comment).
+  virtual DeterminismClass determinism() const {
+    return DeterminismClass::kBitwise;
+  }
+
+  /// SIMD tier frozen at Setup ("none" for kernels without a SIMD path).
+  virtual std::string_view simd_tier() const { return "none"; }
+
   int32_t rows() const { return rows_; }
   int32_t cols() const { return cols_; }
   int block_cols() const { return block_cols_; }
@@ -92,8 +109,8 @@ class SpMMKernel {
 };
 
 /// Creates a blocked kernel by name. Known names: "spmm-cpu-csr",
-/// "spmm-ell", "spmm-hyb", "spmm-tile-composite". Returns nullptr for
-/// unknown names.
+/// "spmm-cpu-csr-simd", "spmm-ell", "spmm-hyb", "spmm-tile-composite".
+/// Returns nullptr for unknown names.
 std::unique_ptr<SpMMKernel> CreateSpMMKernel(std::string_view name,
                                              const gpusim::DeviceSpec& spec);
 

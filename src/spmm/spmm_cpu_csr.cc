@@ -4,40 +4,54 @@
 #include "util/check.h"
 
 namespace tilespmv::spmm {
+namespace {
 
-Status SpmmCpuCsrKernel::Setup(const CsrMatrix& a, int block_cols) {
-  TILESPMV_RETURN_IF_ERROR(inner_.Setup(a));
-  rows_ = inner_.rows();
-  cols_ = inner_.cols();
-  return FinishSetup(inner_.timing(), block_cols);
-}
-
-void SpmmCpuCsrKernel::Multiply(const DenseBlock& x, DenseBlock* y) const {
-  const CsrMatrix& a = inner_.csr();
+/// Shared CSR panel sweep: one parallel pass over the rows through a
+/// tier-resolved simd::SpmmRows* micro-kernel. Column j of the result is
+/// bitwise identical to the scalar loop on column j alone at every tier
+/// and thread count (see simd/kernels.h).
+void CsrPanelMultiply(const CsrMatrix& a, simd::SpmmRowsFn panel_fn,
+                      int block_cols, const DenseBlock& x, DenseBlock* y) {
   const int k = x.cols;
   TILESPMV_CHECK(x.rows == a.cols);
-  TILESPMV_CHECK(k >= 1 && k <= block_cols_);
+  TILESPMV_CHECK(k >= 1 && k <= block_cols);
   y->Resize(a.rows, k);
-  // Same shape as CsrMultiply, widened: each row walks its entries in CSR
-  // order with one accumulator per panel column, so column j is bitwise
-  // identical to the scalar loop on column j alone.
   par::LoopOptions options;
   options.grain = 256;
   options.chunking = par::Chunking::kGuided;
   options.label = "par/spmm_csr_multiply";
   par::ParallelFor(0, a.rows, options, [&](int64_t r0, int64_t r1) {
-    float acc[kMaxBlockCols];
-    for (int64_t r = r0; r < r1; ++r) {
-      for (int j = 0; j < k; ++j) acc[j] = 0.0f;
-      for (int64_t e = a.row_ptr[r]; e < a.row_ptr[r + 1]; ++e) {
-        const float v = a.values[e];
-        const float* xs = &x.data[static_cast<size_t>(a.col_idx[e]) * k];
-        for (int j = 0; j < k; ++j) acc[j] += v * xs[j];
-      }
-      float* ys = &y->data[static_cast<size_t>(r) * k];
-      for (int j = 0; j < k; ++j) ys[j] = acc[j];
-    }
+    panel_fn(a.row_ptr.data(), a.col_idx.data(), a.values.data(),
+             x.data.data(), y->data.data(), k, r0, r1);
   });
+}
+
+}  // namespace
+
+Status SpmmCpuCsrKernel::Setup(const CsrMatrix& a, int block_cols) {
+  TILESPMV_RETURN_IF_ERROR(inner_.Setup(a));
+  rows_ = inner_.rows();
+  cols_ = inner_.cols();
+  tier_ = simd::ResolvedTier();
+  panel_fn_ = simd::SpmmRowsForTier(tier_);
+  return FinishSetup(inner_.timing(), block_cols);
+}
+
+void SpmmCpuCsrKernel::Multiply(const DenseBlock& x, DenseBlock* y) const {
+  CsrPanelMultiply(inner_.csr(), panel_fn_, block_cols_, x, y);
+}
+
+Status SpmmCsrSimdKernel::Setup(const CsrMatrix& a, int block_cols) {
+  TILESPMV_RETURN_IF_ERROR(inner_.Setup(a));
+  rows_ = inner_.rows();
+  cols_ = inner_.cols();
+  tier_ = inner_.tier();
+  panel_fn_ = simd::SpmmRowsForTier(tier_);
+  return FinishSetup(inner_.timing(), block_cols);
+}
+
+void SpmmCsrSimdKernel::Multiply(const DenseBlock& x, DenseBlock* y) const {
+  CsrPanelMultiply(inner_.csr(), panel_fn_, block_cols_, x, y);
 }
 
 }  // namespace tilespmv::spmm

@@ -2,24 +2,64 @@
 #define TILESPMV_SPMM_SPMM_CPU_CSR_H_
 
 #include "kernels/cpu_csr.h"
+#include "kernels/cpu_csr_simd.h"
+#include "simd/caps.h"
+#include "simd/kernels.h"
 #include "spmm/spmm.h"
 
 namespace tilespmv::spmm {
 
-/// Blocked CPU CSR: the scalar baseline swept once per panel. Each row walks
-/// its CSR entries in order with one accumulator per panel column, so column
-/// j matches CpuCsrKernel::Multiply (and CsrMultiply) bit for bit.
+/// Blocked CPU CSR: the host baseline swept once per panel. Execution goes
+/// through the simd::SpmmRows* panel micro-kernels — the matrix value is
+/// broadcast across the panel row with separate mul/add ops — so every tier
+/// keeps column j bitwise identical to CpuCsrKernel::Multiply (and
+/// CsrMultiply) on column j alone. The tier is frozen at Setup.
 class SpmmCpuCsrKernel : public SpMMKernel {
  public:
   explicit SpmmCpuCsrKernel(const gpusim::DeviceSpec& spec)
-      : SpMMKernel(spec), inner_(spec) {}
+      : SpMMKernel(spec), inner_(spec), tier_(simd::ResolvedTier()) {}
 
   std::string_view name() const override { return "spmm-cpu-csr"; }
+  std::string_view backend() const override { return "host"; }
+  std::string_view simd_tier() const override {
+    return simd::TierName(tier_);
+  }
   Status Setup(const CsrMatrix& a, int block_cols) override;
   void Multiply(const DenseBlock& x, DenseBlock* y) const override;
 
  private:
   CpuCsrKernel inner_;
+  simd::Tier tier_;
+  simd::SpmmRowsFn panel_fn_ = &simd::SpmmRowsScalar;
+};
+
+/// Blocked sibling of cpu-csr-simd ("spmm-cpu-csr-simd"). The panel path is
+/// the same bitwise micro-kernel as SpmmCpuCsrKernel; what changes is the
+/// pairing: its paired SpMV kernel reduces rows through a SIMD tree, so
+/// panel columns agree with the pair within tolerance, not bitwise
+/// (determinism() == kTolerance when a vector tier is active). Setup
+/// delegates to CsrSimdKernel, so modeled timing reflects the SIMD host.
+class SpmmCsrSimdKernel : public SpMMKernel {
+ public:
+  explicit SpmmCsrSimdKernel(const gpusim::DeviceSpec& spec)
+      : SpMMKernel(spec), inner_(spec), tier_(simd::ResolvedTier()) {}
+
+  std::string_view name() const override { return "spmm-cpu-csr-simd"; }
+  std::string_view backend() const override { return "host"; }
+  DeterminismClass determinism() const override {
+    return tier_ == simd::Tier::kScalar ? DeterminismClass::kBitwise
+                                        : DeterminismClass::kTolerance;
+  }
+  std::string_view simd_tier() const override {
+    return simd::TierName(tier_);
+  }
+  Status Setup(const CsrMatrix& a, int block_cols) override;
+  void Multiply(const DenseBlock& x, DenseBlock* y) const override;
+
+ private:
+  CsrSimdKernel inner_;
+  simd::Tier tier_;
+  simd::SpmmRowsFn panel_fn_ = &simd::SpmmRowsScalar;
 };
 
 }  // namespace tilespmv::spmm

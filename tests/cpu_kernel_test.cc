@@ -1,12 +1,65 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <vector>
+
 #include "gen/power_law.h"
 #include "kernels/cpu_csr.h"
+#include "kernels/spmv.h"
+#include "simd/caps.h"
 
 namespace tilespmv {
 namespace {
 
 using gpusim::DeviceSpec;
+
+uint32_t Bits(float f) {
+  uint32_t b;
+  std::memcpy(&b, &f, sizeof(b));
+  return b;
+}
+
+/// Runs `kernel_name` at every runnable SIMD tier against the serial
+/// CsrMultiply reference: bitwise when the kernel's contract is bitwise,
+/// within the documented tolerance otherwise (docs/SIMD.md).
+void CheckSimdTiersAgainstSerial(const CsrMatrix& a, const char* kernel_name) {
+  DeviceSpec spec;
+  std::vector<float> x(static_cast<size_t>(a.cols));
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.25f + static_cast<float>(i % 13) * 0.125f -
+           static_cast<float>(i % 5) * 0.375f;
+  }
+  std::vector<float> want;
+  CsrMultiply(a, x, &want);
+  double max_abs = 1.0;
+  for (float w : want) max_abs = std::max(max_abs, std::fabs(double{w}));
+
+  for (simd::Tier tier :
+       {simd::Tier::kScalar, simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    if (!simd::DetectCaps().Supports(tier)) continue;
+    ASSERT_TRUE(simd::SetTierOverride(tier).ok());
+    auto kernel = CreateKernel(kernel_name, spec);
+    ASSERT_TRUE(kernel->Setup(a).ok()) << kernel_name;
+    std::vector<float> got;
+    MultiplyOriginal(*kernel, x, &got);
+    ASSERT_EQ(got.size(), want.size()) << kernel_name;
+    const bool bitwise =
+        kernel->determinism() == DeterminismClass::kBitwise;
+    for (size_t i = 0; i < want.size(); ++i) {
+      if (bitwise) {
+        ASSERT_EQ(Bits(got[i]), Bits(want[i]))
+            << kernel_name << " tier " << simd::TierName(tier) << " row "
+            << i << ": " << got[i] << " != " << want[i];
+      } else {
+        ASSERT_NEAR(got[i], want[i], 2e-4 * max_abs)
+            << kernel_name << " tier " << simd::TierName(tier) << " row "
+            << i;
+      }
+    }
+  }
+  simd::ClearTierOverride();
+}
 
 TEST(CpuKernelTest, CacheResidentXIsFaster) {
   // Same nnz, one matrix with x inside the 1 MB L2 and one far outside:
@@ -57,6 +110,41 @@ TEST(CpuKernelTest, EraAppropriateThroughput) {
   ASSERT_TRUE(kernel.Setup(a).ok());
   EXPECT_GT(kernel.timing().gflops(), 0.05);
   EXPECT_LT(kernel.timing().gflops(), 2.5);
+}
+
+TEST(CpuKernelTest, SimdKernelsHandleRaggedRows) {
+  // Row lengths hit every branch tier of the vector CSR kernels: empty
+  // rows, sub-lane rows (1..7), exact lane multiples (8, 16, 32), and
+  // ragged tails (9, 17, 23, 33, 40) that exercise the masked remainders.
+  const int kLens[] = {0, 1,  3,  0,  5,  7,  8,  9,  11, 15,
+                       16, 17, 23, 31, 32, 33, 40, 2,  0,  6};
+  const int32_t cols = 64;
+  std::vector<Triplet> t;
+  int32_t r = 0;
+  for (int len : kLens) {
+    for (int j = 0; j < len; ++j) {
+      // Stride-1 walk from a per-row offset: distinct columns, no merges.
+      const int32_t c = static_cast<int32_t>((r * 5 + j) % cols);
+      t.push_back(Triplet{r, c,
+                          0.5f + 0.25f * static_cast<float>((r + j) % 8) -
+                              0.125f * static_cast<float>(j % 3)});
+    }
+    ++r;
+  }
+  CsrMatrix a = CsrMatrix::FromTriplets(r, cols, std::move(t));
+  ASSERT_TRUE(a.Validate().ok());
+  CheckSimdTiersAgainstSerial(a, "cpu-csr-simd");
+  CheckSimdTiersAgainstSerial(a, "cpu-sell-simd");
+}
+
+TEST(CpuKernelTest, SimdKernelsHandleMatrixNarrowerThanVector) {
+  // n and the x vector are both smaller than one vector of lanes; the
+  // masked loads/gathers must not touch past either array.
+  CsrMatrix a = CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 2.0f}, {0, 2, 1.0f}, {2, 1, -3.0f}});
+  ASSERT_TRUE(a.Validate().ok());
+  CheckSimdTiersAgainstSerial(a, "cpu-csr-simd");
+  CheckSimdTiersAgainstSerial(a, "cpu-sell-simd");
 }
 
 }  // namespace

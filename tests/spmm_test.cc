@@ -3,6 +3,8 @@
 // blocked RWR path's bitwise equivalence to the scalar one.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -107,8 +109,21 @@ TEST(SpmmKernelTest, WidthOneDegeneratesToSpmv) {
     ASSERT_EQ(y.rows, static_cast<int32_t>(want.size())) << name;
     std::vector<float> got;
     y.ExtractColumn(0, &got);
+    // Tolerance-class pairings (spmm-cpu-csr-simd at a vector tier): the
+    // paired SpMV reduces rows through a SIMD tree while the panel keeps
+    // scalar order, so they agree within the docs/SIMD.md bound, not
+    // bitwise.
+    const bool bitwise =
+        blocked->determinism() == DeterminismClass::kBitwise;
+    double max_abs = 1.0;
+    for (float w : want) max_abs = std::max(max_abs, std::fabs(double{w}));
     for (size_t i = 0; i < want.size(); ++i) {
-      ASSERT_EQ(FloatBits(got[i]), FloatBits(want[i])) << name << " row " << i;
+      if (bitwise) {
+        ASSERT_EQ(FloatBits(got[i]), FloatBits(want[i]))
+            << name << " row " << i;
+      } else {
+        ASSERT_NEAR(got[i], want[i], 2e-4 * max_abs) << name << " row " << i;
+      }
     }
   }
 }

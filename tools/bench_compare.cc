@@ -108,6 +108,12 @@ constexpr MetricRule kRules[] = {
     {"spmm_batch", "per_query_ms", "k8", false, 25.0},
     {"spmm_batch", "per_query_ms", "k16", false, 25.0},
     {"spmm_batch", nullptr, "pass", true, 0.0},
+    // Host SIMD fast path: measured wall clock, so the ratio gets the same
+    // jitter slack the other wall-clock ratios do. The pass flag is the
+    // hard >= 2x AVX2 acceptance gate.
+    {"host_spmv", nullptr, "avx2_speedup", true, 35.0},
+    {"host_spmv", nullptr, "best_speedup", true, 35.0},
+    {"host_spmv", nullptr, "pass", true, 0.0},
 };
 
 /// NaN when the section/key is missing or the file is malformed.

@@ -13,6 +13,7 @@
 //   spmv_cli salsa    <file> [--kernel=...] [--top=10]
 //   spmv_cli convert  <in> <out>          (format chosen by extension)
 //   spmv_cli generate <dataset> <out> [--scale=0.125]
+//   spmv_cli list-kernels                 (backends, SIMD tiers, determinism)
 //
 // Extensions: .mtx MatrixMarket, .bin tilespmv binary, anything else is
 // parsed as a whitespace edge list.
@@ -41,8 +42,10 @@
 #include "obs/trace.h"
 #include "par/pool.h"
 #include "serve/engine.h"
+#include "simd/caps.h"
 #include "sparse/matrix_stats.h"
 #include "spmm/block_select.h"
+#include "spmm/spmm.h"
 #include "util/ascii_plot.h"
 
 namespace tilespmv::cli {
@@ -75,6 +78,10 @@ struct Flags {
   // Observability (any subcommand).
   std::string trace_out;    // Chrome trace_event JSON.
   std::string metrics_out;  // Prometheus text, or JSON if path ends in .json.
+  // Host SIMD tier override (any subcommand): off|scalar|avx2|avx512|auto.
+  // Unlike the TILESPMV_SIMD env var (which clamps down), an explicit
+  // --simd= the host cannot run is an error.
+  std::string simd;
 };
 
 /// Parses the whole string as a double; rejects trailing garbage.
@@ -157,6 +164,8 @@ Status ParseFlags(int argc, char** argv, int first, Flags* f) {
       f->trace_out = a + 12;
     } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
       f->metrics_out = a + 14;
+    } else if (std::strncmp(a, "--simd=", 7) == 0) {
+      f->simd = a + 7;
     } else if (std::strcmp(a, "--verbose") == 0) {
       f->verbose = true;
     } else {
@@ -235,7 +244,15 @@ int CmdSpmv(const std::string& path, const Flags& f) {
   if (!a.ok()) return Fail(a.status());
   gpusim::DeviceSpec device = DeviceFor(f);
   std::string name = f.kernel;
-  if (name == "auto") {
+  if (name == "auto-host") {
+    std::printf("host kernel selection (simd tier %s):\n",
+                simd::TierName(simd::ResolvedTier()));
+    for (const KernelPrediction& p : PredictHostKernelChoices(a.value())) {
+      std::printf("  %-16s predicted %10.1f us\n", p.kernel.c_str(),
+                  p.predicted_seconds * 1e6);
+    }
+    name = SelectHostKernel(a.value());
+  } else if (name == "auto") {
     PerfModel model(device);
     std::printf("model-driven kernel selection:\n");
     for (const KernelPrediction& p :
@@ -510,6 +527,42 @@ int CmdServe(const std::string& path, const Flags& f) {
   return failed == 0 ? 0 : 1;
 }
 
+/// Lists every SpMV and SpMM kernel with its execution backend, the SIMD
+/// tier a plan built right now would freeze (--simd / TILESPMV_SIMD / auto
+/// detection), and its determinism class relative to the serial scalar
+/// reference (docs/SIMD.md documents the contracts).
+int CmdListKernels(const Flags& f) {
+  const simd::Caps& caps = simd::DetectCaps();
+  std::printf("host simd: resolved=%s best=%s avx2=%s avx512=%s\n\n",
+              simd::TierName(simd::ResolvedTier()),
+              simd::TierName(caps.best()),
+              caps.Supports(simd::Tier::kAvx2) ? "available" : "unavailable",
+              caps.Supports(simd::Tier::kAvx512) ? "available"
+                                                 : "unavailable");
+  gpusim::DeviceSpec device = DeviceFor(f);
+  std::printf("%-22s %-8s %-8s %s\n", "spmv kernel", "backend", "simd",
+              "determinism");
+  for (const std::string& name : AllKernelNames()) {
+    auto kernel = CreateKernel(name, device);
+    if (kernel == nullptr) continue;
+    std::printf("%-22s %-8s %-8s %s\n", name.c_str(),
+                std::string(kernel->backend()).c_str(),
+                std::string(kernel->simd_tier()).c_str(),
+                DeterminismClassName(kernel->determinism()));
+  }
+  std::printf("\n%-22s %-8s %-8s %s\n", "spmm kernel", "backend", "simd",
+              "determinism");
+  for (const std::string& name : spmm::AllSpMMKernelNames()) {
+    auto kernel = spmm::CreateSpMMKernel(name, device);
+    if (kernel == nullptr) continue;
+    std::printf("%-22s %-8s %-8s %s\n", name.c_str(),
+                std::string(kernel->backend()).c_str(),
+                std::string(kernel->simd_tier()).c_str(),
+                DeterminismClassName(kernel->determinism()));
+  }
+  return 0;
+}
+
 int CmdConvert(const std::string& in, const std::string& out) {
   Result<CsrMatrix> a = Load(in);
   if (!a.ok()) return Fail(a.status());
@@ -561,9 +614,12 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: spmv_cli <stats|spmv|autotune|pagerank|hits|rwr|katz|salsa|"
-      "serve|convert|generate> <args...>\n"
-      "  flags: --kernel=NAME|auto --device=c1060|c2050 --damping=F "
-      "--top=N --node=K --scale=F --threads=N (0 = hardware concurrency)\n"
+      "serve|convert|generate|list-kernels> <args...>\n"
+      "  flags: --kernel=NAME|auto|auto-host --device=c1060|c2050 "
+      "--damping=F --top=N --node=K --scale=F --threads=N (0 = hardware "
+      "concurrency)\n"
+      "  host simd: --simd=off|scalar|avx2|avx512|auto (strict; env "
+      "TILESPMV_SIMD clamps down instead)\n"
       "  serve: --queries=N --window-ms=F --deadline-ms=F --slow-ms=F "
       "--flight-dump=FILE --query-log=FILE\n"
       "  rwr/serve: --block-cols=1|2|4|8|16 (or TILESPMV_BLOCK_COLS; SpMM "
@@ -578,17 +634,30 @@ int Usage() {
 }
 
 int Main(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  if (argc < 2) return Usage();
   std::string cmd = argv[1];
-  std::string arg = argv[2];
-  // convert/generate take a second positional argument before the flags.
+  // list-kernels takes no positional argument; convert/generate take a
+  // second one before the flags.
+  const bool no_positional = cmd == "list-kernels";
+  if (!no_positional && argc < 3) return Usage();
+  std::string arg = no_positional ? std::string() : argv[2];
   const bool two_positional = cmd == "convert" || cmd == "generate";
   Flags flags;
-  Status parse = ParseFlags(argc, argv, two_positional ? 4 : 3, &flags);
+  Status parse = ParseFlags(argc, argv,
+                            no_positional ? 2 : (two_positional ? 4 : 3),
+                            &flags);
   if (!parse.ok()) {
     std::fprintf(stderr, "error: %s\n", parse.ToString().c_str());
     Usage();
     return 2;
+  }
+  if (!flags.simd.empty()) {
+    Result<simd::Tier> tier = simd::ParseTier(flags.simd);
+    Status st = tier.ok() ? simd::SetTierOverride(tier.value()) : tier.status();
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 2;
+    }
   }
   if (!flags.trace_out.empty()) obs::Tracer::Global().Enable();
   if (flags.threads >= 0) par::ThreadPool::SetGlobalThreadCount(flags.threads);
@@ -602,6 +671,7 @@ int Main(int argc, char** argv) {
   else if (cmd == "katz") rc = CmdKatz(arg, flags);
   else if (cmd == "salsa") rc = CmdSalsa(arg, flags);
   else if (cmd == "serve") rc = CmdServe(arg, flags);
+  else if (cmd == "list-kernels") rc = CmdListKernels(flags);
   else if (cmd == "convert" && argc >= 4) rc = CmdConvert(arg, argv[3]);
   else if (cmd == "generate" && argc >= 4)
     rc = CmdGenerate(arg, argv[3], flags);
