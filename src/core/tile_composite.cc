@@ -5,6 +5,7 @@
 #include "kernels/gpu_common.h"
 #include "obs/trace.h"
 #include "par/pool.h"
+#include "robust/fault_injection.h"
 
 namespace tilespmv {
 
@@ -192,6 +193,7 @@ void TileCompositeKernel::Multiply(const std::vector<float>& x,
   options.chunking = par::Chunking::kGuided;
   options.label = "par/tile_composite_multiply";
   for (const BuiltTile& bt : tiles_) {
+    TILESPMV_FAULT_STALL("kernel/tile_slow");
     const CompositeTile& ct = bt.ct;
     par::ParallelFor(
         0, static_cast<int64_t>(ct.row_order.size()), options,

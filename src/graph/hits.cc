@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/pool.h"
+#include "robust/fault_injection.h"
 #include "sparse/convert.h"
 #include "util/check.h"
 
@@ -44,13 +45,20 @@ Result<HitsScores> RunHitsPrepared(const SpMVKernel& kernel,
   HitsScores out;
   out.stats.seconds_per_iteration = kernel.timing().seconds + aux_seconds;
 
+  ResidualGuard guard(options.divergence_factor);
   for (int it = 0; it < options.max_iterations; ++it) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      out.stats.health = IterativeHealth::kCancelled;
+      break;
+    }
+    TILESPMV_FAULT_STALL("graph/iteration_slow");
     obs::TraceSpan iter_span("graph", "hits/iteration");
     double delta = 0.0;
     {
       obs::TraceSpan spmv_span("spmv", "spmv/multiply");
       kernel.Multiply(v, &y);
     }
+    if (TILESPMV_FAULT_POINT("graph/hits_nan")) y[0] = NAN;
     {
       obs::TraceSpan red_span("reduction", "reduction/hits_normalize");
       // Both reductions use the fixed-block recipe (see par/pool.h), so
@@ -95,10 +103,18 @@ Result<HitsScores> RunHitsPrepared(const SpMVKernel& kernel,
       iter_span.Arg("iter", it);
       iter_span.Arg("residual", delta);
     }
+    if (!guard.Update(delta)) {
+      out.stats.health = IterativeHealth::kNumericalError;
+      break;
+    }
     if (delta < options.tolerance) {
       out.stats.converged = true;
       break;
     }
+  }
+  if (!out.stats.converged && out.stats.health == IterativeHealth::kHealthy &&
+      options.require_convergence) {
+    out.stats.health = IterativeHealth::kDidNotConverge;
   }
   obs::MetricsRegistry::Global()
       .GetHistogram("tilespmv_hits_iterations",

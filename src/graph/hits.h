@@ -2,6 +2,7 @@
 #define TILESPMV_GRAPH_HITS_H_
 
 #include "graph/power_method.h"
+#include "robust/cancel.h"
 #include "sparse/csr.h"
 #include "util/status.h"
 
@@ -11,6 +12,13 @@ namespace tilespmv {
 struct HitsOptions {
   int max_iterations = 100;
   float tolerance = 1e-5f;
+  /// Checked at each iteration boundary; fires -> health kCancelled with the
+  /// partial iteration count. Not owned. nullptr = not cancellable.
+  const robust::CancelToken* cancel = nullptr;
+  /// Report kDidNotConverge when the iteration budget runs out unconverged.
+  bool require_convergence = false;
+  /// ResidualGuard divergence trip factor (<= 0 disables).
+  double divergence_factor = 1e6;
 };
 
 /// Converged authority and hub scores (original index space, each summing

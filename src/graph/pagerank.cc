@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/pool.h"
+#include "robust/fault_injection.h"
 #include "sparse/convert.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -61,13 +62,20 @@ Result<IterativeResult> RunPageRankPrepared(const SpMVKernel& kernel,
   out.seconds_per_iteration = kernel.timing().seconds + aux_seconds;
 
   WallTimer run_timer;
+  ResidualGuard guard(options.divergence_factor);
   for (int it = 0; it < options.max_iterations; ++it) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      out.health = IterativeHealth::kCancelled;
+      break;
+    }
+    TILESPMV_FAULT_STALL("graph/iteration_slow");
     obs::TraceSpan iter_span("graph", "pagerank/iteration");
     double delta = 0.0;
     {
       obs::TraceSpan spmv_span("spmv", "spmv/multiply");
       kernel.Multiply(p, &y);
     }
+    if (TILESPMV_FAULT_POINT("graph/pagerank_nan")) y[0] = NAN;
     {
       obs::TraceSpan red_span("reduction", "reduction/pagerank_update");
       // Fixed-block reduction: each block updates its slice of p and sums
@@ -93,10 +101,18 @@ Result<IterativeResult> RunPageRankPrepared(const SpMVKernel& kernel,
       iter_span.Arg("iter", it);
       iter_span.Arg("residual", delta);
     }
+    if (!guard.Update(delta)) {
+      out.health = IterativeHealth::kNumericalError;
+      break;
+    }
     if (delta < options.tolerance) {
       out.converged = true;
       break;
     }
+  }
+  if (!out.converged && out.health == IterativeHealth::kHealthy &&
+      options.require_convergence) {
+    out.health = IterativeHealth::kDidNotConverge;
   }
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics

@@ -2,6 +2,7 @@
 #define TILESPMV_GRAPH_PAGERANK_H_
 
 #include "graph/power_method.h"
+#include "robust/cancel.h"
 #include "sparse/csr.h"
 #include "util/status.h"
 
@@ -16,6 +17,16 @@ struct PageRankOptions {
   /// p0 of Equation 6; must have one entry per node and sum to ~1. Not owned;
   /// must outlive the call. nullptr = classic uniform restart.
   const std::vector<float>* personalization = nullptr;
+  /// Checked at each iteration boundary; a fired token aborts the solve with
+  /// health kCancelled and the partial iteration count. Not owned; must
+  /// outlive the call. nullptr = not cancellable.
+  const robust::CancelToken* cancel = nullptr;
+  /// When set, exhausting max_iterations without meeting `tolerance` reports
+  /// health kDidNotConverge instead of a healthy partial result.
+  bool require_convergence = false;
+  /// Residual-divergence trip factor for the ResidualGuard (<= 0 disables
+  /// divergence tracking; NaN/Inf detection is always on).
+  double divergence_factor = 1e6;
 };
 
 /// Runs PageRank on the directed adjacency matrix `adjacency` using `kernel`

@@ -2,6 +2,20 @@
 
 namespace tilespmv {
 
+const char* IterativeHealthName(IterativeHealth health) {
+  switch (health) {
+    case IterativeHealth::kHealthy:
+      return "healthy";
+    case IterativeHealth::kCancelled:
+      return "cancelled";
+    case IterativeHealth::kNumericalError:
+      return "numerical_error";
+    case IterativeHealth::kDidNotConverge:
+      return "did_not_converge";
+  }
+  return "unknown";
+}
+
 double StreamKernelSeconds(uint64_t bytes, const gpusim::DeviceSpec& spec) {
   return spec.kernel_launch_overhead_us * 1e-6 +
          static_cast<double>(bytes) / spec.BandwidthBytesPerSec();

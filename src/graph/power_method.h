@@ -1,6 +1,7 @@
 #ifndef TILESPMV_GRAPH_POWER_METHOD_H_
 #define TILESPMV_GRAPH_POWER_METHOD_H_
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -8,6 +9,50 @@
 #include "kernels/spmv.h"
 
 namespace tilespmv {
+
+/// Health of an iterative solve, carried alongside the (possibly partial)
+/// result instead of being thrown away. The serving engine maps non-healthy
+/// values to typed statuses (kDeadlineExceeded / kNumericalError /
+/// kDidNotConverge) while keeping iterations-used in the response; batch
+/// paths track one health per query column. See docs/ROBUSTNESS.md.
+enum class IterativeHealth {
+  kHealthy = 0,      ///< Converged, or ran its iteration budget cleanly.
+  kCancelled,        ///< CancelToken fired (deadline/shed) mid-solve.
+  kNumericalError,   ///< NaN/Inf iterate or diverging residual.
+  kDidNotConverge,   ///< Budget exhausted with require_convergence set.
+};
+
+/// Stable lowercase name ("healthy", "cancelled", ...), for logs and JSON.
+const char* IterativeHealthName(IterativeHealth health);
+
+/// Residual-divergence and NaN/Inf watchdog for power-method loops. Feed it
+/// the per-iteration L1 delta; it trips on any non-finite delta (the delta
+/// reduction sums the whole iterate, so a single NaN/Inf entry poisons it —
+/// one isfinite check covers the vector) or when the residual has grown
+/// `divergence_factor`x above the best delta seen while also being > 1
+/// absolute (so pre-convergence wobble on tiny residuals never trips it).
+class ResidualGuard {
+ public:
+  /// `divergence_factor` <= 0 disables divergence tracking (NaN/Inf is
+  /// always checked).
+  explicit ResidualGuard(double divergence_factor = 1e6)
+      : factor_(divergence_factor) {}
+
+  /// Returns false when the solve should abort with kNumericalError.
+  bool Update(double delta) {
+    if (!std::isfinite(delta)) return false;
+    if (factor_ > 0.0) {
+      if (delta < min_delta_) min_delta_ = delta;
+      double floor = min_delta_ < 1e-300 ? 1e-300 : min_delta_;
+      if (delta > factor_ * floor && delta > 1.0) return false;
+    }
+    return true;
+  }
+
+ private:
+  double factor_;
+  double min_delta_ = 1e300;
+};
 
 /// Outcome of an iterative graph-mining run (PageRank / HITS / RWR): the
 /// converged vector (original index space), the iteration count, and the
@@ -17,6 +62,7 @@ struct IterativeResult {
   std::vector<float> result;
   int iterations = 0;
   bool converged = false;
+  IterativeHealth health = IterativeHealth::kHealthy;
   double gpu_seconds = 0.0;
   double seconds_per_iteration = 0.0;
   uint64_t flops = 0;

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/pool.h"
+#include "robust/fault_injection.h"
 #include "sparse/convert.h"
 #include "util/check.h"
 
@@ -62,13 +63,20 @@ Result<RwrResult> RwrEngine::Query(int32_t node,
   RwrResult out;
   out.stats.seconds_per_iteration = kernel_->timing().seconds + aux_seconds;
 
+  ResidualGuard guard(options.divergence_factor);
   for (int it = 0; it < options.max_iterations; ++it) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      out.stats.health = IterativeHealth::kCancelled;
+      break;
+    }
+    TILESPMV_FAULT_STALL("graph/iteration_slow");
     obs::TraceSpan iter_span("graph", "rwr/iteration");
     double delta = 0.0;
     {
       obs::TraceSpan spmv_span("spmv", "spmv/multiply");
       kernel_->Multiply(r, &y);
     }
+    if (TILESPMV_FAULT_POINT("graph/rwr_nan")) y[0] = NAN;
     {
       obs::TraceSpan red_span("reduction", "reduction/rwr_update");
       // Fixed-block reduction (see par/pool.h): delta is bitwise identical
@@ -94,10 +102,18 @@ Result<RwrResult> RwrEngine::Query(int32_t node,
       iter_span.Arg("iter", it);
       iter_span.Arg("residual", delta);
     }
+    if (!guard.Update(delta)) {
+      out.stats.health = IterativeHealth::kNumericalError;
+      break;
+    }
     if (delta < options.tolerance) {
       out.stats.converged = true;
       break;
     }
+  }
+  if (!out.stats.converged && out.stats.health == IterativeHealth::kHealthy &&
+      options.require_convergence) {
+    out.stats.health = IterativeHealth::kDidNotConverge;
   }
   obs::MetricsRegistry::Global()
       .GetHistogram("tilespmv_rwr_iterations",
@@ -188,7 +204,14 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
     exec->queries.resize(k);
     for (int q = 0; q < k; ++q) exec->queries[q].panel_index = q;
   }
+  std::vector<ResidualGuard> guards(k, ResidualGuard(options.divergence_factor));
+  bool batch_cancelled = false;
   for (int it = 0; it < options.max_iterations && active > 0; ++it) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      batch_cancelled = true;
+      break;
+    }
+    TILESPMV_FAULT_STALL("graph/iteration_slow");
     obs::TraceSpan iter_span("graph", "rwr/batch_iteration");
     if (iter_span.active()) {
       iter_span.Arg("iter", it);
@@ -201,6 +224,7 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
         obs::TraceSpan spmv_span("spmv", "spmv/multiply");
         kernel_->Multiply(r[q], &y);
       }
+      if (TILESPMV_FAULT_POINT("graph/rwr_nan")) y[0] = NAN;
       if (exec != nullptr) {
         ++exec->sweeps;
         ++exec->vectors;
@@ -222,11 +246,26 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatch(
           "par/rwr_batch_update");
       ++out[q].stats.iterations;
       out[q].stats.delta_history.push_back(delta);
-      if (delta < options.tolerance) {
+      if (!guards[q].Update(delta)) {
+        done[q] = true;
+        --active;
+        out[q].stats.health = IterativeHealth::kNumericalError;
+      } else if (delta < options.tolerance) {
         done[q] = true;
         --active;
         out[q].stats.converged = true;
       }
+    }
+  }
+  for (int q = 0; q < k; ++q) {
+    if (out[q].stats.converged ||
+        out[q].stats.health != IterativeHealth::kHealthy) {
+      continue;
+    }
+    if (batch_cancelled) {
+      out[q].stats.health = IterativeHealth::kCancelled;
+    } else if (options.require_convergence) {
+      out[q].stats.health = IterativeHealth::kDidNotConverge;
     }
   }
   const Permutation& row_perm = kernel_->row_permutation();
@@ -254,6 +293,11 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatchBlocked(
     RwrBatchExecution* exec) const {
   const int k = static_cast<int>(internal.size());
   const int bw = spmm_kernel_->block_cols();
+  // The brownout ladder may cap the sweep width below the plan's block_cols;
+  // the SpMM kernels already sweep ragged (narrower) panels, so no rebuild.
+  const int bw_eff = options.max_panel_width > 0
+                         ? std::max(1, std::min(bw, options.max_panel_width))
+                         : bw;
   const float c = options.restart;
   const Permutation& row_perm = kernel_->row_permutation();
   std::vector<RwrResult> out(k);
@@ -264,13 +308,13 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatchBlocked(
   }
   spmm::DenseBlock x, y;
   std::vector<float> column;
-  for (int p0 = 0; p0 < k; p0 += bw) {
+  for (int p0 = 0; p0 < k; p0 += bw_eff) {
     // The final panel may be ragged; it sweeps at its actual width.
-    const int w = std::min(bw, k - p0);
+    const int w = std::min(bw_eff, k - p0);
     if (exec != nullptr) {
       for (int j = 0; j < w; ++j) {
         RwrQueryExecution& qe = exec->queries[p0 + j];
-        qe.panel_index = p0 / bw;
+        qe.panel_index = p0 / bw_eff;
         qe.panel_width = w;
         qe.panel_column = j;
         qe.ragged_tail = w < bw;
@@ -279,9 +323,17 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatchBlocked(
     x.Resize(n_, w);
     for (int j = 0; j < w; ++j) x.at(internal[p0 + j], j) = 1.0f;
     std::vector<bool> done(w, false);
+    std::vector<ResidualGuard> guards(w,
+                                      ResidualGuard(options.divergence_factor));
     int active = w;
+    bool panel_cancelled = false;
     const double iter_seconds = BlockIterationSeconds(w);
     for (int it = 0; it < options.max_iterations && active > 0; ++it) {
+      if (options.cancel != nullptr && options.cancel->cancelled()) {
+        panel_cancelled = true;
+        break;
+      }
+      TILESPMV_FAULT_STALL("spmm/sweep_slow");
       obs::TraceSpan iter_span("graph", "rwr/block_iteration");
       if (iter_span.active()) {
         iter_span.Arg("iter", it);
@@ -291,6 +343,11 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatchBlocked(
       {
         obs::TraceSpan spmm_span("spmm", "spmm/multiply");
         spmm_kernel_->Multiply(x, &y);
+      }
+      if (TILESPMV_FAULT_POINT("graph/rwr_nan")) {
+        // Row 0 is interleaved as data[0..w): poison every panel column, so
+        // one injected fault hits every rider of the shared sweep.
+        for (int j = 0; j < w; ++j) y.data[j] = NAN;
       }
       if (exec != nullptr) {
         ++exec->sweeps;
@@ -324,11 +381,27 @@ Result<std::vector<RwrResult>> RwrEngine::QueryBatchBlocked(
             "par/rwr_block_update");
         ++out[q].stats.iterations;
         out[q].stats.delta_history.push_back(delta);
-        if (delta < options.tolerance) {
+        if (!guards[j].Update(delta)) {
+          done[j] = true;
+          --active;
+          out[q].stats.health = IterativeHealth::kNumericalError;
+        } else if (delta < options.tolerance) {
           done[j] = true;
           --active;
           out[q].stats.converged = true;
         }
+      }
+    }
+    for (int j = 0; j < w; ++j) {
+      const int q = p0 + j;
+      if (out[q].stats.converged ||
+          out[q].stats.health != IterativeHealth::kHealthy) {
+        continue;
+      }
+      if (panel_cancelled) {
+        out[q].stats.health = IterativeHealth::kCancelled;
+      } else if (options.require_convergence) {
+        out[q].stats.health = IterativeHealth::kDidNotConverge;
       }
     }
     const KernelTiming sweep = spmm_kernel_->TimingForBlockCols(w);

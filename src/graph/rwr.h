@@ -2,6 +2,7 @@
 #define TILESPMV_GRAPH_RWR_H_
 
 #include "graph/power_method.h"
+#include "robust/cancel.h"
 #include "sparse/csr.h"
 #include "spmm/spmm.h"
 #include "util/status.h"
@@ -18,6 +19,19 @@ struct RwrOptions {
   /// spmm::kBlockWidths and QueryBatch runs panels of up to this many
   /// vectors per matrix sweep. Ignored (left 0) on scalar-only engines.
   int block_cols = 0;
+  /// Per-call cap on the sweep width of blocked batches (> 0 caps panels at
+  /// min(block_cols, max_panel_width); 0 = plan width). The brownout ladder
+  /// uses this to shrink panels under deadline pressure without rebuilding
+  /// the plan — narrower panels finish sooner at a higher per-query cost.
+  int max_panel_width = 0;
+  /// Checked at each iteration boundary (per panel on the blocked path); a
+  /// fired token marks every unfinished query kCancelled with its partial
+  /// iteration count. Not owned. nullptr = not cancellable.
+  const robust::CancelToken* cancel = nullptr;
+  /// Report kDidNotConverge when the iteration budget runs out unconverged.
+  bool require_convergence = false;
+  /// ResidualGuard divergence trip factor (<= 0 disables).
+  double divergence_factor = 1e6;
 };
 
 /// Where one query of a batch actually ran: which SpMM panel, at what width,

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "robust/fault_injection.h"
+
 namespace tilespmv {
 namespace {
 
@@ -54,18 +56,28 @@ Status WriteBinaryMatrix(const CsrMatrix& a, const std::string& path) {
 }
 
 Result<CsrMatrix> ReadBinaryMatrix(const std::string& path) {
+  if (TILESPMV_FAULT_POINT("io/binary_read")) {
+    return Status::IoError("injected fault: binary matrix read failed");
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
+  // The on-disk size bounds every claimed vector length below: a corrupt
+  // header claiming billions of elements must fail the length check, not
+  // allocate billions of elements and then hit EOF.
+  in.seekg(0, std::ios::end);
+  const int64_t file_size = static_cast<int64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  if (file_size < 0) return Status::IoError("cannot stat " + path);
   uint64_t magic = 0;
   if (!ReadRaw(in, &magic) || magic != kMagic) {
     return Status::IoError("not a tilespmv binary matrix: " + path);
   }
   CsrMatrix m;
-  constexpr uint64_t kMaxElems = 1ULL << 36;  // Sanity bound (~64 G entries).
-  if (!ReadRaw(in, &m.rows) || !ReadRaw(in, &m.cols) ||
-      !ReadVec(in, &m.row_ptr, kMaxElems) ||
-      !ReadVec(in, &m.col_idx, kMaxElems) ||
-      !ReadVec(in, &m.values, kMaxElems)) {
+  const uint64_t max_elems = static_cast<uint64_t>(file_size) / 4;
+  if (!ReadRaw(in, &m.rows) || !ReadRaw(in, &m.cols) || m.rows < 0 ||
+      m.cols < 0 || !ReadVec(in, &m.row_ptr, max_elems) ||
+      !ReadVec(in, &m.col_idx, max_elems) ||
+      !ReadVec(in, &m.values, max_elems)) {
     return Status::IoError("truncated or corrupt binary matrix: " + path);
   }
   Status st = m.Validate();

@@ -1,15 +1,21 @@
 #include "io/edge_list.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
 
+#include "robust/fault_injection.h"
+
 namespace tilespmv {
 
 Result<CsrMatrix> ReadEdgeList(const std::string& path,
                                const EdgeListOptions& options) {
+  if (TILESPMV_FAULT_POINT("io/edge_list_read")) {
+    return Status::IoError("injected fault: edge list read failed");
+  }
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
 
@@ -35,14 +41,28 @@ Result<CsrMatrix> ReadEdgeList(const std::string& path,
       return Status::IoError("malformed edge at " + path + ":" +
                              std::to_string(line_no));
     }
-    ss >> w;  // Optional weight.
+    if (!(ss >> w)) {  // Optional weight.
+      // Distinguish "no weight column" (hit end of line) from a present but
+      // unparseable token such as "nan" or "x" — the latter is corrupt data,
+      // not an unweighted edge.
+      if (!ss.eof()) {
+        return Status::InvalidArgument("malformed edge weight at " + path +
+                                       ":" + std::to_string(line_no));
+      }
+      w = options.default_weight;
+    }
     if (u < 0 || v < 0) {
       return Status::InvalidArgument("negative node id at " + path + ":" +
                                      std::to_string(line_no));
     }
-    if (!options.compact_ids && (u > INT32_MAX || v > INT32_MAX)) {
+    // >= INT32_MAX (not >): node count max_id + 1 must itself fit in int32.
+    if (!options.compact_ids && (u >= INT32_MAX || v >= INT32_MAX)) {
       return Status::InvalidArgument(
           "node id exceeds int32 range; use compact_ids");
+    }
+    if (!std::isfinite(w)) {
+      return Status::InvalidArgument("non-finite edge weight at " + path +
+                                     ":" + std::to_string(line_no));
     }
     int32_t mu = map_id(u);
     int32_t mv = map_id(v);

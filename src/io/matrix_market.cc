@@ -1,13 +1,21 @@
 #include "io/matrix_market.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "robust/fault_injection.h"
 
 namespace tilespmv {
 
 Result<CsrMatrix> ReadMatrixMarket(const std::string& path) {
+  if (TILESPMV_FAULT_POINT("io/matrix_market_read")) {
+    return Status::IoError("injected fault: matrix market read failed");
+  }
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   std::string line;
@@ -38,17 +46,37 @@ Result<CsrMatrix> ReadMatrixMarket(const std::string& path) {
   }
   if (rows < 0 || cols < 0 || rows > INT32_MAX || cols > INT32_MAX)
     return Status::InvalidArgument("matrix dimensions out of range");
+  // rows/cols are both <= INT32_MAX here, so the product fits in int64.
+  if (nnz < 0 || nnz > rows * cols)
+    return Status::InvalidArgument("implausible nnz " + std::to_string(nnz) +
+                                   " in " + path);
 
   std::vector<Triplet> triplets;
-  triplets.reserve(static_cast<size_t>(symmetric ? 2 * nnz : nnz));
+  // Reserve from the claimed nnz, but cap the up-front allocation: a huge
+  // claimed count in a tiny (truncated) file must fail with a typed error at
+  // the first missing entry, not OOM on this reserve.
+  triplets.reserve(static_cast<size_t>(
+      std::min<int64_t>(symmetric ? 2 * nnz : nnz, int64_t{1} << 26)));
   for (int64_t i = 0; i < nnz; ++i) {
     int64_t r = 0, c = 0;
     double v = 1.0;
     if (!(in >> r >> c)) return Status::IoError("truncated entries in " + path);
-    if (!pattern && !(in >> v))
-      return Status::IoError("truncated value in " + path);
+    if (!pattern) {
+      // Parse the value via strtod rather than operator>> so literal
+      // "nan"/"inf" tokens are read as non-finite doubles (and rejected
+      // below) instead of failing extraction and masquerading as EOF.
+      std::string token;
+      if (!(in >> token)) return Status::IoError("truncated value in " + path);
+      char* endp = nullptr;
+      v = std::strtod(token.c_str(), &endp);
+      if (endp == token.c_str() || *endp != '\0')
+        return Status::InvalidArgument("malformed value \"" + token + "\" in " +
+                                       path);
+    }
     if (r < 1 || r > rows || c < 1 || c > cols)
       return Status::InvalidArgument("entry index out of range in " + path);
+    if (!std::isfinite(v))
+      return Status::InvalidArgument("non-finite value in " + path);
     triplets.push_back(Triplet{static_cast<int32_t>(r - 1),
                                static_cast<int32_t>(c - 1),
                                static_cast<float>(v)});

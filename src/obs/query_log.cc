@@ -33,6 +33,10 @@ const char* StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kNumericalError:
+      return "NUMERICAL_ERROR";
+    case StatusCode::kDidNotConverge:
+      return "DID_NOT_CONVERGE";
   }
   return "UNKNOWN";
 }
@@ -87,6 +91,12 @@ std::string QueryRecord::ToJson() const {
   }
   out += "},\"deadline_missed\":";
   out += deadline_missed ? "true" : "false";
+  out += ",\"cancelled\":";
+  out += cancelled ? "true" : "false";
+  out += ",\"iterations\":";
+  out += std::to_string(iterations);
+  out += ",\"brownout_level\":";
+  out += std::to_string(brownout_level);
   out += ",\"deduped\":";
   out += deduped ? "true" : "false";
   out += ",\"coalesced\":";
@@ -119,6 +129,8 @@ QueryJournal::QueryJournal(const Options& options) : options_(options) {
 
 void QueryJournal::Record(QueryRecord record) {
   bool dump = (options_.dump_on_deadline_miss && record.deadline_missed) ||
+              (options_.dump_on_numerical_error &&
+               record.code == StatusCode::kNumericalError) ||
               (options_.slow_seconds > 0.0 &&
                record.total_seconds >= options_.slow_seconds);
   std::string dump_line;

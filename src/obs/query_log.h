@@ -63,6 +63,12 @@ struct QueryRecord {
   /// tracing was disabled at submit time.
   double enqueue_ts_us = 0.0;
   bool deadline_missed = false;  ///< Deadline expired (in queue or batch).
+  bool cancelled = false;  ///< Aborted mid-solve by its CancelToken.
+  /// Power iterations actually spent (0 when the query never executed).
+  /// For a cancelled solve this is the partial count at abort.
+  int iterations = 0;
+  /// Brownout ladder level the query was served under (0 = healthy).
+  int brownout_level = 0;
   bool deduped = false;     ///< Answered by an identical in-flight leader.
   bool coalesced = false;   ///< Served from a coalesced RWR batch.
   bool plan_cache_hit = false;
@@ -101,6 +107,9 @@ class QueryJournal {
     double slow_seconds = 0.0;
     /// Dump records whose deadline_missed flag is set.
     bool dump_on_deadline_miss = true;
+    /// Dump records that failed with kNumericalError — a numerical blow-up
+    /// always deserves its flight-recorder breadcrumbs.
+    bool dump_on_numerical_error = true;
     /// Retained dumped records (separate ring), for inspection without I/O.
     size_t dump_retention = 64;
     /// When non-empty, every dump is appended to this file as one JSON line.

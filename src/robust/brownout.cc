@@ -1,0 +1,52 @@
+#include "robust/brownout.h"
+
+#include <algorithm>
+
+namespace tilespmv::robust {
+
+BrownoutController::BrownoutController(const BrownoutOptions& options)
+    : options_(options) {
+  options_.window = std::max(1, options_.window);
+  options_.min_samples = std::max(1, options_.min_samples);
+  window_.assign(static_cast<size_t>(options_.window), 0);
+}
+
+void BrownoutController::RecordOutcome(bool deadline_missed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint8_t& slot = window_[static_cast<size_t>(window_next_)];
+  if (window_count_ == options_.window) {
+    window_misses_ -= slot;  // evict the slot being overwritten
+  } else {
+    ++window_count_;
+  }
+  slot = deadline_missed ? 1 : 0;
+  window_misses_ += slot;
+  window_next_ = (window_next_ + 1) % options_.window;
+}
+
+void BrownoutController::RecordQueueFraction(double fraction) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_fraction_ = std::clamp(fraction, 0.0, 1.0);
+}
+
+int BrownoutController::Level() const {
+  if (!options_.enabled) return 0;
+  if (options_.force_level >= 0) return std::min(options_.force_level, 3);
+  std::lock_guard<std::mutex> lock(mu_);
+  int level = 0;
+  if (window_count_ >= options_.min_samples) {
+    double miss_rate =
+        static_cast<double>(window_misses_) / static_cast<double>(window_count_);
+    if (miss_rate >= options_.level3_miss_rate) {
+      level = 3;
+    } else if (miss_rate >= options_.level2_miss_rate) {
+      level = 2;
+    } else if (miss_rate >= options_.level1_miss_rate) {
+      level = 1;
+    }
+  }
+  if (queue_fraction_ >= options_.queue_pressure) level = std::min(level + 1, 3);
+  return level;
+}
+
+}  // namespace tilespmv::robust

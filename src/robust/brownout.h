@@ -1,0 +1,69 @@
+#ifndef TILESPMV_ROBUST_BROWNOUT_H_
+#define TILESPMV_ROBUST_BROWNOUT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace tilespmv::robust {
+
+/// Tuning for the graceful-degradation ladder (docs/ROBUSTNESS.md).
+/// The controller watches a sliding window of request outcomes and the
+/// queue-occupancy fraction, and maps sustained deadline pressure to a
+/// level 0–3:
+///   0  healthy — no degradation.
+///   1  drop SpMM panel width (halve the blocked-RWR panel).
+///   2  additionally relax RWR tolerance, but only within the caller's
+///      max_tolerance bound.
+///   3  additionally shed new work with kResourceExhausted + retry-after.
+struct BrownoutOptions {
+  bool enabled = true;
+  /// Pin the level for tests/drills (-1 = automatic).
+  int force_level = -1;
+  /// Sliding window of recent request outcomes.
+  int window = 64;
+  /// Automatic mode stays at level 0 until this many outcomes are seen.
+  int min_samples = 16;
+  /// Deadline-miss-rate thresholds for levels 1/2/3.
+  double level1_miss_rate = 0.2;
+  double level2_miss_rate = 0.4;
+  double level3_miss_rate = 0.7;
+  /// Queue occupancy (pending / max_pending) that bumps the level by one.
+  double queue_pressure = 0.9;
+  /// Tolerance the engine relaxes RWR queries toward at level >= 2
+  /// (still clamped to the caller's max_tolerance).
+  float relaxed_tolerance = 1e-3f;
+  /// Retry-after hint attached to level-3 sheds.
+  double retry_after_seconds = 0.05;
+};
+
+/// Sliding-window brownout level controller. Thread-safe; Level() is called
+/// on every admission and batch flush, RecordOutcome on every completion.
+class BrownoutController {
+ public:
+  explicit BrownoutController(const BrownoutOptions& options = {});
+
+  /// Feeds one finished request into the window.
+  void RecordOutcome(bool deadline_missed);
+
+  /// Feeds the current queue occupancy (pending / max_pending, in [0,1]).
+  void RecordQueueFraction(double fraction);
+
+  /// Current ladder level in [0,3].
+  int Level() const;
+
+  const BrownoutOptions& options() const { return options_; }
+
+ private:
+  BrownoutOptions options_;
+  mutable std::mutex mu_;
+  std::vector<uint8_t> window_;  ///< Ring of outcomes, 1 = deadline miss.
+  int window_next_ = 0;
+  int window_count_ = 0;
+  int window_misses_ = 0;
+  double queue_fraction_ = 0.0;
+};
+
+}  // namespace tilespmv::robust
+
+#endif  // TILESPMV_ROBUST_BROWNOUT_H_

@@ -1,0 +1,52 @@
+#ifndef TILESPMV_ROBUST_CANCEL_H_
+#define TILESPMV_ROBUST_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace tilespmv::robust {
+
+/// Cooperative cancellation token checked at power-iteration and tile-sweep
+/// boundaries. A token can be cancelled explicitly (shed, shutdown) or by an
+/// attached deadline; either way `cancelled()` flips true and the solver
+/// aborts with its partial iteration count instead of burning the pool.
+///
+/// Checks are cheap — one relaxed atomic load, plus a steady_clock read when
+/// a deadline is attached — so once-per-iteration polling costs nothing
+/// measurable next to an SpMV sweep. Tokens are passed by const pointer
+/// (nullptr means "not cancellable") and must outlive the solve.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Attaches a deadline; the token reports cancelled once it passes.
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// Cancels explicitly, independent of any deadline.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace tilespmv::robust
+
+#endif  // TILESPMV_ROBUST_CANCEL_H_

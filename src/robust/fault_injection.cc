@@ -1,0 +1,229 @@
+#include "robust/fault_injection.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace tilespmv::robust {
+namespace {
+
+/// splitmix64: tiny, seedable, good enough for fire/no-fire decisions and
+/// fully deterministic for a given seed + hit sequence.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double UnitRandom(uint64_t* state) {
+  return static_cast<double>(NextRandom(state) >> 11) * 0x1.0p-53;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t at = s.find(sep, start);
+    if (at == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, at - start));
+    start = at + 1;
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\n\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\n\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    const char* env = std::getenv("TILESPMV_FAULTS");
+    if (env != nullptr && env[0] != '\0') {
+      Status st = inj->Configure(env);
+      if (!st.ok()) {
+        std::fprintf(stderr, "warning: ignoring TILESPMV_FAULTS: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+Status FaultInjector::Configure(const std::string& spec) {
+  std::unordered_map<std::string, Rule> rules;
+  std::vector<std::pair<std::string, Rule>> prefix_rules;
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  for (const std::string& raw_entry : Split(spec, ';')) {
+    std::string entry = Trim(raw_entry);
+    if (entry.empty()) continue;
+    std::vector<std::string> parts = Split(entry, ':');
+    std::string name = Trim(parts[0]);
+    if (name.rfind("seed=", 0) == 0) {
+      if (parts.size() != 1 || !ParseUint(name.substr(5), &seed)) {
+        return Status::InvalidArgument("fault spec: bad seed in \"" + entry +
+                                       "\"");
+      }
+      continue;
+    }
+    if (name.empty() || name.find('=') != std::string::npos) {
+      return Status::InvalidArgument("fault spec: bad point name in \"" +
+                                     entry + "\"");
+    }
+    Rule rule;
+    bool has_trigger = false;
+    for (size_t i = 1; i < parts.size(); ++i) {
+      std::string param = Trim(parts[i]);
+      if (param == "always") {
+        rule.always = true;
+        has_trigger = true;
+      } else if (param.rfind("p=", 0) == 0) {
+        if (!ParseDouble(param.substr(2), &rule.probability) ||
+            rule.probability < 0.0 || rule.probability > 1.0) {
+          return Status::InvalidArgument(
+              "fault spec: p must be in [0,1] in \"" + entry + "\"");
+        }
+        has_trigger = true;
+      } else if (param.rfind("n=", 0) == 0) {
+        if (!ParseUint(param.substr(2), &rule.nth) || rule.nth == 0) {
+          return Status::InvalidArgument(
+              "fault spec: n must be a positive integer in \"" + entry +
+              "\"");
+        }
+        has_trigger = true;
+      } else if (param.rfind("sleep_ms=", 0) == 0) {
+        if (!ParseDouble(param.substr(9), &rule.sleep_ms) ||
+            rule.sleep_ms < 0.0) {
+          return Status::InvalidArgument(
+              "fault spec: sleep_ms must be >= 0 in \"" + entry + "\"");
+        }
+      } else {
+        return Status::InvalidArgument("fault spec: unknown param \"" +
+                                       param + "\" in \"" + entry + "\"");
+      }
+    }
+    // A bare point name means "always": `--faults=plan_cache/build` reads
+    // naturally in one-off repro runs.
+    if (!has_trigger) rule.always = true;
+    if (!name.empty() && name.back() == '*') {
+      prefix_rules.emplace_back(name.substr(0, name.size() - 1), rule);
+    } else {
+      rules[name] = rule;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_ = std::move(rules);
+  prefix_rules_ = std::move(prefix_rules);
+  points_.clear();
+  fires_total_ = 0;
+  rng_state_ = seed;
+  armed_.store(!rules_.empty() || !prefix_rules_.empty(),
+               std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  prefix_rules_.clear();
+  points_.clear();
+  fires_total_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+const FaultInjector::Rule* FaultInjector::FindRule(
+    const std::string& point) const {
+  auto it = rules_.find(point);
+  if (it != rules_.end()) return &it->second;
+  const Rule* best = nullptr;
+  size_t best_len = 0;
+  for (const auto& [prefix, rule] : prefix_rules_) {
+    if (point.rfind(prefix, 0) == 0 &&
+        (best == nullptr || prefix.size() >= best_len)) {
+      best = &rule;
+      best_len = prefix.size();
+    }
+  }
+  return best;
+}
+
+bool FaultInjector::FireLocked(const std::string& point,
+                               const Rule** rule_out) {
+  const Rule* rule = FindRule(point);
+  if (rule_out != nullptr) *rule_out = rule;
+  if (rule == nullptr) return false;
+  PointState& state = points_[point];
+  ++state.hits;
+  bool fire = rule->always || (rule->nth > 0 && state.hits == rule->nth) ||
+              (rule->probability > 0.0 &&
+               UnitRandom(&rng_state_) < rule->probability);
+  if (fire) {
+    ++state.fires;
+    ++fires_total_;
+  }
+  return fire;
+}
+
+bool FaultInjector::ShouldFire(const char* point) {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return FireLocked(point, nullptr);
+}
+
+double FaultInjector::ShouldStallMs(const char* point) {
+  if (!armed_.load(std::memory_order_relaxed)) return 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Rule* rule = nullptr;
+  if (!FireLocked(point, &rule)) return 0.0;
+  return rule->sleep_ms;
+}
+
+std::vector<FaultPointStats> FaultInjector::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FaultPointStats> out;
+  out.reserve(points_.size());
+  for (const auto& [point, state] : points_) {
+    out.push_back(FaultPointStats{point, state.hits, state.fires});
+  }
+  return out;
+}
+
+uint64_t FaultInjector::fires_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fires_total_;
+}
+
+void InjectStall(const char* point) {
+  double ms = FaultInjector::Global().ShouldStallMs(point);
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+}  // namespace tilespmv::robust

@@ -1,0 +1,129 @@
+#ifndef TILESPMV_ROBUST_FAULT_INJECTION_H_
+#define TILESPMV_ROBUST_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tilespmv::robust {
+
+/// Whether fault-injection call sites were compiled into this binary
+/// (cmake -DTILESPMV_FAULTS=ON). When false the TILESPMV_FAULT_* macros
+/// below expand to constants and the injector never sees a hit, so the
+/// production build pays nothing for the instrumentation.
+constexpr bool FaultInjectionCompiledIn() {
+#if defined(TILESPMV_FAULTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Per-point hit/fire counters, for stats JSON and test assertions.
+struct FaultPointStats {
+  std::string point;
+  uint64_t hits = 0;   ///< Times the call site was reached.
+  uint64_t fires = 0;  ///< Times the fault actually triggered.
+};
+
+/// Deterministic, seedable fault injector behind the TILESPMV_FAULT_* macros
+/// (docs/ROBUSTNESS.md lists the registered points). Rules are configured
+/// from a spec string — the TILESPMV_FAULTS environment variable or
+/// `spmv_cli --faults=` — of the form
+///
+///   point[:param[:param...]] ; point ... ; seed=N
+///
+/// where each param is one of
+///   p=F          fire with probability F per hit (deterministic RNG),
+///   n=K          fire exactly on the K-th hit of the point,
+///   always       fire on every hit,
+///   sleep_ms=F   the stall duration TILESPMV_FAULT_STALL points inject.
+///
+/// A point name ending in '*' is a prefix wildcard ("graph/*" matches every
+/// graph-loop point). All methods are thread-safe; the fast path when no
+/// rules are armed is one relaxed atomic load.
+class FaultInjector {
+ public:
+  /// Process-wide injector. On first access it arms itself from the
+  /// TILESPMV_FAULTS environment variable (a malformed value is reported to
+  /// stderr once and ignored — the CLI path validates strictly instead).
+  static FaultInjector& Global();
+
+  FaultInjector() = default;
+
+  /// Replaces the rule set from `spec` (see the grammar above). An empty
+  /// spec disarms the injector. Returns kInvalidArgument on a malformed
+  /// spec, leaving the previous rules in place.
+  Status Configure(const std::string& spec);
+
+  /// Drops every rule and counter.
+  void Reset();
+
+  /// True when at least one rule is armed.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Counts a hit at `point` and decides whether its fault fires now.
+  /// Always false when no rule matches.
+  bool ShouldFire(const char* point);
+
+  /// Like ShouldFire, but returns the rule's sleep_ms (default 1.0) when it
+  /// fires and 0.0 otherwise — the stall variant for slowness points.
+  double ShouldStallMs(const char* point);
+
+  /// Snapshot of every point touched since the last Reset/Configure.
+  std::vector<FaultPointStats> Stats() const;
+
+  /// Total fires across all points.
+  uint64_t fires_total() const;
+
+ private:
+  struct Rule {
+    double probability = 0.0;  ///< Fire with this chance per hit.
+    uint64_t nth = 0;          ///< Fire exactly on this hit (1-based).
+    bool always = false;
+    double sleep_ms = 1.0;  ///< Stall duration for TILESPMV_FAULT_STALL.
+  };
+  struct PointState {
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  /// Exact match first, then the longest '*' prefix rule. nullptr when no
+  /// rule covers `point`. Caller holds mu_.
+  const Rule* FindRule(const std::string& point) const;
+  bool FireLocked(const std::string& point, const Rule** rule_out);
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;
+  std::unordered_map<std::string, Rule> rules_;      ///< Exact-name rules.
+  std::vector<std::pair<std::string, Rule>> prefix_rules_;  ///< '*' rules.
+  std::unordered_map<std::string, PointState> points_;
+  uint64_t fires_total_ = 0;
+};
+
+/// Sleeps for the stall duration when the slowness rule at `point` fires.
+/// Used by the TILESPMV_FAULT_STALL macro; callable directly from tests.
+void InjectStall(const char* point);
+
+}  // namespace tilespmv::robust
+
+// Scoped injection-point macros. Compiled out (constant-folded away) unless
+// the build sets TILESPMV_FAULTS_ENABLED (cmake -DTILESPMV_FAULTS=ON);
+// docs/ROBUSTNESS.md catalogs the registered point names.
+#if defined(TILESPMV_FAULTS_ENABLED)
+#define TILESPMV_FAULT_POINT(name) \
+  (::tilespmv::robust::FaultInjector::Global().ShouldFire(name))
+#define TILESPMV_FAULT_STALL(name) ::tilespmv::robust::InjectStall(name)
+#else
+#define TILESPMV_FAULT_POINT(name) (false)
+#define TILESPMV_FAULT_STALL(name) ((void)0)
+#endif
+
+#endif  // TILESPMV_ROBUST_FAULT_INJECTION_H_

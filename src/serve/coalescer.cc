@@ -15,6 +15,7 @@ size_t RwrBatchKeyHash::operator()(const RwrBatchKey& k) const {
   mix(std::hash<float>{}(k.restart));
   mix(std::hash<float>{}(k.tolerance));
   mix(static_cast<size_t>(k.max_iterations));
+  mix(std::hash<float>{}(k.max_tolerance));
   return h;
 }
 

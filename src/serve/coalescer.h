@@ -24,6 +24,10 @@ struct RwrBatchKey {
   float restart = 0.9f;
   float tolerance = 1e-5f;
   int max_iterations = 100;
+  /// Caller-approved relaxation bound (QueryParams::max_tolerance). Part of
+  /// the key so a brownout tolerance relaxation applies uniformly to every
+  /// member of a batch without exceeding any member's bound.
+  float max_tolerance = 0.0f;
 
   bool operator==(const RwrBatchKey&) const = default;
 };

@@ -7,6 +7,8 @@
 #include "graph/hits.h"
 #include "graph/pagerank.h"
 #include "obs/trace.h"
+#include "robust/cancel.h"
+#include "robust/fault_injection.h"
 #include "simd/caps.h"
 #include "sparse/convert.h"
 #include "util/timer.h"
@@ -43,6 +45,33 @@ uint64_t PlanResidentBytes(const SpMVKernel& kernel) {
   uint64_t vectors =
       4ULL * (static_cast<uint64_t>(kernel.rows()) + kernel.cols());
   return std::max<uint64_t>(kernel.timing().device_bytes, 1) + vectors;
+}
+
+/// Maps a solve's health (carried as data through the OK Result) to the
+/// typed status the response reports. Keeping the two separate lets the
+/// engine return iterations-used and partial stats alongside the error.
+Status StatusFromHealth(IterativeHealth health) {
+  switch (health) {
+    case IterativeHealth::kHealthy:
+      return Status::OK();
+    case IterativeHealth::kCancelled:
+      return Status::DeadlineExceeded("deadline expired mid-solve");
+    case IterativeHealth::kNumericalError:
+      return Status::NumericalError(
+          "solve produced non-finite values or diverged");
+    case IterativeHealth::kDidNotConverge:
+      return Status::DidNotConverge(
+          "iteration budget exhausted without convergence");
+  }
+  return Status::OK();
+}
+
+/// Plan-build failures worth retrying with backoff: transient conditions
+/// (including injected ones) as opposed to deterministic bad input.
+bool TransientBuildFailure(StatusCode code) {
+  return code == StatusCode::kInternal ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kIoError || code == StatusCode::kUnavailable;
 }
 
 obs::QueryJournal::Options JournalOptions(const EngineOptions& options) {
@@ -86,7 +115,8 @@ Engine::Engine(const EngineOptions& options)
     : options_(options),
       plan_cache_(options.plan_cache_bytes),
       stats_(options.metrics),
-      journal_(JournalOptions(options)) {
+      journal_(JournalOptions(options)),
+      brownout_(options.brownout) {
   options_.num_threads = std::max(1, options_.num_threads);
   options_.max_pending = std::max(1, options_.max_pending);
   options_.max_batch = std::max(1, options_.max_batch);
@@ -181,6 +211,23 @@ std::future<QueryResponse> Engine::Submit(const std::string& graph,
     return reject(Status::InvalidArgument("rwr query node out of range"));
   }
 
+  // Brownout level 3: the engine is persistently missing deadlines, so
+  // queueing more work would only manufacture more misses. Shed with a
+  // backoff hint instead (docs/ROBUSTNESS.md).
+  if (brownout_.Level() >= 3) {
+    stats_.SetBrownoutLevel(brownout_.Level());
+    stats_.RecordShed(StatusCode::kResourceExhausted);
+    return FinishEarly(kind,
+                       Status::ResourceExhausted("brownout: shedding load"),
+                       query_id, enqueue_ts_us, t_enqueue,
+                       brownout_.options().retry_after_seconds);
+  }
+  if (TILESPMV_FAULT_POINT("serve/admit_alloc")) {
+    stats_.RecordShed(StatusCode::kResourceExhausted);
+    return reject(Status::ResourceExhausted(
+        "injected fault: admission allocation failed"));
+  }
+
   // Admission control: bound total in-flight requests instead of queueing
   // unboundedly.
   if (pending_.fetch_add(1, std::memory_order_acq_rel) >=
@@ -189,6 +236,9 @@ std::future<QueryResponse> Engine::Submit(const std::string& graph,
     stats_.RecordShed(StatusCode::kUnavailable);
     return reject(Status::Unavailable("admission control: queue full"));
   }
+  brownout_.RecordQueueFraction(
+      static_cast<double>(pending_.load(std::memory_order_relaxed)) /
+      static_cast<double>(options_.max_pending));
 
   const TimePoint now = Clock::now();
   double deadline_seconds = resolved.deadline_seconds > 0
@@ -209,6 +259,7 @@ std::future<QueryResponse> Engine::Submit(const std::string& graph,
     key.restart = resolved.restart;
     key.tolerance = resolved.tolerance;
     key.max_iterations = resolved.max_iterations;
+    key.max_tolerance = resolved.max_tolerance;
 
     RwrPendingQuery sub;
     sub.node = resolved.node;
@@ -284,6 +335,9 @@ ServerStatsSnapshot Engine::stats() const {
   s.plan_evictions = cache.evictions;
   s.plan_resident_bytes = cache.resident_bytes;
   s.plan_entries = cache.entries;
+  s.plan_failed_builds = cache.failed_builds;
+  s.plan_failure_memo_hits = cache.failure_memo_hits;
+  s.fault_fires = robust::FaultInjector::Global().fires_total();
   s.flight_dumps = journal_.dumped_total();
   s.journal_records = journal_.size();
   s.journal_dropped = journal_.dropped();
@@ -348,9 +402,10 @@ Result<std::shared_ptr<const Plan>> Engine::GetPlan(
   key.kernel = kernel;
   key.workload = WorkloadFor(kind);
 
-  Result<std::shared_ptr<const Plan>> plan = plan_cache_.GetOrBuild(
-      key,
-      [&]() -> Result<Plan> {
+  auto builder = [&]() -> Result<Plan> {
+        if (TILESPMV_FAULT_POINT("plan_cache/build")) {
+          return Status::Internal("injected fault: plan build failed");
+        }
         obs::TraceSpan build_span("serve", "serve/plan_build");
         if (build_span.active()) {
           build_span.Arg("kernel", kernel);
@@ -410,8 +465,33 @@ Result<std::shared_ptr<const Plan>> Engine::GetPlan(
         built.kernel = std::move(k);
         built.build_seconds = timer.Seconds();
         return built;
-      },
-      cache_hit);
+      };
+  Result<std::shared_ptr<const Plan>> plan =
+      plan_cache_.GetOrBuild(key, builder, cache_hit);
+  // Transient build failures retry with jittered exponential backoff: the
+  // failure memo is cleared so the rebuild actually runs, and the jitter
+  // decorrelates concurrent retriers hammering the same key.
+  for (int attempt = 0;
+       !plan.ok() && TransientBuildFailure(plan.status().code()) &&
+       attempt < options_.plan_build_retries && !stopping_.load(std::memory_order_relaxed);
+       ++attempt) {
+    stats_.RecordPlanBuildRetry();
+    plan_cache_.Invalidate(key);
+    uint64_t z = retry_jitter_state_.fetch_add(0x9e3779b97f4a7c15ULL,
+                                               std::memory_order_relaxed) +
+                 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double unit = static_cast<double>(z >> 11) * 0x1.0p-53;
+    const double backoff = options_.plan_build_retry_base_seconds *
+                           static_cast<double>(1 << attempt) *
+                           (0.5 + 0.5 * unit);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(DurationFromSeconds(backoff));
+    }
+    plan = plan_cache_.GetOrBuild(key, builder, cache_hit);
+  }
   if (plan.ok() && build_seconds != nullptr) {
     *build_seconds = *cache_hit ? 0.0 : plan.value()->build_seconds;
   }
@@ -448,6 +528,7 @@ void Engine::ExecuteSingle(const std::shared_ptr<Request>& request) {
     FinishRequest(request, std::move(response), timing);
     return;
   }
+  TILESPMV_FAULT_STALL("serve/execute_slow");
 
   bool cache_hit = false;
   double build_seconds = 0.0;
@@ -465,12 +546,28 @@ void Engine::ExecuteSingle(const std::shared_ptr<Request>& request) {
   response.simd_tier = std::string(plan.value()->kernel->simd_tier());
 
   const QueryParams& p = request->params;
+  // Deadline-aware solves: the token is checked at iteration boundaries, so
+  // a deadline expiring mid-solve aborts the loop instead of running the
+  // full budget against a request nobody is waiting for.
+  robust::CancelToken cancel;
+  if (request->has_deadline) cancel.SetDeadline(request->deadline);
+  // Brownout rung 2: relax tolerance within the caller-approved bound.
+  const int level = brownout_.Level();
+  float tolerance = p.tolerance;
+  if (level >= 2 && p.max_tolerance > tolerance) {
+    tolerance = p.max_tolerance;
+    stats_.RecordBrownoutToleranceRelaxed(1);
+  }
+  response.brownout_level = level;
+  response.tolerance_used = tolerance;
   switch (request->kind) {
     case QueryKind::kPageRank: {
       PageRankOptions opts;
       opts.damping = p.damping;
       opts.max_iterations = p.max_iterations;
-      opts.tolerance = p.tolerance;
+      opts.tolerance = tolerance;
+      opts.cancel = &cancel;
+      opts.require_convergence = options_.strict_convergence;
       Result<IterativeResult> r =
           RunPageRankPrepared(*plan.value()->kernel, opts);
       if (!r.ok()) {
@@ -486,7 +583,9 @@ void Engine::ExecuteSingle(const std::shared_ptr<Request>& request) {
     case QueryKind::kHits: {
       HitsOptions opts;
       opts.max_iterations = p.max_iterations;
-      opts.tolerance = p.tolerance;
+      opts.tolerance = tolerance;
+      opts.cancel = &cancel;
+      opts.require_convergence = options_.strict_convergence;
       Result<HitsScores> r = RunHitsPrepared(*plan.value()->kernel, opts);
       if (!r.ok()) {
         response.status = r.status();
@@ -502,7 +601,9 @@ void Engine::ExecuteSingle(const std::shared_ptr<Request>& request) {
       RwrOptions opts;
       opts.restart = p.restart;
       opts.max_iterations = p.max_iterations;
-      opts.tolerance = p.tolerance;
+      opts.tolerance = tolerance;
+      opts.cancel = &cancel;
+      opts.require_convergence = options_.strict_convergence;
       Result<RwrResult> r = plan.value()->rwr->Query(p.node, opts);
       if (!r.ok()) {
         response.status = r.status();
@@ -513,6 +614,14 @@ void Engine::ExecuteSingle(const std::shared_ptr<Request>& request) {
       response.stats = std::move(result.stats);
       break;
     }
+  }
+  // Non-healthy solves come back through the OK Result (iterations-used and
+  // partial stats intact); map the health to the response's typed status.
+  if (response.status.ok() &&
+      response.stats.health != IterativeHealth::kHealthy) {
+    response.cancelled =
+        response.stats.health == IterativeHealth::kCancelled;
+    response.status = StatusFromHealth(response.stats.health);
   }
   timing.compute_done = Clock::now();
   FinishRequest(request, std::move(response), timing);
@@ -595,10 +704,41 @@ void Engine::FlushBatch(const Task& task) {
   nodes.reserve(live.size());
   for (RwrPendingQuery* sub : live) nodes.push_back(sub->node);
 
+  // Batch-wide cancellation: the token carries the latest deadline, but only
+  // when every member has one — a single open-ended query keeps the batch
+  // running to completion (cancelling it on a companion's deadline would be
+  // wrong).
+  robust::CancelToken cancel;
+  bool all_deadlines = true;
+  TimePoint latest_deadline = TimePoint::min();
+  for (RwrPendingQuery* sub : live) {
+    if (!sub->has_deadline) {
+      all_deadlines = false;
+      break;
+    }
+    latest_deadline = std::max(latest_deadline, sub->deadline);
+  }
+  if (all_deadlines) cancel.SetDeadline(latest_deadline);
+
+  const int level = brownout_.Level();
   RwrOptions opts;
   opts.restart = task.batch_key.restart;
   opts.tolerance = task.batch_key.tolerance;
   opts.max_iterations = task.batch_key.max_iterations;
+  opts.cancel = all_deadlines ? &cancel : nullptr;
+  opts.require_convergence = options_.strict_convergence;
+  // Brownout rung 1: halve the SpMM panel width so each sweep retires
+  // sooner (the blocked kernels already handle ragged panels, no rebuild).
+  if (level >= 1 && plan.value()->spmm != nullptr) {
+    opts.max_panel_width = std::max(1, plan.value()->spmm->block_cols() / 2);
+    stats_.RecordBrownoutPanelDrop();
+  }
+  // Brownout rung 2: relax tolerance within the batch's caller-approved
+  // bound (part of the batch key, so it holds for every member).
+  if (level >= 2 && task.batch_key.max_tolerance > opts.tolerance) {
+    opts.tolerance = task.batch_key.max_tolerance;
+    stats_.RecordBrownoutToleranceRelaxed(live.size());
+  }
   RwrBatchExecution exec;
   Result<std::vector<RwrResult>> results =
       plan.value()->rwr->QueryBatch(nodes, opts, &exec);
@@ -625,7 +765,13 @@ void Engine::FlushBatch(const Task& task) {
     RwrPendingQuery* sub = live[i];
     QueryResponse response;
     response.kind = QueryKind::kRwr;
-    response.status = Status::OK();
+    // Health is tracked per query column: one diverging column fails with
+    // kNumericalError while its batchmates still succeed.
+    const IterativeHealth health = results.value()[i].stats.health;
+    response.status = StatusFromHealth(health);
+    response.cancelled = health == IterativeHealth::kCancelled;
+    response.brownout_level = level;
+    response.tolerance_used = opts.tolerance;
     response.scores = std::move(results.value()[i].scores);
     response.stats = std::move(results.value()[i].stats);
     response.plan_cache_hit = cache_hit;
@@ -711,6 +857,9 @@ void Engine::RecordOutcome(QueryResponse* response,
   record.total_seconds = total;
   record.enqueue_ts_us = timing.enqueue_ts_us;
   record.deadline_missed = record.code == StatusCode::kDeadlineExceeded;
+  record.cancelled = response->cancelled;
+  record.iterations = response->stats.iterations;
+  record.brownout_level = response->brownout_level;
   record.deduped = response->deduped;
   record.coalesced = timing.coalesced;
   record.plan_cache_hit = response->plan_cache_hit;
@@ -769,12 +918,23 @@ void Engine::Respond(std::promise<QueryResponse>* promise,
                      QueryResponse response, RequestTiming timing) {
   RecordOutcome(&response, timing);
   const StatusCode code = response.status.code();
+  // Feed the brownout controller: each finished request is one sample of
+  // "did we miss its deadline", and the gauge mirrors the resulting level.
+  brownout_.RecordOutcome(code == StatusCode::kDeadlineExceeded);
+  stats_.SetBrownoutLevel(brownout_.Level());
   if (code == StatusCode::kDeadlineExceeded) {
-    stats_.RecordShed(code);
+    if (response.cancelled) {
+      stats_.RecordCancelled();
+    } else {
+      stats_.RecordShed(code);
+    }
     stats_.RecordStages(response.stages);
-  } else if (code == StatusCode::kUnavailable) {
+  } else if (code == StatusCode::kUnavailable ||
+             code == StatusCode::kResourceExhausted) {
     stats_.RecordShed(code);
   } else {
+    if (code == StatusCode::kNumericalError) stats_.RecordNumericalError();
+    if (code == StatusCode::kDidNotConverge) stats_.RecordDidNotConverge();
     stats_.RecordCompletion(response.latency_seconds,
                             response.stats.gpu_seconds, response.status.ok());
     stats_.RecordStages(response.stages);
@@ -786,12 +946,14 @@ void Engine::Respond(std::promise<QueryResponse>* promise,
 std::future<QueryResponse> Engine::FinishEarly(QueryKind kind, Status status,
                                                uint64_t query_id,
                                                double enqueue_ts_us,
-                                               TimePoint enqueue) {
+                                               TimePoint enqueue,
+                                               double retry_after_seconds) {
   std::promise<QueryResponse> promise;
   std::future<QueryResponse> future = promise.get_future();
   QueryResponse response;
   response.kind = kind;
   response.status = std::move(status);
+  response.retry_after_seconds = retry_after_seconds;
   RequestTiming timing;
   timing.query_id = query_id;
   timing.enqueue_ts_us = enqueue_ts_us;

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "robust/brownout.h"
 #include "serve/coalescer.h"
 #include "serve/plan_cache.h"
 #include "serve/request.h"
@@ -75,6 +76,21 @@ struct EngineOptions {
   /// pass &obs::MetricsRegistry::Global() to fold serving metrics into a
   /// process-wide export (spmv_cli serve does).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Graceful-degradation ladder configuration (docs/ROBUSTNESS.md). The
+  /// controller watches deadline misses and queue pressure; levels 1-3
+  /// progressively halve SpMM panel width, relax RWR tolerance within each
+  /// caller's max_tolerance, and shed with kResourceExhausted.
+  robust::BrownoutOptions brownout;
+  /// Transiently failed plan builds (kInternal/kResourceExhausted/kIoError/
+  /// kUnavailable) are retried up to this many times with jittered
+  /// exponential backoff before the error is returned. 0 disables retry.
+  int plan_build_retries = 2;
+  double plan_build_retry_base_seconds = 0.001;
+  /// Map iteration loops that exhaust max_iterations without reaching
+  /// tolerance to kDidNotConverge instead of returning the best-effort
+  /// result as OK. Off by default: fixed-iteration callers (tolerance 0)
+  /// never converge by definition.
+  bool strict_convergence = false;
 };
 
 /// A long-running, thread-safe graph-analytics serving engine layered on the
@@ -232,10 +248,13 @@ class Engine {
   /// Terminal outcome decided inside Submit (invalid request, shed,
   /// shutdown): journals the record and returns a ready future. Does not
   /// touch pending_ or the shed counters — the caller owns those.
+  /// `retry_after_seconds` > 0 sets the response's backoff hint (brownout
+  /// sheds).
   std::future<QueryResponse> FinishEarly(QueryKind kind, Status status,
                                          uint64_t query_id,
                                          double enqueue_ts_us,
-                                         TimePoint enqueue);
+                                         TimePoint enqueue,
+                                         double retry_after_seconds = 0.0);
   void EnqueueTask(Task task);
 
   EngineOptions options_;
@@ -243,6 +262,10 @@ class Engine {
   RwrCoalescer coalescer_;
   ServerStats stats_;
   obs::QueryJournal journal_;
+  robust::BrownoutController brownout_;
+  /// splitmix64 state for plan-build retry backoff jitter (decorrelates
+  /// concurrent retriers; not used for anything result-affecting).
+  std::atomic<uint64_t> retry_jitter_state_{0x853c49e6748fea9bULL};
 
   mutable std::mutex graphs_mu_;
   std::unordered_map<std::string, std::shared_ptr<const GraphEntry>> graphs_;

@@ -40,6 +40,18 @@ Result<std::shared_ptr<const Plan>> PlanCache::GetOrBuild(
       if (cache_hit != nullptr) *cache_hit = true;
       return it->second->plan;
     }
+    // A build of this key failed moments ago: fail fast with the same typed
+    // status instead of rebuilding the poisoned entry back-to-back. The memo
+    // expires on its own, or Invalidate() clears it for an explicit retry.
+    auto fit = failed_.find(key);
+    if (fit != failed_.end()) {
+      if (std::chrono::steady_clock::now() < fit->second.until) {
+        ++failure_memo_hits_;
+        if (cache_hit != nullptr) *cache_hit = false;
+        return fit->second.status;
+      }
+      failed_.erase(fit);
+    }
     auto bit = building_.find(key);
     if (bit != building_.end()) {
       // Another thread is already building this plan: count it as a hit —
@@ -84,6 +96,16 @@ Result<std::shared_ptr<const Plan>> PlanCache::GetOrBuild(
   {
     std::lock_guard<std::mutex> cache_lock(mu_);
     building_.erase(key);
+    if (!built.ok()) {
+      ++failed_builds_;
+      if (failure_memo_seconds_ > 0) {
+        failed_[key] = FailureMemo{
+            built.status(),
+            std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(failure_memo_seconds_))};
+      }
+    }
   }
   {
     std::lock_guard<std::mutex> lock(build->mu);
@@ -99,6 +121,17 @@ Result<std::shared_ptr<const Plan>> PlanCache::GetOrBuild(
   return plan;
 }
 
+void PlanCache::Invalidate(const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failed_.erase(key);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    resident_bytes_ -= it->second->plan->resident_bytes;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+}
+
 PlanCacheStats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   PlanCacheStats s;
@@ -107,6 +140,8 @@ PlanCacheStats PlanCache::stats() const {
   s.evictions = evictions_;
   s.resident_bytes = resident_bytes_;
   s.entries = lru_.size();
+  s.failed_builds = failed_builds_;
+  s.failure_memo_hits = failure_memo_hits_;
   return s;
 }
 

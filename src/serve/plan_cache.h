@@ -1,6 +1,7 @@
 #ifndef TILESPMV_SERVE_PLAN_CACHE_H_
 #define TILESPMV_SERVE_PLAN_CACHE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -69,6 +70,8 @@ struct PlanCacheStats {
   uint64_t evictions = 0;
   uint64_t resident_bytes = 0;
   uint64_t entries = 0;
+  uint64_t failed_builds = 0;      ///< Builder invocations that errored.
+  uint64_t failure_memo_hits = 0;  ///< Callers short-circuited by the memo.
 };
 
 /// Thread-safe LRU cache of preprocessed plans, bounded by total resident
@@ -77,7 +80,13 @@ struct PlanCacheStats {
 /// share the result (builds of *different* keys proceed in parallel).
 class PlanCache {
  public:
-  explicit PlanCache(uint64_t byte_budget) : byte_budget_(byte_budget) {}
+  /// `failure_memo_seconds` is how long a failed build's Status is memoized:
+  /// callers arriving inside the window get the same typed error immediately
+  /// instead of re-running the poisoned builder back-to-back. 0 disables
+  /// memoization (every caller may retry the build).
+  explicit PlanCache(uint64_t byte_budget, double failure_memo_seconds = 0.25)
+      : byte_budget_(byte_budget),
+        failure_memo_seconds_(failure_memo_seconds) {}
 
   using Builder = std::function<Result<Plan>()>;
 
@@ -85,13 +94,20 @@ class PlanCache {
   /// insert it. Inserting evicts least-recently-used plans until the budget
   /// holds again (the newly inserted plan itself is never evicted, so a plan
   /// larger than the whole budget still serves — alone). A failed build is
-  /// not cached; its Status propagates to every waiter. `cache_hit`, if
+  /// not cached as a plan; its Status propagates exactly once to every
+  /// waiter of that build, and is memoized for failure_memo_seconds so
+  /// immediate re-requests fail fast instead of rebuilding. `cache_hit`, if
   /// non-null, reports whether this caller avoided preprocessing: true for a
   /// resident plan and for waiters sharing an in-progress build, false only
-  /// for the caller that actually ran the builder.
+  /// for the caller that actually ran the builder (or hit the failure memo).
   Result<std::shared_ptr<const Plan>> GetOrBuild(const PlanKey& key,
                                                  const Builder& builder,
                                                  bool* cache_hit = nullptr);
+
+  /// Drops `key`'s resident plan (if any) and its failure memo, forcing the
+  /// next GetOrBuild to rebuild. The engine's retry-with-backoff path calls
+  /// this between attempts. Does not count as an eviction.
+  void Invalidate(const PlanKey& key);
 
   PlanCacheStats stats() const;
 
@@ -110,17 +126,26 @@ class PlanCache {
     Status status;                          // Failure, if any.
     std::shared_ptr<const Plan> plan;       // Success, if any.
   };
+  /// A recently failed build: the typed error and when the memo expires.
+  struct FailureMemo {
+    Status status;
+    std::chrono::steady_clock::time_point until;
+  };
 
   mutable std::mutex mu_;
   uint64_t byte_budget_;
+  double failure_memo_seconds_;
   uint64_t resident_bytes_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t failed_builds_ = 0;
+  uint64_t failure_memo_hits_ = 0;
   std::list<Entry> lru_;  ///< Front = most recently used.
   std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> map_;
   std::unordered_map<PlanKey, std::shared_ptr<Building>, PlanKeyHash>
       building_;
+  std::unordered_map<PlanKey, FailureMemo, PlanKeyHash> failed_;
 };
 
 }  // namespace tilespmv::serve

@@ -32,6 +32,10 @@ struct QueryParams {
   /// requests are answered with kDeadlineExceeded instead of executing.
   /// 0 uses the engine default (which may be "no deadline").
   double deadline_seconds = 0.0;
+  /// Caller-approved brownout bound: when the engine is degrading (level >=
+  /// 2, docs/ROBUSTNESS.md) it may relax this request's tolerance up to this
+  /// value. 0 forbids relaxation — the request always runs at `tolerance`.
+  float max_tolerance = 0.0f;
 };
 
 /// What the engine hands back, successful or not. `stats` carries the
@@ -67,6 +71,17 @@ struct QueryResponse {
   int panel_width = 0;
   int panel_column = -1;
   bool ragged_tail = false;
+
+  /// Robustness attribution (docs/ROBUSTNESS.md). `cancelled` marks a solve
+  /// aborted mid-iteration by its deadline (status kDeadlineExceeded with
+  /// stats.iterations < max_iterations); `tolerance_used` is the tolerance
+  /// the solve actually ran at (differs from params.tolerance only when
+  /// brownout relaxed it); `retry_after_seconds` accompanies
+  /// kResourceExhausted sheds as a backoff hint.
+  bool cancelled = false;
+  int brownout_level = 0;         ///< Ladder level when the request executed.
+  float tolerance_used = 0.0f;
+  double retry_after_seconds = 0.0;
 };
 
 }  // namespace tilespmv::serve

@@ -20,6 +20,29 @@ ServerStats::ServerStats(obs::MetricsRegistry* registry) {
   shed_deadline_ =
       registry_->GetCounter("tilespmv_serve_shed_deadline_total",
                             "Requests expired before/while queued");
+  shed_overload_ =
+      registry_->GetCounter("tilespmv_serve_shed_overload_total",
+                            "Brownout level-3 sheds (kResourceExhausted)");
+  cancelled_ = registry_->GetCounter(
+      "tilespmv_serve_cancelled_total",
+      "Solves aborted mid-iteration by a cancel token");
+  numerical_errors_ = registry_->GetCounter(
+      "tilespmv_serve_numerical_errors_total",
+      "Responses failed with kNumericalError (NaN/Inf or divergence)");
+  did_not_converge_ =
+      registry_->GetCounter("tilespmv_serve_did_not_converge_total",
+                            "Responses failed with kDidNotConverge");
+  brownout_panel_drops_ = registry_->GetCounter(
+      "tilespmv_serve_brownout_panel_drops_total",
+      "Coalesced batches executed at reduced SpMM panel width");
+  brownout_tolerance_relaxed_ = registry_->GetCounter(
+      "tilespmv_serve_brownout_tolerance_relaxed_total",
+      "RWR queries served with brownout-relaxed tolerance");
+  plan_build_retries_ =
+      registry_->GetCounter("tilespmv_serve_plan_build_retries_total",
+                            "Plan builds retried after a transient failure");
+  brownout_level_ = registry_->GetGauge(
+      "tilespmv_serve_brownout_level", "Current brownout ladder level (0-3)");
   dedup_hits_ = registry_->GetCounter(
       "tilespmv_serve_dedup_hits_total",
       "Requests answered by an identical in-flight run");
@@ -66,8 +89,33 @@ void ServerStats::RecordCompletion(double latency_seconds,
 }
 
 void ServerStats::RecordShed(StatusCode code) {
-  (code == StatusCode::kDeadlineExceeded ? shed_deadline_ : shed_queue_full_)
-      ->Increment();
+  if (code == StatusCode::kDeadlineExceeded) {
+    shed_deadline_->Increment();
+  } else if (code == StatusCode::kResourceExhausted) {
+    shed_overload_->Increment();
+  } else {
+    shed_queue_full_->Increment();
+  }
+}
+
+void ServerStats::RecordCancelled() { cancelled_->Increment(); }
+
+void ServerStats::RecordNumericalError() { numerical_errors_->Increment(); }
+
+void ServerStats::RecordDidNotConverge() { did_not_converge_->Increment(); }
+
+void ServerStats::RecordBrownoutPanelDrop() {
+  brownout_panel_drops_->Increment();
+}
+
+void ServerStats::RecordBrownoutToleranceRelaxed(uint64_t queries) {
+  brownout_tolerance_relaxed_->Increment(queries);
+}
+
+void ServerStats::RecordPlanBuildRetry() { plan_build_retries_->Increment(); }
+
+void ServerStats::SetBrownoutLevel(int level) {
+  brownout_level_->Set(static_cast<double>(level));
 }
 
 void ServerStats::RecordDedupHit() { dedup_hits_->Increment(); }
@@ -96,6 +144,14 @@ ServerStatsSnapshot ServerStats::Snapshot() const {
   s.failed = failed_->Value();
   s.shed_queue_full = shed_queue_full_->Value();
   s.shed_deadline = shed_deadline_->Value();
+  s.shed_overload = shed_overload_->Value();
+  s.cancelled = cancelled_->Value();
+  s.numerical_errors = numerical_errors_->Value();
+  s.did_not_converge = did_not_converge_->Value();
+  s.brownout_panel_drops = brownout_panel_drops_->Value();
+  s.brownout_tolerance_relaxed = brownout_tolerance_relaxed_->Value();
+  s.plan_build_retries = plan_build_retries_->Value();
+  s.brownout_level = static_cast<int>(brownout_level_->Value());
   s.dedup_hits = dedup_hits_->Value();
   s.rwr_batches = rwr_batches_->Value();
   s.rwr_batched_queries = rwr_batched_queries_->Value();
@@ -176,15 +232,31 @@ std::string ServerStatsSnapshot::ToJson() const {
                   stage_p95_ms[i], stage_p99_ms[i]);
     out += stage_buf;
   }
-  char tail[256];
-  std::snprintf(tail, sizeof(tail),
-                "}, \"flight_recorder\": {\"dumps\": %llu, "
-                "\"journal_records\": %llu, \"journal_dropped\": %llu}, "
-                "\"simd_tier\": \"%s\"}",
-                static_cast<unsigned long long>(flight_dumps),
-                static_cast<unsigned long long>(journal_records),
-                static_cast<unsigned long long>(journal_dropped),
-                simd_tier.c_str());
+  char tail[1024];
+  std::snprintf(
+      tail, sizeof(tail),
+      "}, \"flight_recorder\": {\"dumps\": %llu, "
+      "\"journal_records\": %llu, \"journal_dropped\": %llu}, "
+      "\"robustness\": {\"shed_overload\": %llu, \"cancelled\": %llu, "
+      "\"numerical_errors\": %llu, \"did_not_converge\": %llu, "
+      "\"brownout_level\": %d, \"brownout_panel_drops\": %llu, "
+      "\"brownout_tolerance_relaxed\": %llu, \"plan_build_retries\": %llu, "
+      "\"plan_failed_builds\": %llu, \"plan_failure_memo_hits\": %llu, "
+      "\"fault_fires\": %llu}, "
+      "\"simd_tier\": \"%s\"}",
+      static_cast<unsigned long long>(flight_dumps),
+      static_cast<unsigned long long>(journal_records),
+      static_cast<unsigned long long>(journal_dropped),
+      static_cast<unsigned long long>(shed_overload),
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(numerical_errors),
+      static_cast<unsigned long long>(did_not_converge), brownout_level,
+      static_cast<unsigned long long>(brownout_panel_drops),
+      static_cast<unsigned long long>(brownout_tolerance_relaxed),
+      static_cast<unsigned long long>(plan_build_retries),
+      static_cast<unsigned long long>(plan_failed_builds),
+      static_cast<unsigned long long>(plan_failure_memo_hits),
+      static_cast<unsigned long long>(fault_fires), simd_tier.c_str());
   out += tail;
   return out;
 }

@@ -23,6 +23,10 @@ struct ServerStatsSnapshot {
   uint64_t failed = 0;     ///< Non-OK responses other than sheds.
   uint64_t shed_queue_full = 0;  ///< Admission-control rejections.
   uint64_t shed_deadline = 0;    ///< Requests expired before/while queued.
+  uint64_t shed_overload = 0;    ///< Brownout level-3 sheds (kResourceExhausted).
+  uint64_t cancelled = 0;  ///< Solves aborted mid-iteration by a CancelToken.
+  uint64_t numerical_errors = 0;   ///< kNumericalError responses.
+  uint64_t did_not_converge = 0;   ///< kDidNotConverge responses.
   uint64_t dedup_hits = 0;  ///< Requests answered by an identical in-flight run.
   uint64_t rwr_batches = 0;          ///< Coalesced RWR batch executions.
   uint64_t rwr_batched_queries = 0;  ///< RWR queries served through them.
@@ -38,6 +42,17 @@ struct ServerStatsSnapshot {
   uint64_t plan_evictions = 0;
   uint64_t plan_resident_bytes = 0;
   uint64_t plan_entries = 0;
+  uint64_t plan_failed_builds = 0;      ///< Plan builds that errored.
+  uint64_t plan_failure_memo_hits = 0;  ///< Requests failed fast by the memo.
+  uint64_t plan_build_retries = 0;      ///< Transient-failure build retries.
+  /// Brownout ladder state (docs/ROBUSTNESS.md): current level and how often
+  /// each degradation rung was applied.
+  int brownout_level = 0;
+  uint64_t brownout_panel_drops = 0;        ///< Batches run at reduced width.
+  uint64_t brownout_tolerance_relaxed = 0;  ///< Queries with relaxed tolerance.
+  /// Fault-injection fires since arming (0 when injection is compiled out or
+  /// disarmed). Filled by Engine::stats().
+  uint64_t fault_fires = 0;
   double qps = 0.0;  ///< Completed requests per second of uptime.
   double latency_mean_ms = 0.0;
   double latency_p50_ms = 0.0;
@@ -85,7 +100,18 @@ class ServerStats {
 
   void RecordCompletion(double latency_seconds, double modeled_gpu_seconds,
                         bool ok);
+  /// Routes by code: kDeadlineExceeded -> shed_deadline,
+  /// kResourceExhausted -> shed_overload, anything else -> shed_queue_full.
   void RecordShed(StatusCode code);
+  /// A solve aborted mid-iteration by its CancelToken (counted separately
+  /// from queue-expiry sheds: the request burned execute time).
+  void RecordCancelled();
+  void RecordNumericalError();
+  void RecordDidNotConverge();
+  void RecordBrownoutPanelDrop();
+  void RecordBrownoutToleranceRelaxed(uint64_t queries);
+  void RecordPlanBuildRetry();
+  void SetBrownoutLevel(int level);
   void RecordDedupHit();
   /// Also feeds the tilespmv_serve_rwr_batch_width distribution.
   void RecordRwrBatch(int queries);
@@ -109,6 +135,14 @@ class ServerStats {
   obs::Counter* failed_;
   obs::Counter* shed_queue_full_;
   obs::Counter* shed_deadline_;
+  obs::Counter* shed_overload_;
+  obs::Counter* cancelled_;
+  obs::Counter* numerical_errors_;
+  obs::Counter* did_not_converge_;
+  obs::Counter* brownout_panel_drops_;
+  obs::Counter* brownout_tolerance_relaxed_;
+  obs::Counter* plan_build_retries_;
+  obs::Gauge* brownout_level_;
   obs::Counter* dedup_hits_;
   obs::Counter* rwr_batches_;
   obs::Counter* rwr_batched_queries_;

@@ -21,6 +21,10 @@ const char* CodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kNumericalError:
+      return "NUMERICAL_ERROR";
+    case StatusCode::kDidNotConverge:
+      return "DID_NOT_CONVERGE";
   }
   return "UNKNOWN";
 }

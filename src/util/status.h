@@ -10,9 +10,13 @@ namespace tilespmv {
 /// Error category for a failed operation. Mirrors the small set of failure
 /// modes the library can hit: bad user input, a format that cannot represent
 /// the given matrix (e.g. DIA on a power-law graph), resource exhaustion
-/// (device memory), I/O failures, and — for the serving layer — requests
-/// shed by admission control (kUnavailable) or expired in queue
-/// (kDeadlineExceeded).
+/// (device memory, or overload sheds with a retry-after hint), I/O failures,
+/// and — for the serving layer — requests shed by admission control
+/// (kUnavailable) or expired in queue / cancelled mid-solve
+/// (kDeadlineExceeded). Iterative solvers additionally report numerical
+/// blow-ups (kNumericalError: NaN/Inf or residual divergence) and, when the
+/// caller demands convergence, kDidNotConverge. docs/ROBUSTNESS.md has the
+/// full taxonomy.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -22,6 +26,8 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kUnavailable,
+  kNumericalError,
+  kDidNotConverge,
 };
 
 /// Arrow/RocksDB-style status object. The library does not throw across API
@@ -53,6 +59,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status DidNotConverge(std::string msg) {
+    return Status(StatusCode::kDidNotConverge, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "io/binary_cache.h"
+#include "io/edge_list.h"
 #include "io/matrix_market.h"
 #include "util/random.h"
 
@@ -102,6 +104,85 @@ TEST(MatrixMarketTest, TruncatedFileFails) {
         << "1 1 1.0\n";
   }
   EXPECT_FALSE(ReadMatrixMarket(path).ok());
+}
+
+// --- Corrupt-input corpus (tests/data/corrupt/, docs/ROBUSTNESS.md). ---
+//
+// Every loader must turn malformed bytes into a typed Status — never crash,
+// hang, overflow, or allocate unboundedly. The corpus files are committed so
+// the exact byte patterns that once mattered keep being exercised.
+
+std::string CorpusPath(const std::string& name) {
+  return std::string(TILESPMV_TEST_DATA_DIR) + "/corrupt/" + name;
+}
+
+struct CorpusCase {
+  const char* file;
+  StatusCode want;
+};
+
+TEST(CorruptCorpusTest, MatrixMarketFilesFailTyped) {
+  const CorpusCase cases[] = {
+      {"bad_header.mtx", StatusCode::kIoError},
+      {"truncated_entries.mtx", StatusCode::kIoError},
+      {"out_of_range.mtx", StatusCode::kInvalidArgument},
+      {"negative_nnz.mtx", StatusCode::kInvalidArgument},
+      {"huge_nnz.mtx", StatusCode::kInvalidArgument},
+      {"nonfinite_value.mtx", StatusCode::kInvalidArgument},
+  };
+  for (const CorpusCase& c : cases) {
+    Result<CsrMatrix> r = ReadMatrixMarket(CorpusPath(c.file));
+    ASSERT_FALSE(r.ok()) << c.file;
+    EXPECT_EQ(r.status().code(), c.want)
+        << c.file << ": " << r.status().ToString();
+    EXPECT_FALSE(r.status().message().empty()) << c.file;
+  }
+}
+
+TEST(CorruptCorpusTest, BinaryFilesFailTyped) {
+  const char* cases[] = {"bad_magic.bin", "huge_claim.bin", "truncated.bin",
+                         "negative_dims.bin"};
+  for (const char* file : cases) {
+    Result<CsrMatrix> r = ReadBinaryMatrix(CorpusPath(file));
+    ASSERT_FALSE(r.ok()) << file;
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError)
+        << file << ": " << r.status().ToString();
+  }
+}
+
+TEST(CorruptCorpusTest, EdgeListFilesFailTyped) {
+  const CorpusCase cases[] = {
+      {"bad_edge.txt", StatusCode::kIoError},
+      {"negative_id.txt", StatusCode::kInvalidArgument},
+      {"overflow_id.txt", StatusCode::kInvalidArgument},
+      {"nan_weight.txt", StatusCode::kInvalidArgument},
+  };
+  for (const CorpusCase& c : cases) {
+    Result<CsrMatrix> r = ReadEdgeList(CorpusPath(c.file), EdgeListOptions{});
+    ASSERT_FALSE(r.ok()) << c.file;
+    EXPECT_EQ(r.status().code(), c.want)
+        << c.file << ": " << r.status().ToString();
+  }
+}
+
+// A node id of exactly INT32_MAX would make the node count overflow int32;
+// compact_ids remaps it instead of refusing.
+TEST(CorruptCorpusTest, OverflowIdAcceptedWithCompactIds) {
+  EdgeListOptions options;
+  options.compact_ids = true;
+  Result<CsrMatrix> r =
+      ReadEdgeList(CorpusPath("overflow_id.txt"), options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows, 2);
+}
+
+// The binary reader must reject a header claiming ~10^12 elements without
+// attempting the allocation: the claimed length is bounded by the actual
+// file size first. (If this regressed, the test would OOM, not just fail.)
+TEST(CorruptCorpusTest, HugeClaimDoesNotAllocate) {
+  Result<CsrMatrix> r = ReadBinaryMatrix(CorpusPath("huge_claim.bin"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
 }
 
 }  // namespace

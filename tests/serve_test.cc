@@ -475,6 +475,230 @@ TEST(ServeEngineTest, ConcurrentDeadlineMissesEachDumpExactlyOnce) {
   EXPECT_TRUE(std::unique(ids.begin(), ids.end()) == ids.end());
 }
 
+// --- Robustness: cancellation, convergence guards, brownout ladder. ---
+// (docs/ROBUSTNESS.md; run under ThreadSanitizer in CI.)
+
+// A deadline that expires while the solve is running must cancel it
+// mid-iteration — typed kDeadlineExceeded with the partial iteration count —
+// not run the full budget and report the miss afterwards.
+TEST(ServeEngineTest, DeadlineCancelsMidSolve) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", TestGraph()).code(), StatusCode::kOk);
+
+  // Warm the plan so the deadline query below spends its whole budget in
+  // the iteration loop rather than in preprocessing.
+  QueryParams warm = BaseParams();
+  warm.max_iterations = 2;
+  ASSERT_EQ(engine.Query("g", QueryKind::kPageRank, warm).status.code(),
+            StatusCode::kOk);
+
+  // tolerance 0 never converges; the budget alone would run for tens of
+  // seconds. Only the deadline's CancelToken can end this solve early.
+  QueryParams doomed = BaseParams();
+  doomed.tolerance = 0.0f;
+  doomed.max_iterations = 2'000'000;
+  doomed.deadline_seconds = 0.1;
+  QueryResponse r = engine.Query("g", QueryKind::kPageRank, doomed);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded)
+      << r.status.ToString();
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_GT(r.stats.iterations, 0);
+  EXPECT_LT(r.stats.iterations, doomed.max_iterations);
+
+  ServerStatsSnapshot stats = engine.stats();
+  EXPECT_GE(stats.cancelled, 1u);
+  EXPECT_EQ(stats.shed_deadline, 0u);  // It executed; it did not die queued.
+
+  // The journal distinguishes the mid-solve abort from a queue shed and
+  // keeps the partial iteration count.
+  std::vector<obs::QueryRecord> records = engine.journal().Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[1].cancelled);
+  EXPECT_TRUE(records[1].deadline_missed);
+  EXPECT_EQ(records[1].code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(records[1].iterations, r.stats.iterations);
+}
+
+TEST(ServeEngineTest, StrictConvergenceReportsBudgetExhaustion) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  opts.strict_convergence = true;
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", TestGraph()).code(), StatusCode::kOk);
+
+  QueryParams p = BaseParams();
+  p.tolerance = 1e-30f;  // Unreachable in three iterations.
+  p.max_iterations = 3;
+  QueryResponse r = engine.Query("g", QueryKind::kPageRank, p);
+  EXPECT_EQ(r.status.code(), StatusCode::kDidNotConverge)
+      << r.status.ToString();
+  EXPECT_EQ(r.stats.iterations, 3);
+  EXPECT_GE(engine.stats().did_not_converge, 1u);
+
+  // A loose tolerance still converges and reports OK under strict mode.
+  QueryParams easy = BaseParams();
+  QueryResponse ok = engine.Query("g", QueryKind::kPageRank, easy);
+  EXPECT_EQ(ok.status.code(), StatusCode::kOk) << ok.status.ToString();
+}
+
+TEST(ServeEngineTest, BrownoutLevel3ShedsWithRetryAfterHint) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  opts.brownout.force_level = 3;
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", TestGraph()).code(), StatusCode::kOk);
+
+  QueryResponse r = engine.Query("g", QueryKind::kPageRank, BaseParams());
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted)
+      << r.status.ToString();
+  EXPECT_GT(r.retry_after_seconds, 0.0);
+
+  ServerStatsSnapshot stats = engine.stats();
+  EXPECT_GE(stats.shed_overload, 1u);
+  EXPECT_EQ(stats.brownout_level, 3);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(ServeEngineTest, BrownoutLevel2RelaxesToleranceWithinCallerBound) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  opts.batch_window_seconds = 0.0;  // Single-query RWR path.
+  opts.brownout.force_level = 2;
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", TestGraph()).code(), StatusCode::kOk);
+
+  // The caller approved relaxation up to 1e-3: brownout takes it.
+  QueryParams consenting = BaseParams();
+  consenting.node = 0;
+  consenting.max_tolerance = 1e-3f;
+  QueryResponse r = engine.Query("g", QueryKind::kRwr, consenting);
+  ASSERT_EQ(r.status.code(), StatusCode::kOk) << r.status.ToString();
+  EXPECT_EQ(r.brownout_level, 2);
+  EXPECT_FLOAT_EQ(r.tolerance_used, 1e-3f);
+  EXPECT_GE(engine.stats().brownout_tolerance_relaxed, 1u);
+
+  // max_tolerance 0 (the default) forbids relaxation: the query runs at its
+  // requested tolerance even under brownout.
+  QueryParams strict = BaseParams();
+  strict.node = 1;
+  QueryResponse held = engine.Query("g", QueryKind::kRwr, strict);
+  ASSERT_EQ(held.status.code(), StatusCode::kOk) << held.status.ToString();
+  EXPECT_FLOAT_EQ(held.tolerance_used, kTolerance);
+}
+
+TEST(ServeEngineTest, BrownoutLevel1HalvesCoalescedPanelWidth) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  opts.batch_window_seconds = 0.2;
+  opts.max_batch = 8;
+  opts.spmm_block_cols = 4;
+  opts.brownout.force_level = 1;
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", TestGraph()).code(), StatusCode::kOk);
+
+  // Six coalesced queries on a width-4 plan would normally sweep panels
+  // [4, 2]; under brownout level 1 the batch runs at half width instead.
+  constexpr int kQueries = 6;
+  std::vector<std::future<QueryResponse>> futures;
+  futures.push_back(ParkWorker(&engine));  // node 0.
+  for (int i = 1; i < kQueries; ++i) {
+    QueryParams params = BaseParams();
+    params.node = i;
+    futures.push_back(engine.Submit("g", QueryKind::kRwr, params));
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    QueryResponse r = futures[i].get();
+    ASSERT_EQ(r.status.code(), StatusCode::kOk) << r.status.ToString();
+    EXPECT_EQ(r.batch_size, kQueries);
+    EXPECT_EQ(r.brownout_level, 1) << "query " << i;
+    EXPECT_LE(r.panel_width, 2) << "query " << i;
+  }
+  EXPECT_GE(engine.stats().brownout_panel_drops, 1u);
+}
+
+// Robustness counters and journal stay consistent across worker counts —
+// the same mixed load of clean completions and mid-solve cancellations is
+// pushed through 1, 4, and 8 workers. Run under ThreadSanitizer in CI.
+class RobustCountersTest : public testing::TestWithParam<int> {};
+
+TEST_P(RobustCountersTest, CountersAndJournalConsistentUnderLoad) {
+  const int workers = GetParam();
+  EngineOptions opts;
+  opts.num_threads = workers;
+  Engine engine(opts);
+  ASSERT_EQ(engine.AddGraph("g", TestGraph()).code(), StatusCode::kOk);
+
+  // Warm the plan so every doomed query below dies inside the solve loop.
+  QueryParams warm = BaseParams();
+  warm.max_iterations = 2;
+  ASSERT_EQ(engine.Query("g", QueryKind::kPageRank, warm).status.code(),
+            StatusCode::kOk);
+
+  constexpr int kClients = 4;
+  std::vector<std::future<QueryResponse>> ok_futures(kClients);
+  std::vector<std::future<QueryResponse>> doomed_futures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      // Distinct damping defeats dedup: every request is its own work item.
+      QueryParams ok = BaseParams();
+      ok.damping = 0.6f + 0.01f * static_cast<float>(i);
+      ok_futures[i] = engine.Submit("g", QueryKind::kPageRank, ok);
+
+      QueryParams doomed = BaseParams();
+      doomed.damping = 0.7f + 0.01f * static_cast<float>(i);
+      doomed.tolerance = 0.0f;
+      doomed.max_iterations = 2'000'000;
+      doomed.deadline_seconds = 0.05;
+      doomed_futures[i] = engine.Submit("g", QueryKind::kPageRank, doomed);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    QueryResponse r = ok_futures[i].get();
+    EXPECT_EQ(r.status.code(), StatusCode::kOk) << r.status.ToString();
+  }
+  int cancelled_mid_solve = 0;
+  for (int i = 0; i < kClients; ++i) {
+    QueryResponse r = doomed_futures[i].get();
+    // Depending on worker availability a doomed query either starts and is
+    // cancelled mid-solve or expires while still queued — both must surface
+    // as kDeadlineExceeded, distinguished by the cancelled flag.
+    EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded)
+        << r.status.ToString();
+    if (r.cancelled) {
+      ++cancelled_mid_solve;
+      EXPECT_GT(r.stats.iterations, 0);
+      EXPECT_LT(r.stats.iterations, 2'000'000);
+    } else {
+      EXPECT_EQ(r.stats.iterations, 0);
+    }
+  }
+
+  ServerStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kClients) + 1);
+  EXPECT_EQ(stats.cancelled, static_cast<uint64_t>(cancelled_mid_solve));
+  EXPECT_EQ(stats.cancelled + stats.shed_deadline,
+            static_cast<uint64_t>(kClients));
+
+  // One journal record per request, with the cancelled flags matching the
+  // counter exactly.
+  std::vector<obs::QueryRecord> records = engine.journal().Records();
+  ASSERT_EQ(records.size(), static_cast<size_t>(2 * kClients + 1));
+  int journal_cancelled = 0;
+  for (const obs::QueryRecord& rec : records) {
+    if (rec.cancelled) ++journal_cancelled;
+  }
+  EXPECT_EQ(journal_cancelled, cancelled_mid_solve);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, RobustCountersTest,
+                         testing::Values(1, 4, 8));
+
 // --- PlanCache unit tests (builder returns synthetic plans). ---
 
 Plan FakePlan(uint64_t bytes) {
@@ -548,8 +772,43 @@ TEST(PlanCacheTest, ConcurrentMissesBuildOnce) {
   for (int t = 1; t < kThreads; ++t) EXPECT_EQ(plans[t], plans[0]);
 }
 
-TEST(PlanCacheTest, FailedBuildIsNotCached) {
-  PlanCache cache(1 << 20);
+TEST(PlanCacheTest, FailedBuildIsMemoizedThenInvalidated) {
+  PlanCache cache(1 << 20);  // Default 0.25 s failure memo.
+  int attempts = 0;
+  auto failing = [&]() -> Result<Plan> {
+    ++attempts;
+    return Status::Internal("boom");
+  };
+  bool hit = true;
+  EXPECT_EQ(cache.GetOrBuild(KeyFor("x"), failing, &hit).status().code(),
+            StatusCode::kInternal);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(attempts, 1);
+  // An immediate retry lands inside the memo window: same typed error,
+  // without re-running the poisoned builder.
+  EXPECT_EQ(cache.GetOrBuild(KeyFor("x"), failing).status().code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(attempts, 1);
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.failed_builds, 1u);
+  EXPECT_GE(stats.failure_memo_hits, 1u);
+  EXPECT_EQ(stats.entries, 0u);  // A failure is never cached as a plan.
+
+  // Invalidate clears the memo — the engine's retry-with-backoff path does
+  // this between attempts — so the next call really rebuilds.
+  cache.Invalidate(KeyFor("x"));
+  Result<std::shared_ptr<const Plan>> ok = cache.GetOrBuild(
+      KeyFor("x"), [&]() -> Result<Plan> {
+        ++attempts;
+        return Result<Plan>(FakePlan(64));
+      });
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(PlanCacheTest, ZeroMemoWindowRetriesEveryCall) {
+  PlanCache cache(1 << 20, 0.0);  // Memoization disabled.
   int attempts = 0;
   auto failing = [&]() -> Result<Plan> {
     ++attempts;
@@ -559,7 +818,38 @@ TEST(PlanCacheTest, FailedBuildIsNotCached) {
             StatusCode::kInternal);
   EXPECT_EQ(cache.GetOrBuild(KeyFor("x"), failing).status().code(),
             StatusCode::kInternal);
-  EXPECT_EQ(attempts, 2);  // Second call re-ran the builder: no negative cache.
+  EXPECT_EQ(attempts, 2);  // No negative cache without a memo window.
+  EXPECT_EQ(cache.stats().failure_memo_hits, 0u);
+}
+
+// Single-flight failure: concurrent misses share one build, and when that
+// build fails every waiter gets the typed error exactly once — nobody hangs,
+// nobody re-runs the builder while it is in flight.
+TEST(PlanCacheTest, FailedBuildPropagatesToEveryWaiter) {
+  PlanCache cache(1 << 20, 0.0);
+  std::atomic<int> builds{0};
+  constexpr int kThreads = 8;
+  std::vector<StatusCode> codes(kThreads, StatusCode::kOk);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Result<std::shared_ptr<const Plan>> r = cache.GetOrBuild(
+          KeyFor("shared"), [&]() -> Result<Plan> {
+            builds.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(30));
+            return Status::Internal("boom");
+          });
+      codes[t] = r.status().code();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(codes[t], StatusCode::kInternal) << "thread " << t;
+  }
+  // At least one thread arrived while the first build was in flight and
+  // waited on it instead of building; with no memo, stragglers that arrived
+  // after the failure may legitimately rebuild.
+  EXPECT_LT(builds.load(), kThreads);
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
@@ -570,6 +860,14 @@ TEST(ServerStatsTest, SnapshotAndJson) {
   }
   stats.RecordShed(StatusCode::kUnavailable);
   stats.RecordShed(StatusCode::kDeadlineExceeded);
+  stats.RecordShed(StatusCode::kResourceExhausted);
+  stats.RecordCancelled();
+  stats.RecordNumericalError();
+  stats.RecordDidNotConverge();
+  stats.RecordBrownoutPanelDrop();
+  stats.RecordBrownoutToleranceRelaxed(3);
+  stats.RecordPlanBuildRetry();
+  stats.SetBrownoutLevel(2);
   stats.RecordDedupHit();
   stats.RecordRwrBatch(8);
 
@@ -577,6 +875,15 @@ TEST(ServerStatsTest, SnapshotAndJson) {
   EXPECT_EQ(snap.completed, 100u);
   EXPECT_EQ(snap.shed_queue_full, 1u);
   EXPECT_EQ(snap.shed_deadline, 1u);
+  EXPECT_EQ(snap.shed_overload, 1u);
+  EXPECT_EQ(snap.cancelled, 1u);
+  EXPECT_EQ(snap.numerical_errors, 1u);
+  EXPECT_EQ(snap.did_not_converge, 1u);
+  EXPECT_EQ(snap.brownout_panel_drops, 1u);
+  EXPECT_EQ(snap.brownout_tolerance_relaxed, 3u);
+  EXPECT_EQ(snap.plan_build_retries, 1u);
+  EXPECT_EQ(snap.brownout_level, 2);
+  EXPECT_NE(snap.ToJson().find("\"robustness\""), std::string::npos);
   EXPECT_EQ(snap.rwr_batches, 1u);
   EXPECT_EQ(snap.rwr_batched_queries, 8u);
   EXPECT_NEAR(snap.latency_p50_ms, 50.0, 2.0);

@@ -26,8 +26,12 @@
 
 namespace {
 
-std::string ReadAll(const char* path) {
+/// Reads `path` fully. `*exists` distinguishes "file missing" from "file
+/// present but empty/unreadable" so the caller can emit the right typed
+/// error (and the right fix: regenerate vs inspect).
+std::string ReadAll(const char* path, bool* exists) {
   std::FILE* in = std::fopen(path, "rb");
+  *exists = in != nullptr;
   if (in == nullptr) return "";
   std::string data;
   char buf[1 << 16];
@@ -35,6 +39,17 @@ std::string ReadAll(const char* path) {
   while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) data.append(buf, n);
   std::fclose(in);
   return data;
+}
+
+/// Typed input-validation error: one clear line + the command that
+/// regenerates the file, never a stack trace or a NaN-filled table.
+int InputError(const char* code, const char* path, const char* what) {
+  std::fprintf(stderr, "error: %s: %s: %s\n", code, path, what);
+  std::fprintf(stderr,
+               "hint: regenerate with `bench_serve --quick > %s` (or restore "
+               "the committed baseline)\n",
+               path);
+  return 2;
 }
 
 /// Finds the balanced-brace region of `"name": {...}`. Returns false when
@@ -157,15 +172,26 @@ int Run(int argc, char** argv) {
     return 2;
   }
 
-  std::string fresh = ReadAll(fresh_path);
-  std::string base = ReadAll(base_path);
-  if (fresh.empty()) {
-    std::fprintf(stderr, "error: cannot read %s (or empty)\n", fresh_path);
-    return 2;
+  bool fresh_exists = false, base_exists = false;
+  std::string fresh = ReadAll(fresh_path, &fresh_exists);
+  std::string base = ReadAll(base_path, &base_exists);
+  if (!fresh_exists) return InputError("IO_ERROR", fresh_path, "no such file");
+  if (!base_exists) return InputError("IO_ERROR", base_path, "no such file");
+  if (fresh.empty()) return InputError("IO_ERROR", fresh_path, "file is empty");
+  if (base.empty()) return InputError("IO_ERROR", base_path, "file is empty");
+  // Cheap structural sanity before diving into metric extraction: both
+  // inputs must contain at least one JSON object. Catches truncated or
+  // non-JSON files with a typed error instead of a NaN-riddled table.
+  size_t sb, se;
+  if (!FindObject(fresh, "plan_cache", &sb, &se) &&
+      !FindObject(fresh, "summary", &sb, &se)) {
+    return InputError("INVALID_ARGUMENT", fresh_path,
+                      "malformed or truncated JSON (no summary sections)");
   }
-  if (base.empty()) {
-    std::fprintf(stderr, "error: cannot read %s (or empty)\n", base_path);
-    return 2;
+  if (!FindObject(base, "plan_cache", &sb, &se) &&
+      !FindObject(base, "summary", &sb, &se)) {
+    return InputError("INVALID_ARGUMENT", base_path,
+                      "malformed or truncated JSON (no summary sections)");
   }
 
   std::printf("%-36s %12s %12s %9s  %s\n", "metric", "baseline", "fresh",

@@ -41,6 +41,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/pool.h"
+#include "robust/fault_injection.h"
 #include "serve/engine.h"
 #include "simd/caps.h"
 #include "sparse/matrix_stats.h"
@@ -75,6 +76,12 @@ struct Flags {
   // SpMM panel width for rwr/serve: one of spmm::kBlockWidths, 0 = unset
   // (fall back to TILESPMV_BLOCK_COLS, then auto-select).
   int block_cols = 0;
+  // Fault injection (any subcommand): a robust::FaultInjector spec like
+  // "plan_cache/build:p=0.5;io/*;seed=7". Requires a -DTILESPMV_FAULTS=ON
+  // build; an error otherwise. Overrides the TILESPMV_FAULTS env var.
+  std::string faults;
+  // serve: force the brownout ladder to a fixed level 0-3 (-1 = adaptive).
+  int brownout = -1;
   // Observability (any subcommand).
   std::string trace_out;    // Chrome trace_event JSON.
   std::string metrics_out;  // Prometheus text, or JSON if path ends in .json.
@@ -160,6 +167,15 @@ Status ParseFlags(int argc, char** argv, int first, Flags* f) {
         if (comma == nullptr) break;
         p = comma + 1;
       }
+    } else if (std::strncmp(a, "--faults=", 9) == 0) {
+      f->faults = a + 9;
+      if (f->faults.empty())
+        return Status::InvalidArgument("empty --faults spec");
+    } else if (std::strncmp(a, "--brownout=", 11) == 0) {
+      if (!ParseInt(a + 11, &f->brownout) || f->brownout < 0 ||
+          f->brownout > 3)
+        return Status::InvalidArgument(std::string("bad level in ") + a +
+                                       " (want 0-3)");
     } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
       f->trace_out = a + 12;
     } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
@@ -449,6 +465,7 @@ int CmdServe(const std::string& path, const Flags& f) {
   Result<int> width = ResolveBlockCols(f, 0);
   if (!width.ok()) return Fail(width.status());
   opts.spmm_block_cols = width.value();
+  if (f.brownout >= 0) opts.brownout.force_level = f.brownout;
   // Share the process-global registry so --metrics-out sees serve metrics.
   opts.metrics = &obs::MetricsRegistry::Global();
   serve::Engine engine(opts);
@@ -624,6 +641,8 @@ int Usage() {
       "--flight-dump=FILE --query-log=FILE\n"
       "  rwr/serve: --block-cols=1|2|4|8|16 (or TILESPMV_BLOCK_COLS; SpMM "
       "panel width)\n"
+      "  robustness: --faults=SPEC (needs -DTILESPMV_FAULTS=ON build) "
+      "--brownout=0..3 (serve: force ladder level)\n"
       "  observability: --trace-out=FILE --metrics-out=FILE[.json|.prom]\n"
       "  kernels:");
   for (const std::string& k : tilespmv::AllKernelNames()) {
@@ -654,6 +673,19 @@ int Main(int argc, char** argv) {
   if (!flags.simd.empty()) {
     Result<simd::Tier> tier = simd::ParseTier(flags.simd);
     Status st = tier.ok() ? simd::SetTierOverride(tier.value()) : tier.status();
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
+  if (!flags.faults.empty()) {
+    if (!robust::FaultInjectionCompiledIn()) {
+      std::fprintf(stderr,
+                   "error: --faults requires a fault-injection build "
+                   "(cmake -DTILESPMV_FAULTS=ON)\n");
+      return 2;
+    }
+    Status st = robust::FaultInjector::Global().Configure(flags.faults);
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 2;
