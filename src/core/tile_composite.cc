@@ -114,6 +114,23 @@ Status TileCompositeKernel::Setup(const CsrMatrix& a) {
     tiles_.push_back(std::move(out.bt));
   }
 
+  // Freeze the dataflow decomposition Multiply replays (core/tile_dag.h).
+  // The dag holds pointers into tiles_, which is immutable from here on.
+  {
+    obs::TraceSpan span("preprocess", "preprocess/tile_dag");
+    dag_ = std::make_unique<TileDag>();
+    std::vector<TileDag::TileRef> refs;
+    refs.reserve(tiles_.size());
+    for (const BuiltTile& bt : tiles_) {
+      refs.push_back(TileDag::TileRef{bt.col_begin, &bt.ct});
+    }
+    dag_->Build(std::move(refs), rows_, cols_);
+    if (span.active()) {
+      span.Arg("chunks", dag_->num_chunks());
+      span.Arg("blocks", dag_->num_blocks());
+    }
+  }
+
   // ---- Simulate one multiply. ----
   obs::TraceSpan sim_span("kernel", "kernel/simulate");
   gpu::SimContext ctx(spec_);
@@ -182,32 +199,26 @@ std::vector<TileCompositeKernel::TileView> TileCompositeKernel::tile_views()
 
 void TileCompositeKernel::Multiply(const std::vector<float>& x,
                                    std::vector<float>* y) const {
-  y->assign(rows_, 0.0f);
-  // Tiles stay sequential (each accumulates into y written by its
-  // predecessors); positions within a tile target unique rows
-  // (ct.row_order holds each occupied row once), so the per-tile loop is
-  // row-parallel and the per-row += order — one sum per tile, in tile
-  // order — is unchanged. Bitwise identical at every thread count.
-  par::LoopOptions options;
-  options.grain = 256;
-  options.chunking = par::Chunking::kGuided;
-  options.label = "par/tile_composite_multiply";
-  for (const BuiltTile& bt : tiles_) {
-    TILESPMV_FAULT_STALL("kernel/tile_slow");
-    const CompositeTile& ct = bt.ct;
-    par::ParallelFor(
-        0, static_cast<int64_t>(ct.row_order.size()), options,
-        [&](int64_t p0, int64_t p1) {
-          for (int64_t p = p0; p < p1; ++p) {
-            float sum = 0.0f;
-            int64_t start = ct.row_start[p];
-            for (int64_t k = 0; k < ct.row_len[p]; ++k) {
-              sum += ct.vals[start + k] * x[bt.col_begin + ct.cols[start + k]];
-            }
-            (*y)[ct.row_order[p]] += sum;
-          }
-        });
-  }
+  // Dataflow execution (core/tile_dag.h): chunk tasks fill per-position
+  // partial sums, per-block reduction tasks fold them into y in tile order
+  // as soon as the chunks feeding their rows finish — no barrier between
+  // tiles. Each y row still receives one partial per tile, ascending, so
+  // the result is bitwise identical to the old sequential tile loop at
+  // every thread count. Per-call scratch keeps Multiply thread-safe on a
+  // shared plan (kernels/spmv.h).
+  y->resize(rows_);
+  std::vector<float> partial(static_cast<size_t>(dag_->partial_size()));
+  const int32_t num_chunks = static_cast<int32_t>(dag_->num_chunks());
+  const float* xd = x.data();
+  float* pd = partial.data();
+  float* yd = y->data();
+  par::RunTaskGraph(dag_->multiply_graph(), [&](int32_t t) {
+    if (t < num_chunks) {
+      dag_->RunChunk(t, xd, pd);
+    } else {
+      dag_->ReduceBlock(t - num_chunks, pd, yd);
+    }
+  });
 }
 
 }  // namespace tilespmv

@@ -1,10 +1,12 @@
 #ifndef TILESPMV_CORE_TILE_COMPOSITE_H_
 #define TILESPMV_CORE_TILE_COMPOSITE_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/autotune.h"
 #include "core/composite.h"
+#include "core/tile_dag.h"
 #include "core/tiling.h"
 #include "kernels/spmv.h"
 
@@ -44,6 +46,9 @@ class TileCompositeKernel : public SpMVKernel {
   const Permutation& row_permutation() const override { return row_perm_; }
   const Permutation& col_permutation() const override { return col_perm_; }
 
+  /// The dataflow decomposition Multiply executes through; built by Setup.
+  const TileDag* tile_dag() const override { return dag_.get(); }
+
   int num_tiles() const { return num_dense_tiles_; }
   /// Read-only view of one built tile: the composite storage plus the x
   /// segment it gathers from. Exposed so the blocked SpMM wrapper can walk
@@ -79,6 +84,9 @@ class TileCompositeKernel : public SpMVKernel {
   Permutation row_perm_;
   Permutation col_perm_;
   std::vector<BuiltTile> tiles_;
+  /// Rebuilt per Setup (a frozen TaskGraph is immutable, so re-Setup swaps
+  /// in a fresh dag rather than mutating the old one).
+  std::unique_ptr<TileDag> dag_;
   std::vector<int64_t> workload_sizes_;
   int num_dense_tiles_ = 0;
   double predicted_seconds_ = 0.0;

@@ -1,0 +1,306 @@
+#include "core/tile_dag.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "robust/fault_injection.h"
+
+namespace tilespmv {
+namespace {
+
+/// Chunk sizing caps. Chunk boundaries cannot change any result (partials
+/// are per-position), so these are pure scheduling knobs: small enough that
+/// chunks of different tiles interleave and reduction tasks fire early, big
+/// enough that task overhead stays negligible.
+constexpr int64_t kChunkNnz = 8192;
+constexpr int64_t kChunkPositions = 4096;
+
+/// Matches spmm::kMaxBlockCols (core cannot include the spmm layer).
+constexpr int kMaxPanelCols = 16;
+
+}  // namespace
+
+void TileDag::Build(std::vector<TileRef> tiles, int32_t rows, int32_t cols) {
+  tiles_ = std::move(tiles);
+  rows_ = rows;
+  cols_ = cols;
+  num_blocks_ = rows_ > 0 ? (rows_ + par::kReduceBlock - 1) / par::kReduceBlock
+                          : 0;
+  partial_size_ = 0;
+  chunks_.clear();
+
+  for (size_t t = 0; t < tiles_.size(); ++t) {
+    const TileRef& tr = tiles_[t];
+    const CompositeTile& ct = *tr.ct;
+    const int64_t positions = static_cast<int64_t>(ct.row_order.size());
+    int64_t p = 0;
+    while (p < positions) {
+      Chunk ch;
+      ch.tile = static_cast<int32_t>(t);
+      ch.p0 = p;
+      ch.partial_base = partial_size_ + p;
+      int64_t nnz = 0;
+      int64_t col_lo = cols_;
+      int64_t col_hi = 0;
+      while (p < positions && nnz < kChunkNnz && p - ch.p0 < kChunkPositions) {
+        const int64_t start = ct.row_start[p];
+        const int64_t len = ct.row_len[p];
+        for (int64_t k = 0; k < len; ++k) {
+          const int64_t col = tr.col_begin + ct.cols[start + k];
+          col_lo = std::min(col_lo, col);
+          col_hi = std::max(col_hi, col + 1);
+        }
+        nnz += len;
+        ++p;
+      }
+      ch.p1 = p;
+      ch.col_lo = std::min(col_lo, col_hi);
+      ch.col_hi = col_hi;
+      chunks_.push_back(ch);
+    }
+    partial_size_ += positions;
+  }
+
+  // Per-block reduction recipes: every (slot, row) pair bucketed by row
+  // block with a stable counting sort, so entries within a block stay in
+  // ascending slot — i.e. (tile, position) — order, the accumulation order
+  // of the sequential tile loop.
+  block_chunks_.assign(static_cast<size_t>(num_blocks_), {});
+  entry_offsets_.assign(static_cast<size_t>(num_blocks_) + 1, 0);
+  entries_.resize(static_cast<size_t>(partial_size_));
+  {
+    for (const TileRef& tr : tiles_) {
+      for (int32_t row : tr.ct->row_order) {
+        ++entry_offsets_[static_cast<size_t>(row / par::kReduceBlock) + 1];
+      }
+    }
+    for (int64_t b = 0; b < num_blocks_; ++b) {
+      entry_offsets_[static_cast<size_t>(b) + 1] +=
+          entry_offsets_[static_cast<size_t>(b)];
+    }
+    std::vector<int64_t> cursor(entry_offsets_.begin(),
+                                entry_offsets_.end() - 1);
+    int64_t slot = 0;
+    for (const TileRef& tr : tiles_) {
+      for (int32_t row : tr.ct->row_order) {
+        const int64_t b = row / par::kReduceBlock;
+        entries_[static_cast<size_t>(cursor[static_cast<size_t>(b)]++)] =
+            Entry{slot, row};
+        ++slot;
+      }
+    }
+  }
+
+  // Chunk -> row-block incidence (which reductions each chunk feeds).
+  std::vector<int64_t> touched;
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    const Chunk& ch = chunks_[c];
+    const CompositeTile& ct = *tiles_[static_cast<size_t>(ch.tile)].ct;
+    touched.clear();
+    for (int64_t p = ch.p0; p < ch.p1; ++p) {
+      touched.push_back(ct.row_order[p] / par::kReduceBlock);
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    for (int64_t b : touched) {
+      block_chunks_[static_cast<size_t>(b)].push_back(
+          static_cast<int32_t>(c));
+    }
+  }
+
+  // The one-multiply graph: chunks [0, C), reductions [C, C + B).
+  const int64_t C = num_chunks();
+  for (int64_t c = 0; c < C; ++c) {
+    multiply_graph_.AddTask("spmv/tile_chunk");
+  }
+  for (int64_t b = 0; b < num_blocks_; ++b) {
+    const int32_t reduce = multiply_graph_.AddTask("spmv/block_reduce");
+    for (int32_t c : block_chunks_[static_cast<size_t>(b)]) {
+      multiply_graph_.AddDep(reduce, c);
+    }
+  }
+  multiply_graph_.Freeze();
+}
+
+void TileDag::RunChunk(int64_t c, const float* x, float* partial) const {
+  TILESPMV_FAULT_STALL("kernel/tile_slow");
+  const Chunk& ch = chunks_[static_cast<size_t>(c)];
+  const TileRef& tr = tiles_[static_cast<size_t>(ch.tile)];
+  const CompositeTile& ct = *tr.ct;
+  for (int64_t p = ch.p0; p < ch.p1; ++p) {
+    float sum = 0.0f;
+    const int64_t start = ct.row_start[p];
+    for (int64_t k = 0; k < ct.row_len[p]; ++k) {
+      sum += ct.vals[start + k] * x[tr.col_begin + ct.cols[start + k]];
+    }
+    partial[ch.partial_base + (p - ch.p0)] = sum;
+  }
+}
+
+void TileDag::ReduceBlock(int64_t b, const float* partial, float* y) const {
+  const int64_t r0 = block_row_begin(b);
+  const int64_t r1 = block_row_end(b);
+  for (int64_t r = r0; r < r1; ++r) y[r] = 0.0f;
+  for (int64_t e = entry_offsets_[static_cast<size_t>(b)];
+       e < entry_offsets_[static_cast<size_t>(b) + 1]; ++e) {
+    const Entry& entry = entries_[static_cast<size_t>(e)];
+    y[entry.row] += partial[entry.partial];
+  }
+}
+
+void TileDag::RunChunkPanel(int64_t c, const float* x, int k,
+                            float* partial) const {
+  TILESPMV_FAULT_STALL("kernel/tile_slow");
+  const Chunk& ch = chunks_[static_cast<size_t>(c)];
+  const TileRef& tr = tiles_[static_cast<size_t>(ch.tile)];
+  const CompositeTile& ct = *tr.ct;
+  float acc[kMaxPanelCols];
+  for (int64_t p = ch.p0; p < ch.p1; ++p) {
+    for (int j = 0; j < k; ++j) acc[j] = 0.0f;
+    const int64_t start = ct.row_start[p];
+    for (int64_t e = 0; e < ct.row_len[p]; ++e) {
+      const float v = ct.vals[start + e];
+      const float* xs =
+          &x[static_cast<size_t>(tr.col_begin + ct.cols[start + e]) *
+             static_cast<size_t>(k)];
+      for (int j = 0; j < k; ++j) acc[j] += v * xs[j];
+    }
+    float* ps = &partial[static_cast<size_t>(ch.partial_base + (p - ch.p0)) *
+                         static_cast<size_t>(k)];
+    for (int j = 0; j < k; ++j) ps[j] = acc[j];
+  }
+}
+
+void TileDag::ReduceBlockPanel(int64_t b, const float* partial, int k,
+                               float* y) const {
+  const int64_t r0 = block_row_begin(b);
+  const int64_t r1 = block_row_end(b);
+  std::fill(y + r0 * k, y + r1 * k, 0.0f);
+  for (int64_t e = entry_offsets_[static_cast<size_t>(b)];
+       e < entry_offsets_[static_cast<size_t>(b) + 1]; ++e) {
+    const Entry& entry = entries_[static_cast<size_t>(e)];
+    float* ys = &y[static_cast<size_t>(entry.row) * static_cast<size_t>(k)];
+    const float* ps =
+        &partial[static_cast<size_t>(entry.partial) * static_cast<size_t>(k)];
+    for (int j = 0; j < k; ++j) ys[j] += ps[j];
+  }
+}
+
+const par::TaskGraph& TileDag::PowerPairGraph(PowerKind kind) const {
+  const size_t slot = static_cast<size_t>(kind);
+  std::lock_guard<std::mutex> lock(power_mu_);
+  if (power_graphs_[slot] == nullptr) {
+    power_graphs_[slot] = BuildPowerPairGraph(kind);
+  }
+  return *power_graphs_[slot];
+}
+
+std::unique_ptr<par::TaskGraph> TileDag::BuildPowerPairGraph(
+    PowerKind kind) const {
+  if (rows_ != cols_) {
+    std::fprintf(stderr,
+                 "TileDag::PowerPairGraph needs a square matrix (%d x %d)\n",
+                 rows_, cols_);
+    std::abort();
+  }
+  auto graph = std::make_unique<par::TaskGraph>();
+  const int64_t C = num_chunks();
+  const int64_t B = num_blocks_;
+  const bool hits = kind == PowerKind::kHits;
+  const char* update_label = kind == PowerKind::kPageRank
+                                 ? "reduction/pagerank_update"
+                                 : kind == PowerKind::kRwr
+                                       ? "reduction/rwr_update"
+                                       : "reduction/hits_update";
+
+  // Task-id layout per iteration (stride = C + 2B, or C + 3B + 1 for HITS):
+  // chunks, reduces, [halves, norm,] updates. DecodePowerTask mirrors it.
+  int32_t chunk0[2] = {0, 0}, reduce0[2] = {0, 0}, half0[2] = {0, 0};
+  int32_t norm[2] = {0, 0}, update0[2] = {0, 0};
+  for (int iter = 0; iter < 2; ++iter) {
+    chunk0[iter] = graph->num_tasks();
+    for (int64_t c = 0; c < C; ++c) graph->AddTask("spmv/tile_chunk");
+    reduce0[iter] = graph->num_tasks();
+    for (int64_t b = 0; b < B; ++b) graph->AddTask("spmv/block_reduce");
+    if (hits) {
+      half0[iter] = graph->num_tasks();
+      for (int64_t b = 0; b < B; ++b) graph->AddTask("reduction/hits_half");
+      norm[iter] = graph->AddTask("reduction/hits_normalize");
+    }
+    update0[iter] = graph->num_tasks();
+    for (int64_t b = 0; b < B; ++b) graph->AddTask(update_label);
+
+    for (int64_t b = 0; b < B; ++b) {
+      for (int32_t c : block_chunks_[static_cast<size_t>(b)]) {
+        graph->AddDep(reduce0[iter] + static_cast<int32_t>(b),
+                      chunk0[iter] + c);
+      }
+      if (hits) {
+        graph->AddDep(half0[iter] + static_cast<int32_t>(b),
+                      reduce0[iter] + static_cast<int32_t>(b));
+        graph->AddDep(norm[iter], half0[iter] + static_cast<int32_t>(b));
+        graph->AddDep(update0[iter] + static_cast<int32_t>(b), norm[iter]);
+      } else {
+        graph->AddDep(update0[iter] + static_cast<int32_t>(b),
+                      reduce0[iter] + static_cast<int32_t>(b));
+      }
+    }
+  }
+
+  // Cross-iteration pipelining edges (see the header comment).
+  for (int64_t c = 0; c < C; ++c) {
+    const Chunk& ch = chunks_[static_cast<size_t>(c)];
+    if (ch.col_hi <= ch.col_lo) continue;
+    const int64_t cb0 = ch.col_lo / par::kReduceBlock;
+    const int64_t cb1 = (ch.col_hi - 1) / par::kReduceBlock;
+    for (int64_t b = cb0; b <= cb1; ++b) {
+      graph->AddDep(chunk0[1] + static_cast<int32_t>(c),
+                    update0[0] + static_cast<int32_t>(b));
+      graph->AddDep(update0[1] + static_cast<int32_t>(b),
+                    chunk0[0] + static_cast<int32_t>(c));
+    }
+  }
+  for (int64_t b = 0; b < B; ++b) {
+    graph->AddDep(update0[1] + static_cast<int32_t>(b),
+                  update0[0] + static_cast<int32_t>(b));
+  }
+  graph->Freeze();
+  return graph;
+}
+
+TileDag::PowerTask TileDag::DecodePowerTask(PowerKind kind,
+                                            int32_t task) const {
+  const int64_t C = num_chunks();
+  const int64_t B = num_blocks_;
+  const bool hits = kind == PowerKind::kHits;
+  const int64_t stride = hits ? C + 3 * B + 1 : C + 2 * B;
+  PowerTask out;
+  int64_t local = task;
+  if (local >= stride) {
+    out.iter = 1;
+    local -= stride;
+  }
+  if (local < C) {
+    out.stage = PowerTask::Stage::kChunk;
+    out.index = local;
+  } else if (local < C + B) {
+    out.stage = PowerTask::Stage::kReduce;
+    out.index = local - C;
+  } else if (!hits) {
+    out.stage = PowerTask::Stage::kUpdate;
+    out.index = local - C - B;
+  } else if (local < C + 2 * B) {
+    out.stage = PowerTask::Stage::kHalf;
+    out.index = local - C - B;
+  } else if (local == C + 2 * B) {
+    out.stage = PowerTask::Stage::kNorm;
+    out.index = 0;
+  } else {
+    out.stage = PowerTask::Stage::kUpdate;
+    out.index = local - C - 2 * B - 1;
+  }
+  return out;
+}
+
+}  // namespace tilespmv

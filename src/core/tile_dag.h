@@ -1,0 +1,166 @@
+#ifndef TILESPMV_CORE_TILE_DAG_H_
+#define TILESPMV_CORE_TILE_DAG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/composite.h"
+#include "par/pool.h"
+#include "par/taskgraph.h"
+
+namespace tilespmv {
+
+/// Dataflow decomposition of one tile-composite multiply, built once at
+/// kernel Setup and replayed through par::TaskGraph (docs/PARALLELISM.md).
+///
+/// The fork-join multiply ran the tiles sequentially — tile t+1's row loop
+/// could not start until every row of tile t had accumulated into y. Here
+/// the tiles' position ranges are cut into chunk tasks that each write
+/// per-position partial sums into a private slot (no two chunks share an
+/// output), and fixed row-blocks of y are produced by reduction tasks that
+/// fold the partials of their rows in tile order. A reduction task depends
+/// only on the chunks that feed its rows, so it fires as soon as those
+/// tiles' pieces finish — while unrelated chunks are still running.
+///
+/// Determinism: the partial for (tile, position) is the same float sum the
+/// sequential loop computed, and each y row still accumulates one partial
+/// per tile in ascending tile order inside its reduction task. The chunk
+/// boundaries cannot change any value (partials are per-position), and the
+/// reduction blocks are fixed at par::kReduceBlock rows — so the result is
+/// bitwise identical to the sequential tile loop at every thread count.
+///
+/// The same structure also runs dense panels (the SpMM sibling): the panel
+/// stage bodies keep one accumulator per column, reproducing each column's
+/// scalar order exactly.
+class TileDag {
+ public:
+  /// A slice of one tile's position range, executed by one chunk task.
+  struct Chunk {
+    int32_t tile = 0;
+    int64_t p0 = 0;            ///< First position (within the tile).
+    int64_t p1 = 0;            ///< One past the last position.
+    int64_t partial_base = 0;  ///< Partial slot of position p0.
+    /// Exact global-column read range [col_lo, col_hi) of the chunk's x
+    /// gathers — what the pipelined power graphs use to start next-iteration
+    /// chunks as soon as the blocks they read are updated.
+    int64_t col_lo = 0;
+    int64_t col_hi = 0;
+  };
+
+  /// One (partial slot, destination row) pair of a reduction block. Entries
+  /// are stored sorted by partial index, i.e. by (tile, position) — the
+  /// accumulation order of the sequential tile loop.
+  struct Entry {
+    int64_t partial = 0;
+    int32_t row = 0;
+  };
+
+  /// A lightweight view of one built tile (mirrors
+  /// TileCompositeKernel::TileView without the include cycle).
+  struct TileRef {
+    int32_t col_begin = 0;
+    const CompositeTile* ct = nullptr;
+  };
+
+  TileDag() = default;
+  TileDag(const TileDag&) = delete;
+  TileDag& operator=(const TileDag&) = delete;
+
+  /// Builds chunks, per-block reduction recipes, and the frozen multiply
+  /// graph. The CompositeTile pointers must stay valid for the life of the
+  /// dag (they point into the owning kernel's tile storage).
+  void Build(std::vector<TileRef> tiles, int32_t rows, int32_t cols);
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+  int64_t num_chunks() const { return static_cast<int64_t>(chunks_.size()); }
+  /// Row blocks of par::kReduceBlock rows — the same partition every
+  /// deterministic reduction in the graph loops uses.
+  int64_t num_blocks() const { return num_blocks_; }
+  /// Slots in the per-multiply partial buffer (one per occupied position).
+  int64_t partial_size() const { return partial_size_; }
+  const Chunk& chunk(int64_t c) const {
+    return chunks_[static_cast<size_t>(c)];
+  }
+  int64_t block_row_begin(int64_t b) const { return b * par::kReduceBlock; }
+  int64_t block_row_end(int64_t b) const {
+    const int64_t hi = (b + 1) * par::kReduceBlock;
+    return hi < rows_ ? hi : rows_;
+  }
+  /// Chunk ids whose rows intersect block `b`, ascending.
+  const std::vector<int32_t>& chunks_feeding(int64_t b) const {
+    return block_chunks_[static_cast<size_t>(b)];
+  }
+
+  // ---- Stage bodies (all const, callable concurrently). ----
+
+  /// partial[slot] = this chunk's per-position row sums over x.
+  void RunChunk(int64_t c, const float* x, float* partial) const;
+  /// y rows of block `b`: zeroed, then accumulated from partials in tile
+  /// order. Covers every row of the block (rows no chunk feeds stay 0).
+  void ReduceBlock(int64_t b, const float* partial, float* y) const;
+  /// Panel variants: x/y are row-major interleaved panels of width `k`
+  /// (spmm::DenseBlock layout), partial holds k floats per slot.
+  void RunChunkPanel(int64_t c, const float* x, int k, float* partial) const;
+  void ReduceBlockPanel(int64_t b, const float* partial, int k,
+                        float* y) const;
+
+  /// The frozen one-multiply graph: task ids [0, num_chunks()) are chunks
+  /// ("spmv/tile_chunk"), [num_chunks(), num_chunks() + num_blocks()) are
+  /// reductions ("spmv/block_reduce") for block id - num_chunks().
+  const par::TaskGraph& multiply_graph() const { return multiply_graph_; }
+
+  // ---- Pipelined power-iteration pair graphs (docs/PARALLELISM.md). ----
+
+  /// Which power loop a pair graph drives. PageRank and RWR share the
+  /// axpy-style update shape but carry their own task labels; HITS inserts
+  /// the two-half normalization between reduce and update.
+  enum class PowerKind { kPageRank, kRwr, kHits };
+
+  struct PowerTask {
+    int iter = 0;  ///< 0 or 1 within the unrolled pair.
+    enum class Stage { kChunk, kReduce, kHalf, kNorm, kUpdate } stage =
+        Stage::kChunk;
+    int64_t index = 0;  ///< Chunk or block id (0 for kNorm).
+  };
+
+  /// Two power iterations unrolled into one graph so iteration i+1's chunks
+  /// start as soon as the vector blocks they read are updated — the
+  /// barrier-free pipeline. Requires a square matrix (rows() == cols()).
+  /// Built lazily on first use per kind, cached, thread-safe.
+  ///
+  /// Edges beyond the per-iteration multiply + update chain:
+  ///   chunk(1,c)  <- update(0,b)  for blocks b the chunk's columns read
+  ///                               (flow: the chunk reads the new iterate),
+  ///   update(1,b) <- chunk(0,c)   for chunks c reading block b
+  ///                               (anti: update(1) overwrites the buffer
+  ///                               iteration 0's chunks gather from),
+  ///   update(1,b) <- update(0,b)  (flow: reads the block it rewrites).
+  const par::TaskGraph& PowerPairGraph(PowerKind kind) const;
+  PowerTask DecodePowerTask(PowerKind kind, int32_t task) const;
+
+ private:
+  std::unique_ptr<par::TaskGraph> BuildPowerPairGraph(PowerKind kind) const;
+
+  std::vector<TileRef> tiles_;
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+  int64_t num_blocks_ = 0;
+  int64_t partial_size_ = 0;
+  std::vector<Chunk> chunks_;
+  std::vector<std::vector<int32_t>> block_chunks_;
+  /// Per-block reduction recipes: entries_[entry_offsets_[b] ..
+  /// entry_offsets_[b+1]) sorted by partial index.
+  std::vector<int64_t> entry_offsets_;
+  std::vector<Entry> entries_;
+  par::TaskGraph multiply_graph_;
+
+  mutable std::mutex power_mu_;
+  mutable std::unique_ptr<par::TaskGraph> power_graphs_[3];
+};
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_CORE_TILE_DAG_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "graph/pipeline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/pool.h"
@@ -45,8 +46,17 @@ Result<HitsScores> RunHitsPrepared(const SpMVKernel& kernel,
   HitsScores out;
   out.stats.seconds_per_iteration = kernel.timing().seconds + aux_seconds;
 
+  bool pipelined = false;
+  if (options.pipeline) {
+    PipelineLoopParams params;
+    params.max_iterations = options.max_iterations;
+    params.tolerance = options.tolerance;
+    params.cancel = options.cancel;
+    params.divergence_factor = options.divergence_factor;
+    pipelined = PipelineHitsLoop(kernel, is_authority, params, &v, &out.stats);
+  }
   ResidualGuard guard(options.divergence_factor);
-  for (int it = 0; it < options.max_iterations; ++it) {
+  for (int it = 0; !pipelined && it < options.max_iterations; ++it) {
     if (options.cancel != nullptr && options.cancel->cancelled()) {
       out.stats.health = IterativeHealth::kCancelled;
       break;

@@ -19,6 +19,9 @@ struct HitsOptions {
   bool require_convergence = false;
   /// ResidualGuard divergence trip factor (<= 0 disables).
   double divergence_factor = 1e6;
+  /// Pipelined task-graph loop when the kernel exposes a TileDag
+  /// (graph/pipeline.h); false forces the fork-join loop.
+  bool pipeline = true;
 };
 
 /// Converged authority and hub scores (original index space, each summing

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "graph/pipeline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/pool.h"
@@ -62,8 +63,25 @@ Result<IterativeResult> RunPageRankPrepared(const SpMVKernel& kernel,
   out.seconds_per_iteration = kernel.timing().seconds + aux_seconds;
 
   WallTimer run_timer;
+  bool pipelined = false;
+  if (options.pipeline) {
+    // Barrier-free loop on the kernel's task graph (graph/pipeline.h). The
+    // addend folds the restart term once up front: c*y[i] + (1-c)*p0[i]
+    // with addend[i] = (1-c)*p0[i] evaluates the exact fork-join
+    // expression, so the iterates stay bitwise identical.
+    std::vector<float> addend(static_cast<size_t>(n));
+    for (int32_t i = 0; i < n; ++i) addend[i] = (1.0f - c) * p0[i];
+    PipelineLoopParams params;
+    params.max_iterations = options.max_iterations;
+    params.tolerance = options.tolerance;
+    params.cancel = options.cancel;
+    params.divergence_factor = options.divergence_factor;
+    pipelined = PipelineAxpyLoop(kernel, TileDag::PowerKind::kPageRank, c,
+                                 addend, params, "pagerank/iteration",
+                                 "graph/pagerank_nan", &p, &out);
+  }
   ResidualGuard guard(options.divergence_factor);
-  for (int it = 0; it < options.max_iterations; ++it) {
+  for (int it = 0; !pipelined && it < options.max_iterations; ++it) {
     if (options.cancel != nullptr && options.cancel->cancelled()) {
       out.health = IterativeHealth::kCancelled;
       break;

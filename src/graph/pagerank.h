@@ -27,6 +27,11 @@ struct PageRankOptions {
   /// Residual-divergence trip factor for the ResidualGuard (<= 0 disables
   /// divergence tracking; NaN/Inf detection is always on).
   double divergence_factor = 1e6;
+  /// Run the iteration loop on the kernel's task graph when it exposes one
+  /// (graph/pipeline.h): iteration i+1's SpMV chunks start while iteration
+  /// i's update blocks finish, with bitwise-identical results. false forces
+  /// the fork-join loop (ablation / bench baseline).
+  bool pipeline = true;
 };
 
 /// Runs PageRank on the directed adjacency matrix `adjacency` using `kernel`

@@ -1,0 +1,270 @@
+#include "graph/pipeline.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "obs/trace.h"
+#include "par/taskgraph.h"
+#include "robust/fault_injection.h"
+
+namespace tilespmv {
+namespace {
+
+/// Retroactively records one "<alg>/iteration" span. The pipelined loop has
+/// no per-iteration scope to wrap a TraceSpan around (the two iterations of
+/// a pair overlap), so the pair's wall window is split evenly — the same
+/// pattern the serving engine uses for query lifetime events.
+void RecordIterationEvent(const char* name, double ts_us, double dur_us,
+                          int iter, double residual) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (!tracer.enabled()) return;
+  obs::TraceEvent event;
+  event.name = name;
+  event.cat = "graph";
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"iter\":%d,\"residual\":%.6g", iter,
+                residual);
+  event.args = buf;
+  tracer.Record(std::move(event));
+}
+
+/// Which ping-pong buffer holds the final iterate: 0 = the caller's p (the
+/// pair input / iteration 1 output), 1 = the intermediate buffer (iteration
+/// 0 output).
+struct PairLoopOutcome {
+  int final_buf = 0;
+};
+
+/// The pair-at-a-time driver shared by the axpy and HITS runners: runs the
+/// frozen two-iteration graph, then consumes the two deltas at iteration
+/// granularity — combining each iteration's fixed-block partials in block
+/// order, exactly like par::ParallelReduce — against the guard, tolerance,
+/// budget and cancel token. Fills out->iterations / delta_history /
+/// converged / health.
+PairLoopOutcome DrivePairs(const par::TaskGraph& graph,
+                           const std::function<void(int32_t)>& body,
+                           std::vector<double> delta_parts[2],
+                           const PipelineLoopParams& params,
+                           const char* iter_span_name, IterativeResult* out) {
+  PairLoopOutcome outcome;
+  obs::Tracer& tracer = obs::Tracer::Global();
+  ResidualGuard guard(params.divergence_factor);
+  const auto combine = [&](int iter) {
+    double acc = 0.0;
+    for (double part : delta_parts[iter]) acc += part;
+    return acc;
+  };
+  int it = 0;
+  while (it < params.max_iterations) {
+    if (params.cancel != nullptr && params.cancel->cancelled()) {
+      out->health = IterativeHealth::kCancelled;
+      return outcome;  // Result is the pair input buffer.
+    }
+    TILESPMV_FAULT_STALL("graph/iteration_slow");
+    const double t0 = tracer.enabled() ? tracer.NowMicros() : 0.0;
+    par::RunTaskGraph(graph, body);
+    const double half_us =
+        tracer.enabled() ? (tracer.NowMicros() - t0) / 2.0 : 0.0;
+
+    // Iteration 0 of the pair (output: the intermediate buffer).
+    const double delta0 = combine(0);
+    ++it;
+    ++out->iterations;
+    out->delta_history.push_back(delta0);
+    RecordIterationEvent(iter_span_name, t0, half_us, it - 1, delta0);
+    outcome.final_buf = 1;
+    if (!guard.Update(delta0)) {
+      out->health = IterativeHealth::kNumericalError;
+      return outcome;
+    }
+    if (delta0 < params.tolerance) {
+      out->converged = true;
+      return outcome;
+    }
+    if (it >= params.max_iterations) return outcome;
+
+    // Iteration 1 (output: back in the caller's buffer). The work is
+    // already done — these checks just decide whether to consume it, so
+    // cancellation keeps iteration granularity.
+    if (params.cancel != nullptr && params.cancel->cancelled()) {
+      out->health = IterativeHealth::kCancelled;
+      return outcome;
+    }
+    TILESPMV_FAULT_STALL("graph/iteration_slow");
+    const double delta1 = combine(1);
+    ++it;
+    ++out->iterations;
+    out->delta_history.push_back(delta1);
+    RecordIterationEvent(iter_span_name, t0 + half_us, half_us, it - 1,
+                         delta1);
+    outcome.final_buf = 0;
+    if (!guard.Update(delta1)) {
+      out->health = IterativeHealth::kNumericalError;
+      return outcome;
+    }
+    if (delta1 < params.tolerance) {
+      out->converged = true;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+bool PipelineAxpyLoop(const SpMVKernel& kernel, TileDag::PowerKind kind,
+                      float scale, const std::vector<float>& addend,
+                      const PipelineLoopParams& params,
+                      const char* iter_span_name, const char* nan_point,
+                      std::vector<float>* p, IterativeResult* out) {
+  const TileDag* dag = kernel.tile_dag();
+  const int32_t n = kernel.rows();
+  if (dag == nullptr || kernel.cols() != n || n == 0) return false;
+  const par::TaskGraph& graph = dag->PowerPairGraph(kind);
+  const int64_t B = dag->num_blocks();
+
+  std::vector<float>& pa = *p;  // Pair input; iteration 1 output.
+  std::vector<float> pb(static_cast<size_t>(n));
+  std::vector<float> y[2] = {std::vector<float>(static_cast<size_t>(n)),
+                             std::vector<float>(static_cast<size_t>(n))};
+  std::vector<float> partial[2] = {
+      std::vector<float>(static_cast<size_t>(dag->partial_size())),
+      std::vector<float>(static_cast<size_t>(dag->partial_size()))};
+  std::vector<double> delta_parts[2] = {
+      std::vector<double>(static_cast<size_t>(B)),
+      std::vector<double>(static_cast<size_t>(B))};
+
+  const auto body = [&](int32_t t) {
+    const TileDag::PowerTask pt = dag->DecodePowerTask(kind, t);
+    const float* x_in = pt.iter == 0 ? pa.data() : pb.data();
+    float* yd = y[pt.iter].data();
+    switch (pt.stage) {
+      case TileDag::PowerTask::Stage::kChunk:
+        dag->RunChunk(pt.index, x_in, partial[pt.iter].data());
+        break;
+      case TileDag::PowerTask::Stage::kReduce:
+        dag->ReduceBlock(pt.index, partial[pt.iter].data(), yd);
+        break;
+      case TileDag::PowerTask::Stage::kUpdate: {
+        if (pt.index == 0 && TILESPMV_FAULT_POINT(nan_point)) yd[0] = NAN;
+        const float* cur = x_in;
+        float* next = pt.iter == 0 ? pb.data() : pa.data();
+        const int64_t r0 = dag->block_row_begin(pt.index);
+        const int64_t r1 = dag->block_row_end(pt.index);
+        double local = 0.0;
+        for (int64_t i = r0; i < r1; ++i) {
+          float nv = scale * yd[i] + addend[static_cast<size_t>(i)];
+          local += std::fabs(static_cast<double>(nv) - cur[i]);
+          next[i] = nv;
+        }
+        delta_parts[pt.iter][static_cast<size_t>(pt.index)] = local;
+        break;
+      }
+      default:
+        break;
+    }
+  };
+
+  const PairLoopOutcome outcome =
+      DrivePairs(graph, body, delta_parts, params, iter_span_name, out);
+  if (outcome.final_buf == 1) pa.swap(pb);
+  return true;
+}
+
+bool PipelineHitsLoop(const SpMVKernel& kernel,
+                      const std::vector<char>& is_authority,
+                      const PipelineLoopParams& params, std::vector<float>* v,
+                      IterativeResult* out) {
+  const TileDag* dag = kernel.tile_dag();
+  const int32_t n = kernel.rows();
+  if (dag == nullptr || kernel.cols() != n || n == 0) return false;
+  const par::TaskGraph& graph =
+      dag->PowerPairGraph(TileDag::PowerKind::kHits);
+  const int64_t B = dag->num_blocks();
+
+  std::vector<float>& va = *v;
+  std::vector<float> vb(static_cast<size_t>(n));
+  std::vector<float> y[2] = {std::vector<float>(static_cast<size_t>(n)),
+                             std::vector<float>(static_cast<size_t>(n))};
+  std::vector<float> partial[2] = {
+      std::vector<float>(static_cast<size_t>(dag->partial_size())),
+      std::vector<float>(static_cast<size_t>(dag->partial_size()))};
+  std::vector<double> delta_parts[2] = {
+      std::vector<double>(static_cast<size_t>(B)),
+      std::vector<double>(static_cast<size_t>(B))};
+  std::vector<double> half_a[2] = {
+      std::vector<double>(static_cast<size_t>(B)),
+      std::vector<double>(static_cast<size_t>(B))};
+  std::vector<double> half_h[2] = {
+      std::vector<double>(static_cast<size_t>(B)),
+      std::vector<double>(static_cast<size_t>(B))};
+  float inv_a[2] = {0.0f, 0.0f};
+  float inv_h[2] = {0.0f, 0.0f};
+
+  const auto body = [&](int32_t t) {
+    const TileDag::PowerTask pt =
+        dag->DecodePowerTask(TileDag::PowerKind::kHits, t);
+    const float* x_in = pt.iter == 0 ? va.data() : vb.data();
+    float* yd = y[pt.iter].data();
+    const int64_t r0 = dag->block_row_begin(pt.index);
+    const int64_t r1 = dag->block_row_end(pt.index);
+    switch (pt.stage) {
+      case TileDag::PowerTask::Stage::kChunk:
+        dag->RunChunk(pt.index, x_in, partial[pt.iter].data());
+        break;
+      case TileDag::PowerTask::Stage::kReduce:
+        dag->ReduceBlock(pt.index, partial[pt.iter].data(), yd);
+        break;
+      case TileDag::PowerTask::Stage::kHalf: {
+        // The per-iteration NaN fault lands before the first norm partial,
+        // poisoning the half sums exactly like the fork-join injection.
+        if (pt.index == 0 && TILESPMV_FAULT_POINT("graph/hits_nan")) {
+          yd[0] = NAN;
+        }
+        double a = 0.0, h = 0.0;
+        for (int64_t i = r0; i < r1; ++i) {
+          (is_authority[static_cast<size_t>(i)] ? a : h) += std::fabs(yd[i]);
+        }
+        half_a[pt.iter][static_cast<size_t>(pt.index)] = a;
+        half_h[pt.iter][static_cast<size_t>(pt.index)] = h;
+        break;
+      }
+      case TileDag::PowerTask::Stage::kNorm: {
+        // Half partials combined in block order — the ParallelReduce
+        // recipe, so the sums (and the inverses) are bitwise identical.
+        double a = 0.0, h = 0.0;
+        for (int64_t b = 0; b < B; ++b) {
+          a += half_a[pt.iter][static_cast<size_t>(b)];
+          h += half_h[pt.iter][static_cast<size_t>(b)];
+        }
+        inv_a[pt.iter] = a > 0 ? static_cast<float>(1.0 / a) : 0.0f;
+        inv_h[pt.iter] = h > 0 ? static_cast<float>(1.0 / h) : 0.0f;
+        break;
+      }
+      case TileDag::PowerTask::Stage::kUpdate: {
+        const float* cur = x_in;
+        float* next = pt.iter == 0 ? vb.data() : va.data();
+        double local = 0.0;
+        for (int64_t i = r0; i < r1; ++i) {
+          float nv = yd[i] * (is_authority[static_cast<size_t>(i)]
+                                  ? inv_a[pt.iter]
+                                  : inv_h[pt.iter]);
+          local += std::fabs(static_cast<double>(nv) - cur[i]);
+          next[i] = nv;
+        }
+        delta_parts[pt.iter][static_cast<size_t>(pt.index)] = local;
+        break;
+      }
+    }
+  };
+
+  const PairLoopOutcome outcome =
+      DrivePairs(graph, body, delta_parts, params, "hits/iteration", out);
+  if (outcome.final_buf == 1) va.swap(vb);
+  return true;
+}
+
+}  // namespace tilespmv

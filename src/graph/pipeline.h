@@ -1,0 +1,66 @@
+#ifndef TILESPMV_GRAPH_PIPELINE_H_
+#define TILESPMV_GRAPH_PIPELINE_H_
+
+#include <vector>
+
+#include "core/tile_dag.h"
+#include "graph/power_method.h"
+#include "kernels/spmv.h"
+#include "robust/cancel.h"
+
+namespace tilespmv {
+
+/// Iteration-control knobs shared by the pipelined loop runners (the subset
+/// of PageRankOptions / HitsOptions / RwrOptions the loop itself consumes).
+struct PipelineLoopParams {
+  int max_iterations = 0;
+  float tolerance = 0.0f;
+  const robust::CancelToken* cancel = nullptr;
+  double divergence_factor = 1e6;
+};
+
+/// Barrier-free power-method loops over a kernel's TileDag
+/// (docs/PARALLELISM.md): two iterations are unrolled into one task graph,
+/// so iteration i+1's tile chunks start while iteration i's update blocks
+/// are still finishing. Every update keeps the fork-join recipe exactly —
+/// the same per-element expressions and the same fixed par::kReduceBlock
+/// delta blocks combined in block order — so the iterates, residuals and
+/// final vector are bitwise identical to the fork-join loop at every thread
+/// count. Convergence/cancel/guard checks run at iteration granularity when
+/// the deltas are consumed; on an odd stop the speculative second iteration
+/// is discarded (its writes only touch the ping-pong buffer the result is
+/// not taken from).
+///
+/// Each runner returns false — touching nothing — when the kernel has no
+/// TileDag or the matrix is not square; the caller then runs its fork-join
+/// loop. On true, `p` holds the final iterate (internal index space) and
+/// `out`'s iterations / delta_history / converged / health are filled; the
+/// caller keeps ownership of timing metrics and unpermutation.
+
+/// The axpy-style loop shared by PageRank and RWR:
+///   p <- scale * (A p) + addend,  delta = L1(p_next - p_cur).
+/// PageRank passes addend[i] = (1 - c) * p0[i]; RWR passes the restart
+/// one-hot (1 - c at the query node, 0 elsewhere — the fork-join loop also
+/// adds its ternary operand unconditionally, so the expression shape
+/// matches). `iter_span_name` ("pagerank/iteration" / "rwr/iteration") is
+/// recorded retroactively per consumed iteration; `nan_point` is the
+/// existing per-iteration fault-injection point, fired inside block 0's
+/// update task.
+bool PipelineAxpyLoop(const SpMVKernel& kernel, TileDag::PowerKind kind,
+                      float scale, const std::vector<float>& addend,
+                      const PipelineLoopParams& params,
+                      const char* iter_span_name, const char* nan_point,
+                      std::vector<float>* p, IterativeResult* out);
+
+/// The HITS loop: y = A v, the two halves' L1 norms reduced per block and
+/// combined by a single normalize task, then v <- y scaled by the half
+/// inverses. `is_authority` marks the authority positions in internal
+/// space (as built by RunHitsPrepared).
+bool PipelineHitsLoop(const SpMVKernel& kernel,
+                      const std::vector<char>& is_authority,
+                      const PipelineLoopParams& params, std::vector<float>* v,
+                      IterativeResult* out);
+
+}  // namespace tilespmv
+
+#endif  // TILESPMV_GRAPH_PIPELINE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/pipeline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/pool.h"
@@ -63,8 +64,24 @@ Result<RwrResult> RwrEngine::Query(int32_t node,
   RwrResult out;
   out.stats.seconds_per_iteration = kernel_->timing().seconds + aux_seconds;
 
+  bool pipelined = false;
+  if (options.pipeline) {
+    // Restart one-hot as an addend vector: the fork-join loop also adds its
+    // ternary operand unconditionally, so c*y[i] + addend[i] is the exact
+    // same float expression and the iterates stay bitwise identical.
+    std::vector<float> addend(static_cast<size_t>(n_), 0.0f);
+    addend[internal_node] = 1.0f - c;
+    PipelineLoopParams params;
+    params.max_iterations = options.max_iterations;
+    params.tolerance = options.tolerance;
+    params.cancel = options.cancel;
+    params.divergence_factor = options.divergence_factor;
+    pipelined = PipelineAxpyLoop(*kernel_, TileDag::PowerKind::kRwr, c,
+                                 addend, params, "rwr/iteration",
+                                 "graph/rwr_nan", &r, &out.stats);
+  }
   ResidualGuard guard(options.divergence_factor);
-  for (int it = 0; it < options.max_iterations; ++it) {
+  for (int it = 0; !pipelined && it < options.max_iterations; ++it) {
     if (options.cancel != nullptr && options.cancel->cancelled()) {
       out.stats.health = IterativeHealth::kCancelled;
       break;

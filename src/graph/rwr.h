@@ -32,6 +32,11 @@ struct RwrOptions {
   bool require_convergence = false;
   /// ResidualGuard divergence trip factor (<= 0 disables).
   double divergence_factor = 1e6;
+  /// Pipelined task-graph loop for single queries when the kernel exposes a
+  /// TileDag (graph/pipeline.h); false forces the fork-join loop. Batched
+  /// paths pipeline inside each matrix sweep instead (the panel itself is
+  /// the overlap).
+  bool pipeline = true;
 };
 
 /// Where one query of a batch actually ran: which SpMM panel, at what width,

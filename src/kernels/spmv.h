@@ -14,6 +14,8 @@
 
 namespace tilespmv {
 
+class TileDag;
+
 /// Modeled cost of one y = A*x invocation. `seconds` comes from the gpusim
 /// cost model (or the CPU model for the baseline); the GFLOPS / GB/s
 /// accessors reproduce the paper's two reporting metrics — note the
@@ -124,6 +126,15 @@ class SpMVKernel {
   /// SIMD-aware kernels resolve it at Setup and report "scalar" / "avx2" /
   /// "avx512").
   virtual std::string_view simd_tier() const { return "none"; }
+
+  /// The kernel's dataflow decomposition (core/tile_dag.h), or nullptr for
+  /// kernels that execute as one fork-join sweep. When non-null the graph
+  /// loops pipeline consecutive power iterations through
+  /// TileDag::PowerPairGraph instead of running barrier-separated
+  /// Multiply/update stages; both paths are bitwise identical
+  /// (docs/PARALLELISM.md). Valid after a successful Setup; the dag's
+  /// lifetime is the plan's.
+  virtual const TileDag* tile_dag() const { return nullptr; }
 
   /// new -> old row relabeling applied by Setup (empty = identity).
   virtual const Permutation& row_permutation() const { return kIdentityPerm; }

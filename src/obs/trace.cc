@@ -104,6 +104,33 @@ void Tracer::Record(TraceEvent event) {
   }
 }
 
+void Tracer::RecordBatch(std::vector<TraceEvent>* events) {
+  if (events->empty()) return;
+  const int tid = ThreadId();
+  uint64_t dropped_here = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (TraceEvent& event : *events) {
+      event.tid = tid;
+      if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(event));
+      } else {
+        ring_[next_] = std::move(event);
+        next_ = (next_ + 1) % capacity_;
+        ++dropped_;
+        ++dropped_here;
+      }
+    }
+  }
+  events->clear();
+  if (dropped_here > 0) {
+    static Counter* drop_counter = MetricsRegistry::Global().GetCounter(
+        "tilespmv_trace_dropped_total",
+        "Trace spans overwritten by ring-buffer wrap-around");
+    drop_counter->Increment(dropped_here);
+  }
+}
+
 std::vector<TraceEvent> Tracer::Events() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> out;

@@ -50,7 +50,29 @@ class Tracer {
   void Disable();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Opts into fine-grained task spans (one span per task-graph task, cat
+  /// "task"). Off by default and sticky across Enable/Disable: a hot
+  /// iteration pair runs dozens of sub-microsecond tasks, so always-on
+  /// production tracing skips them to hold the <3% overhead budget, while
+  /// trace-dumping tools (spmv_cli --trace-out) turn them on to feed
+  /// trace_summarize --critical-path.
+  void set_task_detail(bool on) {
+    task_detail_.store(on, std::memory_order_relaxed);
+  }
+  /// True when tracing is enabled AND task detail was opted into.
+  bool task_detail() const {
+    return enabled() && task_detail_.load(std::memory_order_relaxed);
+  }
+
   void Record(TraceEvent event);
+
+  /// Drains `events` into the ring under a single lock — the bulk sibling of
+  /// Record() for producers that complete many short spans back to back (the
+  /// task-graph drain loop records one span per task; taking the ring mutex
+  /// per task would dominate sub-microsecond task bodies). Events must carry
+  /// their own ts_us/dur_us; tid is stamped here with the calling thread's
+  /// id. The vector is left empty.
+  void RecordBatch(std::vector<TraceEvent>* events);
 
   /// Recorded events, oldest first. Spans dropped to ring wrap-around are
   /// reported by dropped().
@@ -71,6 +93,7 @@ class Tracer {
   using Clock = std::chrono::steady_clock;
 
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> task_detail_{false};
   mutable std::mutex mu_;
   Clock::time_point epoch_ = Clock::now();
   std::vector<TraceEvent> ring_;

@@ -156,6 +156,8 @@ int ThreadPool::DefaultThreadCount() {
   if (const char* env = std::getenv("TILESPMV_THREADS")) {
     char* end = nullptr;
     long v = std::strtol(env, &end, 10);
+    // 0 is an explicit "auto": fall through to hardware concurrency (the
+    // same meaning as spmv_cli --threads=0).
     if (end != env && *end == '\0' && v > 0 && v <= 1024) {
       return static_cast<int>(v);
     }

@@ -82,7 +82,9 @@ class ThreadPool {
   static ThreadPool& Global();
 
   /// Thread count the global pool is created with: TILESPMV_THREADS if set
-  /// to a positive integer, otherwise std::thread::hardware_concurrency().
+  /// to a positive integer (1-1024), otherwise
+  /// std::thread::hardware_concurrency(). TILESPMV_THREADS=0 is an explicit
+  /// "auto" — same as unset, mirroring spmv_cli --threads=0.
   static int DefaultThreadCount();
 
   /// Resizes the global pool (0 = DefaultThreadCount()). Used by spmv_cli

@@ -1,0 +1,261 @@
+#include "par/taskgraph.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "robust/fault_injection.h"
+
+namespace tilespmv::par {
+namespace {
+
+/// Monotone id shared by all graphs so concurrent replays of one frozen
+/// graph are distinguishable in traces.
+std::atomic<uint64_t> g_run_counter{0};
+
+}  // namespace
+
+int32_t TaskGraph::AddTask(std::string label) {
+  if (frozen_) {
+    std::fprintf(stderr, "TaskGraph::AddTask after Freeze()\n");
+    std::abort();
+  }
+  labels_.push_back(std::move(label));
+  preds_.emplace_back();
+  return static_cast<int32_t>(labels_.size()) - 1;
+}
+
+void TaskGraph::AddDep(int32_t task, int32_t pred) {
+  if (frozen_ || task < 0 || pred < 0 || task >= num_tasks() ||
+      pred >= num_tasks() || task == pred) {
+    std::fprintf(stderr, "TaskGraph::AddDep(%d, %d) invalid (%d tasks)\n",
+                 task, pred, num_tasks());
+    std::abort();
+  }
+  std::vector<int32_t>& preds = preds_[static_cast<size_t>(task)];
+  if (std::find(preds.begin(), preds.end(), pred) != preds.end()) return;
+  preds.push_back(pred);
+  ++num_edges_;
+}
+
+void TaskGraph::Freeze() {
+  if (frozen_) {
+    std::fprintf(stderr, "TaskGraph::Freeze called twice\n");
+    std::abort();
+  }
+  const int32_t n = num_tasks();
+  initial_indeg_.assign(static_cast<size_t>(n), 0);
+  succ_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  span_args_.resize(static_cast<size_t>(n));
+  for (int32_t t = 0; t < n; ++t) {
+    const std::vector<int32_t>& preds = preds_[static_cast<size_t>(t)];
+    initial_indeg_[static_cast<size_t>(t)] =
+        static_cast<int32_t>(preds.size());
+    // The complete per-task args body is rendered here, once, so the drain
+    // loop's tracing path is one string copy per task.
+    std::string& args = span_args_[static_cast<size_t>(t)];
+    args = "\"task\":" + std::to_string(t);
+    bool first = true;
+    for (int32_t p : preds) {
+      ++succ_offsets_[static_cast<size_t>(p) + 1];
+      args += first ? ",\"deps\":\"" : ",";
+      first = false;
+      args += std::to_string(p);
+    }
+    if (!first) args += '"';
+  }
+  for (int32_t t = 0; t < n; ++t) {
+    succ_offsets_[static_cast<size_t>(t) + 1] +=
+        succ_offsets_[static_cast<size_t>(t)];
+  }
+  succs_.resize(static_cast<size_t>(num_edges_));
+  std::vector<int32_t> cursor(succ_offsets_.begin(), succ_offsets_.end() - 1);
+  for (int32_t t = 0; t < n; ++t) {
+    for (int32_t p : preds_[static_cast<size_t>(t)]) {
+      succs_[static_cast<size_t>(cursor[static_cast<size_t>(p)]++)] = t;
+    }
+  }
+  initial_ready_.clear();
+  for (int32_t t = 0; t < n; ++t) {
+    if (initial_indeg_[static_cast<size_t>(t)] == 0) {
+      initial_ready_.push_back(t);
+    }
+  }
+  // Kahn pass: if the topological order does not reach every task, some
+  // cycle exists and every Run() would deadlock — fail loudly at build time.
+  {
+    std::vector<int32_t> indeg = initial_indeg_;
+    std::vector<int32_t> queue = initial_ready_;
+    size_t head = 0;
+    while (head < queue.size()) {
+      const int32_t t = queue[head++];
+      for (int32_t s = succ_offsets_[static_cast<size_t>(t)];
+           s < succ_offsets_[static_cast<size_t>(t) + 1]; ++s) {
+        const int32_t succ = succs_[static_cast<size_t>(s)];
+        if (--indeg[static_cast<size_t>(succ)] == 0) queue.push_back(succ);
+      }
+    }
+    if (queue.size() != static_cast<size_t>(n)) {
+      std::fprintf(stderr,
+                   "TaskGraph::Freeze: cycle detected (%zu of %d tasks "
+                   "reachable)\n",
+                   queue.size(), n);
+      std::abort();
+    }
+  }
+  frozen_ = true;
+}
+
+/// Per-Run scheduling state. Lives on the Run() caller's stack; every
+/// participant leaves Drain() only once `remaining == 0`, and the submitting
+/// thread's ParallelFor does not return until every participant finished,
+/// so no drain thread can outlive the state.
+struct TaskGraph::RunState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int32_t> indeg;
+  std::deque<int32_t> ready;
+  int32_t remaining = 0;
+};
+
+void TaskGraph::Drain(RunState* state,
+                      const std::function<void(int32_t)>& body,
+                      uint64_t run_id) const {
+  // Tracing a task costs two clock reads and one POD push here; the
+  // TraceEvents (string copies, allocations) are rendered and flushed in
+  // one RecordBatch after the run completes, so tracing never competes with
+  // sub-microsecond task bodies for the tracer's ring mutex or the
+  // allocator. bind_id carries the run id, so every span of one execution
+  // is linkable without per-task formatting.
+  struct TaskSample {
+    int32_t task;
+    double ts_us;
+    double dur_us;
+  };
+  std::vector<TaskSample> samples;
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const bool tracing = tracer.task_detail();
+  int32_t task = -1;
+  for (;;) {
+    if (task < 0) {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->cv.wait(lock, [state] {
+        return !state->ready.empty() || state->remaining == 0;
+      });
+      if (state->ready.empty()) break;
+      task = state->ready.front();
+      state->ready.pop_front();
+    }
+    if (tracing) {
+      const double t0 = tracer.NowMicros();
+      TILESPMV_FAULT_STALL("par/task_slow");
+      body(task);
+      samples.push_back({task, t0, tracer.NowMicros() - t0});
+    } else {
+      TILESPMV_FAULT_STALL("par/task_slow");
+      body(task);
+    }
+    // Completion: release successors, then hand the front of the ready
+    // queue straight to this participant under the same lock — the steady
+    // state is one mutex acquisition per task and no condition-variable
+    // round trip. Sleeping participants are woken one per ready task left
+    // over (not notify_all): with micro-tasks the thundering herd is
+    // scheduler time taken directly out of the overlap win.
+    bool done = false;
+    int32_t wake = 0;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      for (int32_t s = succ_offsets_[static_cast<size_t>(task)];
+           s < succ_offsets_[static_cast<size_t>(task) + 1]; ++s) {
+        const int32_t succ = succs_[static_cast<size_t>(s)];
+        if (--state->indeg[static_cast<size_t>(succ)] == 0) {
+          state->ready.push_back(succ);
+        }
+      }
+      done = --state->remaining == 0;
+      if (state->ready.empty()) {
+        task = -1;
+      } else {
+        task = state->ready.front();
+        state->ready.pop_front();
+        wake = static_cast<int32_t>(state->ready.size());
+      }
+    }
+    if (done) {
+      state->cv.notify_all();
+    } else {
+      for (int32_t w = 0; w < wake; ++w) state->cv.notify_one();
+    }
+    if (done && task < 0) break;
+  }
+  if (!samples.empty()) {
+    std::vector<obs::TraceEvent> spans;
+    spans.reserve(samples.size());
+    for (const TaskSample& s : samples) {
+      obs::TraceEvent span;
+      span.name = labels_[static_cast<size_t>(s.task)];
+      span.cat = "task";
+      span.ts_us = s.ts_us;
+      span.dur_us = s.dur_us;
+      span.args = span_args_[static_cast<size_t>(s.task)];
+      span.bind_id = run_id;
+      spans.push_back(std::move(span));
+    }
+    tracer.RecordBatch(&spans);
+  }
+}
+
+void TaskGraph::Run(ThreadPool& pool,
+                    const std::function<void(int32_t)>& body) const {
+  if (!frozen_) {
+    std::fprintf(stderr, "TaskGraph::Run before Freeze()\n");
+    std::abort();
+  }
+  const int32_t n = num_tasks();
+  if (n == 0) return;
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* runs = registry.GetCounter(
+      "tilespmv_taskgraph_runs_total", "Task-graph executions");
+  static obs::Counter* tasks = registry.GetCounter(
+      "tilespmv_taskgraph_tasks_total", "Tasks executed through task graphs");
+  runs->Increment();
+  tasks->Increment(static_cast<uint64_t>(n));
+
+  const uint64_t run_id =
+      g_run_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  RunState state;
+  state.indeg = initial_indeg_;
+  state.ready.assign(initial_ready_.begin(), initial_ready_.end());
+  state.remaining = n;
+
+  // Each drain participant loops until the whole graph finished, so any
+  // subset of the requested participants completes the run: the loop below
+  // is driven through ParallelFor purely to borrow pool threads (and its
+  // inline rules — nested or 1-thread runs execute in deterministic Kahn
+  // order on the calling thread).
+  const int participants =
+      std::min(pool.num_threads(), static_cast<int>(n));
+  LoopOptions options;
+  options.grain = 1;
+  options.chunking = Chunking::kGuided;
+  options.label = "par/taskgraph";
+  pool.ParallelFor(0, participants, options,
+                   [&](int64_t b, int64_t e) {
+                     for (int64_t i = b; i < e; ++i) {
+                       Drain(&state, body, run_id);
+                     }
+                   });
+}
+
+void RunTaskGraph(const TaskGraph& graph,
+                  const std::function<void(int32_t)>& body) {
+  graph.Run(ThreadPool::Global(), body);
+}
+
+}  // namespace tilespmv::par

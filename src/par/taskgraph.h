@@ -1,0 +1,109 @@
+#ifndef TILESPMV_PAR_TASKGRAPH_H_
+#define TILESPMV_PAR_TASKGRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "par/pool.h"
+
+namespace tilespmv::par {
+
+/// A dependency-driven task DAG executed on the ThreadPool — the dataflow
+/// sibling of ParallelFor. Where every ParallelFor is a barrier, a TaskGraph
+/// releases each task the moment its predecessors finish, so independent
+/// stages (tile partials, per-block reductions, the next iteration's tiles)
+/// overlap instead of draining the pool at every stage boundary.
+///
+/// Usage: AddTask()/AddDep() describe the shape, Freeze() compiles it
+/// (successor lists, in-degrees, the seed ready set) and validates
+/// acyclicity, then Run() executes it any number of times. The graph itself
+/// is immutable after Freeze — per-run state (in-degree countdown, ready
+/// queue) lives on the Run() caller's stack — so one frozen graph can be
+/// built once per plan and replayed concurrently from any number of
+/// threads, exactly like the kernels' frozen-plan contract (spmv.h).
+///
+/// Determinism contract: Run() invokes `body` exactly once per task, never
+/// before all of the task's predecessors returned. Any graph whose tasks
+/// write disjoint outputs (or are ordered by edges when they don't)
+/// therefore produces results byte-identical to a serial run of the same
+/// task bodies in a topological order — regardless of thread count or
+/// timing. Reduction-tree shape must be encoded in the graph (fixed blocks,
+/// combined in task-id order), never derived from execution order.
+///
+/// Scheduling: ready tasks are executed in FIFO order seeded by ascending
+/// task id, by up to pool.num_threads() participants (the Run() caller
+/// always participates). With one participant — a 1-thread pool, or a Run()
+/// issued from inside a pool chunk — the whole graph executes inline in
+/// Kahn (deterministic topological) order.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a task and returns its id (dense, starting at 0). `label` is the
+  /// span name recorded per execution when tracing is enabled; follow the
+  /// "phase/step" convention (docs/OBSERVABILITY.md) so trace_summarize
+  /// groups task time under the right phase.
+  int32_t AddTask(std::string label);
+
+  /// Declares that `task` must not start before `pred` finished.
+  /// Duplicate edges are allowed and collapse to one.
+  void AddDep(int32_t task, int32_t pred);
+
+  /// Compiles successor lists and the initial ready set, and checks the
+  /// graph is acyclic (a cycle aborts: it is a programming error that would
+  /// deadlock every Run). Must be called exactly once, after which the
+  /// graph is immutable and Run() becomes callable.
+  void Freeze();
+
+  bool frozen() const { return frozen_; }
+  int32_t num_tasks() const { return static_cast<int32_t>(labels_.size()); }
+  int64_t num_edges() const { return num_edges_; }
+  const std::string& label(int32_t task) const {
+    return labels_[static_cast<size_t>(task)];
+  }
+  /// Predecessors of `task` in insertion order (deduplicated).
+  const std::vector<int32_t>& preds(int32_t task) const {
+    return preds_[static_cast<size_t>(task)];
+  }
+
+  /// Executes the graph: `body(task)` once per task, dependencies
+  /// respected, blocking until every task finished. Requires Freeze().
+  /// Thread-safe and re-entrant — concurrent Run() calls on one graph are
+  /// independent executions. When the tracer's task detail is on
+  /// (obs::Tracer::set_task_detail) each task records a span named by its
+  /// label, cat "task", with args `task` (id) and `deps` (comma-separated
+  /// predecessor ids) and the run id in bind_id — the dependency-edge
+  /// annotations trace_summarize --critical-path consumes.
+  void Run(ThreadPool& pool, const std::function<void(int32_t)>& body) const;
+
+ private:
+  struct RunState;
+  void Drain(RunState* state, const std::function<void(int32_t)>& body,
+             uint64_t run_id) const;
+
+  bool frozen_ = false;
+  int64_t num_edges_ = 0;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<int32_t>> preds_;
+  /// Flattened successor lists (CSR layout), built by Freeze().
+  std::vector<int32_t> succ_offsets_;
+  std::vector<int32_t> succs_;
+  std::vector<int32_t> initial_indeg_;
+  std::vector<int32_t> initial_ready_;  ///< In-degree-0 ids, ascending.
+  /// Pre-rendered per-task span args ("\"task\":3,\"deps\":\"0,1\"") built
+  /// at Freeze so the tracing path is one string copy per task.
+  std::vector<std::string> span_args_;
+};
+
+/// Convenience wrapper: Run on ThreadPool::Global().
+void RunTaskGraph(const TaskGraph& graph,
+                  const std::function<void(int32_t)>& body);
+
+}  // namespace tilespmv::par
+
+#endif  // TILESPMV_PAR_TASKGRAPH_H_

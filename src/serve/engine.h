@@ -81,6 +81,13 @@ struct EngineOptions {
   /// progressively halve SpMM panel width, relax RWR tolerance within each
   /// caller's max_tolerance, and shed with kResourceExhausted.
   robust::BrownoutOptions brownout;
+  /// Run single-query PageRank/HITS/RWR iteration loops on the plan
+  /// kernel's task graph when it exposes one (graph/pipeline.h): the plan
+  /// captures the prebuilt two-iteration graph and every query replays it,
+  /// overlapping each iteration's tail with the next one's first SpMV
+  /// chunks. Results are bitwise identical either way; off forces the
+  /// fork-join loops (ablation / bench baseline).
+  bool pipeline = true;
   /// Transiently failed plan builds (kInternal/kResourceExhausted/kIoError/
   /// kUnavailable) are retried up to this many times with jittered
   /// exponential backoff before the error is returned. 0 disables retry.

@@ -1,6 +1,7 @@
 #include "spmm/spmm_tile_composite.h"
 
-#include "par/pool.h"
+#include "core/tile_dag.h"
+#include "par/taskgraph.h"
 #include "util/check.h"
 
 namespace tilespmv::spmm {
@@ -18,31 +19,25 @@ void SpmmTileCompositeKernel::Multiply(const DenseBlock& x,
   TILESPMV_CHECK(x.rows == cols_);
   TILESPMV_CHECK(k >= 1 && k <= block_cols_);
   y->Resize(rows_, k);
-  par::LoopOptions options;
-  options.grain = 256;
-  options.chunking = par::Chunking::kGuided;
-  options.label = "par/spmm_tile_composite_multiply";
-  for (const TileCompositeKernel::TileView& tv : inner_.tile_views()) {
-    const CompositeTile& ct = *tv.ct;
-    par::ParallelFor(
-        0, static_cast<int64_t>(ct.row_order.size()), options,
-        [&](int64_t p0, int64_t p1) {
-          float acc[kMaxBlockCols];
-          for (int64_t p = p0; p < p1; ++p) {
-            for (int j = 0; j < k; ++j) acc[j] = 0.0f;
-            int64_t start = ct.row_start[p];
-            for (int64_t e = 0; e < ct.row_len[p]; ++e) {
-              const float v = ct.vals[start + e];
-              const float* xs =
-                  &x.data[static_cast<size_t>(tv.col_begin + ct.cols[start + e]) *
-                          k];
-              for (int j = 0; j < k; ++j) acc[j] += v * xs[j];
-            }
-            float* ys = &y->data[static_cast<size_t>(ct.row_order[p]) * k];
-            for (int j = 0; j < k; ++j) ys[j] += acc[j];
-          }
-        });
-  }
+  // The panel sweep rides the inner kernel's dataflow graph
+  // (core/tile_dag.h): the same chunk/reduce tasks, with one accumulator
+  // per panel column, so column j reproduces TileCompositeKernel's per-row
+  // += sequence exactly — bitwise identical to k single-vector runs at
+  // every thread count. Per-call scratch keeps Multiply thread-safe.
+  const TileDag& dag = *inner_.tile_dag();
+  std::vector<float> partial(static_cast<size_t>(dag.partial_size()) *
+                             static_cast<size_t>(k));
+  const int32_t num_chunks = static_cast<int32_t>(dag.num_chunks());
+  const float* xd = x.data.data();
+  float* pd = partial.data();
+  float* yd = y->data.data();
+  par::RunTaskGraph(dag.multiply_graph(), [&](int32_t t) {
+    if (t < num_chunks) {
+      dag.RunChunkPanel(t, xd, k, pd);
+    } else {
+      dag.ReduceBlockPanel(t - num_chunks, pd, k, yd);
+    }
+  });
 }
 
 }  // namespace tilespmv::spmm

@@ -11,7 +11,12 @@
 #include "gen/graph_models.h"
 #include "gen/power_law.h"
 #include "gen/structured.h"
+#include "graph/hits.h"
+#include "graph/pagerank.h"
+#include "graph/rwr.h"
 #include "kernels/spmv.h"
+#include "multigpu/cluster.h"
+#include "multigpu/distributed_pagerank.h"
 #include "par/pool.h"
 #include "simd/caps.h"
 #include "spmm/dense_block.h"
@@ -144,6 +149,123 @@ TEST(SerialParallelBitwise, AllKernelsMatchAcrossThreadCounts) {
               << " != " << serial[i];
         }
       }
+    }
+  }
+  par::ThreadPool::SetGlobalThreadCount(0);
+}
+
+/// The pipelined task-graph loops (graph/pipeline.h) claim bitwise
+/// equivalence with the fork-join loops they replace: PageRank, HITS, and
+/// single-query RWR on a tile-composite kernel must give the same bits —
+/// same scores, same iteration count — for pipeline on and off, at 1, 2,
+/// 4, and 8 threads. One serial fork-join run anchors the sweep.
+TEST(SerialParallelBitwise, PipelinedGraphLoopsMatchForkJoin) {
+  DeviceSpec spec;
+  CsrMatrix a = GenerateRmat(1100, 8800, RmatOptions{.seed = 61});
+  ASSERT_TRUE(a.Validate().ok());
+
+  // PageRank.
+  std::vector<float> pr_want;
+  int pr_iters = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    for (bool pipeline : {false, true}) {
+      par::ThreadPool::SetGlobalThreadCount(threads);
+      auto kernel = CreateKernel("tile-composite", spec);
+      PageRankOptions opts;
+      opts.pipeline = pipeline;
+      Result<IterativeResult> r = RunPageRank(a, kernel.get(), opts);
+      ASSERT_TRUE(r.ok());
+      if (pr_want.empty()) {
+        pr_want = r.value().result;
+        pr_iters = r.value().iterations;
+        continue;
+      }
+      ASSERT_EQ(r.value().iterations, pr_iters)
+          << "pipeline=" << pipeline << " threads=" << threads;
+      ASSERT_EQ(r.value().result.size(), pr_want.size());
+      for (size_t i = 0; i < pr_want.size(); ++i) {
+        ASSERT_EQ(FloatBits(r.value().result[i]), FloatBits(pr_want[i]))
+            << "pagerank pipeline=" << pipeline << " threads=" << threads
+            << " row " << i;
+      }
+    }
+  }
+
+  // HITS.
+  std::vector<float> hits_auth, hits_hub;
+  for (int threads : {1, 2, 4, 8}) {
+    for (bool pipeline : {false, true}) {
+      par::ThreadPool::SetGlobalThreadCount(threads);
+      auto kernel = CreateKernel("tile-composite", spec);
+      HitsOptions opts;
+      opts.pipeline = pipeline;
+      Result<HitsScores> r = RunHits(a, kernel.get(), opts);
+      ASSERT_TRUE(r.ok());
+      if (hits_auth.empty()) {
+        hits_auth = r.value().authority;
+        hits_hub = r.value().hub;
+        continue;
+      }
+      for (size_t i = 0; i < hits_auth.size(); ++i) {
+        ASSERT_EQ(FloatBits(r.value().authority[i]), FloatBits(hits_auth[i]))
+            << "hits pipeline=" << pipeline << " threads=" << threads
+            << " node " << i;
+        ASSERT_EQ(FloatBits(r.value().hub[i]), FloatBits(hits_hub[i]))
+            << "hits pipeline=" << pipeline << " threads=" << threads
+            << " node " << i;
+      }
+    }
+  }
+
+  // Single-query RWR.
+  std::vector<float> rwr_want;
+  for (int threads : {1, 2, 4, 8}) {
+    for (bool pipeline : {false, true}) {
+      par::ThreadPool::SetGlobalThreadCount(threads);
+      auto kernel = CreateKernel("tile-composite", spec);
+      RwrEngine engine(kernel.get());
+      RwrOptions opts;
+      opts.pipeline = pipeline;
+      ASSERT_TRUE(engine.Init(a, opts).ok());
+      Result<RwrResult> r = engine.Query(3, opts);
+      ASSERT_TRUE(r.ok());
+      if (rwr_want.empty()) {
+        rwr_want = r.value().scores;
+        continue;
+      }
+      for (size_t i = 0; i < rwr_want.size(); ++i) {
+        ASSERT_EQ(FloatBits(r.value().scores[i]), FloatBits(rwr_want[i]))
+            << "rwr pipeline=" << pipeline << " threads=" << threads
+            << " node " << i;
+      }
+    }
+  }
+  par::ThreadPool::SetGlobalThreadCount(0);
+}
+
+/// Distributed PageRank's iteration loop now runs node compute and slice
+/// scatter through a task graph; the per-node tasks write disjoint outputs,
+/// so the functional result must stay bitwise identical across pool sizes.
+TEST(SerialParallelBitwise, DistributedPageRankMatchesAcrossThreadCounts) {
+  CsrMatrix a = GenerateRmat(900, 7200, RmatOptions{.seed = 71});
+  ASSERT_TRUE(a.Validate().ok());
+  DistributedPageRankOptions opts;
+  ClusterSpec cluster;
+  std::vector<float> want;
+  for (int threads : {1, 2, 4, 8}) {
+    par::ThreadPool::SetGlobalThreadCount(threads);
+    Result<DistributedRunResult> r =
+        RunDistributedPageRank(a, 3, opts, cluster);
+    ASSERT_TRUE(r.ok()) << "threads=" << threads;
+    if (want.empty()) {
+      want = r.value().result;
+      ASSERT_FALSE(want.empty());
+      continue;
+    }
+    ASSERT_EQ(r.value().result.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(FloatBits(r.value().result[i]), FloatBits(want[i]))
+          << "threads=" << threads << " row " << i;
     }
   }
   par::ThreadPool::SetGlobalThreadCount(0);

@@ -8,10 +8,13 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "par/pool.h"
+#include "par/taskgraph.h"
 
 namespace tilespmv::par {
 namespace {
@@ -64,6 +67,79 @@ TEST(ParallelFor, NonZeroBeginAndEmptyRange) {
   bool ran = false;
   pool.ParallelFor(5, 5, options, [&](int64_t, int64_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  for (const Chunking chunking : {Chunking::kStatic, Chunking::kGuided}) {
+    LoopOptions options;
+    options.chunking = chunking;
+    pool.ParallelFor(0, 0, options, [&](int64_t, int64_t) { ++calls; });
+    pool.ParallelFor(42, 42, options, [&](int64_t, int64_t) { ++calls; });
+    // An inverted range is an empty range, not an error.
+    pool.ParallelFor(10, 3, options, [&](int64_t, int64_t) { ++calls; });
+  }
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeRunsInlineAsOneChunk) {
+  ThreadPool pool(4);
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  std::mutex mu;
+  LoopOptions options;
+  options.grain = 1 << 20;  // Far larger than the 100-element range.
+  pool.ParallelFor(7, 107, options, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 7);
+  EXPECT_EQ(chunks[0].second, 107);
+}
+
+TEST(ParallelFor, SingleElementRange) {
+  ThreadPool pool(4);
+  for (const Chunking chunking : {Chunking::kStatic, Chunking::kGuided}) {
+    std::atomic<int> calls{0};
+    int64_t seen_b = -1, seen_e = -1;
+    LoopOptions options;
+    options.grain = 1;
+    options.chunking = chunking;
+    pool.ParallelFor(5, 6, options, [&](int64_t b, int64_t e) {
+      ++calls;
+      seen_b = b;
+      seen_e = e;
+    });
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(seen_b, 5);
+    EXPECT_EQ(seen_e, 6);
+  }
+}
+
+TEST(ParallelFor, NestedInsideTaskGraphBodyRunsInline) {
+  // Kernel code issues ParallelFor from inside task bodies (a task-graph
+  // task calling Multiply, which loops). The nested loop must inline on the
+  // draining thread — no deadlock, no double fan-out — and still cover its
+  // range exactly once per task.
+  TaskGraph graph;
+  const int32_t a = graph.AddTask("test/a");
+  const int32_t b = graph.AddTask("test/b");
+  graph.AddDep(b, a);
+  graph.Freeze();
+  std::vector<std::vector<int>> touched(2, std::vector<int>(2048, 0));
+  RunTaskGraph(graph, [&](int32_t task) {
+    LoopOptions options;
+    options.grain = 8;
+    ParallelFor(0, 2048, options, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) ++touched[task][i];
+    });
+  });
+  for (int t = 0; t < 2; ++t) {
+    for (int i = 0; i < 2048; ++i) {
+      ASSERT_EQ(touched[t][i], 1) << "task " << t << " index " << i;
+    }
+  }
 }
 
 TEST(ParallelFor, NestedLoopsRunInline) {

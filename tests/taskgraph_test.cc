@@ -1,0 +1,312 @@
+// Unit tests for par::TaskGraph, the dependency-driven dataflow executor:
+// graph construction and freezing, dependency ordering (every task starts
+// after all of its predecessors finished), exactly-once execution, frozen
+// graphs replayed sequentially and concurrently, inline execution from
+// inside pool chunks, bitwise determinism of graph-encoded reductions
+// across thread counts, per-task trace spans behind the tracer's
+// task-detail flag, and (in fault builds) a chaos drill with the
+// "par/task_slow" stall point armed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+#include "par/pool.h"
+#include "par/taskgraph.h"
+#include "robust/fault_injection.h"
+
+namespace tilespmv::par {
+namespace {
+
+uint32_t FloatBits(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+TEST(TaskGraph, ConstructionAndAccessors) {
+  TaskGraph graph;
+  EXPECT_EQ(graph.num_tasks(), 0);
+  const int32_t a = graph.AddTask("test/a");
+  const int32_t b = graph.AddTask("test/b");
+  const int32_t c = graph.AddTask("test/c");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 2);
+  graph.AddDep(c, a);
+  graph.AddDep(c, b);
+  graph.AddDep(c, a);  // Duplicate edge collapses to one.
+  EXPECT_FALSE(graph.frozen());
+  graph.Freeze();
+  EXPECT_TRUE(graph.frozen());
+  EXPECT_EQ(graph.num_tasks(), 3);
+  EXPECT_EQ(graph.num_edges(), 2);
+  EXPECT_EQ(graph.label(a), "test/a");
+  EXPECT_EQ(graph.label(c), "test/c");
+  ASSERT_EQ(graph.preds(c).size(), 2u);
+  EXPECT_EQ(graph.preds(c)[0], a);
+  EXPECT_EQ(graph.preds(c)[1], b);
+  EXPECT_TRUE(graph.preds(a).empty());
+}
+
+TEST(TaskGraph, EmptyGraphRunsWithoutInvokingBody) {
+  TaskGraph graph;
+  graph.Freeze();
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  graph.Run(pool, [&](int32_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(TaskGraph, DependenciesOrderExecution) {
+  // Diamond: a → {b, c} → d. d must observe both middle tasks' writes, and
+  // the middle tasks must observe a's.
+  TaskGraph graph;
+  const int32_t a = graph.AddTask("test/a");
+  const int32_t b = graph.AddTask("test/b");
+  const int32_t c = graph.AddTask("test/c");
+  const int32_t d = graph.AddTask("test/d");
+  graph.AddDep(b, a);
+  graph.AddDep(c, a);
+  graph.AddDep(d, b);
+  graph.AddDep(d, c);
+  graph.Freeze();
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<bool> done[4] = {};
+    bool order_ok = true;
+    graph.Run(pool, [&](int32_t task) {
+      if (task == b || task == c) {
+        if (!done[a].load()) order_ok = false;
+      } else if (task == d) {
+        if (!done[b].load() || !done[c].load()) order_ok = false;
+      }
+      done[task].store(true);
+    });
+    ASSERT_TRUE(order_ok) << "round " << round;
+    for (int t = 0; t < 4; ++t) ASSERT_TRUE(done[t].load());
+  }
+}
+
+TEST(TaskGraph, EveryTaskRunsExactlyOncePerRun) {
+  TaskGraph graph;
+  constexpr int kTasks = 500;
+  for (int t = 0; t < kTasks; ++t) graph.AddTask("test/independent");
+  // A sprinkling of edges so the ready set refills during the run.
+  for (int t = 7; t < kTasks; t += 7) graph.AddDep(t, t - 7);
+  graph.Freeze();
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> counts(kTasks);
+  graph.Run(pool, [&](int32_t task) { ++counts[task]; });
+  for (int t = 0; t < kTasks; ++t) {
+    ASSERT_EQ(counts[t].load(), 1) << "task " << t;
+  }
+}
+
+TEST(TaskGraph, FrozenGraphReplays) {
+  TaskGraph graph;
+  const int32_t a = graph.AddTask("test/a");
+  const int32_t b = graph.AddTask("test/b");
+  graph.AddDep(b, a);
+  graph.Freeze();
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  for (int run = 0; run < 50; ++run) {
+    graph.Run(pool, [&](int32_t) { ++calls; });
+  }
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(TaskGraph, ConcurrentRunsAreIndependent) {
+  // The serving engine replays one frozen plan graph from many request
+  // workers at once; each Run must see its own complete execution.
+  TaskGraph graph;
+  constexpr int kTasks = 64;
+  for (int t = 0; t < kTasks; ++t) graph.AddTask("test/t");
+  for (int t = 1; t < kTasks; ++t) graph.AddDep(t, t / 2);  // Binary tree.
+  graph.Freeze();
+  ThreadPool pool(4);
+  constexpr int kRunners = 6;
+  constexpr int kRounds = 25;
+  std::vector<std::vector<int>> counts(kRunners,
+                                       std::vector<int>(kTasks, 0));
+  std::vector<std::thread> runners;
+  for (int r = 0; r < kRunners; ++r) {
+    runners.emplace_back([&graph, &pool, &counts, r] {
+      for (int round = 0; round < kRounds; ++round) {
+        graph.Run(pool, [&](int32_t task) { ++counts[r][task]; });
+      }
+    });
+  }
+  for (std::thread& t : runners) t.join();
+  for (int r = 0; r < kRunners; ++r) {
+    for (int t = 0; t < kTasks; ++t) {
+      ASSERT_EQ(counts[r][t], kRounds) << "runner " << r << " task " << t;
+    }
+  }
+}
+
+TEST(TaskGraph, RunFromInsidePoolChunkExecutesInline) {
+  // A Run issued from inside a pool-executed chunk must not deadlock: it
+  // drains inline with one participant, in deterministic Kahn order.
+  TaskGraph graph;
+  const int32_t a = graph.AddTask("test/a");
+  const int32_t b = graph.AddTask("test/b");
+  const int32_t c = graph.AddTask("test/c");
+  graph.AddDep(c, a);
+  graph.AddDep(c, b);
+  graph.Freeze();
+  ThreadPool pool(4);
+  std::vector<std::vector<int32_t>> orders(4);
+  LoopOptions options;
+  options.grain = 1;
+  pool.ParallelFor(0, 4, options, [&](int64_t b0, int64_t b1) {
+    for (int64_t i = b0; i < b1; ++i) {
+      graph.Run(pool, [&, i](int32_t task) { orders[i].push_back(task); });
+    }
+  });
+  for (int i = 0; i < 4; ++i) {
+    // Single participant: FIFO seeded ascending → a, b, then c.
+    ASSERT_EQ(orders[i], (std::vector<int32_t>{a, b, c})) << "chunk " << i;
+  }
+}
+
+TEST(TaskGraph, GraphEncodedReductionBitwiseAcrossThreadCounts) {
+  // The tile-DAG pattern in miniature: chunk tasks produce float partials,
+  // one reduce task combines them in task-id order. The reduction tree is
+  // encoded in the graph, so the bits must match at every thread count.
+  constexpr int kChunks = 37;
+  constexpr int kPerChunk = 1009;
+  std::vector<float> values(kChunks * kPerChunk);
+  uint64_t state = 0x243f6a8885a308d3ULL;
+  for (float& v : values) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    v = static_cast<float>((state >> 40) % 1000) * 1e-3f - 0.5f;
+  }
+  TaskGraph graph;
+  for (int cth = 0; cth < kChunks; ++cth) graph.AddTask("test/chunk");
+  const int32_t reduce = graph.AddTask("test/reduce");
+  for (int cth = 0; cth < kChunks; ++cth) graph.AddDep(reduce, cth);
+  graph.Freeze();
+  auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    std::vector<float> partials(kChunks, 0.0f);
+    float total = 0.0f;
+    graph.Run(pool, [&](int32_t task) {
+      if (task < kChunks) {
+        float local = 0.0f;
+        for (int i = 0; i < kPerChunk; ++i) {
+          local += values[task * kPerChunk + i];
+        }
+        partials[task] = local;
+      } else {
+        for (int cth = 0; cth < kChunks; ++cth) total += partials[cth];
+      }
+    });
+    return total;
+  };
+  const float at1 = run(1);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(FloatBits(run(threads)), FloatBits(at1))
+        << threads << " threads";
+  }
+}
+
+TEST(TaskGraph, RecordsTaskSpansOnlyWhenTaskDetailOn) {
+  TaskGraph graph;
+  const int32_t a = graph.AddTask("test/span_a");
+  const int32_t b = graph.AddTask("test/span_b");
+  graph.AddDep(b, a);
+  graph.Freeze();
+  ThreadPool pool(2);
+
+  // Tracing on, task detail off (the production default): no task spans.
+  obs::Tracer::Global().Clear();
+  obs::Tracer::Global().set_task_detail(false);
+  obs::Tracer::Global().Enable();
+  graph.Run(pool, [](int32_t) {});
+  for (const obs::TraceEvent& e : obs::Tracer::Global().Events()) {
+    EXPECT_NE(e.cat, "task") << e.name;
+  }
+
+  // Task detail on: one span per task, carrying the id, the dependency
+  // edges, and a nonzero run id in bind_id — what --critical-path needs.
+  obs::Tracer::Global().Clear();
+  obs::Tracer::Global().set_task_detail(true);
+  obs::Tracer::Global().Enable();
+  graph.Run(pool, [](int32_t) {});
+  int task_spans = 0;
+  for (const obs::TraceEvent& e : obs::Tracer::Global().Events()) {
+    if (e.cat != "task") continue;
+    ++task_spans;
+    EXPECT_NE(e.bind_id, 0u);
+    if (e.name == "test/span_a") {
+      EXPECT_EQ(e.args, "\"task\":0");
+    } else {
+      EXPECT_EQ(e.name, "test/span_b");
+      EXPECT_EQ(e.args, "\"task\":1,\"deps\":\"0\"");
+    }
+  }
+  EXPECT_EQ(task_spans, 2);
+  obs::Tracer::Global().set_task_detail(false);
+  obs::Tracer::Global().Disable();
+  obs::Tracer::Global().Clear();
+}
+
+#if defined(TILESPMV_FAULTS_ENABLED)
+
+TEST(TaskGraphChaos, CompletesCorrectlyWithTaskStallsArmed) {
+  // Chaos drill: the "par/task_slow" stall point fires on a fraction of
+  // task executions. Stalls reshuffle completion timing but must never
+  // change the dependency order, the exactly-once contract, or the bits of
+  // a graph-encoded reduction.
+  ASSERT_TRUE(robust::FaultInjector::Global()
+                  .Configure("par/task_slow:p=0.2:sleep_ms=0.2;seed=11")
+                  .ok());
+  TaskGraph graph;
+  constexpr int kChunks = 24;
+  for (int cth = 0; cth < kChunks; ++cth) graph.AddTask("test/chunk");
+  const int32_t reduce = graph.AddTask("test/reduce");
+  for (int cth = 0; cth < kChunks; ++cth) graph.AddDep(reduce, cth);
+  graph.Freeze();
+  ThreadPool pool(8);
+  float baseline = 0.0f;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<float> partials(kChunks, 0.0f);
+    std::atomic<int> chunk_runs{0};
+    float total = 0.0f;
+    graph.Run(pool, [&](int32_t task) {
+      if (task < kChunks) {
+        partials[task] = 1.0f / static_cast<float>(task + 1);
+        ++chunk_runs;
+      } else {
+        for (int cth = 0; cth < kChunks; ++cth) total += partials[cth];
+      }
+    });
+    ASSERT_EQ(chunk_runs.load(), kChunks) << "round " << round;
+    if (round == 0) {
+      baseline = total;
+    } else {
+      ASSERT_EQ(FloatBits(total), FloatBits(baseline)) << "round " << round;
+    }
+  }
+  EXPECT_GT(robust::FaultInjector::Global().fires_total(), 0u);
+  robust::FaultInjector::Global().Reset();
+}
+
+#else  // !TILESPMV_FAULTS_ENABLED
+
+TEST(TaskGraphChaos, RequiresFaultBuild) {
+  GTEST_SKIP() << "fault-injection points compiled out; configure with "
+                  "-DTILESPMV_FAULTS=ON to run the task-stall chaos drill";
+}
+
+#endif  // TILESPMV_FAULTS_ENABLED
+
+}  // namespace
+}  // namespace tilespmv::par

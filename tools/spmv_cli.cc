@@ -633,8 +633,9 @@ int Usage() {
       "usage: spmv_cli <stats|spmv|autotune|pagerank|hits|rwr|katz|salsa|"
       "serve|convert|generate|list-kernels> <args...>\n"
       "  flags: --kernel=NAME|auto|auto-host --device=c1060|c2050 "
-      "--damping=F --top=N --node=K --scale=F --threads=N (0 = hardware "
-      "concurrency)\n"
+      "--damping=F --top=N --node=K --scale=F --threads=N (0 = auto: "
+      "hardware concurrency; negatives rejected; env TILESPMV_THREADS=0 "
+      "means the same)\n"
       "  host simd: --simd=off|scalar|avx2|avx512|auto (strict; env "
       "TILESPMV_SIMD clamps down instead)\n"
       "  serve: --queries=N --window-ms=F --deadline-ms=F --slow-ms=F "
@@ -691,7 +692,12 @@ int Main(int argc, char** argv) {
       return 2;
     }
   }
-  if (!flags.trace_out.empty()) obs::Tracer::Global().Enable();
+  if (!flags.trace_out.empty()) {
+    // Offline diagnostic dump: opt into per-task spans so the trace carries
+    // the dependency edges trace_summarize --critical-path reconstructs.
+    obs::Tracer::Global().Enable();
+    obs::Tracer::Global().set_task_detail(true);
+  }
   if (flags.threads >= 0) par::ThreadPool::SetGlobalThreadCount(flags.threads);
   int rc = -1;
   if (cmd == "stats") rc = CmdStats(arg);

@@ -10,13 +10,24 @@
 //
 //   trace_summarize <trace.json>
 //   trace_summarize -           (read stdin)
+//   trace_summarize --critical-path <trace.json>
+//
+// With --critical-path the trace must hold per-task spans (cat "task",
+// recorded when the tracer's task detail is on — spmv_cli --trace-out
+// enables it). Each task span carries its graph-local id (`args.task`),
+// its predecessor ids (`args.deps`), and the run id in `bind_id`, so the
+// report reconstructs the longest dependency chain per task-graph run and
+// prints its length, duration, and stage composition — the lower bound no
+// amount of extra threads can beat.
 //
 // Exits nonzero when the file holds no complete spans or is malformed /
 // truncated (unterminated traceEvents array), so CI can assert a run
 // actually produced a well-formed trace. Warns when the trace dropped spans
 // to ring-buffer wrap-around ("droppedSpans" top-level key).
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -95,7 +106,76 @@ struct QuerySample {
   double stage_ms[kNumStages] = {};
 };
 
-int Run(const char* path) {
+/// One per-task span (cat "task") from a task-graph run: the graph-local
+/// task id, the span duration, the task label, and the predecessor ids the
+/// exporter wrote into args.deps.
+struct TaskSpan {
+  double dur_us = 0.0;
+  std::string name;
+  std::vector<int> deps;
+};
+
+/// Longest dependency chain through one task-graph run: walk every task's
+/// best (max-duration) chain ending at it — dur(t) + max over preds — and
+/// keep back-pointers so the chain itself can be reconstructed. Task spans
+/// come from a frozen DAG, so the deps edges are acyclic; a dep whose span
+/// was dropped (ring wrap-around) simply truncates that chain.
+struct CriticalPath {
+  double dur_us = 0.0;
+  std::vector<int> chain;  ///< Task ids, source first.
+};
+
+CriticalPath LongestChain(const std::map<int, TaskSpan>& tasks) {
+  std::map<int, double> best;
+  std::map<int, int> back;  ///< Predecessor on the best chain; -1 = source.
+  // Memoized DFS with an explicit stack; recursion depth would otherwise be
+  // the chain length, which can reach the tile count.
+  for (const auto& [id, span] : tasks) {
+    (void)span;
+    std::vector<int> stack = {id};
+    while (!stack.empty()) {
+      int t = stack.back();
+      auto it = tasks.find(t);
+      if (it == tasks.end() || best.count(t)) {
+        stack.pop_back();
+        continue;
+      }
+      bool ready = true;
+      for (int d : it->second.deps) {
+        if (tasks.count(d) && !best.count(d)) {
+          stack.push_back(d);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      stack.pop_back();
+      double longest = 0.0;
+      int from = -1;
+      for (int d : it->second.deps) {
+        auto b = best.find(d);
+        if (b != best.end() && b->second > longest) {
+          longest = b->second;
+          from = d;
+        }
+      }
+      best[t] = longest + it->second.dur_us;
+      back[t] = from;
+    }
+  }
+  CriticalPath out;
+  int end = -1;
+  for (const auto& [id, dur] : best) {
+    if (dur > out.dur_us) {
+      out.dur_us = dur;
+      end = id;
+    }
+  }
+  for (int t = end; t != -1; t = back[t]) out.chain.push_back(t);
+  std::reverse(out.chain.begin(), out.chain.end());
+  return out;
+}
+
+int Run(const char* path, bool critical_path) {
   std::FILE* in = std::strcmp(path, "-") == 0 ? stdin
                                               : std::fopen(path, "rb");
   if (in == nullptr) {
@@ -120,6 +200,8 @@ int Run(const char* path) {
   // not a best-effort partial summary.
   std::map<std::string, PhaseTotal> phases;
   std::vector<QuerySample> queries;
+  // Task spans keyed by run id (bind_id) then graph-local task id.
+  std::map<uint64_t, std::map<int, TaskSpan>> task_runs;
   double wall_begin = -1.0, wall_end = -1.0;
   size_t pos = data.find('[', events);
   if (pos == std::string::npos) {
@@ -166,7 +248,8 @@ int Run(const char* path) {
             if (wall_begin < 0 || ts < wall_begin) wall_begin = ts;
             wall_end = std::max(wall_end, ts + dur);
           }
-          if (FindStringValue(data, obj_start, i, "cat") == "query") {
+          std::string cat = FindStringValue(data, obj_start, i, "cat");
+          if (cat == "query") {
             QuerySample q;
             q.total_ms = dur / 1e3;
             for (int s = 0; s < kNumStages; ++s) {
@@ -175,6 +258,26 @@ int Run(const char* path) {
               q.stage_ms[s] = v >= 0 ? v : 0.0;
             }
             queries.push_back(q);
+          } else if (critical_path && cat == "task") {
+            // args.task is the graph-local id; bind_id (hex string) is the
+            // run id; args.deps ("0,1,...") lists predecessor ids.
+            double task_id = FindNumberValue(data, obj_start, i, "task");
+            std::string run = FindStringValue(data, obj_start, i, "bind_id");
+            if (task_id >= 0 && !run.empty()) {
+              uint64_t run_id = std::strtoull(run.c_str(), nullptr, 16);
+              TaskSpan& span = task_runs[run_id][static_cast<int>(task_id)];
+              span.dur_us = dur;
+              span.name = name;
+              std::string deps = FindStringValue(data, obj_start, i, "deps");
+              const char* p = deps.c_str();
+              while (*p != '\0') {
+                char* next = nullptr;
+                long d = std::strtol(p, &next, 10);
+                if (next == p) break;
+                span.deps.push_back(static_cast<int>(d));
+                p = *next == ',' ? next + 1 : next;
+              }
+            }
           }
         }
       }
@@ -265,15 +368,83 @@ int Run(const char* path) {
       std::printf("  (%d queries)\n", count);
     }
   }
+
+  // Critical-path report: for every task-graph run, the longest dependency
+  // chain is the floor on the run's wall time at any thread count. The run
+  // with the deepest chain is the one worth attacking, so its stage
+  // composition (span-name phase prefixes along the chain) is printed.
+  if (critical_path) {
+    if (task_runs.empty()) {
+      std::fprintf(stderr,
+                   "error: --critical-path needs per-task spans (cat "
+                   "\"task\") but the trace holds none; produce the trace "
+                   "with spmv_cli --trace-out, which turns task detail on\n");
+      return 1;
+    }
+    size_t total_tasks = 0;
+    double total_task_us = 0.0;
+    uint64_t worst_run = 0;
+    CriticalPath worst;
+    for (const auto& [run_id, tasks] : task_runs) {
+      total_tasks += tasks.size();
+      for (const auto& [id, span] : tasks) {
+        (void)id;
+        total_task_us += span.dur_us;
+      }
+      CriticalPath cp = LongestChain(tasks);
+      if (cp.dur_us > worst.dur_us) {
+        worst = cp;
+        worst_run = run_id;
+      }
+    }
+    std::printf("\ncritical path (%zu task runs, %zu task spans):\n",
+                task_runs.size(), total_tasks);
+    const std::map<int, TaskSpan>& tasks = task_runs[worst_run];
+    std::printf(
+        "longest chain: run 0x%llx, %zu of %zu tasks, %.3f ms of %.3f ms "
+        "task time (parallel slack %.1fx)\n",
+        static_cast<unsigned long long>(worst_run), worst.chain.size(),
+        tasks.size(), worst.dur_us / 1e3, total_task_us / 1e3,
+        worst.dur_us > 0 ? total_task_us / worst.dur_us : 0.0);
+    std::map<std::string, PhaseTotal> stages;
+    for (int t : worst.chain) {
+      auto it = tasks.find(t);
+      if (it == tasks.end()) continue;
+      const std::string& n = it->second.name;
+      std::string stage = n.substr(0, n.find('/'));
+      stages[stage].micros += it->second.dur_us;
+      ++stages[stage].spans;
+    }
+    std::printf("%-12s %8s %12s %7s\n", "stage", "tasks", "chain_ms",
+                "share");
+    for (const auto& [stage, t] : stages) {
+      std::printf("%-12s %8lld %12.3f %6.1f%%\n", stage.c_str(),
+                  static_cast<long long>(t.spans), t.micros / 1e3,
+                  worst.dur_us > 0 ? 100.0 * t.micros / worst.dur_us : 0.0);
+    }
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: trace_summarize <trace.json|->\n");
+  bool critical_path = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--critical-path") == 0) {
+      critical_path = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;  // Two positional arguments: fall through to usage.
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: trace_summarize [--critical-path] <trace.json|->\n");
     return 2;
   }
-  return Run(argv[1]);
+  return Run(path, critical_path);
 }
